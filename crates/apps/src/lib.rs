@@ -1,0 +1,28 @@
+//! Case-study applications (§5 of the paper).
+//!
+//! Each module implements one of the distributed services the paper runs on
+//! ModelNet, written against the [`mn_edge::Application`] callback API so the
+//! same code runs over any emulated topology:
+//!
+//! * [`chord`] / [`cfs`] — a Chord distributed hash table and a CFS-style
+//!   block store with a configurable prefetch window (the paper's
+//!   reproduction of the CFS/RON experiments, Figures 7–9).
+//! * [`web`] — a replicated web service: open-loop clients playing back a
+//!   request trace against one to three server replicas (Figure 11).
+//! * [`acdc`] — the ACDC two-metric adaptive overlay: nodes self-organise a
+//!   distribution tree that meets a delay target at minimum cost and react to
+//!   injected delay changes (Figure 12).
+//! * [`gnutella`] — a gnutella-style flooding overlay used for the
+//!   10,000-node connectivity experiment mentioned in §5.
+
+pub mod acdc;
+pub mod cfs;
+pub mod chord;
+pub mod gnutella;
+pub mod web;
+
+pub use acdc::{AcdcConfig, AcdcNode};
+pub use cfs::{CfsClient, CfsConfig, CfsServer};
+pub use chord::{chord_interval_contains, ChordId, ChordRing};
+pub use gnutella::{GnutellaConfig, GnutellaNode};
+pub use web::{TraceEntry, WebClient, WebServer, WorkloadTrace};

@@ -1,0 +1,225 @@
+//! Generated per-node configuration — the analogue of the paper's
+//! "configuration scripts".
+//!
+//! The Binding phase automatically generates a set of configuration scripts
+//! for every node hosting the emulation: core routers receive the set of
+//! pipes they own plus routing tables; edge nodes receive the VN addresses
+//! they must host. These structures capture the same information in a
+//! serialisable form, plus a plain-text rendering for inspection.
+
+use serde::{Deserialize, Serialize};
+
+use mn_distill::{DistilledTopology, PipeId};
+use mn_packet::VnId;
+use mn_routing::RoutingMatrix;
+use mn_topology::NodeId;
+
+use crate::binding::{Binding, EdgeNodeId};
+use crate::partition::{CoreId, PipeOwnershipDirectory};
+
+/// Configuration installed on one core node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// The core this configuration is for.
+    pub core: CoreId,
+    /// Pipes the core owns and must emulate.
+    pub pipes: Vec<PipeId>,
+    /// Number of VN pairs whose routes *enter* the emulation at this core
+    /// (i.e. whose source VN is bound to an edge node attached to this core).
+    pub entry_route_count: usize,
+    /// Peer cores this core may need to tunnel descriptors to.
+    pub peer_cores: Vec<CoreId>,
+}
+
+/// Configuration installed on one edge node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeConfig {
+    /// The edge node this configuration is for.
+    pub edge: EdgeNodeId,
+    /// The core this edge node routes all its traffic through.
+    pub core: CoreId,
+    /// VNs hosted on this edge node, with their topology locations.
+    pub vns: Vec<(VnId, NodeId)>,
+}
+
+/// Builds the per-core configuration for every core referenced by the POD.
+pub fn core_configs(
+    topo: &DistilledTopology,
+    pod: &PipeOwnershipDirectory,
+    matrix: &RoutingMatrix,
+    binding: &Binding,
+) -> Vec<CoreConfig> {
+    let cores = pod.core_count();
+    let mut configs: Vec<CoreConfig> = (0..cores)
+        .map(|c| CoreConfig {
+            core: CoreId(c),
+            pipes: pod.pipes_of(CoreId(c)),
+            entry_route_count: 0,
+            peer_cores: Vec::new(),
+        })
+        .collect();
+
+    // Count routes entering at each core and discover peer relationships.
+    let mut peers = vec![vec![false; cores]; cores];
+    for vn in binding.vns() {
+        let Some(entry) = binding.entry_core(vn) else {
+            continue;
+        };
+        let Some(src_loc) = binding.location(vn) else {
+            continue;
+        };
+        configs[entry.index()].entry_route_count += matrix
+            .vns()
+            .iter()
+            .filter(|&&dst| dst != src_loc && matrix.lookup(src_loc, dst).is_some())
+            .count();
+        // Which cores do this VN's routes touch?
+        for &dst in matrix.vns() {
+            if dst == src_loc {
+                continue;
+            }
+            if let Some(route) = matrix.lookup(src_loc, dst) {
+                let mut prev = entry;
+                for &p in &route.pipes {
+                    let owner = pod.owner(p);
+                    if owner != prev {
+                        peers[prev.index()][owner.index()] = true;
+                        prev = owner;
+                    }
+                }
+            }
+        }
+    }
+    for (c, config) in configs.iter_mut().enumerate() {
+        config.peer_cores = (0..cores)
+            .filter(|&o| o != c && peers[c][o])
+            .map(CoreId)
+            .collect();
+    }
+    let _ = topo;
+    configs
+}
+
+/// Builds the per-edge configuration for every edge node in the binding.
+pub fn edge_configs(binding: &Binding) -> Vec<EdgeConfig> {
+    (0..binding.edge_count())
+        .map(|e| {
+            let edge = EdgeNodeId(e);
+            EdgeConfig {
+                edge,
+                core: binding.core_of_edge(edge).expect("edge is bound to a core"),
+                vns: binding
+                    .vns_on_edge(edge)
+                    .into_iter()
+                    .map(|vn| (vn, binding.location(vn).expect("bound VN has a location")))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Renders a core configuration as the plain text a human would review.
+pub fn render_core_config(config: &CoreConfig, topo: &DistilledTopology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# {} configuration: {} pipes, {} entry routes\n",
+        config.core,
+        config.pipes.len(),
+        config.entry_route_count
+    ));
+    for &p in &config.pipes {
+        let pipe = topo.pipe(p);
+        out.push_str(&format!(
+            "pipe {} {} -> {} bw {} delay {} loss {} queue {}\n",
+            p,
+            pipe.src,
+            pipe.dst,
+            pipe.attrs.bandwidth,
+            pipe.attrs.latency,
+            pipe.attrs.loss_rate,
+            pipe.attrs.queue_len
+        ));
+    }
+    if !config.peer_cores.is_empty() {
+        let peers: Vec<String> = config.peer_cores.iter().map(|c| c.to_string()).collect();
+        out.push_str(&format!("peers {}\n", peers.join(" ")));
+    }
+    out
+}
+
+/// Renders an edge configuration as plain text.
+pub fn render_edge_config(config: &EdgeConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# {} configuration: {} VNs via {}\n",
+        config.edge,
+        config.vns.len(),
+        config.core
+    ));
+    for (vn, loc) in &config.vns {
+        out.push_str(&format!("vn {} addr {} at {}\n", vn, vn.addr(), loc));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::BindingParams;
+    use crate::partition::greedy_k_clusters;
+    use mn_distill::{distill, DistillationMode};
+    use mn_topology::generators::{ring_topology, RingParams};
+
+    fn setup() -> (DistilledTopology, PipeOwnershipDirectory, RoutingMatrix, Binding) {
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let pod = greedy_k_clusters(&d, 2, 1);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, 2));
+        (d, pod, matrix, binding)
+    }
+
+    #[test]
+    fn core_configs_cover_all_pipes_once() {
+        let (d, pod, matrix, binding) = setup();
+        let configs = core_configs(&d, &pod, &matrix, &binding);
+        assert_eq!(configs.len(), 2);
+        let total: usize = configs.iter().map(|c| c.pipes.len()).sum();
+        assert_eq!(total, d.pipe_count());
+        assert!(configs.iter().any(|c| c.entry_route_count > 0));
+    }
+
+    #[test]
+    fn peer_cores_are_symmetric_for_a_split_ring() {
+        let (d, pod, matrix, binding) = setup();
+        let configs = core_configs(&d, &pod, &matrix, &binding);
+        let c0_peers = &configs[0].peer_cores;
+        let c1_peers = &configs[1].peer_cores;
+        // A two-way split of a ring must tunnel in both directions.
+        assert!(c0_peers.contains(&CoreId(1)) || c1_peers.contains(&CoreId(0)));
+    }
+
+    #[test]
+    fn edge_configs_list_every_vn_exactly_once() {
+        let (_, _, _, binding) = setup();
+        let configs = edge_configs(&binding);
+        assert_eq!(configs.len(), 2);
+        let total: usize = configs.iter().map(|c| c.vns.len()).sum();
+        assert_eq!(total, binding.vn_count());
+    }
+
+    #[test]
+    fn rendered_configs_mention_pipes_and_addresses() {
+        let (d, pod, matrix, binding) = setup();
+        let core_text = render_core_config(&core_configs(&d, &pod, &matrix, &binding)[0], &d);
+        assert!(core_text.contains("pipe p"));
+        assert!(core_text.contains("bw"));
+        let edge_text = render_edge_config(&edge_configs(&binding)[0]);
+        assert!(edge_text.contains("10.0.0.1"));
+        assert!(edge_text.contains("vn0"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the mechanisms §2.2 of the paper analyses:
+//! route lookup across the three lookup structures, pipe scheduling
+//! (enqueue/dequeue through the bandwidth queue and delay line), distillation
+//! cost, and greedy pipe-to-core assignment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mn_assign::greedy_k_clusters;
+use mn_distill::{distill, DistillationMode};
+use mn_pipe::EmuPipe;
+use mn_routing::{RouteCache, RouteProvider, RoutingMatrix};
+use mn_topology::generators::{ring_topology, transit_stub_topology, RingParams, TransitStubParams};
+use mn_util::rngs::seeded_rng;
+use mn_util::{ByteSize, SimTime};
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = ring_topology(&RingParams::default());
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&d);
+    let vns = matrix.vns().to_vec();
+    let mut group = c.benchmark_group("route_lookup");
+    group.bench_function("matrix", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = vns[i % vns.len()];
+            let z = vns[(i * 7 + 3) % vns.len()];
+            i += 1;
+            std::hint::black_box(matrix.lookup(a, z));
+        })
+    });
+    group.bench_function("cache_warm", |b| {
+        let mut cache = RouteCache::with_default_capacity(d.clone());
+        // Warm a handful of routes.
+        for k in 0..32 {
+            let _ = cache.route(vns[k % vns.len()], vns[(k * 7 + 3) % vns.len()]);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = vns[i % 32 % vns.len()];
+            let z = vns[(i % 32 * 7 + 3) % vns.len()];
+            i += 1;
+            std::hint::black_box(cache.route(a, z));
+        })
+    });
+    group.finish();
+
+    c.bench_function("routing_matrix_build_ring420", |b| {
+        b.iter(|| std::hint::black_box(RoutingMatrix::build(&d)))
+    });
+}
+
+fn bench_pipe(c: &mut Criterion) {
+    let topo = ring_topology(&RingParams::default());
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let attrs = d.pipe(mn_distill::PipeId(0)).attrs;
+    c.bench_function("pipe_enqueue_dequeue", |b| {
+        b.iter_batched(
+            || (EmuPipe::<u64>::new(attrs), seeded_rng(1)),
+            |(mut pipe, mut rng)| {
+                for i in 0..64u64 {
+                    let t = SimTime::from_micros(i * 50);
+                    let _ = pipe.enqueue(t, ByteSize::from_bytes(1500), i, &mut rng);
+                    std::hint::black_box(pipe.dequeue_ready(t));
+                }
+                std::hint::black_box(pipe.drain_all())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_distillation(c: &mut Criterion) {
+    let ring = ring_topology(&RingParams::default());
+    let ts = transit_stub_topology(&TransitStubParams::sized_for(320, 3)).topology;
+    let mut group = c.benchmark_group("distillation");
+    group.sample_size(10);
+    group.bench_function("hop_by_hop_ring420", |b| {
+        b.iter(|| std::hint::black_box(distill(&ring, DistillationMode::HopByHop)))
+    });
+    group.bench_function("last_mile_ring420", |b| {
+        b.iter(|| std::hint::black_box(distill(&ring, DistillationMode::LAST_MILE)))
+    });
+    group.bench_function("end_to_end_ring420", |b| {
+        b.iter(|| std::hint::black_box(distill(&ring, DistillationMode::EndToEnd)))
+    });
+    group.bench_function("last_mile_transit_stub320", |b| {
+        b.iter(|| std::hint::black_box(distill(&ts, DistillationMode::LAST_MILE)))
+    });
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let topo = ring_topology(&RingParams::default());
+    let d = distill(&topo, DistillationMode::HopByHop);
+    c.bench_function("greedy_k_clusters_4cores", |b| {
+        b.iter(|| std::hint::black_box(greedy_k_clusters(&d, 4, 7)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_pipe,
+    bench_distillation,
+    bench_assignment
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion wrappers around reduced-scale versions of the paper's
+//! experiments, so `cargo bench` exercises every table/figure regenerator and
+//! tracks the wall-clock cost of the emulation itself. The full regenerators
+//! (with `--full` for paper dimensions) live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mn_bench::{accuracy, fig4_capacity, fig6_multiplexing, Scale};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig4_capacity_point", |b| {
+        b.iter(|| std::hint::black_box(fig4_capacity::smoke_point()))
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig6_multiplexing_quick", |b| {
+        b.iter(|| std::hint::black_box(fig6_multiplexing::run(Scale::Quick)))
+    });
+    group.finish();
+}
+
+fn bench_accuracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("baseline_accuracy_quick", |b| {
+        b.iter(|| std::hint::black_box(accuracy::run(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4, bench_fig6, bench_accuracy);
+criterion_main!(benches);

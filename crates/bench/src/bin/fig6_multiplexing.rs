@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 (VN multiplexing on an edge host). `--full` for paper scale.
+fn main() {
+    let scale = mn_bench::Scale::from_args();
+    let curves = mn_bench::fig6_multiplexing::run(scale);
+    print!("{}", mn_bench::fig6_multiplexing::render(&curves));
+    println!("# shape_holds: {}", mn_bench::fig6_multiplexing::shape_holds(&curves));
+}

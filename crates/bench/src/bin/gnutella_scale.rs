@@ -1,0 +1,7 @@
+//! Regenerates the §5 gnutella connectivity run. `--full` for larger scale.
+fn main() {
+    let scale = mn_bench::Scale::from_args();
+    let summary = mn_bench::gnutella_scale::run(scale);
+    print!("{}", mn_bench::gnutella_scale::render(&summary));
+    println!("# shape_holds: {}", mn_bench::gnutella_scale::shape_holds(&summary));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1 (4-core scaling vs cross-core traffic). `--full` for paper scale.
+fn main() {
+    let scale = mn_bench::Scale::from_args();
+    let rows = mn_bench::table1_multicore::run(scale);
+    print!("{}", mn_bench::table1_multicore::render(&rows));
+    println!("# shape_holds: {}", mn_bench::table1_multicore::shape_holds(&rows));
+}

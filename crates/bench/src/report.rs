@@ -1,0 +1,97 @@
+//! Machine-readable experiment reports.
+//!
+//! Every regenerator prints human-readable rows; this module additionally
+//! serialises results as JSON so EXPERIMENTS.md comparisons and external
+//! plotting scripts can consume them without re-parsing the text tables.
+
+use serde::Serialize;
+
+/// A single labelled series of (x, y) points — one curve of a figure or one
+/// column of a table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Curve/row label.
+    pub label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A complete experiment report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment identifier (e.g. "fig4_capacity").
+    pub experiment: String,
+    /// Whether the paper's qualitative shape held for this run.
+    pub shape_holds: bool,
+    /// The measured series.
+    pub series: Vec<Series>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(experiment: impl Into<String>, shape_holds: bool) -> Self {
+        Report {
+            experiment: experiment.into(),
+            shape_holds,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds one series.
+    pub fn with_series(
+        mut self,
+        label: impl Into<String>,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Self {
+        self.series.push(Series {
+            label: label.into(),
+            points: points.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Writes the report next to the given path stem (`<stem>.json`),
+    /// returning the path written.
+    pub fn write_json(&self, stem: &str) -> std::io::Result<String> {
+        let path = format!("{stem}.json");
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serialises_to_json() {
+        let report = Report::new("fig4_capacity", true)
+            .with_series("1-hop", vec![(24.0, 30_000.0), (96.0, 120_000.0)])
+            .with_series("8-hop", vec![(24.0, 30_000.0), (96.0, 90_000.0)]);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"fig4_capacity\""));
+        assert!(json.contains("\"shape_holds\": true"));
+        assert!(json.contains("8-hop"));
+        // It parses back as valid JSON.
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["series"].as_array().unwrap().len(), 2);
+        assert_eq!(value["series"][0]["points"][1][1], 120_000.0);
+    }
+
+    #[test]
+    fn write_json_creates_a_file() {
+        let dir = std::env::temp_dir().join("mn_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("report").to_string_lossy().into_owned();
+        let report = Report::new("table1", false).with_series("row", vec![(0.0, 1.0)]);
+        let path = report.write_json(&stem).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("table1"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,233 @@
+//! The experiment builder: Create → Distill → Assign → Bind in one call.
+//!
+//! [`Experiment`] takes the target topology produced by the Create phase and
+//! walks the remaining pipeline with sensible defaults, yielding a
+//! [`Runner`] ready for the Run phase. Every knob the paper exposes is a
+//! builder method: the distillation mode, the number of core and edge nodes,
+//! the hardware profile of the cores, and the TCP configuration of the edge
+//! stacks.
+
+use std::fmt;
+
+use mn_assign::{greedy_k_clusters, Binding, BindingParams};
+use mn_distill::{distill, DistillationMode, DistilledTopology};
+use mn_emucore::{HardwareProfile, MultiCoreEmulator};
+use mn_routing::RoutingMatrix;
+use mn_topology::Topology;
+use mn_transport::TcpConfig;
+
+use crate::runner::Runner;
+
+/// Errors raised while building an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The target topology has no client nodes to bind VNs to.
+    NoClients,
+    /// The target topology is not connected, so some VN pairs have no route.
+    Disconnected,
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::NoClients => {
+                write!(f, "target topology has no client nodes to host VNs")
+            }
+            ExperimentError::Disconnected => {
+                write!(f, "target topology is not connected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Builder for a complete emulation.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    topology: Topology,
+    distillation: DistillationMode,
+    cores: usize,
+    edge_nodes: usize,
+    profile: HardwareProfile,
+    tcp: TcpConfig,
+    seed: u64,
+    require_connected: bool,
+}
+
+impl Experiment {
+    /// Starts an experiment from a Create-phase topology.
+    pub fn new(topology: Topology) -> Self {
+        Experiment {
+            topology,
+            distillation: DistillationMode::HopByHop,
+            cores: 1,
+            edge_nodes: 1,
+            profile: HardwareProfile::paper_core(),
+            tcp: TcpConfig::default(),
+            seed: 1,
+            require_connected: true,
+        }
+    }
+
+    /// Chooses the distillation mode (default: hop-by-hop).
+    pub fn distillation(mut self, mode: DistillationMode) -> Self {
+        self.distillation = mode;
+        self
+    }
+
+    /// Number of emulation core nodes (default: 1).
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores.max(1);
+        self
+    }
+
+    /// Number of physical edge nodes hosting VNs (default: 1).
+    pub fn edge_nodes(mut self, edges: usize) -> Self {
+        self.edge_nodes = edges.max(1);
+        self
+    }
+
+    /// Hardware profile of the core nodes (default: the paper's testbed).
+    pub fn hardware(mut self, profile: HardwareProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Removes every hardware ceiling — useful when an experiment studies the
+    /// emulated network rather than core capacity.
+    pub fn unconstrained_hardware(mut self) -> Self {
+        self.profile = HardwareProfile::unconstrained();
+        self
+    }
+
+    /// TCP configuration used by every edge stack (default: Reno with a
+    /// 1460-byte MSS and 64 KB windows).
+    pub fn tcp_config(mut self, tcp: TcpConfig) -> Self {
+        self.tcp = tcp;
+        self
+    }
+
+    /// Seed for every random decision in the experiment.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Allows disconnected target topologies (by default they are rejected,
+    /// since most experiments expect all-pairs reachability).
+    pub fn allow_disconnected(mut self) -> Self {
+        self.require_connected = false;
+        self
+    }
+
+    /// The target topology (Create-phase output) this experiment will use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs Distill + Assign + Bind, returning the Runner for the Run phase.
+    pub fn build(self) -> Result<Runner, ExperimentError> {
+        let (runner, _) = self.build_with_distilled()?;
+        Ok(runner)
+    }
+
+    /// Like [`Experiment::build`], but also hands back the distilled pipe
+    /// graph for callers that want to inspect or perturb it (the dynamic
+    /// network-change machinery needs it).
+    pub fn build_with_distilled(self) -> Result<(Runner, DistilledTopology), ExperimentError> {
+        if self.topology.client_count() == 0 {
+            return Err(ExperimentError::NoClients);
+        }
+        if self.require_connected && !self.topology.is_connected() {
+            return Err(ExperimentError::Disconnected);
+        }
+        // Distill.
+        let distilled = distill(&self.topology, self.distillation);
+        // Assign.
+        let pod = greedy_k_clusters(&distilled, self.cores, self.seed);
+        // Bind.
+        let matrix = RoutingMatrix::build(&distilled);
+        let binding = Binding::bind(
+            distilled.vns(),
+            &BindingParams::new(self.edge_nodes, self.cores),
+        );
+        // Run-phase driver.
+        let emulator = MultiCoreEmulator::new(
+            &distilled,
+            pod,
+            matrix,
+            &binding,
+            self.profile,
+            self.seed,
+        );
+        Ok((Runner::new(emulator, binding, self.tcp), distilled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_topology::generators::{ring_topology, RingParams};
+    use mn_topology::NodeKind;
+
+    fn small_ring() -> Topology {
+        ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 2,
+            ..RingParams::default()
+        })
+    }
+
+    #[test]
+    fn build_walks_all_phases() {
+        let runner = Experiment::new(small_ring())
+            .distillation(DistillationMode::LAST_MILE)
+            .cores(2)
+            .edge_nodes(4)
+            .seed(5)
+            .build()
+            .unwrap();
+        assert_eq!(runner.vn_ids().len(), 8);
+        assert_eq!(runner.emulator().core_count(), 2);
+        assert_eq!(runner.binding().edge_count(), 4);
+    }
+
+    #[test]
+    fn build_with_distilled_exposes_the_pipe_graph() {
+        let (_, distilled) = Experiment::new(small_ring())
+            .distillation(DistillationMode::EndToEnd)
+            .build_with_distilled()
+            .unwrap();
+        assert_eq!(distilled.undirected_pipe_count(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn topology_without_clients_is_rejected() {
+        let mut topo = Topology::new();
+        topo.add_node(NodeKind::Stub);
+        let err = match Experiment::new(topo).build() {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert_eq!(err, ExperimentError::NoClients);
+    }
+
+    #[test]
+    fn disconnected_topology_is_rejected_unless_allowed() {
+        let mut topo = small_ring();
+        topo.add_node(NodeKind::Client);
+        let err = match Experiment::new(topo.clone()).build() {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert_eq!(err, ExperimentError::Disconnected);
+        assert!(Experiment::new(topo).allow_disconnected().build().is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert!(ExperimentError::NoClients.to_string().contains("client"));
+        assert!(ExperimentError::Disconnected.to_string().contains("connected"));
+    }
+}

@@ -1,0 +1,935 @@
+//! The Run phase: the virtual-time simulation driver.
+//!
+//! On the paper's testbed the "driver" is reality: edge kernels emit packets,
+//! the core's clock interrupts fire, netperf measures what arrives. In the
+//! reproduction those roles are played by [`Runner`]: it owns the virtual
+//! clock, an event queue, the multi-core emulator, every TCP/UDP endpoint and
+//! every application instance, and it moves packets between them. All
+//! behaviour — congestion response, queueing, drops, application adaptation —
+//! emerges from the same state machines the paper's experiments exercise.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use mn_assign::Binding;
+use mn_edge::{AppAction, AppCtx, Application, Message};
+use mn_emucore::{Delivery, MultiCoreEmulator, SubmitOutcome};
+use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
+use mn_transport::{BulkSender, SegmentToSend, TcpConfig, TcpConnection, UdpStream, UdpStreamConfig};
+use mn_util::{ByteSize, Cdf, EventHeap, SimDuration, SimTime};
+
+/// Identifier of a TCP flow or application channel created on the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub usize);
+
+/// Identifier of a UDP flow created on the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpFlowId(pub usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    A,
+    B,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// The emulator has scheduler work due.
+    EmuWakeup,
+    /// A TCP endpoint's timer may have expired.
+    ChannelTimer { ch: usize, side: Side },
+    /// An application timer fires.
+    AppTimer { vn: VnId, token: u64 },
+    /// A UDP source has datagrams due.
+    UdpPoll { flow: usize },
+    /// A bulk flow starts transmitting.
+    FlowStart { ch: usize },
+}
+
+/// Per-direction message framing state of an application channel.
+#[derive(Default)]
+struct DirState {
+    /// Messages written to the stream and not yet dispatched at the receiver:
+    /// (cumulative end offset in the stream, message).
+    outbox: VecDeque<(u64, Message)>,
+    /// Total bytes written to the stream so far.
+    written: u64,
+    /// Receiver-side bytes already dispatched to the application.
+    dispatched: u64,
+}
+
+/// One TCP connection between two VNs (an application channel or a raw bulk
+/// flow).
+struct Channel {
+    a: VnId,
+    b: VnId,
+    port: u16,
+    conn_a: TcpConnection,
+    conn_b: TcpConnection,
+    a_to_b: DirState,
+    b_to_a: DirState,
+    /// Bulk generator pumping the A-side, for raw netperf-style flows.
+    bulk_a: Option<BulkSender>,
+    /// Size of the fixed transfer, if bounded.
+    bulk_total: Option<u64>,
+    started: bool,
+    start_at: SimTime,
+    completed_at: Option<SimTime>,
+    is_app_channel: bool,
+}
+
+impl Channel {
+    fn side_of(&self, vn: VnId) -> Option<Side> {
+        if vn == self.a {
+            Some(Side::A)
+        } else if vn == self.b {
+            Some(Side::B)
+        } else {
+            None
+        }
+    }
+}
+
+/// A UDP flow (paced datagram source plus receiver counters).
+struct UdpFlow {
+    src: VnId,
+    dst: VnId,
+    port: u16,
+    stream: UdpStream,
+    payload: u32,
+    received: u64,
+    bytes_received: u64,
+    sent: u64,
+}
+
+/// The simulation driver.
+pub struct Runner {
+    now: SimTime,
+    events: EventHeap<Event>,
+    emulator: MultiCoreEmulator,
+    binding: Binding,
+    tcp_config: TcpConfig,
+    channels: Vec<Channel>,
+    channel_by_key: HashMap<(VnId, VnId, u16), usize>,
+    app_channel_by_pair: HashMap<(VnId, VnId), usize>,
+    udp_flows: Vec<UdpFlow>,
+    udp_by_key: HashMap<(VnId, VnId, u16), usize>,
+    apps: HashMap<VnId, Box<dyn Application>>,
+    metrics: HashMap<&'static str, Cdf>,
+    next_port: u16,
+    next_packet_id: u64,
+    packets_submitted: u64,
+    packets_delivered: u64,
+    emu_wakeup_at: Option<SimTime>,
+    apps_started: bool,
+}
+
+impl Runner {
+    /// Creates a runner over an already-built emulator and binding.
+    /// Most users construct one through [`crate::Experiment`].
+    pub fn new(emulator: MultiCoreEmulator, binding: Binding, tcp_config: TcpConfig) -> Self {
+        Runner {
+            now: SimTime::ZERO,
+            events: EventHeap::new(),
+            emulator,
+            binding,
+            tcp_config,
+            channels: Vec::new(),
+            channel_by_key: HashMap::new(),
+            app_channel_by_pair: HashMap::new(),
+            udp_flows: Vec::new(),
+            udp_by_key: HashMap::new(),
+            apps: HashMap::new(),
+            metrics: HashMap::new(),
+            next_port: 10_000,
+            next_packet_id: 0,
+            packets_submitted: 0,
+            packets_delivered: 0,
+            emu_wakeup_at: None,
+            apps_started: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Setup API
+    // ------------------------------------------------------------------
+
+    /// The VNs available in this emulation, in binding order.
+    pub fn vn_ids(&self) -> Vec<VnId> {
+        self.binding.vns().collect()
+    }
+
+    /// The binding produced by the Bind phase.
+    pub fn binding(&self) -> &Binding {
+        &self.binding
+    }
+
+    /// The emulator (core statistics, accuracy logs, pipe counters).
+    pub fn emulator(&self) -> &MultiCoreEmulator {
+        &self.emulator
+    }
+
+    /// Mutable access to the emulator, used by dynamic network-change drivers
+    /// to adjust pipe parameters mid-run.
+    pub fn emulator_mut(&mut self) -> &mut MultiCoreEmulator {
+        &mut self.emulator
+    }
+
+    /// Installs an application instance on a VN. Applications receive
+    /// `on_start` when the run begins (or immediately, if it already has).
+    pub fn add_application(&mut self, vn: VnId, app: Box<dyn Application>) {
+        self.apps.insert(vn, app);
+        if self.apps_started {
+            self.start_app(vn);
+        }
+    }
+
+    /// Returns a typed view of the application bound to `vn`.
+    pub fn app_as<T: Any>(&self, vn: VnId) -> Option<&T> {
+        self.apps.get(&vn).and_then(|a| a.as_any().downcast_ref())
+    }
+
+    /// Creates a netperf-style TCP flow from `src` to `dst`. `size = None`
+    /// keeps transmitting for the whole run; `Some(size)` stops after exactly
+    /// that many bytes (Figure 9's fixed file transfers).
+    pub fn add_bulk_flow(
+        &mut self,
+        src: VnId,
+        dst: VnId,
+        size: Option<ByteSize>,
+        start: SimTime,
+    ) -> FlowId {
+        let port = self.alloc_port();
+        let ch = self.push_channel(src, dst, port, false);
+        let channel = &mut self.channels[ch];
+        channel.bulk_a = Some(match size {
+            Some(s) => BulkSender::fixed(s),
+            None => BulkSender::unbounded(),
+        });
+        channel.bulk_total = size.map(|s| s.as_bytes());
+        channel.start_at = start;
+        self.events.push(start, Event::FlowStart { ch });
+        FlowId(ch)
+    }
+
+    /// Creates a paced UDP flow from `src` to `dst`.
+    pub fn add_udp_flow(
+        &mut self,
+        src: VnId,
+        dst: VnId,
+        config: UdpStreamConfig,
+        start: SimTime,
+    ) -> UdpFlowId {
+        let port = self.alloc_port();
+        let payload = config.payload;
+        let flow = UdpFlow {
+            src,
+            dst,
+            port,
+            stream: UdpStream::new(config, start),
+            payload,
+            received: 0,
+            bytes_received: 0,
+            sent: 0,
+        };
+        let idx = self.udp_flows.len();
+        self.udp_by_key.insert((src, dst, port), idx);
+        self.udp_flows.push(flow);
+        self.events.push(start, Event::UdpPoll { flow: idx });
+        UdpFlowId(idx)
+    }
+
+    // ------------------------------------------------------------------
+    // Results API
+    // ------------------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Packets submitted to the emulated network so far.
+    pub fn packets_submitted(&self) -> u64 {
+        self.packets_submitted
+    }
+
+    /// Packets delivered by the emulated network so far.
+    pub fn packets_delivered(&self) -> u64 {
+        self.packets_delivered
+    }
+
+    /// Bytes acknowledged end-to-end on a TCP flow.
+    pub fn flow_bytes_acked(&self, flow: FlowId) -> u64 {
+        self.channels
+            .get(flow.0)
+            .map_or(0, |c| c.conn_a.bytes_acked())
+    }
+
+    /// Goodput of a TCP flow in kilobits/second, measured from its start time
+    /// to `now` (or to completion, for fixed transfers).
+    pub fn flow_goodput_kbps(&self, flow: FlowId) -> f64 {
+        let Some(c) = self.channels.get(flow.0) else {
+            return 0.0;
+        };
+        let end = c.completed_at.unwrap_or(self.now);
+        let elapsed = end.duration_since(c.start_at).as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            c.conn_a.bytes_acked() as f64 * 8.0 / elapsed / 1e3
+        }
+    }
+
+    /// Completion time of a fixed-size TCP flow, if it has finished.
+    pub fn flow_completed_at(&self, flow: FlowId) -> Option<SimTime> {
+        self.channels.get(flow.0).and_then(|c| c.completed_at)
+    }
+
+    /// Retransmissions suffered by a TCP flow's sender.
+    pub fn flow_retransmissions(&self, flow: FlowId) -> u64 {
+        self.channels
+            .get(flow.0)
+            .map_or(0, |c| c.conn_a.retransmissions())
+    }
+
+    /// Datagrams received and payload bytes received on a UDP flow.
+    pub fn udp_flow_received(&self, flow: UdpFlowId) -> (u64, u64) {
+        self.udp_flows
+            .get(flow.0)
+            .map_or((0, 0), |f| (f.received, f.bytes_received))
+    }
+
+    /// Datagrams sent on a UDP flow.
+    pub fn udp_flow_sent(&self, flow: UdpFlowId) -> u64 {
+        self.udp_flows.get(flow.0).map_or(0, |f| f.sent)
+    }
+
+    /// The samples recorded by applications under `metric`.
+    pub fn metric(&self, metric: &str) -> Option<&Cdf> {
+        self.metrics.get(metric)
+    }
+
+    /// Mutable access to a recorded metric (for quantile queries).
+    pub fn metric_mut(&mut self, metric: &str) -> Option<&mut Cdf> {
+        self.metrics.get_mut(metric)
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs the emulation until virtual time `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if !self.apps_started {
+            self.apps_started = true;
+            let vns: Vec<VnId> = self.apps.keys().copied().collect();
+            for vn in vns {
+                self.start_app(vn);
+            }
+        }
+        loop {
+            let Some(t) = self.events.peek_time() else {
+                break;
+            };
+            if t > deadline {
+                break;
+            }
+            let (t, event) = self.events.pop().expect("peeked event exists");
+            self.now = self.now.max(t);
+            self.handle_event(event);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs the emulation for `duration` of additional virtual time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::EmuWakeup => {
+                if self.emu_wakeup_at == Some(self.now) || self.emu_wakeup_at.is_none() {
+                    self.emu_wakeup_at = None;
+                }
+                self.drain_emulator();
+            }
+            Event::ChannelTimer { ch, side } => self.handle_channel_timer(ch, side),
+            Event::AppTimer { vn, token } => {
+                let now = self.now;
+                if let Some(app) = self.apps.get_mut(&vn) {
+                    let mut ctx = AppCtx::new(vn, now);
+                    app.on_timer(&mut ctx, token);
+                    let actions = ctx.into_actions();
+                    self.process_app_actions(vn, actions);
+                }
+            }
+            Event::UdpPoll { flow } => self.handle_udp_poll(flow),
+            Event::FlowStart { ch } => {
+                self.channels[ch].started = true;
+                self.pump_channel(ch);
+            }
+        }
+    }
+
+    fn start_app(&mut self, vn: VnId) {
+        let now = self.now;
+        if let Some(app) = self.apps.get_mut(&vn) {
+            let mut ctx = AppCtx::new(vn, now);
+            app.on_start(&mut ctx);
+            let actions = ctx.into_actions();
+            self.process_app_actions(vn, actions);
+        }
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = self.next_port.wrapping_add(1).max(10_000);
+        p
+    }
+
+    fn push_channel(&mut self, a: VnId, b: VnId, port: u16, is_app: bool) -> usize {
+        let idx = self.channels.len();
+        self.channels.push(Channel {
+            a,
+            b,
+            port,
+            conn_a: TcpConnection::client(self.tcp_config),
+            conn_b: TcpConnection::server(self.tcp_config),
+            a_to_b: DirState::default(),
+            b_to_a: DirState::default(),
+            bulk_a: None,
+            bulk_total: None,
+            started: is_app,
+            start_at: self.now,
+            completed_at: None,
+            is_app_channel: is_app,
+        });
+        self.channel_by_key.insert((a, b, port), idx);
+        self.channel_by_key.insert((b, a, port), idx);
+        if is_app {
+            self.app_channel_by_pair.insert((a, b), idx);
+            self.app_channel_by_pair.insert((b, a), idx);
+        }
+        idx
+    }
+
+    /// Finds (or creates and starts) the application channel between two VNs.
+    fn app_channel(&mut self, from: VnId, to: VnId) -> usize {
+        if let Some(&idx) = self.app_channel_by_pair.get(&(from, to)) {
+            return idx;
+        }
+        let port = self.alloc_port();
+        let idx = self.push_channel(from, to, port, true);
+        self.pump_channel(idx);
+        idx
+    }
+
+    fn schedule_emu_wakeup(&mut self) {
+        if let Some(t) = self.emulator.next_wakeup() {
+            let t = t.max(self.now);
+            let need = match self.emu_wakeup_at {
+                Some(existing) => t < existing || existing < self.now,
+                None => true,
+            };
+            if need {
+                self.emu_wakeup_at = Some(t);
+                self.events.push(t, Event::EmuWakeup);
+            }
+        }
+    }
+
+    fn submit_packet(&mut self, packet: Packet) {
+        self.packets_submitted += 1;
+        match self.emulator.submit(self.now, packet) {
+            SubmitOutcome::Accepted
+            | SubmitOutcome::VirtualDrop
+            | SubmitOutcome::PhysicalDrop => {}
+            SubmitOutcome::NoRoute => {
+                // Silently dropped: the destination is unreachable (e.g. a
+                // partitioned topology under fault injection).
+            }
+        }
+        self.schedule_emu_wakeup();
+    }
+
+    fn build_tcp_packet(&mut self, src: VnId, dst: VnId, port: u16, seg: &SegmentToSend) -> Packet {
+        let id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        Packet::new(
+            id,
+            FlowKey {
+                src,
+                dst,
+                src_port: port,
+                dst_port: port,
+                protocol: Protocol::Tcp,
+            },
+            TransportHeader::Tcp {
+                seq: seg.seq,
+                ack: seg.ack,
+                payload_len: seg.payload_len,
+                flags: seg.flags,
+                window: seg.window,
+            },
+            self.now,
+        )
+    }
+
+    /// Polls both endpoints of a channel for outgoing segments, submits them,
+    /// and refreshes the endpoint timers.
+    fn pump_channel(&mut self, ch: usize) {
+        if !self.channels[ch].started {
+            return;
+        }
+        let now = self.now;
+        // Top up the bulk generator.
+        {
+            let channel = &mut self.channels[ch];
+            if let Some(bulk) = channel.bulk_a.as_mut() {
+                bulk.pump(now, &mut channel.conn_a);
+            }
+        }
+        for side in [Side::A, Side::B] {
+            let (src, dst, port, segs) = {
+                let channel = &mut self.channels[ch];
+                let (conn, src, dst) = match side {
+                    Side::A => (&mut channel.conn_a, channel.a, channel.b),
+                    Side::B => (&mut channel.conn_b, channel.b, channel.a),
+                };
+                (src, dst, channel.port, conn.poll_send(now))
+            };
+            for seg in &segs {
+                let packet = self.build_tcp_packet(src, dst, port, seg);
+                self.submit_packet(packet);
+            }
+            self.refresh_channel_timer(ch, side);
+        }
+    }
+
+    fn refresh_channel_timer(&mut self, ch: usize, side: Side) {
+        let deadline = {
+            let channel = &self.channels[ch];
+            let conn = match side {
+                Side::A => &channel.conn_a,
+                Side::B => &channel.conn_b,
+            };
+            conn.next_timer()
+        };
+        if let Some(t) = deadline {
+            self.events.push(t.max(self.now), Event::ChannelTimer { ch, side });
+        }
+    }
+
+    fn handle_channel_timer(&mut self, ch: usize, side: Side) {
+        let now = self.now;
+        let due = {
+            let channel = &self.channels[ch];
+            let conn = match side {
+                Side::A => &channel.conn_a,
+                Side::B => &channel.conn_b,
+            };
+            conn.next_timer().is_some_and(|t| t <= now)
+        };
+        if due {
+            {
+                let channel = &mut self.channels[ch];
+                let conn = match side {
+                    Side::A => &mut channel.conn_a,
+                    Side::B => &mut channel.conn_b,
+                };
+                conn.on_timer(now);
+            }
+            self.pump_channel(ch);
+        } else {
+            // Stale event: re-arm for the real deadline, if any.
+            self.refresh_channel_timer(ch, side);
+        }
+    }
+
+    fn handle_udp_poll(&mut self, flow: usize) {
+        let now = self.now;
+        let (src, dst, port, payload, seqs, next) = {
+            let f = &mut self.udp_flows[flow];
+            let seqs = f.stream.poll(now);
+            f.sent += seqs.len() as u64;
+            (f.src, f.dst, f.port, f.payload, seqs, f.stream.next_send_time())
+        };
+        for seq in seqs {
+            let id = PacketId(self.next_packet_id);
+            self.next_packet_id += 1;
+            let packet = Packet::new(
+                id,
+                FlowKey {
+                    src,
+                    dst,
+                    src_port: port,
+                    dst_port: port,
+                    protocol: Protocol::Udp,
+                },
+                TransportHeader::Udp {
+                    payload_len: payload,
+                    seq,
+                },
+                now,
+            );
+            self.submit_packet(packet);
+        }
+        if let Some(t) = next {
+            self.events.push(t, Event::UdpPoll { flow });
+        }
+    }
+
+    fn drain_emulator(&mut self) {
+        let deliveries = self.emulator.advance(self.now);
+        for delivery in deliveries {
+            self.handle_delivery(delivery);
+        }
+        self.schedule_emu_wakeup();
+    }
+
+    fn handle_delivery(&mut self, delivery: Delivery) {
+        self.packets_delivered += 1;
+        let packet = delivery.packet;
+        let key = (packet.flow.src, packet.flow.dst, packet.flow.src_port);
+        match packet.flow.protocol {
+            Protocol::Udp => {
+                if let Some(&idx) = self.udp_by_key.get(&key) {
+                    let f = &mut self.udp_flows[idx];
+                    f.received += 1;
+                    f.bytes_received += packet.header.payload_len() as u64;
+                }
+            }
+            Protocol::Tcp => {
+                let Some(&ch) = self.channel_by_key.get(&key) else {
+                    return;
+                };
+                let TransportHeader::Tcp {
+                    seq,
+                    ack,
+                    payload_len,
+                    flags,
+                    window,
+                } = packet.header
+                else {
+                    return;
+                };
+                // The receiving endpoint is the one bound to the packet's
+                // destination VN.
+                let receiver_side = self.channels[ch]
+                    .side_of(packet.flow.dst)
+                    .expect("delivery matches a channel endpoint");
+                let now = self.now;
+                let event = {
+                    let channel = &mut self.channels[ch];
+                    let conn = match receiver_side {
+                        Side::A => &mut channel.conn_a,
+                        Side::B => &mut channel.conn_b,
+                    };
+                    conn.on_segment(now, seq, payload_len, ack, flags, window)
+                };
+                // Dispatch any application messages this delivery completed.
+                if self.channels[ch].is_app_channel && event.delivered_upto > 0 {
+                    self.dispatch_messages(ch, receiver_side, event.delivered_upto);
+                }
+                // Completion detection for fixed-size bulk transfers.
+                {
+                    let channel = &mut self.channels[ch];
+                    if let Some(total) = channel.bulk_total {
+                        if channel.completed_at.is_none() && channel.conn_a.bytes_acked() >= total {
+                            channel.completed_at = Some(now);
+                        }
+                    }
+                }
+                self.pump_channel(ch);
+            }
+        }
+    }
+
+    /// Hands the receiver application every message whose stream frame has
+    /// been fully delivered.
+    fn dispatch_messages(&mut self, ch: usize, receiver_side: Side, delivered_upto: u64) {
+        loop {
+            let (from, to, message) = {
+                let channel = &mut self.channels[ch];
+                let (dir, from, to) = match receiver_side {
+                    // Receiver is B: messages travel A -> B.
+                    Side::B => (&mut channel.a_to_b, channel.a, channel.b),
+                    Side::A => (&mut channel.b_to_a, channel.b, channel.a),
+                };
+                if dir
+                    .outbox
+                    .front()
+                    .is_some_and(|(end, _)| *end <= delivered_upto)
+                {
+                    let (end, msg) = dir.outbox.pop_front().expect("front exists");
+                    dir.dispatched = end;
+                    (from, to, msg)
+                } else {
+                    break;
+                }
+            };
+            let now = self.now;
+            if let Some(app) = self.apps.get_mut(&to) {
+                let mut ctx = AppCtx::new(to, now);
+                app.on_message(&mut ctx, from, message);
+                let actions = ctx.into_actions();
+                self.process_app_actions(to, actions);
+            }
+        }
+    }
+
+    fn process_app_actions(&mut self, vn: VnId, actions: Vec<AppAction>) {
+        for action in actions {
+            match action {
+                AppAction::Send { to, message } => {
+                    let ch = self.app_channel(vn, to);
+                    {
+                        let channel = &mut self.channels[ch];
+                        let side = channel.side_of(vn).expect("sender is an endpoint");
+                        let (dir, conn) = match side {
+                            Side::A => (&mut channel.a_to_b, &mut channel.conn_a),
+                            Side::B => (&mut channel.b_to_a, &mut channel.conn_b),
+                        };
+                        let size = message.wire_size.max(1) as u64;
+                        dir.written += size;
+                        dir.outbox.push_back((dir.written, message));
+                        conn.write(size);
+                    }
+                    self.pump_channel(ch);
+                }
+                AppAction::SetTimer { delay, token } => {
+                    self.events.push(self.now + delay, Event::AppTimer { vn, token });
+                }
+                AppAction::Record { metric, value } => {
+                    self.metrics.entry(metric).or_default().add(value);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use mn_distill::DistillationMode;
+    use mn_topology::generators::{dumbbell_topology, star_topology, DumbbellParams, StarParams};
+
+    fn star_runner(clients: usize) -> Runner {
+        let topo = star_topology(&StarParams {
+            clients,
+            ..StarParams::default()
+        });
+        Experiment::new(topo)
+            .distillation(DistillationMode::HopByHop)
+            .cores(1)
+            .edge_nodes(2)
+            .unconstrained_hardware()
+            .seed(11)
+            .build()
+            .expect("experiment builds")
+    }
+
+    #[test]
+    fn bulk_flow_completes_and_reports_goodput() {
+        let mut runner = star_runner(4);
+        let vns = runner.vn_ids();
+        let flow = runner.add_bulk_flow(vns[0], vns[1], Some(ByteSize::from_kb(256)), SimTime::ZERO);
+        runner.run_for(SimDuration::from_secs(10));
+        let done = runner.flow_completed_at(flow).expect("transfer finishes");
+        assert!(done > SimTime::ZERO);
+        assert_eq!(runner.flow_bytes_acked(flow), 256 * 1024);
+        // 10 Mb/s spokes: the transfer takes at least 256KB*8/10Mb/s ≈ 0.2 s.
+        assert!(done >= SimTime::from_millis(200), "done at {done}");
+        let goodput = runner.flow_goodput_kbps(flow);
+        assert!(goodput > 1_000.0 && goodput < 10_000.0, "goodput {goodput} kbps");
+    }
+
+    #[test]
+    fn unbounded_flow_saturates_its_bottleneck() {
+        let mut runner = star_runner(4);
+        let vns = runner.vn_ids();
+        let flow = runner.add_bulk_flow(vns[0], vns[1], None, SimTime::ZERO);
+        runner.run_for(SimDuration::from_secs(5));
+        let goodput = runner.flow_goodput_kbps(flow);
+        // Two 10 Mb/s spokes in series: steady state close to 10 Mb/s minus
+        // header overhead and slow-start warm-up.
+        assert!(
+            goodput > 7_000.0 && goodput < 10_000.0,
+            "goodput {goodput} kbps should approach the 10 Mb/s spoke rate"
+        );
+        assert!(runner.flow_completed_at(flow).is_none());
+    }
+
+    #[test]
+    fn competing_flows_share_a_bottleneck_fairly() {
+        let (topo, left, right) = dumbbell_topology(&DumbbellParams {
+            clients_per_side: 4,
+            ..DumbbellParams::default()
+        });
+        let mut runner = Experiment::new(topo)
+            .distillation(DistillationMode::HopByHop)
+            .cores(1)
+            .edge_nodes(2)
+            .unconstrained_hardware()
+            .seed(3)
+            .build()
+            .unwrap();
+        let binding = runner.binding().clone();
+        let mut flows = Vec::new();
+        for i in 0..4 {
+            let src = binding.vn_at(left[i]).unwrap();
+            let dst = binding.vn_at(right[i]).unwrap();
+            flows.push(runner.add_bulk_flow(src, dst, None, SimTime::ZERO));
+        }
+        runner.run_for(SimDuration::from_secs(12));
+        let rates: Vec<f64> = flows.iter().map(|&f| runner.flow_goodput_kbps(f)).collect();
+        let total: f64 = rates.iter().sum();
+        // The 10 Mb/s bottleneck is shared: aggregate close to 10 Mb/s…
+        assert!(
+            total > 6_500.0 && total < 10_500.0,
+            "aggregate {total} kbps across the 10 Mb/s bottleneck"
+        );
+        // …and no flow starves.
+        for (i, r) in rates.iter().enumerate() {
+            assert!(*r > 500.0, "flow {i} got only {r} kbps: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn udp_flow_counts_sent_and_received() {
+        let mut runner = star_runner(4);
+        let vns = runner.vn_ids();
+        let flow = runner.add_udp_flow(
+            vns[2],
+            vns[3],
+            UdpStreamConfig {
+                payload: 1000,
+                rate: mn_util::DataRate::from_mbps(2),
+                max_datagrams: Some(200),
+            },
+            SimTime::ZERO,
+        );
+        runner.run_for(SimDuration::from_secs(5));
+        assert_eq!(runner.udp_flow_sent(flow), 200);
+        let (received, bytes) = runner.udp_flow_received(flow);
+        // 2 Mb/s offered into 10 Mb/s spokes: nothing should be lost.
+        assert_eq!(received, 200);
+        assert_eq!(bytes, 200 * 1000);
+    }
+
+    #[test]
+    fn udp_overload_loses_datagrams_to_the_first_hop() {
+        let mut runner = star_runner(4);
+        let vns = runner.vn_ids();
+        // 40 Mb/s offered into a 10 Mb/s spoke (the §2.3 scenario).
+        let flow = runner.add_udp_flow(
+            vns[0],
+            vns[1],
+            UdpStreamConfig {
+                payload: 1472,
+                rate: mn_util::DataRate::from_mbps(40),
+                max_datagrams: Some(2000),
+            },
+            SimTime::ZERO,
+        );
+        runner.run_for(SimDuration::from_secs(5));
+        let (received, _) = runner.udp_flow_received(flow);
+        assert_eq!(runner.udp_flow_sent(flow), 2000);
+        assert!(
+            received < 1500,
+            "most of a 4x-overload should be dropped, received {received}"
+        );
+        assert!(received > 300, "the 10 Mb/s share should still get through");
+    }
+
+    struct PingPong {
+        peer: VnId,
+        initiator: bool,
+        rounds: u32,
+        completed: Vec<f64>,
+        outstanding_since: Option<SimTime>,
+    }
+
+    impl Application for PingPong {
+        fn on_start(&mut self, ctx: &mut AppCtx) {
+            if self.initiator {
+                self.outstanding_since = Some(ctx.now());
+                ctx.send(self.peer, Message::new(200, "ping".to_string()));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut AppCtx, from: VnId, message: Message) {
+            let text = message.body_as::<String>().cloned().unwrap_or_default();
+            if text == "ping" {
+                ctx.send(from, Message::new(200, "pong".to_string()));
+            } else if text == "pong" {
+                if let Some(t0) = self.outstanding_since.take() {
+                    let rtt_ms = (ctx.now() - t0).as_millis_f64();
+                    self.completed.push(rtt_ms);
+                    ctx.record("rtt_ms", rtt_ms);
+                }
+                if (self.completed.len() as u32) < self.rounds {
+                    self.outstanding_since = Some(ctx.now());
+                    ctx.send(from, Message::new(200, "ping".to_string()));
+                }
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut AppCtx, _token: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn applications_exchange_messages_with_emulated_latency() {
+        let mut runner = star_runner(4);
+        let vns = runner.vn_ids();
+        runner.add_application(
+            vns[0],
+            Box::new(PingPong {
+                peer: vns[1],
+                initiator: true,
+                rounds: 5,
+                completed: vec![],
+                outstanding_since: None,
+            }),
+        );
+        runner.add_application(
+            vns[1],
+            Box::new(PingPong {
+                peer: vns[0],
+                initiator: false,
+                rounds: 0,
+                completed: vec![],
+                outstanding_since: None,
+            }),
+        );
+        runner.run_for(SimDuration::from_secs(10));
+        let app = runner.app_as::<PingPong>(vns[0]).unwrap();
+        assert_eq!(app.completed.len(), 5);
+        // Star spokes are 5 ms each: a round trip crosses 4 spokes ≥ 20 ms.
+        for rtt in &app.completed {
+            assert!(*rtt >= 20.0, "RTT {rtt} ms below the propagation floor");
+            assert!(*rtt < 200.0, "RTT {rtt} ms unreasonably high");
+        }
+        // The recorded metric matches the app's own view.
+        let metric = runner.metric("rtt_ms").unwrap();
+        assert_eq!(metric.len(), 5);
+    }
+
+    #[test]
+    fn emulator_counters_match_runner_counters() {
+        let mut runner = star_runner(4);
+        let vns = runner.vn_ids();
+        runner.add_bulk_flow(vns[0], vns[1], Some(ByteSize::from_kb(64)), SimTime::ZERO);
+        runner.run_for(SimDuration::from_secs(5));
+        let stats = runner.emulator().total_stats();
+        assert!(stats.packets_delivered > 0);
+        assert_eq!(stats.physical_drops(), 0);
+        assert!(runner.packets_submitted() >= stats.packets_admitted);
+        assert_eq!(runner.packets_delivered(), stats.packets_delivered);
+    }
+}

@@ -1,0 +1,500 @@
+//! The distillation algorithms (§4.1 of the paper).
+//!
+//! All modes consume an annotated [`Topology`] and produce a
+//! [`DistilledTopology`]. Path collapsing always follows the latency-shortest
+//! path in the original topology: the collapsed pipe's bandwidth is the
+//! minimum link bandwidth along that path, its latency the sum of link
+//! latencies, and its reliability the product of link reliabilities.
+
+use std::collections::BTreeSet;
+
+use mn_topology::{NodeId, Topology};
+
+use crate::pipe_graph::{DistilledTopology, PipeAttrs};
+
+/// The point on the accuracy-versus-scalability continuum to distil to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistillationMode {
+    /// Emulate every link of the target network.
+    HopByHop,
+    /// Collapse every VN pair's path into one pipe (O(n²) pipes, single-hop
+    /// routes, no interior contention).
+    EndToEnd,
+    /// Preserve the first `walk_in` frontier links from the edges and replace
+    /// the interior with a full mesh of collapsed pipes. `walk_in = 1` is the
+    /// paper's "last-mile" distillation.
+    WalkIn {
+        /// Number of frontier sets (counting the VNs as the first) whose
+        /// incident links are preserved.
+        walk_in: usize,
+    },
+    /// Like [`DistillationMode::WalkIn`] but additionally preserves the links
+    /// of the innermost `walk_out` frontier sets around the topological
+    /// centre, to model an under-provisioned core.
+    WalkInOut {
+        /// Frontier sets preserved from the edges.
+        walk_in: usize,
+        /// Frontier sets preserved around the topological centre.
+        walk_out: usize,
+    },
+}
+
+impl DistillationMode {
+    /// The paper's "last-mile" configuration (`walk_in = 1`).
+    pub const LAST_MILE: DistillationMode = DistillationMode::WalkIn { walk_in: 1 };
+}
+
+/// Computes the breadth-first frontier sets of the topology.
+///
+/// The first frontier set is the set of all VNs (client nodes); members of
+/// the `i+1`-th set are nodes one hop from the `i`-th set that are not
+/// members of any preceding set. Returns for every node its 1-based frontier
+/// index, or `None` for nodes unreachable from any VN.
+pub fn frontier_sets(topo: &Topology) -> Vec<Option<usize>> {
+    let mut level: Vec<Option<usize>> = vec![None; topo.node_count()];
+    let mut current: Vec<NodeId> = topo.client_nodes().collect();
+    for &vn in &current {
+        level[vn.index()] = Some(1);
+    }
+    let mut depth = 1;
+    while !current.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &current {
+            for (v, _) in topo.neighbors(u) {
+                if level[v.index()].is_none() {
+                    level[v.index()] = Some(depth);
+                    next.push(v);
+                }
+            }
+        }
+        current = next;
+    }
+    level
+}
+
+/// Collapses the latency-shortest paths from `source` to every other node in
+/// one Dijkstra pass, accumulating bottleneck bandwidth, total latency,
+/// path reliability and bottleneck queue along the way.
+///
+/// Returns one entry per node: `None` for unreachable nodes and for the
+/// source itself.
+fn collapse_from_source(topo: &Topology, source: NodeId) -> Vec<Option<PipeAttrs>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = topo.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut attrs: Vec<Option<PipeAttrs>> = vec![None; n];
+    if source.index() >= n {
+        return attrs;
+    }
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0;
+    heap.push(Reverse((0u64, source)));
+    // Reliability is tracked separately so it can be multiplied along the
+    // chosen predecessor path.
+    let mut reliability = vec![1.0f64; n];
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for (v, link_id) in topo.neighbors(u) {
+            let link = topo.link(link_id).expect("link exists");
+            let cost = link.attrs.latency.as_nanos() + 1;
+            let nd = d.saturating_add(cost);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                let (base_bw, base_lat, base_queue) = match &attrs[u.index()] {
+                    Some(a) => (a.bandwidth, a.latency, a.queue_len),
+                    None => (
+                        mn_util::DataRate::from_bps(u64::MAX),
+                        mn_util::SimDuration::ZERO,
+                        usize::MAX,
+                    ),
+                };
+                let rel = reliability[u.index()] * link.attrs.reliability();
+                reliability[v.index()] = rel;
+                attrs[v.index()] = Some(PipeAttrs {
+                    bandwidth: base_bw.min(link.attrs.bandwidth),
+                    latency: base_lat + link.attrs.latency,
+                    loss_rate: 1.0 - rel,
+                    queue_len: base_queue.min(link.attrs.queue_len).max(1),
+                });
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    attrs
+}
+
+/// Distils `topo` according to `mode`.
+///
+/// # Examples
+///
+/// ```
+/// use mn_distill::{distill, DistillationMode};
+/// use mn_topology::generators::{ring_topology, RingParams};
+///
+/// let topo = ring_topology(&RingParams::default());
+/// let hop_by_hop = distill(&topo, DistillationMode::HopByHop);
+/// let last_mile = distill(&topo, DistillationMode::LAST_MILE);
+/// let end_to_end = distill(&topo, DistillationMode::EndToEnd);
+/// // 420 links, 400 access links + 190 mesh pipes, 79,800 VN pairs.
+/// assert_eq!(hop_by_hop.undirected_pipe_count(), 420);
+/// assert_eq!(last_mile.undirected_pipe_count(), 590);
+/// assert_eq!(end_to_end.undirected_pipe_count(), 79_800);
+/// ```
+pub fn distill(topo: &Topology, mode: DistillationMode) -> DistilledTopology {
+    match mode {
+        DistillationMode::HopByHop => distill_hop_by_hop(topo),
+        DistillationMode::EndToEnd => distill_end_to_end(topo),
+        DistillationMode::WalkIn { walk_in } => distill_walk(topo, walk_in, None),
+        DistillationMode::WalkInOut { walk_in, walk_out } => {
+            distill_walk(topo, walk_in, Some(walk_out))
+        }
+    }
+}
+
+fn vn_list(topo: &Topology) -> Vec<NodeId> {
+    topo.client_nodes().collect()
+}
+
+fn distill_hop_by_hop(topo: &Topology) -> DistilledTopology {
+    let vns = vn_list(topo);
+    let mut out = DistilledTopology::new(topo.node_count(), vns, topo.hop_diameter());
+    for (_, link) in topo.links() {
+        out.add_duplex(link.a, link.b, link.attrs.into());
+    }
+    out
+}
+
+fn distill_end_to_end(topo: &Topology) -> DistilledTopology {
+    let vns = vn_list(topo);
+    let mut out = DistilledTopology::new(topo.node_count(), vns.clone(), 1);
+    for (i, &a) in vns.iter().enumerate() {
+        let collapsed = collapse_from_source(topo, a);
+        for &b in vns.iter().skip(i + 1) {
+            if let Some(attrs) = collapsed[b.index()] {
+                out.add_duplex(a, b, attrs);
+            }
+        }
+    }
+    out
+}
+
+fn distill_walk(topo: &Topology, walk_in: usize, walk_out: Option<usize>) -> DistilledTopology {
+    let walk_in = walk_in.max(1);
+    let vns = vn_list(topo);
+    let levels = frontier_sets(topo);
+
+    // Edge region: nodes whose frontier index is within the walk-in.
+    let in_edge_region =
+        |n: NodeId| -> bool { matches!(levels[n.index()], Some(l) if l <= walk_in) };
+
+    // Core region (walk-out): frontier sets c-walk_out..=c where c is the
+    // deepest frontier (the paper stops at the first frontier of size <= 1,
+    // which is also the deepest non-empty one for connected topologies).
+    let mut core: BTreeSet<NodeId> = BTreeSet::new();
+    if let Some(walk_out) = walk_out {
+        let c = levels.iter().flatten().copied().max().unwrap_or(0);
+        if c > walk_in {
+            let lo = c.saturating_sub(walk_out).max(walk_in + 1);
+            for (i, level) in levels.iter().enumerate() {
+                if let Some(l) = level {
+                    if *l >= lo && *l <= c {
+                        core.insert(NodeId(i));
+                    }
+                }
+            }
+        }
+    }
+
+    // Interior nodes: beyond the walk-in region and not preserved as core.
+    let interior: Vec<NodeId> = topo
+        .node_ids()
+        .filter(|&n| levels[n.index()].is_some() && !in_edge_region(n) && !core.contains(&n))
+        .collect();
+
+    let route_bound = 2 * walk_in + 1 + if core.is_empty() { 0 } else { core.len() };
+    let mut out = DistilledTopology::new(topo.node_count(), vns, route_bound);
+
+    // Preserve links incident to the edge region and links internal to the
+    // preserved core.
+    for (_, link) in topo.links() {
+        let touches_edge = in_edge_region(link.a) || in_edge_region(link.b);
+        let inside_core = core.contains(&link.a) && core.contains(&link.b);
+        if touches_edge || inside_core {
+            out.add_duplex(link.a, link.b, link.attrs.into());
+        }
+    }
+
+    // Mesh over the interior (plus, when a core is preserved, its boundary so
+    // the mesh attaches to it).
+    let mut mesh_nodes: Vec<NodeId> = interior;
+    if !core.is_empty() {
+        for &c in &core {
+            let boundary = topo
+                .neighbors(c)
+                .any(|(v, _)| !core.contains(&v) && !in_edge_region(v));
+            if boundary {
+                mesh_nodes.push(c);
+            }
+        }
+    }
+    mesh_nodes.sort();
+    mesh_nodes.dedup();
+
+    for (i, &a) in mesh_nodes.iter().enumerate() {
+        let collapsed = collapse_from_source(topo, a);
+        for &b in mesh_nodes.iter().skip(i + 1) {
+            // Skip pairs already joined by a preserved core link.
+            if core.contains(&a) && core.contains(&b) {
+                continue;
+            }
+            if let Some(attrs) = collapsed[b.index()] {
+                out.add_duplex(a, b, attrs);
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_topology::generators::{
+        dumbbell_topology, ring_topology, star_topology, DumbbellParams, RingParams, StarParams,
+    };
+    use mn_topology::{LinkAttrs, NodeKind};
+    use mn_util::{DataRate, SimDuration};
+
+    fn small_ring() -> Topology {
+        ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 2,
+            ..RingParams::default()
+        })
+    }
+
+    #[test]
+    fn frontier_sets_of_ring() {
+        let topo = small_ring();
+        let levels = frontier_sets(&topo);
+        for vn in topo.client_nodes() {
+            assert_eq!(levels[vn.index()], Some(1));
+        }
+        for (id, node) in topo.nodes() {
+            if node.kind == NodeKind::Transit {
+                assert_eq!(levels[id.index()], Some(2), "routers are one hop from VNs");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_sets_mark_unreachable_nodes_none() {
+        let mut topo = small_ring();
+        let orphan = topo.add_node(NodeKind::Stub);
+        let levels = frontier_sets(&topo);
+        assert_eq!(levels[orphan.index()], None);
+    }
+
+    #[test]
+    fn hop_by_hop_is_isomorphic() {
+        let topo = small_ring();
+        let d = distill(&topo, DistillationMode::HopByHop);
+        assert_eq!(d.undirected_pipe_count(), topo.link_count());
+        assert_eq!(d.pipe_count(), 2 * topo.link_count());
+        assert_eq!(d.vns().len(), topo.client_count());
+        // Every pipe's attributes match its source link.
+        for (_, pipe) in d.pipes() {
+            assert!(pipe.attrs.bandwidth >= DataRate::from_mbps(2));
+        }
+    }
+
+    #[test]
+    fn end_to_end_is_full_mesh_over_vns() {
+        let topo = small_ring();
+        let n = topo.client_count();
+        let d = distill(&topo, DistillationMode::EndToEnd);
+        assert_eq!(d.undirected_pipe_count(), n * (n - 1) / 2);
+        assert_eq!(d.max_route_pipes(), 1);
+        // All pipes connect VN pairs directly.
+        for (_, pipe) in d.pipes() {
+            assert!(d.vns().contains(&pipe.src));
+            assert!(d.vns().contains(&pipe.dst));
+        }
+    }
+
+    #[test]
+    fn end_to_end_collapse_attrs() {
+        // Two clients joined through one router over asymmetric-quality links.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let r = topo.add_node(NodeKind::Stub);
+        let b = topo.add_node(NodeKind::Client);
+        topo.add_link(
+            a,
+            r,
+            LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(3)).with_loss(0.1),
+        )
+        .unwrap();
+        topo.add_link(
+            r,
+            b,
+            LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(7)).with_loss(0.2),
+        )
+        .unwrap();
+        let d = distill(&topo, DistillationMode::EndToEnd);
+        assert_eq!(d.undirected_pipe_count(), 1);
+        let (_, pipe) = d.pipes().next().unwrap();
+        assert_eq!(pipe.attrs.bandwidth, DataRate::from_mbps(2));
+        assert_eq!(pipe.attrs.latency, SimDuration::from_millis(10));
+        assert!((pipe.attrs.loss_rate - (1.0 - 0.9 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_ring_pipe_counts() {
+        // The distillation experiment: 20 routers at 20 Mb/s, 20 VNs each.
+        let topo = ring_topology(&RingParams::default());
+        let hop = distill(&topo, DistillationMode::HopByHop);
+        let last_mile = distill(&topo, DistillationMode::LAST_MILE);
+        let e2e = distill(&topo, DistillationMode::EndToEnd);
+        assert_eq!(hop.undirected_pipe_count(), 420);
+        // 400 preserved access links + C(20,2) = 190 mesh pipes.
+        assert_eq!(last_mile.undirected_pipe_count(), 590);
+        // One pipe per VN pair: C(400,2) = 79,800.
+        assert_eq!(e2e.undirected_pipe_count(), 79_800);
+        assert_eq!(last_mile.max_route_pipes(), 3);
+    }
+
+    #[test]
+    fn last_mile_mesh_collapses_ring_bandwidth() {
+        let topo = ring_topology(&RingParams::default());
+        let last_mile = distill(&topo, DistillationMode::LAST_MILE);
+        // Mesh pipes (router-to-router) carry the ring bandwidth of 20 Mb/s;
+        // access pipes carry 2 Mb/s.
+        let mut mesh = 0;
+        let mut access = 0;
+        for (_, pipe) in last_mile.pipes() {
+            if pipe.attrs.bandwidth == DataRate::from_mbps(20) {
+                mesh += 1;
+            } else if pipe.attrs.bandwidth == DataRate::from_mbps(2) {
+                access += 1;
+            } else {
+                panic!("unexpected pipe bandwidth {}", pipe.attrs.bandwidth);
+            }
+        }
+        assert_eq!(mesh, 190 * 2);
+        assert_eq!(access, 400 * 2);
+    }
+
+    #[test]
+    fn walk_in_2_preserves_more_than_last_mile() {
+        let (topo, _, _) = dumbbell_topology(&DumbbellParams::default());
+        let w1 = distill(&topo, DistillationMode::WalkIn { walk_in: 1 });
+        let w2 = distill(&topo, DistillationMode::WalkIn { walk_in: 2 });
+        let hop = distill(&topo, DistillationMode::HopByHop);
+        // Dumbbell: interior is just the two routers, so walk-in 2 covers the
+        // whole topology and equals hop-by-hop.
+        assert_eq!(w2.undirected_pipe_count(), hop.undirected_pipe_count());
+        assert!(w1.undirected_pipe_count() <= w2.undirected_pipe_count());
+    }
+
+    #[test]
+    fn walk_in_star_preserves_everything() {
+        // In a star all routers are one hop from VNs, so last-mile keeps all
+        // spokes and there is no interior to mesh.
+        let topo = star_topology(&StarParams {
+            clients: 10,
+            ..StarParams::default()
+        });
+        let lm = distill(&topo, DistillationMode::LAST_MILE);
+        assert_eq!(lm.undirected_pipe_count(), 10);
+    }
+
+    #[test]
+    fn walk_in_out_preserves_core_links() {
+        // A long chain: VN - s1 - s2 - s3 - s4 - s5 - VN. The centre frontier
+        // should be preserved with walk-out.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let stubs: Vec<NodeId> = (0..5).map(|_| topo.add_node(NodeKind::Stub)).collect();
+        let b = topo.add_node(NodeKind::Client);
+        let attrs = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+        topo.add_link(a, stubs[0], attrs).unwrap();
+        for w in stubs.windows(2) {
+            topo.add_link(w[0], w[1], attrs).unwrap();
+        }
+        topo.add_link(stubs[4], b, attrs).unwrap();
+
+        let walk_only = distill(&topo, DistillationMode::WalkIn { walk_in: 1 });
+        let with_core = distill(
+            &topo,
+            DistillationMode::WalkInOut {
+                walk_in: 1,
+                walk_out: 1,
+            },
+        );
+        // Frontiers: {a,b}=1, {s1,s5}=2, {s2,s4}=3, {s3}=4. With walk_in=1 and
+        // walk_out=1 the core is {s2,s3,s4}; its internal links are preserved
+        // and s3 (not a core-boundary node) stays out of the mesh. Without the
+        // core, s3 is an interior mesh node and gets collapsed pipes to every
+        // other interior node.
+        let s1 = stubs[0];
+        let s2 = stubs[1];
+        let s3 = stubs[2];
+        assert!(walk_only.find_pipe(s1, s3).is_some());
+        assert!(with_core.find_pipe(s1, s3).is_none());
+        // The preserved core link s2-s3 appears with its original one-hop
+        // latency.
+        let core_pipe = with_core.find_pipe(s2, s3).expect("core link preserved");
+        assert_eq!(
+            with_core.pipe(core_pipe).attrs.latency,
+            SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn distilled_graphs_connect_all_vn_pairs() {
+        // Reachability check: in each mode, every VN can reach every other VN
+        // by following pipes.
+        let topo = small_ring();
+        for mode in [
+            DistillationMode::HopByHop,
+            DistillationMode::LAST_MILE,
+            DistillationMode::WalkIn { walk_in: 2 },
+            DistillationMode::EndToEnd,
+        ] {
+            let d = distill(&topo, mode);
+            let vns = d.vns().to_vec();
+            let src = vns[0];
+            // BFS over pipes.
+            let mut seen = vec![false; d.node_count()];
+            let mut queue = std::collections::VecDeque::new();
+            seen[src.index()] = true;
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                for &p in d.out_pipes(u) {
+                    let v = d.pipe(p).dst;
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for &vn in &vns {
+                assert!(seen[vn.index()], "{mode:?}: VN {vn} unreachable from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_in_zero_is_clamped_to_one() {
+        let topo = small_ring();
+        let w0 = distill(&topo, DistillationMode::WalkIn { walk_in: 0 });
+        let w1 = distill(&topo, DistillationMode::WalkIn { walk_in: 1 });
+        assert_eq!(w0.undirected_pipe_count(), w1.undirected_pipe_count());
+    }
+}

@@ -1,0 +1,256 @@
+//! Synthetic cross traffic by pipe re-parameterisation.
+//!
+//! The cross traffic at each point in time is a matrix of bandwidth demand
+//! between VN pairs. [`CrossTrafficMatrix::pipe_loads`] propagates the matrix
+//! through the routing tables to find the background load offered to every
+//! pipe, and [`QueueingModel::derive`] turns a load into adjusted pipe
+//! parameters: bandwidth reduced by the background share, latency increased
+//! by the predicted queueing delay, and the queue bound reduced to model the
+//! larger steady-state occupancy. A flow competing with the synthetic cross
+//! traffic therefore sees less headroom for bursts, more delay and less
+//! available bandwidth — without any per-packet cost for the cross traffic
+//! itself.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
+use mn_routing::RoutingMatrix;
+use mn_topology::NodeId;
+use mn_util::{DataRate, SimDuration};
+
+/// Background bandwidth demand between VN pairs (topology client nodes).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrossTrafficMatrix {
+    demands: Vec<(NodeId, NodeId, DataRate)>,
+}
+
+impl CrossTrafficMatrix {
+    /// Creates an empty matrix (no cross traffic).
+    pub fn new() -> Self {
+        CrossTrafficMatrix::default()
+    }
+
+    /// Adds a demand of `rate` from `src` to `dst`.
+    pub fn add_demand(&mut self, src: NodeId, dst: NodeId, rate: DataRate) {
+        self.demands.push((src, dst, rate));
+    }
+
+    /// Number of demand entries.
+    pub fn len(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Returns `true` if the matrix carries no demand.
+    pub fn is_empty(&self) -> bool {
+        self.demands.is_empty()
+    }
+
+    /// Propagates every demand along its route, accumulating the background
+    /// load offered to each pipe.
+    pub fn pipe_loads(&self, routing: &RoutingMatrix) -> HashMap<PipeId, PipeLoad> {
+        let mut loads: HashMap<PipeId, PipeLoad> = HashMap::new();
+        for &(src, dst, rate) in &self.demands {
+            let Some(route) = routing.lookup(src, dst) else {
+                continue;
+            };
+            for &pipe in &route.pipes {
+                let entry = loads.entry(pipe).or_default();
+                entry.background_bps += rate.as_bps();
+                entry.flows += 1;
+            }
+        }
+        loads
+    }
+}
+
+/// Aggregate background load offered to one pipe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipeLoad {
+    /// Total background demand crossing the pipe, in bits per second.
+    pub background_bps: u64,
+    /// Number of background flows crossing the pipe.
+    pub flows: usize,
+}
+
+/// The analytic queueing model that converts a background load into adjusted
+/// pipe parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QueueingModel {
+    /// Mean background packet size used to convert load into queueing delay.
+    pub mean_packet_bytes: u32,
+    /// Utilisation above which the pipe is treated as saturated (the model's
+    /// delay prediction is clipped here to stay finite).
+    pub max_utilisation: f64,
+}
+
+impl Default for QueueingModel {
+    fn default() -> Self {
+        QueueingModel {
+            mean_packet_bytes: 1000,
+            max_utilisation: 0.95,
+        }
+    }
+}
+
+impl QueueingModel {
+    /// Derives adjusted attributes for one pipe under the given background
+    /// load. With zero load the attributes are returned unchanged.
+    pub fn derive(&self, base: PipeAttrs, load: PipeLoad) -> PipeAttrs {
+        if load.background_bps == 0 || base.bandwidth.is_zero() {
+            return base;
+        }
+        let capacity = base.bandwidth.as_bps() as f64;
+        let utilisation = (load.background_bps as f64 / capacity).min(self.max_utilisation);
+
+        // Available bandwidth: what the cross traffic leaves behind.
+        let available = DataRate::from_bps((capacity * (1.0 - utilisation)) as u64)
+            .max(DataRate::from_kbps(8));
+
+        // Queueing delay from an M/M/1 approximation:
+        //   W = (1 / (1 - rho)) * service_time  - service_time.
+        let service_time = base
+            .bandwidth
+            .transmission_time(mn_util::ByteSize::from_bytes(self.mean_packet_bytes as u64))
+            .as_secs_f64();
+        let queueing_delay = service_time * utilisation / (1.0 - utilisation);
+        let latency = base.latency + SimDuration::from_secs_f64(queueing_delay);
+
+        // Steady-state queue occupancy eats into the burst headroom.
+        let occupied = (utilisation * base.queue_len as f64) as usize;
+        let queue_len = base.queue_len.saturating_sub(occupied).max(2);
+
+        PipeAttrs {
+            bandwidth: available,
+            latency,
+            loss_rate: base.loss_rate,
+            queue_len,
+        }
+    }
+
+    /// Derives adjusted attributes for every loaded pipe of the topology.
+    pub fn derive_all(
+        &self,
+        topo: &DistilledTopology,
+        loads: &HashMap<PipeId, PipeLoad>,
+    ) -> Vec<(PipeId, PipeAttrs)> {
+        loads
+            .iter()
+            .filter_map(|(&pipe, &load)| {
+                topo.get_pipe(pipe)
+                    .map(|p| (pipe, self.derive(p.attrs, load)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_distill::{distill, DistillationMode};
+    use mn_topology::generators::{star_topology, StarParams};
+    use mn_util::ByteSize;
+
+    fn star() -> (DistilledTopology, RoutingMatrix) {
+        let topo = star_topology(&StarParams {
+            clients: 6,
+            ..StarParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let m = RoutingMatrix::build(&d);
+        (d, m)
+    }
+
+    #[test]
+    fn demands_propagate_along_routes() {
+        let (d, m) = star();
+        let vns = d.vns().to_vec();
+        let mut matrix = CrossTrafficMatrix::new();
+        matrix.add_demand(vns[0], vns[1], DataRate::from_mbps(2));
+        matrix.add_demand(vns[0], vns[2], DataRate::from_mbps(3));
+        let loads = matrix.pipe_loads(&m);
+        // The first-hop pipe out of vns[0] carries both demands.
+        let first_hop = m.lookup(vns[0], vns[1]).unwrap().pipes[0];
+        assert_eq!(loads[&first_hop].background_bps, 5_000_000);
+        assert_eq!(loads[&first_hop].flows, 2);
+        // The second hop toward vns[1] carries only the first demand.
+        let second = m.lookup(vns[0], vns[1]).unwrap().pipes[1];
+        assert_eq!(loads[&second].background_bps, 2_000_000);
+    }
+
+    #[test]
+    fn empty_matrix_produces_no_loads() {
+        let (_, m) = star();
+        let matrix = CrossTrafficMatrix::new();
+        assert!(matrix.is_empty());
+        assert!(matrix.pipe_loads(&m).is_empty());
+    }
+
+    #[test]
+    fn queueing_model_reduces_bandwidth_and_adds_delay() {
+        let base = PipeAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(5));
+        let loaded = QueueingModel::default().derive(
+            base,
+            PipeLoad {
+                background_bps: 5_000_000,
+                flows: 3,
+            },
+        );
+        assert!(loaded.bandwidth < base.bandwidth);
+        assert_eq!(loaded.bandwidth, DataRate::from_mbps(5));
+        assert!(loaded.latency > base.latency);
+        assert!(loaded.queue_len < base.queue_len);
+        assert_eq!(loaded.loss_rate, base.loss_rate);
+    }
+
+    #[test]
+    fn zero_load_leaves_attrs_unchanged() {
+        let base = PipeAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(5));
+        let same = QueueingModel::default().derive(base, PipeLoad::default());
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    fn saturating_load_is_clipped_not_infinite() {
+        let base = PipeAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(5));
+        let loaded = QueueingModel::default().derive(
+            base,
+            PipeLoad {
+                background_bps: 50_000_000,
+                flows: 10,
+            },
+        );
+        assert!(loaded.bandwidth.as_bps() > 0);
+        assert!(loaded.latency < SimDuration::from_secs(1));
+        assert!(loaded.queue_len >= 2);
+    }
+
+    #[test]
+    fn derive_all_covers_every_loaded_pipe() {
+        let (d, m) = star();
+        let vns = d.vns().to_vec();
+        let mut matrix = CrossTrafficMatrix::new();
+        for i in 1..vns.len() {
+            matrix.add_demand(vns[0], vns[i], DataRate::from_mbps(1));
+        }
+        let loads = matrix.pipe_loads(&m);
+        let updates = QueueingModel::default().derive_all(&d, &loads);
+        assert_eq!(updates.len(), loads.len());
+        for (pipe, attrs) in updates {
+            assert!(attrs.bandwidth <= d.pipe(pipe).attrs.bandwidth);
+        }
+    }
+
+    #[test]
+    fn queueing_delay_grows_with_utilisation() {
+        let base = PipeAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(5));
+        let model = QueueingModel::default();
+        let lo = model.derive(base, PipeLoad { background_bps: 1_000_000, flows: 1 });
+        let hi = model.derive(base, PipeLoad { background_bps: 8_000_000, flows: 1 });
+        assert!(hi.latency > lo.latency);
+        // Sanity: the added delay is on the order of packet service times.
+        let service = base.bandwidth.transmission_time(ByteSize::from_bytes(1000));
+        assert!(hi.latency - base.latency > service);
+    }
+}

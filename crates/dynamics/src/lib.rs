@@ -1,0 +1,24 @@
+//! Dynamic network changes (§4.3 of the paper).
+//!
+//! ModelNet changes network conditions during a run in two ways, both
+//! implemented here:
+//!
+//! * **Synthetic cross traffic**: the user specifies a matrix of background
+//!   bandwidth demand between VN pairs; an off-line tool propagates the
+//!   matrix through the routing tables to find each pipe's background load
+//!   and derives new pipe parameters from a simple analytic queueing model —
+//!   lower available bandwidth, higher latency (queueing delay) and a smaller
+//!   queue bound. The emulation then periodically installs the derived
+//!   settings. This scales independently of the cross-traffic rate, at the
+//!   cost of not modelling the cross traffic's own congestion response.
+//! * **Fault injection and link perturbation**: scheduled changes to link
+//!   bandwidth/latency/loss (including complete failures), with all-pairs
+//!   routes recomputed afterwards under the paper's "perfect routing
+//!   protocol" assumption. The ACDC experiment's periodic delay increases are
+//!   expressed this way.
+
+pub mod cross_traffic;
+pub mod faults;
+
+pub use cross_traffic::{CrossTrafficMatrix, PipeLoad, QueueingModel};
+pub use faults::{FaultEvent, FaultInjector, FaultKind, LinkPerturbation};

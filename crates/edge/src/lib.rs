@@ -1,0 +1,20 @@
+//! Edge-node abstractions.
+//!
+//! Edge nodes host the virtual nodes (VNs) that run unmodified application
+//! code. Two concerns from the paper live here:
+//!
+//! * the **application API** ([`Application`], [`AppCtx`], [`Message`]) — the
+//!   analogue of the socket-interposition library: applications address each
+//!   other by VN identity, send framed messages over emulated TCP
+//!   connections, and set timers; the simulation driver in the `modelnet`
+//!   crate provides the plumbing underneath;
+//! * the **host model** ([`hostmodel`]) — the VN-multiplexing cost model of
+//!   §4.2: how many application instances can share one physical edge node
+//!   before context-switch overhead and CPU contention distort results
+//!   (Figure 6).
+
+pub mod api;
+pub mod hostmodel;
+
+pub use api::{AppAction, AppCtx, Application, Message};
+pub use hostmodel::{EdgeHostModel, EdgeHostParams, MultiplexObservation};

@@ -1,0 +1,148 @@
+//! Packet descriptors and deliveries.
+//!
+//! A descriptor is the unit the core schedules: a reference to the buffered
+//! packet plus the pipe route and the index of the next pipe to traverse.
+//! Descriptors are what multi-core configurations tunnel between cores; the
+//! packet payload itself never moves (payload caching leaves it buffered on
+//! the entry node until the packet exits the emulated network).
+
+use std::sync::Arc;
+
+use mn_packet::Packet;
+use mn_routing::Route;
+use mn_util::{SimDuration, SimTime};
+
+/// A scheduled packet inside the core: the packet descriptor plus its route
+/// progress and accuracy book-keeping.
+#[derive(Debug, Clone)]
+pub struct Descriptor {
+    /// The packet being emulated (headers and size only — no payload bytes).
+    pub packet: Packet,
+    /// The ordered pipe route from source to destination.
+    pub route: Arc<Route>,
+    /// Index of the next pipe to enter (hops `0..hop` are already done).
+    pub hop: usize,
+    /// Time the packet entered the core (for per-packet latency reporting).
+    pub entered_at: SimTime,
+    /// Accumulated scheduling lateness across hops (actual service time minus
+    /// pipe deadline); the accuracy log records this at delivery.
+    pub accumulated_error: SimDuration,
+}
+
+impl Descriptor {
+    /// Creates a descriptor at the start of its route.
+    pub fn new(packet: Packet, route: Arc<Route>, entered_at: SimTime) -> Self {
+        Descriptor {
+            packet,
+            route,
+            hop: 0,
+            entered_at,
+            accumulated_error: SimDuration::ZERO,
+        }
+    }
+
+    /// Total number of pipes on the route.
+    pub fn total_hops(&self) -> usize {
+        self.route.pipes.len()
+    }
+
+    /// The next pipe to traverse, or `None` if the route is complete.
+    pub fn next_pipe(&self) -> Option<mn_distill::PipeId> {
+        self.route.pipes.get(self.hop).copied()
+    }
+
+    /// Marks the current hop as traversed.
+    pub fn advance_hop(&mut self) {
+        self.hop += 1;
+    }
+
+    /// Returns `true` once every pipe on the route has been traversed.
+    pub fn is_complete(&self) -> bool {
+        self.hop >= self.route.pipes.len()
+    }
+}
+
+/// A packet that has exited the emulated network and must be forwarded to the
+/// edge node hosting the destination VN.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The delivered packet.
+    pub packet: Packet,
+    /// Time the packet left the last pipe (ip_output time).
+    pub delivered_at: SimTime,
+    /// Time the packet entered the core.
+    pub entered_at: SimTime,
+    /// Number of pipes the packet traversed.
+    pub hops: usize,
+    /// Scheduling error accumulated across all hops.
+    pub emulation_error: SimDuration,
+}
+
+impl Delivery {
+    /// The end-to-end delay the packet experienced inside the emulated
+    /// network (queueing + transmission + propagation + scheduling error).
+    pub fn core_delay(&self) -> SimDuration {
+        self.delivered_at - self.entered_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_distill::PipeId;
+    use mn_packet::{FlowKey, PacketId, Protocol, TcpFlags, TransportHeader, VnId};
+
+    fn packet() -> Packet {
+        Packet::new(
+            PacketId(1),
+            FlowKey {
+                src: VnId(0),
+                dst: VnId(1),
+                src_port: 1,
+                dst_port: 2,
+                protocol: Protocol::Tcp,
+            },
+            TransportHeader::Tcp {
+                seq: 0,
+                ack: 0,
+                payload_len: 100,
+                flags: TcpFlags::ACK,
+                window: 65535,
+            },
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn descriptor_walks_its_route() {
+        let route = Arc::new(Route::new(vec![PipeId(3), PipeId(7), PipeId(9)]));
+        let mut d = Descriptor::new(packet(), route, SimTime::from_millis(1));
+        assert_eq!(d.total_hops(), 3);
+        assert_eq!(d.next_pipe(), Some(PipeId(3)));
+        d.advance_hop();
+        assert_eq!(d.next_pipe(), Some(PipeId(7)));
+        d.advance_hop();
+        d.advance_hop();
+        assert!(d.is_complete());
+        assert_eq!(d.next_pipe(), None);
+    }
+
+    #[test]
+    fn empty_route_is_immediately_complete() {
+        let d = Descriptor::new(packet(), Arc::new(Route::default()), SimTime::ZERO);
+        assert!(d.is_complete());
+        assert_eq!(d.total_hops(), 0);
+    }
+
+    #[test]
+    fn delivery_core_delay() {
+        let del = Delivery {
+            packet: packet(),
+            delivered_at: SimTime::from_millis(25),
+            entered_at: SimTime::from_millis(5),
+            hops: 2,
+            emulation_error: SimDuration::from_micros(40),
+        };
+        assert_eq!(del.core_delay(), SimDuration::from_millis(20));
+    }
+}

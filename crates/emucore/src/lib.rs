@@ -1,0 +1,36 @@
+//! The ModelNet core — §2.2 and §3 of the paper.
+//!
+//! A core router intercepts every packet a VN emits (the ipfw 10.0.0.0/8
+//! rule), looks up the pipe route for its (source, destination) pair, and
+//! schedules a descriptor referencing the buffered packet onto the pipes of
+//! that route. Packet scheduling uses a heap of pipes sorted by earliest
+//! deadline; the scheduler runs once every clock tick (10 kHz in the paper's
+//! configuration) at the kernel's highest priority. Because emulation runs at
+//! a *higher* priority than NIC interrupt handling, an overloaded core drops
+//! packets physically at its NIC rather than emulating inaccurately — the
+//! relative accuracy of a run is therefore proportional to the number of
+//! physical drops.
+//!
+//! The crate provides:
+//!
+//! * [`HardwareProfile`] — the CPU/NIC capacity model standing in for the
+//!   paper's Pentium III + gigabit NIC testbed (see DESIGN.md §2),
+//! * [`EmulatorCore`] — a single core node: pipes, deadline heap, tick
+//!   scheduler, CPU/NIC admission, accuracy log,
+//! * [`MultiCoreEmulator`] — several cores cooperating through the pipe
+//!   ownership directory, tunnelling descriptors when a route crosses cores,
+//! * [`wireless`] — the ad-hoc wireless extension sketched in §5 (broadcast
+//!   medium, node mobility).
+
+pub mod accuracy;
+pub mod core;
+pub mod descriptor;
+pub mod hardware;
+pub mod multicore;
+pub mod wireless;
+
+pub use accuracy::AccuracyLog;
+pub use core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
+pub use descriptor::{Delivery, Descriptor};
+pub use hardware::HardwareProfile;
+pub use multicore::{MultiCoreEmulator, SubmitOutcome};

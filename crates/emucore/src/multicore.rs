@@ -1,0 +1,587 @@
+//! Multi-core emulation: several cores cooperating through the pipe
+//! ownership directory.
+//!
+//! When the next pipe on a descriptor's route is owned by a different core,
+//! the current core tunnels the descriptor to the owner (found by a POD
+//! lookup). The tunnel costs CPU on both sides, occupies the physical
+//! inter-core link, and adds the switch-crossing latency — which is exactly
+//! why Table 1 shows aggregate throughput degrading as the fraction of
+//! cross-core traffic grows. With payload caching enabled only the
+//! descriptor, not the packet contents, crosses the core network.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mn_assign::{Binding, CoreId, PipeOwnershipDirectory};
+use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
+use mn_packet::{Packet, VnId};
+use mn_routing::{Route, RoutingMatrix};
+use mn_topology::NodeId;
+use mn_util::{EventHeap, SimTime};
+
+use crate::core::{CoreStats, EmulatorCore, IngressOutcome};
+use crate::descriptor::{Delivery, Descriptor};
+use crate::hardware::HardwareProfile;
+
+/// Result of submitting a packet to the emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The packet entered the emulated network.
+    Accepted,
+    /// The packet was dropped physically at the entry core's NIC (overload).
+    PhysicalDrop,
+    /// The packet was dropped by the first pipe (virtual drop).
+    VirtualDrop,
+    /// The packet's source or destination VN has no location or no route.
+    NoRoute,
+}
+
+impl SubmitOutcome {
+    /// Returns `true` if the packet entered the emulation.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, SubmitOutcome::Accepted)
+    }
+}
+
+/// The set of cooperating core nodes emulating one distilled topology.
+#[derive(Debug)]
+pub struct MultiCoreEmulator {
+    cores: Vec<EmulatorCore>,
+    pod: PipeOwnershipDirectory,
+    matrix: RoutingMatrix,
+    route_cache: HashMap<(NodeId, NodeId), Arc<Route>>,
+    vn_location: HashMap<VnId, NodeId>,
+    vn_entry_core: HashMap<VnId, CoreId>,
+    /// Tunnel descriptors in flight between cores.
+    tunnels_in_flight: EventHeap<(CoreId, Descriptor)>,
+    /// Same-location packets that bypass the core network entirely.
+    local_deliveries: Vec<Delivery>,
+    profile: HardwareProfile,
+}
+
+impl MultiCoreEmulator {
+    /// Builds the emulator: installs each pipe on the core the POD assigns it
+    /// to, and records each VN's topology location and entry core from the
+    /// binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the POD covers a different number of pipes than the
+    /// distilled topology contains.
+    pub fn new(
+        topo: &DistilledTopology,
+        pod: PipeOwnershipDirectory,
+        matrix: RoutingMatrix,
+        binding: &Binding,
+        profile: HardwareProfile,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            pod.pipe_count(),
+            topo.pipe_count(),
+            "POD must cover every pipe of the distilled topology"
+        );
+        let mut cores: Vec<EmulatorCore> = (0..pod.core_count())
+            .map(|c| EmulatorCore::new(CoreId(c), profile, seed.wrapping_add(c as u64)))
+            .collect();
+        for (pipe_id, pipe) in topo.pipes() {
+            let owner = pod.owner(pipe_id);
+            cores[owner.index()].install_pipe(pipe_id, pipe.attrs);
+        }
+        let mut vn_location = HashMap::new();
+        let mut vn_entry_core = HashMap::new();
+        for vn in binding.vns() {
+            if let Some(loc) = binding.location(vn) {
+                vn_location.insert(vn, loc);
+            }
+            if let Some(core) = binding.entry_core(vn) {
+                // Clamp to the actual core count: a binding may reference more
+                // cores than the POD uses (e.g. single-core emulation of a
+                // multi-edge cluster).
+                let core = CoreId(core.index() % pod.core_count());
+                vn_entry_core.insert(vn, core);
+            }
+        }
+        MultiCoreEmulator {
+            cores,
+            pod,
+            matrix,
+            route_cache: HashMap::new(),
+            vn_location,
+            vn_entry_core,
+            tunnels_in_flight: EventHeap::new(),
+            local_deliveries: Vec::new(),
+            profile,
+        }
+    }
+
+    /// Convenience constructor for single-core emulation.
+    pub fn single_core(
+        topo: &DistilledTopology,
+        matrix: RoutingMatrix,
+        binding: &Binding,
+        profile: HardwareProfile,
+        seed: u64,
+    ) -> Self {
+        let pod = PipeOwnershipDirectory::single_core(topo.pipe_count());
+        Self::new(topo, pod, matrix, binding, profile, seed)
+    }
+
+    /// Number of cooperating cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Access to one core's counters.
+    pub fn core_stats(&self, core: CoreId) -> Option<&CoreStats> {
+        self.cores.get(core.index()).map(|c| c.stats())
+    }
+
+    /// Aggregated counters across cores.
+    pub fn total_stats(&self) -> CoreStats {
+        let mut total = CoreStats::default();
+        for c in &self.cores {
+            let s = c.stats();
+            total.packets_offered += s.packets_offered;
+            total.packets_admitted += s.packets_admitted;
+            total.packets_delivered += s.packets_delivered;
+            total.tunnels_out += s.tunnels_out;
+            total.tunnels_in += s.tunnels_in;
+            total.physical_drops_nic += s.physical_drops_nic;
+            total.physical_drops_cpu += s.physical_drops_cpu;
+            total.bytes_in += s.bytes_in;
+            total.bytes_out += s.bytes_out;
+        }
+        total
+    }
+
+    /// Access to the cores themselves (accuracy logs, utilisation, pipes).
+    pub fn cores(&self) -> &[EmulatorCore] {
+        &self.cores
+    }
+
+    /// The routing matrix in force.
+    pub fn routing(&self) -> &RoutingMatrix {
+        &self.matrix
+    }
+
+    /// Replaces the routing matrix (after a failure recomputation) and clears
+    /// the internal route cache.
+    pub fn set_routing(&mut self, matrix: RoutingMatrix) {
+        self.matrix = matrix;
+        self.route_cache.clear();
+    }
+
+    /// Updates a pipe's emulation parameters on whichever core owns it.
+    pub fn update_pipe_attrs(&mut self, pipe: PipeId, attrs: PipeAttrs) -> bool {
+        let Some(owner) = self.pod.get_owner(pipe) else {
+            return false;
+        };
+        self.cores[owner.index()].update_pipe_attrs(pipe, attrs)
+    }
+
+    /// The topology location a VN is bound to.
+    pub fn vn_location(&self, vn: VnId) -> Option<NodeId> {
+        self.vn_location.get(&vn).copied()
+    }
+
+    fn route_for(&mut self, src: NodeId, dst: NodeId) -> Option<Arc<Route>> {
+        if let Some(r) = self.route_cache.get(&(src, dst)) {
+            return Some(r.clone());
+        }
+        let route = Arc::new(self.matrix.lookup(src, dst)?.clone());
+        self.route_cache.insert((src, dst), route.clone());
+        Some(route)
+    }
+
+    /// Submits a packet emitted by its source VN's edge node at time `now`.
+    pub fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome {
+        let Some(&src_loc) = self.vn_location.get(&packet.flow.src) else {
+            return SubmitOutcome::NoRoute;
+        };
+        let Some(&dst_loc) = self.vn_location.get(&packet.flow.dst) else {
+            return SubmitOutcome::NoRoute;
+        };
+        if src_loc == dst_loc {
+            // Both VNs bound to the same topology location: traffic never
+            // crosses the emulated network (local loopback at the edge).
+            self.local_deliveries.push(Delivery {
+                packet,
+                delivered_at: now,
+                entered_at: now,
+                hops: 0,
+                emulation_error: mn_util::SimDuration::ZERO,
+            });
+            return SubmitOutcome::Accepted;
+        }
+        let Some(route) = self.route_for(src_loc, dst_loc) else {
+            return SubmitOutcome::NoRoute;
+        };
+        let entry = self
+            .vn_entry_core
+            .get(&packet.flow.src)
+            .copied()
+            .unwrap_or(CoreId(0));
+        let descriptor = Descriptor::new(packet, route, now);
+        match self.cores[entry.index()].ingress(now, descriptor) {
+            IngressOutcome::Accepted => SubmitOutcome::Accepted,
+            IngressOutcome::VirtualDrop => SubmitOutcome::VirtualDrop,
+            IngressOutcome::PhysicalDropNic | IngressOutcome::PhysicalDropCpu => {
+                SubmitOutcome::PhysicalDrop
+            }
+        }
+    }
+
+    /// The earliest time at which any core (or any in-flight tunnel) has work
+    /// due.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        let core_next = self.cores.iter().filter_map(|c| c.next_wakeup()).min();
+        let tunnel_next = self
+            .tunnels_in_flight
+            .peek_time()
+            .map(|t| self.profile.next_tick_at(t));
+        let local = if self.local_deliveries.is_empty() {
+            None
+        } else {
+            Some(SimTime::ZERO)
+        };
+        [core_next, tunnel_next, local].into_iter().flatten().min()
+    }
+
+    /// Advances the emulation to time `now`: delivers due tunnels, runs every
+    /// core's scheduler, and forwards freshly produced tunnels. Returns every
+    /// packet that exited the emulated network since the previous call.
+    pub fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
+        let mut deliveries = std::mem::take(&mut self.local_deliveries);
+        // Iterate: tunnel arrivals can enqueue work that completes within the
+        // same pass only if latency is zero; the loop is bounded by the
+        // longest route.
+        loop {
+            // Deliver tunnel descriptors that have arrived.
+            while let Some((_, (target, descriptor))) = self.tunnels_in_flight.pop_due(now) {
+                let _ = self.cores[target.index()].accept_tunnel(now, descriptor);
+            }
+            // Run every core's scheduler.
+            let mut produced_tunnel = false;
+            for core in &mut self.cores {
+                let out = core.tick(now);
+                deliveries.extend(out.deliveries);
+                for (pipe, descriptor, at) in out.tunnels {
+                    let owner = self
+                        .pod
+                        .get_owner(pipe)
+                        .expect("route references a pipe covered by the POD");
+                    let arrival = at.max(now) + self.profile.tunnel_latency;
+                    self.tunnels_in_flight.push(arrival, (owner, descriptor));
+                    produced_tunnel = true;
+                }
+            }
+            let more_due = self
+                .tunnels_in_flight
+                .peek_time()
+                .is_some_and(|t| t <= now);
+            if !(produced_tunnel && more_due) {
+                break;
+            }
+        }
+        deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_assign::{greedy_k_clusters, BindingParams};
+    use mn_distill::{distill, DistillationMode};
+    use mn_packet::{FlowKey, PacketId, Protocol, TcpFlags, TransportHeader};
+    use mn_topology::generators::{path_pairs_topology, star_topology, PathPairsParams, StarParams};
+    use mn_util::{DataRate, SimDuration};
+
+    fn tcp_packet(id: u64, src: VnId, dst: VnId, payload: u32, now: SimTime) -> Packet {
+        Packet::new(
+            PacketId(id),
+            FlowKey {
+                src,
+                dst,
+                src_port: 1000,
+                dst_port: 2000,
+                protocol: Protocol::Tcp,
+            },
+            TransportHeader::Tcp {
+                seq: 0,
+                ack: 0,
+                payload_len: payload,
+                flags: TcpFlags::ACK,
+                window: 65535,
+            },
+            now,
+        )
+    }
+
+    /// One sender/receiver pair over `hops` 10 Mb/s pipes, 10 ms end to end.
+    fn single_path(hops: usize, cores: usize) -> (MultiCoreEmulator, VnId, VnId) {
+        let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+            pairs: 1,
+            hops,
+            bandwidth: DataRate::from_mbps(10),
+            end_to_end_latency: SimDuration::from_millis(10),
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, cores));
+        let pod = greedy_k_clusters(&d, cores, 7);
+        let emu = MultiCoreEmulator::new(
+            &d,
+            pod,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            1,
+        );
+        // VNs are bound in vn-list order; find sender and receiver.
+        let sender = binding.vn_at(pairs[0].0).unwrap();
+        let receiver = binding.vn_at(pairs[0].1).unwrap();
+        (emu, sender, receiver)
+    }
+
+    fn run_until_idle(emu: &mut MultiCoreEmulator, mut now: SimTime) -> Vec<Delivery> {
+        let mut all = Vec::new();
+        for _ in 0..100_000 {
+            match emu.next_wakeup() {
+                Some(t) => {
+                    now = now.max(t);
+                    all.extend(emu.advance(now));
+                }
+                None => break,
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn single_hop_delivery_timing() {
+        let (mut emu, src, dst) = single_path(1, 1);
+        let pkt = tcp_packet(1, src, dst, 1460, SimTime::ZERO);
+        assert_eq!(emu.submit(SimTime::ZERO, pkt), SubmitOutcome::Accepted);
+        let deliveries = run_until_idle(&mut emu, SimTime::ZERO);
+        assert_eq!(deliveries.len(), 1);
+        let d = &deliveries[0];
+        // 1500 B at 10 Mb/s = 1.2 ms transmission + 10 ms latency, delivered
+        // at the next 100 µs tick.
+        let ideal = SimDuration::from_micros(1200) + SimDuration::from_millis(10);
+        let delay = d.core_delay();
+        assert!(delay >= ideal, "delay {delay} below ideal {ideal}");
+        assert!(
+            delay <= ideal + SimDuration::from_micros(100),
+            "delay {delay} more than one tick late"
+        );
+        assert_eq!(d.hops, 1);
+    }
+
+    #[test]
+    fn multi_hop_delay_accumulates_per_hop() {
+        let (mut emu, src, dst) = single_path(4, 1);
+        let pkt = tcp_packet(1, src, dst, 1460, SimTime::ZERO);
+        emu.submit(SimTime::ZERO, pkt);
+        let deliveries = run_until_idle(&mut emu, SimTime::ZERO);
+        assert_eq!(deliveries.len(), 1);
+        // 4 hops: 4 × 1.2 ms store-and-forward + 10 ms total latency.
+        let ideal = SimDuration::from_micros(4 * 1200) + SimDuration::from_millis(10);
+        let delay = deliveries[0].core_delay();
+        assert!(delay >= ideal);
+        assert!(delay <= ideal + SimDuration::from_micros(400), "delay {delay}");
+        assert_eq!(deliveries[0].hops, 4);
+        // Accuracy bound: error within one tick per hop.
+        assert!(emu.cores()[0]
+            .accuracy()
+            .within_bound(SimDuration::from_micros(100)));
+    }
+
+    #[test]
+    fn unknown_vn_is_no_route() {
+        let (mut emu, src, _) = single_path(1, 1);
+        let pkt = tcp_packet(1, src, VnId(999), 100, SimTime::ZERO);
+        assert_eq!(emu.submit(SimTime::ZERO, pkt), SubmitOutcome::NoRoute);
+    }
+
+    #[test]
+    fn two_core_path_tunnels_descriptors() {
+        let (mut emu, src, dst) = single_path(8, 2);
+        assert_eq!(emu.core_count(), 2);
+        for i in 0..10 {
+            let t = SimTime::from_micros(i * 500);
+            emu.submit(t, tcp_packet(i, src, dst, 1460, t));
+        }
+        let deliveries = run_until_idle(&mut emu, SimTime::ZERO);
+        assert_eq!(deliveries.len(), 10);
+        let stats = emu.total_stats();
+        assert!(
+            stats.tunnels_out > 0,
+            "an 8-hop route split over two cores must tunnel"
+        );
+        assert_eq!(stats.tunnels_out, stats.tunnels_in);
+        assert_eq!(stats.packets_delivered, 10);
+    }
+
+    #[test]
+    fn star_traffic_all_pairs_delivered() {
+        let topo = star_topology(&StarParams {
+            clients: 10,
+            spoke_bandwidth: DataRate::from_mbps(10),
+            spoke_latency: SimDuration::from_millis(5),
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, 1));
+        let mut emu = MultiCoreEmulator::single_core(
+            &d,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            3,
+        );
+        let vns: Vec<VnId> = binding.vns().collect();
+        let mut sent = 0;
+        for (i, &a) in vns.iter().enumerate() {
+            let b = vns[(i + 1) % vns.len()];
+            emu.submit(SimTime::ZERO, tcp_packet(i as u64, a, b, 1000, SimTime::ZERO));
+            sent += 1;
+        }
+        let deliveries = run_until_idle(&mut emu, SimTime::ZERO);
+        assert_eq!(deliveries.len(), sent);
+        for d in &deliveries {
+            assert_eq!(d.hops, 2, "star routes are two pipes");
+            // 1040 B at 10 Mb/s = 0.832 ms per hop + 2 × 5 ms latency.
+            assert!(d.core_delay() >= SimDuration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn congestion_produces_virtual_drops_not_physical() {
+        // One 1 Mb/s hop with a 5-packet queue; blast 100 packets at once.
+        let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+            pairs: 1,
+            hops: 1,
+            bandwidth: DataRate::from_mbps(1),
+            end_to_end_latency: SimDuration::from_millis(5),
+        });
+        let mut d = distill(&topo, DistillationMode::HopByHop);
+        for id in d.pipe_ids().collect::<Vec<_>>() {
+            d.pipe_attrs_mut(id).unwrap().queue_len = 5;
+        }
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(1, 1));
+        let mut emu = MultiCoreEmulator::single_core(
+            &d,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            5,
+        );
+        let src = binding.vn_at(pairs[0].0).unwrap();
+        let dst = binding.vn_at(pairs[0].1).unwrap();
+        let mut virtual_drops = 0;
+        for i in 0..100 {
+            match emu.submit(SimTime::ZERO, tcp_packet(i, src, dst, 1460, SimTime::ZERO)) {
+                SubmitOutcome::VirtualDrop => virtual_drops += 1,
+                SubmitOutcome::Accepted => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(virtual_drops > 50, "most of the burst should overflow the queue");
+        let delivered = run_until_idle(&mut emu, SimTime::ZERO).len();
+        assert_eq!(delivered as u64 + virtual_drops, 100);
+        assert_eq!(emu.total_stats().physical_drops_nic, 0);
+    }
+
+    #[test]
+    fn overload_produces_physical_drops() {
+        // Constrained profile with a tiny NIC: flooding must hit the NIC
+        // ceiling and drop physically.
+        let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+            pairs: 1,
+            hops: 1,
+            bandwidth: DataRate::from_mbps(1000),
+            end_to_end_latency: SimDuration::from_millis(1),
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(1, 1));
+        let mut profile = HardwareProfile::paper_core();
+        profile.nic_rate = DataRate::from_mbps(10);
+        profile.nic_buffer = mn_util::ByteSize::from_kb(16);
+        let mut emu = MultiCoreEmulator::single_core(&d, matrix, &binding, profile, 5);
+        let src = binding.vn_at(pairs[0].0).unwrap();
+        let dst = binding.vn_at(pairs[0].1).unwrap();
+        let mut physical = 0;
+        for i in 0..200u64 {
+            let t = SimTime::from_micros(i * 10);
+            if emu.submit(t, tcp_packet(i, src, dst, 1460, t)) == SubmitOutcome::PhysicalDrop {
+                physical += 1;
+            }
+            let _ = emu.advance(t);
+        }
+        assert!(physical > 0, "a 10 Mb/s NIC cannot absorb 1.2 Gb/s of offered load");
+        assert_eq!(emu.total_stats().physical_drops(), physical);
+    }
+
+    #[test]
+    fn same_location_vns_bypass_the_core() {
+        // Two VNs bound to the same client node: traffic is delivered locally.
+        let (topo, pairs) = path_pairs_topology(&PathPairsParams::default());
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        // Bind both VNs to the same location by hand.
+        let loc = pairs[0].0;
+        let binding = Binding::bind(&[loc, loc], &BindingParams::new(1, 1));
+        let mut emu = MultiCoreEmulator::single_core(
+            &d,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            1,
+        );
+        let outcome = emu.submit(
+            SimTime::from_millis(1),
+            tcp_packet(1, VnId(0), VnId(1), 100, SimTime::from_millis(1)),
+        );
+        assert_eq!(outcome, SubmitOutcome::Accepted);
+        let deliveries = emu.advance(SimTime::from_millis(1));
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].hops, 0);
+        assert_eq!(emu.total_stats().packets_admitted, 0);
+    }
+
+    #[test]
+    fn payload_caching_reduces_tunnel_bytes() {
+        let run = |caching: bool| {
+            let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+                pairs: 1,
+                hops: 4,
+                ..PathPairsParams::default()
+            });
+            let d = distill(&topo, DistillationMode::HopByHop);
+            let matrix = RoutingMatrix::build(&d);
+            let binding = Binding::bind(d.vns(), &BindingParams::new(2, 2));
+            let pod = greedy_k_clusters(&d, 2, 3);
+            let mut profile = HardwareProfile::unconstrained();
+            profile.payload_caching = caching;
+            let mut emu = MultiCoreEmulator::new(&d, pod, matrix, &binding, profile, 1);
+            let src = binding.vn_at(pairs[0].0).unwrap();
+            let dst = binding.vn_at(pairs[0].1).unwrap();
+            for i in 0..20 {
+                let t = SimTime::from_micros(i * 1300);
+                emu.submit(t, tcp_packet(i, src, dst, 1460, t));
+            }
+            let _ = run_until_idle(&mut emu, SimTime::ZERO);
+            emu.total_stats()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert_eq!(without.packets_delivered, 20);
+        assert_eq!(with.packets_delivered, 20);
+        if without.tunnels_out > 0 {
+            assert!(with.bytes_out < without.bytes_out);
+        }
+    }
+}

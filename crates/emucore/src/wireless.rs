@@ -1,0 +1,376 @@
+//! The ad-hoc wireless emulation extension (§5 of the paper).
+//!
+//! Two properties distinguish wireless emulation from the wired pipe model:
+//!
+//! * **broadcast**: a transmission consumes bandwidth at *every* node within
+//!   communication range of the sender, not just at the addressed receiver;
+//! * **mobility**: nodes move, so the set of reachable neighbours — in
+//!   effect, the topology — changes continuously rather than exceptionally.
+//!
+//! The paper states the ModelNet extension supports both but omits a detailed
+//! evaluation; this module provides the equivalent machinery: a shared-medium
+//! cell emulator in which each node's radio is a bandwidth queue charged for
+//! every frame it can hear, plus a waypoint mobility model that re-derives
+//! the neighbour sets as positions evolve.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mn_packet::VnId;
+use mn_util::rngs::derived_rng;
+use mn_util::{ByteSize, DataRate, SimDuration, SimTime};
+
+/// A node's position on the plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// Euclidean distance to another position.
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Configuration of the shared wireless medium.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WirelessParams {
+    /// Radio bit rate (e.g. 11 Mb/s for 802.11b).
+    pub bit_rate: DataRate,
+    /// Communication range in metres.
+    pub range: f64,
+    /// Per-frame loss probability once within range.
+    pub loss_rate: f64,
+    /// Size of the arena (square side, metres) for the mobility model.
+    pub arena: f64,
+    /// Maximum node speed (metres/second) for the waypoint model.
+    pub max_speed: f64,
+}
+
+impl Default for WirelessParams {
+    fn default() -> Self {
+        WirelessParams {
+            bit_rate: DataRate::from_mbps(11),
+            range: 250.0,
+            loss_rate: 0.01,
+            arena: 1000.0,
+            max_speed: 5.0,
+        }
+    }
+}
+
+/// Outcome of a broadcast transmission.
+#[derive(Debug, Clone)]
+pub struct TransmissionResult {
+    /// Nodes that received the frame.
+    pub received_by: Vec<VnId>,
+    /// Nodes in range that lost the frame.
+    pub lost_by: Vec<VnId>,
+    /// Time the medium finishes carrying the frame (busy-until).
+    pub medium_free_at: SimTime,
+    /// Whether the frame was deferred because the medium was busy.
+    pub deferred: bool,
+}
+
+#[derive(Debug, Clone)]
+struct WirelessNode {
+    position: Position,
+    waypoint: Position,
+    speed: f64,
+    bytes_heard: u64,
+}
+
+/// A single wireless cell: a set of mobile nodes sharing one medium.
+#[derive(Debug)]
+pub struct WirelessCell {
+    params: WirelessParams,
+    nodes: HashMap<VnId, WirelessNode>,
+    medium_busy_until: SimTime,
+    last_mobility_update: SimTime,
+    rng: rand::rngs::StdRng,
+    frames_sent: u64,
+    frames_received: u64,
+}
+
+impl WirelessCell {
+    /// Creates an empty cell.
+    pub fn new(params: WirelessParams, seed: u64) -> Self {
+        WirelessCell {
+            params,
+            nodes: HashMap::new(),
+            medium_busy_until: SimTime::ZERO,
+            last_mobility_update: SimTime::ZERO,
+            rng: derived_rng(seed, 0x217E),
+            frames_sent: 0,
+            frames_received: 0,
+        }
+    }
+
+    /// Adds a node at a random position with a random waypoint.
+    pub fn add_node(&mut self, vn: VnId) -> Position {
+        let pos = Position {
+            x: self.rng.gen_range(0.0..self.params.arena),
+            y: self.rng.gen_range(0.0..self.params.arena),
+        };
+        let waypoint = Position {
+            x: self.rng.gen_range(0.0..self.params.arena),
+            y: self.rng.gen_range(0.0..self.params.arena),
+        };
+        let speed = self.rng.gen_range(0.1..self.params.max_speed.max(0.2));
+        self.nodes.insert(
+            vn,
+            WirelessNode {
+                position: pos,
+                waypoint,
+                speed,
+                bytes_heard: 0,
+            },
+        );
+        pos
+    }
+
+    /// Adds a node at an explicit position (stationary until it picks a new
+    /// waypoint).
+    pub fn add_node_at(&mut self, vn: VnId, position: Position) {
+        self.nodes.insert(
+            vn,
+            WirelessNode {
+                position,
+                waypoint: position,
+                speed: 0.0,
+                bytes_heard: 0,
+            },
+        );
+    }
+
+    /// Number of nodes in the cell.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current position of a node.
+    pub fn position(&self, vn: VnId) -> Option<Position> {
+        self.nodes.get(&vn).map(|n| n.position)
+    }
+
+    /// Total frames offered to the medium.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Total successful receptions (across all receivers).
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    /// Moves every node toward its waypoint for the time elapsed since the
+    /// last update; nodes that reach their waypoint pick a fresh one
+    /// (random-waypoint mobility).
+    pub fn update_mobility(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last_mobility_update).as_secs_f64();
+        self.last_mobility_update = now;
+        if dt <= 0.0 {
+            return;
+        }
+        let arena = self.params.arena;
+        for node in self.nodes.values_mut() {
+            let dx = node.waypoint.x - node.position.x;
+            let dy = node.waypoint.y - node.position.y;
+            let dist = (dx * dx + dy * dy).sqrt();
+            let step = node.speed * dt;
+            if dist <= step || dist < 1e-9 {
+                node.position = node.waypoint;
+                node.waypoint = Position {
+                    x: self.rng.gen_range(0.0..arena),
+                    y: self.rng.gen_range(0.0..arena),
+                };
+            } else {
+                node.position.x += dx / dist * step;
+                node.position.y += dy / dist * step;
+            }
+        }
+    }
+
+    /// Nodes currently within communication range of `vn` (excluding itself).
+    pub fn neighbours(&self, vn: VnId) -> Vec<VnId> {
+        let Some(me) = self.nodes.get(&vn) else {
+            return Vec::new();
+        };
+        self.nodes
+            .iter()
+            .filter(|(&other, n)| other != vn && me.position.distance(&n.position) <= self.params.range)
+            .map(|(&other, _)| other)
+            .collect()
+    }
+
+    /// Returns `true` if the connectivity graph over current positions is a
+    /// single connected component.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let ids: Vec<VnId> = self.nodes.keys().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![ids[0]];
+        seen.insert(ids[0]);
+        while let Some(u) = stack.pop() {
+            for v in self.neighbours(u) {
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen.len() == self.nodes.len()
+    }
+
+    /// Broadcasts a frame of `size` from `sender` at time `now`.
+    ///
+    /// The transmission consumes the shared medium for the frame's airtime
+    /// (so concurrent senders defer), charges every in-range node's "heard
+    /// bytes" account, and delivers to each in-range node subject to the
+    /// configured loss rate.
+    pub fn transmit(&mut self, now: SimTime, sender: VnId, size: ByteSize) -> TransmissionResult {
+        self.update_mobility(now);
+        self.frames_sent += 1;
+        let deferred = now < self.medium_busy_until;
+        let start = now.max(self.medium_busy_until);
+        let airtime = self.params.bit_rate.transmission_time(size);
+        self.medium_free_at_update(start, airtime);
+
+        let in_range = self.neighbours(sender);
+        let mut received_by = Vec::new();
+        let mut lost_by = Vec::new();
+        for vn in in_range {
+            if let Some(node) = self.nodes.get_mut(&vn) {
+                node.bytes_heard += size.as_bytes();
+            }
+            if self.rng.gen::<f64>() < self.params.loss_rate {
+                lost_by.push(vn);
+            } else {
+                self.frames_received += 1;
+                received_by.push(vn);
+            }
+        }
+        TransmissionResult {
+            received_by,
+            lost_by,
+            medium_free_at: self.medium_busy_until,
+            deferred,
+        }
+    }
+
+    fn medium_free_at_update(&mut self, start: SimTime, airtime: SimDuration) {
+        self.medium_busy_until = start + airtime;
+    }
+
+    /// Bytes a node has overheard (its share of the broadcast medium cost).
+    pub fn bytes_heard(&self, vn: VnId) -> u64 {
+        self.nodes.get(&vn).map_or(0, |n| n.bytes_heard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cell() -> WirelessCell {
+        let mut cell = WirelessCell::new(
+            WirelessParams {
+                range: 300.0,
+                loss_rate: 0.0,
+                ..WirelessParams::default()
+            },
+            1,
+        );
+        cell.add_node_at(VnId(0), Position { x: 0.0, y: 0.0 });
+        cell.add_node_at(VnId(1), Position { x: 100.0, y: 0.0 });
+        cell.add_node_at(VnId(2), Position { x: 250.0, y: 0.0 });
+        cell.add_node_at(VnId(3), Position { x: 900.0, y: 900.0 });
+        cell
+    }
+
+    #[test]
+    fn neighbours_respect_range() {
+        let cell = small_cell();
+        let mut n0 = cell.neighbours(VnId(0));
+        n0.sort();
+        assert_eq!(n0, vec![VnId(1), VnId(2)]);
+        assert!(cell.neighbours(VnId(3)).is_empty());
+        assert!(!cell.is_connected());
+    }
+
+    #[test]
+    fn broadcast_charges_every_listener() {
+        let mut cell = small_cell();
+        let result = cell.transmit(SimTime::ZERO, VnId(0), ByteSize::from_bytes(1000));
+        assert_eq!(result.received_by.len(), 2);
+        assert!(result.lost_by.is_empty());
+        assert!(!result.deferred);
+        assert_eq!(cell.bytes_heard(VnId(1)), 1000);
+        assert_eq!(cell.bytes_heard(VnId(2)), 1000);
+        assert_eq!(cell.bytes_heard(VnId(3)), 0);
+    }
+
+    #[test]
+    fn medium_serialises_concurrent_senders() {
+        let mut cell = small_cell();
+        let first = cell.transmit(SimTime::ZERO, VnId(0), ByteSize::from_bytes(1375));
+        // 1375 B at 11 Mb/s = 1 ms of airtime.
+        assert_eq!(first.medium_free_at, SimTime::from_millis(1));
+        let second = cell.transmit(SimTime::from_micros(200), VnId(1), ByteSize::from_bytes(1375));
+        assert!(second.deferred);
+        assert_eq!(second.medium_free_at, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn loss_rate_drops_some_receptions() {
+        let mut cell = WirelessCell::new(
+            WirelessParams {
+                loss_rate: 0.5,
+                range: 500.0,
+                ..WirelessParams::default()
+            },
+            7,
+        );
+        cell.add_node_at(VnId(0), Position { x: 0.0, y: 0.0 });
+        cell.add_node_at(VnId(1), Position { x: 10.0, y: 0.0 });
+        let mut received = 0;
+        for i in 0..1000u64 {
+            let r = cell.transmit(SimTime::from_millis(i), VnId(0), ByteSize::from_bytes(100));
+            received += r.received_by.len();
+        }
+        let rate = received as f64 / 1000.0;
+        assert!((rate - 0.5).abs() < 0.06, "reception rate {rate}");
+    }
+
+    #[test]
+    fn mobility_moves_nodes_and_changes_topology() {
+        let mut cell = WirelessCell::new(WirelessParams::default(), 3);
+        for i in 0..20 {
+            cell.add_node(VnId(i));
+        }
+        let before: Vec<Position> = (0..20).map(|i| cell.position(VnId(i)).unwrap()).collect();
+        cell.update_mobility(SimTime::from_secs(60));
+        let moved = (0..20)
+            .filter(|&i| {
+                cell.position(VnId(i as u32)).unwrap().distance(&before[i]) > 1.0
+            })
+            .count();
+        assert!(moved >= 15, "after a minute most nodes should have moved ({moved}/20)");
+    }
+
+    #[test]
+    fn node_count_and_positions() {
+        let mut cell = WirelessCell::new(WirelessParams::default(), 9);
+        let p = cell.add_node(VnId(0));
+        assert_eq!(cell.node_count(), 1);
+        assert!(p.x >= 0.0 && p.x <= 1000.0);
+        assert_eq!(cell.position(VnId(1)), None);
+    }
+}

@@ -1,0 +1,23 @@
+//! Packet, flow and virtual-node addressing types.
+//!
+//! In ModelNet every virtual node (VN) binds to an address in the
+//! `10.0.0.0/8` block; an ipfw rule on the core intercepts packets destined
+//! to that block and hands them to the emulation. The core never copies or
+//! even inspects packet payloads: it moves a small *descriptor* referencing
+//! the buffered packet through the pipe network. This crate defines the
+//! Rust equivalents:
+//!
+//! * [`VnId`] / [`VnAddr`] — virtual node identifiers and their 10/8 address
+//!   mapping,
+//! * [`FlowKey`] and [`Protocol`] — the 5-tuple used for route lookup and by
+//!   the transport state machines,
+//! * [`Packet`] — the descriptor the emulation moves around: headers and
+//!   sizes only, never payload bytes (payload objects are retained at the
+//!   sending socket and claimed on in-order delivery, see `mn-edge`).
+
+pub mod addr;
+pub mod packet;
+
+pub use addr::{VnAddr, VnId};
+pub use packet::{FlowKey, Packet, PacketId, Protocol, TcpFlags, TransportHeader};
+pub use packet::{IP_TCP_HEADER_BYTES, IP_UDP_HEADER_BYTES, MSS_BYTES, MTU_BYTES};

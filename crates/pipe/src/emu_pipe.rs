@@ -1,0 +1,485 @@
+//! The pipe emulation unit: bandwidth queue + delay line.
+//!
+//! The timing model follows §2.2 of the paper exactly. When a packet arrives
+//! at a pipe at time *t*:
+//!
+//! 1. it may be dropped by the configured random loss rate, by RED, or
+//!    because the bandwidth queue already holds `queue_len` packets;
+//! 2. otherwise its *drain finish* time is computed from the packet size, the
+//!    sizes of all earlier packets waiting to enter the pipe, and the pipe
+//!    bandwidth: `drain_finish = max(t, previous drain_finish) + size/bw`;
+//! 3. it then sits in the delay line until `exit = drain_finish + latency`,
+//!    at which point the scheduler either moves it to the next pipe on its
+//!    route or delivers it to the destination edge node.
+//!
+//! The pipe is generic over the descriptor type `T` it transports, so the
+//! same machinery serves the emulation core's descriptors and the unit tests'
+//! plain markers.
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+
+use mn_distill::PipeAttrs;
+use mn_util::{ByteSize, SimTime};
+
+use crate::discipline::{QueueDiscipline, RedState};
+use crate::stats::PipeStats;
+
+/// Result of offering a packet to a pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// The packet was accepted and will exit the pipe at the given time.
+    Accepted {
+        /// Time the packet exits the pipe's delay line.
+        exit_time: SimTime,
+    },
+    /// Dropped: the bandwidth queue was full (congestion drop), or the pipe
+    /// is configured with zero bandwidth (a failed link).
+    DroppedOverflow,
+    /// Dropped by the configured random loss rate.
+    DroppedLoss,
+    /// Dropped early by the RED policy.
+    DroppedRed,
+}
+
+impl EnqueueOutcome {
+    /// Returns `true` if the packet was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, EnqueueOutcome::Accepted { .. })
+    }
+}
+
+/// A packet leaving the pipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DequeuedPacket<T> {
+    /// The transported descriptor.
+    pub item: T,
+    /// The wire size used for bandwidth accounting.
+    pub size: ByteSize,
+    /// The exit deadline the emulation computed for this packet.
+    pub exit_time: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight<T> {
+    item: T,
+    size: ByteSize,
+    drain_finish: SimTime,
+    exit_time: SimTime,
+}
+
+/// One emulated link inside a core node.
+#[derive(Debug, Clone)]
+pub struct EmuPipe<T> {
+    attrs: PipeAttrs,
+    discipline: QueueDiscipline,
+    red_state: RedState,
+    in_flight: VecDeque<InFlight<T>>,
+    drain_busy_until: SimTime,
+    stats: PipeStats,
+}
+
+impl<T> EmuPipe<T> {
+    /// Creates a pipe with the given attributes and the default FIFO
+    /// drop-tail discipline.
+    pub fn new(attrs: PipeAttrs) -> Self {
+        Self::with_discipline(attrs, QueueDiscipline::DropTail)
+    }
+
+    /// Creates a pipe with an explicit queueing discipline.
+    pub fn with_discipline(attrs: PipeAttrs, discipline: QueueDiscipline) -> Self {
+        EmuPipe {
+            attrs,
+            discipline,
+            red_state: RedState::default(),
+            in_flight: VecDeque::new(),
+            drain_busy_until: SimTime::ZERO,
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// Current emulation parameters.
+    pub fn attrs(&self) -> &PipeAttrs {
+        &self.attrs
+    }
+
+    /// Replaces the emulation parameters. Packets already inside the pipe
+    /// keep the deadlines computed when they entered; only future arrivals
+    /// see the new bandwidth/latency/loss/queue values. This is the hook the
+    /// dynamic cross-traffic and fault-injection machinery uses.
+    pub fn set_attrs(&mut self, attrs: PipeAttrs) {
+        self.attrs = attrs;
+    }
+
+    /// Replaces the queueing discipline.
+    pub fn set_discipline(&mut self, discipline: QueueDiscipline) {
+        self.discipline = discipline;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &PipeStats {
+        &self.stats
+    }
+
+    /// Number of packets currently being emulated (bandwidth queue + delay
+    /// line).
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Returns `true` if no packet is inside the pipe.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Number of packets still waiting to finish draining into the pipe at
+    /// time `now` — the instantaneous bandwidth-queue occupancy used for the
+    /// overflow check.
+    pub fn queue_occupancy(&self, now: SimTime) -> usize {
+        // `in_flight` is ordered by drain_finish (drain times are assigned
+        // monotonically), so a binary search finds the drained prefix.
+        let drained = self.partition_drained(now);
+        self.in_flight.len() - drained
+    }
+
+    fn partition_drained(&self, now: SimTime) -> usize {
+        let mut lo = 0;
+        let mut hi = self.in_flight.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.in_flight[mid].drain_finish <= now {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The earliest exit deadline among packets inside the pipe, i.e. the
+    /// pipe's position in the core scheduler's deadline heap.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.in_flight.front().map(|p| p.exit_time)
+    }
+
+    /// Offers a packet to the pipe at time `now`.
+    pub fn enqueue<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        size: ByteSize,
+        item: T,
+        rng: &mut R,
+    ) -> EnqueueOutcome {
+        // A zero-bandwidth pipe models a failed link: everything is dropped
+        // as congestion loss.
+        if self.attrs.bandwidth.is_zero() {
+            self.stats.dropped_overflow += 1;
+            return EnqueueOutcome::DroppedOverflow;
+        }
+        // Configured random loss.
+        if self.attrs.loss_rate > 0.0 && rng.gen::<f64>() < self.attrs.loss_rate {
+            self.stats.dropped_loss += 1;
+            return EnqueueOutcome::DroppedLoss;
+        }
+        let occupancy = self.queue_occupancy(now);
+        // RED early drop (before the tail-drop check, as in dummynet).
+        if let QueueDiscipline::Red(params) = self.discipline {
+            let avg = self.red_state.observe(&params, occupancy);
+            let p = params.drop_probability(avg);
+            if p > 0.0 && rng.gen::<f64>() < p {
+                self.stats.dropped_red += 1;
+                return EnqueueOutcome::DroppedRed;
+            }
+        }
+        // Tail drop on a full bandwidth queue.
+        if occupancy >= self.attrs.queue_len {
+            self.stats.dropped_overflow += 1;
+            return EnqueueOutcome::DroppedOverflow;
+        }
+
+        let drain_start = now.max(self.drain_busy_until);
+        let drain_finish = drain_start.saturating_add(self.attrs.bandwidth.transmission_time(size));
+        let exit_time = drain_finish.saturating_add(self.attrs.latency);
+        self.drain_busy_until = drain_finish;
+        self.in_flight.push_back(InFlight {
+            item,
+            size,
+            drain_finish,
+            exit_time,
+        });
+        self.stats.enqueued += 1;
+        EnqueueOutcome::Accepted { exit_time }
+    }
+
+    /// Removes and returns every packet whose exit deadline is at or before
+    /// `now`, in exit order.
+    pub fn dequeue_ready(&mut self, now: SimTime) -> Vec<DequeuedPacket<T>> {
+        let mut out = Vec::new();
+        while let Some(front) = self.in_flight.front() {
+            if front.exit_time > now {
+                break;
+            }
+            let f = self.in_flight.pop_front().expect("front exists");
+            self.stats.dequeued += 1;
+            self.stats.bytes_out += f.size.as_bytes();
+            out.push(DequeuedPacket {
+                item: f.item,
+                size: f.size,
+                exit_time: f.exit_time,
+            });
+        }
+        out
+    }
+
+    /// Drains every packet regardless of deadline (used when tearing an
+    /// emulation down).
+    pub fn drain_all(&mut self) -> Vec<DequeuedPacket<T>> {
+        let mut out = Vec::new();
+        while let Some(f) = self.in_flight.pop_front() {
+            self.stats.dequeued += 1;
+            self.stats.bytes_out += f.size.as_bytes();
+            out.push(DequeuedPacket {
+                item: f.item,
+                size: f.size,
+                exit_time: f.exit_time,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_util::rngs::seeded_rng;
+    use mn_util::{DataRate, SimDuration};
+
+    fn attrs(mbps: u64, latency_ms: u64, queue: usize) -> PipeAttrs {
+        let mut a = PipeAttrs::new(
+            DataRate::from_mbps(mbps),
+            SimDuration::from_millis(latency_ms),
+        );
+        a.queue_len = queue;
+        a
+    }
+
+    fn kb(bytes: u64) -> ByteSize {
+        ByteSize::from_bytes(bytes)
+    }
+
+    #[test]
+    fn single_packet_timing() {
+        // 1500 bytes at 10 Mb/s = 1.2 ms transmission + 10 ms latency.
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(attrs(10, 10, 50));
+        let mut rng = seeded_rng(1);
+        let out = pipe.enqueue(SimTime::ZERO, kb(1500), 7, &mut rng);
+        let expected_exit = SimTime::from_micros(1200) + SimDuration::from_millis(10);
+        assert_eq!(out, EnqueueOutcome::Accepted { exit_time: expected_exit });
+        assert_eq!(pipe.next_deadline(), Some(expected_exit));
+        assert!(pipe.dequeue_ready(SimTime::from_millis(11)).is_empty());
+        let ready = pipe.dequeue_ready(expected_exit);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].item, 7);
+        assert_eq!(ready[0].exit_time, expected_exit);
+        assert!(pipe.is_idle());
+    }
+
+    #[test]
+    fn back_to_back_packets_serialise_on_bandwidth() {
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(attrs(10, 0, 50));
+        let mut rng = seeded_rng(1);
+        let t = SimTime::ZERO;
+        let a = pipe.enqueue(t, kb(1500), 1, &mut rng);
+        let b = pipe.enqueue(t, kb(1500), 2, &mut rng);
+        let (EnqueueOutcome::Accepted { exit_time: ea }, EnqueueOutcome::Accepted { exit_time: eb }) =
+            (a, b)
+        else {
+            panic!("both packets should be accepted")
+        };
+        // Second packet waits for the first to drain: exits 1.2 ms later.
+        assert_eq!(eb - ea, SimDuration::from_micros(1200));
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        // Queue of 2 packets; offer 4 back to back.
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(attrs(1, 5, 2));
+        let mut rng = seeded_rng(1);
+        let t = SimTime::ZERO;
+        assert!(pipe.enqueue(t, kb(1500), 1, &mut rng).is_accepted());
+        assert!(pipe.enqueue(t, kb(1500), 2, &mut rng).is_accepted());
+        assert_eq!(
+            pipe.enqueue(t, kb(1500), 3, &mut rng),
+            EnqueueOutcome::DroppedOverflow
+        );
+        assert_eq!(pipe.stats().dropped_overflow, 1);
+        assert_eq!(pipe.stats().enqueued, 2);
+        assert!(pipe.stats().is_conserved(3));
+    }
+
+    #[test]
+    fn queue_frees_as_packets_drain() {
+        // 1500 B at 12 Mb/s = 1 ms drain time, queue of 1.
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(attrs(12, 50, 1));
+        let mut rng = seeded_rng(1);
+        assert!(pipe.enqueue(SimTime::ZERO, kb(1500), 1, &mut rng).is_accepted());
+        assert_eq!(
+            pipe.enqueue(SimTime::ZERO, kb(1500), 2, &mut rng),
+            EnqueueOutcome::DroppedOverflow
+        );
+        // After the first packet drains into the delay line, a slot is free.
+        let later = SimTime::from_micros(1001);
+        assert_eq!(pipe.queue_occupancy(later), 0);
+        assert!(pipe.enqueue(later, kb(1500), 3, &mut rng).is_accepted());
+        assert_eq!(pipe.in_flight_count(), 2);
+    }
+
+    #[test]
+    fn random_loss_drops_expected_fraction() {
+        let mut a = attrs(100, 1, 10_000);
+        a.loss_rate = 0.3;
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(a);
+        let mut rng = seeded_rng(42);
+        let mut dropped = 0;
+        for i in 0..10_000 {
+            let t = SimTime::from_micros(i * 200);
+            if !pipe.enqueue(t, kb(100), i as u32, &mut rng).is_accepted() {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss {rate}");
+        assert_eq!(pipe.stats().dropped_loss, dropped);
+    }
+
+    #[test]
+    fn zero_bandwidth_models_failed_link() {
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(PipeAttrs::new(
+            DataRate::ZERO,
+            SimDuration::from_millis(1),
+        ));
+        let mut rng = seeded_rng(1);
+        assert_eq!(
+            pipe.enqueue(SimTime::ZERO, kb(100), 1, &mut rng),
+            EnqueueOutcome::DroppedOverflow
+        );
+    }
+
+    #[test]
+    fn red_drops_before_tail_drop() {
+        let params = crate::RedParams {
+            min_threshold: 1.0,
+            max_threshold: 3.0,
+            max_drop_probability: 1.0,
+            weight: 1.0,
+        };
+        let mut pipe: EmuPipe<u32> =
+            EmuPipe::with_discipline(attrs(1, 1, 100), QueueDiscipline::Red(params));
+        let mut rng = seeded_rng(3);
+        let t = SimTime::ZERO;
+        let mut red_drops = 0;
+        for i in 0..50 {
+            match pipe.enqueue(t, kb(1500), i, &mut rng) {
+                EnqueueOutcome::DroppedRed => red_drops += 1,
+                _ => {}
+            }
+        }
+        assert!(red_drops > 0, "RED should have dropped something");
+        assert_eq!(pipe.stats().dropped_red, red_drops);
+        // With a 100-slot queue and RED firing, no tail drops occurred.
+        assert_eq!(pipe.stats().dropped_overflow, 0);
+    }
+
+    #[test]
+    fn dequeue_order_is_fifo() {
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(attrs(10, 5, 50));
+        let mut rng = seeded_rng(1);
+        for i in 0..5 {
+            pipe.enqueue(SimTime::from_micros(i as u64 * 10), kb(500), i, &mut rng);
+        }
+        let all = pipe.dequeue_ready(SimTime::from_secs(1));
+        let order: Vec<u32> = all.iter().map(|p| p.item).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(pipe.stats().dequeued, 5);
+        assert_eq!(pipe.stats().bytes_out, 2500);
+    }
+
+    #[test]
+    fn set_attrs_affects_only_future_packets() {
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(attrs(10, 10, 50));
+        let mut rng = seeded_rng(1);
+        let EnqueueOutcome::Accepted { exit_time: first } =
+            pipe.enqueue(SimTime::ZERO, kb(1500), 1, &mut rng)
+        else {
+            panic!()
+        };
+        // Slow the pipe down and double its latency.
+        pipe.set_attrs(attrs(1, 20, 50));
+        let EnqueueOutcome::Accepted { exit_time: second } =
+            pipe.enqueue(SimTime::ZERO, kb(1500), 2, &mut rng)
+        else {
+            panic!()
+        };
+        assert_eq!(first, SimTime::from_micros(1200) + SimDuration::from_millis(10));
+        // Second: waits for first drain (1.2 ms), then 12 ms at 1 Mb/s + 20 ms.
+        assert_eq!(
+            second,
+            SimTime::from_micros(1200 + 12_000) + SimDuration::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn drain_all_empties_the_pipe() {
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(attrs(10, 1000, 50));
+        let mut rng = seeded_rng(1);
+        for i in 0..3 {
+            pipe.enqueue(SimTime::ZERO, kb(100), i, &mut rng);
+        }
+        assert_eq!(pipe.drain_all().len(), 3);
+        assert!(pipe.is_idle());
+        assert_eq!(pipe.next_deadline(), None);
+    }
+
+    #[test]
+    fn delay_line_holds_bandwidth_delay_product() {
+        // 10 Mb/s, 100 ms: BDP = 125 kB ~ 83 packets of 1500 B. Offer a
+        // saturating stream and check the in-flight count approaches that.
+        let mut pipe: EmuPipe<u64> = EmuPipe::new(attrs(10, 100, 100));
+        let mut rng = seeded_rng(1);
+        let mut t = SimTime::ZERO;
+        let mut sent = 0u64;
+        // Send at exactly line rate for 300 ms.
+        while t < SimTime::from_millis(300) {
+            pipe.enqueue(t, kb(1500), sent, &mut rng);
+            let _ = pipe.dequeue_ready(t);
+            sent += 1;
+            t += SimDuration::from_micros(1200);
+        }
+        let in_flight = pipe.in_flight_count();
+        assert!(
+            (70..=95).contains(&in_flight),
+            "in-flight {in_flight} should be near the 83-packet BDP"
+        );
+    }
+
+    #[test]
+    fn conservation_property_under_random_load() {
+        let mut pipe: EmuPipe<u64> = EmuPipe::new(attrs(5, 10, 10));
+        let mut rng = seeded_rng(9);
+        let mut offered = 0u64;
+        let mut delivered = 0u64;
+        let mut t = SimTime::ZERO;
+        for i in 0..5_000u64 {
+            t += SimDuration::from_micros(100 + (i % 7) * 137);
+            offered += 1;
+            let _ = pipe.enqueue(t, kb(200 + (i % 5) * 300), i, &mut rng);
+            delivered += pipe.dequeue_ready(t).len() as u64;
+        }
+        delivered += pipe.drain_all().len() as u64;
+        let s = pipe.stats();
+        assert!(s.is_conserved(offered));
+        assert_eq!(delivered, s.dequeued);
+        assert_eq!(offered, s.dequeued + s.dropped_total());
+    }
+}

@@ -1,0 +1,267 @@
+//! An independent flow-level reference simulator.
+//!
+//! The paper validates ModelNet against ns-2: the ring-distillation
+//! experiment (Figure 5) and the ACDC case study (Figure 12) plot ns-2 runs
+//! next to the emulation. ns-2 is not available in this reproduction, so this
+//! crate plays its role: a deliberately *different* abstraction level —
+//! steady-state flow rates from progressive-filling max-min fair share plus
+//! propagation-delay queries over the target graph — implemented with no code
+//! shared with the emulation path. Agreement between the two therefore
+//! carries the same kind of evidence the paper's ns-2 comparison does.
+//!
+//! The model intentionally ignores TCP dynamics (slow start, RTT bias,
+//! timeouts); for long-lived flows over moderate drop rates, max-min fair
+//! share is the standard first-order prediction of what TCP converges to.
+
+use serde::{Deserialize, Serialize};
+
+use mn_topology::paths::{shortest_path, PathMetric};
+use mn_topology::{LinkId, NodeId, Topology};
+use mn_util::{DataRate, SimDuration};
+
+/// One long-lived flow between two nodes of the target topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// The computed allocation for one flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowAllocation {
+    /// The flow this allocation is for.
+    pub flow: FlowSpec,
+    /// Steady-state max-min fair rate.
+    pub rate: DataRate,
+    /// One-way propagation delay along the flow's route.
+    pub latency: SimDuration,
+    /// Number of links on the route.
+    pub hops: usize,
+}
+
+/// Computes max-min fair-share allocations for a set of flows routed along
+/// latency-shortest paths, by progressive filling.
+///
+/// Unroutable flows (disconnected endpoints) receive a zero rate and zero
+/// latency.
+pub fn max_min_fair_share(topo: &Topology, flows: &[FlowSpec]) -> Vec<FlowAllocation> {
+    // Route every flow.
+    let routes: Vec<Option<Vec<LinkId>>> = flows
+        .iter()
+        .map(|f| shortest_path(topo, f.src, f.dst, PathMetric::Latency).map(|p| p.links))
+        .collect();
+
+    let link_count = topo.link_count();
+    let mut capacity: Vec<f64> = (0..link_count)
+        .map(|l| topo.link(LinkId(l)).expect("link exists").attrs.bandwidth.as_bps() as f64)
+        .collect();
+    // Which unfrozen flows cross each link.
+    let mut crossing: Vec<Vec<usize>> = vec![Vec::new(); link_count];
+    for (fi, route) in routes.iter().enumerate() {
+        if let Some(links) = route {
+            for l in links {
+                crossing[l.index()].push(fi);
+            }
+        }
+    }
+
+    let mut rate = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    // Flows with no route (or a zero-hop route) are frozen at zero/infinity.
+    for (fi, route) in routes.iter().enumerate() {
+        match route {
+            None => frozen[fi] = true,
+            Some(links) if links.is_empty() => {
+                frozen[fi] = true;
+                rate[fi] = f64::MAX;
+            }
+            _ => {}
+        }
+    }
+
+    loop {
+        // Find the bottleneck link: the smallest fair share among links that
+        // still carry unfrozen flows.
+        let mut best: Option<(f64, usize)> = None;
+        for (li, flows_here) in crossing.iter().enumerate() {
+            let active = flows_here.iter().filter(|&&f| !frozen[f]).count();
+            if active == 0 {
+                continue;
+            }
+            let share = capacity[li] / active as f64;
+            if best.map_or(true, |(s, _)| share < s) {
+                best = Some((share, li));
+            }
+        }
+        let Some((share, bottleneck)) = best else {
+            break;
+        };
+        // Freeze every unfrozen flow crossing the bottleneck at that share
+        // and subtract their usage everywhere.
+        let to_freeze: Vec<usize> = crossing[bottleneck]
+            .iter()
+            .copied()
+            .filter(|&f| !frozen[f])
+            .collect();
+        for fi in to_freeze {
+            frozen[fi] = true;
+            rate[fi] = share;
+            if let Some(links) = &routes[fi] {
+                for l in links {
+                    capacity[l.index()] = (capacity[l.index()] - share).max(0.0);
+                }
+            }
+        }
+    }
+
+    flows
+        .iter()
+        .enumerate()
+        .map(|(fi, &flow)| {
+            let (latency, hops) = match &routes[fi] {
+                Some(links) => {
+                    let lat: SimDuration = links
+                        .iter()
+                        .map(|&l| topo.link(l).expect("link exists").attrs.latency)
+                        .sum();
+                    (lat, links.len())
+                }
+                None => (SimDuration::ZERO, 0),
+            };
+            FlowAllocation {
+                flow,
+                rate: if rate[fi] == f64::MAX {
+                    DataRate::from_gbps(1_000)
+                } else {
+                    DataRate::from_bps(rate[fi] as u64)
+                },
+                latency,
+                hops,
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the latency-shortest one-way delay between two nodes, or
+/// `None` if unreachable. The ACDC comparison uses this as its latency
+/// oracle.
+pub fn path_latency(topo: &Topology, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+    mn_topology::paths::shortest_path_latency(topo, src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_topology::generators::{dumbbell_topology, ring_topology, DumbbellParams, RingParams};
+    use mn_topology::{LinkAttrs, NodeKind};
+
+    #[test]
+    fn single_flow_gets_the_bottleneck() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let r = topo.add_node(NodeKind::Stub);
+        let b = topo.add_node(NodeKind::Client);
+        topo.add_link(a, r, LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(2)))
+            .unwrap();
+        topo.add_link(r, b, LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(3)))
+            .unwrap();
+        let alloc = max_min_fair_share(&topo, &[FlowSpec { src: a, dst: b }]);
+        assert_eq!(alloc[0].rate, DataRate::from_mbps(2));
+        assert_eq!(alloc[0].latency, SimDuration::from_millis(5));
+        assert_eq!(alloc[0].hops, 2);
+    }
+
+    #[test]
+    fn dumbbell_flows_share_equally() {
+        let (topo, left, right) = dumbbell_topology(&DumbbellParams {
+            clients_per_side: 5,
+            ..DumbbellParams::default()
+        });
+        let flows: Vec<FlowSpec> = (0..5)
+            .map(|i| FlowSpec {
+                src: left[i],
+                dst: right[i],
+            })
+            .collect();
+        let alloc = max_min_fair_share(&topo, &flows);
+        for a in &alloc {
+            assert_eq!(a.rate, DataRate::from_mbps(2), "10 Mb/s shared by 5 flows");
+        }
+    }
+
+    #[test]
+    fn unequal_demands_get_max_min_not_equal_split() {
+        // Two flows share link L1 (10 Mb/s); one of them also crosses a
+        // 2 Mb/s access link and is limited there, so the other should get
+        // the remaining 8 Mb/s.
+        let mut topo = Topology::new();
+        let s1 = topo.add_node(NodeKind::Client);
+        let s2 = topo.add_node(NodeKind::Client);
+        let m = topo.add_node(NodeKind::Stub);
+        let d1 = topo.add_node(NodeKind::Client);
+        let d2 = topo.add_node(NodeKind::Client);
+        let fast = |mbps| LinkAttrs::new(DataRate::from_mbps(mbps), SimDuration::from_millis(1));
+        topo.add_link(s1, m, fast(100)).unwrap();
+        topo.add_link(s2, m, fast(100)).unwrap();
+        let shared = topo.add_link(m, d1, fast(10)).unwrap();
+        topo.add_link(d1, d2, fast(2)).unwrap();
+        let _ = shared;
+        let flows = vec![
+            FlowSpec { src: s1, dst: d1 },
+            FlowSpec { src: s2, dst: d2 },
+        ];
+        let alloc = max_min_fair_share(&topo, &flows);
+        assert_eq!(alloc[1].rate, DataRate::from_mbps(2));
+        assert_eq!(alloc[0].rate, DataRate::from_mbps(8));
+    }
+
+    #[test]
+    fn ring_transit_contention_limits_cross_ring_flows() {
+        // The paper's ring: 20 Mb/s transit links, 2 Mb/s access links. With
+        // ten flows crossing the same transit link, each gets 2 Mb/s from the
+        // access link; with forty, the transit link becomes the bottleneck.
+        let topo = ring_topology(&RingParams {
+            routers: 2,
+            clients_per_router: 40,
+            ..RingParams::default()
+        });
+        let clients: Vec<NodeId> = topo.client_nodes().collect();
+        // First 40 clients attach to router 0, the rest to router 1.
+        let flows: Vec<FlowSpec> = (0..40)
+            .map(|i| FlowSpec {
+                src: clients[i],
+                dst: clients[40 + i],
+            })
+            .collect();
+        let alloc = max_min_fair_share(&topo, &flows);
+        let per_flow = alloc[0].rate;
+        // 20 Mb/s shared by 40 flows = 0.5 Mb/s each.
+        assert_eq!(per_flow, DataRate::from_kbps(500));
+        assert!(alloc.iter().all(|a| a.rate == per_flow));
+    }
+
+    #[test]
+    fn unroutable_flows_get_zero() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let b = topo.add_node(NodeKind::Client);
+        let alloc = max_min_fair_share(&topo, &[FlowSpec { src: a, dst: b }]);
+        assert_eq!(alloc[0].rate, DataRate::ZERO);
+        assert_eq!(alloc[0].hops, 0);
+    }
+
+    #[test]
+    fn latency_oracle_matches_shortest_path() {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 1,
+            ..RingParams::default()
+        });
+        let clients: Vec<NodeId> = topo.client_nodes().collect();
+        let lat = path_latency(&topo, clients[0], clients[3]).unwrap();
+        // 1 ms access + 3 × 5 ms ring + 1 ms access.
+        assert_eq!(lat, SimDuration::from_millis(17));
+    }
+}

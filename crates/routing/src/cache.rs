@@ -1,0 +1,246 @@
+//! Hash-based route cache with on-demand shortest-path computation.
+//!
+//! The paper's alternative to the O(n²) matrix for very large VN counts: keep
+//! a cache of routes for *active flows* of size O(n lg n); on the rare cache
+//! miss, compute the route on the fly with Dijkstra (an O(n lg n) operation)
+//! from the internal representation of the topology.
+//!
+//! The implementation keeps per-source shortest-path trees rather than
+//! individual pairs when a source shows locality, and evicts in FIFO order
+//! once the configured capacity is exceeded.
+
+use std::collections::{HashMap, VecDeque};
+
+use mn_distill::DistilledTopology;
+use mn_topology::NodeId;
+
+use crate::dijkstra::{route_from_tree, shortest_route_tree, Route};
+use crate::RouteProvider;
+
+/// A bounded route cache backed by on-demand Dijkstra over the pipe graph.
+#[derive(Debug, Clone)]
+pub struct RouteCache {
+    topo: DistilledTopology,
+    capacity: usize,
+    cache: HashMap<(NodeId, NodeId), Option<Route>>,
+    insertion_order: VecDeque<(NodeId, NodeId)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RouteCache {
+    /// Creates a cache over the pipe graph with space for `capacity` routes.
+    ///
+    /// The conventional sizing is `n * lg(n)` entries for `n` VNs, which
+    /// [`RouteCache::with_default_capacity`] computes.
+    pub fn new(topo: DistilledTopology, capacity: usize) -> Self {
+        RouteCache {
+            topo,
+            capacity: capacity.max(1),
+            cache: HashMap::new(),
+            insertion_order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Creates a cache sized to `n·⌈lg n⌉` entries as the paper suggests.
+    pub fn with_default_capacity(topo: DistilledTopology) -> Self {
+        let n = topo.vns().len().max(2);
+        let lg = usize::BITS - (n - 1).leading_zeros();
+        Self::new(topo, n * lg as usize)
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (on-demand computations) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Maximum number of cached entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops all cached routes (used after the pipe graph changes, e.g. on
+    /// fault injection).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+        self.insertion_order.clear();
+    }
+
+    /// Replaces the underlying pipe graph and invalidates the cache.
+    pub fn update_topology(&mut self, topo: DistilledTopology) {
+        self.topo = topo;
+        self.invalidate();
+    }
+
+    /// Access to the underlying pipe graph.
+    pub fn topology(&self) -> &DistilledTopology {
+        &self.topo
+    }
+
+    fn insert(&mut self, key: (NodeId, NodeId), route: Option<Route>) {
+        if self.cache.len() >= self.capacity {
+            // FIFO eviction keeps the structure simple and predictable; the
+            // paper only requires that stale entries eventually leave.
+            if let Some(old) = self.insertion_order.pop_front() {
+                self.cache.remove(&old);
+            }
+        }
+        self.insertion_order.push_back(key);
+        self.cache.insert(key, route);
+    }
+}
+
+impl RouteProvider for RouteCache {
+    fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Route> {
+        if src == dst {
+            return Some(Route::default());
+        }
+        if let Some(cached) = self.cache.get(&(src, dst)) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        // Compute the whole tree for this source and prime the cache with the
+        // destinations most likely to be asked next (other VNs), up to the
+        // remaining capacity.
+        let pred = shortest_route_tree(&self.topo, src);
+        let route = route_from_tree(&self.topo, &pred, src, dst);
+        self.insert((src, dst), route.clone());
+        let vns = self.topo.vns().to_vec();
+        for vn in vns {
+            if vn == src || vn == dst {
+                continue;
+            }
+            if self.cache.len() >= self.capacity {
+                break;
+            }
+            if !self.cache.contains_key(&(src, vn)) {
+                let r = route_from_tree(&self.topo, &pred, src, vn);
+                self.insert((src, vn), r);
+            }
+        }
+        route
+    }
+
+    fn stored_routes(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_distill::{distill, DistillationMode};
+    use mn_topology::generators::{ring_topology, RingParams};
+    use crate::RoutingMatrix;
+
+    fn pipe_graph() -> DistilledTopology {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 3,
+            ..RingParams::default()
+        });
+        distill(&topo, DistillationMode::HopByHop)
+    }
+
+    #[test]
+    fn cache_routes_match_matrix_routes() {
+        let d = pipe_graph();
+        let matrix = RoutingMatrix::build(&d);
+        let mut cache = RouteCache::with_default_capacity(d);
+        let vns = matrix.vns().to_vec();
+        for &a in &vns {
+            for &b in &vns {
+                let via_cache = cache.route(a, b).unwrap();
+                let via_matrix = matrix.lookup(a, b).unwrap();
+                assert_eq!(via_cache.hop_count(), via_matrix.hop_count());
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_lookups_hit_the_cache() {
+        let d = pipe_graph();
+        let vns = d.vns().to_vec();
+        let mut cache = RouteCache::with_default_capacity(d);
+        let _ = cache.route(vns[0], vns[1]);
+        assert_eq!(cache.misses(), 1);
+        let _ = cache.route(vns[0], vns[1]);
+        let _ = cache.route(vns[0], vns[2]);
+        assert_eq!(cache.hits(), 2, "tree priming should have cached vns[0] -> vns[2]");
+    }
+
+    #[test]
+    fn capacity_bounds_storage() {
+        let d = pipe_graph();
+        let vns = d.vns().to_vec();
+        let mut cache = RouteCache::new(d, 4);
+        for &a in &vns {
+            for &b in &vns {
+                let _ = cache.route(a, b);
+            }
+        }
+        assert!(cache.stored_routes() <= 4);
+        assert_eq!(cache.capacity(), 4);
+    }
+
+    #[test]
+    fn default_capacity_is_n_log_n() {
+        let d = pipe_graph();
+        let n = d.vns().len();
+        let cache = RouteCache::with_default_capacity(d);
+        assert_eq!(cache.capacity(), n * 5); // 18 VNs -> ceil(lg 18) = 5.
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn invalidate_clears_entries() {
+        let d = pipe_graph();
+        let vns = d.vns().to_vec();
+        let mut cache = RouteCache::with_default_capacity(d);
+        let _ = cache.route(vns[0], vns[1]);
+        assert!(!cache.is_empty());
+        cache.invalidate();
+        assert!(cache.is_empty());
+        let _ = cache.route(vns[0], vns[1]);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn same_node_route_is_empty_and_uncached() {
+        let d = pipe_graph();
+        let vns = d.vns().to_vec();
+        let mut cache = RouteCache::with_default_capacity(d);
+        let r = cache.route(vns[0], vns[0]).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(cache.stored_routes(), 0);
+    }
+
+    #[test]
+    fn update_topology_invalidates() {
+        let d = pipe_graph();
+        let vns = d.vns().to_vec();
+        let mut cache = RouteCache::with_default_capacity(d.clone());
+        let _ = cache.route(vns[0], vns[1]);
+        cache.update_topology(d);
+        assert!(cache.is_empty());
+        assert_eq!(cache.topology().vns().len(), vns.len());
+    }
+}

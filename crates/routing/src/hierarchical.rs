@@ -1,0 +1,212 @@
+//! Hierarchical two-level route tables.
+//!
+//! The paper: "For common Internet-like topologies that cluster VNs on stub
+//! domains, we could spread lookups among hierarchical but smaller tables,
+//! trading less storage for a slight increase in lookup cost." This module
+//! implements that extension: each VN records the single route segment to its
+//! first-hop *gateway*, and a much smaller matrix stores gateway-to-gateway
+//! routes. A VN-to-VN lookup composes three segments, so storage is
+//! O(V + G²) for V VNs clustered behind G gateways instead of O(V²).
+//!
+//! Composition can be a hop longer than the true shortest path when the
+//! optimum route would bypass a gateway; that is exactly the "slight increase
+//! in lookup cost" trade-off the paper describes. For pipe graphs where VNs
+//! connect directly (end-to-end distillations), direct pipes are used and the
+//! gateway machinery is bypassed.
+
+use std::collections::HashMap;
+
+use mn_distill::{DistilledTopology, PipeId};
+use mn_topology::NodeId;
+
+use crate::dijkstra::{route_from_tree, shortest_route_tree, Route};
+use crate::RouteProvider;
+
+/// Two-level routing tables: VN → gateway segments plus a gateway matrix.
+#[derive(Debug, Clone)]
+pub struct HierarchicalRouter {
+    topo: DistilledTopology,
+    /// For each VN: (gateway node, pipe VN→gateway, pipe gateway→VN).
+    vn_gateway: HashMap<NodeId, (NodeId, PipeId, PipeId)>,
+    /// Gateways in index order.
+    gateways: Vec<NodeId>,
+    gateway_index: HashMap<NodeId, usize>,
+    /// Dense gateway-to-gateway route matrix.
+    gateway_routes: Vec<Option<Route>>,
+}
+
+impl HierarchicalRouter {
+    /// Builds the two-level tables from a distilled topology.
+    ///
+    /// A VN's gateway is the far end of its lowest-latency outgoing pipe.
+    /// VNs with no usable gateway (isolated nodes) simply have no entries and
+    /// their lookups return `None`.
+    pub fn build(topo: &DistilledTopology) -> Self {
+        let mut vn_gateway = HashMap::new();
+        let mut gateways = Vec::new();
+        let mut gateway_index: HashMap<NodeId, usize> = HashMap::new();
+
+        for &vn in topo.vns() {
+            let best = topo
+                .out_pipes(vn)
+                .iter()
+                .copied()
+                .min_by_key(|&p| topo.pipe(p).attrs.latency);
+            let Some(up) = best else { continue };
+            let gw = topo.pipe(up).dst;
+            let Some(down) = topo.find_pipe(gw, vn) else {
+                continue;
+            };
+            vn_gateway.insert(vn, (gw, up, down));
+            if !gateway_index.contains_key(&gw) {
+                gateway_index.insert(gw, gateways.len());
+                gateways.push(gw);
+            }
+        }
+
+        let g = gateways.len();
+        let mut gateway_routes = vec![None; g * g];
+        for (gi, &gsrc) in gateways.iter().enumerate() {
+            let pred = shortest_route_tree(topo, gsrc);
+            for (gj, &gdst) in gateways.iter().enumerate() {
+                gateway_routes[gi * g + gj] = route_from_tree(topo, &pred, gsrc, gdst);
+            }
+        }
+
+        HierarchicalRouter {
+            topo: topo.clone(),
+            vn_gateway,
+            gateways,
+            gateway_index,
+            gateway_routes,
+        }
+    }
+
+    /// Number of distinct gateways discovered.
+    pub fn gateway_count(&self) -> usize {
+        self.gateways.len()
+    }
+
+    fn gateway_route(&self, a: NodeId, b: NodeId) -> Option<&Route> {
+        let g = self.gateways.len();
+        let ia = *self.gateway_index.get(&a)?;
+        let ib = *self.gateway_index.get(&b)?;
+        self.gateway_routes[ia * g + ib].as_ref()
+    }
+}
+
+impl RouteProvider for HierarchicalRouter {
+    fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Route> {
+        if src == dst {
+            return Some(Route::default());
+        }
+        // Direct pipe (end-to-end style graphs, or VNs on the same router in
+        // a mesh) short-circuits the hierarchy.
+        if let Some(direct) = self.topo.find_pipe(src, dst) {
+            return Some(Route::new(vec![direct]));
+        }
+        let &(gw_src, up, _) = self.vn_gateway.get(&src)?;
+        let &(gw_dst, _, down) = self.vn_gateway.get(&dst)?;
+        let mut pipes = vec![up];
+        if gw_src != gw_dst {
+            let middle = self.gateway_route(gw_src, gw_dst)?;
+            pipes.extend_from_slice(&middle.pipes);
+        }
+        pipes.push(down);
+        Some(Route::new(pipes))
+    }
+
+    fn stored_routes(&self) -> usize {
+        // Each VN stores two segments; the gateway matrix stores G² routes.
+        self.vn_gateway.len() + self.gateway_routes.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingMatrix;
+    use mn_distill::{distill, DistillationMode};
+    use mn_topology::generators::{
+        ring_topology, transit_stub_topology, RingParams, TransitStubParams,
+    };
+
+    fn ring_graph() -> DistilledTopology {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 3,
+            ..RingParams::default()
+        });
+        distill(&topo, DistillationMode::HopByHop)
+    }
+
+    #[test]
+    fn gateway_discovery_finds_one_gateway_per_router() {
+        let d = ring_graph();
+        let h = HierarchicalRouter::build(&d);
+        assert_eq!(h.gateway_count(), 6);
+    }
+
+    #[test]
+    fn hierarchical_routes_connect_and_are_near_optimal() {
+        let d = ring_graph();
+        let matrix = RoutingMatrix::build(&d);
+        let mut h = HierarchicalRouter::build(&d);
+        for &a in matrix.vns() {
+            for &b in matrix.vns() {
+                if a == b {
+                    continue;
+                }
+                let hr = h.route(a, b).expect("hierarchical route exists");
+                let best = matrix.lookup(a, b).unwrap();
+                // Route is valid: pipes chain from a to b.
+                let mut cur = a;
+                for &p in &hr.pipes {
+                    assert_eq!(d.pipe(p).src, cur);
+                    cur = d.pipe(p).dst;
+                }
+                assert_eq!(cur, b);
+                // And within one hop of optimal.
+                assert!(hr.hop_count() <= best.hop_count() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_is_much_smaller_than_matrix() {
+        let ts = transit_stub_topology(&TransitStubParams::default());
+        let d = distill(&ts.topology, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let h = HierarchicalRouter::build(&d);
+        assert!(
+            h.stored_routes() * 2 < matrix.stored_routes(),
+            "hierarchical {} vs matrix {}",
+            h.stored_routes(),
+            matrix.stored_routes()
+        );
+    }
+
+    #[test]
+    fn direct_pipes_short_circuit() {
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::EndToEnd);
+        let mut h = HierarchicalRouter::build(&d);
+        let vns = d.vns().to_vec();
+        let r = h.route(vns[0], vns[3]).unwrap();
+        assert_eq!(r.hop_count(), 1);
+    }
+
+    #[test]
+    fn same_node_is_trivial_and_unknown_is_none() {
+        let d = ring_graph();
+        let mut h = HierarchicalRouter::build(&d);
+        let vns = d.vns().to_vec();
+        assert!(h.route(vns[0], vns[0]).unwrap().is_empty());
+        // A transit router is not a VN and has no gateway entry.
+        assert!(h.route(NodeId(0), vns[1]).is_none() || !d.vns().contains(&NodeId(0)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Route computation and lookup for the ModelNet core (§2.2 of the paper).
+//!
+//! During the Binding phase ModelNet pre-computes shortest-path routes among
+//! all pairs of VNs in the distilled topology and installs them in a routing
+//! matrix on each core node. Each route is an ordered list of pipes a packet
+//! traverses from source to destination. The matrix gives O(1) lookup but
+//! consumes O(n²) space; the paper sketches two alternatives for larger
+//! target networks — hierarchical tables that exploit the clustering of VNs
+//! on stub domains, and a hash-based cache of routes for active flows with
+//! on-demand Dijkstra on a miss. All three are implemented here behind the
+//! [`RouteProvider`] trait:
+//!
+//! * [`RoutingMatrix`] — dense all-pairs pre-computation (the default).
+//! * [`RouteCache`] — bounded cache + on-demand shortest-path computation.
+//! * [`HierarchicalRouter`] — two-level tables: per-gateway routes between
+//!   first-hop routers composed with the preserved first/last hops.
+//!
+//! The paper assumes a "perfect" routing protocol that instantaneously
+//! recomputes shortest paths after a failure; [`RoutingMatrix::rebuild`]
+//! provides exactly that, and `mn-dynamics` calls it when links fail.
+
+pub mod cache;
+pub mod dijkstra;
+pub mod hierarchical;
+pub mod matrix;
+
+pub use cache::RouteCache;
+pub use dijkstra::{route_between, shortest_route_tree, Route};
+pub use hierarchical::HierarchicalRouter;
+pub use matrix::RoutingMatrix;
+
+use mn_topology::NodeId;
+
+/// Uniform interface over the route lookup structures.
+pub trait RouteProvider {
+    /// Returns the route (ordered pipe list) from `src` to `dst`, or `None`
+    /// if no path exists. `src == dst` yields an empty route.
+    fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Route>;
+
+    /// Approximate memory footprint of the structure in route entries, used
+    /// by the routing-scheme comparison micro-benchmarks.
+    fn stored_routes(&self) -> usize;
+}

@@ -1,0 +1,219 @@
+//! The dense all-pairs routing matrix (the paper's default design).
+//!
+//! "This straightforward design allows fast indexing and scales to 10,000
+//! VNs, but the routing tables consume O(n²) space." Routes are stored per
+//! ordered VN pair; lookup is two array indexes. [`RoutingMatrix::rebuild`]
+//! re-runs the all-pairs computation, which is how the emulation reacts to
+//! link failures under the paper's "perfect routing protocol" assumption.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use mn_distill::DistilledTopology;
+use mn_topology::NodeId;
+
+use crate::dijkstra::{route_from_tree, shortest_route_tree, Route};
+use crate::RouteProvider;
+
+/// Dense all-pairs route storage over the VN set of a distilled topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingMatrix {
+    /// The VN set, in index order.
+    vns: Vec<NodeId>,
+    /// Maps a VN's topology node id to its dense index.
+    index_of: HashMap<NodeId, usize>,
+    /// `routes[src_index * n + dst_index]`; `None` when unreachable.
+    routes: Vec<Option<Route>>,
+}
+
+impl RoutingMatrix {
+    /// Pre-computes shortest-path routes among all pairs of VNs in the
+    /// distilled topology.
+    pub fn build(topo: &DistilledTopology) -> Self {
+        let vns = topo.vns().to_vec();
+        let mut matrix = RoutingMatrix {
+            index_of: vns.iter().enumerate().map(|(i, &n)| (n, i)).collect(),
+            routes: Vec::new(),
+            vns,
+        };
+        matrix.rebuild(topo);
+        matrix
+    }
+
+    /// Recomputes every route against the (possibly modified) pipe graph.
+    /// Used after fault injection changes reachability or latencies.
+    pub fn rebuild(&mut self, topo: &DistilledTopology) {
+        let n = self.vns.len();
+        let mut routes = vec![None; n * n];
+        for (si, &src) in self.vns.iter().enumerate() {
+            let pred = shortest_route_tree(topo, src);
+            for (di, &dst) in self.vns.iter().enumerate() {
+                routes[si * n + di] = route_from_tree(topo, &pred, src, dst);
+            }
+        }
+        self.routes = routes;
+    }
+
+    /// The VN set the matrix covers.
+    pub fn vns(&self) -> &[NodeId] {
+        &self.vns
+    }
+
+    /// Number of VNs.
+    pub fn vn_count(&self) -> usize {
+        self.vns.len()
+    }
+
+    /// Looks up a route without requiring `&mut self` (the matrix never
+    /// computes lazily).
+    pub fn lookup(&self, src: NodeId, dst: NodeId) -> Option<&Route> {
+        let si = *self.index_of.get(&src)?;
+        let di = *self.index_of.get(&dst)?;
+        self.routes[si * self.vns.len() + di].as_ref()
+    }
+
+    /// Average route length in pipes over all reachable ordered pairs
+    /// (excluding the trivial diagonal). Reported by the distillation
+    /// experiments.
+    pub fn mean_route_length(&self) -> f64 {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for r in self.routes.iter().flatten() {
+            if !r.is_empty() {
+                total += r.hop_count();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+
+    /// Longest route in pipes over all pairs.
+    pub fn max_route_length(&self) -> usize {
+        self.routes
+            .iter()
+            .flatten()
+            .map(Route::hop_count)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl RouteProvider for RoutingMatrix {
+    fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Route> {
+        self.lookup(src, dst).cloned()
+    }
+
+    fn stored_routes(&self) -> usize {
+        self.routes.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_distill::{distill, DistillationMode};
+    use mn_topology::generators::{ring_topology, star_topology, RingParams, StarParams};
+    use mn_util::{DataRate, SimDuration};
+
+    fn small_ring() -> DistilledTopology {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        distill(&topo, DistillationMode::HopByHop)
+    }
+
+    #[test]
+    fn matrix_covers_all_vn_pairs() {
+        let d = small_ring();
+        let m = RoutingMatrix::build(&d);
+        assert_eq!(m.vn_count(), 12);
+        assert_eq!(m.stored_routes(), 12 * 12);
+        for &a in m.vns() {
+            for &b in m.vns() {
+                let r = m.lookup(a, b).unwrap();
+                if a == b {
+                    assert!(r.is_empty());
+                } else {
+                    assert!(r.hop_count() >= 2, "VN-to-VN routes cross two access links");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_routes_match_direct_dijkstra() {
+        let d = small_ring();
+        let m = RoutingMatrix::build(&d);
+        let vns = m.vns().to_vec();
+        for &a in &vns {
+            for &b in &vns {
+                let expected = crate::route_between(&d, a, b).unwrap();
+                assert_eq!(m.lookup(a, b).unwrap().hop_count(), expected.hop_count());
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_unknown_vn_is_none() {
+        let d = small_ring();
+        let m = RoutingMatrix::build(&d);
+        // Node 0 is a transit router, not a VN.
+        let router = NodeId(0);
+        assert!(m.lookup(router, m.vns()[0]).is_none());
+    }
+
+    #[test]
+    fn star_routes_are_two_hops() {
+        let topo = star_topology(&StarParams {
+            clients: 20,
+            ..StarParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let m = RoutingMatrix::build(&d);
+        assert_eq!(m.max_route_length(), 2);
+        assert!((m.mean_route_length() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuild_picks_up_latency_changes() {
+        // Square of stubs with a client at two corners; raising one side's
+        // latency shifts the route to the other side.
+        let mut topo = mn_topology::Topology::new();
+        let a = topo.add_node(mn_topology::NodeKind::Client);
+        let r1 = topo.add_node(mn_topology::NodeKind::Stub);
+        let r2 = topo.add_node(mn_topology::NodeKind::Stub);
+        let b = topo.add_node(mn_topology::NodeKind::Client);
+        let fast = mn_topology::LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+        topo.add_link(a, r1, fast).unwrap();
+        topo.add_link(r1, b, fast).unwrap();
+        topo.add_link(a, r2, fast).unwrap();
+        topo.add_link(r2, b, fast).unwrap();
+        let mut d = distill(&topo, DistillationMode::HopByHop);
+        let mut m = RoutingMatrix::build(&d);
+        let before = m.lookup(a, b).unwrap().clone();
+        // Slow down whichever first-hop pipe the current route uses.
+        let used_pipe = before.pipes[0];
+        d.pipe_attrs_mut(used_pipe).unwrap().latency = SimDuration::from_millis(50);
+        m.rebuild(&d);
+        let after = m.lookup(a, b).unwrap();
+        assert_ne!(after.pipes[0], used_pipe, "route should avoid the slowed pipe");
+        assert_eq!(after.total_latency(&d), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn provider_interface_clones_routes() {
+        let d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let vns = m.vns().to_vec();
+        let r = RouteProvider::route(&mut m, vns[0], vns[1]).unwrap();
+        assert!(!r.is_empty());
+        assert!(RouteProvider::route(&mut m, NodeId(0), vns[1]).is_none());
+    }
+}

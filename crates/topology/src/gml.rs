@@ -1,0 +1,572 @@
+//! GML (Graph Modelling Language) import and export.
+//!
+//! ModelNet normalises every topology source — Internet traces, BGP dumps,
+//! synthetic generators — into GML and lets users annotate the GML graph with
+//! attributes the source did not provide. This module implements a
+//! self-contained GML tokenizer/parser and a writer, plus the conversion
+//! between the generic GML tree and [`Topology`].
+//!
+//! The attribute vocabulary understood on links is:
+//!
+//! | key | meaning | unit |
+//! |---|---|---|
+//! | `bandwidth` | link bandwidth | bits per second |
+//! | `latency` | one-way propagation delay | milliseconds (fractional allowed) |
+//! | `loss` | random loss probability | `[0, 1]` |
+//! | `queue` | maximum queue length | packets |
+//!
+//! Nodes carry `id`, an optional `label` and an optional `kind`
+//! (`"client"`, `"stub"` or `"transit"`; unknown kinds default to stub).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mn_util::{DataRate, SimDuration};
+
+use crate::graph::{LinkAttrs, NodeId, NodeKind, Topology};
+
+/// A GML value: a number, a quoted string or a nested list of key/value pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GmlValue {
+    /// An integer literal.
+    Int(i64),
+    /// A floating point literal.
+    Float(f64),
+    /// A quoted string.
+    Str(String),
+    /// A bracketed list of key/value pairs.
+    List(Vec<(String, GmlValue)>),
+}
+
+impl GmlValue {
+    /// Interprets the value as a float if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            GmlValue::Int(i) => Some(*i as f64),
+            GmlValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an integer if it is an integer literal.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            GmlValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string if it is a string literal.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            GmlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a list if it is one.
+    pub fn as_list(&self) -> Option<&[(String, GmlValue)]> {
+        match self {
+            GmlValue::List(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// Errors raised while parsing or interpreting GML text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GmlError {
+    /// Unexpected character or malformed token at the given byte offset.
+    Syntax { offset: usize, message: String },
+    /// The document did not contain a `graph [...]` section.
+    MissingGraph,
+    /// A node or edge record was missing a required key.
+    MissingKey { record: &'static str, key: &'static str },
+    /// An edge referenced a node id that was not declared.
+    UnknownNodeRef(i64),
+    /// A node id was declared twice.
+    DuplicateNodeId(i64),
+}
+
+impl fmt::Display for GmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmlError::Syntax { offset, message } => {
+                write!(f, "GML syntax error at byte {offset}: {message}")
+            }
+            GmlError::MissingGraph => write!(f, "GML document has no graph section"),
+            GmlError::MissingKey { record, key } => {
+                write!(f, "GML {record} record missing required key '{key}'")
+            }
+            GmlError::UnknownNodeRef(id) => write!(f, "GML edge references unknown node id {id}"),
+            GmlError::DuplicateNodeId(id) => write!(f, "GML node id {id} declared twice"),
+        }
+    }
+}
+
+impl std::error::Error for GmlError {}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Key(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Open,
+    Close,
+}
+
+struct Lexer<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer {
+            text: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> GmlError {
+        GmlError::Syntax {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        while self.pos < self.text.len() {
+            let c = self.text[self.pos];
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'#' {
+                // Comment to end of line.
+                while self.pos < self.text.len() && self.text[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, GmlError> {
+        self.skip_ws_and_comments();
+        if self.pos >= self.text.len() {
+            return Ok(None);
+        }
+        let c = self.text[self.pos];
+        match c {
+            b'[' => {
+                self.pos += 1;
+                Ok(Some(Token::Open))
+            }
+            b']' => {
+                self.pos += 1;
+                Ok(Some(Token::Close))
+            }
+            b'"' => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.text.len() && self.text[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.text.len() {
+                    return Err(self.error("unterminated string"));
+                }
+                let s = String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                self.pos += 1;
+                Ok(Some(Token::Str(s)))
+            }
+            b'-' | b'+' | b'0'..=b'9' | b'.' => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.pos < self.text.len()
+                    && matches!(self.text[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+                {
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.text[start..self.pos])
+                    .map_err(|_| self.error("invalid number"))?;
+                if let Ok(i) = s.parse::<i64>() {
+                    Ok(Some(Token::Int(i)))
+                } else if let Ok(f) = s.parse::<f64>() {
+                    Ok(Some(Token::Float(f)))
+                } else {
+                    Err(self.error(format!("malformed numeric literal '{s}'")))
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.text.len()
+                    && (self.text[self.pos].is_ascii_alphanumeric() || self.text[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let s = String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                Ok(Some(Token::Key(s)))
+            }
+            other => Err(self.error(format!("unexpected character '{}'", other as char))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses a GML document into its top-level key/value pairs.
+pub fn parse_document(text: &str) -> Result<Vec<(String, GmlValue)>, GmlError> {
+    let mut lexer = Lexer::new(text);
+    let mut tokens = Vec::new();
+    while let Some(t) = lexer.next_token()? {
+        tokens.push(t);
+    }
+    let mut pos = 0;
+    let pairs = parse_pairs(&tokens, &mut pos, text.len())?;
+    if pos != tokens.len() {
+        return Err(GmlError::Syntax {
+            offset: text.len(),
+            message: "trailing tokens after document".to_string(),
+        });
+    }
+    Ok(pairs)
+}
+
+fn parse_pairs(
+    tokens: &[Token],
+    pos: &mut usize,
+    doc_len: usize,
+) -> Result<Vec<(String, GmlValue)>, GmlError> {
+    let mut out = Vec::new();
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            Token::Close => break,
+            Token::Key(k) => {
+                let key = k.clone();
+                *pos += 1;
+                let value = parse_value(tokens, pos, doc_len)?;
+                out.push((key, value));
+            }
+            other => {
+                return Err(GmlError::Syntax {
+                    offset: doc_len,
+                    message: format!("expected key, found {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_value(tokens: &[Token], pos: &mut usize, doc_len: usize) -> Result<GmlValue, GmlError> {
+    let Some(tok) = tokens.get(*pos) else {
+        return Err(GmlError::Syntax {
+            offset: doc_len,
+            message: "unexpected end of document, expected value".to_string(),
+        });
+    };
+    match tok {
+        Token::Int(i) => {
+            *pos += 1;
+            Ok(GmlValue::Int(*i))
+        }
+        Token::Float(f) => {
+            *pos += 1;
+            Ok(GmlValue::Float(*f))
+        }
+        Token::Str(s) => {
+            *pos += 1;
+            Ok(GmlValue::Str(s.clone()))
+        }
+        Token::Open => {
+            *pos += 1;
+            let pairs = parse_pairs(tokens, pos, doc_len)?;
+            match tokens.get(*pos) {
+                Some(Token::Close) => {
+                    *pos += 1;
+                    Ok(GmlValue::List(pairs))
+                }
+                _ => Err(GmlError::Syntax {
+                    offset: doc_len,
+                    message: "unterminated list (missing ']')".to_string(),
+                }),
+            }
+        }
+        Token::Close | Token::Key(_) => Err(GmlError::Syntax {
+            offset: doc_len,
+            message: "expected value".to_string(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Topology conversion
+// ---------------------------------------------------------------------------
+
+fn find<'a>(pairs: &'a [(String, GmlValue)], key: &str) -> Option<&'a GmlValue> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Default attributes applied to links whose GML record carries no bandwidth
+/// or latency annotation: 100 Mb/s, 1 ms, lossless, default queue.
+pub fn default_link_attrs() -> LinkAttrs {
+    LinkAttrs::new(DataRate::from_mbps(100), SimDuration::from_millis(1))
+}
+
+/// Parses a GML document into a [`Topology`].
+pub fn parse_topology(text: &str) -> Result<Topology, GmlError> {
+    let doc = parse_document(text)?;
+    let graph = find(&doc, "graph")
+        .and_then(GmlValue::as_list)
+        .ok_or(GmlError::MissingGraph)?;
+
+    let mut topo = Topology::new();
+    let mut id_map: BTreeMap<i64, NodeId> = BTreeMap::new();
+
+    for (key, value) in graph {
+        if key != "node" {
+            continue;
+        }
+        let rec = value.as_list().ok_or(GmlError::MissingKey {
+            record: "node",
+            key: "id",
+        })?;
+        let id = find(rec, "id")
+            .and_then(GmlValue::as_i64)
+            .ok_or(GmlError::MissingKey {
+                record: "node",
+                key: "id",
+            })?;
+        if id_map.contains_key(&id) {
+            return Err(GmlError::DuplicateNodeId(id));
+        }
+        let kind = match find(rec, "kind").and_then(GmlValue::as_str) {
+            Some("client") => NodeKind::Client,
+            Some("transit") => NodeKind::Transit,
+            _ => NodeKind::Stub,
+        };
+        let node = match find(rec, "label").and_then(GmlValue::as_str) {
+            Some(label) => topo.add_named_node(kind, label),
+            None => topo.add_node(kind),
+        };
+        id_map.insert(id, node);
+    }
+
+    for (key, value) in graph {
+        if key != "edge" {
+            continue;
+        }
+        let rec = value.as_list().ok_or(GmlError::MissingKey {
+            record: "edge",
+            key: "source",
+        })?;
+        let source = find(rec, "source")
+            .and_then(GmlValue::as_i64)
+            .ok_or(GmlError::MissingKey {
+                record: "edge",
+                key: "source",
+            })?;
+        let target = find(rec, "target")
+            .and_then(GmlValue::as_i64)
+            .ok_or(GmlError::MissingKey {
+                record: "edge",
+                key: "target",
+            })?;
+        let a = *id_map.get(&source).ok_or(GmlError::UnknownNodeRef(source))?;
+        let b = *id_map.get(&target).ok_or(GmlError::UnknownNodeRef(target))?;
+
+        let mut attrs = default_link_attrs();
+        if let Some(bw) = find(rec, "bandwidth").and_then(GmlValue::as_f64) {
+            attrs.bandwidth = DataRate::from_bps(bw.max(0.0) as u64);
+        }
+        if let Some(lat_ms) = find(rec, "latency").and_then(GmlValue::as_f64) {
+            attrs.latency = SimDuration::from_millis_f64(lat_ms);
+        }
+        if let Some(loss) = find(rec, "loss").and_then(GmlValue::as_f64) {
+            attrs.loss_rate = loss.clamp(0.0, 1.0);
+        }
+        if let Some(q) = find(rec, "queue").and_then(GmlValue::as_f64) {
+            attrs.queue_len = q.max(1.0) as usize;
+        }
+        // Self-loops or bad references surface as MissingKey-level issues at
+        // topology construction; map them to a syntax error with context.
+        topo.add_link(a, b, attrs).map_err(|e| GmlError::Syntax {
+            offset: 0,
+            message: format!("invalid edge {source}->{target}: {e}"),
+        })?;
+    }
+
+    Ok(topo)
+}
+
+/// Serialises a [`Topology`] to GML text that [`parse_topology`] can read
+/// back.
+pub fn write_topology(topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str("# ModelNet-RS topology\ngraph [\n  directed 0\n");
+    for (id, node) in topo.nodes() {
+        out.push_str("  node [\n");
+        out.push_str(&format!("    id {}\n", id.index()));
+        if let Some(name) = &node.name {
+            out.push_str(&format!("    label \"{name}\"\n"));
+        }
+        out.push_str(&format!("    kind \"{}\"\n", node.kind));
+        out.push_str("  ]\n");
+    }
+    for (_, link) in topo.links() {
+        out.push_str("  edge [\n");
+        out.push_str(&format!("    source {}\n", link.a.index()));
+        out.push_str(&format!("    target {}\n", link.b.index()));
+        out.push_str(&format!("    bandwidth {}\n", link.attrs.bandwidth.as_bps()));
+        out.push_str(&format!("    latency {}\n", link.attrs.latency.as_millis_f64()));
+        out.push_str(&format!("    loss {}\n", link.attrs.loss_rate));
+        out.push_str(&format!("    queue {}\n", link.attrs.queue_len));
+        out.push_str("  ]\n");
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{ring_topology, RingParams};
+
+    const SAMPLE: &str = r#"
+# A two-client topology with one stub router.
+graph [
+  directed 0
+  node [ id 0 label "client-a" kind "client" ]
+  node [ id 1 kind "stub" ]
+  node [ id 2 label "client-b" kind "client" ]
+  edge [ source 0 target 1 bandwidth 2000000 latency 5 loss 0.01 queue 20 ]
+  edge [ source 1 target 2 bandwidth 10000000 latency 2.5 ]
+]
+"#;
+
+    #[test]
+    fn parse_sample_topology() {
+        let topo = parse_topology(SAMPLE).unwrap();
+        assert_eq!(topo.node_count(), 3);
+        assert_eq!(topo.link_count(), 2);
+        assert_eq!(topo.client_count(), 2);
+        let (_, first) = topo.links().next().unwrap();
+        assert_eq!(first.attrs.bandwidth, DataRate::from_mbps(2));
+        assert_eq!(first.attrs.latency, SimDuration::from_millis(5));
+        assert_eq!(first.attrs.loss_rate, 0.01);
+        assert_eq!(first.attrs.queue_len, 20);
+        let (_, second) = topo.links().nth(1).unwrap();
+        assert_eq!(second.attrs.latency, SimDuration::from_micros(2500));
+        assert_eq!(second.attrs.loss_rate, 0.0);
+        assert_eq!(second.attrs.queue_len, LinkAttrs::DEFAULT_QUEUE_LEN);
+    }
+
+    #[test]
+    fn node_labels_and_kinds_preserved() {
+        let topo = parse_topology(SAMPLE).unwrap();
+        assert_eq!(topo.node(NodeId(0)).unwrap().name.as_deref(), Some("client-a"));
+        assert_eq!(topo.node(NodeId(1)).unwrap().kind, NodeKind::Stub);
+        assert_eq!(topo.node(NodeId(2)).unwrap().kind, NodeKind::Client);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let orig = parse_topology(SAMPLE).unwrap();
+        let text = write_topology(&orig);
+        let back = parse_topology(&text).unwrap();
+        assert_eq!(back.node_count(), orig.node_count());
+        assert_eq!(back.link_count(), orig.link_count());
+        for (id, link) in orig.links() {
+            let rlink = back.link(id).unwrap();
+            assert_eq!(rlink.attrs, link.attrs);
+            assert_eq!(rlink.a, link.a);
+            assert_eq!(rlink.b, link.b);
+        }
+        for (id, node) in orig.nodes() {
+            assert_eq!(back.node(id).unwrap().kind, node.kind);
+        }
+    }
+
+    #[test]
+    fn roundtrip_generated_topology() {
+        let topo = ring_topology(&RingParams::default());
+        let text = write_topology(&topo);
+        let back = parse_topology(&text).unwrap();
+        assert_eq!(back.node_count(), topo.node_count());
+        assert_eq!(back.link_count(), topo.link_count());
+        assert_eq!(back.client_count(), topo.client_count());
+    }
+
+    #[test]
+    fn missing_graph_section() {
+        assert_eq!(parse_topology("foo 3").unwrap_err(), GmlError::MissingGraph);
+    }
+
+    #[test]
+    fn edge_with_unknown_node() {
+        let text = r#"graph [ node [ id 0 ] edge [ source 0 target 7 ] ]"#;
+        assert_eq!(parse_topology(text).unwrap_err(), GmlError::UnknownNodeRef(7));
+    }
+
+    #[test]
+    fn duplicate_node_id() {
+        let text = r#"graph [ node [ id 0 ] node [ id 0 ] ]"#;
+        assert_eq!(parse_topology(text).unwrap_err(), GmlError::DuplicateNodeId(0));
+    }
+
+    #[test]
+    fn node_missing_id() {
+        let text = r#"graph [ node [ label "x" ] ]"#;
+        assert!(matches!(
+            parse_topology(text),
+            Err(GmlError::MissingKey { record: "node", .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_string_is_syntax_error() {
+        let text = r#"graph [ node [ id 0 label "oops ] ]"#;
+        assert!(matches!(parse_topology(text), Err(GmlError::Syntax { .. })));
+    }
+
+    #[test]
+    fn unterminated_list_is_syntax_error() {
+        let text = r#"graph [ node [ id 0 ]"#;
+        assert!(matches!(parse_topology(text), Err(GmlError::Syntax { .. })));
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let text = "graph [ # comment\n  node [ id 0 ] # another\n]\n";
+        let topo = parse_topology(text).unwrap();
+        assert_eq!(topo.node_count(), 1);
+    }
+
+    #[test]
+    fn gml_value_accessors() {
+        assert_eq!(GmlValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(GmlValue::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(GmlValue::Str("x".into()).as_f64(), None);
+        assert_eq!(GmlValue::Int(3).as_i64(), Some(3));
+        assert_eq!(GmlValue::Float(2.5).as_i64(), None);
+        assert_eq!(GmlValue::Str("x".into()).as_str(), Some("x"));
+        assert!(GmlValue::List(vec![]).as_list().is_some());
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = GmlError::MissingKey {
+            record: "edge",
+            key: "source",
+        };
+        assert!(e.to_string().contains("edge"));
+        assert!(GmlError::UnknownNodeRef(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,249 @@
+//! Pairwise network-measurement import (RON-style end-to-end data).
+//!
+//! The paper's CFS case study starts from the *published RON inter-node
+//! characteristics*: a table of measured bandwidth, latency and loss between
+//! every pair of testbed hosts, which the authors convert into a ModelNet
+//! topology. This module supports that workflow for any such dataset: a
+//! simple line-oriented text format (`src dst bandwidth_kbps latency_ms
+//! loss`) is parsed into a full-mesh [`Topology`] of client nodes, one link
+//! per measured pair, and can be written back out. The synthetic
+//! [`crate::ron`] mesh uses the same representation, so a user with access to
+//! real measurements can swap them in without touching the experiment code.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mn_util::{DataRate, SimDuration};
+
+use crate::graph::{LinkAttrs, NodeId, NodeKind, Topology};
+
+/// One measured path between two named hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairMeasurement {
+    /// Source host name.
+    pub src: String,
+    /// Destination host name.
+    pub dst: String,
+    /// Available bandwidth observed on the path.
+    pub bandwidth: DataRate,
+    /// One-way latency observed on the path.
+    pub latency: SimDuration,
+    /// Loss probability observed on the path.
+    pub loss: f64,
+}
+
+/// Errors raised while parsing a measurement file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasurementError {
+    /// A line did not have the five expected fields.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field text.
+        field: String,
+    },
+    /// The dataset contained no measurements.
+    Empty,
+}
+
+impl fmt::Display for MeasurementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasurementError::MalformedLine { line } => {
+                write!(f, "measurement line {line}: expected 'src dst kbps ms loss'")
+            }
+            MeasurementError::BadNumber { line, field } => {
+                write!(f, "measurement line {line}: cannot parse number '{field}'")
+            }
+            MeasurementError::Empty => write!(f, "measurement dataset is empty"),
+        }
+    }
+}
+
+impl std::error::Error for MeasurementError {}
+
+/// Parses a measurement dataset.
+///
+/// Blank lines and lines starting with `#` are ignored. Fields are
+/// whitespace-separated: source name, destination name, bandwidth in kbit/s,
+/// one-way latency in milliseconds, and loss probability.
+pub fn parse_measurements(text: &str) -> Result<Vec<PairMeasurement>, MeasurementError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(MeasurementError::MalformedLine { line });
+        }
+        let number = |s: &str| -> Result<f64, MeasurementError> {
+            s.parse::<f64>().map_err(|_| MeasurementError::BadNumber {
+                line,
+                field: s.to_string(),
+            })
+        };
+        let kbps = number(fields[2])?;
+        let ms = number(fields[3])?;
+        let loss = number(fields[4])?;
+        out.push(PairMeasurement {
+            src: fields[0].to_string(),
+            dst: fields[1].to_string(),
+            bandwidth: DataRate::from_bps((kbps.max(0.0) * 1_000.0) as u64),
+            latency: SimDuration::from_millis_f64(ms.max(0.0)),
+            loss: loss.clamp(0.0, 1.0),
+        });
+    }
+    if out.is_empty() {
+        return Err(MeasurementError::Empty);
+    }
+    Ok(out)
+}
+
+/// Serialises measurements back to the text format [`parse_measurements`]
+/// accepts.
+pub fn write_measurements(measurements: &[PairMeasurement]) -> String {
+    let mut out = String::from("# src dst bandwidth_kbps latency_ms loss\n");
+    for m in measurements {
+        out.push_str(&format!(
+            "{} {} {:.1} {:.3} {:.5}\n",
+            m.src,
+            m.dst,
+            m.bandwidth.as_kbps_f64(),
+            m.latency.as_millis_f64(),
+            m.loss
+        ));
+    }
+    out
+}
+
+/// Converts a set of pairwise measurements into an end-to-end topology: one
+/// client node per host and one link per unordered host pair carrying that
+/// pair's measured characteristics (asymmetric measurements are averaged).
+///
+/// Returns the topology and the host-name → node mapping.
+pub fn measurements_to_topology(
+    measurements: &[PairMeasurement],
+) -> (Topology, BTreeMap<String, NodeId>) {
+    let mut topo = Topology::new();
+    let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
+    let mut node_of = |topo: &mut Topology, name: &str, nodes: &mut BTreeMap<String, NodeId>| {
+        *nodes
+            .entry(name.to_string())
+            .or_insert_with(|| topo.add_named_node(NodeKind::Client, name))
+    };
+    // Gather both directions before creating links so asymmetric data is
+    // averaged.
+    let mut pair_data: BTreeMap<(String, String), Vec<&PairMeasurement>> = BTreeMap::new();
+    for m in measurements {
+        let key = if m.src <= m.dst {
+            (m.src.clone(), m.dst.clone())
+        } else {
+            (m.dst.clone(), m.src.clone())
+        };
+        pair_data.entry(key).or_default().push(m);
+    }
+    for ((a_name, b_name), ms) in pair_data {
+        if a_name == b_name {
+            continue;
+        }
+        let a = node_of(&mut topo, &a_name, &mut nodes);
+        let b = node_of(&mut topo, &b_name, &mut nodes);
+        let n = ms.len() as f64;
+        let bw = DataRate::from_bps(
+            (ms.iter().map(|m| m.bandwidth.as_bps() as f64).sum::<f64>() / n) as u64,
+        );
+        let lat = SimDuration::from_millis_f64(
+            ms.iter().map(|m| m.latency.as_millis_f64()).sum::<f64>() / n,
+        );
+        let loss = ms.iter().map(|m| m.loss).sum::<f64>() / n;
+        let attrs = LinkAttrs::new(bw, lat).with_loss(loss).with_queue_len(64);
+        topo.add_link(a, b, attrs).expect("distinct named hosts");
+    }
+    (topo, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# measured 2002-03-01
+mit ucsd 4300 38.2 0.001
+ucsd mit 4100 39.0 0.002
+mit lulea 1800 92.5 0.004
+ucsd lulea 1500 110.0 0.003
+";
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let ms = parse_measurements(SAMPLE).unwrap();
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms[0].src, "mit");
+        assert_eq!(ms[0].bandwidth, DataRate::from_kbps(4300));
+        assert_eq!(ms[0].latency, SimDuration::from_micros(38_200));
+        let text = write_measurements(&ms);
+        let back = parse_measurements(&text).unwrap();
+        assert_eq!(back.len(), ms.len());
+        assert_eq!(back[2].src, ms[2].src);
+        assert!((back[3].loss - ms[3].loss).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        assert_eq!(
+            parse_measurements("a b 1 2\n").unwrap_err(),
+            MeasurementError::MalformedLine { line: 1 }
+        );
+        assert_eq!(
+            parse_measurements("a b one 2 0\n").unwrap_err(),
+            MeasurementError::BadNumber {
+                line: 1,
+                field: "one".to_string()
+            }
+        );
+        assert_eq!(parse_measurements("# nothing\n").unwrap_err(), MeasurementError::Empty);
+    }
+
+    #[test]
+    fn topology_conversion_builds_a_mesh_and_averages_directions() {
+        let ms = parse_measurements(SAMPLE).unwrap();
+        let (topo, nodes) = measurements_to_topology(&ms);
+        assert_eq!(topo.node_count(), 3);
+        assert_eq!(topo.client_count(), 3);
+        assert_eq!(topo.link_count(), 3);
+        let mit = nodes["mit"];
+        let ucsd = nodes["ucsd"];
+        // The mit-ucsd pair was measured in both directions: averaged.
+        let link = topo
+            .links()
+            .find(|(_, l)| l.other(mit) == Some(ucsd))
+            .map(|(_, l)| l)
+            .unwrap();
+        assert_eq!(link.attrs.bandwidth, DataRate::from_kbps(4200));
+        assert!((link.attrs.latency.as_millis_f64() - 38.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converted_topology_feeds_distillation() {
+        let ms = parse_measurements(SAMPLE).unwrap();
+        let (topo, _) = measurements_to_topology(&ms);
+        assert!(topo.is_connected());
+        assert_eq!(topo.hop_diameter(), 1);
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert!(MeasurementError::Empty.to_string().contains("empty"));
+        assert!(MeasurementError::MalformedLine { line: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

@@ -1,0 +1,341 @@
+//! Shortest paths and spanning trees over the target-network graph.
+//!
+//! These graph-level computations are used in three places:
+//!
+//! * the **distillation** phase collapses interior paths into single pipes and
+//!   needs the latency-shortest path between node pairs,
+//! * the **ACDC** case study compares the overlay's cost against an off-line
+//!   minimum spanning tree and its delay against an off-line shortest path
+//!   tree (Figure 12),
+//! * experiment setup code frequently needs path latency/bottleneck summaries
+//!   for sanity checks.
+//!
+//! Routing inside the emulation core uses its own pipe-level machinery in
+//! `mn-routing`; the functions here operate on the *undirected target graph*.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mn_util::{DataRate, SimDuration};
+
+use crate::graph::{LinkId, NodeId, Topology};
+
+/// The cost metric used for shortest-path computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathMetric {
+    /// Minimise the sum of link latencies (ties broken by hop count).
+    Latency,
+    /// Minimise the number of hops.
+    Hops,
+}
+
+/// A path through the target graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphPath {
+    /// The node sequence, beginning with the source and ending with the
+    /// destination.
+    pub nodes: Vec<NodeId>,
+    /// The link sequence, one entry per hop.
+    pub links: Vec<LinkId>,
+}
+
+impl GraphPath {
+    /// Number of hops (links) on the path.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Sum of link latencies along the path.
+    pub fn total_latency(&self, topo: &Topology) -> SimDuration {
+        self.links
+            .iter()
+            .map(|&l| topo.link(l).expect("path link exists").attrs.latency)
+            .sum()
+    }
+
+    /// Minimum link bandwidth along the path (the path's bottleneck).
+    pub fn bottleneck_bandwidth(&self, topo: &Topology) -> DataRate {
+        self.links
+            .iter()
+            .map(|&l| topo.link(l).expect("path link exists").attrs.bandwidth)
+            .fold(DataRate::from_bps(u64::MAX), DataRate::min)
+    }
+
+    /// Product of link reliabilities along the path.
+    pub fn reliability(&self, topo: &Topology) -> f64 {
+        self.links
+            .iter()
+            .map(|&l| topo.link(l).expect("path link exists").attrs.reliability())
+            .product()
+    }
+
+    /// Minimum queue length along the path.
+    pub fn bottleneck_queue(&self, topo: &Topology) -> usize {
+        self.links
+            .iter()
+            .map(|&l| topo.link(l).expect("path link exists").attrs.queue_len)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+fn link_cost(topo: &Topology, link: LinkId, metric: PathMetric) -> u64 {
+    match metric {
+        // +1 ns per hop serves as the hop-count tie breaker.
+        PathMetric::Latency => topo.link(link).expect("link exists").attrs.latency.as_nanos() + 1,
+        PathMetric::Hops => 1,
+    }
+}
+
+/// Single-source shortest paths (Dijkstra) from `source` under `metric`.
+///
+/// Returns, for every node, the predecessor `(node, link)` on a shortest path
+/// from `source`, or `None` if unreachable (or for the source itself).
+pub fn shortest_path_tree(
+    topo: &Topology,
+    source: NodeId,
+    metric: PathMetric,
+) -> Vec<Option<(NodeId, LinkId)>> {
+    let n = topo.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut pred: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    if source.index() >= n {
+        return pred;
+    }
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for (v, link) in topo.neighbors(u) {
+            let nd = d.saturating_add(link_cost(topo, link, metric));
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some((u, link));
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    pred
+}
+
+/// Computes the shortest path between two nodes under `metric`, or `None` if
+/// the destination is unreachable.
+pub fn shortest_path(
+    topo: &Topology,
+    source: NodeId,
+    dest: NodeId,
+    metric: PathMetric,
+) -> Option<GraphPath> {
+    if source == dest {
+        return Some(GraphPath {
+            nodes: vec![source],
+            links: vec![],
+        });
+    }
+    let pred = shortest_path_tree(topo, source, metric);
+    pred.get(dest.index())?.as_ref()?;
+    let mut nodes = vec![dest];
+    let mut links = Vec::new();
+    let mut cur = dest;
+    while cur != source {
+        let (p, link) = pred[cur.index()]?;
+        links.push(link);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    links.reverse();
+    Some(GraphPath { nodes, links })
+}
+
+/// Computes the latency of the shortest path between two nodes, or `None` if
+/// unreachable.
+pub fn shortest_path_latency(topo: &Topology, source: NodeId, dest: NodeId) -> Option<SimDuration> {
+    shortest_path(topo, source, dest, PathMetric::Latency).map(|p| p.total_latency(topo))
+}
+
+/// An edge selected by [`minimum_spanning_tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MstEdge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// The link realising the edge.
+    pub link: LinkId,
+}
+
+/// Computes a minimum spanning tree (Prim's algorithm) over the connected
+/// component containing `root`, using the provided per-link cost function.
+///
+/// The ACDC case study measures overlay cost relative to an off-line MST
+/// computed over the IP topology's link costs.
+pub fn minimum_spanning_tree<F>(topo: &Topology, root: NodeId, mut cost: F) -> Vec<MstEdge>
+where
+    F: FnMut(LinkId) -> f64,
+{
+    let n = topo.node_count();
+    let mut in_tree = vec![false; n];
+    let mut edges = Vec::new();
+    if root.index() >= n {
+        return edges;
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, usize, NodeId, NodeId, LinkId)>> = BinaryHeap::new();
+    let mut seq = 0usize;
+    in_tree[root.index()] = true;
+    for (v, link) in topo.neighbors(root) {
+        heap.push(Reverse((to_ordered(cost(link)), seq, root, v, link)));
+        seq += 1;
+    }
+    while let Some(Reverse((_, _, from, to, link))) = heap.pop() {
+        if in_tree[to.index()] {
+            continue;
+        }
+        in_tree[to.index()] = true;
+        edges.push(MstEdge { a: from, b: to, link });
+        for (v, l) in topo.neighbors(to) {
+            if !in_tree[v.index()] {
+                heap.push(Reverse((to_ordered(cost(l)), seq, to, v, l)));
+                seq += 1;
+            }
+        }
+    }
+    edges
+}
+
+/// Maps a non-negative float cost onto a totally ordered integer for use in
+/// the MST heap (NaN and negative values order first).
+fn to_ordered(cost: f64) -> u64 {
+    if !cost.is_finite() || cost <= 0.0 {
+        0
+    } else {
+        (cost * 1e6) as u64
+    }
+}
+
+/// Sums the cost of a set of MST edges under the given cost function.
+pub fn tree_cost<F>(edges: &[MstEdge], mut cost: F) -> f64
+where
+    F: FnMut(LinkId) -> f64,
+{
+    edges.iter().map(|e| cost(e.link)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkAttrs, NodeKind};
+
+    fn attrs(mbps: u64, ms: u64) -> LinkAttrs {
+        LinkAttrs::new(DataRate::from_mbps(mbps), SimDuration::from_millis(ms))
+    }
+
+    /// A diamond: a-b-d is two fast hops, a-c-d is one slow + one fast hop,
+    /// plus a direct (high-latency) a-d link.
+    fn diamond() -> (Topology, [NodeId; 4]) {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Client);
+        let b = t.add_node(NodeKind::Stub);
+        let c = t.add_node(NodeKind::Stub);
+        let d = t.add_node(NodeKind::Client);
+        t.add_link(a, b, attrs(10, 2)).unwrap();
+        t.add_link(b, d, attrs(10, 2)).unwrap();
+        t.add_link(a, c, attrs(100, 10)).unwrap();
+        t.add_link(c, d, attrs(100, 10)).unwrap();
+        t.add_link(a, d, attrs(1, 30)).unwrap();
+        (t, [a, b, c, d])
+    }
+
+    #[test]
+    fn shortest_path_prefers_low_latency() {
+        let (t, [a, _, _, d]) = diamond();
+        let p = shortest_path(&t, a, d, PathMetric::Latency).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.total_latency(&t), SimDuration::from_millis(4));
+        assert_eq!(p.bottleneck_bandwidth(&t), DataRate::from_mbps(10));
+    }
+
+    #[test]
+    fn shortest_path_by_hops_prefers_direct_link() {
+        let (t, [a, _, _, d]) = diamond();
+        let p = shortest_path(&t, a, d, PathMetric::Hops).unwrap();
+        assert_eq!(p.hop_count(), 1);
+        assert_eq!(p.total_latency(&t), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn shortest_path_to_self_is_empty() {
+        let (t, [a, ..]) = diamond();
+        let p = shortest_path(&t, a, a, PathMetric::Latency).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.nodes, vec![a]);
+        assert_eq!(p.total_latency(&t), SimDuration::ZERO);
+        assert_eq!(p.reliability(&t), 1.0);
+    }
+
+    #[test]
+    fn unreachable_destination_returns_none() {
+        let (mut t, [a, ..]) = diamond();
+        let lonely = t.add_node(NodeKind::Client);
+        assert!(shortest_path(&t, a, lonely, PathMetric::Latency).is_none());
+        assert!(shortest_path_latency(&t, a, lonely).is_none());
+    }
+
+    #[test]
+    fn path_reliability_is_product() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Client);
+        let b = t.add_node(NodeKind::Stub);
+        let c = t.add_node(NodeKind::Client);
+        t.add_link(a, b, attrs(10, 1).with_loss(0.1)).unwrap();
+        t.add_link(b, c, attrs(10, 1).with_loss(0.2)).unwrap();
+        let p = shortest_path(&t, a, c, PathMetric::Latency).unwrap();
+        assert!((p.reliability(&t) - 0.72).abs() < 1e-12);
+        assert_eq!(p.bottleneck_queue(&t), LinkAttrs::DEFAULT_QUEUE_LEN);
+    }
+
+    #[test]
+    fn spt_latency_helper_matches_path() {
+        let (t, [a, _, _, d]) = diamond();
+        assert_eq!(
+            shortest_path_latency(&t, a, d),
+            Some(SimDuration::from_millis(4))
+        );
+    }
+
+    #[test]
+    fn mst_spans_connected_component_with_minimum_cost() {
+        let (t, [a, b, c, d]) = diamond();
+        // Use latency as cost; the MST should avoid the 30 ms direct link.
+        let edges = minimum_spanning_tree(&t, a, |l| {
+            t.link(l).unwrap().attrs.latency.as_millis_f64()
+        });
+        assert_eq!(edges.len(), 3);
+        let cost = tree_cost(&edges, |l| t.link(l).unwrap().attrs.latency.as_millis_f64());
+        // Minimum spanning tree: 2 + 2 + 10 = 14 ms.
+        assert!((cost - 14.0).abs() < 1e-9);
+        let mut covered: Vec<NodeId> = edges.iter().flat_map(|e| [e.a, e.b]).collect();
+        covered.sort();
+        covered.dedup();
+        assert_eq!(covered, vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn mst_ignores_unreachable_nodes() {
+        let (mut t, [a, ..]) = diamond();
+        t.add_node(NodeKind::Client);
+        let edges = minimum_spanning_tree(&t, a, |_| 1.0);
+        assert_eq!(edges.len(), 3);
+    }
+
+    #[test]
+    fn spt_tree_covers_all_reachable_nodes() {
+        let (t, [a, ..]) = diamond();
+        let pred = shortest_path_tree(&t, a, PathMetric::Latency);
+        let reachable = pred.iter().filter(|p| p.is_some()).count();
+        assert_eq!(reachable, 3, "every node except the source has a predecessor");
+    }
+}

@@ -1,0 +1,267 @@
+//! A synthetic "RON-like" wide-area measurement mesh.
+//!
+//! The CFS case study in the paper converts the *published* RON testbed
+//! inter-node characteristics (pairwise bandwidth, latency and loss among
+//! ~15 Internet hosts) into a ModelNet topology and replays the CFS
+//! experiments on it. Those measurements are not available here, so this
+//! module generates a synthetic stand-in with the same structure: a small
+//! full mesh of wide-area sites whose pairwise characteristics fall into
+//! realistic bands (intra-metro, intra-continent, transcontinental and
+//! intercontinental paths). See DESIGN.md §2 for the substitution rationale.
+//!
+//! The output is an *end-to-end characterisation*: one pipe per ordered site
+//! pair, exactly like the data the CFS authors published, which is also why
+//! the paper notes that such a topology cannot capture interior contention
+//! (its Section 5.1 discussion of error sources).
+
+use rand::Rng;
+
+use mn_util::rngs::derived_rng;
+use mn_util::{DataRate, SimDuration};
+
+use crate::graph::{LinkAttrs, NodeId, NodeKind, Topology};
+
+/// A wide-area site in the synthetic mesh.
+#[derive(Debug, Clone)]
+pub struct RonSite {
+    /// Site name (loosely modelled on the RON deployment's mix of
+    /// universities, homes and colocation centres).
+    pub name: String,
+    /// Region used to pick the latency band between site pairs.
+    pub region: Region,
+    /// Access-link bandwidth cap for this site.
+    pub access_bandwidth: DataRate,
+}
+
+/// Coarse geographic region of a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// North-American east coast.
+    UsEast,
+    /// North-American west coast.
+    UsWest,
+    /// Europe.
+    Europe,
+    /// Asia/Pacific.
+    Asia,
+}
+
+impl Region {
+    fn index(self) -> usize {
+        match self {
+            Region::UsEast => 0,
+            Region::UsWest => 1,
+            Region::Europe => 2,
+            Region::Asia => 3,
+        }
+    }
+}
+
+/// One-way latency bands (milliseconds) between regions, loosely matching
+/// public wide-area measurements of the early-2000s Internet.
+const REGION_LATENCY_MS: [[(f64, f64); 4]; 4] = [
+    // UsEast         UsWest          Europe          Asia
+    [(2.0, 15.0), (30.0, 45.0), (40.0, 55.0), (80.0, 110.0)], // UsEast
+    [(30.0, 45.0), (2.0, 12.0), (70.0, 90.0), (55.0, 80.0)],  // UsWest
+    [(40.0, 55.0), (70.0, 90.0), (3.0, 18.0), (120.0, 160.0)], // Europe
+    [(80.0, 110.0), (55.0, 80.0), (120.0, 160.0), (5.0, 25.0)], // Asia
+];
+
+/// Parameters for [`ron_mesh`].
+#[derive(Debug, Clone)]
+pub struct RonMeshParams {
+    /// Number of sites (the RON deployment had 15; the CFS experiments used
+    /// 12 of them).
+    pub sites: usize,
+    /// Random loss probability applied to long-haul paths.
+    pub long_haul_loss: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RonMeshParams {
+    fn default() -> Self {
+        RonMeshParams {
+            sites: 12,
+            long_haul_loss: 0.002,
+            seed: 2002,
+        }
+    }
+}
+
+/// The generated mesh: a client node per site and one direct link per site
+/// pair carrying that pair's end-to-end characteristics.
+#[derive(Debug, Clone)]
+pub struct RonMesh {
+    /// The end-to-end topology (a full mesh over client nodes).
+    pub topology: Topology,
+    /// The sites, index-aligned with the client nodes.
+    pub sites: Vec<RonSite>,
+    /// The client node for each site.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Site roster used when at most 15 sites are requested. Bandwidths reflect
+/// the mix the RON papers describe: well-connected university sites, a few
+/// DSL/cable homes and commercial colocation.
+fn default_roster() -> Vec<RonSite> {
+    let u = |name: &str, region, mbps| RonSite {
+        name: name.to_string(),
+        region,
+        access_bandwidth: DataRate::from_mbps(mbps),
+    };
+    vec![
+        u("mit", Region::UsEast, 100),
+        u("cmu", Region::UsEast, 100),
+        u("cornell", Region::UsEast, 100),
+        u("nyu", Region::UsEast, 100),
+        u("dc-colo", Region::UsEast, 45),
+        u("cable-home-ma", Region::UsEast, 4),
+        u("utah", Region::UsWest, 100),
+        u("ucsd", Region::UsWest, 100),
+        u("stanford", Region::UsWest, 100),
+        u("ca-colo", Region::UsWest, 45),
+        u("dsl-home-ca", Region::UsWest, 2),
+        u("lulea", Region::Europe, 34),
+        u("amsterdam", Region::Europe, 100),
+        u("kaist", Region::Asia, 45),
+        u("tokyo-colo", Region::Asia, 34),
+    ]
+}
+
+/// Generates the synthetic RON-like mesh.
+///
+/// Pairwise path bandwidth is the minimum of the two sites' access
+/// bandwidths, degraded for intercontinental paths; latency is drawn from the
+/// region-pair band; long-haul paths carry a small random loss rate.
+pub fn ron_mesh(params: &RonMeshParams) -> RonMesh {
+    let mut rng = derived_rng(params.seed, 0x1201);
+    let roster = default_roster();
+    let sites: Vec<RonSite> = if params.sites <= roster.len() {
+        roster.into_iter().take(params.sites).collect()
+    } else {
+        // Extend with extra synthetic university sites round-robin across
+        // regions when more than 15 sites are requested.
+        let mut sites = roster;
+        let regions = [Region::UsEast, Region::UsWest, Region::Europe, Region::Asia];
+        let mut i = 0;
+        while sites.len() < params.sites {
+            sites.push(RonSite {
+                name: format!("site-{}", sites.len()),
+                region: regions[i % regions.len()],
+                access_bandwidth: DataRate::from_mbps(100),
+            });
+            i += 1;
+        }
+        sites
+    };
+
+    let mut topology = Topology::new();
+    let nodes: Vec<NodeId> = sites
+        .iter()
+        .map(|s| topology.add_named_node(NodeKind::Client, s.name.clone()))
+        .collect();
+
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            let (a, b) = (&sites[i], &sites[j]);
+            let band = REGION_LATENCY_MS[a.region.index()][b.region.index()];
+            let latency_ms = rng.gen_range(band.0..=band.1);
+            let mut bandwidth = a.access_bandwidth.min(b.access_bandwidth);
+            let mut loss = 0.0;
+            let intercontinental = a.region != b.region
+                && (a.region == Region::Asia
+                    || b.region == Region::Asia
+                    || a.region == Region::Europe
+                    || b.region == Region::Europe);
+            if intercontinental {
+                // Long-haul paths of the era rarely sustained full access
+                // rate; degrade to 40–80% and add a small loss rate.
+                bandwidth = bandwidth.mul_f64(rng.gen_range(0.4..0.8));
+                loss = params.long_haul_loss;
+            }
+            let attrs = LinkAttrs::new(bandwidth, SimDuration::from_millis_f64(latency_ms))
+                .with_loss(loss)
+                .with_queue_len(64);
+            topology
+                .add_link(nodes[i], nodes[j], attrs)
+                .expect("mesh endpoints exist");
+        }
+    }
+
+    RonMesh {
+        topology,
+        sites,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mesh_is_a_12_site_full_mesh() {
+        let mesh = ron_mesh(&RonMeshParams::default());
+        assert_eq!(mesh.sites.len(), 12);
+        assert_eq!(mesh.nodes.len(), 12);
+        assert_eq!(mesh.topology.node_count(), 12);
+        assert_eq!(mesh.topology.link_count(), 12 * 11 / 2);
+        assert_eq!(mesh.topology.client_count(), 12);
+        assert_eq!(mesh.topology.hop_diameter(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = ron_mesh(&RonMeshParams::default());
+        let b = ron_mesh(&RonMeshParams::default());
+        for (la, lb) in a.topology.links().zip(b.topology.links()) {
+            assert_eq!(la.1.attrs, lb.1.attrs);
+        }
+        let c = ron_mesh(&RonMeshParams {
+            seed: 9,
+            ..RonMeshParams::default()
+        });
+        let diff = a
+            .topology
+            .links()
+            .zip(c.topology.links())
+            .filter(|(la, lc)| la.1.attrs != lc.1.attrs)
+            .count();
+        assert!(diff > 0, "different seeds should change path characteristics");
+    }
+
+    #[test]
+    fn latencies_fall_in_wide_area_bands() {
+        let mesh = ron_mesh(&RonMeshParams::default());
+        for (_, link) in mesh.topology.links() {
+            let ms = link.attrs.latency.as_millis_f64();
+            assert!(ms >= 2.0 && ms <= 160.0, "latency {ms} ms out of band");
+            assert!(link.attrs.bandwidth.as_bps() > 0);
+        }
+    }
+
+    #[test]
+    fn can_grow_beyond_roster() {
+        let mesh = ron_mesh(&RonMeshParams {
+            sites: 20,
+            ..RonMeshParams::default()
+        });
+        assert_eq!(mesh.sites.len(), 20);
+        assert_eq!(mesh.topology.link_count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn fifteen_site_roster_has_expected_mix() {
+        let mesh = ron_mesh(&RonMeshParams {
+            sites: 15,
+            ..RonMeshParams::default()
+        });
+        let slow_sites = mesh
+            .sites
+            .iter()
+            .filter(|s| s.access_bandwidth < DataRate::from_mbps(10))
+            .count();
+        assert_eq!(slow_sites, 2, "the roster includes two home sites");
+    }
+}

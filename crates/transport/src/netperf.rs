@@ -1,0 +1,233 @@
+//! netperf-style load generators.
+//!
+//! The capacity and scaling experiments (Figure 4, Table 1) drive ModelNet
+//! with dozens to hundreds of netperf senders transmitting TCP streams to
+//! netserver receivers. [`BulkSender`] is that workload: an endless (or
+//! size-bounded) source that keeps the TCP connection's send buffer full.
+//! [`RequestResponse`] is the request/response variant used by application
+//! case studies (a client sends a request of one size and the server answers
+//! with a response of another).
+
+use serde::{Deserialize, Serialize};
+
+use mn_util::{ByteSize, SimTime};
+
+use crate::tcp::TcpConnection;
+
+/// A bulk-transfer source that keeps a TCP connection's buffer topped up.
+#[derive(Debug, Clone)]
+pub struct BulkSender {
+    total: Option<u64>,
+    written: u64,
+    chunk: u64,
+    started_at: Option<SimTime>,
+}
+
+impl BulkSender {
+    /// Creates an unbounded sender (classic `netperf -t TCP_STREAM`).
+    pub fn unbounded() -> Self {
+        BulkSender {
+            total: None,
+            written: 0,
+            chunk: 256 * 1024,
+            started_at: None,
+        }
+    }
+
+    /// Creates a sender that transfers exactly `size` bytes and then stops
+    /// (used for the fixed-size file transfers of Figure 9).
+    pub fn fixed(size: ByteSize) -> Self {
+        BulkSender {
+            total: Some(size.as_bytes()),
+            written: 0,
+            chunk: 256 * 1024,
+            started_at: None,
+        }
+    }
+
+    /// Bytes handed to the connection so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Returns `true` once the whole fixed transfer has been handed to TCP.
+    pub fn is_write_complete(&self) -> bool {
+        match self.total {
+            Some(t) => self.written >= t,
+            None => false,
+        }
+    }
+
+    /// Returns `true` once the whole fixed transfer has been acknowledged.
+    pub fn is_acked(&self, conn: &TcpConnection) -> bool {
+        match self.total {
+            Some(t) => conn.bytes_acked() >= t,
+            None => false,
+        }
+    }
+
+    /// Time the first byte was offered, if any.
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    /// Tops up the connection's send buffer so it always has at least one
+    /// chunk outstanding (or the remaining fixed size). Returns the bytes
+    /// written in this call.
+    pub fn pump(&mut self, now: SimTime, conn: &mut TcpConnection) -> u64 {
+        if self.started_at.is_none() {
+            self.started_at = Some(now);
+        }
+        let outstanding = conn.unacked_backlog();
+        if outstanding >= self.chunk {
+            return 0;
+        }
+        let want = self.chunk - outstanding;
+        let write = match self.total {
+            Some(t) => want.min(t.saturating_sub(self.written)),
+            None => want,
+        };
+        if write > 0 {
+            conn.write(write);
+            self.written += write;
+        }
+        write
+    }
+
+    /// Measured goodput of the transfer so far, in kilobytes/second
+    /// (the unit the CFS figures use), based on acknowledged bytes.
+    pub fn goodput_kbytes_per_sec(&self, now: SimTime, conn: &TcpConnection) -> f64 {
+        let Some(start) = self.started_at else {
+            return 0.0;
+        };
+        let elapsed = now.duration_since(start).as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            conn.bytes_acked() as f64 / 1024.0 / elapsed
+        }
+    }
+}
+
+/// Request/response exchange sizes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RequestResponse {
+    /// Bytes in each request.
+    pub request: u32,
+    /// Bytes in each response.
+    pub response: u32,
+}
+
+impl RequestResponse {
+    /// An HTTP-like exchange: small request, configurable response.
+    pub fn http(response: u32) -> Self {
+        RequestResponse {
+            request: 350,
+            response,
+        }
+    }
+
+    /// Total bytes on the wire (both directions, payload only).
+    pub fn total_payload(&self) -> u64 {
+        self.request as u64 + self.response as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{TcpConfig, TcpConnection};
+    use mn_packet::TcpFlags;
+    use mn_util::SimDuration;
+
+    fn establish() -> (TcpConnection, TcpConnection) {
+        let mut c = TcpConnection::client(TcpConfig::default());
+        let mut s = TcpConnection::server(TcpConfig::default());
+        let mut now = SimTime::ZERO;
+        for _ in 0..4 {
+            let a = c.poll_send(now);
+            let b = s.poll_send(now);
+            now += SimDuration::from_millis(1);
+            for seg in a {
+                s.on_segment(now, seg.seq, seg.payload_len, seg.ack, seg.flags, seg.window);
+            }
+            for seg in b {
+                c.on_segment(now, seg.seq, seg.payload_len, seg.ack, seg.flags, seg.window);
+            }
+        }
+        assert!(c.is_established() && s.is_established());
+        (c, s)
+    }
+
+    #[test]
+    fn unbounded_sender_keeps_buffer_full() {
+        let (mut conn, _) = establish();
+        let mut sender = BulkSender::unbounded();
+        let w1 = sender.pump(SimTime::ZERO, &mut conn);
+        assert_eq!(w1, 256 * 1024);
+        // Nothing acknowledged yet, so a second pump adds nothing.
+        assert_eq!(sender.pump(SimTime::from_millis(1), &mut conn), 0);
+        assert!(!sender.is_write_complete());
+    }
+
+    #[test]
+    fn fixed_sender_stops_at_size() {
+        let (mut conn, _) = establish();
+        let mut sender = BulkSender::fixed(ByteSize::from_kb(8));
+        let w = sender.pump(SimTime::ZERO, &mut conn);
+        assert_eq!(w, 8 * 1024);
+        assert!(sender.is_write_complete());
+        assert_eq!(sender.pump(SimTime::from_millis(1), &mut conn), 0);
+        assert!(!sender.is_acked(&conn));
+    }
+
+    #[test]
+    fn fixed_transfer_completes_over_a_perfect_link() {
+        let (mut c, mut s) = establish();
+        let mut sender = BulkSender::fixed(ByteSize::from_kb(64));
+        let mut now = SimTime::from_millis(10);
+        for _ in 0..1000 {
+            sender.pump(now, &mut c);
+            let segs = c.poll_send(now);
+            now += SimDuration::from_millis(2);
+            for seg in &segs {
+                s.on_segment(now, seg.seq, seg.payload_len, seg.ack, seg.flags, seg.window);
+            }
+            // Service delayed-ACK (and any other) timers that have expired.
+            if s.next_timer().is_some_and(|t| t <= now) {
+                s.on_timer(now);
+            }
+            if c.next_timer().is_some_and(|t| t <= now) {
+                c.on_timer(now);
+            }
+            for seg in s.poll_send(now) {
+                c.on_segment(now, seg.seq, seg.payload_len, seg.ack, seg.flags, seg.window);
+            }
+            if sender.is_acked(&c) {
+                break;
+            }
+        }
+        assert!(sender.is_acked(&c));
+        assert_eq!(s.bytes_received(), 64 * 1024);
+        let goodput = sender.goodput_kbytes_per_sec(now, &c);
+        assert!(goodput > 0.0);
+    }
+
+    #[test]
+    fn request_response_sizes() {
+        let rr = RequestResponse::http(12_000);
+        assert_eq!(rr.request, 350);
+        assert_eq!(rr.total_payload(), 12_350);
+    }
+
+    #[test]
+    fn handshake_helper_sanity() {
+        // The establish() helper used above genuinely produces two
+        // established endpoints exchanging no data.
+        let (c, s) = establish();
+        assert_eq!(c.bytes_acked(), 0);
+        assert_eq!(s.bytes_received(), 0);
+        // A pure ACK has the ACK flag set and no SYN.
+        assert!(TcpFlags::ACK.ack && !TcpFlags::ACK.syn);
+    }
+}

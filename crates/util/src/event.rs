@@ -1,0 +1,203 @@
+//! A deterministic event queue keyed by virtual time.
+//!
+//! Both the simulation driver (in the `modelnet` façade crate) and the core's
+//! pipe scheduler need "earliest deadline first" ordering. [`EventHeap`] is a
+//! thin wrapper over a binary heap that breaks ties by insertion order so that
+//! runs are reproducible regardless of heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Ordering key for heap entries: deadline first, then insertion sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// The virtual time at which the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion sequence number, used to break ties
+    /// deterministically (FIFO among equal deadlines).
+    pub seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    key: EventKey,
+    value: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A min-heap of `(SimTime, T)` with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use mn_util::{EventHeap, SimTime};
+///
+/// let mut heap = EventHeap::new();
+/// heap.push(SimTime::from_millis(5), "later");
+/// heap.push(SimTime::from_millis(1), "sooner");
+/// assert_eq!(heap.pop().unwrap().1, "sooner");
+/// assert_eq!(heap.pop().unwrap().1, "later");
+/// assert!(heap.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventHeap<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventHeap<T> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        EventHeap {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty heap with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventHeap {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `value` to fire at `time`. Returns the key, which can be used
+    /// by callers that keep their own cancellation sets.
+    pub fn push(&mut self, time: SimTime, value: T) -> EventKey {
+        let key = EventKey {
+            time,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { key, value }));
+        key
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.key.time, e.value))
+    }
+
+    /// Removes and returns the earliest event together with its key.
+    pub fn pop_with_key(&mut self) -> Option<(EventKey, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.key, e.value))
+    }
+
+    /// Returns the deadline of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.key.time)
+    }
+
+    /// Removes and returns the earliest event only if its deadline is at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new();
+        h.push(SimTime::from_millis(30), 3);
+        h.push(SimTime::from_millis(10), 1);
+        h.push(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| h.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut h = EventHeap::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            h.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| h.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut h = EventHeap::new();
+        h.push(SimTime::from_millis(10), "a");
+        h.push(SimTime::from_millis(20), "b");
+        assert_eq!(h.pop_due(SimTime::from_millis(5)), None);
+        assert_eq!(h.pop_due(SimTime::from_millis(10)).unwrap().1, "a");
+        assert_eq!(h.pop_due(SimTime::from_millis(15)), None);
+        assert_eq!(h.pop_due(SimTime::from_millis(25)).unwrap().1, "b");
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut h = EventHeap::new();
+        h.push(SimTime::from_secs(1), ());
+        assert_eq!(h.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut h = EventHeap::new();
+        h.push(SimTime::ZERO, 1);
+        h.push(SimTime::ZERO, 2);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn keys_are_unique_and_monotone() {
+        let mut h = EventHeap::new();
+        let k1 = h.push(SimTime::ZERO, ());
+        let k2 = h.push(SimTime::ZERO, ());
+        assert!(k2.seq > k1.seq);
+    }
+}

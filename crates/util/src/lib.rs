@@ -1,0 +1,27 @@
+//! Foundation primitives shared by every ModelNet-RS crate.
+//!
+//! This crate deliberately has no knowledge of topologies, pipes or packets.
+//! It provides the vocabulary the rest of the emulator is written in:
+//!
+//! * [`SimTime`] and [`SimDuration`] — nanosecond-resolution virtual time,
+//!   the clock every component of the emulation runs against.
+//! * [`DataRate`] and [`ByteSize`] — link bandwidths and transfer sizes with
+//!   the arithmetic needed to turn "N bytes at rate R" into a duration.
+//! * [`EventHeap`] — the deterministic event queue used by the simulation
+//!   driver and by the core's pipe scheduler.
+//! * [`stats`] — CDFs, histograms, throughput meters and summary statistics
+//!   used by the measurement infrastructure and the benchmark harness.
+//! * [`rngs`] — seeded RNG construction helpers so every experiment is
+//!   reproducible from a single `u64` seed.
+
+pub mod event;
+pub mod rate;
+pub mod rngs;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventHeap, EventKey};
+pub use rate::{ByteSize, DataRate};
+pub use rngs::seeded_rng;
+pub use stats::{Cdf, Histogram, RunningStats, ThroughputMeter};
+pub use time::{SimDuration, SimTime};
