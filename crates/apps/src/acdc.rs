@@ -181,7 +181,10 @@ impl AcdcNode {
             let nonce = self.next_nonce;
             self.next_nonce += 1;
             self.outstanding.insert(nonce, (candidate, ctx.now()));
-            ctx.send(candidate, Message::new(PROBE_BYTES, AcdcMessage::Probe { nonce }));
+            ctx.send(
+                candidate,
+                Message::new(PROBE_BYTES, AcdcMessage::Probe { nonce }),
+            );
         }
         ctx.set_timer(self.config.probe_period, TIMER_ROUND);
     }
@@ -401,7 +404,10 @@ mod tests {
                 assert_eq!(*to, VnId(3));
                 match message.body_as::<AcdcMessage>() {
                     Some(AcdcMessage::ProbeReply {
-                        nonce, attached, delay_to_root_s, ..
+                        nonce,
+                        attached,
+                        delay_to_root_s,
+                        ..
                     }) => {
                         assert_eq!(*nonce, 42);
                         assert!(*attached);
@@ -440,11 +446,16 @@ mod tests {
         // must be strictly shallower than us, and our depth is 1, so only
         // depth-0 candidates qualify; use the root's sibling at depth 0).
         node.round_results.clear();
-        node.round_results.insert(node.parent.unwrap(), (0.2, 0.0, true, 0));
+        node.round_results
+            .insert(node.parent.unwrap(), (0.2, 0.0, true, 0));
         node.round_results.insert(VnId(4), (0.1, 0.05, true, 0));
         let mut ctx = AppCtx::new(VnId(5), SimTime::from_secs(6));
         node.adapt(&mut ctx);
-        assert_eq!(node.parent(), Some(VnId(4)), "cheaper parent within target wins");
+        assert_eq!(
+            node.parent(),
+            Some(VnId(4)),
+            "cheaper parent within target wins"
+        );
         // A cheaper candidate that would violate the delay target is refused.
         node.round_results.clear();
         node.round_results.insert(VnId(4), (0.1, 0.05, true, 0));
@@ -474,11 +485,13 @@ mod tests {
     #[test]
     fn summary_helpers_aggregate() {
         let cfg = config(4);
-        let mut nodes: Vec<AcdcNode> = (0..4).map(|i| AcdcNode::new(VnId(i), cfg.clone())).collect();
+        let mut nodes: Vec<AcdcNode> = (0..4)
+            .map(|i| AcdcNode::new(VnId(i), cfg.clone()))
+            .collect();
         // Attach 1..3 directly to the root by hand.
-        for i in 1..4 {
-            nodes[i].parent = Some(VnId(0));
-            nodes[i].delay_to_root_s = 0.1 * i as f64;
+        for (i, node) in nodes.iter_mut().enumerate().skip(1) {
+            node.parent = Some(VnId(0));
+            node.delay_to_root_s = 0.1 * i as f64;
         }
         let cost = summary::tree_cost(nodes.iter());
         assert_eq!(cost, 1.0 + 2.0 + 3.0);

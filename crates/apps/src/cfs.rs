@@ -265,7 +265,10 @@ impl CfsClient {
     }
 
     fn issue_work(&mut self, ctx: &mut AppCtx) {
-        let window = self.config.prefetch_window.max(self.config.block_bytes as u64);
+        let window = self
+            .config
+            .prefetch_window
+            .max(self.config.block_bytes as u64);
         let block_bytes = self.config.block_bytes as u64;
         for block in 0..self.config.block_count() {
             if self.outstanding_bytes + block_bytes > window {
@@ -360,7 +363,9 @@ impl Application for CfsClient {
                 }
             }
             // The client node also serves its share of the ring.
-            other => self.server.handle(ctx, from, other, self.config.block_bytes),
+            other => self
+                .server
+                .handle(ctx, from, other, self.config.block_bytes),
         }
     }
 
@@ -422,7 +427,10 @@ mod tests {
             .count();
         // At most two remote blocks may be outstanding (locally owned blocks
         // complete without counting against the window).
-        assert!(sends <= 2, "issued {sends} remote operations with a 2-block window");
+        assert!(
+            sends <= 2,
+            "issued {sends} remote operations with a 2-block window"
+        );
         assert!(!client.is_complete());
     }
 
@@ -468,7 +476,12 @@ mod tests {
         let ring = ChordRing::new((0..4).map(VnId));
         let mut server = CfsServer::new(VnId(1), ring);
         let mut ctx = AppCtx::new(VnId(1), SimTime::ZERO);
-        server.handle(&mut ctx, VnId(2), CfsMessage::BlockRequest { block: 3 }, 8192);
+        server.handle(
+            &mut ctx,
+            VnId(2),
+            CfsMessage::BlockRequest { block: 3 },
+            8192,
+        );
         assert_eq!(server.blocks_served(), 1);
         let actions = ctx.into_actions();
         match &actions[0] {

@@ -66,8 +66,10 @@ pub struct ChordRing {
 impl ChordRing {
     /// Builds the ring from a membership list.
     pub fn new(members: impl IntoIterator<Item = VnId>) -> Self {
-        let mut members: Vec<(ChordId, VnId)> =
-            members.into_iter().map(|vn| (ChordId::of_vn(vn), vn)).collect();
+        let mut members: Vec<(ChordId, VnId)> = members
+            .into_iter()
+            .map(|vn| (ChordId::of_vn(vn), vn))
+            .collect();
         members.sort();
         members.dedup();
         ChordRing { members }
@@ -207,7 +209,11 @@ mod tests {
         let owners: std::collections::HashSet<VnId> = (0..128)
             .map(|i| r.owner_of(ChordId::of_block("f", i)).unwrap())
             .collect();
-        assert!(owners.len() >= 6, "blocks should spread over the ring: {}", owners.len());
+        assert!(
+            owners.len() >= 6,
+            "blocks should spread over the ring: {}",
+            owners.len()
+        );
     }
 
     #[test]

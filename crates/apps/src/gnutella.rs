@@ -48,7 +48,11 @@ enum GnutellaMessage {
     /// A flooded liveness probe.
     Ping { origin: VnId, id: u64, ttl: u8 },
     /// The answer, routed directly back to the origin.
-    Pong { responder: VnId, #[allow(dead_code)] id: u64 },
+    Pong {
+        responder: VnId,
+        #[allow(dead_code)]
+        id: u64,
+    },
 }
 
 const PING_BYTES: u32 = 83;
@@ -207,7 +211,14 @@ mod tests {
         n.on_message(
             &mut ctx,
             VnId(2),
-            Message::new(PING_BYTES, GnutellaMessage::Ping { origin: VnId(9), id: 5, ttl: 3 }),
+            Message::new(
+                PING_BYTES,
+                GnutellaMessage::Ping {
+                    origin: VnId(9),
+                    id: 5,
+                    ttl: 3,
+                },
+            ),
         );
         let sends: Vec<VnId> = ctx
             .into_actions()
@@ -227,14 +238,22 @@ mod tests {
     #[test]
     fn duplicate_pings_are_suppressed() {
         let mut n = node(1, &[2, 3]);
-        let ping = GnutellaMessage::Ping { origin: VnId(9), id: 5, ttl: 3 };
+        let ping = GnutellaMessage::Ping {
+            origin: VnId(9),
+            id: 5,
+            ttl: 3,
+        };
         let mut ctx = AppCtx::new(VnId(1), SimTime::ZERO);
         n.on_message(&mut ctx, VnId(2), Message::new(PING_BYTES, ping));
         let first = ctx.action_count();
         let mut ctx2 = AppCtx::new(VnId(1), SimTime::from_millis(1));
         n.on_message(&mut ctx2, VnId(3), Message::new(PING_BYTES, ping));
         assert!(first > 0);
-        assert_eq!(ctx2.action_count(), 0, "second copy of the flood is dropped");
+        assert_eq!(
+            ctx2.action_count(),
+            0,
+            "second copy of the flood is dropped"
+        );
     }
 
     #[test]
@@ -244,7 +263,14 @@ mod tests {
         n.on_message(
             &mut ctx,
             VnId(2),
-            Message::new(PING_BYTES, GnutellaMessage::Ping { origin: VnId(9), id: 1, ttl: 1 }),
+            Message::new(
+                PING_BYTES,
+                GnutellaMessage::Ping {
+                    origin: VnId(9),
+                    id: 1,
+                    ttl: 1,
+                },
+            ),
         );
         let sends: Vec<VnId> = ctx
             .into_actions()
@@ -266,7 +292,13 @@ mod tests {
             n.on_message(
                 &mut ctx,
                 VnId(peer),
-                Message::new(PONG_BYTES, GnutellaMessage::Pong { responder: VnId(peer), id: 0 }),
+                Message::new(
+                    PONG_BYTES,
+                    GnutellaMessage::Pong {
+                        responder: VnId(peer),
+                        id: 0,
+                    },
+                ),
             );
         }
         assert_eq!(n.known_peers(), 6);
@@ -286,8 +318,12 @@ mod tests {
             .count();
         assert_eq!(sends, 3);
         // And the next round is armed.
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, mn_edge::AppAction::SetTimer { token: TIMER_PING, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            mn_edge::AppAction::SetTimer {
+                token: TIMER_PING,
+                ..
+            }
+        )));
     }
 }

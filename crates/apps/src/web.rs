@@ -149,7 +149,8 @@ impl Application for WebServer {
     fn on_start(&mut self, _ctx: &mut AppCtx) {}
 
     fn on_message(&mut self, ctx: &mut AppCtx, from: VnId, message: Message) {
-        if let Some(WebMessage::Request { id, response_bytes }) = message.body_as::<WebMessage>().copied()
+        if let Some(WebMessage::Request { id, response_bytes }) =
+            message.body_as::<WebMessage>().copied()
         {
             self.requests_served += 1;
             self.bytes_served += response_bytes as u64;

@@ -170,7 +170,12 @@ mod tests {
     use mn_distill::{distill, DistillationMode};
     use mn_topology::generators::{ring_topology, RingParams};
 
-    fn setup() -> (DistilledTopology, PipeOwnershipDirectory, RoutingMatrix, Binding) {
+    fn setup() -> (
+        DistilledTopology,
+        PipeOwnershipDirectory,
+        RoutingMatrix,
+        Binding,
+    ) {
         let topo = ring_topology(&RingParams {
             routers: 4,
             clients_per_router: 2,

@@ -161,6 +161,7 @@ pub fn greedy_k_clusters(
     let mut stalled_rounds = 0usize;
     while assigned < pipe_count && stalled_rounds < 2 {
         let mut progressed = false;
+        #[allow(clippy::needless_range_loop)]
         for core in 0..cores {
             // Claim the first unassigned pipe leaving the core's region.
             let mut claim: Option<PipeId> = None;
@@ -301,7 +302,10 @@ mod tests {
                 }
             }
         }
-        assert!(colocated * 10 >= total * 9, "{colocated}/{total} duplex pairs colocated");
+        assert!(
+            colocated * 10 >= total * 9,
+            "{colocated}/{total} duplex pairs colocated"
+        );
     }
 
     #[test]
@@ -324,7 +328,10 @@ mod tests {
                 }
             }
         }
-        assert!(any_crossing, "a 4-way partition of a ring must split some route");
+        assert!(
+            any_crossing,
+            "a 4-way partition of a ring must split some route"
+        );
     }
 
     #[test]

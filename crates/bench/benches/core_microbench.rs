@@ -5,11 +5,15 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use mn_assign::greedy_k_clusters;
+use mn_assign::{greedy_k_clusters, Binding, BindingParams};
 use mn_distill::{distill, DistillationMode};
+use mn_emucore::{HardwareProfile, MultiCoreEmulator};
+use mn_packet::{FlowKey, Packet, PacketId, Protocol, TcpFlags, TransportHeader, VnId};
 use mn_pipe::EmuPipe;
 use mn_routing::{RouteCache, RouteProvider, RoutingMatrix};
-use mn_topology::generators::{ring_topology, transit_stub_topology, RingParams, TransitStubParams};
+use mn_topology::generators::{
+    ring_topology, star_topology, transit_stub_topology, RingParams, StarParams, TransitStubParams,
+};
 use mn_util::rngs::seeded_rng;
 use mn_util::{ByteSize, SimTime};
 
@@ -97,11 +101,62 @@ fn bench_assignment(c: &mut Criterion) {
     });
 }
 
+fn tcp_packet(id: u64, src: VnId, dst: VnId, now: SimTime) -> Packet {
+    Packet::new(
+        PacketId(id),
+        FlowKey {
+            src,
+            dst,
+            src_port: 1000,
+            dst_port: 2000,
+            protocol: Protocol::Tcp,
+        },
+        TransportHeader::Tcp {
+            seq: 0,
+            ack: 0,
+            payload_len: 1460,
+            flags: TcpFlags::ACK,
+            window: 65535,
+        },
+        now,
+    )
+}
+
+/// The fig4-capacity hot loop: per-packet route lookup + ingress + scheduler
+/// advance on a single unconstrained core. This is the path the dense
+/// ID-indexed tables optimise; track it PR over PR.
+fn bench_submit_path(c: &mut Criterion) {
+    let topo = star_topology(&StarParams {
+        clients: 64,
+        ..StarParams::default()
+    });
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(4, 1));
+    let mut emu =
+        MultiCoreEmulator::single_core(&d, matrix, &binding, HardwareProfile::unconstrained(), 7);
+    let vns: Vec<VnId> = binding.vns().collect();
+    let mut i = 0u64;
+    c.bench_function("core_submit_advance", |b| {
+        b.iter(|| {
+            let now = SimTime::from_micros(i * 20);
+            let src = vns[i as usize % vns.len()];
+            let dst = vns[(i as usize + 7) % vns.len()];
+            std::hint::black_box(emu.submit(now, tcp_packet(i, src, dst, now)));
+            if i.is_multiple_of(32) {
+                std::hint::black_box(emu.advance(now));
+            }
+            i += 1;
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_routing,
     bench_pipe,
     bench_distillation,
-    bench_assignment
+    bench_assignment,
+    bench_submit_path
 );
 criterion_main!(benches);

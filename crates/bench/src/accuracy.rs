@@ -2,10 +2,10 @@
 //! tick (100 µs) up to and including full load, with overload appearing as
 //! physical drops rather than as late packets.
 
-use modelnet::{DataRate, Experiment, HardwareProfile, SimDuration, SimTime};
 use mn_distill::DistillationMode;
 use mn_topology::generators::{path_pairs_topology, PathPairsParams};
 use mn_transport::UdpStreamConfig;
+use modelnet::{DataRate, Experiment, HardwareProfile, SimDuration, SimTime};
 
 use crate::Scale;
 

@@ -3,5 +3,8 @@ fn main() {
     let scale = mn_bench::Scale::from_args();
     let points = mn_bench::accuracy::run(scale);
     print!("{}", mn_bench::accuracy::render(&points));
-    println!("# shape_holds: {}", mn_bench::accuracy::shape_holds(&points));
+    println!(
+        "# shape_holds: {}",
+        mn_bench::accuracy::shape_holds(&points)
+    );
 }

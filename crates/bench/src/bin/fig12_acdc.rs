@@ -3,5 +3,8 @@ fn main() {
     let scale = mn_bench::Scale::from_args();
     let samples = mn_bench::fig12_acdc::run(scale);
     print!("{}", mn_bench::fig12_acdc::render(&samples));
-    println!("# shape_holds: {}", mn_bench::fig12_acdc::shape_holds(&samples));
+    println!(
+        "# shape_holds: {}",
+        mn_bench::fig12_acdc::shape_holds(&samples)
+    );
 }

@@ -3,5 +3,8 @@ fn main() {
     let scale = mn_bench::Scale::from_args();
     let points = mn_bench::fig4_capacity::run(scale);
     print!("{}", mn_bench::fig4_capacity::render(&points));
-    println!("# shape_holds: {}", mn_bench::fig4_capacity::shape_holds(&points));
+    println!(
+        "# shape_holds: {}",
+        mn_bench::fig4_capacity::shape_holds(&points)
+    );
 }

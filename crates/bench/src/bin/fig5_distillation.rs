@@ -3,5 +3,8 @@ fn main() {
     let scale = mn_bench::Scale::from_args();
     let mut curves = mn_bench::fig5_distillation::run(scale);
     print!("{}", mn_bench::fig5_distillation::render(&mut curves));
-    println!("# shape_holds: {}", mn_bench::fig5_distillation::shape_holds(&mut curves));
+    println!(
+        "# shape_holds: {}",
+        mn_bench::fig5_distillation::shape_holds(&mut curves)
+    );
 }

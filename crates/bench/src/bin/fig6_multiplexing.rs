@@ -3,5 +3,8 @@ fn main() {
     let scale = mn_bench::Scale::from_args();
     let curves = mn_bench::fig6_multiplexing::run(scale);
     print!("{}", mn_bench::fig6_multiplexing::render(&curves));
-    println!("# shape_holds: {}", mn_bench::fig6_multiplexing::shape_holds(&curves));
+    println!(
+        "# shape_holds: {}",
+        mn_bench::fig6_multiplexing::shape_holds(&curves)
+    );
 }

@@ -3,5 +3,8 @@ fn main() {
     let scale = mn_bench::Scale::from_args();
     let points = mn_bench::cfs_experiments::run_fig7(scale);
     print!("{}", mn_bench::cfs_experiments::render_fig7(&points));
-    println!("# shape_holds: {}", mn_bench::cfs_experiments::fig7_shape_holds(&points));
+    println!(
+        "# shape_holds: {}",
+        mn_bench::cfs_experiments::fig7_shape_holds(&points)
+    );
 }

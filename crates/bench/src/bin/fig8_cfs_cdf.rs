@@ -2,6 +2,12 @@
 fn main() {
     let scale = mn_bench::Scale::from_args();
     let mut curves = mn_bench::cfs_experiments::run_fig8(scale);
-    print!("{}", mn_bench::cfs_experiments::render_cdfs(
-        "Figure 8: CFS download speed CDFs", "kB/s", &mut curves));
+    print!(
+        "{}",
+        mn_bench::cfs_experiments::render_cdfs(
+            "Figure 8: CFS download speed CDFs",
+            "kB/s",
+            &mut curves
+        )
+    );
 }

@@ -2,7 +2,16 @@
 fn main() {
     let scale = mn_bench::Scale::from_args();
     let mut curves = mn_bench::cfs_experiments::run_fig9(scale);
-    print!("{}", mn_bench::cfs_experiments::render_cdfs(
-        "Figure 9: TCP transfer speed CDFs", "kB/s", &mut curves));
-    println!("# shape_holds: {}", mn_bench::cfs_experiments::fig9_shape_holds(&mut curves));
+    print!(
+        "{}",
+        mn_bench::cfs_experiments::render_cdfs(
+            "Figure 9: TCP transfer speed CDFs",
+            "kB/s",
+            &mut curves
+        )
+    );
+    println!(
+        "# shape_holds: {}",
+        mn_bench::cfs_experiments::fig9_shape_holds(&mut curves)
+    );
 }

@@ -3,5 +3,8 @@ fn main() {
     let scale = mn_bench::Scale::from_args();
     let summary = mn_bench::gnutella_scale::run(scale);
     print!("{}", mn_bench::gnutella_scale::render(&summary));
-    println!("# shape_holds: {}", mn_bench::gnutella_scale::shape_holds(&summary));
+    println!(
+        "# shape_holds: {}",
+        mn_bench::gnutella_scale::shape_holds(&summary)
+    );
 }

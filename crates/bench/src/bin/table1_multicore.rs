@@ -3,5 +3,8 @@ fn main() {
     let scale = mn_bench::Scale::from_args();
     let rows = mn_bench::table1_multicore::run(scale);
     print!("{}", mn_bench::table1_multicore::render(&rows));
-    println!("# shape_holds: {}", mn_bench::table1_multicore::shape_holds(&rows));
+    println!(
+        "# shape_holds: {}",
+        mn_bench::table1_multicore::shape_holds(&rows)
+    );
 }

@@ -121,12 +121,8 @@ pub fn run_fig9(scale: Scale) -> Vec<(u64, Cdf)> {
                 if src == dst {
                     continue;
                 }
-                let flow = runner.add_bulk_flow(
-                    src,
-                    dst,
-                    Some(ByteSize::from_kb(size_kb)),
-                    SimTime::ZERO,
-                );
+                let flow =
+                    runner.add_bulk_flow(src, dst, Some(ByteSize::from_kb(size_kb)), SimTime::ZERO);
                 runner.run_for(SimDuration::from_secs(90));
                 if let Some(done) = runner.flow_completed_at(flow) {
                     let secs = done.as_secs_f64();
@@ -142,7 +138,8 @@ pub fn run_fig9(scale: Scale) -> Vec<(u64, Cdf)> {
 
 /// Renders Figure 7.
 pub fn render_fig7(points: &[PrefetchPoint]) -> String {
-    let mut out = String::from("# Figure 7: CFS download speed vs prefetch window\nwindow_kb\tspeed_kB/s\n");
+    let mut out =
+        String::from("# Figure 7: CFS download speed vs prefetch window\nwindow_kb\tspeed_kB/s\n");
     for p in points {
         out.push_str(&format!("{}\t{:.1}\n", p.window_kb, p.speed_kbytes_per_sec));
     }

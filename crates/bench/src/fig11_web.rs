@@ -75,12 +75,7 @@ fn run_point(
     // Clients: split the aggregate trace across every client VN; each client
     // site is statically assigned to one replica (round-robin), as in the
     // paper's manual request-routing configuration.
-    let trace = WorkloadTrace::synthetic(
-        SimDuration::from_secs(duration_s),
-        rate,
-        12_000.0,
-        17,
-    );
+    let trace = WorkloadTrace::synthetic(SimDuration::from_secs(duration_s), rate, 12_000.0, 17);
     let mut client_vns: Vec<(VnId, usize)> = Vec::new();
     for (site_idx, &d) in client_domains.iter().enumerate() {
         for &node in domains[d].iter().take(clients_per_site) {
@@ -120,7 +115,10 @@ fn run_point(
 pub fn render(curves: &mut [ReplicaCurve]) -> String {
     let mut out = String::from("# Figure 11: client latency CDF vs number of replicas (seconds)\n");
     for c in curves {
-        out.push_str(&format!("# replicas={} completed={}\n", c.replicas, c.completed));
+        out.push_str(&format!(
+            "# replicas={} completed={}\n",
+            c.replicas, c.completed
+        ));
         out.push_str(&crate::format_cdf(
             &format!("{}-replica", c.replicas),
             &c.cdf.points_downsampled(20),
@@ -151,7 +149,11 @@ mod tests {
     #[test]
     fn single_replica_point_completes_requests() {
         let curve = run_point(1, 120, 3, 20, 20.0);
-        assert!(curve.completed > 50, "completed only {} requests", curve.completed);
+        assert!(
+            curve.completed > 50,
+            "completed only {} requests",
+            curve.completed
+        );
         assert!(curve.cdf.len() as u64 == curve.completed);
     }
 }

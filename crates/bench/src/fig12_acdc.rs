@@ -159,7 +159,12 @@ pub fn run(scale: Scale) -> Vec<AcdcSample> {
     // Off-line cost matrix and MST over the member set.
     let costs: Vec<Vec<f64>> = member_nodes
         .iter()
-        .map(|&a| member_nodes.iter().map(|&b| path_cost(&ts.topology, a, b)).collect())
+        .map(|&a| {
+            member_nodes
+                .iter()
+                .map(|&b| path_cost(&ts.topology, a, b))
+                .collect()
+        })
         .collect();
     let mst = mst_cost(&costs);
     // Off-line SPT delay from the root over the (unperturbed) IP topology.
@@ -186,7 +191,10 @@ pub fn run(scale: Scale) -> Vec<AcdcSample> {
     let mut injector = FaultInjector::new(&distilled, 29);
     let perturbation = LinkPerturbation {
         fraction: 0.25,
-        kind: FaultKind::DelayIncrease { min: 0.0, max: 0.25 },
+        kind: FaultKind::DelayIncrease {
+            min: 0.0,
+            max: 0.25,
+        },
     };
 
     let mut samples = Vec::new();
@@ -198,11 +206,15 @@ pub fn run(scale: Scale) -> Vec<AcdcSample> {
         // Perturb (or restore) the emulated pipes on schedule.
         if t >= d.perturb_start_s && t < d.perturb_end_s {
             for event in injector.perturb(SimTime::from_secs(t), &perturbation) {
-                runner.emulator_mut().update_pipe_attrs(event.pipe, event.attrs);
+                runner
+                    .emulator_mut()
+                    .update_pipe_attrs(event.pipe, event.attrs);
             }
         } else if t == d.perturb_end_s {
             for event in injector.restore_all(SimTime::from_secs(t)) {
-                runner.emulator_mut().update_pipe_attrs(event.pipe, event.attrs);
+                runner
+                    .emulator_mut()
+                    .update_pipe_attrs(event.pipe, event.attrs);
             }
         }
         // Sample the overlay state.

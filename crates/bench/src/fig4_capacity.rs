@@ -7,9 +7,9 @@
 //! 120 kpkt/s (the gigabit NIC) for short routes and near 90 kpkt/s (the CPU)
 //! for 8-hop routes, lower still for 12 hops.
 
-use modelnet::{DataRate, Experiment, HardwareProfile, SimDuration, SimTime};
 use mn_distill::DistillationMode;
 use mn_topology::generators::{path_pairs_topology, PathPairsParams};
+use modelnet::{DataRate, Experiment, HardwareProfile, SimDuration, SimTime};
 
 use crate::Scale;
 
@@ -84,7 +84,8 @@ fn run_point(hops: usize, flows: usize, measure_secs: u64) -> CapacityPoint {
 
 /// Renders the points as the figure's table.
 pub fn render(points: &[CapacityPoint]) -> String {
-    let mut out = String::from("# Figure 4: single-core capacity\nhops\tflows\tpkts/sec\tcpu\tphys_drops\n");
+    let mut out =
+        String::from("# Figure 4: single-core capacity\nhops\tflows\tpkts/sec\tcpu\tphys_drops\n");
     for p in points {
         out.push_str(&format!(
             "{}\t{}\t{:.0}\t{:.2}\t{}\n",

@@ -96,12 +96,20 @@ fn run_emulated(
 
 /// Runs the reference (flow-level) curve for a ring of the given transit
 /// bandwidth.
-fn run_reference(params: &RingParams, pairs: &[(NodeId, NodeId)], transit: DataRate, label: &str) -> DistillationCurve {
+fn run_reference(
+    params: &RingParams,
+    pairs: &[(NodeId, NodeId)],
+    transit: DataRate,
+    label: &str,
+) -> DistillationCurve {
     let topo = ring_topology(&RingParams {
         ring_bandwidth: transit,
         ..params.clone()
     });
-    let specs: Vec<FlowSpec> = pairs.iter().map(|&(src, dst)| FlowSpec { src, dst }).collect();
+    let specs: Vec<FlowSpec> = pairs
+        .iter()
+        .map(|&(src, dst)| FlowSpec { src, dst })
+        .collect();
     let alloc = max_min_fair_share(&topo, &specs);
     let mut cdf = Cdf::new();
     for a in alloc {
@@ -119,9 +127,27 @@ pub fn run(scale: Scale) -> Vec<DistillationCurve> {
     let topo = ring_topology(&params);
     let pairs = random_pairs(&topo, flow_count, 99);
     vec![
-        run_emulated(&params, &pairs, DistillationMode::HopByHop, secs, "hop-by-hop"),
-        run_emulated(&params, &pairs, DistillationMode::LAST_MILE, secs, "last-mile"),
-        run_emulated(&params, &pairs, DistillationMode::EndToEnd, secs, "end-to-end"),
+        run_emulated(
+            &params,
+            &pairs,
+            DistillationMode::HopByHop,
+            secs,
+            "hop-by-hop",
+        ),
+        run_emulated(
+            &params,
+            &pairs,
+            DistillationMode::LAST_MILE,
+            secs,
+            "last-mile",
+        ),
+        run_emulated(
+            &params,
+            &pairs,
+            DistillationMode::EndToEnd,
+            secs,
+            "end-to-end",
+        ),
         run_reference(&params, &pairs, params.ring_bandwidth, "refsim 20Mb ring"),
         run_reference(&params, &pairs, DataRate::from_mbps(80), "refsim 80Mb ring"),
     ]

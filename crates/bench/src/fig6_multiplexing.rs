@@ -66,7 +66,11 @@ pub fn render(curves: &[MultiplexCurve]) -> String {
 /// than for 1.
 pub fn shape_holds(curves: &[MultiplexCurve]) -> bool {
     let knee = |c: &MultiplexCurve| -> f64 {
-        let baseline = c.points.iter().map(|p| p.aggregate_kbps).fold(0.0, f64::max);
+        let baseline = c
+            .points
+            .iter()
+            .map(|p| p.aggregate_kbps)
+            .fold(0.0, f64::max);
         c.points
             .iter()
             .filter(|p| p.aggregate_kbps >= baseline * 0.97)
@@ -77,7 +81,11 @@ pub fn shape_holds(curves: &[MultiplexCurve]) -> bool {
     let many = curves.iter().find(|c| c.processes == 100);
     match (single, many) {
         (Some(s), Some(m)) => {
-            let peak = s.points.iter().map(|p| p.aggregate_kbps).fold(0.0, f64::max);
+            let peak = s
+                .points
+                .iter()
+                .map(|p| p.aggregate_kbps)
+                .fold(0.0, f64::max);
             peak > 90_000.0 && knee(m) <= knee(s)
         }
         _ => false,

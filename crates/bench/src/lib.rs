@@ -9,13 +9,13 @@
 
 pub mod accuracy;
 pub mod cfs_experiments;
-pub mod report;
 pub mod fig11_web;
 pub mod fig12_acdc;
 pub mod fig4_capacity;
 pub mod fig5_distillation;
 pub mod fig6_multiplexing;
 pub mod gnutella_scale;
+pub mod report;
 pub mod table1_multicore;
 
 /// How large to run an experiment.

@@ -51,8 +51,37 @@ impl Report {
     }
 
     /// Serialises the report as pretty-printed JSON.
+    ///
+    /// Rendered by hand: the report shape is small and fixed, and the
+    /// vendored serde stand-in provides no serialiser (see `vendor/serde`).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialises")
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": {},\n",
+            json_string(&self.experiment)
+        ));
+        out.push_str(&format!("  \"shape_holds\": {},\n", self.shape_holds));
+        out.push_str("  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"label\": {},\n", json_string(&s.label)));
+            out.push_str("      \"points\": [");
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{}, {}]", json_number(*x), json_number(*y)));
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
     }
 
     /// Writes the report next to the given path stem (`<stem>.json`),
@@ -61,6 +90,44 @@ impl Report {
         let path = format!("{stem}.json");
         std::fs::write(&path, self.to_json())?;
         Ok(path)
+    }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number. JSON has no NaN/Infinity: NaN (no
+/// meaningful value) becomes `null`, while infinities keep their sign as
+/// extreme finite sentinels.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{:.1}", v)
+        } else {
+            format!("{v}")
+        }
+    } else if v.is_nan() {
+        "null".to_string()
+    } else if v > 0.0 {
+        "1e308".to_string()
+    } else {
+        "-1e308".to_string()
     }
 }
 

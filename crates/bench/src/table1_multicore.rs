@@ -85,9 +85,13 @@ fn run_point(vn_count: usize, cross_fraction: f64, measure_secs: u64) -> Multico
         let want_cross = (cross_core.len() as f64)
             < cross_fraction * (cross_core.len() + same_core.len() + 1) as f64;
         let pick = if want_cross {
-            found_cross.map(|ri| (ri, true)).or(found_same.map(|ri| (ri, false)))
+            found_cross
+                .map(|ri| (ri, true))
+                .or(found_same.map(|ri| (ri, false)))
         } else {
-            found_same.map(|ri| (ri, false)).or(found_cross.map(|ri| (ri, true)))
+            found_same
+                .map(|ri| (ri, false))
+                .or(found_cross.map(|ri| (ri, true)))
         };
         if let Some((ri, is_cross)) = pick {
             used_receivers[ri] = true;
@@ -102,9 +106,18 @@ fn run_point(vn_count: usize, cross_fraction: f64, measure_secs: u64) -> Multico
     let target_cross = (cross_fraction * total_flows as f64).round() as usize;
     let mut pairs: Vec<(mn_topology::NodeId, mn_topology::NodeId)> = Vec::new();
     pairs.extend(cross_core.iter().take(target_cross));
-    pairs.extend(same_core.iter().take(total_flows - pairs.len().min(total_flows)));
+    pairs.extend(
+        same_core
+            .iter()
+            .take(total_flows - pairs.len().min(total_flows)),
+    );
     if pairs.len() < total_flows {
-        pairs.extend(cross_core.iter().skip(target_cross).take(total_flows - pairs.len()));
+        pairs.extend(
+            cross_core
+                .iter()
+                .skip(target_cross)
+                .take(total_flows - pairs.len()),
+        );
     }
 
     // The Table 1 run gives each edge node a gigabit link; cores keep the
@@ -137,8 +150,9 @@ fn run_point(vn_count: usize, cross_fraction: f64, measure_secs: u64) -> Multico
 
 /// Renders the table.
 pub fn render(rows: &[MulticoreRow]) -> String {
-    let mut out =
-        String::from("# Table 1: 4-core throughput vs cross-core traffic\ncross%\tkpkt/sec\ttunnels\n");
+    let mut out = String::from(
+        "# Table 1: 4-core throughput vs cross-core traffic\ncross%\tkpkt/sec\ttunnels\n",
+    );
     for r in rows {
         out.push_str(&format!(
             "{:.0}%\t{:.1}\t{}\n",
@@ -168,7 +182,7 @@ mod tests {
 
     #[test]
     fn cross_core_traffic_reduces_throughput() {
-        let rows = vec![run_point(80, 0.0, 1), run_point(80, 1.0, 1)];
+        let rows = [run_point(80, 0.0, 1), run_point(80, 1.0, 1)];
         assert!(rows[0].packets_per_sec > 0.0);
         assert!(rows[1].tunnels > rows[0].tunnels);
         assert!(

@@ -153,14 +153,8 @@ impl Experiment {
             &BindingParams::new(self.edge_nodes, self.cores),
         );
         // Run-phase driver.
-        let emulator = MultiCoreEmulator::new(
-            &distilled,
-            pod,
-            matrix,
-            &binding,
-            self.profile,
-            self.seed,
-        );
+        let emulator =
+            MultiCoreEmulator::new(&distilled, pod, matrix, &binding, self.profile, self.seed);
         Ok((Runner::new(emulator, binding, self.tcp), distilled))
     }
 }
@@ -228,6 +222,8 @@ mod tests {
     #[test]
     fn error_messages_are_descriptive() {
         assert!(ExperimentError::NoClients.to_string().contains("client"));
-        assert!(ExperimentError::Disconnected.to_string().contains("connected"));
+        assert!(ExperimentError::Disconnected
+            .to_string()
+            .contains("connected"));
     }
 }

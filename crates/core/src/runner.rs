@@ -12,11 +12,27 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+/// First port handed out by the runner's allocator; ports index the dense
+/// flow-dispatch table below after subtracting this base.
+const PORT_BASE: u16 = 10_000;
+
+/// What a runner-allocated port is bound to. Deliveries dispatch on the
+/// packet's source port with one indexed read instead of hashing the 5-tuple.
+#[derive(Debug, Clone, Copy)]
+enum PortBinding {
+    /// TCP channel index in `Runner::channels`.
+    Tcp(usize),
+    /// UDP flow index in `Runner::udp_flows`.
+    Udp(usize),
+}
+
 use mn_assign::Binding;
 use mn_edge::{AppAction, AppCtx, Application, Message};
 use mn_emucore::{Delivery, MultiCoreEmulator, SubmitOutcome};
 use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
-use mn_transport::{BulkSender, SegmentToSend, TcpConfig, TcpConnection, UdpStream, UdpStreamConfig};
+use mn_transport::{
+    BulkSender, SegmentToSend, TcpConfig, TcpConnection, UdpStream, UdpStreamConfig,
+};
 use mn_util::{ByteSize, Cdf, EventHeap, SimDuration, SimTime};
 
 /// Identifier of a TCP flow or application channel created on the runner.
@@ -111,13 +127,13 @@ pub struct Runner {
     binding: Binding,
     tcp_config: TcpConfig,
     channels: Vec<Channel>,
-    channel_by_key: HashMap<(VnId, VnId, u16), usize>,
+    /// Dense port-indexed dispatch table: `port_bindings[port - PORT_BASE]`.
+    port_bindings: Vec<PortBinding>,
     app_channel_by_pair: HashMap<(VnId, VnId), usize>,
     udp_flows: Vec<UdpFlow>,
-    udp_by_key: HashMap<(VnId, VnId, u16), usize>,
-    apps: HashMap<VnId, Box<dyn Application>>,
+    /// Application instances indexed densely by `VnId`.
+    apps: Vec<Option<Box<dyn Application>>>,
     metrics: HashMap<&'static str, Cdf>,
-    next_port: u16,
     next_packet_id: u64,
     packets_submitted: u64,
     packets_delivered: u64,
@@ -136,13 +152,11 @@ impl Runner {
             binding,
             tcp_config,
             channels: Vec::new(),
-            channel_by_key: HashMap::new(),
+            port_bindings: Vec::new(),
             app_channel_by_pair: HashMap::new(),
             udp_flows: Vec::new(),
-            udp_by_key: HashMap::new(),
-            apps: HashMap::new(),
+            apps: Vec::new(),
             metrics: HashMap::new(),
-            next_port: 10_000,
             next_packet_id: 0,
             packets_submitted: 0,
             packets_delivered: 0,
@@ -179,7 +193,10 @@ impl Runner {
     /// Installs an application instance on a VN. Applications receive
     /// `on_start` when the run begins (or immediately, if it already has).
     pub fn add_application(&mut self, vn: VnId, app: Box<dyn Application>) {
-        self.apps.insert(vn, app);
+        if self.apps.len() <= vn.index() {
+            self.apps.resize_with(vn.index() + 1, || None);
+        }
+        self.apps[vn.index()] = Some(app);
         if self.apps_started {
             self.start_app(vn);
         }
@@ -187,7 +204,19 @@ impl Runner {
 
     /// Returns a typed view of the application bound to `vn`.
     pub fn app_as<T: Any>(&self, vn: VnId) -> Option<&T> {
-        self.apps.get(&vn).and_then(|a| a.as_any().downcast_ref())
+        self.app(vn).and_then(|a| a.as_any().downcast_ref())
+    }
+
+    /// The application bound to `vn`, if any.
+    #[inline]
+    fn app(&self, vn: VnId) -> Option<&dyn Application> {
+        self.apps.get(vn.index()).and_then(|a| a.as_deref())
+    }
+
+    /// Mutable access to the application bound to `vn`.
+    #[inline]
+    fn app_mut(&mut self, vn: VnId) -> Option<&mut Box<dyn Application>> {
+        self.apps.get_mut(vn.index()).and_then(|a| a.as_mut())
     }
 
     /// Creates a netperf-style TCP flow from `src` to `dst`. `size = None`
@@ -200,8 +229,7 @@ impl Runner {
         size: Option<ByteSize>,
         start: SimTime,
     ) -> FlowId {
-        let port = self.alloc_port();
-        let ch = self.push_channel(src, dst, port, false);
+        let ch = self.push_channel(src, dst, false);
         let channel = &mut self.channels[ch];
         channel.bulk_a = Some(match size {
             Some(s) => BulkSender::fixed(s),
@@ -221,7 +249,8 @@ impl Runner {
         config: UdpStreamConfig,
         start: SimTime,
     ) -> UdpFlowId {
-        let port = self.alloc_port();
+        let idx = self.udp_flows.len();
+        let port = self.bind_port(PortBinding::Udp(idx));
         let payload = config.payload;
         let flow = UdpFlow {
             src,
@@ -233,8 +262,6 @@ impl Runner {
             bytes_received: 0,
             sent: 0,
         };
-        let idx = self.udp_flows.len();
-        self.udp_by_key.insert((src, dst, port), idx);
         self.udp_flows.push(flow);
         self.events.push(start, Event::UdpPoll { flow: idx });
         UdpFlowId(idx)
@@ -323,15 +350,15 @@ impl Runner {
     pub fn run_until(&mut self, deadline: SimTime) {
         if !self.apps_started {
             self.apps_started = true;
-            let vns: Vec<VnId> = self.apps.keys().copied().collect();
+            let vns: Vec<VnId> = (0..self.apps.len() as u32)
+                .map(VnId)
+                .filter(|&vn| self.app(vn).is_some())
+                .collect();
             for vn in vns {
                 self.start_app(vn);
             }
         }
-        loop {
-            let Some(t) = self.events.peek_time() else {
-                break;
-            };
+        while let Some(t) = self.events.peek_time() {
             if t > deadline {
                 break;
             }
@@ -359,7 +386,7 @@ impl Runner {
             Event::ChannelTimer { ch, side } => self.handle_channel_timer(ch, side),
             Event::AppTimer { vn, token } => {
                 let now = self.now;
-                if let Some(app) = self.apps.get_mut(&vn) {
+                if let Some(app) = self.app_mut(vn) {
                     let mut ctx = AppCtx::new(vn, now);
                     app.on_timer(&mut ctx, token);
                     let actions = ctx.into_actions();
@@ -376,7 +403,7 @@ impl Runner {
 
     fn start_app(&mut self, vn: VnId) {
         let now = self.now;
-        if let Some(app) = self.apps.get_mut(&vn) {
+        if let Some(app) = self.app_mut(vn) {
             let mut ctx = AppCtx::new(vn, now);
             app.on_start(&mut ctx);
             let actions = ctx.into_actions();
@@ -384,14 +411,33 @@ impl Runner {
         }
     }
 
-    fn alloc_port(&mut self) -> u16 {
-        let p = self.next_port;
-        self.next_port = self.next_port.wrapping_add(1).max(10_000);
-        p
+    /// Allocates the next port and records what it dispatches to.
+    ///
+    /// Ports are never recycled, bounding a runner to `u16::MAX - PORT_BASE`
+    /// flows over its lifetime (the assert below fires past that). The old
+    /// allocator silently wrapped and corrupted dispatch instead; recycling
+    /// completed flows' ports is future work if endurance runs ever need it.
+    fn bind_port(&mut self, binding: PortBinding) -> u16 {
+        let offset = self.port_bindings.len();
+        assert!(
+            offset < (u16::MAX - PORT_BASE) as usize,
+            "port space exhausted: more than {} flows",
+            u16::MAX - PORT_BASE
+        );
+        self.port_bindings.push(binding);
+        PORT_BASE + offset as u16
     }
 
-    fn push_channel(&mut self, a: VnId, b: VnId, port: u16, is_app: bool) -> usize {
+    /// The binding a runner-allocated port dispatches to, if any.
+    #[inline]
+    fn port_binding(&self, port: u16) -> Option<PortBinding> {
+        let offset = port.checked_sub(PORT_BASE)? as usize;
+        self.port_bindings.get(offset).copied()
+    }
+
+    fn push_channel(&mut self, a: VnId, b: VnId, is_app: bool) -> usize {
         let idx = self.channels.len();
+        let port = self.bind_port(PortBinding::Tcp(idx));
         self.channels.push(Channel {
             a,
             b,
@@ -407,8 +453,6 @@ impl Runner {
             completed_at: None,
             is_app_channel: is_app,
         });
-        self.channel_by_key.insert((a, b, port), idx);
-        self.channel_by_key.insert((b, a, port), idx);
         if is_app {
             self.app_channel_by_pair.insert((a, b), idx);
             self.app_channel_by_pair.insert((b, a), idx);
@@ -421,8 +465,7 @@ impl Runner {
         if let Some(&idx) = self.app_channel_by_pair.get(&(from, to)) {
             return idx;
         }
-        let port = self.alloc_port();
-        let idx = self.push_channel(from, to, port, true);
+        let idx = self.push_channel(from, to, true);
         self.pump_channel(idx);
         idx
     }
@@ -444,9 +487,7 @@ impl Runner {
     fn submit_packet(&mut self, packet: Packet) {
         self.packets_submitted += 1;
         match self.emulator.submit(self.now, packet) {
-            SubmitOutcome::Accepted
-            | SubmitOutcome::VirtualDrop
-            | SubmitOutcome::PhysicalDrop => {}
+            SubmitOutcome::Accepted | SubmitOutcome::VirtualDrop | SubmitOutcome::PhysicalDrop => {}
             SubmitOutcome::NoRoute => {
                 // Silently dropped: the destination is unreachable (e.g. a
                 // partitioned topology under fault injection).
@@ -519,7 +560,8 @@ impl Runner {
             conn.next_timer()
         };
         if let Some(t) = deadline {
-            self.events.push(t.max(self.now), Event::ChannelTimer { ch, side });
+            self.events
+                .push(t.max(self.now), Event::ChannelTimer { ch, side });
         }
     }
 
@@ -555,7 +597,14 @@ impl Runner {
             let f = &mut self.udp_flows[flow];
             let seqs = f.stream.poll(now);
             f.sent += seqs.len() as u64;
-            (f.src, f.dst, f.port, f.payload, seqs, f.stream.next_send_time())
+            (
+                f.src,
+                f.dst,
+                f.port,
+                f.payload,
+                seqs,
+                f.stream.next_send_time(),
+            )
         };
         for seq in seqs {
             let id = PacketId(self.next_packet_id);
@@ -593,17 +642,18 @@ impl Runner {
     fn handle_delivery(&mut self, delivery: Delivery) {
         self.packets_delivered += 1;
         let packet = delivery.packet;
-        let key = (packet.flow.src, packet.flow.dst, packet.flow.src_port);
         match packet.flow.protocol {
             Protocol::Udp => {
-                if let Some(&idx) = self.udp_by_key.get(&key) {
+                if let Some(PortBinding::Udp(idx)) = self.port_binding(packet.flow.src_port) {
                     let f = &mut self.udp_flows[idx];
-                    f.received += 1;
-                    f.bytes_received += packet.header.payload_len() as u64;
+                    if f.src == packet.flow.src && f.dst == packet.flow.dst {
+                        f.received += 1;
+                        f.bytes_received += packet.header.payload_len() as u64;
+                    }
                 }
             }
             Protocol::Tcp => {
-                let Some(&ch) = self.channel_by_key.get(&key) else {
+                let Some(PortBinding::Tcp(ch)) = self.port_binding(packet.flow.src_port) else {
                     return;
                 };
                 let TransportHeader::Tcp {
@@ -617,10 +667,15 @@ impl Runner {
                     return;
                 };
                 // The receiving endpoint is the one bound to the packet's
-                // destination VN.
-                let receiver_side = self.channels[ch]
-                    .side_of(packet.flow.dst)
-                    .expect("delivery matches a channel endpoint");
+                // destination VN. A port can only have been allocated to this
+                // channel, but verify both endpoints anyway so a stray packet
+                // cannot corrupt an unrelated connection.
+                let Some(receiver_side) = self.channels[ch].side_of(packet.flow.dst) else {
+                    return;
+                };
+                if self.channels[ch].side_of(packet.flow.src).is_none() {
+                    return;
+                }
                 let now = self.now;
                 let event = {
                     let channel = &mut self.channels[ch];
@@ -672,7 +727,7 @@ impl Runner {
                 }
             };
             let now = self.now;
-            if let Some(app) = self.apps.get_mut(&to) {
+            if let Some(app) = self.app_mut(to) {
                 let mut ctx = AppCtx::new(to, now);
                 app.on_message(&mut ctx, from, message);
                 let actions = ctx.into_actions();
@@ -701,7 +756,8 @@ impl Runner {
                     self.pump_channel(ch);
                 }
                 AppAction::SetTimer { delay, token } => {
-                    self.events.push(self.now + delay, Event::AppTimer { vn, token });
+                    self.events
+                        .push(self.now + delay, Event::AppTimer { vn, token });
                 }
                 AppAction::Record { metric, value } => {
                     self.metrics.entry(metric).or_default().add(value);
@@ -737,7 +793,8 @@ mod tests {
     fn bulk_flow_completes_and_reports_goodput() {
         let mut runner = star_runner(4);
         let vns = runner.vn_ids();
-        let flow = runner.add_bulk_flow(vns[0], vns[1], Some(ByteSize::from_kb(256)), SimTime::ZERO);
+        let flow =
+            runner.add_bulk_flow(vns[0], vns[1], Some(ByteSize::from_kb(256)), SimTime::ZERO);
         runner.run_for(SimDuration::from_secs(10));
         let done = runner.flow_completed_at(flow).expect("transfer finishes");
         assert!(done > SimTime::ZERO);
@@ -745,7 +802,10 @@ mod tests {
         // 10 Mb/s spokes: the transfer takes at least 256KB*8/10Mb/s ≈ 0.2 s.
         assert!(done >= SimTime::from_millis(200), "done at {done}");
         let goodput = runner.flow_goodput_kbps(flow);
-        assert!(goodput > 1_000.0 && goodput < 10_000.0, "goodput {goodput} kbps");
+        assert!(
+            goodput > 1_000.0 && goodput < 10_000.0,
+            "goodput {goodput} kbps"
+        );
     }
 
     #[test]

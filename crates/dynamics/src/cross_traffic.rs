@@ -105,8 +105,8 @@ impl QueueingModel {
         let utilisation = (load.background_bps as f64 / capacity).min(self.max_utilisation);
 
         // Available bandwidth: what the cross traffic leaves behind.
-        let available = DataRate::from_bps((capacity * (1.0 - utilisation)) as u64)
-            .max(DataRate::from_kbps(8));
+        let available =
+            DataRate::from_bps((capacity * (1.0 - utilisation)) as u64).max(DataRate::from_kbps(8));
 
         // Queueing delay from an M/M/1 approximation:
         //   W = (1 / (1 - rho)) * service_time  - service_time.
@@ -246,8 +246,20 @@ mod tests {
     fn queueing_delay_grows_with_utilisation() {
         let base = PipeAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(5));
         let model = QueueingModel::default();
-        let lo = model.derive(base, PipeLoad { background_bps: 1_000_000, flows: 1 });
-        let hi = model.derive(base, PipeLoad { background_bps: 8_000_000, flows: 1 });
+        let lo = model.derive(
+            base,
+            PipeLoad {
+                background_bps: 1_000_000,
+                flows: 1,
+            },
+        );
+        let hi = model.derive(
+            base,
+            PipeLoad {
+                background_bps: 8_000_000,
+                flows: 1,
+            },
+        );
         assert!(hi.latency > lo.latency);
         // Sanity: the added delay is on the order of packet service times.
         let service = base.bandwidth.transmission_time(ByteSize::from_bytes(1000));

@@ -230,7 +230,10 @@ mod tests {
             SimTime::from_secs(500),
             &LinkPerturbation {
                 fraction: 0.25,
-                kind: FaultKind::DelayIncrease { min: 0.0, max: 0.25 },
+                kind: FaultKind::DelayIncrease {
+                    min: 0.0,
+                    max: 0.25,
+                },
             },
         );
         let expected = (d.pipe_count() as f64 * 0.25).round() as usize;
@@ -298,7 +301,10 @@ mod tests {
         for e in &events {
             assert_eq!(e.attrs, d.pipe(e.pipe).attrs);
         }
-        assert_eq!(inj.current_attrs(PipeId(0)).unwrap(), d.pipe(PipeId(0)).attrs);
+        assert_eq!(
+            inj.current_attrs(PipeId(0)).unwrap(),
+            d.pipe(PipeId(0)).attrs
+        );
     }
 
     #[test]
@@ -309,7 +315,10 @@ mod tests {
             SimTime::ZERO,
             &LinkPerturbation {
                 fraction: 0.5,
-                kind: FaultKind::LossRate { min: 0.01, max: 0.05 },
+                kind: FaultKind::LossRate {
+                    min: 0.01,
+                    max: 0.05,
+                },
             },
         );
         for e in &loss_events {

@@ -77,8 +77,7 @@ impl AccuracyLog {
         if self.delivered == 0 {
             return true;
         }
-        self.max_per_hop_error() <= tick
-            && self.max_error() <= tick * self.max_hops.max(1) as u64
+        self.max_per_hop_error() <= tick && self.max_error() <= tick * self.max_hops.max(1) as u64
     }
 }
 

@@ -12,7 +12,7 @@
 //!   the NIC line rate / buffering is exceeded, newly arriving packets are
 //!   dropped *physically* and counted as such.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use mn_assign::CoreId;
 use mn_distill::{PipeAttrs, PipeId};
 use mn_pipe::{EmuPipe, EnqueueOutcome, PipeStats, QueueDiscipline};
+use mn_routing::RouteTable;
 use mn_util::rngs::derived_rng;
 use mn_util::{ByteSize, EventHeap, SimDuration, SimTime};
 
@@ -59,7 +60,7 @@ impl IngressOutcome {
 }
 
 /// Counters for one core.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoreStats {
     /// Packets offered by edge nodes.
     pub packets_offered: u64,
@@ -104,7 +105,13 @@ pub struct TickOutput {
 pub struct EmulatorCore {
     id: CoreId,
     profile: HardwareProfile,
-    pipes: HashMap<PipeId, EmuPipe<Descriptor>>,
+    /// The interned routes shared by every core of the emulation; descriptors
+    /// carry a `RouteId` into this table instead of a route of their own.
+    routes: Arc<RouteTable>,
+    /// Dense pipe table indexed by `PipeId`: `Some` for the pipes this core
+    /// owns, `None` for slots owned by peer cores. Sized once at
+    /// construction to the distilled topology's pipe count.
+    pipes: Vec<Option<EmuPipe<Descriptor>>>,
     /// Scheduler heap: one entry per accepted packet, keyed by its pipe exit
     /// deadline. Entries for packets that were already moved by an earlier
     /// pass are stale and simply find no due work.
@@ -128,11 +135,20 @@ pub struct EmulatorCore {
 
 impl EmulatorCore {
     /// Creates a core with the given identity and hardware profile.
-    pub fn new(id: CoreId, profile: HardwareProfile, seed: u64) -> Self {
+    /// `pipe_slots` is the distilled topology's total pipe count: the dense
+    /// pipe table has one slot per pipe id, installed or not.
+    pub fn new(
+        id: CoreId,
+        profile: HardwareProfile,
+        seed: u64,
+        routes: Arc<RouteTable>,
+        pipe_slots: usize,
+    ) -> Self {
         EmulatorCore {
             id,
             profile,
-            pipes: HashMap::new(),
+            routes,
+            pipes: std::iter::repeat_with(|| None).take(pipe_slots).collect(),
             heap: EventHeap::new(),
             pending_remote: Vec::new(),
             cpu_backlog: SimDuration::ZERO,
@@ -159,8 +175,12 @@ impl EmulatorCore {
     }
 
     /// Installs a pipe on this core with the default FIFO discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipe id is outside the table this core was sized for.
     pub fn install_pipe(&mut self, pipe: PipeId, attrs: PipeAttrs) {
-        self.pipes.insert(pipe, EmuPipe::new(attrs));
+        self.pipes[pipe.index()] = Some(EmuPipe::new(attrs));
     }
 
     /// Installs a pipe with an explicit queueing discipline.
@@ -170,19 +190,35 @@ impl EmulatorCore {
         attrs: PipeAttrs,
         discipline: QueueDiscipline,
     ) {
-        self.pipes
-            .insert(pipe, EmuPipe::with_discipline(attrs, discipline));
+        self.pipes[pipe.index()] = Some(EmuPipe::with_discipline(attrs, discipline));
     }
 
     /// Returns `true` if this core owns the pipe.
     pub fn owns_pipe(&self, pipe: PipeId) -> bool {
-        self.pipes.contains_key(&pipe)
+        self.pipe(pipe).is_some()
+    }
+
+    /// The installed pipe for `id`, if this core owns it.
+    #[inline]
+    fn pipe(&self, id: PipeId) -> Option<&EmuPipe<Descriptor>> {
+        self.pipes.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the installed pipe for `id`.
+    #[inline]
+    fn pipe_mut(&mut self, id: PipeId) -> Option<&mut EmuPipe<Descriptor>> {
+        self.pipes.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
+    /// Replaces the interned route table (after an explicit routing rebuild).
+    pub fn set_route_table(&mut self, routes: Arc<RouteTable>) {
+        self.routes = routes;
     }
 
     /// Updates a pipe's emulation parameters (dynamic network changes).
     /// Returns `false` if the pipe is not installed here.
     pub fn update_pipe_attrs(&mut self, pipe: PipeId, attrs: PipeAttrs) -> bool {
-        match self.pipes.get_mut(&pipe) {
+        match self.pipe_mut(pipe) {
             Some(p) => {
                 p.set_attrs(attrs);
                 true
@@ -205,7 +241,7 @@ impl EmulatorCore {
     /// pipes.
     pub fn pipe_stats_total(&self) -> PipeStats {
         let mut total = PipeStats::default();
-        for p in self.pipes.values() {
+        for p in self.pipes.iter().flatten() {
             let s = p.stats();
             total.enqueued += s.enqueued;
             total.dequeued += s.dequeued;
@@ -219,7 +255,7 @@ impl EmulatorCore {
 
     /// Counters for a single pipe, if installed here.
     pub fn pipe_stats(&self, pipe: PipeId) -> Option<&PipeStats> {
-        self.pipes.get(&pipe).map(|p| p.stats())
+        self.pipe(pipe).map(|p| p.stats())
     }
 
     /// Fraction of wall time the CPU spent on emulation work so far.
@@ -308,7 +344,7 @@ impl EmulatorCore {
         self.stats.bytes_in += size.as_bytes();
         descriptor.entered_at = now;
 
-        let Some(first_pipe) = descriptor.next_pipe() else {
+        let Some(first_pipe) = descriptor.next_pipe(&self.routes) else {
             // Zero-hop route: deliver on the next tick via an empty-route
             // descriptor placed on a synthetic immediate deadline. Simplest is
             // to treat it as complete right now by storing it as a delivery in
@@ -318,7 +354,11 @@ impl EmulatorCore {
             // to a core; defensive fallback.)
             return IngressOutcome::Accepted;
         };
-        if let Some(pipe) = self.pipes.get_mut(&first_pipe) {
+        if let Some(pipe) = self
+            .pipes
+            .get_mut(first_pipe.index())
+            .and_then(Option::as_mut)
+        {
             match pipe.enqueue(now, size, descriptor, &mut self.rng) {
                 EnqueueOutcome::Accepted { exit_time } => {
                     self.heap.push(exit_time, first_pipe);
@@ -362,11 +402,11 @@ impl EmulatorCore {
 
     /// Enqueues a descriptor onto its next pipe (which must be local).
     fn enqueue_descriptor(&mut self, at: SimTime, descriptor: Descriptor) -> IngressOutcome {
-        let Some(pipe_id) = descriptor.next_pipe() else {
+        let Some(pipe_id) = descriptor.next_pipe(&self.routes) else {
             return IngressOutcome::Accepted;
         };
         let size = descriptor.packet.size;
-        if let Some(pipe) = self.pipes.get_mut(&pipe_id) {
+        if let Some(pipe) = self.pipes.get_mut(pipe_id.index()).and_then(Option::as_mut) {
             match pipe.enqueue(at, size, descriptor, &mut self.rng) {
                 EnqueueOutcome::Accepted { exit_time } => {
                     self.heap.push(exit_time, pipe_id);
@@ -401,7 +441,7 @@ impl EmulatorCore {
         }
 
         while let Some((_, pipe_id)) = self.heap.pop_due(now) {
-            let Some(pipe) = self.pipes.get_mut(&pipe_id) else {
+            let Some(pipe) = self.pipes.get_mut(pipe_id.index()).and_then(Option::as_mut) else {
                 continue;
             };
             let ready = pipe.dequeue_ready(now);
@@ -426,14 +466,14 @@ impl EmulatorCore {
                 } else {
                     now
                 };
-                if descriptor.is_complete() {
+                if descriptor.is_complete(&self.routes) {
                     let delivered_at = if self.profile.packet_debt_correction {
                         dequeued.exit_time.max(descriptor.entered_at)
                     } else {
                         now
                     };
                     let delivery = Delivery {
-                        hops: descriptor.total_hops(),
+                        hops: descriptor.total_hops(&self.routes),
                         emulation_error: descriptor.accumulated_error,
                         entered_at: descriptor.entered_at,
                         delivered_at,
@@ -444,11 +484,13 @@ impl EmulatorCore {
                     self.accuracy.record(&delivery);
                     out.deliveries.push(delivery);
                 } else {
-                    let next = descriptor.next_pipe().expect("incomplete route has a next pipe");
-                    if self.pipes.contains_key(&next) {
+                    let next = descriptor
+                        .next_pipe(&self.routes)
+                        .expect("incomplete route has a next pipe");
+                    if let Some(next_pipe) =
+                        self.pipes.get_mut(next.index()).and_then(Option::as_mut)
+                    {
                         let size = descriptor.packet.size;
-                        // Re-borrow mutably (previous borrow ended with `ready`).
-                        let next_pipe = self.pipes.get_mut(&next).expect("checked above");
                         if let EnqueueOutcome::Accepted { exit_time } =
                             next_pipe.enqueue(reentry, size, descriptor, &mut self.rng)
                         {
@@ -475,7 +517,11 @@ impl EmulatorCore {
 
     /// Number of packets currently being emulated across this core's pipes.
     pub fn in_flight(&self) -> usize {
-        self.pipes.values().map(|p| p.in_flight_count()).sum()
+        self.pipes
+            .iter()
+            .flatten()
+            .map(|p| p.in_flight_count())
+            .sum()
     }
 }
 

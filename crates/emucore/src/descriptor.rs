@@ -1,15 +1,16 @@
 //! Packet descriptors and deliveries.
 //!
 //! A descriptor is the unit the core schedules: a reference to the buffered
-//! packet plus the pipe route and the index of the next pipe to traverse.
-//! Descriptors are what multi-core configurations tunnel between cores; the
-//! packet payload itself never moves (payload caching leaves it buffered on
-//! the entry node until the packet exits the emulated network).
-
-use std::sync::Arc;
+//! packet plus a handle to its interned route and the index of the next pipe
+//! to traverse. Descriptors are what multi-core configurations tunnel
+//! between cores; neither the packet payload nor the route itself ever moves
+//! — every core holds the same [`RouteTable`] (installed at Bind time), so a
+//! tunnelled descriptor carries only the 4-byte [`RouteId`] and its hop
+//! index, exactly as the paper's descriptors reference routing state that is
+//! pre-installed on each core node.
 
 use mn_packet::Packet;
-use mn_routing::Route;
+use mn_routing::{RouteId, RouteTable};
 use mn_util::{SimDuration, SimTime};
 
 /// A scheduled packet inside the core: the packet descriptor plus its route
@@ -18,8 +19,8 @@ use mn_util::{SimDuration, SimTime};
 pub struct Descriptor {
     /// The packet being emulated (headers and size only — no payload bytes).
     pub packet: Packet,
-    /// The ordered pipe route from source to destination.
-    pub route: Arc<Route>,
+    /// Handle to the interned pipe route from source to destination.
+    pub route: RouteId,
     /// Index of the next pipe to enter (hops `0..hop` are already done).
     pub hop: usize,
     /// Time the packet entered the core (for per-packet latency reporting).
@@ -31,7 +32,7 @@ pub struct Descriptor {
 
 impl Descriptor {
     /// Creates a descriptor at the start of its route.
-    pub fn new(packet: Packet, route: Arc<Route>, entered_at: SimTime) -> Self {
+    pub fn new(packet: Packet, route: RouteId, entered_at: SimTime) -> Self {
         Descriptor {
             packet,
             route,
@@ -42,23 +43,26 @@ impl Descriptor {
     }
 
     /// Total number of pipes on the route.
-    pub fn total_hops(&self) -> usize {
-        self.route.pipes.len()
+    pub fn total_hops(&self, routes: &RouteTable) -> usize {
+        routes.pipes(self.route).len()
     }
 
     /// The next pipe to traverse, or `None` if the route is complete.
-    pub fn next_pipe(&self) -> Option<mn_distill::PipeId> {
-        self.route.pipes.get(self.hop).copied()
+    #[inline]
+    pub fn next_pipe(&self, routes: &RouteTable) -> Option<mn_distill::PipeId> {
+        routes.pipes(self.route).get(self.hop).copied()
     }
 
     /// Marks the current hop as traversed.
+    #[inline]
     pub fn advance_hop(&mut self) {
         self.hop += 1;
     }
 
     /// Returns `true` once every pipe on the route has been traversed.
-    pub fn is_complete(&self) -> bool {
-        self.hop >= self.route.pipes.len()
+    #[inline]
+    pub fn is_complete(&self, routes: &RouteTable) -> bool {
+        self.hop >= routes.pipes(self.route).len()
     }
 }
 
@@ -91,6 +95,7 @@ mod tests {
     use super::*;
     use mn_distill::PipeId;
     use mn_packet::{FlowKey, PacketId, Protocol, TcpFlags, TransportHeader, VnId};
+    use mn_routing::Route;
 
     fn packet() -> Packet {
         Packet::new(
@@ -113,25 +118,44 @@ mod tests {
         )
     }
 
+    fn table_with(pipes: Vec<PipeId>) -> (RouteTable, RouteId) {
+        let mut table = RouteTable::new(2);
+        let id = table.intern(Route::new(pipes));
+        table.set_pair(0, 1, id);
+        (table, id)
+    }
+
     #[test]
     fn descriptor_walks_its_route() {
-        let route = Arc::new(Route::new(vec![PipeId(3), PipeId(7), PipeId(9)]));
-        let mut d = Descriptor::new(packet(), route, SimTime::from_millis(1));
-        assert_eq!(d.total_hops(), 3);
-        assert_eq!(d.next_pipe(), Some(PipeId(3)));
+        let (routes, id) = table_with(vec![PipeId(3), PipeId(7), PipeId(9)]);
+        let mut d = Descriptor::new(packet(), id, SimTime::from_millis(1));
+        assert_eq!(d.total_hops(&routes), 3);
+        assert_eq!(d.next_pipe(&routes), Some(PipeId(3)));
         d.advance_hop();
-        assert_eq!(d.next_pipe(), Some(PipeId(7)));
+        assert_eq!(d.next_pipe(&routes), Some(PipeId(7)));
         d.advance_hop();
         d.advance_hop();
-        assert!(d.is_complete());
-        assert_eq!(d.next_pipe(), None);
+        assert!(d.is_complete(&routes));
+        assert_eq!(d.next_pipe(&routes), None);
     }
 
     #[test]
     fn empty_route_is_immediately_complete() {
-        let d = Descriptor::new(packet(), Arc::new(Route::default()), SimTime::ZERO);
-        assert!(d.is_complete());
-        assert_eq!(d.total_hops(), 0);
+        let (routes, id) = table_with(vec![]);
+        let d = Descriptor::new(packet(), id, SimTime::ZERO);
+        assert!(d.is_complete(&routes));
+        assert_eq!(d.total_hops(&routes), 0);
+    }
+
+    #[test]
+    fn tunnelled_descriptors_share_the_interned_route() {
+        // Cloning a descriptor (what a tunnel does) must not clone the route:
+        // both descriptors resolve to the same interned pipe slice.
+        let (routes, id) = table_with(vec![PipeId(1), PipeId(2)]);
+        let d1 = Descriptor::new(packet(), id, SimTime::ZERO);
+        let d2 = d1.clone();
+        assert_eq!(d1.route, d2.route);
+        assert!(std::ptr::eq(routes.pipes(d1.route), routes.pipes(d2.route)));
     }
 
     #[test]

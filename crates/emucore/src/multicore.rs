@@ -9,13 +9,12 @@
 //! cross-core traffic grows. With payload caching enabled only the
 //! descriptor, not the packet contents, crosses the core network.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use mn_assign::{Binding, CoreId, PipeOwnershipDirectory};
 use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
 use mn_packet::{Packet, VnId};
-use mn_routing::{Route, RoutingMatrix};
+use mn_routing::{RouteTable, RoutingMatrix};
 use mn_topology::NodeId;
 use mn_util::{EventHeap, SimTime};
 
@@ -49,9 +48,14 @@ pub struct MultiCoreEmulator {
     cores: Vec<EmulatorCore>,
     pod: PipeOwnershipDirectory,
     matrix: RoutingMatrix,
-    route_cache: HashMap<(NodeId, NodeId), Arc<Route>>,
-    vn_location: HashMap<VnId, NodeId>,
-    vn_entry_core: HashMap<VnId, CoreId>,
+    /// Interned routes plus the dense VN-pair -> route table, shared with
+    /// every core. Rebuilt explicitly by [`MultiCoreEmulator::set_routing`].
+    routes: Arc<RouteTable>,
+    /// Topology location of each VN, indexed densely by `VnId`. An id at or
+    /// beyond the table is an unknown VN and yields `SubmitOutcome::NoRoute`.
+    vn_location: Vec<NodeId>,
+    /// Entry core of each VN, indexed densely by `VnId`.
+    vn_entry_core: Vec<CoreId>,
     /// Tunnel descriptors in flight between cores.
     tunnels_in_flight: EventHeap<(CoreId, Descriptor)>,
     /// Same-location packets that bypass the core network entirely.
@@ -81,32 +85,43 @@ impl MultiCoreEmulator {
             topo.pipe_count(),
             "POD must cover every pipe of the distilled topology"
         );
+        // Dense per-VN tables: `Binding` numbers VNs 0..vn_count, so plain
+        // vectors indexed by `VnId::index` cover every bound VN.
+        let vn_location: Vec<NodeId> = binding
+            .vns()
+            .map(|vn| binding.location(vn).expect("binding locates every VN"))
+            .collect();
+        let vn_entry_core: Vec<CoreId> = binding
+            .vns()
+            .map(|vn| {
+                // Clamp to the actual core count: a binding may reference more
+                // cores than the POD uses (e.g. single-core emulation of a
+                // multi-edge cluster).
+                let core = binding.entry_core(vn).unwrap_or(CoreId(0));
+                CoreId(core.index() % pod.core_count())
+            })
+            .collect();
+        let routes = Arc::new(RouteTable::build(&matrix, &vn_location));
         let mut cores: Vec<EmulatorCore> = (0..pod.core_count())
-            .map(|c| EmulatorCore::new(CoreId(c), profile, seed.wrapping_add(c as u64)))
+            .map(|c| {
+                EmulatorCore::new(
+                    CoreId(c),
+                    profile,
+                    seed.wrapping_add(c as u64),
+                    routes.clone(),
+                    topo.pipe_count(),
+                )
+            })
             .collect();
         for (pipe_id, pipe) in topo.pipes() {
             let owner = pod.owner(pipe_id);
             cores[owner.index()].install_pipe(pipe_id, pipe.attrs);
         }
-        let mut vn_location = HashMap::new();
-        let mut vn_entry_core = HashMap::new();
-        for vn in binding.vns() {
-            if let Some(loc) = binding.location(vn) {
-                vn_location.insert(vn, loc);
-            }
-            if let Some(core) = binding.entry_core(vn) {
-                // Clamp to the actual core count: a binding may reference more
-                // cores than the POD uses (e.g. single-core emulation of a
-                // multi-edge cluster).
-                let core = CoreId(core.index() % pod.core_count());
-                vn_entry_core.insert(vn, core);
-            }
-        }
         MultiCoreEmulator {
             cores,
             pod,
             matrix,
-            route_cache: HashMap::new(),
+            routes,
             vn_location,
             vn_entry_core,
             tunnels_in_flight: EventHeap::new(),
@@ -165,11 +180,28 @@ impl MultiCoreEmulator {
         &self.matrix
     }
 
-    /// Replaces the routing matrix (after a failure recomputation) and clears
-    /// the internal route cache.
+    /// The interned route table in force.
+    pub fn route_table(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// Replaces the routing matrix (after a failure recomputation) and
+    /// rebuilds the interned route table on every core. The rebuild is
+    /// explicit and total — there is no incremental cache whose stale entries
+    /// could survive a routing change. Route ids handed out before the
+    /// rebuild stay valid (the new table retains the old interned routes), so
+    /// descriptors already in flight finish on their pre-failure routes —
+    /// exactly like packets already inside the paper's cores.
     pub fn set_routing(&mut self, matrix: RoutingMatrix) {
         self.matrix = matrix;
-        self.route_cache.clear();
+        self.routes = Arc::new(RouteTable::rebuild(
+            &self.routes,
+            &self.matrix,
+            &self.vn_location,
+        ));
+        for core in &mut self.cores {
+            core.set_route_table(self.routes.clone());
+        }
     }
 
     /// Updates a pipe's emulation parameters on whichever core owns it.
@@ -182,24 +214,21 @@ impl MultiCoreEmulator {
 
     /// The topology location a VN is bound to.
     pub fn vn_location(&self, vn: VnId) -> Option<NodeId> {
-        self.vn_location.get(&vn).copied()
-    }
-
-    fn route_for(&mut self, src: NodeId, dst: NodeId) -> Option<Arc<Route>> {
-        if let Some(r) = self.route_cache.get(&(src, dst)) {
-            return Some(r.clone());
-        }
-        let route = Arc::new(self.matrix.lookup(src, dst)?.clone());
-        self.route_cache.insert((src, dst), route.clone());
-        Some(route)
+        self.vn_location.get(vn.index()).copied()
     }
 
     /// Submits a packet emitted by its source VN's edge node at time `now`.
+    ///
+    /// This is the per-packet fast path: every lookup is an indexed array
+    /// read (VN location, VN-pair route id, entry core) — no hashing, no
+    /// route clone, no allocation.
     pub fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome {
-        let Some(&src_loc) = self.vn_location.get(&packet.flow.src) else {
+        let src_idx = packet.flow.src.index();
+        let dst_idx = packet.flow.dst.index();
+        let Some(&src_loc) = self.vn_location.get(src_idx) else {
             return SubmitOutcome::NoRoute;
         };
-        let Some(&dst_loc) = self.vn_location.get(&packet.flow.dst) else {
+        let Some(&dst_loc) = self.vn_location.get(dst_idx) else {
             return SubmitOutcome::NoRoute;
         };
         if src_loc == dst_loc {
@@ -214,12 +243,12 @@ impl MultiCoreEmulator {
             });
             return SubmitOutcome::Accepted;
         }
-        let Some(route) = self.route_for(src_loc, dst_loc) else {
+        let Some(route) = self.routes.route_id(src_idx, dst_idx) else {
             return SubmitOutcome::NoRoute;
         };
         let entry = self
             .vn_entry_core
-            .get(&packet.flow.src)
+            .get(src_idx)
             .copied()
             .unwrap_or(CoreId(0));
         let descriptor = Descriptor::new(packet, route, now);
@@ -276,10 +305,7 @@ impl MultiCoreEmulator {
                     produced_tunnel = true;
                 }
             }
-            let more_due = self
-                .tunnels_in_flight
-                .peek_time()
-                .is_some_and(|t| t <= now);
+            let more_due = self.tunnels_in_flight.peek_time().is_some_and(|t| t <= now);
             if !(produced_tunnel && more_due) {
                 break;
             }
@@ -294,7 +320,9 @@ mod tests {
     use mn_assign::{greedy_k_clusters, BindingParams};
     use mn_distill::{distill, DistillationMode};
     use mn_packet::{FlowKey, PacketId, Protocol, TcpFlags, TransportHeader};
-    use mn_topology::generators::{path_pairs_topology, star_topology, PathPairsParams, StarParams};
+    use mn_topology::generators::{
+        path_pairs_topology, star_topology, PathPairsParams, StarParams,
+    };
     use mn_util::{DataRate, SimDuration};
 
     fn tcp_packet(id: u64, src: VnId, dst: VnId, payload: u32, now: SimTime) -> Packet {
@@ -389,7 +417,10 @@ mod tests {
         let ideal = SimDuration::from_micros(4 * 1200) + SimDuration::from_millis(10);
         let delay = deliveries[0].core_delay();
         assert!(delay >= ideal);
-        assert!(delay <= ideal + SimDuration::from_micros(400), "delay {delay}");
+        assert!(
+            delay <= ideal + SimDuration::from_micros(400),
+            "delay {delay}"
+        );
         assert_eq!(deliveries[0].hops, 4);
         // Accuracy bound: error within one tick per hop.
         assert!(emu.cores()[0]
@@ -402,6 +433,42 @@ mod tests {
         let (mut emu, src, _) = single_path(1, 1);
         let pkt = tcp_packet(1, src, VnId(999), 100, SimTime::ZERO);
         assert_eq!(emu.submit(SimTime::ZERO, pkt), SubmitOutcome::NoRoute);
+    }
+
+    #[test]
+    fn out_of_range_vn_ids_never_panic_the_dense_tables() {
+        // The dense per-VN tables are indexed by VnId: any id at or beyond
+        // the bound VN count — unknown source, unknown destination, or both,
+        // up to the extreme u32::MAX — must come back as NoRoute, not an
+        // out-of-bounds panic, and must not disturb the emulation.
+        let (mut emu, src, dst) = single_path(1, 1);
+        let now = SimTime::ZERO;
+        for bad in [VnId(2), VnId(999), VnId(u32::MAX)] {
+            assert_eq!(
+                emu.submit(now, tcp_packet(1, bad, dst, 100, now)),
+                SubmitOutcome::NoRoute,
+                "unknown source {bad}"
+            );
+            assert_eq!(
+                emu.submit(now, tcp_packet(2, src, bad, 100, now)),
+                SubmitOutcome::NoRoute,
+                "unknown destination {bad}"
+            );
+            assert_eq!(
+                emu.submit(now, tcp_packet(3, bad, bad, 100, now)),
+                SubmitOutcome::NoRoute,
+                "both endpoints unknown {bad}"
+            );
+            assert_eq!(emu.vn_location(bad), None);
+        }
+        // The emulator still works for bound VNs afterwards.
+        assert_eq!(
+            emu.submit(now, tcp_packet(4, src, dst, 100, now)),
+            SubmitOutcome::Accepted
+        );
+        let delivered = run_until_idle(&mut emu, now);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(emu.total_stats().packets_offered, 1, "NoRoute is pre-NIC");
     }
 
     #[test]
@@ -444,7 +511,10 @@ mod tests {
         let mut sent = 0;
         for (i, &a) in vns.iter().enumerate() {
             let b = vns[(i + 1) % vns.len()];
-            emu.submit(SimTime::ZERO, tcp_packet(i as u64, a, b, 1000, SimTime::ZERO));
+            emu.submit(
+                SimTime::ZERO,
+                tcp_packet(i as u64, a, b, 1000, SimTime::ZERO),
+            );
             sent += 1;
         }
         let deliveries = run_until_idle(&mut emu, SimTime::ZERO);
@@ -488,7 +558,10 @@ mod tests {
                 other => panic!("unexpected outcome {other:?}"),
             }
         }
-        assert!(virtual_drops > 50, "most of the burst should overflow the queue");
+        assert!(
+            virtual_drops > 50,
+            "most of the burst should overflow the queue"
+        );
         let delivered = run_until_idle(&mut emu, SimTime::ZERO).len();
         assert_eq!(delivered as u64 + virtual_drops, 100);
         assert_eq!(emu.total_stats().physical_drops_nic, 0);
@@ -521,7 +594,10 @@ mod tests {
             }
             let _ = emu.advance(t);
         }
-        assert!(physical > 0, "a 10 Mb/s NIC cannot absorb 1.2 Gb/s of offered load");
+        assert!(
+            physical > 0,
+            "a 10 Mb/s NIC cannot absorb 1.2 Gb/s of offered load"
+        );
         assert_eq!(emu.total_stats().physical_drops(), physical);
     }
 

@@ -204,7 +204,9 @@ impl WirelessCell {
         };
         self.nodes
             .iter()
-            .filter(|(&other, n)| other != vn && me.position.distance(&n.position) <= self.params.range)
+            .filter(|(&other, n)| {
+                other != vn && me.position.distance(&n.position) <= self.params.range
+            })
             .map(|(&other, _)| other)
             .collect()
     }
@@ -323,7 +325,11 @@ mod tests {
         let first = cell.transmit(SimTime::ZERO, VnId(0), ByteSize::from_bytes(1375));
         // 1375 B at 11 Mb/s = 1 ms of airtime.
         assert_eq!(first.medium_free_at, SimTime::from_millis(1));
-        let second = cell.transmit(SimTime::from_micros(200), VnId(1), ByteSize::from_bytes(1375));
+        let second = cell.transmit(
+            SimTime::from_micros(200),
+            VnId(1),
+            ByteSize::from_bytes(1375),
+        );
         assert!(second.deferred);
         assert_eq!(second.medium_free_at, SimTime::from_millis(2));
     }
@@ -358,11 +364,12 @@ mod tests {
         let before: Vec<Position> = (0..20).map(|i| cell.position(VnId(i)).unwrap()).collect();
         cell.update_mobility(SimTime::from_secs(60));
         let moved = (0..20)
-            .filter(|&i| {
-                cell.position(VnId(i as u32)).unwrap().distance(&before[i]) > 1.0
-            })
+            .filter(|&i| cell.position(VnId(i as u32)).unwrap().distance(&before[i]) > 1.0)
             .count();
-        assert!(moved >= 15, "after a minute most nodes should have moved ({moved}/20)");
+        assert!(
+            moved >= 15,
+            "after a minute most nodes should have moved ({moved}/20)"
+        );
     }
 
     #[test]

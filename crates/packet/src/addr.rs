@@ -136,14 +136,29 @@ mod tests {
 
     #[test]
     fn special_host_octets_have_no_vn() {
-        assert_eq!(VnAddr { octets: [10, 0, 0, 0] }.vn_id(), None);
-        assert_eq!(VnAddr { octets: [10, 0, 0, 255] }.vn_id(), None);
+        assert_eq!(
+            VnAddr {
+                octets: [10, 0, 0, 0]
+            }
+            .vn_id(),
+            None
+        );
+        assert_eq!(
+            VnAddr {
+                octets: [10, 0, 0, 255]
+            }
+            .vn_id(),
+            None
+        );
     }
 
     #[test]
     fn block_membership() {
         assert!(VnId(7).addr().is_vn_block());
-        assert!(!VnAddr { octets: [11, 0, 0, 1] }.is_vn_block());
+        assert!(!VnAddr {
+            octets: [11, 0, 0, 1]
+        }
+        .is_vn_block());
     }
 
     #[test]

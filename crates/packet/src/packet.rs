@@ -310,10 +310,16 @@ mod tests {
 
     #[test]
     fn tcp_flag_constants() {
-        assert!(TcpFlags::SYN.syn && !TcpFlags::SYN.ack);
-        assert!(TcpFlags::SYN_ACK.syn && TcpFlags::SYN_ACK.ack);
-        assert!(TcpFlags::FIN_ACK.fin && TcpFlags::FIN_ACK.ack);
-        assert!(TcpFlags::ACK.ack && !TcpFlags::ACK.syn && !TcpFlags::ACK.fin);
+        let (syn, syn_ack, fin_ack, ack) = (
+            TcpFlags::SYN,
+            TcpFlags::SYN_ACK,
+            TcpFlags::FIN_ACK,
+            TcpFlags::ACK,
+        );
+        assert!(syn.syn && !syn.ack);
+        assert!(syn_ack.syn && syn_ack.ack);
+        assert!(fin_ack.fin && fin_ack.ack);
+        assert!(ack.ack && !ack.syn && !ack.fin);
     }
 
     #[test]

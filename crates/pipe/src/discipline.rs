@@ -42,8 +42,7 @@ impl RedParams {
         } else if avg_queue >= self.max_threshold {
             1.0
         } else {
-            let frac =
-                (avg_queue - self.min_threshold) / (self.max_threshold - self.min_threshold);
+            let frac = (avg_queue - self.min_threshold) / (self.max_threshold - self.min_threshold);
             (frac * self.max_drop_probability).clamp(0.0, 1.0)
         }
     }
@@ -129,6 +128,9 @@ mod tests {
         let params = RedParams::default(); // small weight
         let mut state = RedState::default();
         state.observe(&params, 50);
-        assert!(state.average() < 1.0, "one burst should barely move the average");
+        assert!(
+            state.average() < 1.0,
+            "one burst should barely move the average"
+        );
     }
 }

@@ -47,8 +47,7 @@ impl PipeStats {
     /// Conservation check: every packet offered to the pipe is either still
     /// inside, delivered, or counted in exactly one drop bucket.
     pub fn is_conserved(&self, offered: u64) -> bool {
-        offered == self.enqueued + self.dropped_total()
-            && self.enqueued >= self.dequeued
+        offered == self.enqueued + self.dropped_total() && self.enqueued >= self.dequeued
     }
 }
 

@@ -55,7 +55,13 @@ pub fn max_min_fair_share(topo: &Topology, flows: &[FlowSpec]) -> Vec<FlowAlloca
 
     let link_count = topo.link_count();
     let mut capacity: Vec<f64> = (0..link_count)
-        .map(|l| topo.link(LinkId(l)).expect("link exists").attrs.bandwidth.as_bps() as f64)
+        .map(|l| {
+            topo.link(LinkId(l))
+                .expect("link exists")
+                .attrs
+                .bandwidth
+                .as_bps() as f64
+        })
         .collect();
     // Which unfrozen flows cross each link.
     let mut crossing: Vec<Vec<usize>> = vec![Vec::new(); link_count];
@@ -91,7 +97,7 @@ pub fn max_min_fair_share(topo: &Topology, flows: &[FlowSpec]) -> Vec<FlowAlloca
                 continue;
             }
             let share = capacity[li] / active as f64;
-            if best.map_or(true, |(s, _)| share < s) {
+            if best.is_none_or(|(s, _)| share < s) {
                 best = Some((share, li));
             }
         }
@@ -163,10 +169,18 @@ mod tests {
         let a = topo.add_node(NodeKind::Client);
         let r = topo.add_node(NodeKind::Stub);
         let b = topo.add_node(NodeKind::Client);
-        topo.add_link(a, r, LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(2)))
-            .unwrap();
-        topo.add_link(r, b, LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(3)))
-            .unwrap();
+        topo.add_link(
+            a,
+            r,
+            LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(2)),
+        )
+        .unwrap();
+        topo.add_link(
+            r,
+            b,
+            LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(3)),
+        )
+        .unwrap();
         let alloc = max_min_fair_share(&topo, &[FlowSpec { src: a, dst: b }]);
         assert_eq!(alloc[0].rate, DataRate::from_mbps(2));
         assert_eq!(alloc[0].latency, SimDuration::from_millis(5));
@@ -208,10 +222,7 @@ mod tests {
         let shared = topo.add_link(m, d1, fast(10)).unwrap();
         topo.add_link(d1, d2, fast(2)).unwrap();
         let _ = shared;
-        let flows = vec![
-            FlowSpec { src: s1, dst: d1 },
-            FlowSpec { src: s2, dst: d2 },
-        ];
+        let flows = vec![FlowSpec { src: s1, dst: d1 }, FlowSpec { src: s2, dst: d2 }];
         let alloc = max_min_fair_share(&topo, &flows);
         assert_eq!(alloc[1].rate, DataRate::from_mbps(2));
         assert_eq!(alloc[0].rate, DataRate::from_mbps(8));

@@ -147,9 +147,9 @@ impl RouteProvider for RouteCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RoutingMatrix;
     use mn_distill::{distill, DistillationMode};
     use mn_topology::generators::{ring_topology, RingParams};
-    use crate::RoutingMatrix;
 
     fn pipe_graph() -> DistilledTopology {
         let topo = ring_topology(&RingParams {
@@ -184,7 +184,11 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         let _ = cache.route(vns[0], vns[1]);
         let _ = cache.route(vns[0], vns[2]);
-        assert_eq!(cache.hits(), 2, "tree priming should have cached vns[0] -> vns[2]");
+        assert_eq!(
+            cache.hits(),
+            2,
+            "tree priming should have cached vns[0] -> vns[2]"
+        );
     }
 
     #[test]

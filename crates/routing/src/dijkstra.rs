@@ -40,10 +40,7 @@ impl Route {
     /// Sum of pipe latencies along the route — the propagation component of
     /// the end-to-end delay the emulation should impose.
     pub fn total_latency(&self, topo: &DistilledTopology) -> SimDuration {
-        self.pipes
-            .iter()
-            .map(|&p| topo.pipe(p).attrs.latency)
-            .sum()
+        self.pipes.iter().map(|&p| topo.pipe(p).attrs.latency).sum()
     }
 
     /// Minimum pipe bandwidth along the route.
@@ -51,7 +48,10 @@ impl Route {
         self.pipes
             .iter()
             .map(|&p| topo.pipe(p).attrs.bandwidth)
-            .fold(mn_util::DataRate::from_bps(u64::MAX), mn_util::DataRate::min)
+            .fold(
+                mn_util::DataRate::from_bps(u64::MAX),
+                mn_util::DataRate::min,
+            )
     }
 }
 

@@ -58,8 +58,8 @@ impl HierarchicalRouter {
                 continue;
             };
             vn_gateway.insert(vn, (gw, up, down));
-            if !gateway_index.contains_key(&gw) {
-                gateway_index.insert(gw, gateways.len());
+            if let std::collections::hash_map::Entry::Vacant(e) = gateway_index.entry(gw) {
+                e.insert(gateways.len());
                 gateways.push(gw);
             }
         }

@@ -23,11 +23,13 @@ pub mod cache;
 pub mod dijkstra;
 pub mod hierarchical;
 pub mod matrix;
+pub mod table;
 
 pub use cache::RouteCache;
 pub use dijkstra::{route_between, shortest_route_tree, Route};
 pub use hierarchical::HierarchicalRouter;
 pub use matrix::RoutingMatrix;
+pub use table::{RouteId, RouteTable};
 
 use mn_topology::NodeId;
 

@@ -190,7 +190,8 @@ mod tests {
         let r1 = topo.add_node(mn_topology::NodeKind::Stub);
         let r2 = topo.add_node(mn_topology::NodeKind::Stub);
         let b = topo.add_node(mn_topology::NodeKind::Client);
-        let fast = mn_topology::LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+        let fast =
+            mn_topology::LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
         topo.add_link(a, r1, fast).unwrap();
         topo.add_link(r1, b, fast).unwrap();
         topo.add_link(a, r2, fast).unwrap();
@@ -203,7 +204,10 @@ mod tests {
         d.pipe_attrs_mut(used_pipe).unwrap().latency = SimDuration::from_millis(50);
         m.rebuild(&d);
         let after = m.lookup(a, b).unwrap();
-        assert_ne!(after.pipes[0], used_pipe, "route should avoid the slowed pipe");
+        assert_ne!(
+            after.pipes[0], used_pipe,
+            "route should avoid the slowed pipe"
+        );
         assert_eq!(after.total_latency(&d), SimDuration::from_millis(2));
     }
 

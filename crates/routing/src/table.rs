@@ -1,0 +1,332 @@
+//! Interned route storage with dense endpoint-pair indexing.
+//!
+//! The per-packet path must not hash: the core looks routes up for every
+//! submitted packet, and descriptors reference their route on every hop and
+//! on every inter-core tunnel. [`RouteTable`] therefore flattens the routing
+//! state the Binding phase produces into two ID-indexed arrays:
+//!
+//! * `routes` — each **distinct** route stored exactly once, addressed by
+//!   [`RouteId`] (the handle descriptors carry instead of a cloned route);
+//! * `pair` — a dense `endpoint_count × endpoint_count` table mapping an
+//!   ordered endpoint-index pair to its `RouteId`, one multiply and one array
+//!   read per lookup.
+//!
+//! Endpoint indices are the dense VN indices of the binding (`VnId::index`),
+//! but the table is deliberately typed on `usize` so `mn-routing` stays
+//! independent of `mn-packet`. The table is immutable once built; reacting
+//! to a routing change (link failure, new matrix) is an **explicit rebuild**
+//! via [`RouteTable::build`] — there is no incremental cache to invalidate,
+//! which is what made the old per-pair route cache double-store every route.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use mn_distill::PipeId;
+use mn_topology::NodeId;
+
+use crate::dijkstra::Route;
+use crate::matrix::RoutingMatrix;
+
+/// Handle to an interned route in a [`RouteTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RouteId(pub u32);
+
+impl RouteId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Sentinel for "no route" in the dense pair table.
+const NO_ROUTE: u32 = u32::MAX;
+
+/// Dense, immutable route lookup state for one emulation.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    /// Each distinct route, stored once.
+    routes: Vec<Route>,
+    /// `pair[src * endpoint_count + dst]` is the route's id, or `NO_ROUTE`.
+    pair: Vec<u32>,
+    endpoint_count: usize,
+}
+
+impl RouteTable {
+    /// Creates an empty table over `endpoint_count` endpoints (all pairs
+    /// unroutable). Routes are added with [`RouteTable::intern`] and wired to
+    /// pairs with [`RouteTable::set_pair`].
+    pub fn new(endpoint_count: usize) -> Self {
+        RouteTable {
+            routes: Vec::new(),
+            pair: vec![NO_ROUTE; endpoint_count * endpoint_count],
+            endpoint_count,
+        }
+    }
+
+    /// Flattens a routing matrix for the given endpoint locations:
+    /// `locations[i]` is the topology node endpoint `i` is bound to. Each
+    /// distinct location pair's route is interned once and shared by every
+    /// endpoint pair bound to those locations. Same-location pairs stay
+    /// unroutable — callers deliver those locally without touching a route.
+    pub fn build(matrix: &RoutingMatrix, locations: &[NodeId]) -> Self {
+        Self::build_preserving(Vec::new(), matrix, locations)
+    }
+
+    /// Rebuilds the table against a new matrix while keeping every route id
+    /// of `prev` valid: the previous interned routes are retained (ids are
+    /// never reassigned), and the pair table is re-wired, reusing any retained
+    /// route whose pipe sequence is unchanged. Descriptors in flight across a
+    /// routing change therefore keep resolving to the exact route they
+    /// started on — the paper's semantics, where packets already inside a
+    /// core finish on pre-failure routes — while new packets see only the new
+    /// routes. Only routes the change actually rewired are interned anew, so
+    /// repeated rebuilds (periodic fault injection) do not grow the table
+    /// unless routes keep changing.
+    pub fn rebuild(prev: &RouteTable, matrix: &RoutingMatrix, locations: &[NodeId]) -> Self {
+        Self::build_preserving(prev.routes.clone(), matrix, locations)
+    }
+
+    fn build_preserving(routes: Vec<Route>, matrix: &RoutingMatrix, locations: &[NodeId]) -> Self {
+        let mut table = RouteTable {
+            routes,
+            pair: vec![NO_ROUTE; locations.len() * locations.len()],
+            endpoint_count: locations.len(),
+        };
+        // Build-time only: the hot path never touches these maps. Content
+        // dedup lets a rebuild reuse every retained route that did not
+        // change.
+        let mut by_content: HashMap<Vec<PipeId>, RouteId> = table
+            .routes
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.pipes.clone(), RouteId(i as u32)))
+            .collect();
+        let mut by_location_pair: HashMap<(NodeId, NodeId), RouteId> = HashMap::new();
+        for (si, &src_loc) in locations.iter().enumerate() {
+            for (di, &dst_loc) in locations.iter().enumerate() {
+                if si == di || src_loc == dst_loc {
+                    continue;
+                }
+                let id = match by_location_pair.get(&(src_loc, dst_loc)) {
+                    Some(&id) => id,
+                    None => {
+                        let Some(route) = matrix.lookup(src_loc, dst_loc) else {
+                            continue;
+                        };
+                        let id = match by_content.get(&route.pipes) {
+                            Some(&id) => id,
+                            None => {
+                                let id = table.intern(route.clone());
+                                by_content.insert(route.pipes.clone(), id);
+                                id
+                            }
+                        };
+                        by_location_pair.insert((src_loc, dst_loc), id);
+                        id
+                    }
+                };
+                table.set_pair(si, di, id);
+            }
+        }
+        table
+    }
+
+    /// Stores a route and returns its handle. The caller is responsible for
+    /// deduplication (see [`RouteTable::build`]).
+    pub fn intern(&mut self, route: Route) -> RouteId {
+        assert!(
+            self.routes.len() < NO_ROUTE as usize,
+            "route table overflow"
+        );
+        let id = RouteId(self.routes.len() as u32);
+        self.routes.push(route);
+        id
+    }
+
+    /// Wires an ordered endpoint pair to an interned route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint or the route id is out of range.
+    pub fn set_pair(&mut self, src: usize, dst: usize, id: RouteId) {
+        assert!(src < self.endpoint_count, "src endpoint out of range");
+        assert!(dst < self.endpoint_count, "dst endpoint out of range");
+        assert!(id.index() < self.routes.len(), "route id out of range");
+        self.pair[src * self.endpoint_count + dst] = id.0;
+    }
+
+    /// The route for an ordered endpoint pair, or `None` if the pair is
+    /// unroutable or either index is out of range. This is the per-packet
+    /// lookup: bounds checks, one multiply, one array read.
+    #[inline]
+    pub fn route_id(&self, src: usize, dst: usize) -> Option<RouteId> {
+        if src >= self.endpoint_count || dst >= self.endpoint_count {
+            return None;
+        }
+        match self.pair[src * self.endpoint_count + dst] {
+            NO_ROUTE => None,
+            id => Some(RouteId(id)),
+        }
+    }
+
+    /// The interned route behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this table.
+    #[inline]
+    pub fn route(&self, id: RouteId) -> &Route {
+        &self.routes[id.index()]
+    }
+
+    /// The pipe sequence of an interned route (the per-hop access).
+    #[inline]
+    pub fn pipes(&self, id: RouteId) -> &[PipeId] {
+        &self.routes[id.index()].pipes
+    }
+
+    /// Number of distinct routes stored.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Number of endpoints the pair table covers.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoint_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_distill::{distill, DistillationMode};
+    use mn_topology::generators::{ring_topology, RingParams};
+
+    fn ring_table() -> (RouteTable, usize) {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let locations = d.vns().to_vec();
+        let n = locations.len();
+        (RouteTable::build(&matrix, &locations), n)
+    }
+
+    #[test]
+    fn covers_every_distinct_pair() {
+        let (table, n) = ring_table();
+        assert_eq!(table.endpoint_count(), n);
+        for s in 0..n {
+            for d in 0..n {
+                let id = table.route_id(s, d);
+                if s == d {
+                    assert!(id.is_none(), "diagonal pairs are local, not routed");
+                } else {
+                    let id = id.expect("connected ring has all-pairs routes");
+                    assert!(table.pipes(id).len() >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_interned_not_duplicated() {
+        let (table, n) = ring_table();
+        // At most one stored route per ordered pair, and strictly fewer than
+        // the pair count whenever any two pairs share a location pair (here
+        // locations are unique per VN, so it is exactly n*(n-1)).
+        assert_eq!(table.route_count(), n * (n - 1));
+        // Distinct pairs resolve to distinct interned routes at most once:
+        // the same id is returned for repeated lookups, with no copy.
+        let a = table.route_id(0, 1).unwrap();
+        let b = table.route_id(0, 1).unwrap();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(table.route(a), table.route(b)));
+    }
+
+    #[test]
+    fn shared_locations_share_one_route() {
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 1,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        // Bind two endpoints to every location: 8 endpoints over 4 locations.
+        let mut locations = d.vns().to_vec();
+        locations.extend(d.vns().to_vec());
+        let table = RouteTable::build(&matrix, &locations);
+        let n = d.vns().len();
+        // Endpoint i and i+n share a location, so (i, j) and (i+n, j) must
+        // resolve to the same interned route.
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(table.route_id(i, j), table.route_id(i + n, j));
+            }
+        }
+        // Same-location pairs are unroutable (handled as local delivery).
+        for i in 0..n {
+            assert!(table.route_id(i, i + n).is_none());
+        }
+        // 4 locations -> 12 distinct ordered location pairs, stored once each.
+        assert_eq!(table.route_count(), 12);
+    }
+
+    #[test]
+    fn rebuild_preserves_ids_and_reuses_unchanged_routes() {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let locations = d.vns().to_vec();
+        let first = RouteTable::build(&matrix, &locations);
+        // Rebuilding against an unchanged matrix must not grow the table:
+        // every pair resolves to the same retained route id.
+        let rebuilt = RouteTable::rebuild(&first, &matrix, &locations);
+        assert_eq!(rebuilt.route_count(), first.route_count());
+        let n = locations.len();
+        for s in 0..n {
+            for t in 0..n {
+                assert_eq!(rebuilt.route_id(s, t), first.route_id(s, t));
+                if let Some(id) = first.route_id(s, t) {
+                    assert_eq!(rebuilt.pipes(id), first.pipes(id));
+                }
+            }
+        }
+        // Ten no-op rebuilds still do not grow it.
+        let mut table = rebuilt;
+        for _ in 0..10 {
+            table = RouteTable::rebuild(&table, &matrix, &locations);
+        }
+        assert_eq!(table.route_count(), first.route_count());
+    }
+
+    #[test]
+    fn out_of_range_lookups_are_none() {
+        let (table, n) = ring_table();
+        assert!(table.route_id(n, 0).is_none());
+        assert!(table.route_id(0, n + 100).is_none());
+        assert!(table.route_id(usize::MAX, usize::MAX).is_none());
+    }
+
+    #[test]
+    fn manual_construction_for_tests() {
+        let mut table = RouteTable::new(2);
+        let id = table.intern(Route::new(vec![PipeId(3), PipeId(5)]));
+        table.set_pair(0, 1, id);
+        assert_eq!(table.route_id(0, 1), Some(id));
+        assert_eq!(table.route_id(1, 0), None);
+        assert_eq!(table.pipes(id), &[PipeId(3), PipeId(5)]);
+    }
+}

@@ -110,7 +110,8 @@ pub fn star_topology(params: &StarParams) -> Topology {
     let attrs = LinkAttrs::new(params.spoke_bandwidth, params.spoke_latency);
     for i in 0..params.clients {
         let c = topo.add_named_node(NodeKind::Client, format!("vn-{i}"));
-        topo.add_link(c, center, attrs).expect("spoke endpoints exist");
+        topo.add_link(c, center, attrs)
+            .expect("spoke endpoints exist");
     }
     topo
 }
@@ -149,20 +150,21 @@ pub fn path_pairs_topology(params: &PathPairsParams) -> (Topology, Vec<(NodeId, 
     assert!(params.hops >= 1, "a path needs at least one hop");
     let mut topo = Topology::new();
     let mut pairs = Vec::with_capacity(params.pairs);
-    let per_hop_latency = SimDuration::from_nanos(
-        params.end_to_end_latency.as_nanos() / params.hops as u64,
-    );
+    let per_hop_latency =
+        SimDuration::from_nanos(params.end_to_end_latency.as_nanos() / params.hops as u64);
     let attrs = LinkAttrs::new(params.bandwidth, per_hop_latency);
     for p in 0..params.pairs {
         let sender = topo.add_named_node(NodeKind::Client, format!("send-{p}"));
         let mut prev = sender;
         for h in 0..params.hops - 1 {
             let mid = topo.add_named_node(NodeKind::Stub, format!("mid-{p}-{h}"));
-            topo.add_link(prev, mid, attrs).expect("path endpoints exist");
+            topo.add_link(prev, mid, attrs)
+                .expect("path endpoints exist");
             prev = mid;
         }
         let receiver = topo.add_named_node(NodeKind::Client, format!("recv-{p}"));
-        topo.add_link(prev, receiver, attrs).expect("path endpoints exist");
+        topo.add_link(prev, receiver, attrs)
+            .expect("path endpoints exist");
         pairs.push((sender, receiver));
     }
     (topo, pairs)
@@ -215,10 +217,12 @@ pub fn dumbbell_topology(params: &DumbbellParams) -> (Topology, Vec<NodeId>, Vec
     let mut right = Vec::new();
     for i in 0..params.clients_per_side {
         let l = topo.add_named_node(NodeKind::Client, format!("left-{i}"));
-        topo.add_link(l, left_router, access).expect("access endpoints exist");
+        topo.add_link(l, left_router, access)
+            .expect("access endpoints exist");
         left.push(l);
         let r = topo.add_named_node(NodeKind::Client, format!("right-{i}"));
-        topo.add_link(r, right_router, access).expect("access endpoints exist");
+        topo.add_link(r, right_router, access)
+            .expect("access endpoints exist");
         right.push(r);
     }
     (topo, left, right)
@@ -234,7 +238,8 @@ pub fn full_mesh_topology(n: usize, attrs: LinkAttrs) -> Topology {
         .collect();
     for i in 0..n {
         for j in (i + 1)..n {
-            topo.add_link(nodes[i], nodes[j], attrs).expect("mesh endpoints exist");
+            topo.add_link(nodes[i], nodes[j], attrs)
+                .expect("mesh endpoints exist");
         }
     }
     topo
@@ -294,8 +299,10 @@ pub fn waxman_topology(params: &WaxmanParams) -> Topology {
             let p = params.alpha * (-d / (params.beta * max_dist)).exp();
             if rng.gen::<f64>() < p {
                 let latency = params.diameter_latency.mul_f64(d / max_dist);
-                let attrs = LinkAttrs::new(params.bandwidth, latency.max(SimDuration::from_micros(100)));
-                topo.add_link(nodes[i], nodes[j], attrs).expect("waxman endpoints exist");
+                let attrs =
+                    LinkAttrs::new(params.bandwidth, latency.max(SimDuration::from_micros(100)));
+                topo.add_link(nodes[i], nodes[j], attrs)
+                    .expect("waxman endpoints exist");
             }
         }
     }
@@ -304,7 +311,8 @@ pub fn waxman_topology(params: &WaxmanParams) -> Topology {
         let reachable = topo.bfs_distances(nodes[0]);
         if reachable[nodes[i].index()].is_none() {
             let attrs = LinkAttrs::new(params.bandwidth, params.diameter_latency.mul_f64(0.5));
-            topo.add_link(nodes[i - 1], nodes[i], attrs).expect("patch endpoints exist");
+            topo.add_link(nodes[i - 1], nodes[i], attrs)
+                .expect("patch endpoints exist");
         }
     }
     topo
@@ -401,8 +409,7 @@ impl TransitStubParams {
             * (1 + params.clients_per_stub_node);
         let needed_transit = (target / per_transit).max(2);
         params.transit_domains = (needed_transit / params.transit_nodes_per_domain).max(1);
-        params.transit_nodes_per_domain =
-            (needed_transit / params.transit_domains).clamp(2, 16);
+        params.transit_nodes_per_domain = (needed_transit / params.transit_domains).clamp(2, 16);
         params
     }
 }
@@ -667,13 +674,19 @@ mod tests {
     fn transit_stub_sized_for_reaches_target_scale() {
         let params = TransitStubParams::sized_for(320, 3);
         let n = params.expected_nodes();
-        assert!(n >= 200 && n <= 480, "sized_for(320) produced {n} nodes");
+        assert!(
+            (200..=480).contains(&n),
+            "sized_for(320) produced {n} nodes"
+        );
         let ts = transit_stub_topology(&params);
         assert!(ts.topology.is_connected());
 
         let params = TransitStubParams::sized_for(600, 3);
         let n = params.expected_nodes();
-        assert!(n >= 400 && n <= 800, "sized_for(600) produced {n} nodes");
+        assert!(
+            (400..=800).contains(&n),
+            "sized_for(600) produced {n} nodes"
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ pub enum GmlError {
     /// The document did not contain a `graph [...]` section.
     MissingGraph,
     /// A node or edge record was missing a required key.
-    MissingKey { record: &'static str, key: &'static str },
+    MissingKey {
+        record: &'static str,
+        key: &'static str,
+    },
     /// An edge referenced a node id that was not declared.
     UnknownNodeRef(i64),
     /// A node id was declared twice.
@@ -188,7 +191,10 @@ impl<'a> Lexer<'a> {
                 let start = self.pos;
                 self.pos += 1;
                 while self.pos < self.text.len()
-                    && matches!(self.text[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+                    && matches!(
+                        self.text[self.pos],
+                        b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+'
+                    )
                 {
                     self.pos += 1;
                 }
@@ -367,20 +373,26 @@ pub fn parse_topology(text: &str) -> Result<Topology, GmlError> {
             record: "edge",
             key: "source",
         })?;
-        let source = find(rec, "source")
-            .and_then(GmlValue::as_i64)
-            .ok_or(GmlError::MissingKey {
-                record: "edge",
-                key: "source",
-            })?;
-        let target = find(rec, "target")
-            .and_then(GmlValue::as_i64)
-            .ok_or(GmlError::MissingKey {
-                record: "edge",
-                key: "target",
-            })?;
-        let a = *id_map.get(&source).ok_or(GmlError::UnknownNodeRef(source))?;
-        let b = *id_map.get(&target).ok_or(GmlError::UnknownNodeRef(target))?;
+        let source =
+            find(rec, "source")
+                .and_then(GmlValue::as_i64)
+                .ok_or(GmlError::MissingKey {
+                    record: "edge",
+                    key: "source",
+                })?;
+        let target =
+            find(rec, "target")
+                .and_then(GmlValue::as_i64)
+                .ok_or(GmlError::MissingKey {
+                    record: "edge",
+                    key: "target",
+                })?;
+        let a = *id_map
+            .get(&source)
+            .ok_or(GmlError::UnknownNodeRef(source))?;
+        let b = *id_map
+            .get(&target)
+            .ok_or(GmlError::UnknownNodeRef(target))?;
 
         let mut attrs = default_link_attrs();
         if let Some(bw) = find(rec, "bandwidth").and_then(GmlValue::as_f64) {
@@ -424,8 +436,14 @@ pub fn write_topology(topo: &Topology) -> String {
         out.push_str("  edge [\n");
         out.push_str(&format!("    source {}\n", link.a.index()));
         out.push_str(&format!("    target {}\n", link.b.index()));
-        out.push_str(&format!("    bandwidth {}\n", link.attrs.bandwidth.as_bps()));
-        out.push_str(&format!("    latency {}\n", link.attrs.latency.as_millis_f64()));
+        out.push_str(&format!(
+            "    bandwidth {}\n",
+            link.attrs.bandwidth.as_bps()
+        ));
+        out.push_str(&format!(
+            "    latency {}\n",
+            link.attrs.latency.as_millis_f64()
+        ));
         out.push_str(&format!("    loss {}\n", link.attrs.loss_rate));
         out.push_str(&format!("    queue {}\n", link.attrs.queue_len));
         out.push_str("  ]\n");
@@ -471,7 +489,10 @@ graph [
     #[test]
     fn node_labels_and_kinds_preserved() {
         let topo = parse_topology(SAMPLE).unwrap();
-        assert_eq!(topo.node(NodeId(0)).unwrap().name.as_deref(), Some("client-a"));
+        assert_eq!(
+            topo.node(NodeId(0)).unwrap().name.as_deref(),
+            Some("client-a")
+        );
         assert_eq!(topo.node(NodeId(1)).unwrap().kind, NodeKind::Stub);
         assert_eq!(topo.node(NodeId(2)).unwrap().kind, NodeKind::Client);
     }
@@ -512,13 +533,19 @@ graph [
     #[test]
     fn edge_with_unknown_node() {
         let text = r#"graph [ node [ id 0 ] edge [ source 0 target 7 ] ]"#;
-        assert_eq!(parse_topology(text).unwrap_err(), GmlError::UnknownNodeRef(7));
+        assert_eq!(
+            parse_topology(text).unwrap_err(),
+            GmlError::UnknownNodeRef(7)
+        );
     }
 
     #[test]
     fn duplicate_node_id() {
         let text = r#"graph [ node [ id 0 ] node [ id 0 ] ]"#;
-        assert_eq!(parse_topology(text).unwrap_err(), GmlError::DuplicateNodeId(0));
+        assert_eq!(
+            parse_topology(text).unwrap_err(),
+            GmlError::DuplicateNodeId(0)
+        );
     }
 
     #[test]

@@ -237,7 +237,12 @@ impl Topology {
     ///
     /// Parallel links are permitted (they occur in real AS-level graphs);
     /// self-loops are not.
-    pub fn add_link(&mut self, a: NodeId, b: NodeId, attrs: LinkAttrs) -> Result<LinkId, TopologyError> {
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        attrs: LinkAttrs,
+    ) -> Result<LinkId, TopologyError> {
         self.check_node(a)?;
         self.check_node(b)?;
         if a == b {

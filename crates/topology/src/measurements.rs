@@ -55,7 +55,10 @@ impl fmt::Display for MeasurementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MeasurementError::MalformedLine { line } => {
-                write!(f, "measurement line {line}: expected 'src dst kbps ms loss'")
+                write!(
+                    f,
+                    "measurement line {line}: expected 'src dst kbps ms loss'"
+                )
             }
             MeasurementError::BadNumber { line, field } => {
                 write!(f, "measurement line {line}: cannot parse number '{field}'")
@@ -134,7 +137,7 @@ pub fn measurements_to_topology(
 ) -> (Topology, BTreeMap<String, NodeId>) {
     let mut topo = Topology::new();
     let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
-    let mut node_of = |topo: &mut Topology, name: &str, nodes: &mut BTreeMap<String, NodeId>| {
+    let node_of = |topo: &mut Topology, name: &str, nodes: &mut BTreeMap<String, NodeId>| {
         *nodes
             .entry(name.to_string())
             .or_insert_with(|| topo.add_named_node(NodeKind::Client, name))
@@ -209,7 +212,10 @@ ucsd lulea 1500 110.0 0.003
                 field: "one".to_string()
             }
         );
-        assert_eq!(parse_measurements("# nothing\n").unwrap_err(), MeasurementError::Empty);
+        assert_eq!(
+            parse_measurements("# nothing\n").unwrap_err(),
+            MeasurementError::Empty
+        );
     }
 
     #[test]

@@ -82,7 +82,14 @@ impl GraphPath {
 fn link_cost(topo: &Topology, link: LinkId, metric: PathMetric) -> u64 {
     match metric {
         // +1 ns per hop serves as the hop-count tie breaker.
-        PathMetric::Latency => topo.link(link).expect("link exists").attrs.latency.as_nanos() + 1,
+        PathMetric::Latency => {
+            topo.link(link)
+                .expect("link exists")
+                .attrs
+                .latency
+                .as_nanos()
+                + 1
+        }
         PathMetric::Hops => 1,
     }
 }
@@ -183,7 +190,9 @@ where
     if root.index() >= n {
         return edges;
     }
-    let mut heap: BinaryHeap<Reverse<(u64, usize, NodeId, NodeId, LinkId)>> = BinaryHeap::new();
+    // (cost, insertion seq, from, to, link) — seq keeps ties deterministic.
+    type FrontierEdge = (u64, usize, NodeId, NodeId, LinkId);
+    let mut heap: BinaryHeap<Reverse<FrontierEdge>> = BinaryHeap::new();
     let mut seq = 0usize;
     in_tree[root.index()] = true;
     for (v, link) in topo.neighbors(root) {
@@ -195,7 +204,11 @@ where
             continue;
         }
         in_tree[to.index()] = true;
-        edges.push(MstEdge { a: from, b: to, link });
+        edges.push(MstEdge {
+            a: from,
+            b: to,
+            link,
+        });
         for (v, l) in topo.neighbors(to) {
             if !in_tree[v.index()] {
                 heap.push(Reverse((to_ordered(cost(l)), seq, to, v, l)));
@@ -310,9 +323,8 @@ mod tests {
     fn mst_spans_connected_component_with_minimum_cost() {
         let (t, [a, b, c, d]) = diamond();
         // Use latency as cost; the MST should avoid the 30 ms direct link.
-        let edges = minimum_spanning_tree(&t, a, |l| {
-            t.link(l).unwrap().attrs.latency.as_millis_f64()
-        });
+        let edges =
+            minimum_spanning_tree(&t, a, |l| t.link(l).unwrap().attrs.latency.as_millis_f64());
         assert_eq!(edges.len(), 3);
         let cost = tree_cost(&edges, |l| t.link(l).unwrap().attrs.latency.as_millis_f64());
         // Minimum spanning tree: 2 + 2 + 10 = 14 ms.
@@ -336,6 +348,9 @@ mod tests {
         let (t, [a, ..]) = diamond();
         let pred = shortest_path_tree(&t, a, PathMetric::Latency);
         let reachable = pred.iter().filter(|p| p.is_some()).count();
-        assert_eq!(reachable, 3, "every node except the source has a predecessor");
+        assert_eq!(
+            reachable, 3,
+            "every node except the source has a predecessor"
+        );
     }
 }

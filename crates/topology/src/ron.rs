@@ -228,7 +228,10 @@ mod tests {
             .zip(c.topology.links())
             .filter(|(la, lc)| la.1.attrs != lc.1.attrs)
             .count();
-        assert!(diff > 0, "different seeds should change path characteristics");
+        assert!(
+            diff > 0,
+            "different seeds should change path characteristics"
+        );
     }
 
     #[test]
@@ -236,7 +239,7 @@ mod tests {
         let mesh = ron_mesh(&RonMeshParams::default());
         for (_, link) in mesh.topology.links() {
             let ms = link.attrs.latency.as_millis_f64();
-            assert!(ms >= 2.0 && ms <= 160.0, "latency {ms} ms out of band");
+            assert!((2.0..=160.0).contains(&ms), "latency {ms} ms out of band");
             assert!(link.attrs.bandwidth.as_bps() > 0);
         }
     }

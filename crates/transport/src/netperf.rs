@@ -149,10 +149,24 @@ mod tests {
             let b = s.poll_send(now);
             now += SimDuration::from_millis(1);
             for seg in a {
-                s.on_segment(now, seg.seq, seg.payload_len, seg.ack, seg.flags, seg.window);
+                s.on_segment(
+                    now,
+                    seg.seq,
+                    seg.payload_len,
+                    seg.ack,
+                    seg.flags,
+                    seg.window,
+                );
             }
             for seg in b {
-                c.on_segment(now, seg.seq, seg.payload_len, seg.ack, seg.flags, seg.window);
+                c.on_segment(
+                    now,
+                    seg.seq,
+                    seg.payload_len,
+                    seg.ack,
+                    seg.flags,
+                    seg.window,
+                );
             }
         }
         assert!(c.is_established() && s.is_established());
@@ -191,7 +205,14 @@ mod tests {
             let segs = c.poll_send(now);
             now += SimDuration::from_millis(2);
             for seg in &segs {
-                s.on_segment(now, seg.seq, seg.payload_len, seg.ack, seg.flags, seg.window);
+                s.on_segment(
+                    now,
+                    seg.seq,
+                    seg.payload_len,
+                    seg.ack,
+                    seg.flags,
+                    seg.window,
+                );
             }
             // Service delayed-ACK (and any other) timers that have expired.
             if s.next_timer().is_some_and(|t| t <= now) {
@@ -201,7 +222,14 @@ mod tests {
                 c.on_timer(now);
             }
             for seg in s.poll_send(now) {
-                c.on_segment(now, seg.seq, seg.payload_len, seg.ack, seg.flags, seg.window);
+                c.on_segment(
+                    now,
+                    seg.seq,
+                    seg.payload_len,
+                    seg.ack,
+                    seg.flags,
+                    seg.window,
+                );
             }
             if sender.is_acked(&c) {
                 break;
@@ -228,6 +256,7 @@ mod tests {
         assert_eq!(c.bytes_acked(), 0);
         assert_eq!(s.bytes_received(), 0);
         // A pure ACK has the ACK flag set and no SYN.
-        assert!(TcpFlags::ACK.ack && !TcpFlags::ACK.syn);
+        let ack = TcpFlags::ACK;
+        assert!(ack.ack && !ack.syn);
     }
 }

@@ -488,10 +488,13 @@ impl TcpConnection {
                 self.rttvar = sample / 2;
             }
             Some(srtt) => {
-                let diff = if sample > srtt { sample - srtt } else { srtt - sample };
-                self.rttvar = SimDuration::from_nanos(
-                    (3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4,
-                );
+                let diff = if sample > srtt {
+                    sample - srtt
+                } else {
+                    srtt - sample
+                };
+                self.rttvar =
+                    SimDuration::from_nanos((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
                 self.srtt = Some(SimDuration::from_nanos(
                     (7 * srtt.as_nanos() + sample.as_nanos()) / 8,
                 ));
@@ -638,7 +641,13 @@ mod tests {
     fn handshake_establishes_both_ends() {
         let mut client = TcpConnection::client(cfg());
         let mut server = TcpConnection::server(cfg());
-        converse(&mut client, &mut server, SimTime::ZERO, SimDuration::from_millis(10), 10);
+        converse(
+            &mut client,
+            &mut server,
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+            10,
+        );
         assert!(client.is_established());
         assert!(server.is_established());
     }
@@ -680,7 +689,13 @@ mod tests {
     fn slow_start_doubles_cwnd_each_rtt() {
         let mut client = TcpConnection::client(cfg());
         let mut server = TcpConnection::server(cfg());
-        converse(&mut client, &mut server, SimTime::ZERO, SimDuration::from_millis(10), 6);
+        converse(
+            &mut client,
+            &mut server,
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+            6,
+        );
         let initial = client.cwnd();
         client.write(10_000_000);
         // One round trip: client sends its window, server acks.
@@ -712,11 +727,20 @@ mod tests {
             ..cfg()
         });
         let mut server = TcpConnection::server(cfg());
-        converse(&mut client, &mut server, SimTime::ZERO, SimDuration::from_millis(1), 6);
+        converse(
+            &mut client,
+            &mut server,
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            6,
+        );
         client.write(100_000);
         let now = SimTime::from_millis(50);
         let segs = client.poll_send(now);
-        assert!(segs.len() >= 5, "an 8-segment initial window should emit several segments");
+        assert!(
+            segs.len() >= 5,
+            "an 8-segment initial window should emit several segments"
+        );
         // Drop the first segment; deliver the rest. Every out-of-order
         // arrival makes the server owe one duplicate ACK.
         let t = now + SimDuration::from_millis(5);
@@ -724,7 +748,10 @@ mod tests {
             server.on_segment(t, s.seq, s.payload_len, s.ack, s.flags, s.window);
         }
         let acks = server.poll_send(t);
-        assert!(acks.len() >= 3, "expected a duplicate ACK per out-of-order segment");
+        assert!(
+            acks.len() >= 3,
+            "expected a duplicate ACK per out-of-order segment"
+        );
         assert!(acks.iter().all(|a| a.ack == 0 && a.payload_len == 0));
         for s in &acks {
             client.on_segment(t, s.seq, s.payload_len, s.ack, s.flags, s.window);
@@ -737,14 +764,23 @@ mod tests {
         // Delivering the retransmission acks the whole burst cumulatively.
         let r = retx.iter().find(|s| s.is_retransmission).unwrap();
         let e = server.on_segment(t, r.seq, r.payload_len, r.ack, r.flags, r.window);
-        assert_eq!(e.delivered_upto, segs.iter().map(|s| s.payload_len as u64).sum::<u64>());
+        assert_eq!(
+            e.delivered_upto,
+            segs.iter().map(|s| s.payload_len as u64).sum::<u64>()
+        );
     }
 
     #[test]
     fn rto_recovers_when_every_ack_is_lost() {
         let mut client = TcpConnection::client(cfg());
         let mut server = TcpConnection::server(cfg());
-        converse(&mut client, &mut server, SimTime::ZERO, SimDuration::from_millis(1), 6);
+        converse(
+            &mut client,
+            &mut server,
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            6,
+        );
         client.write(1460);
         let now = SimTime::from_millis(10);
         let segs = client.poll_send(now);
@@ -762,7 +798,14 @@ mod tests {
         assert!(retx[0].is_retransmission);
         // Deliver it; the transfer completes.
         let t = deadline + SimDuration::from_millis(1);
-        server.on_segment(t, retx[0].seq, retx[0].payload_len, retx[0].ack, retx[0].flags, retx[0].window);
+        server.on_segment(
+            t,
+            retx[0].seq,
+            retx[0].payload_len,
+            retx[0].ack,
+            retx[0].flags,
+            retx[0].window,
+        );
         assert_eq!(server.bytes_received(), 1460);
     }
 
@@ -821,11 +864,20 @@ mod tests {
             receive_window: 4096,
             ..cfg()
         });
-        converse(&mut client, &mut server, SimTime::ZERO, SimDuration::from_millis(1), 6);
+        converse(
+            &mut client,
+            &mut server,
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            6,
+        );
         client.write(1_000_000);
         let segs = client.poll_send(SimTime::from_millis(20));
         let outstanding: u64 = segs.iter().map(|s| s.payload_len as u64).sum();
-        assert!(outstanding <= 4096, "flight {outstanding} exceeds the peer window");
+        assert!(
+            outstanding <= 4096,
+            "flight {outstanding} exceeds the peer window"
+        );
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl UdpStream {
         while !self.is_finished() && self.next_send <= now {
             out.push(self.next_seq);
             self.next_seq += 1;
-            self.next_send = self.next_send + self.interval;
+            self.next_send += self.interval;
         }
         out
     }

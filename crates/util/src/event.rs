@@ -200,4 +200,111 @@ mod tests {
         let k2 = h.push(SimTime::ZERO, ());
         assert!(k2.seq > k1.seq);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Pop order is globally sorted by deadline, FIFO among equal
+            /// deadlines — the invariant the deterministic scheduler rests
+            /// on. Deadlines are drawn from a tiny domain so collisions are
+            /// guaranteed.
+            #[test]
+            fn pops_sorted_by_time_then_insertion(times in prop::collection::vec(0u64..8, 1..300)) {
+                let mut h = EventHeap::new();
+                for (i, &t) in times.iter().enumerate() {
+                    h.push(SimTime::from_micros(t), i);
+                }
+                let mut popped = Vec::new();
+                while let Some((t, i)) = h.pop() {
+                    popped.push((t, i));
+                }
+                prop_assert_eq!(popped.len(), times.len());
+                for w in popped.windows(2) {
+                    prop_assert!(w[0].0 <= w[1].0, "deadlines out of order");
+                    if w[0].0 == w[1].0 {
+                        prop_assert!(
+                            w[0].1 < w[1].1,
+                            "equal deadlines must pop in insertion order"
+                        );
+                    }
+                }
+            }
+
+            /// Interleaving pops with pushes never breaks the FIFO tie-break:
+            /// among events that share a deadline, earlier insertion always
+            /// pops first, even when insertions straddle pops.
+            #[test]
+            fn fifo_survives_interleaved_pops(
+                batches in prop::collection::vec(prop::collection::vec(0u64..4, 1..10), 1..40),
+            ) {
+                let mut h = EventHeap::new();
+                let mut seq = 0usize;
+                let mut popped: Vec<(SimTime, usize)> = Vec::new();
+                for batch in &batches {
+                    for &t in batch {
+                        h.push(SimTime::from_micros(t), seq);
+                        seq += 1;
+                    }
+                    // Drain only what is due "now" (the smallest deadline).
+                    if let Some(t0) = h.peek_time() {
+                        while let Some(e) = h.pop_due(t0) {
+                            popped.push(e);
+                        }
+                    }
+                }
+                while let Some(e) = h.pop() {
+                    popped.push(e);
+                }
+                prop_assert_eq!(popped.len(), seq);
+                // Two events with the same deadline are either in the heap
+                // together (FIFO pop) or the earlier one was already drained
+                // in an earlier round — so insertion order must be ascending
+                // among ALL equal-deadline pairs, not just adjacent ones, no
+                // matter how pops interleave.
+                let mut last_seq_at: std::collections::BTreeMap<SimTime, usize> =
+                    std::collections::BTreeMap::new();
+                for &(t, seq) in &popped {
+                    if let Some(&prev) = last_seq_at.get(&t) {
+                        prop_assert!(
+                            prev < seq,
+                            "later insertion popped before an earlier one at deadline {t}: \
+                             seq {prev} then {seq}"
+                        );
+                    }
+                    last_seq_at.insert(t, seq);
+                }
+            }
+
+            /// `pop_due` returns exactly the prefix of events with deadline
+            /// <= now, in the same order a full drain would yield them.
+            #[test]
+            fn pop_due_is_a_prefix_of_full_drain(
+                times in prop::collection::vec(0u64..10, 1..200),
+                cut in 0u64..10,
+            ) {
+                let now = SimTime::from_micros(cut);
+                let mut a = EventHeap::new();
+                let mut b = EventHeap::new();
+                for (i, &t) in times.iter().enumerate() {
+                    a.push(SimTime::from_micros(t), i);
+                    b.push(SimTime::from_micros(t), i);
+                }
+                let mut due = Vec::new();
+                while let Some(e) = a.pop_due(now) {
+                    due.push(e);
+                }
+                let mut all = Vec::new();
+                while let Some(e) = b.pop() {
+                    all.push(e);
+                }
+                let expected_len = times.iter().filter(|&&t| t <= cut).count();
+                prop_assert_eq!(due.len(), expected_len);
+                prop_assert_eq!(&due[..], &all[..due.len()]);
+            }
+        }
+    }
 }

@@ -14,7 +14,9 @@ use serde::{Deserialize, Serialize};
 use crate::time::SimDuration;
 
 /// A quantity of data in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -122,7 +124,9 @@ impl fmt::Display for ByteSize {
 ///
 /// The paper quotes link rates in decimal megabits (10 Mb/s = 10,000,000
 /// bit/s), which is the convention used here.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DataRate(u64);
 
 impl DataRate {

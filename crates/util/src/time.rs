@@ -14,7 +14,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 /// A span of virtual time with nanosecond resolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -197,7 +199,9 @@ impl fmt::Display for SimDuration {
 
 /// An instant of virtual time, measured in nanoseconds since the start of the
 /// emulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -318,7 +322,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -333,7 +340,10 @@ mod tests {
     fn duration_from_secs_f64_saturates_on_garbage() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -368,7 +378,10 @@ mod tests {
     #[test]
     fn time_ordering() {
         assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
-        assert_eq!(SimTime::ZERO.max(SimTime::from_secs(1)), SimTime::from_secs(1));
+        assert_eq!(
+            SimTime::ZERO.max(SimTime::from_secs(1)),
+            SimTime::from_secs(1)
+        );
         assert_eq!(SimTime::ZERO.min(SimTime::from_secs(1)), SimTime::ZERO);
     }
 

@@ -33,7 +33,10 @@ fn main() {
         .filter_map(|d| d.first().copied())
         .take(20)
         .collect();
-    let members: Vec<VnId> = member_nodes.iter().filter_map(|&n| binding.vn_at(n)).collect();
+    let members: Vec<VnId> = member_nodes
+        .iter()
+        .filter_map(|&n| binding.vn_at(n))
+        .collect();
     let cost: Vec<Vec<f64>> = member_nodes
         .iter()
         .map(|&a| {
@@ -70,7 +73,10 @@ fn main() {
                 SimTime::from_secs(t),
                 &LinkPerturbation {
                     fraction: 0.25,
-                    kind: FaultKind::DelayIncrease { min: 0.0, max: 0.25 },
+                    kind: FaultKind::DelayIncrease {
+                        min: 0.0,
+                        max: 0.25,
+                    },
                 },
             ) {
                 runner.emulator_mut().update_pipe_attrs(ev.pipe, ev.attrs);

@@ -47,7 +47,9 @@ fn main() {
     }
 
     runner.run_for(SimDuration::from_secs(120));
-    let client = runner.app_as::<CfsClient>(vns[0]).expect("client installed");
+    let client = runner
+        .app_as::<CfsClient>(vns[0])
+        .expect("client installed");
     println!(
         "prefetch window {window_kb} KB: {} of {} blocks in {:?}",
         client.blocks_completed(),

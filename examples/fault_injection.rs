@@ -42,7 +42,9 @@ fn main() {
         }
         if t == 16 {
             println!("-- restoring the bottleneck to 10 Mb/s --");
-            runner.emulator_mut().update_pipe_attrs(bottleneck, original);
+            runner
+                .emulator_mut()
+                .update_pipe_attrs(bottleneck, original);
         }
         let acked = runner.flow_bytes_acked(flow);
         let rate_mbps = (acked - last_acked) as f64 * 8.0 / 2.0 / 1e6;

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release -p mn-bench --example quickstart`
 
-use modelnet::{ByteSize, DistillationMode, Experiment, SimDuration, SimTime};
 use mn_topology::generators::{star_topology, StarParams};
+use modelnet::{ByteSize, DistillationMode, Experiment, SimDuration, SimTime};
 
 fn main() {
     // Create: 8 clients on 10 Mb/s, 5 ms spokes.
@@ -31,7 +31,11 @@ fn main() {
         .build()
         .expect("experiment builds");
     let vns = runner.vn_ids();
-    println!("bound {} VNs across {} edge nodes", vns.len(), runner.binding().edge_count());
+    println!(
+        "bound {} VNs across {} edge nodes",
+        vns.len(),
+        runner.binding().edge_count()
+    );
 
     // Run: one 256 KB transfer.
     let flow = runner.add_bulk_flow(vns[0], vns[1], Some(ByteSize::from_kb(256)), SimTime::ZERO);

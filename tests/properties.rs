@@ -185,7 +185,9 @@ proptest! {
 /// the same seed produce identical flow results and core counters.
 #[test]
 fn emulation_is_deterministic_for_a_seed() {
-    use modelnet::{ByteSize as B, DistillationMode as DM, Experiment, SimDuration as D, SimTime as T};
+    use modelnet::{
+        ByteSize as B, DistillationMode as DM, Experiment, SimDuration as D, SimTime as T,
+    };
     let run = || {
         let topo = ring_topology(&RingParams {
             routers: 5,

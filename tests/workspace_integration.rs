@@ -64,11 +64,18 @@ fn single_and_multi_core_emulations_agree_when_unconstrained() {
             flows.push(runner.add_bulk_flow(vns[i], vns[i + 6], None, SimTime::ZERO));
         }
         runner.run_for(SimDuration::from_secs(8));
-        flows.iter().map(|&f| runner.flow_goodput_kbps(f)).sum::<f64>() / flows.len() as f64
+        flows
+            .iter()
+            .map(|&f| runner.flow_goodput_kbps(f))
+            .sum::<f64>()
+            / flows.len() as f64
     };
     let single = run(1);
     let quad = run(4);
-    assert!(single > 5_000.0, "flows should approach the 10 Mb/s spokes: {single}");
+    assert!(
+        single > 5_000.0,
+        "flows should approach the 10 Mb/s spokes: {single}"
+    );
     let ratio = quad / single;
     assert!(
         (0.85..=1.15).contains(&ratio),
@@ -104,8 +111,14 @@ fn distillation_modes_preserve_uncontended_path_quality() {
     }
     let min = results.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = results.iter().cloned().fold(0.0, f64::max);
-    assert!(min > 1_500.0, "a lone flow should fill its 2 Mb/s access link: {results:?}");
-    assert!(max / min < 1.15, "distillation changed an uncontended flow: {results:?}");
+    assert!(
+        min > 1_500.0,
+        "a lone flow should fill its 2 Mb/s access link: {results:?}"
+    );
+    assert!(
+        max / min < 1.15,
+        "distillation changed an uncontended flow: {results:?}"
+    );
 }
 
 #[test]
@@ -145,10 +158,15 @@ fn link_failure_reroutes_after_matrix_rebuild() {
     distilled.pipe_attrs_mut(failed_pipe).unwrap().bandwidth = DataRate::ZERO;
     // Also fail the reverse pipe so ACKs cannot sneak through.
     let rev = distilled
-        .find_pipe(distilled.pipe(failed_pipe).dst, distilled.pipe(failed_pipe).src)
+        .find_pipe(
+            distilled.pipe(failed_pipe).dst,
+            distilled.pipe(failed_pipe).src,
+        )
         .unwrap();
     distilled.pipe_attrs_mut(rev).unwrap().bandwidth = DataRate::ZERO;
-    runner.emulator_mut().update_pipe_attrs(failed_pipe, failed_attrs);
+    runner
+        .emulator_mut()
+        .update_pipe_attrs(failed_pipe, failed_attrs);
     runner.emulator_mut().update_pipe_attrs(rev, failed_attrs);
     // "Perfect routing protocol": recompute all-pairs routes immediately.
     let new_matrix = mn_routing::RoutingMatrix::build(&distilled);
@@ -257,7 +275,11 @@ fn cfs_download_completes_over_the_ron_mesh() {
     }
     runner.run_for(SimDuration::from_secs(120));
     let client = runner.app_as::<CfsClient>(vns[0]).unwrap();
-    assert!(client.is_complete(), "completed {} blocks", client.blocks_completed());
+    assert!(
+        client.is_complete(),
+        "completed {} blocks",
+        client.blocks_completed()
+    );
     let speed = client.download_speed_kbytes_per_sec().unwrap();
     assert!(
         speed > 20.0 && speed < 5_000.0,

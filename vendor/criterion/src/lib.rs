@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` API surface this workspace's benches
+//! use. It actually measures: each benchmark runs a warm-up pass, then a
+//! timed pass, and the mean wall-clock time per iteration is printed as
+//!
+//! ```text
+//! bench_name              123.45 ns/iter (N iters)
+//! ```
+//!
+//! Statistical analysis (outlier rejection, regressions, HTML reports) is out
+//! of scope — the numbers are for PR-to-PR trajectory tracking, which only
+//! needs a stable mean on quiet hardware.
+
+use std::time::{Duration, Instant};
+
+/// How to batch per-iteration setup state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_ns: f64,
+    iters: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher {
+            mean_ns: f64::NAN,
+            iters: 0,
+            measure_for,
+        }
+    }
+
+    /// Benchmarks `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a single-iteration cost.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let target = self
+            .measure_for
+            .as_nanos()
+            .checked_div(once.as_nanos())
+            .unwrap_or(1)
+            .clamp(1, 5_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.iters = target;
+        self.mean_ns = total.as_nanos() as f64 / target as f64;
+    }
+
+    /// Benchmarks `routine` over fresh state from `setup`, excluding the
+    /// setup cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let target = self
+            .measure_for
+            .as_nanos()
+            .checked_div(once.as_nanos())
+            .unwrap_or(1)
+            .clamp(1, 1_000_000) as u64;
+        let inputs: Vec<I> = (0..target).map(|_| setup()).collect();
+        let mut measured = Duration::ZERO;
+        for input in inputs {
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.iters = target;
+        self.mean_ns = measured.as_nanos() as f64 / target as f64;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let (value, unit) = if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "us")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("{name:<48} {value:>10.2} {unit}/iter ({} iters)", b.iters);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let mut b = Bencher::new(self.criterion.measure_for);
+        f(&mut b);
+        report(&name, &b);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes runs by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure_for = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the whole suite to seconds: each benchmark measures for a
+        // fixed slice of wall time after one warm-up iteration.
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measure_for);
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Accepted for API compatibility with `criterion_group!` configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test --benches` passes
+            // test-harness flags. Only run measurements under `cargo bench`
+            // (or a bare invocation) so `cargo test` stays fast.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.mean_ns.is_finite());
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter_batched(
+            || vec![0u8; 64],
+            |v| std::hint::black_box(v.len()),
+            BatchSize::SmallInput,
+        );
+        assert!(b.mean_ns.is_finite());
+    }
+}

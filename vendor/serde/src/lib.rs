@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds without network access, so the real serde is not
+//! available. Nothing in the workspace serialises through serde yet — the
+//! `#[derive(Serialize, Deserialize)]` annotations mark types as
+//! serialisation-ready — so marker traits are all that is required. Swapping
+//! in the crates.io serde later requires no source changes outside `vendor/`.
+
+/// Marker for types that can be serialised.
+///
+/// The crates.io trait's methods are intentionally omitted: no workspace
+/// code calls them, and omitting them lets the derive emit an empty impl.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialised.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

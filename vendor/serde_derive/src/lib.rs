@@ -1,0 +1,110 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real serde ecosystem is not vendored in this repository (builds must
+//! work without network access), and no crate in the workspace actually
+//! serialises through serde — the derives only mark types as
+//! serialisation-ready for future use. This proc macro therefore emits an
+//! empty marker-trait impl per derive. If a type ever needs real
+//! serialisation, replace the `vendor/serde*` crates with the crates.io
+//! versions; no call sites change.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generics)` from a `struct`/`enum` item, where `generics`
+/// is the raw token text between `<` and its matching `>` (empty when the
+/// type is not generic).
+fn type_name_and_generics(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                };
+                let mut generics = String::new();
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        tokens.next();
+                        let mut depth = 1usize;
+                        for tt in tokens.by_ref() {
+                            if let TokenTree::Punct(p) = &tt {
+                                match p.as_char() {
+                                    '<' => depth += 1,
+                                    '>' => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            generics.push_str(&tt.to_string());
+                            generics.push(' ');
+                        }
+                    }
+                }
+                return (name, generics);
+            }
+        }
+    }
+    panic!("serde derive: input is not a struct or enum");
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let (name, generics) = type_name_and_generics(input);
+    let code = if generics.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        // Strip default values (`T = Foo`) which are not legal in impls, and
+        // bound the simple single-ident type params. Sufficient for the
+        // simple generic types this workspace derives on.
+        let params: Vec<String> = split_top_level(&generics);
+        let decl = params.join(", ");
+        let args: Vec<String> = params
+            .iter()
+            .map(|p| p.split([':', '=']).next().unwrap_or(p).trim().to_string())
+            .collect();
+        format!(
+            "impl<{decl}> {trait_path} for {name}<{}> {{}}",
+            args.join(", ")
+        )
+    };
+    code.parse().expect("generated marker impl parses")
+}
+
+/// Splits a generics token string on top-level commas.
+fn split_top_level(generics: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in generics.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
