@@ -1,9 +1,14 @@
 //! Criterion micro-benchmarks for the mechanisms §2.2 of the paper analyses:
 //! route lookup across the three lookup structures, pipe scheduling
-//! (enqueue/dequeue through the bandwidth queue and delay line), distillation
-//! cost, and greedy pipe-to-core assignment.
+//! (enqueue/dequeue through the bandwidth queue and delay line), scheduler
+//! data structures (timing wheel vs. binary heap at many-pipe scale),
+//! distillation cost, and greedy pipe-to-core assignment.
+//!
+//! Besides the human-readable table, a `cargo bench` run writes the
+//! measurements to `BENCH_core_microbench.json` (via `mn_bench::report`) so
+//! CI can archive the perf trajectory PR over PR.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 
 use mn_assign::{greedy_k_clusters, Binding, BindingParams};
 use mn_distill::{distill, DistillationMode};
@@ -12,10 +17,11 @@ use mn_packet::{FlowKey, Packet, PacketId, Protocol, TcpFlags, TransportHeader, 
 use mn_pipe::EmuPipe;
 use mn_routing::{RouteCache, RouteProvider, RoutingMatrix};
 use mn_topology::generators::{
-    ring_topology, star_topology, transit_stub_topology, RingParams, StarParams, TransitStubParams,
+    path_pairs_topology, ring_topology, star_topology, transit_stub_topology, PathPairsParams,
+    RingParams, StarParams, TransitStubParams,
 };
 use mn_util::rngs::seeded_rng;
-use mn_util::{ByteSize, SimTime};
+use mn_util::{ByteSize, EventHeap, SimTime, TimerWheel};
 
 fn bench_routing(c: &mut Criterion) {
     let topo = ring_topology(&RingParams::default());
@@ -151,12 +157,130 @@ fn bench_submit_path(c: &mut Criterion) {
     });
 }
 
+/// Deterministic pseudo-random pipe delay in `[1 ms, 16 ms)` — the spread of
+/// queueing + transmission + propagation deadlines a loaded core juggles.
+fn pipe_delay_ns(i: u64) -> u64 {
+    1_000_000 + i.wrapping_mul(2_654_435_761) % 15_000_000
+}
+
+/// The scheduler data structures at many-pipe scale: 4096 pipes each with a
+/// pending exit deadline, serviced in 100 µs ticks. Every pop reschedules
+/// the pipe, so the pending count stays at 4096 — the steady state of a
+/// fully loaded core. This is the O(log n) → O(1) gap the timing wheel
+/// exists for: the heap pays a 12-level sift per operation at this scale,
+/// the wheel a constant slot access.
+fn bench_steady_state_many_pipes(c: &mut Criterion) {
+    const PIPES: u64 = 4096;
+    const TICK_NS: u64 = 100_000;
+    let mut group = c.benchmark_group("steady_state_many_pipes");
+
+    group.bench_function("wheel_4096_pipes", |b| {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        for i in 0..PIPES {
+            wheel.push(SimTime::from_nanos(pipe_delay_ns(i)), i);
+        }
+        let mut now_ns = 0u64;
+        let mut reschedules = PIPES;
+        b.iter(|| {
+            now_ns += TICK_NS;
+            let now = SimTime::from_nanos(now_ns);
+            while let Some((_, pipe)) = wheel.pop_due(now) {
+                wheel.push(
+                    SimTime::from_nanos(now_ns + pipe_delay_ns(pipe ^ reschedules)),
+                    pipe,
+                );
+                reschedules += 1;
+            }
+            std::hint::black_box(wheel.len())
+        })
+    });
+
+    group.bench_function("heap_4096_pipes", |b| {
+        let mut heap: EventHeap<u64> = EventHeap::new();
+        for i in 0..PIPES {
+            heap.push(SimTime::from_nanos(pipe_delay_ns(i)), i);
+        }
+        let mut now_ns = 0u64;
+        let mut reschedules = PIPES;
+        b.iter(|| {
+            now_ns += TICK_NS;
+            let now = SimTime::from_nanos(now_ns);
+            while let Some((_, pipe)) = heap.pop_due(now) {
+                heap.push(
+                    SimTime::from_nanos(now_ns + pipe_delay_ns(pipe ^ reschedules)),
+                    pipe,
+                );
+                reschedules += 1;
+            }
+            std::hint::black_box(heap.len())
+        })
+    });
+
+    group.finish();
+
+    // The same steady state end to end: a single unconstrained core with
+    // 4096 installed pipes (256 sender/receiver pairs over 8-hop paths,
+    // hop-by-hop distillation), per-packet submit + periodic advance. Each
+    // packet traverses 8 pipes, so the scheduler wheel carries deadlines
+    // across the whole pipe table at all times.
+    let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+        pairs: 256,
+        hops: 8,
+        ..PathPairsParams::default()
+    });
+    let d = distill(&topo, DistillationMode::HopByHop);
+    assert!(d.pipe_count() >= 4096, "paths must install ≥ 4k pipes");
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(4, 1));
+    let mut emu =
+        MultiCoreEmulator::single_core(&d, matrix, &binding, HardwareProfile::unconstrained(), 7);
+    let endpoints: Vec<(VnId, VnId)> = pairs
+        .iter()
+        .map(|&(a, b)| {
+            (
+                binding.vn_at(a).expect("pair source is bound"),
+                binding.vn_at(b).expect("pair sink is bound"),
+            )
+        })
+        .collect();
+    let mut deliveries = Vec::new();
+    let mut i = 0u64;
+    c.bench_function("steady_state_emulator_4096_pipes", |b| {
+        b.iter(|| {
+            let now = SimTime::from_micros(i * 20);
+            let (src, dst) = endpoints[i as usize % endpoints.len()];
+            std::hint::black_box(emu.submit(now, tcp_packet(i, src, dst, now)));
+            if i.is_multiple_of(32) {
+                deliveries.clear();
+                emu.advance_into(now, &mut deliveries);
+                std::hint::black_box(deliveries.len());
+            }
+            i += 1;
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_routing,
     bench_pipe,
     bench_distillation,
     bench_assignment,
-    bench_submit_path
+    bench_submit_path,
+    bench_steady_state_many_pipes
 );
-criterion_main!(benches);
+
+fn main() {
+    // Skip measurements when driven by the test harness (`cargo test`).
+    if criterion::invoked_as_test() {
+        return;
+    }
+    let results: Vec<(String, f64, u64)> = benches()
+        .into_iter()
+        .map(|r| (r.name, r.mean_ns, r.iters))
+        .collect();
+    match mn_bench::report::write_bench_json("core_microbench", &results) {
+        Ok(path) => println!("bench report written to {path}"),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
+}

@@ -93,6 +93,25 @@ impl Report {
     }
 }
 
+/// One benchmark measurement destined for a `BENCH_<name>.json` artifact:
+/// `(benchmark id, mean ns/iter, iterations measured)`.
+pub type BenchMeasurement = (String, f64, u64);
+
+/// Serialises a benchmark run as a `BENCH_<name>.json` report next to the
+/// current working directory (one series per benchmark, point =
+/// `(iterations, mean ns/iter)`), returning the path written.
+///
+/// This is the machine-readable perf trajectory: CI uploads the artifact on
+/// every run so PR-over-PR regressions are diffable without re-parsing
+/// human-oriented bench output.
+pub fn write_bench_json(name: &str, results: &[BenchMeasurement]) -> std::io::Result<String> {
+    let mut report = Report::new(name, true);
+    for (bench, mean_ns, iters) in results {
+        report = report.with_series(bench.clone(), vec![(*iters as f64, *mean_ns)]);
+    }
+    report.write_json(&format!("BENCH_{name}"))
+}
+
 /// Escapes a string into a JSON string literal.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

@@ -33,7 +33,7 @@ use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
 use mn_transport::{
     BulkSender, SegmentToSend, TcpConfig, TcpConnection, UdpStream, UdpStreamConfig,
 };
-use mn_util::{ByteSize, Cdf, EventHeap, SimDuration, SimTime};
+use mn_util::{ByteSize, Cdf, SimDuration, SimTime, TimerWheel};
 
 /// Identifier of a TCP flow or application channel created on the runner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -122,7 +122,11 @@ struct UdpFlow {
 /// The simulation driver.
 pub struct Runner {
     now: SimTime,
-    events: EventHeap<Event>,
+    /// The driver's wakeup queue. Emulator wakeups, TCP timers and UDP pacing
+    /// are dense near-term deadlines, so they ride the same O(1) timing wheel
+    /// as the core scheduler; idle application timers fall through to the
+    /// wheel's overflow level.
+    events: TimerWheel<Event>,
     emulator: MultiCoreEmulator,
     binding: Binding,
     tcp_config: TcpConfig,
@@ -139,6 +143,9 @@ pub struct Runner {
     packets_delivered: u64,
     emu_wakeup_at: Option<SimTime>,
     apps_started: bool,
+    /// Reusable buffer the emulator drains deliveries into; capacity
+    /// persists across wakeups so the steady state allocates nothing.
+    delivery_buf: Vec<Delivery>,
 }
 
 impl Runner {
@@ -147,7 +154,7 @@ impl Runner {
     pub fn new(emulator: MultiCoreEmulator, binding: Binding, tcp_config: TcpConfig) -> Self {
         Runner {
             now: SimTime::ZERO,
-            events: EventHeap::new(),
+            events: TimerWheel::new(),
             emulator,
             binding,
             tcp_config,
@@ -162,6 +169,7 @@ impl Runner {
             packets_delivered: 0,
             emu_wakeup_at: None,
             apps_started: false,
+            delivery_buf: Vec::new(),
         }
     }
 
@@ -358,11 +366,9 @@ impl Runner {
                 self.start_app(vn);
             }
         }
-        while let Some(t) = self.events.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (t, event) = self.events.pop().expect("peeked event exists");
+        // pop_due hits the wheel's amortized O(1) path; a peek-then-pop pair
+        // would scan a not-yet-active slot twice.
+        while let Some((t, event)) = self.events.pop_due(deadline) {
             self.now = self.now.max(t);
             self.handle_event(event);
         }
@@ -632,10 +638,14 @@ impl Runner {
     }
 
     fn drain_emulator(&mut self) {
-        let deliveries = self.emulator.advance(self.now);
-        for delivery in deliveries {
+        // Reuse the delivery buffer across wakeups: take it out of `self` so
+        // `handle_delivery` (which needs `&mut self`) can run while we drain.
+        let mut deliveries = std::mem::take(&mut self.delivery_buf);
+        self.emulator.advance_into(self.now, &mut deliveries);
+        for delivery in deliveries.drain(..) {
             self.handle_delivery(delivery);
         }
+        self.delivery_buf = deliveries;
         self.schedule_emu_wakeup();
     }
 

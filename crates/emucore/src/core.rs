@@ -19,10 +19,10 @@ use serde::{Deserialize, Serialize};
 
 use mn_assign::CoreId;
 use mn_distill::{PipeAttrs, PipeId};
-use mn_pipe::{EmuPipe, EnqueueOutcome, PipeStats, QueueDiscipline};
+use mn_pipe::{DequeuedPacket, EmuPipe, EnqueueOutcome, PipeStats, QueueDiscipline};
 use mn_routing::RouteTable;
 use mn_util::rngs::derived_rng;
-use mn_util::{ByteSize, EventHeap, SimDuration, SimTime};
+use mn_util::{ByteSize, SimDuration, SimTime, TimerWheel};
 
 use crate::accuracy::AccuracyLog;
 use crate::descriptor::{Delivery, Descriptor};
@@ -89,7 +89,9 @@ impl CoreStats {
     }
 }
 
-/// The output of one scheduler pass.
+/// The output of one scheduler pass. Callers on the steady-state path keep
+/// one of these alive and pass it to [`EmulatorCore::tick_into`] so its
+/// buffers are reused tick after tick instead of reallocated.
 #[derive(Debug, Default)]
 pub struct TickOutput {
     /// Packets that exited their last pipe and must be forwarded to the
@@ -98,6 +100,19 @@ pub struct TickOutput {
     /// Descriptors whose next pipe is owned by another core, together with
     /// that pipe and the time they left their previous pipe.
     pub tunnels: Vec<(PipeId, Descriptor, SimTime)>,
+}
+
+impl TickOutput {
+    /// Empties both buffers, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.tunnels.clear();
+    }
+
+    /// Returns `true` if the pass produced no work.
+    pub fn is_empty(&self) -> bool {
+        self.deliveries.is_empty() && self.tunnels.is_empty()
+    }
 }
 
 /// One emulation core.
@@ -112,13 +127,21 @@ pub struct EmulatorCore {
     /// owns, `None` for slots owned by peer cores. Sized once at
     /// construction to the distilled topology's pipe count.
     pipes: Vec<Option<EmuPipe<Descriptor>>>,
-    /// Scheduler heap: one entry per accepted packet, keyed by its pipe exit
-    /// deadline. Entries for packets that were already moved by an earlier
-    /// pass are stale and simply find no due work.
-    heap: EventHeap<PipeId>,
+    /// Scheduler wheel: one entry per accepted packet, keyed by its pipe exit
+    /// deadline. O(1) push/pop regardless of how many pipes are pending (the
+    /// paper's requirement for scheduling tens of thousands of pipes at
+    /// 100 µs fidelity). Entries for packets that were already moved by an
+    /// earlier pass are stale and simply find no due work.
+    wheel: TimerWheel<PipeId>,
     /// Descriptors whose next pipe lives on a peer core, staged until the
     /// next tick emits them as tunnel requests.
     pending_remote: Vec<(PipeId, Descriptor, SimTime)>,
+    /// Drained-and-restored body of `pending_remote`, kept so its capacity
+    /// survives across ticks.
+    pending_scratch: Vec<(PipeId, Descriptor, SimTime)>,
+    /// Reusable buffer `tick` drains due pipes into; capacity persists across
+    /// ticks so the steady state allocates nothing.
+    ready_scratch: Vec<DequeuedPacket<Descriptor>>,
     // CPU model.
     cpu_backlog: SimDuration,
     cpu_busy_total: SimDuration,
@@ -149,8 +172,10 @@ impl EmulatorCore {
             profile,
             routes,
             pipes: std::iter::repeat_with(|| None).take(pipe_slots).collect(),
-            heap: EventHeap::new(),
+            wheel: TimerWheel::new(),
             pending_remote: Vec::new(),
+            pending_scratch: Vec::new(),
+            ready_scratch: Vec::new(),
             cpu_backlog: SimDuration::ZERO,
             cpu_busy_total: SimDuration::ZERO,
             cpu_last_credit: SimTime::ZERO,
@@ -272,7 +297,7 @@ impl EmulatorCore {
     /// its tick boundary. Covers both pipe deadlines and descriptors staged
     /// for tunnelling to a peer core.
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        let heap_next = self.heap.peek_time();
+        let heap_next = self.wheel.peek_time();
         let staged_next = self.pending_remote.iter().map(|(_, _, t)| *t).min();
         match (heap_next, staged_next) {
             (Some(a), Some(b)) => Some(self.profile.next_tick_at(a.min(b))),
@@ -361,7 +386,7 @@ impl EmulatorCore {
         {
             match pipe.enqueue(now, size, descriptor, &mut self.rng) {
                 EnqueueOutcome::Accepted { exit_time } => {
-                    self.heap.push(exit_time, first_pipe);
+                    self.wheel.push(exit_time, first_pipe);
                     IngressOutcome::Accepted
                 }
                 _ => IngressOutcome::VirtualDrop,
@@ -409,7 +434,7 @@ impl EmulatorCore {
         if let Some(pipe) = self.pipes.get_mut(pipe_id.index()).and_then(Option::as_mut) {
             match pipe.enqueue(at, size, descriptor, &mut self.rng) {
                 EnqueueOutcome::Accepted { exit_time } => {
-                    self.heap.push(exit_time, pipe_id);
+                    self.wheel.push(exit_time, pipe_id);
                     IngressOutcome::Accepted
                 }
                 _ => IngressOutcome::VirtualDrop,
@@ -420,15 +445,31 @@ impl EmulatorCore {
         }
     }
 
+    /// Runs one scheduler pass at time `now`, allocating fresh output
+    /// buffers. Steady-state callers use [`EmulatorCore::tick_into`] with a
+    /// long-lived [`TickOutput`] instead.
+    pub fn tick(&mut self, now: SimTime) -> TickOutput {
+        let mut out = TickOutput::default();
+        self.tick_into(now, &mut out);
+        out
+    }
+
     /// Runs one scheduler pass at time `now`: moves every descriptor whose
     /// pipe deadline has passed to its next pipe, its destination edge node,
-    /// or a peer core.
-    pub fn tick(&mut self, now: SimTime) -> TickOutput {
+    /// or a peer core. `out` is cleared and refilled; with a warmed
+    /// `TickOutput` the pass performs no heap allocation.
+    pub fn tick_into(&mut self, now: SimTime, out: &mut TickOutput) {
         self.credit_cpu(now);
-        let mut out = TickOutput::default();
+        out.clear();
 
-        // Descriptors whose next pipe is remote (staged at ingress).
-        for (pipe, descriptor, at) in std::mem::take(&mut self.pending_remote) {
+        // Descriptors whose next pipe is remote (staged at ingress). Swap the
+        // staging buffer with a persistent scratch so its capacity is reused
+        // instead of reallocated every tick.
+        let mut staged = std::mem::replace(
+            &mut self.pending_remote,
+            std::mem::take(&mut self.pending_scratch),
+        );
+        for (pipe, descriptor, at) in staged.drain(..) {
             self.stats.tunnels_out += 1;
             let wire = if self.profile.payload_caching {
                 HardwareProfile::DESCRIPTOR_BYTES
@@ -439,13 +480,17 @@ impl EmulatorCore {
             self.stats.bytes_out += wire;
             out.tunnels.push((pipe, descriptor, at));
         }
+        self.pending_scratch = staged;
 
-        while let Some((_, pipe_id)) = self.heap.pop_due(now) {
+        // Drain due pipes through a persistent scratch buffer rather than a
+        // fresh Vec per pipe.
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        while let Some((_, pipe_id)) = self.wheel.pop_due(now) {
             let Some(pipe) = self.pipes.get_mut(pipe_id.index()).and_then(Option::as_mut) else {
                 continue;
             };
-            let ready = pipe.dequeue_ready(now);
-            for dequeued in ready {
+            pipe.dequeue_ready_into(now, &mut ready);
+            for dequeued in ready.drain(..) {
                 let mut descriptor = dequeued.item;
                 self.cpu_backlog += self.profile.per_hop_cpu;
                 let lateness = now.duration_since(dequeued.exit_time);
@@ -494,7 +539,7 @@ impl EmulatorCore {
                         if let EnqueueOutcome::Accepted { exit_time } =
                             next_pipe.enqueue(reentry, size, descriptor, &mut self.rng)
                         {
-                            self.heap.push(exit_time, next);
+                            self.wheel.push(exit_time, next);
                         }
                         // Virtual drops simply vanish here; the pipe counted
                         // them.
@@ -512,7 +557,7 @@ impl EmulatorCore {
                 }
             }
         }
-        out
+        self.ready_scratch = ready;
     }
 
     /// Number of packets currently being emulated across this core's pipes.

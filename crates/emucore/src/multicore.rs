@@ -16,9 +16,9 @@ use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
 use mn_packet::{Packet, VnId};
 use mn_routing::{RouteTable, RoutingMatrix};
 use mn_topology::NodeId;
-use mn_util::{EventHeap, SimTime};
+use mn_util::{SimTime, TimerWheel};
 
-use crate::core::{CoreStats, EmulatorCore, IngressOutcome};
+use crate::core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
 use crate::descriptor::{Delivery, Descriptor};
 use crate::hardware::HardwareProfile;
 
@@ -56,10 +56,15 @@ pub struct MultiCoreEmulator {
     vn_location: Vec<NodeId>,
     /// Entry core of each VN, indexed densely by `VnId`.
     vn_entry_core: Vec<CoreId>,
-    /// Tunnel descriptors in flight between cores.
-    tunnels_in_flight: EventHeap<(CoreId, Descriptor)>,
+    /// Tunnel descriptors in flight between cores, keyed by arrival time on
+    /// the same O(1) timing wheel the cores schedule pipes on.
+    tunnels_in_flight: TimerWheel<(CoreId, Descriptor)>,
     /// Same-location packets that bypass the core network entirely.
     local_deliveries: Vec<Delivery>,
+    /// Reusable per-core scheduler-pass buffer; capacity persists across
+    /// [`MultiCoreEmulator::advance`] calls so the steady state allocates
+    /// nothing.
+    tick_buf: TickOutput,
     profile: HardwareProfile,
 }
 
@@ -124,8 +129,9 @@ impl MultiCoreEmulator {
             routes,
             vn_location,
             vn_entry_core,
-            tunnels_in_flight: EventHeap::new(),
+            tunnels_in_flight: TimerWheel::new(),
             local_deliveries: Vec::new(),
+            tick_buf: TickOutput::default(),
             profile,
         }
     }
@@ -277,11 +283,22 @@ impl MultiCoreEmulator {
         [core_next, tunnel_next, local].into_iter().flatten().min()
     }
 
-    /// Advances the emulation to time `now`: delivers due tunnels, runs every
-    /// core's scheduler, and forwards freshly produced tunnels. Returns every
-    /// packet that exited the emulated network since the previous call.
+    /// Advances the emulation to time `now`, allocating a fresh delivery
+    /// buffer. Steady-state callers use [`MultiCoreEmulator::advance_into`]
+    /// with a long-lived buffer instead.
     pub fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
-        let mut deliveries = std::mem::take(&mut self.local_deliveries);
+        let mut deliveries = Vec::new();
+        self.advance_into(now, &mut deliveries);
+        deliveries
+    }
+
+    /// Advances the emulation to time `now`: delivers due tunnels, runs every
+    /// core's scheduler, and forwards freshly produced tunnels. Every packet
+    /// that exited the emulated network since the previous call is appended
+    /// to `deliveries`; with warmed buffers the pass allocates nothing.
+    pub fn advance_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
+        deliveries.append(&mut self.local_deliveries);
+        let mut tick_buf = std::mem::take(&mut self.tick_buf);
         // Iterate: tunnel arrivals can enqueue work that completes within the
         // same pass only if latency is zero; the loop is bounded by the
         // longest route.
@@ -290,12 +307,12 @@ impl MultiCoreEmulator {
             while let Some((_, (target, descriptor))) = self.tunnels_in_flight.pop_due(now) {
                 let _ = self.cores[target.index()].accept_tunnel(now, descriptor);
             }
-            // Run every core's scheduler.
+            // Run every core's scheduler through the reusable pass buffer.
             let mut produced_tunnel = false;
             for core in &mut self.cores {
-                let out = core.tick(now);
-                deliveries.extend(out.deliveries);
-                for (pipe, descriptor, at) in out.tunnels {
+                core.tick_into(now, &mut tick_buf);
+                deliveries.append(&mut tick_buf.deliveries);
+                for (pipe, descriptor, at) in tick_buf.tunnels.drain(..) {
                     let owner = self
                         .pod
                         .get_owner(pipe)
@@ -310,7 +327,7 @@ impl MultiCoreEmulator {
                 break;
             }
         }
-        deliveries
+        self.tick_buf = tick_buf;
     }
 }
 

@@ -212,10 +212,13 @@ impl<T> EmuPipe<T> {
         EnqueueOutcome::Accepted { exit_time }
     }
 
-    /// Removes and returns every packet whose exit deadline is at or before
-    /// `now`, in exit order.
-    pub fn dequeue_ready(&mut self, now: SimTime) -> Vec<DequeuedPacket<T>> {
-        let mut out = Vec::new();
+    /// Removes every packet whose exit deadline is at or before `now` and
+    /// appends it to `out` in exit order.
+    ///
+    /// This is the scheduler's steady-state entry point: the caller owns the
+    /// buffer, so a warmed capacity is reused tick after tick instead of a
+    /// fresh `Vec` being allocated per due pipe.
+    pub fn dequeue_ready_into(&mut self, now: SimTime, out: &mut Vec<DequeuedPacket<T>>) {
         while let Some(front) = self.in_flight.front() {
             if front.exit_time > now {
                 break;
@@ -229,6 +232,14 @@ impl<T> EmuPipe<T> {
                 exit_time: f.exit_time,
             });
         }
+    }
+
+    /// Removes and returns every packet whose exit deadline is at or before
+    /// `now`, in exit order, allocating a fresh buffer (convenience wrapper
+    /// over [`EmuPipe::dequeue_ready_into`]).
+    pub fn dequeue_ready(&mut self, now: SimTime) -> Vec<DequeuedPacket<T>> {
+        let mut out = Vec::new();
+        self.dequeue_ready_into(now, &mut out);
         out
     }
 

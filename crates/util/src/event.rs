@@ -88,6 +88,7 @@ impl<T> EventHeap<T> {
 
     /// Schedules `value` to fire at `time`. Returns the key, which can be used
     /// by callers that keep their own cancellation sets.
+    #[inline]
     pub fn push(&mut self, time: SimTime, value: T) -> EventKey {
         let key = EventKey {
             time,
@@ -99,35 +100,48 @@ impl<T> EventHeap<T> {
     }
 
     /// Removes and returns the earliest event, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         self.heap.pop().map(|Reverse(e)| (e.key.time, e.value))
     }
 
     /// Removes and returns the earliest event together with its key.
+    #[inline]
     pub fn pop_with_key(&mut self) -> Option<(EventKey, T)> {
         self.heap.pop().map(|Reverse(e)| (e.key, e.value))
     }
 
+    /// Returns the earliest event without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(SimTime, &T)> {
+        self.heap.peek().map(|Reverse(e)| (e.key.time, &e.value))
+    }
+
     /// Returns the deadline of the earliest event without removing it.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.key.time)
     }
 
     /// Removes and returns the earliest event only if its deadline is at or
-    /// before `now`.
+    /// before `now`. The due check peeks before popping, so the common
+    /// nothing-due case is a single branch on the heap root.
+    #[inline]
     pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
-        match self.peek_time() {
-            Some(t) if t <= now => self.pop(),
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.key.time <= now => self.pop(),
             _ => None,
         }
     }
 
     /// Number of pending events.
+    #[inline]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// Returns `true` if no events are pending.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }

@@ -7,8 +7,11 @@
 //!   the clock every component of the emulation runs against.
 //! * [`DataRate`] and [`ByteSize`] — link bandwidths and transfer sizes with
 //!   the arithmetic needed to turn "N bytes at rate R" into a duration.
-//! * [`EventHeap`] — the deterministic event queue used by the simulation
-//!   driver and by the core's pipe scheduler.
+//! * [`EventHeap`] — the deterministic comparison-based event queue, the
+//!   fallback scheduler where deadlines are sparse.
+//! * [`TimerWheel`] — the hierarchical timing wheel the per-packet scheduler
+//!   path runs on: `O(1)` push/pop for near-term deadlines, identical
+//!   deadline-then-insertion-order semantics to [`EventHeap`].
 //! * [`stats`] — CDFs, histograms, throughput meters and summary statistics
 //!   used by the measurement infrastructure and the benchmark harness.
 //! * [`rngs`] — seeded RNG construction helpers so every experiment is
@@ -19,9 +22,11 @@ pub mod rate;
 pub mod rngs;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use event::{EventHeap, EventKey};
 pub use rate::{ByteSize, DataRate};
 pub use rngs::seeded_rng;
 pub use stats::{Cdf, Histogram, RunningStats, ThroughputMeter};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;

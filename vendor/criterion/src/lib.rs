@@ -37,57 +37,85 @@ impl Bencher {
         }
     }
 
-    /// Benchmarks `routine` back to back.
+    /// Upper bound on iterations run between clock reads. The chunk grows
+    /// geometrically from 1 to this, so ms-scale routines hit the deadline
+    /// check after every iteration while ns-scale routines amortise the
+    /// `Instant::now` cost. Measuring against a wall-clock deadline (rather
+    /// than a count precomputed from one warm-up call) keeps every benchmark
+    /// inside the same measurement window — stateful benches often have a
+    /// degenerate-cheap first iteration that would wildly overshoot a
+    /// precomputed count.
+    const MAX_CHUNK: u64 = 64;
+    /// Hard cap on iterations per benchmark, for sub-nanosecond routines.
+    const MAX_ITERS: u64 = 5_000_000;
+
+    /// Benchmarks `routine` back to back until the measurement budget is
+    /// spent.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm up and estimate a single-iteration cost.
-        let start = Instant::now();
+        // Warm up.
         std::hint::black_box(routine());
-        let once = start.elapsed().max(Duration::from_nanos(20));
-        let target = self
-            .measure_for
-            .as_nanos()
-            .checked_div(once.as_nanos())
-            .unwrap_or(1)
-            .clamp(1, 5_000_000) as u64;
         let start = Instant::now();
-        for _ in 0..target {
-            std::hint::black_box(routine());
+        let mut iters = 0u64;
+        let mut chunk = 1u64;
+        loop {
+            for _ in 0..chunk {
+                std::hint::black_box(routine());
+            }
+            iters += chunk;
+            if start.elapsed() >= self.measure_for || iters >= Self::MAX_ITERS {
+                break;
+            }
+            chunk = (chunk * 2).min(Self::MAX_CHUNK);
         }
         let total = start.elapsed();
-        self.iters = target;
-        self.mean_ns = total.as_nanos() as f64 / target as f64;
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
     }
 
     /// Benchmarks `routine` over fresh state from `setup`, excluding the
-    /// setup cost from the measurement.
+    /// setup cost from the measurement. Inputs are generated chunk by chunk
+    /// until the measurement budget is spent.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        let input = setup();
-        let start = Instant::now();
-        std::hint::black_box(routine(input));
-        let once = start.elapsed().max(Duration::from_nanos(20));
-        let target = self
-            .measure_for
-            .as_nanos()
-            .checked_div(once.as_nanos())
-            .unwrap_or(1)
-            .clamp(1, 1_000_000) as u64;
-        let inputs: Vec<I> = (0..target).map(|_| setup()).collect();
+        // Warm up.
+        std::hint::black_box(routine(setup()));
         let mut measured = Duration::ZERO;
-        for input in inputs {
+        let mut iters = 0u64;
+        let mut chunk = 1u64;
+        loop {
+            let inputs: Vec<I> = (0..chunk).map(|_| setup()).collect();
             let start = Instant::now();
-            std::hint::black_box(routine(input));
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
             measured += start.elapsed();
+            iters += chunk;
+            if measured >= self.measure_for || iters >= Self::MAX_ITERS {
+                break;
+            }
+            chunk = (chunk * 2).min(Self::MAX_CHUNK);
         }
-        self.iters = target;
-        self.mean_ns = measured.as_nanos() as f64 / target as f64;
+        self.iters = iters;
+        self.mean_ns = measured.as_nanos() as f64 / iters as f64;
     }
 }
 
-fn report(name: &str, b: &Bencher) {
+/// One finished benchmark measurement, collected so harness `main`s can
+/// serialise the whole run (e.g. as a `BENCH_<name>.json` artifact).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` or bare function name).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+fn report(name: &str, b: &Bencher) -> BenchResult {
     let (value, unit) = if b.mean_ns >= 1e6 {
         (b.mean_ns / 1e6, "ms")
     } else if b.mean_ns >= 1e3 {
@@ -96,6 +124,11 @@ fn report(name: &str, b: &Bencher) {
         (b.mean_ns, "ns")
     };
     println!("{name:<48} {value:>10.2} {unit}/iter ({} iters)", b.iters);
+    BenchResult {
+        name: name.to_string(),
+        mean_ns: b.mean_ns,
+        iters: b.iters,
+    }
 }
 
 /// A named group of related benchmarks.
@@ -110,7 +143,8 @@ impl BenchmarkGroup<'_> {
         let name = format!("{}/{}", self.name, id);
         let mut b = Bencher::new(self.criterion.measure_for);
         f(&mut b);
-        report(&name, &b);
+        let result = report(&name, &b);
+        self.criterion.results.push(result);
         self
     }
 
@@ -132,6 +166,7 @@ impl BenchmarkGroup<'_> {
 /// The benchmark harness entry point.
 pub struct Criterion {
     measure_for: Duration,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -140,6 +175,7 @@ impl Default for Criterion {
         // fixed slice of wall time after one warm-up iteration.
         Criterion {
             measure_for: Duration::from_millis(300),
+            results: Vec::new(),
         }
     }
 }
@@ -149,8 +185,14 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher::new(self.measure_for);
         f(&mut b);
-        report(id, &b);
+        let result = report(id, &b);
+        self.results.push(result);
         self
+    }
+
+    /// Takes the collected measurements out of the harness.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
     }
 
     /// Starts a named group.
@@ -168,13 +210,22 @@ impl Criterion {
     }
 }
 
-/// Declares a group of benchmark functions.
+/// Returns `true` when the binary is being driven by `cargo test` rather
+/// than `cargo bench` (the test harness passes `--test`), in which case
+/// measurements should be skipped so `cargo test` stays fast.
+pub fn invoked_as_test() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Declares a group of benchmark functions. The generated function runs the
+/// group and returns its measurements so harness `main`s can serialise them.
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
-        pub fn $group() {
+        pub fn $group() -> Vec<$crate::BenchResult> {
             let mut criterion = $crate::Criterion::default().configure_from_args();
             $($target(&mut criterion);)+
+            criterion.take_results()
         }
     };
 }
@@ -187,11 +238,10 @@ macro_rules! criterion_main {
             // `cargo bench` passes `--bench`; `cargo test --benches` passes
             // test-harness flags. Only run measurements under `cargo bench`
             // (or a bare invocation) so `cargo test` stays fast.
-            let args: Vec<String> = std::env::args().collect();
-            if args.iter().any(|a| a == "--test") {
+            if $crate::invoked_as_test() {
                 return;
             }
-            $($group();)+
+            $(let _ = $group();)+
         }
     };
 }

@@ -194,6 +194,66 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     }
 }
 
+/// One erased [`prop_oneof!`] arm: a weight and a draw closure.
+pub type OneOfArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// A weighted union of strategies producing the same value type — the result
+/// of [`prop_oneof!`]. Arms are erased to closures so heterogeneous strategy
+/// types can share one union.
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+    total: u64,
+}
+
+impl<V> OneOf<V> {
+    /// Builds a union from `(weight, draw)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or every weight is zero.
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof needs at least one positive weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (weight, draw) in &self.arms {
+            if pick < *weight as u64 {
+                return draw(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick below total always lands in an arm")
+    }
+}
+
+/// Erases one [`prop_oneof!`] arm to a weighted draw closure.
+pub fn oneof_arm<S: Strategy + 'static>(weight: u32, strategy: S) -> OneOfArm<S::Value> {
+    (
+        weight,
+        Box::new(move |rng: &mut TestRng| strategy.generate(rng)),
+    )
+}
+
+/// Picks among strategies, optionally weighted (`w => strategy`), matching
+/// the crates.io `prop_oneof!` forms this workspace uses.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $($crate::oneof_arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
 pub mod collection {
     use super::{Strategy, TestRng};
 
@@ -273,8 +333,8 @@ macro_rules! proptest {
 
 pub mod prelude {
     pub use crate as prop;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, OneOf, ProptestConfig, Strategy};
 }
 
 #[cfg(test)]
@@ -300,6 +360,22 @@ mod tests {
             prop_assert!(!v.is_empty() && v.len() < 20);
             prop_assert!(v.iter().all(|&x| x < 100));
         }
+
+        #[test]
+        fn oneof_draws_from_every_arm(v in prop::collection::vec(
+            prop_oneof![4 => 0u64..10, 1 => 1_000u64..1_010], 64..65,
+        )) {
+            prop_assert!(v.iter().all(|&x| x < 10 || (1_000..1_010).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let strategy = prop_oneof![9 => 0u64..1, 1 => 100u64..101];
+        let mut rng = crate::TestRng::deterministic(1);
+        let draws: Vec<u64> = (0..1_000).map(|_| strategy.generate(&mut rng)).collect();
+        let high = draws.iter().filter(|&&x| x == 100).count();
+        assert!((50..200).contains(&high), "~10% expected, got {high}/1000");
     }
 
     #[test]
