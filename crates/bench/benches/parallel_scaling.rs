@@ -1,0 +1,283 @@
+//! Parallel-backend scaling: sequential vs. 1/2/4-thread execution of the
+//! same cross-core-light workload (the axis of the paper's Table 1).
+//!
+//! The workload is `PAIRS` disjoint `HOPS`-hop paths whose pipes are partitioned so
+//! every path lives entirely on one core: zero tunnelled descriptors, the
+//! best case for parallel speed-up (the paper's "0% cross-core traffic"
+//! row). Each measured iteration pumps a fixed packet batch through the
+//! emulation and drains it; the figure of merit is aggregate wall-clock
+//! throughput (packets per second of host time).
+//!
+//! Besides the human-readable table, a run writes
+//! `BENCH_parallel_scaling.json` via `mn_bench::report` so CI archives the
+//! scaling trajectory PR over PR. Interpret the numbers against the host:
+//! on a single-CPU runner the worker threads time-share one core and the
+//! threaded backend can only add coordination overhead; the ≥1.5× step at
+//! 4 threads appears on hosts with ≥4 free CPUs.
+
+use criterion::{criterion_group, Criterion};
+
+use mn_assign::{Binding, BindingParams, CoreId, PipeOwnershipDirectory};
+use mn_distill::{distill, DistillationMode};
+use mn_emucore::{HardwareProfile, MultiCoreEmulator, ParallelEmulator};
+use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
+use mn_routing::RoutingMatrix;
+use mn_topology::generators::{path_pairs_topology, PathPairsParams};
+use mn_util::{DataRate, SimDuration, SimTime};
+use modelnet::EmulatorBackend;
+
+const PAIRS: usize = 128;
+const HOPS: usize = 8;
+/// Packets pumped per measured iteration.
+const PACKETS_PER_ITER: u64 = 8192;
+/// Submissions between scheduler advances while pumping. Larger batches
+/// raise the compute-to-coordination ratio, which is the steady state the
+/// threaded backend targets (many pipes due per 100 µs tick).
+const SUBMITS_PER_ADVANCE: u64 = 256;
+
+struct Workload {
+    distilled: mn_distill::DistilledTopology,
+    matrix: RoutingMatrix,
+    binding: Binding,
+    endpoints: Vec<(VnId, VnId)>,
+    owners: Vec<CoreId>,
+}
+
+/// Builds the shared workload plus a crossing-free pipe partition: every
+/// pair's forward and reverse pipes are owned by core `pair % cores`.
+fn build_workload(cores: usize) -> Workload {
+    let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+        pairs: PAIRS,
+        hops: HOPS,
+        bandwidth: DataRate::from_mbps(100),
+        end_to_end_latency: SimDuration::from_millis(8),
+    });
+    let distilled = distill(&topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&distilled);
+    let binding = Binding::bind(distilled.vns(), &BindingParams::new(4, cores));
+    let endpoints: Vec<(VnId, VnId)> = pairs
+        .iter()
+        .map(|&(a, b)| {
+            (
+                binding.vn_at(a).expect("sender bound"),
+                binding.vn_at(b).expect("receiver bound"),
+            )
+        })
+        .collect();
+    // Assign each disjoint path's pipes (both directions) to one core.
+    let mut owners = vec![CoreId(0); distilled.pipe_count()];
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let core = CoreId(i % cores);
+        for (src, dst) in [(a, b), (b, a)] {
+            let route = matrix.lookup(src, dst).expect("disjoint path routes");
+            for &pipe in &route.pipes {
+                owners[pipe.index()] = core;
+            }
+        }
+    }
+    Workload {
+        distilled,
+        matrix,
+        binding,
+        endpoints,
+        owners,
+    }
+}
+
+fn udp_packet(id: u64, src: VnId, dst: VnId, now: SimTime) -> Packet {
+    Packet::new(
+        PacketId(id),
+        FlowKey {
+            src,
+            dst,
+            src_port: 1000,
+            dst_port: 2000,
+            protocol: Protocol::Udp,
+        },
+        TransportHeader::Udp {
+            payload_len: 1000,
+            seq: id,
+        },
+        now,
+    )
+}
+
+/// One measured iteration: pump `PACKETS_PER_ITER` packets round-robin over
+/// the pairs, advancing every `SUBMITS_PER_ADVANCE` submits, then drain to
+/// idle. Dispatch goes through [`EmulatorBackend`] — the same abstraction
+/// the Runner uses, so there is one pump loop rather than one per backend —
+/// and submission uses the batch API (the bulk-driver fast path: pipelined
+/// ring round trips instead of one blocking round trip per packet).
+/// Virtual time is monotonic across measured iterations (a fresh batch must
+/// never land "in the past" of a warm emulator's pipes), so `pump` starts
+/// at `start` and returns the drained end time for the next iteration.
+fn pump(
+    emu: &mut EmulatorBackend,
+    scratch: &mut Vec<mn_emucore::Delivery>,
+    endpoints: &[(VnId, VnId)],
+    start: SimTime,
+) -> (u64, SimTime) {
+    fn drain_step(
+        emu: &mut EmulatorBackend,
+        scratch: &mut Vec<mn_emucore::Delivery>,
+        now: SimTime,
+    ) -> u64 {
+        scratch.clear();
+        emu.advance_into(now, scratch);
+        scratch.len() as u64
+    }
+    let mut delivered = 0u64;
+    let mut batch = Vec::with_capacity(SUBMITS_PER_ADVANCE as usize);
+    let mut outcomes = Vec::with_capacity(SUBMITS_PER_ADVANCE as usize);
+    for i in 0..PACKETS_PER_ITER {
+        let now = start + SimDuration::from_micros(i * 2);
+        let (src, dst) = endpoints[i as usize % endpoints.len()];
+        batch.push((now, udp_packet(i, src, dst, now)));
+        if i % SUBMITS_PER_ADVANCE == SUBMITS_PER_ADVANCE - 1 {
+            outcomes.clear();
+            emu.submit_batch(std::mem::take(&mut batch), &mut outcomes);
+            batch.reserve(SUBMITS_PER_ADVANCE as usize);
+            delivered += drain_step(emu, scratch, now);
+        }
+    }
+    let mut now = start + SimDuration::from_micros(PACKETS_PER_ITER * 2);
+    for _ in 0..1_000_000 {
+        let Some(t) = emu.next_wakeup() else { break };
+        now = now.max(t);
+        delivered += drain_step(emu, scratch, now);
+    }
+    (delivered, now)
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    // Sequential reference at 4 cooperating cores (same partition the
+    // 4-thread backend uses).
+    {
+        let w = build_workload(4);
+        let pod = PipeOwnershipDirectory::from_owners(w.owners.clone(), 4);
+        let mut emu = EmulatorBackend::Sequential(MultiCoreEmulator::new(
+            &w.distilled,
+            pod,
+            w.matrix.clone(),
+            &w.binding,
+            HardwareProfile::unconstrained(),
+            7,
+        ));
+        let endpoints = w.endpoints.clone();
+        let mut scratch = Vec::new();
+        let mut clock = SimTime::ZERO;
+        group.bench_function("sequential_4core", |b| {
+            b.iter(|| {
+                let (delivered, end) = pump(&mut emu, &mut scratch, &endpoints, clock);
+                clock = end;
+                assert_eq!(delivered, PACKETS_PER_ITER, "no packet may vanish");
+            })
+        });
+    }
+    for threads in [1usize, 2, 4] {
+        let w = build_workload(threads);
+        let pod = PipeOwnershipDirectory::from_owners(w.owners.clone(), threads);
+        let mut emu = EmulatorBackend::Threaded(ParallelEmulator::new(
+            &w.distilled,
+            pod,
+            w.matrix.clone(),
+            &w.binding,
+            HardwareProfile::unconstrained(),
+            7,
+        ));
+        let endpoints = w.endpoints.clone();
+        let mut scratch = Vec::new();
+        let mut clock = SimTime::ZERO;
+        group.bench_function(&format!("threaded_{threads}"), |b| {
+            b.iter(|| {
+                let (delivered, end) = pump(&mut emu, &mut scratch, &endpoints, clock);
+                clock = end;
+                assert_eq!(delivered, PACKETS_PER_ITER, "no packet may vanish");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+
+fn main() {
+    if criterion::invoked_as_test() {
+        return;
+    }
+    let results = benches();
+    // Aggregate throughput per configuration, plus the scaling ratios the
+    // acceptance gate reads (threaded_N vs threaded_1, and vs the
+    // sequential 4-core reference).
+    let throughput = |mean_ns: f64| PACKETS_PER_ITER as f64 * 1e9 / mean_ns;
+    let mut rows: Vec<(String, f64, u64)> = Vec::new();
+    let mut by_name = std::collections::HashMap::new();
+    for r in &results {
+        by_name.insert(r.name.clone(), r.mean_ns);
+        rows.push((r.name.clone(), r.mean_ns, r.iters));
+        println!(
+            "{:<40} {:>12.0} ns/iter {:>12.0} pkts/s",
+            r.name,
+            r.mean_ns,
+            throughput(r.mean_ns)
+        );
+    }
+    if let (Some(&t1), Some(&t4)) = (
+        by_name.get("parallel_scaling/threaded_1"),
+        by_name.get("parallel_scaling/threaded_4"),
+    ) {
+        println!("threaded 4-vs-1 speedup: {:.2}x", t1 / t4);
+        rows.push((
+            "parallel_scaling/speedup_4v1_x1000".to_string(),
+            t1 / t4 * 1000.0,
+            1,
+        ));
+    }
+    let mut speedup_vs_sequential = None;
+    if let (Some(&seq), Some(&t4)) = (
+        by_name.get("parallel_scaling/sequential_4core"),
+        by_name.get("parallel_scaling/threaded_4"),
+    ) {
+        println!("threaded-4 vs sequential speedup: {:.2}x", seq / t4);
+        speedup_vs_sequential = Some(seq / t4);
+        rows.push((
+            "parallel_scaling/speedup_4vseq_x1000".to_string(),
+            seq / t4 * 1000.0,
+            1,
+        ));
+    }
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    println!("host parallelism: {cpus} CPUs available");
+    // The acceptance criterion for the threaded backend — ≥1.5× aggregate
+    // throughput at 4 threads on a cross-core-light workload — is only
+    // evaluable on a host with ≥4 CPUs; `shape_holds` records it
+    // machine-readably so a multi-core CI run that regresses is visible in
+    // the artifact (on smaller hosts the criterion is marked as holding
+    // vacuously, with a note on stdout).
+    let shape_holds = if cpus >= 4 {
+        let met = speedup_vs_sequential.is_some_and(|s| s >= 1.5);
+        if !met {
+            println!(
+                "WARNING: threaded_4 did not reach the 1.5x target on a \
+                 {cpus}-CPU host (got {:.2}x)",
+                speedup_vs_sequential.unwrap_or(0.0)
+            );
+        }
+        met
+    } else {
+        println!(
+            "note: the 1.5x @ 4-thread scaling target needs >=4 CPUs; \
+             this {cpus}-CPU host only measures coordination overhead"
+        );
+        true
+    };
+    let mut report = mn_bench::report::Report::new("parallel_scaling", shape_holds);
+    for (bench, mean_ns, iters) in &rows {
+        report = report.with_series(bench.clone(), vec![(*iters as f64, *mean_ns)]);
+    }
+    match report.write_json("BENCH_parallel_scaling") {
+        Ok(path) => println!("bench report written to {path}"),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
+}

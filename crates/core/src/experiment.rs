@@ -11,12 +11,12 @@ use std::fmt;
 
 use mn_assign::{greedy_k_clusters, Binding, BindingParams};
 use mn_distill::{distill, DistillationMode, DistilledTopology};
-use mn_emucore::{HardwareProfile, MultiCoreEmulator};
+use mn_emucore::{HardwareProfile, MultiCoreEmulator, ParallelEmulator};
 use mn_routing::RoutingMatrix;
 use mn_topology::Topology;
 use mn_transport::TcpConfig;
 
-use crate::runner::Runner;
+use crate::runner::{EmulatorBackend, ExecutionBackend, Runner};
 
 /// Errors raised while building an experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +53,8 @@ pub struct Experiment {
     tcp: TcpConfig,
     seed: u64,
     require_connected: bool,
+    backend: ExecutionBackend,
+    affinity_base: Option<usize>,
 }
 
 impl Experiment {
@@ -67,7 +69,29 @@ impl Experiment {
             tcp: TcpConfig::default(),
             seed: 1,
             require_connected: true,
+            backend: ExecutionBackend::Sequential,
+            affinity_base: None,
         }
+    }
+
+    /// Chooses the execution backend (default: sequential). Both backends
+    /// produce bit-identical emulation results; [`ExecutionBackend::Threaded`]
+    /// runs every core on its own OS thread.
+    pub fn backend(mut self, backend: ExecutionBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand for `backend(ExecutionBackend::Threaded)`.
+    pub fn threaded(self) -> Self {
+        self.backend(ExecutionBackend::Threaded)
+    }
+
+    /// Suggests pinning core `i`'s execution thread to host CPU `base + i`
+    /// (advisory; recorded in the binding and in worker thread names).
+    pub fn affinity_base(mut self, base: usize) -> Self {
+        self.affinity_base = Some(base);
+        self
     }
 
     /// Chooses the distillation mode (default: hop-by-hop).
@@ -148,14 +172,31 @@ impl Experiment {
         let pod = greedy_k_clusters(&distilled, self.cores, self.seed);
         // Bind.
         let matrix = RoutingMatrix::build(&distilled);
-        let binding = Binding::bind(
-            distilled.vns(),
-            &BindingParams::new(self.edge_nodes, self.cores),
-        );
-        // Run-phase driver.
-        let emulator =
-            MultiCoreEmulator::new(&distilled, pod, matrix, &binding, self.profile, self.seed);
-        Ok((Runner::new(emulator, binding, self.tcp), distilled))
+        let mut params = BindingParams::new(self.edge_nodes, self.cores);
+        if let Some(base) = self.affinity_base {
+            params = params.with_affinity_base(base);
+        }
+        let binding = Binding::bind(distilled.vns(), &params);
+        // Run-phase driver on the selected execution backend.
+        let backend = match self.backend {
+            ExecutionBackend::Sequential => EmulatorBackend::Sequential(MultiCoreEmulator::new(
+                &distilled,
+                pod,
+                matrix,
+                &binding,
+                self.profile,
+                self.seed,
+            )),
+            ExecutionBackend::Threaded => EmulatorBackend::Threaded(ParallelEmulator::new(
+                &distilled,
+                pod,
+                matrix,
+                &binding,
+                self.profile,
+                self.seed,
+            )),
+        };
+        Ok((Runner::with_backend(backend, binding, self.tcp), distilled))
     }
 }
 
@@ -194,6 +235,48 @@ mod tests {
             .build_with_distilled()
             .unwrap();
         assert_eq!(distilled.undirected_pipe_count(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn threaded_backend_matches_sequential_end_to_end() {
+        use mn_util::{ByteSize, SimDuration, SimTime};
+        // The whole run phase — TCP dynamics included — must be
+        // bit-identical across backends: any divergence in delivery order
+        // or timing would cascade through congestion control and change
+        // the flow results.
+        let run = |backend: ExecutionBackend| {
+            let mut runner = Experiment::new(small_ring())
+                .distillation(DistillationMode::HopByHop)
+                .cores(2)
+                .edge_nodes(4)
+                .seed(9)
+                .backend(backend)
+                .build()
+                .unwrap();
+            let vns = runner.vn_ids();
+            let f1 =
+                runner.add_bulk_flow(vns[0], vns[4], Some(ByteSize::from_kb(96)), SimTime::ZERO);
+            let f2 = runner.add_bulk_flow(vns[2], vns[6], None, SimTime::from_millis(50));
+            runner.run_for(SimDuration::from_secs(4));
+            (
+                runner.flow_completed_at(f1),
+                runner.flow_bytes_acked(f1),
+                runner.flow_bytes_acked(f2),
+                runner.packets_delivered(),
+                runner.backend().total_stats(),
+            )
+        };
+        let sequential = run(ExecutionBackend::Sequential);
+        let threaded = run(ExecutionBackend::Threaded);
+        assert!(sequential.0.is_some(), "the bounded flow completes");
+        assert_eq!(sequential, threaded);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential backend")]
+    fn direct_emulator_access_panics_on_the_threaded_backend() {
+        let runner = Experiment::new(small_ring()).threaded().build().unwrap();
+        let _ = runner.emulator();
     }
 
     #[test]

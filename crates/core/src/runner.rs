@@ -28,12 +28,126 @@ enum PortBinding {
 
 use mn_assign::Binding;
 use mn_edge::{AppAction, AppCtx, Application, Message};
-use mn_emucore::{Delivery, MultiCoreEmulator, SubmitOutcome};
+use mn_emucore::{Delivery, MultiCoreEmulator, ParallelEmulator, SubmitOutcome};
 use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
 use mn_transport::{
     BulkSender, SegmentToSend, TcpConfig, TcpConnection, UdpStream, UdpStreamConfig,
 };
 use mn_util::{ByteSize, Cdf, SimDuration, SimTime, TimerWheel};
+
+/// Which execution backend drives the emulation core(s).
+///
+/// Both backends run the same emulation and produce bit-identical results
+/// (pinned by the determinism and differential suites); they differ only in
+/// how the work is executed on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionBackend {
+    /// All cores advance cooperatively on the calling thread
+    /// ([`MultiCoreEmulator`]). Lowest overhead for light workloads and the
+    /// only backend that exposes direct core access ([`Runner::emulator`]).
+    #[default]
+    Sequential,
+    /// Every core runs on its own OS thread ([`ParallelEmulator`]),
+    /// exchanging tunnelled descriptors over bounded SPSC rings under an
+    /// epoch barrier. Scales heavy emulation work across host CPUs.
+    Threaded,
+}
+
+/// The emulator behind a [`Runner`]: the cooperative single-thread backend
+/// or the one-thread-per-core parallel backend, behind one dispatch point.
+// One long-lived value per runner, never moved on a hot path: the variant
+// size gap is irrelevant and boxing would only add a pointer chase.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum EmulatorBackend {
+    /// Cooperative execution on the calling thread.
+    Sequential(MultiCoreEmulator),
+    /// One OS thread per emulated core.
+    Threaded(ParallelEmulator),
+}
+
+impl EmulatorBackend {
+    /// Submits a packet at time `now`.
+    pub fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.submit(now, packet),
+            EmulatorBackend::Threaded(emu) => emu.submit(now, packet),
+        }
+    }
+
+    /// Advances the emulation to `now`, appending deliveries.
+    pub fn advance_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.advance_into(now, deliveries),
+            EmulatorBackend::Threaded(emu) => emu.advance_into(now, deliveries),
+        }
+    }
+
+    /// The earliest time at which the emulation has work due.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.next_wakeup(),
+            EmulatorBackend::Threaded(emu) => emu.next_wakeup(),
+        }
+    }
+
+    /// Submits a batch of timestamped packets, appending one outcome per
+    /// packet (in input order) to `outcomes` — the bulk-driver fast path
+    /// (the threaded backend pipelines it).
+    pub fn submit_batch<I>(&mut self, batch: I, outcomes: &mut Vec<SubmitOutcome>)
+    where
+        I: IntoIterator<Item = (SimTime, Packet)>,
+    {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.submit_batch(batch, outcomes),
+            EmulatorBackend::Threaded(emu) => emu.submit_batch(batch, outcomes),
+        }
+    }
+
+    /// Aggregated counters across cores.
+    pub fn total_stats(&self) -> mn_emucore::CoreStats {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.total_stats(),
+            EmulatorBackend::Threaded(emu) => emu.total_stats(),
+        }
+    }
+
+    /// One core's counters, by value.
+    pub fn core_stats(&self, core: mn_assign::CoreId) -> Option<mn_emucore::CoreStats> {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.core_stats(core).copied(),
+            EmulatorBackend::Threaded(emu) => emu.core_stats(core),
+        }
+    }
+
+    /// Number of cooperating cores.
+    pub fn core_count(&self) -> usize {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.core_count(),
+            EmulatorBackend::Threaded(emu) => emu.core_count(),
+        }
+    }
+
+    /// Replaces the routing matrix (after a failure recomputation).
+    pub fn set_routing(&mut self, matrix: mn_routing::RoutingMatrix) {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.set_routing(matrix),
+            EmulatorBackend::Threaded(emu) => emu.set_routing(matrix),
+        }
+    }
+
+    /// Updates a pipe's emulation parameters on whichever core owns it.
+    pub fn update_pipe_attrs(
+        &mut self,
+        pipe: mn_distill::PipeId,
+        attrs: mn_distill::PipeAttrs,
+    ) -> bool {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.update_pipe_attrs(pipe, attrs),
+            EmulatorBackend::Threaded(emu) => emu.update_pipe_attrs(pipe, attrs),
+        }
+    }
+}
 
 /// Identifier of a TCP flow or application channel created on the runner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,7 +241,7 @@ pub struct Runner {
     /// as the core scheduler; idle application timers fall through to the
     /// wheel's overflow level.
     events: TimerWheel<Event>,
-    emulator: MultiCoreEmulator,
+    emulator: EmulatorBackend,
     binding: Binding,
     tcp_config: TcpConfig,
     channels: Vec<Channel>,
@@ -149,9 +263,20 @@ pub struct Runner {
 }
 
 impl Runner {
-    /// Creates a runner over an already-built emulator and binding.
-    /// Most users construct one through [`crate::Experiment`].
+    /// Creates a runner over an already-built sequential emulator and
+    /// binding. Most users construct one through [`crate::Experiment`].
     pub fn new(emulator: MultiCoreEmulator, binding: Binding, tcp_config: TcpConfig) -> Self {
+        Self::with_backend(EmulatorBackend::Sequential(emulator), binding, tcp_config)
+    }
+
+    /// Creates a runner over an explicit execution backend (sequential or
+    /// threaded); see [`ExecutionBackend`] and
+    /// [`crate::Experiment::backend`].
+    pub fn with_backend(
+        emulator: EmulatorBackend,
+        binding: Binding,
+        tcp_config: TcpConfig,
+    ) -> Self {
         Runner {
             now: SimTime::ZERO,
             events: TimerWheel::new(),
@@ -187,15 +312,50 @@ impl Runner {
         &self.binding
     }
 
-    /// The emulator (core statistics, accuracy logs, pipe counters).
-    pub fn emulator(&self) -> &MultiCoreEmulator {
+    /// The execution backend driving the emulation.
+    pub fn backend(&self) -> &EmulatorBackend {
         &self.emulator
     }
 
-    /// Mutable access to the emulator, used by dynamic network-change drivers
-    /// to adjust pipe parameters mid-run.
-    pub fn emulator_mut(&mut self) -> &mut MultiCoreEmulator {
+    /// Mutable access to the execution backend (routing changes, pipe
+    /// updates) — works for both backends.
+    pub fn backend_mut(&mut self) -> &mut EmulatorBackend {
         &mut self.emulator
+    }
+
+    /// The sequential emulator (core statistics, accuracy logs, pipe
+    /// counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the threaded backend, whose cores live on their own
+    /// threads; use [`Runner::backend`] for backend-agnostic access, or
+    /// [`EmulatorBackend::total_stats`] for counters.
+    pub fn emulator(&self) -> &MultiCoreEmulator {
+        match &self.emulator {
+            EmulatorBackend::Sequential(emu) => emu,
+            EmulatorBackend::Threaded(_) => panic!(
+                "Runner::emulator is only available on the sequential backend; \
+                 use Runner::backend for the threaded one"
+            ),
+        }
+    }
+
+    /// Mutable access to the sequential emulator, used by dynamic
+    /// network-change drivers to adjust pipe parameters mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the threaded backend; use [`Runner::backend_mut`], which
+    /// supports routing and pipe updates on both backends.
+    pub fn emulator_mut(&mut self) -> &mut MultiCoreEmulator {
+        match &mut self.emulator {
+            EmulatorBackend::Sequential(emu) => emu,
+            EmulatorBackend::Threaded(_) => panic!(
+                "Runner::emulator_mut is only available on the sequential backend; \
+                 use Runner::backend_mut for the threaded one"
+            ),
+        }
     }
 
     /// Installs an application instance on a VN. Applications receive

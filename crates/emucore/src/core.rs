@@ -87,6 +87,31 @@ impl CoreStats {
     pub fn physical_drops(&self) -> u64 {
         self.physical_drops_nic + self.physical_drops_cpu
     }
+
+    /// Folds another core's counters into this one, field by field.
+    ///
+    /// Every field is a plain sum, so merging is associative and
+    /// commutative: per-thread stats drained in any grouping (one core at a
+    /// time, pairwise trees, all at once) produce the same total. The
+    /// parallel backend relies on this when each core thread reports its
+    /// counters independently.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.packets_offered += other.packets_offered;
+        self.packets_admitted += other.packets_admitted;
+        self.packets_delivered += other.packets_delivered;
+        self.tunnels_out += other.tunnels_out;
+        self.tunnels_in += other.tunnels_in;
+        self.physical_drops_nic += other.physical_drops_nic;
+        self.physical_drops_cpu += other.physical_drops_cpu;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
+
+    /// [`CoreStats::merge`] as a by-value fold step.
+    pub fn merged(mut self, other: &CoreStats) -> CoreStats {
+        self.merge(other);
+        self
+    }
 }
 
 /// The output of one scheduler pass. Callers on the steady-state path keep
@@ -574,5 +599,63 @@ impl EmulatorCore {
     /// Packets staged for tunnelling before the next tick.
     pub fn pending_remote_len(&self) -> usize {
         self.pending_remote.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> CoreStats {
+        // Distinct primes per field so any dropped or double-counted field
+        // changes the result.
+        CoreStats {
+            packets_offered: seed * 3 + 1,
+            packets_admitted: seed * 5 + 2,
+            packets_delivered: seed * 7 + 3,
+            tunnels_out: seed * 11 + 4,
+            tunnels_in: seed * 13 + 5,
+            physical_drops_nic: seed * 17 + 6,
+            physical_drops_cpu: seed * 19 + 7,
+            bytes_in: seed * 23 + 8,
+            bytes_out: seed * 29 + 9,
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, b, c) = (sample(1), sample(2), sample(3));
+        // (a + b) + c == a + (b + c)
+        let left = a.merged(&b).merged(&c);
+        let right = a.merged(&b.merged(&c));
+        assert_eq!(left, right);
+        // a + b == b + a, and folding in any order over a larger set too.
+        assert_eq!(a.merged(&b), b.merged(&a));
+        let stats: Vec<CoreStats> = (0..8).map(sample).collect();
+        let forward = stats
+            .iter()
+            .fold(CoreStats::default(), |acc, s| acc.merged(s));
+        let reverse = stats
+            .iter()
+            .rev()
+            .fold(CoreStats::default(), |acc, s| acc.merged(s));
+        let pairwise = {
+            let halves: Vec<CoreStats> = stats
+                .chunks(2)
+                .map(|pair| pair.iter().fold(CoreStats::default(), |a, s| a.merged(s)))
+                .collect();
+            halves
+                .iter()
+                .fold(CoreStats::default(), |acc, s| acc.merged(s))
+        };
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, pairwise);
+    }
+
+    #[test]
+    fn merge_with_identity_is_a_no_op() {
+        let a = sample(4);
+        assert_eq!(a.merged(&CoreStats::default()), a);
+        assert_eq!(CoreStats::default().merged(&a), a);
     }
 }

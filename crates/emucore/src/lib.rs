@@ -19,6 +19,9 @@
 //!   scheduler, CPU/NIC admission, accuracy log,
 //! * [`MultiCoreEmulator`] — several cores cooperating through the pipe
 //!   ownership directory, tunnelling descriptors when a route crosses cores,
+//! * [`ParallelEmulator`] — the same cooperation with every core on its own
+//!   OS thread, exchanging tunnels over bounded SPSC rings under an epoch
+//!   barrier, bit-identical to the sequential backend,
 //! * [`wireless`] — the ad-hoc wireless extension sketched in §5 (broadcast
 //!   medium, node mobility).
 
@@ -27,6 +30,7 @@ pub mod core;
 pub mod descriptor;
 pub mod hardware;
 pub mod multicore;
+pub mod parallel;
 pub mod wireless;
 
 pub use accuracy::AccuracyLog;
@@ -34,3 +38,4 @@ pub use core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
 pub use descriptor::{Delivery, Descriptor};
 pub use hardware::HardwareProfile;
 pub use multicore::{MultiCoreEmulator, SubmitOutcome};
+pub use parallel::ParallelEmulator;

@@ -42,6 +42,20 @@ impl SubmitOutcome {
     }
 }
 
+/// The state a [`MultiCoreEmulator`] hands over when it is converted into a
+/// parallel backend.
+pub(crate) struct EmulatorParts {
+    pub cores: Vec<EmulatorCore>,
+    pub pod: PipeOwnershipDirectory,
+    pub matrix: RoutingMatrix,
+    pub routes: Arc<RouteTable>,
+    pub vn_location: Vec<NodeId>,
+    pub vn_entry_core: Vec<CoreId>,
+    pub tunnels_in_flight: TimerWheel<(CoreId, Descriptor)>,
+    pub local_deliveries: Vec<Delivery>,
+    pub profile: HardwareProfile,
+}
+
 /// The set of cooperating core nodes emulating one distilled topology.
 #[derive(Debug)]
 pub struct MultiCoreEmulator {
@@ -153,27 +167,34 @@ impl MultiCoreEmulator {
         self.cores.len()
     }
 
+    /// Decomposes the emulator into the pieces the parallel backend takes
+    /// ownership of (see [`crate::ParallelEmulator::from_sequential`]).
+    pub(crate) fn into_parts(self) -> EmulatorParts {
+        EmulatorParts {
+            cores: self.cores,
+            pod: self.pod,
+            matrix: self.matrix,
+            routes: self.routes,
+            vn_location: self.vn_location,
+            vn_entry_core: self.vn_entry_core,
+            tunnels_in_flight: self.tunnels_in_flight,
+            local_deliveries: self.local_deliveries,
+            profile: self.profile,
+        }
+    }
+
     /// Access to one core's counters.
     pub fn core_stats(&self, core: CoreId) -> Option<&CoreStats> {
         self.cores.get(core.index()).map(|c| c.stats())
     }
 
-    /// Aggregated counters across cores.
+    /// Aggregated counters across cores (an associative
+    /// [`CoreStats::merge`] fold, so it matches what the parallel backend's
+    /// per-thread stats drain reports).
     pub fn total_stats(&self) -> CoreStats {
-        let mut total = CoreStats::default();
-        for c in &self.cores {
-            let s = c.stats();
-            total.packets_offered += s.packets_offered;
-            total.packets_admitted += s.packets_admitted;
-            total.packets_delivered += s.packets_delivered;
-            total.tunnels_out += s.tunnels_out;
-            total.tunnels_in += s.tunnels_in;
-            total.physical_drops_nic += s.physical_drops_nic;
-            total.physical_drops_cpu += s.physical_drops_cpu;
-            total.bytes_in += s.bytes_in;
-            total.bytes_out += s.bytes_out;
-        }
-        total
+        self.cores
+            .iter()
+            .fold(CoreStats::default(), |acc, c| acc.merged(c.stats()))
     }
 
     /// Access to the cores themselves (accuracy logs, utilisation, pipes).
@@ -264,6 +285,20 @@ impl MultiCoreEmulator {
             IngressOutcome::PhysicalDropNic | IngressOutcome::PhysicalDropCpu => {
                 SubmitOutcome::PhysicalDrop
             }
+        }
+    }
+
+    /// Submits a batch of timestamped packets, appending one outcome per
+    /// packet (in input order) to `outcomes`. Exactly equivalent to calling
+    /// [`MultiCoreEmulator::submit`] per packet; provided so bulk traffic
+    /// drivers can run against either backend through one call shape (the
+    /// parallel backend pipelines this path).
+    pub fn submit_batch<I>(&mut self, batch: I, outcomes: &mut Vec<SubmitOutcome>)
+    where
+        I: IntoIterator<Item = (SimTime, Packet)>,
+    {
+        for (now, packet) in batch {
+            outcomes.push(self.submit(now, packet));
         }
     }
 
@@ -643,6 +678,38 @@ mod tests {
         assert_eq!(deliveries.len(), 1);
         assert_eq!(deliveries[0].hops, 0);
         assert_eq!(emu.total_stats().packets_admitted, 0);
+    }
+
+    #[test]
+    fn split_core_stats_merge_to_single_core_totals() {
+        // The same loss-free workload on one core and split over two cores:
+        // per-core counters drained independently and merged must agree with
+        // the single-core totals on every emulated-behaviour field (the
+        // tunnelling book-keeping and the wire bytes it adds are the only
+        // legitimate differences, exactly what Table 1 charges for the
+        // split).
+        let run = |cores: usize| {
+            let (mut emu, src, dst) = single_path(6, cores);
+            for i in 0..25 {
+                let t = SimTime::from_micros(i * 1400);
+                emu.submit(t, tcp_packet(i, src, dst, 1460, t));
+            }
+            let _ = run_until_idle(&mut emu, SimTime::ZERO);
+            let merged = (0..emu.core_count())
+                .map(|c| *emu.core_stats(CoreId(c)).expect("core exists"))
+                .fold(CoreStats::default(), |acc, s| acc.merged(&s));
+            assert_eq!(merged, emu.total_stats(), "drain order must not matter");
+            merged
+        };
+        let single = run(1);
+        let split = run(2);
+        assert_eq!(single.packets_offered, split.packets_offered);
+        assert_eq!(single.packets_admitted, split.packets_admitted);
+        assert_eq!(single.packets_delivered, split.packets_delivered);
+        assert_eq!(single.physical_drops(), split.physical_drops());
+        assert_eq!(single.tunnels_out, 0);
+        assert!(split.tunnels_out > 0, "a 6-hop split path tunnels");
+        assert_eq!(split.tunnels_out, split.tunnels_in);
     }
 
     #[test]

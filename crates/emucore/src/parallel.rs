@@ -1,0 +1,1402 @@
+//! True multi-threaded core execution with bit-identical determinism.
+//!
+//! [`ParallelEmulator`] runs every [`EmulatorCore`] on its own OS thread —
+//! the execution model of the paper's testbed, where each core node is a
+//! separate machine — while producing **bit-identical** results to the
+//! cooperative single-thread [`MultiCoreEmulator`]: the same deliveries in
+//! the same order at the same virtual times, the same per-core counters,
+//! the same RNG streams.
+//!
+//! # Architecture
+//!
+//! * **One thread per core.** Each worker owns its `EmulatorCore` outright;
+//!   no emulation state is shared between threads. The route table, the
+//!   pipe ownership directory and the hardware profile are immutable and
+//!   shared through `Arc`s.
+//! * **Bounded SPSC rings for tunnels.** A descriptor whose next pipe lives
+//!   on a peer core crosses through a [`mn_util::spsc`] ring dedicated to
+//!   that (source, target) core pair — the explicit-queue, lock-free
+//!   communication pattern of application-defined dataplanes. Rings are
+//!   pre-sized; the steady state allocates nothing on the tunnel path
+//!   (overflow spills to a worker-local buffer rather than blocking, which
+//!   would risk a producer/consumer cycle deadlocking).
+//! * **Epoch markers as the time barrier.** The sequential scheduler
+//!   advances all cores in rounds: deliver due tunnels, tick every core,
+//!   exchange freshly produced tunnels, repeat while any tunnel is due.
+//!   The parallel backend reproduces those rounds as *epochs*: after
+//!   ticking, each worker pushes an epoch marker down every outgoing ring,
+//!   and no worker starts the next epoch before it has collected every
+//!   peer's marker for the current one. Virtual clocks therefore never
+//!   drift farther apart than one tunnel exchange — the paper's bound on
+//!   core cooperation — and each worker files its incoming tunnels in a
+//!   deterministic (epoch, source-core, FIFO) order, which is exactly the
+//!   `(time, seq)` order the sequential scheduler's global timer wheel
+//!   pins.
+//! * **Determinism of delivery streams.** Workers stream their deliveries
+//!   per epoch to the coordinator, which concatenates them epoch-major,
+//!   core-major — the same order `MultiCoreEmulator::advance_into` appends
+//!   them.
+//!
+//! Thread placement: if the binding carries affinity hints
+//! (`BindingParams::with_affinity_base`), each worker thread's name records
+//! the suggested host CPU (`mn-core-1@cpu5`). The hints are advisory —
+//! `std` offers no portable pinning — but they give operators and
+//! profilers the intended layout.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use mn_assign::{Binding, CoreId, PipeOwnershipDirectory};
+use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
+use mn_packet::{Packet, VnId};
+use mn_routing::{RouteTable, RoutingMatrix};
+use mn_topology::NodeId;
+use mn_util::spsc::{self, Consumer, Producer};
+use mn_util::{SimTime, SpinBarrier, SpinWait, TimerWheel};
+
+use crate::core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
+use crate::descriptor::{Delivery, Descriptor};
+use crate::hardware::HardwareProfile;
+use crate::multicore::{MultiCoreEmulator, SubmitOutcome};
+
+/// Tunnel descriptors buffered per core pair before the producer spills.
+const TUNNEL_RING_CAPACITY: usize = 1024;
+/// Deliveries and control responses buffered per worker.
+const RESPONSE_RING_CAPACITY: usize = 1024;
+/// Coordinator commands buffered per worker.
+const COMMAND_RING_CAPACITY: usize = 256;
+/// Ingress commands a batched submit keeps in flight per core before
+/// draining replies; must stay below both ring capacities so neither side
+/// of a pipelined batch can block on a full ring.
+const MAX_OUTSTANDING_INGRESS: usize = 128;
+/// Idle polls of the command ring before a worker parks its thread.
+const IDLE_SPINS_BEFORE_PARK: u32 = 256;
+
+/// Coordinator → worker commands. Delivered in FIFO order per worker, so
+/// ingress/advance interleaving matches the sequential call order.
+enum Command {
+    /// A packet admitted at this core's NIC (the ipfw intercept path).
+    Ingress {
+        now: SimTime,
+        descriptor: Descriptor,
+    },
+    /// Run scheduler epochs at `now` until no tunnel remains due.
+    Advance { now: SimTime },
+    /// Install a rebuilt route table (explicit routing change).
+    SetRoutes(Arc<RouteTable>),
+    /// Update one locally installed pipe's parameters.
+    UpdatePipe { pipe: PipeId, attrs: PipeAttrs },
+    /// Report counters and the earliest due work without running anything.
+    Query,
+    /// Stop: hand the core back and exit the thread.
+    Finish,
+}
+
+/// Worker → coordinator responses.
+enum Response {
+    /// Outcome of an [`Command::Ingress`], with refreshed cached state.
+    Ingress {
+        outcome: IngressOutcome,
+        stats: CoreStats,
+        next_wakeup: Option<SimTime>,
+    },
+    /// One packet that exited the emulated network this epoch.
+    Delivery(Delivery),
+    /// This worker finished an epoch; `more` is the (globally agreed)
+    /// decision whether another epoch follows within the same advance.
+    EpochEnd { more: bool },
+    /// The advance completed; cached state refresh.
+    AdvanceDone {
+        stats: CoreStats,
+        next_wakeup: Option<SimTime>,
+    },
+    /// Outcome of an [`Command::UpdatePipe`].
+    PipeUpdated(bool),
+    /// Reply to [`Command::Query`].
+    Queried {
+        stats: CoreStats,
+        next_wakeup: Option<SimTime>,
+    },
+    /// Reply to [`Command::Finish`].
+    Core(Box<EmulatorCore>),
+}
+
+/// Messages on the core-to-core tunnel rings.
+enum TunnelMsg {
+    /// A tunnelled descriptor arriving on the target core at `arrival`.
+    Descriptor {
+        arrival: SimTime,
+        descriptor: Descriptor,
+    },
+    /// End of the sender's epoch: everything the sender tunnels in `epoch`
+    /// precedes this marker in the ring. `produced_due` reports whether any
+    /// of it is due at the current advance time (the sequential loop's
+    /// continue condition).
+    Epoch { epoch: u64, produced_due: bool },
+}
+
+/// One core's execution thread.
+struct Worker {
+    me: usize,
+    core_count: usize,
+    core: EmulatorCore,
+    pod: Arc<PipeOwnershipDirectory>,
+    profile: HardwareProfile,
+    commands: Consumer<Command>,
+    responses: Producer<Response>,
+    /// Outgoing tunnel rings, indexed by target core (`None` at `me`).
+    tunnel_out: Vec<Option<Producer<TunnelMsg>>>,
+    /// Incoming tunnel rings, indexed by source core (`None` at `me`).
+    tunnel_in: Vec<Option<Consumer<TunnelMsg>>>,
+    /// Messages popped from an incoming ring ahead of their turn (the
+    /// collect loop drains peer rings opportunistically to keep producers
+    /// unblocked); FIFO per source.
+    staged: Vec<VecDeque<TunnelMsg>>,
+    /// Producer-side overflow per target, flushed in FIFO order whenever the
+    /// ring has room. Keeps phase B non-blocking, which is what rules out
+    /// producer/consumer deadlock cycles.
+    spill: Vec<VecDeque<TunnelMsg>>,
+    /// Tunnelled descriptors filed by arrival time. Local insertion order is
+    /// (epoch, source core, ring FIFO) — identical to the global push order
+    /// of the sequential backend's shared wheel restricted to this core, so
+    /// `(time, seq)` pops match bit for bit.
+    arrivals: TimerWheel<Descriptor>,
+    /// Global epoch counter; every worker holds the same value at every
+    /// point of the protocol.
+    epoch: u64,
+    tick_buf: TickOutput,
+}
+
+impl Worker {
+    fn run(mut self, start: Arc<SpinBarrier>) {
+        start.wait();
+        let mut idle_spins = 0u32;
+        loop {
+            let Some(command) = self.commands.try_pop() else {
+                idle_spins += 1;
+                if idle_spins < IDLE_SPINS_BEFORE_PARK {
+                    std::thread::yield_now();
+                } else {
+                    // The coordinator unparks after every command push, so
+                    // parking cannot lose a wakeup (a pre-park unpark leaves
+                    // a token).
+                    std::thread::park();
+                    idle_spins = 0;
+                }
+                continue;
+            };
+            idle_spins = 0;
+            match command {
+                Command::Ingress { now, descriptor } => {
+                    let outcome = self.core.ingress(now, descriptor);
+                    let response = Response::Ingress {
+                        outcome,
+                        stats: *self.core.stats(),
+                        next_wakeup: self.next_wakeup(),
+                    };
+                    self.push_response(response);
+                }
+                Command::Advance { now } => self.advance(now),
+                Command::SetRoutes(routes) => self.core.set_route_table(routes),
+                Command::UpdatePipe { pipe, attrs } => {
+                    let updated = self.core.update_pipe_attrs(pipe, attrs);
+                    self.push_response(Response::PipeUpdated(updated));
+                }
+                Command::Query => {
+                    let response = Response::Queried {
+                        stats: *self.core.stats(),
+                        next_wakeup: self.next_wakeup(),
+                    };
+                    self.push_response(response);
+                }
+                Command::Finish => break,
+            }
+        }
+        // Hand the core (accuracy log, pipe counters) back to the
+        // coordinator. `Worker` has no `Drop`, so fields move out freely.
+        let Worker {
+            core,
+            mut responses,
+            ..
+        } = self;
+        let mut wait = SpinWait::new();
+        let mut message = Response::Core(Box::new(core));
+        while let Err(back) = responses.try_push(message) {
+            message = back;
+            wait.spin();
+        }
+    }
+
+    /// Mirrors `MultiCoreEmulator::advance_into` for this core: epochs of
+    /// (accept due tunnels → tick → exchange), repeated while any core
+    /// produced a tunnel that is already due.
+    fn advance(&mut self, now: SimTime) {
+        loop {
+            self.epoch += 1;
+            // Deliver tunnel descriptors that have arrived.
+            while let Some((_, descriptor)) = self.arrivals.pop_due(now) {
+                let _ = self.core.accept_tunnel(now, descriptor);
+            }
+            // One scheduler pass through the reusable buffer.
+            let mut tick_buf = std::mem::take(&mut self.tick_buf);
+            self.core.tick_into(now, &mut tick_buf);
+            let mut produced_due = false;
+            for (pipe, descriptor, at) in tick_buf.tunnels.drain(..) {
+                let owner = self
+                    .pod
+                    .get_owner(pipe)
+                    .expect("route references a pipe covered by the POD");
+                debug_assert_ne!(owner.index(), self.me, "own pipes never tunnel");
+                let arrival = at.max(now) + self.profile.tunnel_latency;
+                produced_due |= arrival <= now;
+                self.send_tunnel(
+                    owner.index(),
+                    TunnelMsg::Descriptor {
+                        arrival,
+                        descriptor,
+                    },
+                );
+            }
+            let epoch = self.epoch;
+            for target in 0..self.core_count {
+                if target != self.me {
+                    self.send_tunnel(
+                        target,
+                        TunnelMsg::Epoch {
+                            epoch,
+                            produced_due,
+                        },
+                    );
+                }
+            }
+            // Stream this epoch's deliveries (they are appended by the
+            // coordinator in core order, matching the sequential backend).
+            for delivery in tick_buf.deliveries.drain(..) {
+                self.push_response(Response::Delivery(delivery));
+            }
+            self.tick_buf = tick_buf;
+            // Epoch barrier: collect every peer's marker, staging their
+            // tunnels into the arrival wheel in source-major order.
+            let mut any_due = produced_due;
+            for source in 0..self.core_count {
+                if source != self.me {
+                    any_due |= self.collect_marker(source, epoch);
+                }
+            }
+            self.push_response(Response::EpochEnd { more: any_due });
+            if !any_due {
+                break;
+            }
+        }
+        // Leave no spilled message behind: a peer may still be waiting in
+        // its epoch collect for a marker that overflowed our ring (an epoch
+        // that tunnelled more than a ring's capacity to one target). While
+        // the advance loop runs, `send_tunnel`/`make_progress` retry the
+        // spill, but nothing on the exit path would — and a worker parked
+        // with a spilled marker deadlocks the whole mesh.
+        self.flush_all_spill_blocking();
+        let response = Response::AdvanceDone {
+            stats: *self.core.stats(),
+            next_wakeup: self.next_wakeup(),
+        };
+        self.push_response(response);
+    }
+
+    /// Spins until every spill queue has drained into its ring, keeping
+    /// the mesh live (incoming rings are drained into staging throughout,
+    /// so the consumers of our full rings can always make room).
+    fn flush_all_spill_blocking(&mut self) {
+        let mut wait = SpinWait::new();
+        while !self.spill.iter().all(VecDeque::is_empty) {
+            self.make_progress();
+            wait.spin();
+        }
+    }
+
+    /// Earliest due work on this core, tick-rounded: pipe deadlines, staged
+    /// remote descriptors, and tunnel arrivals filed in the local wheel.
+    fn next_wakeup(&self) -> Option<SimTime> {
+        let tunnel_next = self
+            .arrivals
+            .peek_time()
+            .map(|t| self.profile.next_tick_at(t));
+        [self.core.next_wakeup(), tunnel_next]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Queues a tunnel message to `target`, preserving per-ring FIFO order
+    /// and never blocking: overflow goes to the local spill, flushed as the
+    /// consumer makes room.
+    fn send_tunnel(&mut self, target: usize, message: TunnelMsg) {
+        self.flush_spill(target);
+        let producer = self.tunnel_out[target]
+            .as_mut()
+            .expect("tunnel targets are always peer cores");
+        if self.spill[target].is_empty() {
+            if let Err(back) = producer.try_push(message) {
+                self.spill[target].push_back(back);
+            }
+        } else {
+            // Ring order would be violated by pushing past older spill.
+            self.spill[target].push_back(message);
+        }
+    }
+
+    /// Pushes as much spilled backlog for `target` as the ring accepts.
+    fn flush_spill(&mut self, target: usize) {
+        let Some(producer) = self.tunnel_out[target].as_mut() else {
+            return;
+        };
+        while let Some(message) = self.spill[target].pop_front() {
+            if let Err(back) = producer.try_push(message) {
+                self.spill[target].push_front(back);
+                break;
+            }
+        }
+    }
+
+    /// Waits for `source`'s marker for `epoch`, filing every tunnelled
+    /// descriptor that precedes it. While waiting, keeps the whole mesh
+    /// live: flushes spill and drains other incoming rings into staging so
+    /// no producer can stay blocked on a full ring.
+    fn collect_marker(&mut self, source: usize, epoch: u64) -> bool {
+        let mut wait = SpinWait::new();
+        loop {
+            let message = self.staged[source].pop_front().or_else(|| {
+                self.tunnel_in[source]
+                    .as_mut()
+                    .expect("sources are always peer cores")
+                    .try_pop()
+            });
+            match message {
+                Some(TunnelMsg::Descriptor {
+                    arrival,
+                    descriptor,
+                }) => {
+                    self.arrivals.push(arrival, descriptor);
+                    wait.reset();
+                }
+                Some(TunnelMsg::Epoch {
+                    epoch: e,
+                    produced_due,
+                }) => {
+                    debug_assert_eq!(e, epoch, "epoch markers arrive in lockstep");
+                    return produced_due;
+                }
+                None => {
+                    self.make_progress();
+                    wait.spin();
+                }
+            }
+        }
+    }
+
+    /// One liveness pass: flush all spilled tunnels and drain every
+    /// incoming ring into its staging queue.
+    fn make_progress(&mut self) {
+        for target in 0..self.core_count {
+            if target != self.me {
+                self.flush_spill(target);
+            }
+        }
+        for source in 0..self.core_count {
+            if source == self.me {
+                continue;
+            }
+            let consumer = self.tunnel_in[source]
+                .as_mut()
+                .expect("sources are always peer cores");
+            while let Some(message) = consumer.try_pop() {
+                self.staged[source].push_back(message);
+            }
+        }
+    }
+
+    /// Blocking response push; the coordinator always drains the ring of
+    /// the worker it is waiting on, so this cannot deadlock.
+    fn push_response(&mut self, message: Response) {
+        let mut message = message;
+        let mut wait = SpinWait::new();
+        loop {
+            match self.responses.try_push(message) {
+                Ok(()) => return,
+                Err(back) => {
+                    message = back;
+                    self.make_progress();
+                    wait.spin();
+                }
+            }
+        }
+    }
+}
+
+/// Where a submitted packet's outcome comes from: resolved at the
+/// coordinator (local delivery, no route) or owed by an entry core.
+enum PendingOutcome {
+    Immediate(SubmitOutcome),
+    FromCore(usize),
+}
+
+/// Coordinator-side endpoint of one worker.
+struct WorkerHandle {
+    thread: Option<JoinHandle<()>>,
+    commands: Producer<Command>,
+    responses: Consumer<Response>,
+    /// Latest counters reported by the worker (refreshed on every ingress
+    /// and advance, the only operations that change them).
+    stats: CoreStats,
+    /// Latest wakeup reported by the worker.
+    next_wakeup: Option<SimTime>,
+    /// The binding's advisory CPU placement for this worker.
+    affinity_hint: Option<usize>,
+}
+
+impl WorkerHandle {
+    /// Sends a command (FIFO per worker) and wakes the thread if parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command ring is full and the worker thread died (a
+    /// live worker always drains its ring).
+    fn send(&mut self, command: Command) {
+        let mut command = command;
+        let mut wait = SpinWait::new();
+        loop {
+            match self.commands.try_push(command) {
+                Ok(()) => break,
+                Err(back) => {
+                    command = back;
+                    if let Some(thread) = &self.thread {
+                        thread.thread().unpark();
+                        assert!(
+                            !thread.is_finished(),
+                            "emulator core thread exited with commands pending (worker panic?)"
+                        );
+                    }
+                    wait.spin();
+                }
+            }
+        }
+        if let Some(thread) = &self.thread {
+            thread.thread().unpark();
+        }
+    }
+
+    /// Blocks until the worker's next response.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of hanging forever) if the worker thread died — a
+    /// panicked core would otherwise stall the coordinator silently.
+    fn wait_response(&mut self) -> Response {
+        let mut wait = SpinWait::new();
+        loop {
+            if let Some(response) = self.responses.try_pop() {
+                return response;
+            }
+            if self.thread.as_ref().is_some_and(|t| t.is_finished()) {
+                // The thread may have pushed its final response right
+                // before exiting (the Finish path); re-check once after
+                // observing the exit before declaring it dead.
+                if let Some(response) = self.responses.try_pop() {
+                    return response;
+                }
+                panic!("emulator core thread exited without responding (worker panic?)");
+            }
+            wait.spin();
+        }
+    }
+}
+
+/// The multi-threaded execution backend: the same emulation contract as
+/// [`MultiCoreEmulator`], with each core running on its own OS thread.
+///
+/// Construction spawns `pod.core_count()` worker threads; [`Drop`] (or
+/// [`ParallelEmulator::finish`]) stops and joins them. Results are
+/// bit-identical to the sequential backend — same deliveries, same order,
+/// same times, same counters — which the determinism and differential test
+/// suites pin.
+pub struct ParallelEmulator {
+    workers: Vec<WorkerHandle>,
+    pod: Arc<PipeOwnershipDirectory>,
+    matrix: RoutingMatrix,
+    routes: Arc<RouteTable>,
+    vn_location: Vec<NodeId>,
+    vn_entry_core: Vec<CoreId>,
+    local_deliveries: Vec<Delivery>,
+}
+
+impl std::fmt::Debug for ParallelEmulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelEmulator")
+            .field("core_count", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ParallelEmulator {
+    /// Builds the emulator and spawns one execution thread per core. Same
+    /// signature and semantics as [`MultiCoreEmulator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the POD covers a different number of pipes than the
+    /// distilled topology contains, or if a worker thread cannot be
+    /// spawned.
+    pub fn new(
+        topo: &DistilledTopology,
+        pod: PipeOwnershipDirectory,
+        matrix: RoutingMatrix,
+        binding: &Binding,
+        profile: HardwareProfile,
+        seed: u64,
+    ) -> Self {
+        let sequential = MultiCoreEmulator::new(topo, pod, matrix, binding, profile, seed);
+        Self::spawn(sequential, binding)
+    }
+
+    /// Converts a sequential emulator (including any in-flight state) into
+    /// the threaded backend. Without a binding there are no affinity hints;
+    /// use [`ParallelEmulator::new`] to carry them through.
+    pub fn from_sequential(emulator: MultiCoreEmulator) -> Self {
+        Self::spawn_with_hints(emulator, Vec::new())
+    }
+
+    fn spawn(emulator: MultiCoreEmulator, binding: &Binding) -> Self {
+        let hints = (0..emulator.core_count())
+            .map(|c| binding.thread_affinity(CoreId(c)))
+            .collect();
+        Self::spawn_with_hints(emulator, hints)
+    }
+
+    fn spawn_with_hints(emulator: MultiCoreEmulator, hints: Vec<Option<usize>>) -> Self {
+        let parts = emulator.into_parts();
+        let n = parts.cores.len();
+        let pod = Arc::new(parts.pod);
+        let profile = parts.profile;
+
+        // In-flight tunnels of the sequential backend become each target
+        // worker's initial arrival backlog; popping the shared wheel here
+        // preserves the global (time, seq) order per target.
+        let mut backlogs: Vec<Vec<(SimTime, Descriptor)>> = vec![Vec::new(); n];
+        let mut tunnels_in_flight = parts.tunnels_in_flight;
+        while let Some((arrival, (target, descriptor))) = tunnels_in_flight.pop() {
+            backlogs[target.index()].push((arrival, descriptor));
+        }
+
+        // Wire the ring mesh: commands/responses per worker plus one tunnel
+        // ring per ordered core pair.
+        let mut tunnel_producers: Vec<Vec<Option<Producer<TunnelMsg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut tunnel_consumers: Vec<Vec<Option<Consumer<TunnelMsg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for source in 0..n {
+            for target in 0..n {
+                if source != target {
+                    let (producer, consumer) = spsc::channel(TUNNEL_RING_CAPACITY);
+                    tunnel_producers[source][target] = Some(producer);
+                    tunnel_consumers[target][source] = Some(consumer);
+                }
+            }
+        }
+
+        let start = Arc::new(SpinBarrier::new(n));
+        let mut workers = Vec::with_capacity(n);
+        for (me, (core, backlog)) in parts.cores.into_iter().zip(backlogs).enumerate() {
+            let (command_tx, command_rx) = spsc::channel(COMMAND_RING_CAPACITY);
+            let (response_tx, response_rx) = spsc::channel(RESPONSE_RING_CAPACITY);
+            let affinity_hint = hints.get(me).copied().flatten();
+            let mut arrivals = TimerWheel::new();
+            for (arrival, descriptor) in backlog {
+                arrivals.push(arrival, descriptor);
+            }
+            let worker = Worker {
+                me,
+                core_count: n,
+                core,
+                pod: pod.clone(),
+                profile,
+                commands: command_rx,
+                responses: response_tx,
+                tunnel_out: std::mem::take(&mut tunnel_producers[me]),
+                tunnel_in: std::mem::take(&mut tunnel_consumers[me]),
+                staged: (0..n).map(|_| VecDeque::new()).collect(),
+                spill: (0..n).map(|_| VecDeque::new()).collect(),
+                arrivals,
+                epoch: 0,
+                tick_buf: TickOutput::default(),
+            };
+            let name = match affinity_hint {
+                Some(cpu) => format!("mn-core-{me}@cpu{cpu}"),
+                None => format!("mn-core-{me}"),
+            };
+            let barrier = start.clone();
+            let thread = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker.run(barrier))
+                .expect("spawn emulator core thread");
+            workers.push(WorkerHandle {
+                thread: Some(thread),
+                commands: command_tx,
+                responses: response_rx,
+                stats: CoreStats::default(),
+                next_wakeup: None,
+                affinity_hint,
+            });
+        }
+
+        let mut emulator = ParallelEmulator {
+            workers,
+            pod,
+            matrix: parts.matrix,
+            routes: parts.routes,
+            vn_location: parts.vn_location,
+            vn_entry_core: parts.vn_entry_core,
+            local_deliveries: parts.local_deliveries,
+        };
+        // Seed the cached per-worker state. A converted emulator may carry
+        // counters and scheduled deadlines from its sequential life.
+        emulator.refresh_caches();
+        emulator
+    }
+
+    /// Refreshes the cached per-worker stats and wakeups with a read-only
+    /// round trip (no ticks, no state change on any core).
+    fn refresh_caches(&mut self) {
+        for worker in &mut self.workers {
+            worker.send(Command::Query);
+        }
+        for worker in &mut self.workers {
+            match worker.wait_response() {
+                Response::Queried { stats, next_wakeup } => {
+                    worker.stats = stats;
+                    worker.next_wakeup = next_wakeup;
+                }
+                _ => unreachable!("Query is answered by Queried"),
+            }
+        }
+    }
+
+    /// Number of cooperating cores (and worker threads).
+    pub fn core_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The advisory host-CPU hint the binding supplied for a core's thread.
+    pub fn affinity_hint(&self, core: CoreId) -> Option<usize> {
+        self.workers.get(core.index()).and_then(|w| w.affinity_hint)
+    }
+
+    /// Latest counters reported by one core.
+    pub fn core_stats(&self, core: CoreId) -> Option<CoreStats> {
+        self.workers.get(core.index()).map(|w| w.stats)
+    }
+
+    /// Aggregated counters across cores (associative merge of the
+    /// per-thread drains).
+    pub fn total_stats(&self) -> CoreStats {
+        self.workers
+            .iter()
+            .fold(CoreStats::default(), |acc, w| acc.merged(&w.stats))
+    }
+
+    /// The routing matrix in force.
+    pub fn routing(&self) -> &RoutingMatrix {
+        &self.matrix
+    }
+
+    /// The interned route table in force.
+    pub fn route_table(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// The topology location a VN is bound to.
+    pub fn vn_location(&self, vn: VnId) -> Option<NodeId> {
+        self.vn_location.get(vn.index()).copied()
+    }
+
+    /// Replaces the routing matrix and installs the rebuilt route table on
+    /// every core thread. Route ids already in flight stay valid, exactly
+    /// as in [`MultiCoreEmulator::set_routing`].
+    pub fn set_routing(&mut self, matrix: RoutingMatrix) {
+        self.matrix = matrix;
+        self.routes = Arc::new(RouteTable::rebuild(
+            &self.routes,
+            &self.matrix,
+            &self.vn_location,
+        ));
+        for worker in &mut self.workers {
+            worker.send(Command::SetRoutes(self.routes.clone()));
+        }
+    }
+
+    /// Updates a pipe's emulation parameters on whichever core owns it.
+    pub fn update_pipe_attrs(&mut self, pipe: PipeId, attrs: PipeAttrs) -> bool {
+        let Some(owner) = self.pod.get_owner(pipe) else {
+            return false;
+        };
+        let worker = &mut self.workers[owner.index()];
+        worker.send(Command::UpdatePipe { pipe, attrs });
+        match worker.wait_response() {
+            Response::PipeUpdated(updated) => updated,
+            _ => unreachable!("UpdatePipe is answered by PipeUpdated"),
+        }
+    }
+
+    /// Routes a packet to its entry core (or resolves it locally), without
+    /// waiting for the core's admission decision.
+    fn dispatch(&mut self, now: SimTime, packet: Packet) -> PendingOutcome {
+        let src_idx = packet.flow.src.index();
+        let dst_idx = packet.flow.dst.index();
+        let Some(&src_loc) = self.vn_location.get(src_idx) else {
+            return PendingOutcome::Immediate(SubmitOutcome::NoRoute);
+        };
+        let Some(&dst_loc) = self.vn_location.get(dst_idx) else {
+            return PendingOutcome::Immediate(SubmitOutcome::NoRoute);
+        };
+        if src_loc == dst_loc {
+            self.local_deliveries.push(Delivery {
+                packet,
+                delivered_at: now,
+                entered_at: now,
+                hops: 0,
+                emulation_error: mn_util::SimDuration::ZERO,
+            });
+            return PendingOutcome::Immediate(SubmitOutcome::Accepted);
+        }
+        let Some(route) = self.routes.route_id(src_idx, dst_idx) else {
+            return PendingOutcome::Immediate(SubmitOutcome::NoRoute);
+        };
+        let entry = self
+            .vn_entry_core
+            .get(src_idx)
+            .copied()
+            .unwrap_or(CoreId(0));
+        let descriptor = Descriptor::new(packet, route, now);
+        self.workers[entry.index()].send(Command::Ingress { now, descriptor });
+        PendingOutcome::FromCore(entry.index())
+    }
+
+    /// Waits for one ingress reply from `worker`, refreshing its caches.
+    fn collect_ingress(worker: &mut WorkerHandle) -> SubmitOutcome {
+        match worker.wait_response() {
+            Response::Ingress {
+                outcome,
+                stats,
+                next_wakeup,
+            } => {
+                worker.stats = stats;
+                worker.next_wakeup = next_wakeup;
+                match outcome {
+                    IngressOutcome::Accepted => SubmitOutcome::Accepted,
+                    IngressOutcome::VirtualDrop => SubmitOutcome::VirtualDrop,
+                    IngressOutcome::PhysicalDropNic | IngressOutcome::PhysicalDropCpu => {
+                        SubmitOutcome::PhysicalDrop
+                    }
+                }
+            }
+            _ => unreachable!("Ingress is answered by Ingress"),
+        }
+    }
+
+    /// Submits a packet emitted by its source VN's edge node at time `now`.
+    /// Identical admission semantics to [`MultiCoreEmulator::submit`]; the
+    /// NIC/CPU/first-pipe decision runs on the entry core's thread.
+    pub fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome {
+        match self.dispatch(now, packet) {
+            PendingOutcome::Immediate(outcome) => outcome,
+            PendingOutcome::FromCore(index) => Self::collect_ingress(&mut self.workers[index]),
+        }
+    }
+
+    /// Submits a batch of timestamped packets, appending one outcome per
+    /// packet (in input order) to `outcomes`.
+    ///
+    /// Semantically identical to calling [`ParallelEmulator::submit`] per
+    /// packet — per-core admission order is the input order, so results are
+    /// bit-identical — but the coordinator pipelines the ring round trips
+    /// instead of blocking on each packet, which is the fast path for bulk
+    /// traffic drivers.
+    pub fn submit_batch<I>(&mut self, batch: I, outcomes: &mut Vec<SubmitOutcome>)
+    where
+        I: IntoIterator<Item = (SimTime, Packet)>,
+    {
+        let n = self.workers.len();
+        let mut pending: Vec<PendingOutcome> = Vec::new();
+        let mut outstanding = vec![0usize; n];
+        let mut collected: Vec<VecDeque<SubmitOutcome>> = vec![VecDeque::new(); n];
+        for (now, packet) in batch {
+            match self.dispatch(now, packet) {
+                PendingOutcome::FromCore(index) => {
+                    pending.push(PendingOutcome::FromCore(index));
+                    outstanding[index] += 1;
+                    // Keep the rings bounded: drain a core's replies before
+                    // its command/response rings can fill.
+                    if outstanding[index] >= MAX_OUTSTANDING_INGRESS {
+                        for _ in 0..outstanding[index] {
+                            let outcome = Self::collect_ingress(&mut self.workers[index]);
+                            collected[index].push_back(outcome);
+                        }
+                        outstanding[index] = 0;
+                    }
+                }
+                immediate => pending.push(immediate),
+            }
+        }
+        for (index, count) in outstanding.into_iter().enumerate() {
+            for _ in 0..count {
+                let outcome = Self::collect_ingress(&mut self.workers[index]);
+                collected[index].push_back(outcome);
+            }
+        }
+        for entry in pending {
+            outcomes.push(match entry {
+                PendingOutcome::Immediate(outcome) => outcome,
+                PendingOutcome::FromCore(index) => collected[index]
+                    .pop_front()
+                    .expect("every dispatched ingress was collected"),
+            });
+        }
+    }
+
+    /// The earliest time at which any core (or any in-flight tunnel) has
+    /// work due.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        let local = if self.local_deliveries.is_empty() {
+            None
+        } else {
+            Some(SimTime::ZERO)
+        };
+        self.workers
+            .iter()
+            .filter_map(|w| w.next_wakeup)
+            .chain(local)
+            .min()
+    }
+
+    /// Advances the emulation to time `now`, allocating a fresh delivery
+    /// buffer; see [`ParallelEmulator::advance_into`].
+    pub fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
+        let mut deliveries = Vec::new();
+        self.advance_into(now, &mut deliveries);
+        deliveries
+    }
+
+    /// Advances every core to time `now` concurrently. Deliveries are
+    /// appended in the exact order the sequential backend produces them
+    /// (local deliveries, then epoch-major / core-major).
+    pub fn advance_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
+        deliveries.append(&mut self.local_deliveries);
+        for worker in &mut self.workers {
+            worker.send(Command::Advance { now });
+        }
+        loop {
+            let mut more = false;
+            for (index, worker) in self.workers.iter_mut().enumerate() {
+                loop {
+                    match worker.wait_response() {
+                        Response::Delivery(delivery) => deliveries.push(delivery),
+                        Response::EpochEnd { more: worker_more } => {
+                            if index == 0 {
+                                more = worker_more;
+                            } else {
+                                debug_assert_eq!(
+                                    more, worker_more,
+                                    "epoch continue decisions agree across cores"
+                                );
+                            }
+                            break;
+                        }
+                        _ => unreachable!("advance streams deliveries then EpochEnd"),
+                    }
+                }
+            }
+            if !more {
+                break;
+            }
+        }
+        for worker in &mut self.workers {
+            match worker.wait_response() {
+                Response::AdvanceDone { stats, next_wakeup } => {
+                    worker.stats = stats;
+                    worker.next_wakeup = next_wakeup;
+                }
+                _ => unreachable!("advance ends with AdvanceDone"),
+            }
+        }
+    }
+
+    /// Stops every worker thread and returns the cores (accuracy logs,
+    /// pipe counters) in core order.
+    pub fn finish(mut self) -> Vec<EmulatorCore> {
+        self.shutdown()
+    }
+
+    /// Shutdown must never panic (it also runs from [`Drop`], possibly
+    /// during an unwind), so unlike the normal protocol paths it tolerates
+    /// a dead worker: stale responses a panicked worker left behind are
+    /// skipped, and its core is simply lost from the returned set.
+    fn shutdown(&mut self) -> Vec<EmulatorCore> {
+        let mut cores = Vec::new();
+        for worker in &mut self.workers {
+            let Some(thread) = worker.thread.take() else {
+                continue;
+            };
+            worker.send_on_thread(&thread, Command::Finish);
+            // Drain until the Core reply; a worker that died mid-protocol
+            // may have left deliveries or epoch markers queued ahead of it
+            // (or nothing at all).
+            loop {
+                match worker.wait_response_until_dead(&thread) {
+                    Some(Response::Core(core)) => {
+                        cores.push(*core);
+                        break;
+                    }
+                    Some(_) => continue,
+                    None => break, // panicked worker; join below reaps it
+                }
+            }
+            let _ = thread.join();
+        }
+        cores
+    }
+}
+
+impl WorkerHandle {
+    /// Like [`WorkerHandle::send`] for the shutdown path, where the join
+    /// handle has already been taken out of `self`. Gives up (dropping the
+    /// command) if the ring is full and the worker is dead.
+    fn send_on_thread(&mut self, thread: &JoinHandle<()>, command: Command) {
+        let mut command = command;
+        let mut wait = SpinWait::new();
+        loop {
+            match self.commands.try_push(command) {
+                Ok(()) => break,
+                Err(back) => {
+                    if thread.is_finished() {
+                        return;
+                    }
+                    command = back;
+                    thread.thread().unpark();
+                    wait.spin();
+                }
+            }
+        }
+        thread.thread().unpark();
+    }
+
+    /// Non-panicking [`WorkerHandle::wait_response`] for shutdown: returns
+    /// `None` if the worker exited without replying (a panicked worker).
+    fn wait_response_until_dead(&mut self, thread: &JoinHandle<()>) -> Option<Response> {
+        let mut wait = SpinWait::new();
+        loop {
+            if let Some(response) = self.responses.try_pop() {
+                return Some(response);
+            }
+            if thread.is_finished() {
+                // The final response may have been pushed just before exit.
+                return self.responses.try_pop();
+            }
+            wait.spin();
+        }
+    }
+}
+
+impl Drop for ParallelEmulator {
+    fn drop(&mut self) {
+        // When this drop runs during a panic unwind (e.g. the coordinator
+        // detected a dead worker), surviving workers may be wedged in an
+        // epoch collect waiting for the dead core forever — an orderly
+        // shutdown would hang and mask the original panic. Leak the
+        // threads instead; the process is on its way down.
+        if std::thread::panicking() {
+            return;
+        }
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_assign::{greedy_k_clusters, BindingParams};
+    use mn_distill::{distill, DistillationMode};
+    use mn_packet::{FlowKey, PacketId, Protocol, TcpFlags, TransportHeader};
+    use mn_topology::generators::{
+        path_pairs_topology, ring_topology, PathPairsParams, RingParams,
+    };
+    use mn_util::{DataRate, SimDuration};
+
+    fn tcp_packet(id: u64, src: VnId, dst: VnId, payload: u32, now: SimTime) -> Packet {
+        Packet::new(
+            PacketId(id),
+            FlowKey {
+                src,
+                dst,
+                src_port: 1000,
+                dst_port: 2000,
+                protocol: Protocol::Tcp,
+            },
+            TransportHeader::Tcp {
+                seq: 0,
+                ack: 0,
+                payload_len: payload,
+                flags: TcpFlags::ACK,
+                window: 65535,
+            },
+            now,
+        )
+    }
+
+    /// One delivery, reduced to the fields bit-identity must pin.
+    type DeliveryRecord = (u64, SimTime, SimTime, usize);
+
+    /// A ring workload split over `cores`, drained to idle on both
+    /// backends; returns every delivery field that must be bit-identical.
+    fn run_both(cores: usize) -> (Vec<DeliveryRecord>, CoreStats, CoreStats) {
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let build_seq = || {
+            let matrix = RoutingMatrix::build(&d);
+            let binding = Binding::bind(d.vns(), &BindingParams::new(2, cores));
+            let pod = greedy_k_clusters(&d, cores, 7);
+            (
+                MultiCoreEmulator::new(
+                    &d,
+                    pod,
+                    matrix,
+                    &binding,
+                    HardwareProfile::unconstrained(),
+                    11,
+                ),
+                binding,
+            )
+        };
+        let (mut seq, binding) = build_seq();
+        let seq_log = drive(&mut seq, &binding);
+        let (seq2, binding2) = build_seq();
+        let mut par = ParallelEmulator::from_sequential(seq2);
+        let par_log = drive(&mut par, &binding2);
+        assert_eq!(seq_log, par_log, "{cores}-core delivery streams diverge");
+        (seq_log, seq.total_stats(), par.total_stats())
+    }
+
+    /// One driver for both backends, so the bit-identity comparison cannot
+    /// silently diverge between two copies of the schedule.
+    fn drive(emu: &mut impl TestBackend, binding: &Binding) -> Vec<DeliveryRecord> {
+        let vns: Vec<VnId> = binding.vns().collect();
+        let mut log = Vec::new();
+        let mut id = 0u64;
+        for round in 0..4u64 {
+            let now = SimTime::from_micros(round * 900);
+            let _ = emu.advance(now);
+            for (i, &src) in vns.iter().enumerate() {
+                let dst = vns[(i + 3) % vns.len()];
+                emu.submit(now, tcp_packet(id, src, dst, 900, now));
+                id += 1;
+            }
+        }
+        let mut now = SimTime::ZERO;
+        for _ in 0..100_000 {
+            let Some(t) = emu.next_wakeup() else { break };
+            now = now.max(t);
+            for d in emu.advance(now) {
+                log.push((d.packet.id.0, d.delivered_at, d.entered_at, d.hops));
+            }
+        }
+        log
+    }
+
+    /// The driver operations shared by the two backends under test.
+    trait TestBackend {
+        fn submit(&mut self, now: SimTime, packet: Packet);
+        fn next_wakeup(&self) -> Option<SimTime>;
+        fn advance(&mut self, now: SimTime) -> Vec<Delivery>;
+    }
+
+    impl TestBackend for MultiCoreEmulator {
+        fn submit(&mut self, now: SimTime, packet: Packet) {
+            let _ = MultiCoreEmulator::submit(self, now, packet);
+        }
+        fn next_wakeup(&self) -> Option<SimTime> {
+            MultiCoreEmulator::next_wakeup(self)
+        }
+        fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
+            MultiCoreEmulator::advance(self, now)
+        }
+    }
+
+    impl TestBackend for ParallelEmulator {
+        fn submit(&mut self, now: SimTime, packet: Packet) {
+            let _ = ParallelEmulator::submit(self, now, packet);
+        }
+        fn next_wakeup(&self) -> Option<SimTime> {
+            ParallelEmulator::next_wakeup(self)
+        }
+        fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
+            ParallelEmulator::advance(self, now)
+        }
+    }
+
+    #[test]
+    fn single_core_parallel_matches_sequential() {
+        let (log, seq_stats, par_stats) = run_both(1);
+        assert!(!log.is_empty());
+        assert_eq!(seq_stats, par_stats);
+        assert_eq!(seq_stats.tunnels_out, 0);
+    }
+
+    #[test]
+    fn multi_core_parallel_matches_sequential_bit_for_bit() {
+        for cores in [2, 3, 4] {
+            let (log, seq_stats, par_stats) = run_both(cores);
+            assert!(!log.is_empty());
+            assert_eq!(seq_stats, par_stats, "{cores}-core stats diverge");
+        }
+        // The 4-way ring split genuinely tunnels.
+        let (_, stats, _) = run_both(4);
+        assert!(stats.tunnels_out > 0);
+        assert_eq!(stats.tunnels_out, stats.tunnels_in);
+    }
+
+    #[test]
+    fn zero_latency_tunnels_iterate_epochs_like_the_sequential_loop() {
+        // Unconstrained profile: tunnel latency zero, so a descriptor can
+        // cross cores several times within one advance call (multiple
+        // epochs). An 8-hop path split over 2 cores exercises it.
+        let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+            pairs: 1,
+            hops: 8,
+            bandwidth: DataRate::from_mbps(10),
+            end_to_end_latency: SimDuration::from_millis(10),
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, 2));
+        let pod = greedy_k_clusters(&d, 2, 7);
+        let mut emu = ParallelEmulator::new(
+            &d,
+            pod,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            1,
+        );
+        let src = binding.vn_at(pairs[0].0).unwrap();
+        let dst = binding.vn_at(pairs[0].1).unwrap();
+        for i in 0..10 {
+            let t = SimTime::from_micros(i * 500);
+            emu.advance(t);
+            emu.submit(t, tcp_packet(i, src, dst, 1460, t));
+        }
+        let mut delivered = 0;
+        let mut now = SimTime::ZERO;
+        for _ in 0..100_000 {
+            let Some(t) = emu.next_wakeup() else { break };
+            now = now.max(t);
+            delivered += emu.advance(now).len();
+        }
+        assert_eq!(delivered, 10);
+        let stats = emu.total_stats();
+        assert!(stats.tunnels_out > 0, "split 8-hop path must tunnel");
+        assert_eq!(stats.packets_delivered, 10);
+    }
+
+    #[test]
+    fn epoch_overflowing_a_tunnel_ring_does_not_deadlock_the_mesh() {
+        // 1200 disjoint 2-hop paths with the first hop on core 0 and the
+        // second on core 1: one scheduler tick emits 1200 tunnel messages
+        // core0 -> core1 in a single epoch — more than the ring capacity
+        // (1024), so the tail (including the epoch marker) spills. With a
+        // nonzero tunnel latency nothing is due after that epoch, the
+        // advance exits immediately, and the exit path must still flush
+        // the spill or core 1 waits for the marker forever.
+        const PATHS: u64 = 1200;
+        let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+            pairs: PATHS as usize,
+            hops: 2,
+            bandwidth: DataRate::from_mbps(100),
+            end_to_end_latency: SimDuration::from_millis(2),
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        // Bind every VN's entry to core 0 (a one-core binding over a
+        // two-core POD) so all 1200 second-hop tunnels land in one epoch.
+        let binding = Binding::bind(d.vns(), &BindingParams::new(1, 1));
+        let mut owners = vec![CoreId(0); d.pipe_count()];
+        for &(a, b) in &pairs {
+            let route = matrix.lookup(a, b).expect("disjoint path routes");
+            owners[route.pipes[1].index()] = CoreId(1);
+        }
+        let pod = PipeOwnershipDirectory::from_owners(owners, 2);
+        let mut profile = HardwareProfile::unconstrained();
+        profile.tunnel_latency = SimDuration::from_micros(20);
+        let mut emu = ParallelEmulator::new(&d, pod, matrix, &binding, profile, 3);
+        // Every packet enters at t=0 and exits its identical first pipe at
+        // the same tick.
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let src = binding.vn_at(a).unwrap();
+            let dst = binding.vn_at(b).unwrap();
+            let outcome = emu.submit(
+                SimTime::ZERO,
+                tcp_packet(i as u64, src, dst, 1000, SimTime::ZERO),
+            );
+            assert!(outcome.is_accepted());
+        }
+        let mut delivered = 0u64;
+        let mut now = SimTime::ZERO;
+        for _ in 0..100_000 {
+            let Some(t) = emu.next_wakeup() else { break };
+            now = now.max(t);
+            delivered += emu.advance(now).len() as u64;
+        }
+        assert_eq!(delivered, PATHS);
+        let stats = emu.total_stats();
+        assert_eq!(stats.tunnels_out, PATHS, "every path crosses cores once");
+        assert_eq!(stats.tunnels_in, PATHS);
+    }
+
+    #[test]
+    fn batched_submits_are_bit_identical_to_per_packet_submits() {
+        // submit_batch pipelines the ring round trips but must preserve
+        // per-core admission order — outcomes, deliveries and counters all
+        // match the one-at-a-time path, across both backends.
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let build = |cores: usize| {
+            let matrix = RoutingMatrix::build(&d);
+            let binding = Binding::bind(d.vns(), &BindingParams::new(2, cores));
+            let pod = greedy_k_clusters(&d, cores, 7);
+            (
+                MultiCoreEmulator::new(
+                    &d,
+                    pod,
+                    matrix,
+                    &binding,
+                    HardwareProfile::unconstrained(),
+                    11,
+                ),
+                binding,
+            )
+        };
+        let make_batch = |binding: &Binding| {
+            let vns: Vec<VnId> = binding.vns().collect();
+            let mut batch = Vec::new();
+            for i in 0..400u64 {
+                let now = SimTime::from_micros(i * 3);
+                let src = vns[i as usize % vns.len()];
+                let dst = vns[(i as usize + 3) % vns.len()];
+                batch.push((now, tcp_packet(i, src, dst, 700, now)));
+            }
+            batch
+        };
+        for cores in [1usize, 3] {
+            // Per-packet reference on the parallel backend.
+            let (seq, binding) = build(cores);
+            let mut one_by_one = ParallelEmulator::from_sequential(seq);
+            let reference: Vec<SubmitOutcome> = make_batch(&binding)
+                .into_iter()
+                .map(|(now, p)| one_by_one.submit(now, p))
+                .collect();
+            let drain = |emu: &mut ParallelEmulator| {
+                let mut log = Vec::new();
+                let mut now = SimTime::ZERO;
+                for _ in 0..100_000 {
+                    let Some(t) = emu.next_wakeup() else { break };
+                    now = now.max(t);
+                    for d in emu.advance(now) {
+                        log.push((d.packet.id.0, d.delivered_at, d.hops));
+                    }
+                }
+                log
+            };
+            let reference_log = drain(&mut one_by_one);
+            // Batched run.
+            let (seq, binding) = build(cores);
+            let mut batched = ParallelEmulator::from_sequential(seq);
+            let mut outcomes = Vec::new();
+            batched.submit_batch(make_batch(&binding), &mut outcomes);
+            assert_eq!(outcomes, reference, "{cores}-core outcomes diverge");
+            assert_eq!(drain(&mut batched), reference_log);
+            assert_eq!(batched.total_stats(), one_by_one.total_stats());
+            // And the sequential backend's batch shape agrees too.
+            let (mut seq, binding) = build(cores);
+            let mut seq_outcomes = Vec::new();
+            seq.submit_batch(make_batch(&binding), &mut seq_outcomes);
+            assert_eq!(seq_outcomes, reference);
+        }
+    }
+
+    #[test]
+    fn finish_returns_cores_with_their_logs() {
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 1,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, 2));
+        let pod = greedy_k_clusters(&d, 2, 3);
+        let mut emu = ParallelEmulator::new(
+            &d,
+            pod,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            5,
+        );
+        let vns: Vec<VnId> = binding.vns().collect();
+        emu.submit(
+            SimTime::ZERO,
+            tcp_packet(0, vns[0], vns[2], 500, SimTime::ZERO),
+        );
+        let mut now = SimTime::ZERO;
+        let mut delivered = 0;
+        for _ in 0..10_000 {
+            let Some(t) = emu.next_wakeup() else { break };
+            now = now.max(t);
+            delivered += emu.advance(now).len();
+        }
+        assert_eq!(delivered, 1);
+        let cores = emu.finish();
+        assert_eq!(cores.len(), 2);
+        let recorded: u64 = cores.iter().map(|c| c.accuracy().delivered()).sum();
+        assert_eq!(recorded, 1, "the delivery was recorded on some core");
+    }
+
+    #[test]
+    fn affinity_hints_flow_from_the_binding() {
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 1,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, 2).with_affinity_base(8));
+        let pod = greedy_k_clusters(&d, 2, 3);
+        let emu = ParallelEmulator::new(
+            &d,
+            pod,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            5,
+        );
+        assert_eq!(emu.affinity_hint(CoreId(0)), Some(8));
+        assert_eq!(emu.affinity_hint(CoreId(1)), Some(9));
+        assert_eq!(emu.affinity_hint(CoreId(7)), None);
+    }
+}

@@ -12,6 +12,11 @@
 //! * [`TimerWheel`] — the hierarchical timing wheel the per-packet scheduler
 //!   path runs on: `O(1)` push/pop for near-term deadlines, identical
 //!   deadline-then-insertion-order semantics to [`EventHeap`].
+//! * [`spsc`] — bounded single-producer/single-consumer rings, the
+//!   lock-free queues the parallel execution backend tunnels descriptors
+//!   through.
+//! * [`sync`] — spin/yield backoff and a sense-reversing spin barrier for
+//!   the epoch synchronisation of the parallel backend.
 //! * [`stats`] — CDFs, histograms, throughput meters and summary statistics
 //!   used by the measurement infrastructure and the benchmark harness.
 //! * [`rngs`] — seeded RNG construction helpers so every experiment is
@@ -20,7 +25,9 @@
 pub mod event;
 pub mod rate;
 pub mod rngs;
+pub mod spsc;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod wheel;
 
@@ -28,5 +35,6 @@ pub use event::{EventHeap, EventKey};
 pub use rate::{ByteSize, DataRate};
 pub use rngs::seeded_rng;
 pub use stats::{Cdf, Histogram, RunningStats, ThroughputMeter};
+pub use sync::{SpinBarrier, SpinWait};
 pub use time::{SimDuration, SimTime};
 pub use wheel::TimerWheel;

@@ -1,0 +1,173 @@
+//! Epoch-synchronisation helpers for the parallel emulation backend.
+//!
+//! The parallel backend keeps its core threads in lockstep with *epoch
+//! markers* flowing through the same SPSC rings as the tunnelled
+//! descriptors (see `mn-emucore`), so there is no central lock to contend
+//! on. What remains here is the small amount of shared-state signalling
+//! that framing cannot express:
+//!
+//! * [`SpinWait`] — an adaptive backoff for the wait loops: a few
+//!   `spin_loop` hints while the peer is probably mid-operation, then
+//!   `yield_now` so a single-CPU host (or an oversubscribed one) still
+//!   makes progress instead of burning a whole scheduler quantum.
+//! * [`SpinBarrier`] — a sense-reversing barrier used once per emulator
+//!   lifecycle to hold every worker at the starting line until all rings
+//!   are wired, and by tests that need threads released simultaneously.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many busy spins [`SpinWait`] performs before it starts yielding the
+/// CPU to the scheduler.
+const SPINS_BEFORE_YIELD: u32 = 16;
+
+/// Adaptive wait loop: spin briefly, then yield.
+///
+/// # Examples
+///
+/// ```
+/// use mn_util::sync::SpinWait;
+///
+/// let mut wait = SpinWait::new();
+/// let mut tries = 0;
+/// while tries < 3 {
+///     tries += 1; // poll something...
+///     wait.spin(); // ...and back off between polls
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SpinWait {
+    spins: u32,
+}
+
+impl SpinWait {
+    /// A fresh backoff state.
+    pub fn new() -> Self {
+        SpinWait { spins: 0 }
+    }
+
+    /// Backs off once: a pipeline hint for the first few calls, a scheduler
+    /// yield from then on. Call [`SpinWait::reset`] after useful work.
+    #[inline]
+    pub fn spin(&mut self) {
+        if self.spins < SPINS_BEFORE_YIELD {
+            self.spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Forgets accumulated backoff after the caller made progress.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.spins = 0;
+    }
+}
+
+/// A sense-reversing spin barrier for a fixed party count.
+///
+/// Unlike [`std::sync::Barrier`] this never takes a lock, so it is safe to
+/// use from threads that must keep polling rings with bounded latency; on
+/// oversubscribed hosts the wait degrades to `yield_now` rather than a
+/// blocking park.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    parties: usize,
+    /// Arrivals in the current generation.
+    arrived: AtomicUsize,
+    /// Generation counter; bumping it releases the waiters.
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of threads the barrier synchronises.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Blocks (spinning, then yielding) until all parties have arrived.
+    /// Returns `true` on exactly one caller per generation (the last
+    /// arrival), mirroring `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arrival: reset the count and open the next generation.
+            self.arrived.store(0, Ordering::Release);
+            self.generation.store(generation + 1, Ordering::Release);
+            true
+        } else {
+            let mut wait = SpinWait::new();
+            while self.generation.load(Ordering::Acquire) == generation {
+                wait.spin();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_wait_is_callable_many_times() {
+        let mut w = SpinWait::new();
+        for _ in 0..100 {
+            w.spin();
+        }
+        w.reset();
+        w.spin();
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait(), "the only party is always the leader");
+        }
+    }
+
+    #[test]
+    fn barrier_releases_all_parties_each_generation() {
+        const PARTIES: usize = 4;
+        const GENERATIONS: usize = 25;
+        let barrier = Arc::new(SpinBarrier::new(PARTIES));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..PARTIES)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    let mut leader_count = 0;
+                    for g in 0..GENERATIONS {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        if barrier.wait() {
+                            leader_count += 1;
+                            // Everyone has incremented for this generation.
+                            assert_eq!(counter.load(Ordering::SeqCst), (g + 1) * PARTIES);
+                        }
+                    }
+                    leader_count
+                })
+            })
+            .collect();
+        let leaders: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(leaders, GENERATIONS, "exactly one leader per generation");
+        assert_eq!(counter.load(Ordering::SeqCst), PARTIES * GENERATIONS);
+    }
+}

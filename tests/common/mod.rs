@@ -1,0 +1,55 @@
+//! Shared generators for the repository-level test suites.
+
+use proptest::prelude::*;
+
+use mn_topology::{LinkAttrs, NodeKind, Topology};
+use mn_util::rngs::seeded_rng;
+use mn_util::{DataRate, SimDuration};
+
+/// A random connected topology whose link latencies are powers of two:
+/// distinct links carry distinct powers, so no two different link subsets
+/// can sum to the same path latency (unique binary representation). The
+/// latency-shortest path between any node pair is therefore unique, and
+/// independent path computations (the reference simulator, the routing
+/// matrix, `shortest_path`) cannot tie-break differently.
+///
+/// `loss` is the loss rate applied to the stub backbone links (client
+/// access links and chords stay loss-free); pass `Just(0.0)` for the
+/// loss-free variant where every submitted packet must be delivered.
+pub fn arb_unique_path_topology(
+    loss: impl Strategy<Value = f64>,
+) -> impl Strategy<Value = Topology> {
+    (3usize..8, 2usize..7, any::<u64>(), loss).prop_map(|(stubs, clients, seed, loss)| {
+        use rand::Rng;
+        let mut rng = seeded_rng(seed);
+        let mut k = 0u32;
+        let mut next_latency = move || {
+            k += 1;
+            SimDuration::from_micros(1u64 << k)
+        };
+        let mut topo = Topology::new();
+        let stub_ids: Vec<_> = (0..stubs).map(|_| topo.add_node(NodeKind::Stub)).collect();
+        for w in stub_ids.windows(2) {
+            let attrs = LinkAttrs::new(DataRate::from_mbps(rng.gen_range(5..100)), next_latency())
+                .with_loss(loss);
+            topo.add_link(w[0], w[1], attrs).unwrap();
+        }
+        for _ in 0..stubs / 2 {
+            let a = stub_ids[rng.gen_range(0..stubs)];
+            let b = stub_ids[rng.gen_range(0..stubs)];
+            let joined = a == b || topo.neighbors(a).any(|(v, _)| v == b);
+            if !joined {
+                let attrs =
+                    LinkAttrs::new(DataRate::from_mbps(rng.gen_range(5..100)), next_latency());
+                let _ = topo.add_link(a, b, attrs);
+            }
+        }
+        for _ in 0..clients {
+            let c = topo.add_node(NodeKind::Client);
+            let s = stub_ids[rng.gen_range(0..stubs)];
+            let attrs = LinkAttrs::new(DataRate::from_mbps(rng.gen_range(5..20)), next_latency());
+            topo.add_link(c, s, attrs).unwrap();
+        }
+        topo
+    })
+}

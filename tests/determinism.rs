@@ -11,11 +11,12 @@
 
 use mn_assign::{greedy_k_clusters, Binding, BindingParams};
 use mn_distill::{distill, DistillationMode};
-use mn_emucore::{CoreStats, HardwareProfile, MultiCoreEmulator};
+use mn_emucore::{CoreStats, HardwareProfile, MultiCoreEmulator, ParallelEmulator};
 use mn_packet::{FlowKey, Packet, PacketId, Protocol, TcpFlags, TransportHeader, VnId};
 use mn_routing::RoutingMatrix;
 use mn_topology::generators::{ring_topology, RingParams};
 use mn_util::{SimDuration, SimTime};
+use modelnet::EmulatorBackend;
 
 fn tcp_packet(id: u64, src: VnId, dst: VnId, now: SimTime) -> Packet {
     Packet::new(
@@ -86,6 +87,117 @@ fn run_workload(cores: usize, seed: u64) -> (CoreStats, Vec<DeliveryRecord>) {
     }
     deliveries.sort_unstable();
     (emu.total_stats(), deliveries)
+}
+
+/// Builds the same emulation [`run_workload`] uses, without driving it.
+fn build_emulator(cores: usize, seed: u64) -> (MultiCoreEmulator, Binding) {
+    let topo = ring_topology(&RingParams {
+        routers: 6,
+        clients_per_router: 2,
+        ..RingParams::default()
+    });
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(4, cores));
+    let pod = greedy_k_clusters(&d, cores, 7);
+    let emu = MultiCoreEmulator::new(
+        &d,
+        pod,
+        matrix,
+        &binding,
+        HardwareProfile::unconstrained(),
+        seed,
+    );
+    (emu, binding)
+}
+
+/// The full-fidelity delivery record for bit-identity checks: packet id,
+/// delivery and entry times, hop count, accumulated scheduling error —
+/// kept in raw arrival order (NOT sorted), so stream order is pinned too.
+type StrictRecord = (u64, SimTime, SimTime, usize, SimDuration);
+
+/// Drives the standard burst workload on either backend (dispatch through
+/// the same [`EmulatorBackend`] the Runner uses — one driver, one schedule,
+/// no per-backend copies to drift apart).
+fn drive_strict(binding: &Binding, emu: &mut EmulatorBackend) -> Vec<StrictRecord> {
+    let vns: Vec<VnId> = binding.vns().collect();
+    let mut id = 0u64;
+    for round in 0..5u64 {
+        let now = SimTime::from_micros(round * 700);
+        for (i, &src) in vns.iter().enumerate() {
+            let dst = vns[(i + 3) % vns.len()];
+            let _ = emu.submit(now, tcp_packet(id, src, dst, now));
+            id += 1;
+        }
+    }
+    let mut log = Vec::new();
+    let mut deliveries = Vec::new();
+    let mut now = SimTime::ZERO;
+    for _ in 0..1_000_000 {
+        let Some(t) = emu.next_wakeup() else { break };
+        now = now.max(t);
+        deliveries.clear();
+        emu.advance_into(now, &mut deliveries);
+        log.extend(deliveries.iter().map(|d| {
+            (
+                d.packet.id.0,
+                d.delivered_at,
+                d.entered_at,
+                d.hops,
+                d.emulation_error,
+            )
+        }));
+    }
+    log
+}
+
+#[test]
+fn parallel_backend_is_bit_identical_to_sequential() {
+    // The headline contract of the threaded backend: same deliveries, in
+    // the same stream order, at the same times, with the same accumulated
+    // error and the same counters — at every core count.
+    for cores in [1usize, 2, 4] {
+        let (seq, binding) = build_emulator(cores, 42);
+        let mut seq = EmulatorBackend::Sequential(seq);
+        let seq_log = drive_strict(&binding, &mut seq);
+        let (seq2, binding2) = build_emulator(cores, 42);
+        let mut par = EmulatorBackend::Threaded(ParallelEmulator::from_sequential(seq2));
+        let par_log = drive_strict(&binding2, &mut par);
+        assert!(!seq_log.is_empty());
+        assert_eq!(
+            seq_log, par_log,
+            "{cores}-core parallel delivery stream must be bit-identical"
+        );
+        assert_eq!(
+            seq.total_stats(),
+            par.total_stats(),
+            "{cores}-core parallel counters must be bit-identical"
+        );
+        for c in 0..cores {
+            let core = mn_assign::CoreId(c);
+            assert_eq!(
+                seq.core_stats(core),
+                par.core_stats(core),
+                "core {c} counters must match per-thread"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_backend_reruns_are_byte_identical() {
+    // The threaded backend is itself deterministic across reruns, despite
+    // OS scheduling: thread interleaving must never leak into results.
+    let run = || {
+        let (seq, binding) = build_emulator(4, 42);
+        let mut par = EmulatorBackend::Threaded(ParallelEmulator::from_sequential(seq));
+        let log = drive_strict(&binding, &mut par);
+        (log, par.total_stats())
+    };
+    let (log_a, stats_a) = run();
+    let (log_b, stats_b) = run();
+    assert_eq!(log_a, log_b);
+    assert_eq!(stats_a, stats_b);
 }
 
 #[test]

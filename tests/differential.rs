@@ -1,0 +1,349 @@
+//! Differential accuracy suite — the paper's emulator-vs-simulator
+//! validation, plus the determinism contract of the parallel backend.
+//!
+//! ModelNet validates its emulation against ns-2 (Figure 5, Figure 12);
+//! here the role of the independent reference is played by `mn_refsim`,
+//! which shares no code with the emulation path. Two families of checks:
+//!
+//! 1. **Emulator vs. reference simulator.** Random distilled topologies and
+//!    packet workloads run through `MultiCoreEmulator` at 1, 2 and 4 cores;
+//!    per-packet delivery times must land inside the analytic window the
+//!    reference model predicts (propagation + transmission, plus at most
+//!    one scheduler tick per hop), hop counts must match the reference
+//!    route hop-for-hop, and loss-free workloads must be drop-free on both
+//!    sides. A congestion workload additionally pins steady-state
+//!    throughput to the reference's max-min fair share.
+//! 2. **Sequential vs. parallel bit-identity.** The same random workloads
+//!    run through the threaded `ParallelEmulator`; delivery streams
+//!    (order, ids, times, hops, accumulated error) and per-core counter
+//!    totals must be *exactly* equal to the sequential backend's.
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::arb_unique_path_topology;
+use mn_assign::{greedy_k_clusters, Binding, BindingParams};
+use mn_distill::{distill, DistillationMode};
+use mn_emucore::{HardwareProfile, MultiCoreEmulator, ParallelEmulator};
+use mn_packet::{FlowKey, Packet, PacketId, Protocol, TcpFlags, TransportHeader, VnId};
+use mn_refsim::{max_min_fair_share, FlowSpec};
+use mn_routing::RoutingMatrix;
+use mn_topology::generators::{ring_topology, RingParams};
+use mn_topology::{NodeId, Topology};
+use mn_util::{DataRate, SimDuration, SimTime};
+
+fn tcp_packet(id: u64, src: VnId, dst: VnId, payload: u32, now: SimTime) -> Packet {
+    Packet::new(
+        PacketId(id),
+        FlowKey {
+            src,
+            dst,
+            src_port: 1000,
+            dst_port: 2000,
+            protocol: Protocol::Tcp,
+        },
+        TransportHeader::Tcp {
+            seq: 0,
+            ack: 0,
+            payload_len: payload,
+            flags: TcpFlags::ACK,
+            window: 65535,
+        },
+        now,
+    )
+}
+
+fn udp_packet(id: u64, src: VnId, dst: VnId, payload: u32, now: SimTime) -> Packet {
+    Packet::new(
+        PacketId(id),
+        FlowKey {
+            src,
+            dst,
+            src_port: 1000,
+            dst_port: 2000,
+            protocol: Protocol::Udp,
+        },
+        TransportHeader::Udp {
+            payload_len: payload,
+            seq: id,
+        },
+        now,
+    )
+}
+
+fn build_emulator(topo: &Topology, cores: usize, seed: u64) -> (MultiCoreEmulator, Binding) {
+    let d = distill(topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(2, cores));
+    let pod = greedy_k_clusters(&d, cores, seed);
+    let emu = MultiCoreEmulator::new(
+        &d,
+        pod,
+        matrix,
+        &binding,
+        HardwareProfile::unconstrained(),
+        seed,
+    );
+    (emu, binding)
+}
+
+fn drain_to_idle(emu: &mut MultiCoreEmulator, from: SimTime) -> Vec<mn_emucore::Delivery> {
+    let mut now = from;
+    let mut all = Vec::new();
+    for _ in 0..100_000 {
+        let Some(t) = emu.next_wakeup() else { break };
+        now = now.max(t);
+        all.extend(emu.advance(now));
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Uncongested per-packet differential: every delivery lands inside the
+    /// analytic window predicted by the reference simulator's route, with
+    /// the reference's hop count, on 1, 2 and 4 cores, with zero drops —
+    /// and core count shifts delivery times by at most one tick per hop.
+    #[test]
+    fn emulator_delivery_times_agree_with_the_reference_model(
+        topo in arb_unique_path_topology(Just(0.0)),
+    ) {
+        let payload: u32 = 1000;
+        let clients: Vec<NodeId> = topo.client_nodes().collect();
+        let flows: Vec<FlowSpec> = (0..clients.len())
+            .map(|i| FlowSpec {
+                src: clients[i],
+                dst: clients[(i + 1) % clients.len()],
+            })
+            .collect();
+        // Reference model: unique latency-shortest routes, max-min rates.
+        // Each flow is referenced alone (the emulator workload below is
+        // serial, one packet in flight at a time), so the reference rate is
+        // the path's bottleneck bandwidth.
+        let reference: Vec<_> = flows
+            .iter()
+            .map(|&flow| max_min_fair_share(&topo, &[flow]).remove(0))
+            .collect();
+        let tick = SimDuration::from_micros(100);
+        // (per flow, per core count) delivery times for the skew check.
+        let mut times: Vec<Vec<SimTime>> = vec![Vec::new(); flows.len()];
+        for cores in [1usize, 2, 4] {
+            let (mut emu, binding) = build_emulator(&topo, cores, 7);
+            for (fi, flow) in flows.iter().enumerate() {
+                let src = binding.vn_at(flow.src).expect("client is bound");
+                let dst = binding.vn_at(flow.dst).expect("client is bound");
+                // One packet at a time, emulator drained to idle between
+                // packets: zero queueing, so the analytic window applies.
+                let pkt = tcp_packet(fi as u64, src, dst, payload, SimTime::ZERO);
+                let size = pkt.size;
+                let outcome = emu.submit(SimTime::ZERO, pkt);
+                prop_assert!(outcome.is_accepted(), "loss-free link must accept");
+                let deliveries = drain_to_idle(&mut emu, SimTime::ZERO);
+                prop_assert_eq!(deliveries.len(), 1, "no drops on loss-free links");
+                let d = &deliveries[0];
+                let reference_flow = &reference[fi];
+                prop_assert_eq!(d.hops, reference_flow.hops,
+                    "emulated route length matches the reference route");
+                let delay = d.core_delay();
+                let bottleneck_tx = reference_flow.rate.transmission_time(size);
+                let lower = reference_flow.latency + bottleneck_tx;
+                let upper = reference_flow.latency
+                    + bottleneck_tx * d.hops as u64
+                    + tick * (d.hops as u64 + 1);
+                prop_assert!(delay >= lower,
+                    "cores={} flow={} delay {} below reference window start {}",
+                    cores, fi, delay, lower);
+                prop_assert!(delay <= upper,
+                    "cores={} flow={} delay {} above reference window end {}",
+                    cores, fi, delay, upper);
+                times[fi].push(d.delivered_at);
+            }
+            let stats = emu.total_stats();
+            prop_assert_eq!(stats.packets_delivered, flows.len() as u64);
+            prop_assert_eq!(stats.physical_drops(), 0);
+        }
+        // Hop-for-hop agreement across core counts: same packets, same
+        // routes, delivery-time skew bounded by one tick per core crossing
+        // (at most one per hop) plus the tick-quantised delivery.
+        for (fi, per_core) in times.iter().enumerate() {
+            let hops = reference[fi].hops as u64;
+            for pair in per_core.windows(2) {
+                let skew = if pair[0] >= pair[1] { pair[0] - pair[1] } else { pair[1] - pair[0] };
+                prop_assert!(skew <= tick * (hops + 1),
+                    "flow {} skew {} exceeds a tick per hop", fi, skew);
+            }
+        }
+    }
+
+    /// Sequential-vs-parallel bit-identity on random topologies and random
+    /// burst workloads: the threaded backend must reproduce the sequential
+    /// delivery stream *exactly* — order, ids, times, hops, accumulated
+    /// error — and the merged per-thread counters must equal the
+    /// sequential totals.
+    #[test]
+    fn parallel_backend_is_bit_identical_on_random_workloads(
+        topo in arb_unique_path_topology(Just(0.0)),
+        bursts in prop::collection::vec(
+            (0usize..64, 0usize..64, 0u64..20_000, 40u32..1460),
+            1..40,
+        ),
+        cores_choice in 0usize..3,
+    ) {
+        let cores = [1usize, 2, 4][cores_choice];
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, cores));
+        let pod = greedy_k_clusters(&d, cores, 11);
+        let build = || MultiCoreEmulator::new(
+            &d,
+            pod.clone(),
+            matrix.clone(),
+            &binding,
+            HardwareProfile::unconstrained(),
+            23,
+        );
+        let vns: Vec<VnId> = binding.vns().collect();
+        // The identical driver schedule for both backends: interleaved
+        // submits and advances at increasing times, then drain to idle.
+        enum Step {
+            Submit(SimTime, Packet),
+            Advance(SimTime),
+        }
+        let mut schedule = Vec::new();
+        let mut clock = 0u64;
+        for (i, &(a, b, dt, payload)) in bursts.iter().enumerate() {
+            clock += dt;
+            let now = SimTime::from_micros(clock);
+            let src = vns[a % vns.len()];
+            let dst = vns[b % vns.len()];
+            schedule.push(Step::Advance(now));
+            schedule.push(Step::Submit(now, udp_packet(i as u64, src, dst, payload, now)));
+        }
+        type Record = (u64, SimTime, SimTime, usize, SimDuration);
+        let record = |d: &mn_emucore::Delivery| {
+            (d.packet.id.0, d.delivered_at, d.entered_at, d.hops, d.emulation_error)
+        };
+        // Sequential run.
+        let mut seq = build();
+        let mut seq_log: Vec<Record> = Vec::new();
+        let mut seq_outcomes = Vec::new();
+        for step in &schedule {
+            match step {
+                Step::Advance(now) => {
+                    seq_log.extend(seq.advance(*now).iter().map(&record));
+                }
+                Step::Submit(now, pkt) => {
+                    seq_outcomes.push(seq.submit(*now, *pkt));
+                }
+            }
+        }
+        let mut now = SimTime::from_micros(clock);
+        for _ in 0..200_000 {
+            let Some(t) = seq.next_wakeup() else { break };
+            now = now.max(t);
+            seq_log.extend(seq.advance(now).iter().map(&record));
+        }
+        let seq_stats = seq.total_stats();
+        // Parallel run over the identical schedule.
+        let mut par = ParallelEmulator::from_sequential(build());
+        let mut par_log: Vec<Record> = Vec::new();
+        let mut par_outcomes = Vec::new();
+        for step in &schedule {
+            match step {
+                Step::Advance(now) => {
+                    par_log.extend(par.advance(*now).iter().map(&record));
+                }
+                Step::Submit(now, pkt) => {
+                    par_outcomes.push(par.submit(*now, *pkt));
+                }
+            }
+        }
+        let mut now = SimTime::from_micros(clock);
+        for _ in 0..200_000 {
+            let Some(t) = par.next_wakeup() else { break };
+            now = now.max(t);
+            par_log.extend(par.advance(now).iter().map(&record));
+        }
+        prop_assert_eq!(seq_outcomes, par_outcomes, "submit outcomes diverge");
+        prop_assert_eq!(seq_log, par_log, "delivery streams diverge");
+        prop_assert_eq!(seq_stats, par.total_stats(), "counters diverge");
+    }
+}
+
+/// Congested differential: two flows pushed at twice their fair share
+/// through the paper's ring must settle at the reference simulator's
+/// max-min allocation (the access links, 2 Mb/s each).
+#[test]
+fn congested_throughput_matches_reference_fair_share() {
+    let topo = ring_topology(&RingParams {
+        routers: 2,
+        clients_per_router: 2,
+        ..RingParams::default()
+    });
+    let clients: Vec<NodeId> = topo.client_nodes().collect();
+    // Cross-ring flows: client 0 -> client 2, client 1 -> client 3.
+    let flows = [
+        FlowSpec {
+            src: clients[0],
+            dst: clients[2],
+        },
+        FlowSpec {
+            src: clients[1],
+            dst: clients[3],
+        },
+    ];
+    let reference = max_min_fair_share(&topo, &flows);
+    for allocation in &reference {
+        assert_eq!(allocation.rate, DataRate::from_mbps(2), "access-limited");
+    }
+    let (mut emu, binding) = build_emulator(&topo, 1, 3);
+    let vn = |node| binding.vn_at(node).expect("client is bound");
+    // Offer 4 Mb/s per flow: a 1000-byte datagram every 2 ms for 2 s.
+    let payload: u32 = 1000;
+    let mut id = 0u64;
+    let mut delivered_payload = [0u64; 2];
+    let horizon = SimTime::from_secs(2);
+    let mut now = SimTime::ZERO;
+    while now < horizon {
+        for flow in &flows {
+            let _ = emu.submit(
+                now,
+                udp_packet(id, vn(flow.src), vn(flow.dst), payload, now),
+            );
+            id += 1;
+        }
+        now += SimDuration::from_millis(2);
+        for delivery in emu.advance(now) {
+            let fi = if delivery.packet.flow.src == vn(flows[0].src) {
+                0
+            } else {
+                1
+            };
+            delivered_payload[fi] += delivery.packet.header.payload_len() as u64;
+        }
+    }
+    // Let the queues drain and count the tail.
+    for delivery in drain_to_idle(&mut emu, now) {
+        let fi = if delivery.packet.flow.src == vn(flows[0].src) {
+            0
+        } else {
+            1
+        };
+        delivered_payload[fi] += delivery.packet.header.payload_len() as u64;
+    }
+    for (fi, &bytes) in delivered_payload.iter().enumerate() {
+        let goodput_mbps = bytes as f64 * 8.0 / 2.0 / 1e6;
+        let reference_mbps = reference[fi].rate.as_mbps_f64();
+        assert!(
+            goodput_mbps >= reference_mbps * 0.75 && goodput_mbps <= reference_mbps * 1.15,
+            "flow {fi}: emulated goodput {goodput_mbps:.2} Mb/s should track \
+             the reference fair share {reference_mbps:.2} Mb/s"
+        );
+    }
+    // The 2x overload genuinely exercised queue-overflow drops.
+    let stats = emu.total_stats();
+    assert!(stats.packets_delivered < id, "overload must drop virtually");
+    assert_eq!(stats.physical_drops(), 0, "drops are virtual, not physical");
+}

@@ -1,0 +1,240 @@
+//! Distillation invariants (§4.1 of the paper), pinned across all four
+//! modes on generated topologies: pipe counts, the collapse arithmetic
+//! (minimum bandwidth, summed latency, multiplied reliability), route
+//! length bounds, and the paper's "last-mile" configuration.
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::arb_unique_path_topology;
+
+use mn_distill::{distill, frontier_sets, DistillationMode};
+use mn_routing::route_between;
+use mn_topology::generators::{ring_topology, RingParams};
+use mn_topology::paths::{shortest_path, PathMetric};
+use mn_topology::{LinkAttrs, NodeId, NodeKind, Topology};
+use mn_util::{DataRate, SimDuration};
+
+/// Undirected pipe count the paper's last-mile distillation must produce:
+/// every client access link preserved, plus a full mesh over the reachable
+/// non-client interior.
+fn expected_last_mile_pipes(topo: &Topology) -> usize {
+    let levels = frontier_sets(topo);
+    let is_client = |n: NodeId| -> bool { matches!(levels[n.index()], Some(1)) };
+    let preserved = topo
+        .links()
+        .filter(|(_, l)| is_client(l.a) || is_client(l.b))
+        .count();
+    let interior = topo
+        .node_ids()
+        .filter(|&n| matches!(levels[n.index()], Some(l) if l > 1))
+        .count();
+    preserved + interior * (interior - 1) / 2
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hop-by-hop distillation is isomorphic to the target: two directed
+    /// pipes per link, each carrying its link's exact attributes.
+    #[test]
+    fn hop_by_hop_pipe_count_and_attrs(topo in arb_unique_path_topology(0.0f64..0.05)) {
+        let d = distill(&topo, DistillationMode::HopByHop);
+        prop_assert_eq!(d.pipe_count(), 2 * topo.link_count());
+        prop_assert_eq!(d.undirected_pipe_count(), topo.link_count());
+        for (_, pipe) in d.pipes() {
+            // The source link is the unique link joining the pipe's ends.
+            let link = topo
+                .links()
+                .find(|(_, l)| {
+                    (l.a == pipe.src && l.b == pipe.dst) || (l.a == pipe.dst && l.b == pipe.src)
+                })
+                .map(|(_, l)| l)
+                .expect("every pipe mirrors a target link");
+            prop_assert_eq!(pipe.attrs.bandwidth, link.attrs.bandwidth);
+            prop_assert_eq!(pipe.attrs.latency, link.attrs.latency);
+            prop_assert!((pipe.attrs.reliability() - link.attrs.reliability()).abs() < 1e-12);
+        }
+    }
+
+    /// End-to-end distillation is a full mesh over the VNs whose collapsed
+    /// pipes carry exactly (min bandwidth, sum latency, product
+    /// reliability) of the unique shortest path.
+    #[test]
+    fn end_to_end_collapse_arithmetic(topo in arb_unique_path_topology(0.0f64..0.05)) {
+        let d = distill(&topo, DistillationMode::EndToEnd);
+        let vns: Vec<NodeId> = topo.client_nodes().collect();
+        let n = vns.len();
+        prop_assert_eq!(d.undirected_pipe_count(), n * (n - 1) / 2);
+        prop_assert_eq!(d.max_route_pipes(), 1);
+        for (i, &a) in vns.iter().enumerate() {
+            for &b in vns.iter().skip(i + 1) {
+                let path = shortest_path(&topo, a, b, PathMetric::Latency)
+                    .expect("connected topology");
+                let pipe = d.pipe(d.find_pipe(a, b).expect("mesh pipe exists"));
+                prop_assert_eq!(pipe.attrs.bandwidth, path.bottleneck_bandwidth(&topo),
+                    "collapsed bandwidth is the path minimum");
+                prop_assert_eq!(pipe.attrs.latency, path.total_latency(&topo),
+                    "collapsed latency is the path sum");
+                prop_assert!(
+                    (pipe.attrs.reliability() - path.reliability(&topo)).abs() < 1e-9,
+                    "collapsed reliability is the path product"
+                );
+            }
+        }
+    }
+
+    /// Walk-in 1 produces the paper's last-mile pipe count — preserved
+    /// access links plus a full interior mesh — and its mesh pipes carry
+    /// the same collapse arithmetic as end-to-end pipes.
+    #[test]
+    fn walk_in_one_is_the_last_mile_distillation(topo in arb_unique_path_topology(0.0f64..0.05)) {
+        let d = distill(&topo, DistillationMode::WalkIn { walk_in: 1 });
+        prop_assert_eq!(d.undirected_pipe_count(), expected_last_mile_pipes(&topo));
+        // WalkIn{1} and the LAST_MILE alias are the same configuration.
+        let alias = distill(&topo, DistillationMode::LAST_MILE);
+        prop_assert_eq!(alias.undirected_pipe_count(), d.undirected_pipe_count());
+        // Mesh pipes (both endpoints interior) collapse their unique
+        // shortest path.
+        let levels = frontier_sets(&topo);
+        let interior = |n: NodeId| matches!(levels[n.index()], Some(l) if l > 1);
+        let mut mesh_pipes = 0usize;
+        for (_, pipe) in d.pipes() {
+            if interior(pipe.src) && interior(pipe.dst) {
+                mesh_pipes += 1;
+                let path = shortest_path(&topo, pipe.src, pipe.dst, PathMetric::Latency)
+                    .expect("connected topology");
+                prop_assert_eq!(pipe.attrs.latency, path.total_latency(&topo));
+                prop_assert_eq!(pipe.attrs.bandwidth, path.bottleneck_bandwidth(&topo));
+                prop_assert!(
+                    (pipe.attrs.reliability() - path.reliability(&topo)).abs() < 1e-9
+                );
+            }
+        }
+        let interior_count = topo
+            .node_ids()
+            .filter(|&n| interior(n))
+            .count();
+        prop_assert_eq!(mesh_pipes, interior_count * (interior_count - 1),
+            "directed mesh covers every interior pair");
+    }
+
+    /// Route-length invariants per mode. End-to-end and the last-mile walk
+    /// guarantee a hard per-route pipe bound (1 and `2*walk_in + 1`); the
+    /// deeper walks guarantee that collapsing never *lengthens* a route —
+    /// every distilled route takes at most as many pipes as the target
+    /// network's own shortest path takes links.
+    #[test]
+    fn route_lengths_respect_the_mode_bound(topo in arb_unique_path_topology(0.0f64..0.05)) {
+        let hard_bound = [
+            DistillationMode::EndToEnd,
+            DistillationMode::WalkIn { walk_in: 1 },
+        ];
+        let never_longer = [
+            DistillationMode::WalkIn { walk_in: 2 },
+            DistillationMode::WalkInOut { walk_in: 1, walk_out: 1 },
+        ];
+        let vns: Vec<NodeId> = topo.client_nodes().collect();
+        for mode in hard_bound {
+            let d = distill(&topo, mode);
+            let bound = d.max_route_pipes();
+            for &a in &vns {
+                for &b in &vns {
+                    if a == b {
+                        continue;
+                    }
+                    let route = route_between(&d, a, b)
+                        .unwrap_or_else(|| panic!("{mode:?}: no route {a} -> {b}"));
+                    prop_assert!(
+                        route.hop_count() <= bound,
+                        "{:?}: route {} -> {} takes {} pipes, bound {}",
+                        mode, a, b, route.hop_count(), bound
+                    );
+                }
+            }
+        }
+        for mode in never_longer {
+            let d = distill(&topo, mode);
+            for &a in &vns {
+                for &b in &vns {
+                    if a == b {
+                        continue;
+                    }
+                    let route = route_between(&d, a, b)
+                        .unwrap_or_else(|| panic!("{mode:?}: no route {a} -> {b}"));
+                    let real = shortest_path(&topo, a, b, PathMetric::Latency)
+                        .expect("connected topology");
+                    prop_assert!(
+                        route.hop_count() <= real.hop_count(),
+                        "{:?}: distilled route {} -> {} takes {} pipes but the \
+                         target path is only {} links",
+                        mode, a, b, route.hop_count(), real.hop_count()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The last-mile count on the paper's ring family, parametrised:
+/// `routers * clients` access pipes plus `C(routers, 2)` mesh pipes.
+#[test]
+fn last_mile_counts_on_the_paper_ring_family() {
+    for (routers, clients) in [(4usize, 2usize), (8, 3), (20, 20)] {
+        let topo = ring_topology(&RingParams {
+            routers,
+            clients_per_router: clients,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::LAST_MILE);
+        let expected = routers * clients + routers * (routers - 1) / 2;
+        assert_eq!(
+            d.undirected_pipe_count(),
+            expected,
+            "ring({routers},{clients}): access + interior mesh"
+        );
+        assert_eq!(d.undirected_pipe_count(), expected_last_mile_pipes(&topo));
+        assert_eq!(d.max_route_pipes(), 3, "client-mesh-client");
+    }
+}
+
+/// Walk-in/walk-out on a chain: the under-provisioned core is preserved
+/// link-for-link, the remaining interior meshes around it, and collapsed
+/// pipes sum the chain latencies they replace.
+#[test]
+fn walk_in_out_preserves_the_core_and_collapses_around_it() {
+    // client - s1 - s2 - s3 - s4 - s5 - client, 1 ms per link.
+    let mut topo = Topology::new();
+    let a = topo.add_node(NodeKind::Client);
+    let stubs: Vec<NodeId> = (0..5).map(|_| topo.add_node(NodeKind::Stub)).collect();
+    let b = topo.add_node(NodeKind::Client);
+    let attrs = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+    topo.add_link(a, stubs[0], attrs).unwrap();
+    for w in stubs.windows(2) {
+        topo.add_link(w[0], w[1], attrs).unwrap();
+    }
+    topo.add_link(stubs[4], b, attrs).unwrap();
+
+    let d = distill(
+        &topo,
+        DistillationMode::WalkInOut {
+            walk_in: 1,
+            walk_out: 1,
+        },
+    );
+    // Frontiers: {a,b}=1, {s1,s5}=2, {s2,s4}=3, {s3}=4; core = {s2,s3,s4}.
+    // Preserved: 2 access links + 2 core-internal links (s2-s3, s3-s4).
+    // Mesh nodes: interior {s1, s5} plus core boundary {s2, s4}; all pairs
+    // except the core-core pair (s2,s4) get collapsed pipes: C(4,2)-1 = 5.
+    assert_eq!(d.undirected_pipe_count(), 2 + 2 + 5);
+    // The collapsed s1 -> s5 pipe replaces the four-link chain.
+    let collapsed = d.pipe(d.find_pipe(stubs[0], stubs[4]).expect("mesh pipe"));
+    assert_eq!(collapsed.attrs.latency, SimDuration::from_millis(4));
+    assert_eq!(collapsed.attrs.bandwidth, DataRate::from_mbps(10));
+    // Preserved core links keep their original single-hop attributes.
+    let core_link = d.pipe(d.find_pipe(stubs[1], stubs[2]).expect("core link"));
+    assert_eq!(core_link.attrs.latency, SimDuration::from_millis(1));
+    // Routes fit the advertised bound (2*walk_in + 1 + |core|).
+    assert_eq!(d.max_route_pipes(), 2 + 1 + 3);
+}

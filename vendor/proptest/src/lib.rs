@@ -74,6 +74,18 @@ pub trait Strategy: Sized {
     }
 }
 
+/// A strategy that always yields a clone of one value
+/// (`proptest::strategy::Just` upstream, re-exported from the prelude).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
 /// The result of [`Strategy::prop_map`].
 pub struct Map<S, F> {
     inner: S,
@@ -334,7 +346,7 @@ macro_rules! proptest {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
-    pub use crate::{Arbitrary, OneOf, ProptestConfig, Strategy};
+    pub use crate::{Arbitrary, Just, OneOf, ProptestConfig, Strategy};
 }
 
 #[cfg(test)]
