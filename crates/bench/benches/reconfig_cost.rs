@@ -1,0 +1,196 @@
+//! Reconfiguration cost: what a 1-link flap costs while the emulation is
+//! loaded (the dynamics tentpole's figure of merit).
+//!
+//! The workload is 1024 disjoint 2-hop duplex paths — 4096 directed pipes —
+//! warmed so (nearly) every pipe holds an in-flight descriptor. Three
+//! operations are measured against that state:
+//!
+//! * `flap_incremental` — fail one link (both directions) and restore it,
+//!   each step through [`MultiCoreEmulator::reroute`]: only the affected
+//!   source trees are recomputed and only the changed pairs re-wired, with
+//!   every untouched `RouteId` (and in-flight descriptor) preserved.
+//! * `flap_scratch` — the same flap through the pre-dynamics path: a full
+//!   `RoutingMatrix::build` (one Dijkstra per VN) plus
+//!   [`MultiCoreEmulator::set_routing`]'s total route-table rebuild, per
+//!   step. This is what every reconfiguration used to cost.
+//! * `renegotiate_in_place` — a pure bandwidth renegotiation (no routing
+//!   impact): two `update_pipe_attrs` calls, the dynamics engine's hot
+//!   operation.
+//!
+//! A run writes `BENCH_reconfig.json` via `mn_bench::report`; CI uploads it
+//! with the other bench artifacts.
+
+use criterion::{criterion_group, Criterion};
+
+use mn_assign::{Binding, BindingParams, PipeOwnershipDirectory};
+use mn_distill::{distill, DistillationMode, DistilledTopology, PipeAttrs};
+use mn_emucore::{HardwareProfile, MultiCoreEmulator};
+use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
+use mn_routing::RoutingMatrix;
+use mn_topology::generators::{path_pairs_topology, PathPairsParams};
+use mn_topology::NodeId;
+use mn_util::{DataRate, SimDuration, SimTime};
+
+const PAIRS: usize = 1024; // 2 hops duplex => 4096 directed pipes
+
+fn udp_packet(id: u64, src: VnId, dst: VnId, now: SimTime) -> Packet {
+    Packet::new(
+        PacketId(id),
+        FlowKey {
+            src,
+            dst,
+            src_port: 1000,
+            dst_port: 2000,
+            protocol: Protocol::Udp,
+        },
+        TransportHeader::Udp {
+            payload_len: 1000,
+            seq: id,
+        },
+        now,
+    )
+}
+
+/// Builds the loaded emulator: 4096 pipes with an in-flight descriptor in
+/// (nearly) every one, plus the mutable pipe graph and the flap victim.
+fn loaded_emulator() -> (
+    MultiCoreEmulator,
+    DistilledTopology,
+    [mn_distill::PipeId; 2],
+    usize,
+) {
+    let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+        pairs: PAIRS,
+        hops: 2,
+        bandwidth: DataRate::from_mbps(100),
+        end_to_end_latency: SimDuration::from_millis(8),
+    });
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(2, 1));
+    let pod = PipeOwnershipDirectory::single_core(d.pipe_count());
+    let mut emu = MultiCoreEmulator::new(
+        &d,
+        pod,
+        matrix,
+        &binding,
+        HardwareProfile::unconstrained(),
+        7,
+    );
+    let endpoint = |node: NodeId| binding.vn_at(node).expect("endpoint bound");
+    // Two waves: wave A advances onto the second hop of every path, wave B
+    // then occupies the first hops — every pipe ends up with an in-flight
+    // descriptor parked in it.
+    let mut id = 0u64;
+    for &(a, b) in &pairs {
+        for (src, dst) in [(a, b), (b, a)] {
+            let _ = emu.submit(
+                SimTime::ZERO,
+                udp_packet(id, endpoint(src), endpoint(dst), SimTime::ZERO),
+            );
+            id += 1;
+        }
+    }
+    let mid = SimTime::from_millis(5); // first hop exits at ~4 ms + tx
+    let _ = emu.advance(mid);
+    for &(a, b) in &pairs {
+        for (src, dst) in [(a, b), (b, a)] {
+            let _ = emu.submit(mid, udp_packet(id, endpoint(src), endpoint(dst), mid));
+            id += 1;
+        }
+    }
+    let pending: usize = emu.cores().iter().map(|c| c.in_flight()).sum();
+    // The flap victim: both directions of pair 0's first link.
+    let route = emu
+        .route_table()
+        .route_id(endpoint(pairs[0].0).index(), endpoint(pairs[0].1).index())
+        .expect("pair 0 routes");
+    let first = emu.route_table().pipes(route)[0];
+    let reverse = {
+        let p = d.pipe(first);
+        d.find_pipe(p.dst, p.src).expect("duplex link")
+    };
+    (emu, d, [first, reverse], pending)
+}
+
+fn bench_reconfig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfig_cost");
+    {
+        let (mut emu, mut d, victims, pending) = loaded_emulator();
+        assert!(pending >= PAIRS * 3, "warm state holds {pending} in flight");
+        let original = [d.pipe(victims[0]).attrs, d.pipe(victims[1]).attrs];
+        group.bench_function("flap_incremental_4096_pipes", |b| {
+            b.iter(|| {
+                for &p in &victims {
+                    d.pipe_attrs_mut(p).unwrap().bandwidth = DataRate::ZERO;
+                }
+                let down = emu.reroute(&d, &victims);
+                for (&p, &attrs) in victims.iter().zip(&original) {
+                    *d.pipe_attrs_mut(p).unwrap() = attrs;
+                }
+                let up = emu.reroute(&d, &victims);
+                std::hint::black_box((down, up));
+            })
+        });
+    }
+    {
+        let (mut emu, mut d, victims, _) = loaded_emulator();
+        let original = [d.pipe(victims[0]).attrs, d.pipe(victims[1]).attrs];
+        group.bench_function("flap_scratch_4096_pipes", |b| {
+            b.iter(|| {
+                for &p in &victims {
+                    d.pipe_attrs_mut(p).unwrap().bandwidth = DataRate::ZERO;
+                }
+                emu.set_routing(RoutingMatrix::build(&d));
+                for (&p, &attrs) in victims.iter().zip(&original) {
+                    *d.pipe_attrs_mut(p).unwrap() = attrs;
+                }
+                emu.set_routing(RoutingMatrix::build(&d));
+            })
+        });
+    }
+    {
+        let (mut emu, d, victims, _) = loaded_emulator();
+        let base = d.pipe(victims[0]).attrs;
+        let slow = PipeAttrs {
+            bandwidth: base.bandwidth.mul_f64(0.5),
+            ..base
+        };
+        group.bench_function("renegotiate_in_place_4096_pipes", |b| {
+            b.iter(|| {
+                std::hint::black_box(emu.update_pipe_attrs(victims[0], slow));
+                std::hint::black_box(emu.update_pipe_attrs(victims[0], base));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfig);
+
+fn main() {
+    if criterion::invoked_as_test() {
+        return;
+    }
+    let results = benches();
+    let mut rows: Vec<(String, f64, u64)> = Vec::new();
+    let mut by_name = std::collections::HashMap::new();
+    for r in &results {
+        by_name.insert(r.name.clone(), r.mean_ns);
+        rows.push((r.name.clone(), r.mean_ns, r.iters));
+        println!("{:<44} {:>14.0} ns/iter", r.name, r.mean_ns);
+    }
+    if let (Some(&incremental), Some(&scratch)) = (
+        by_name.get("reconfig_cost/flap_incremental_4096_pipes"),
+        by_name.get("reconfig_cost/flap_scratch_4096_pipes"),
+    ) {
+        println!(
+            "incremental flap is {:.1}x cheaper than a from-scratch rebuild",
+            scratch / incremental
+        );
+    }
+    match mn_bench::report::write_bench_json("reconfig", &rows) {
+        Ok(path) => println!("bench report written to {path}"),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
+}

@@ -55,6 +55,7 @@ pub struct Experiment {
     require_connected: bool,
     backend: ExecutionBackend,
     affinity_base: Option<usize>,
+    schedule: Option<mn_dynamics::Schedule>,
 }
 
 impl Experiment {
@@ -71,7 +72,18 @@ impl Experiment {
             require_connected: true,
             backend: ExecutionBackend::Sequential,
             affinity_base: None,
+            schedule: None,
         }
+    }
+
+    /// Installs a runtime reconfiguration schedule: link failures and
+    /// recoveries, bandwidth/latency renegotiation, node churn and CBR
+    /// cross-traffic changes are applied mid-run at their scheduled virtual
+    /// times, without restarting the experiment. Both execution backends
+    /// apply the same schedule identically (bit-for-bit deliveries).
+    pub fn with_schedule(mut self, schedule: mn_dynamics::Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
     }
 
     /// Chooses the execution backend (default: sequential). Both backends
@@ -159,10 +171,11 @@ impl Experiment {
     /// Like [`Experiment::build`], but also hands back the distilled pipe
     /// graph for callers that want to inspect or perturb it (the dynamic
     /// network-change machinery needs it).
-    pub fn build_with_distilled(self) -> Result<(Runner, DistilledTopology), ExperimentError> {
+    pub fn build_with_distilled(mut self) -> Result<(Runner, DistilledTopology), ExperimentError> {
         if self.topology.client_count() == 0 {
             return Err(ExperimentError::NoClients);
         }
+        let schedule = self.schedule.take();
         if self.require_connected && !self.topology.is_connected() {
             return Err(ExperimentError::Disconnected);
         }
@@ -196,7 +209,14 @@ impl Experiment {
                 self.seed,
             )),
         };
-        Ok((Runner::with_backend(backend, binding, self.tcp), distilled))
+        let mut runner = Runner::with_backend(backend, binding, self.tcp);
+        if let Some(schedule) = schedule {
+            runner.install_schedule(mn_dynamics::ScheduleEngine::new(
+                distilled.clone(),
+                schedule,
+            ));
+        }
+        Ok((runner, distilled))
     }
 }
 
@@ -270,6 +290,157 @@ mod tests {
         let threaded = run(ExecutionBackend::Threaded);
         assert!(sequential.0.is_some(), "the bounded flow completes");
         assert_eq!(sequential, threaded);
+    }
+
+    #[test]
+    fn scheduled_dynamics_are_bit_identical_across_backends_and_core_counts() {
+        // The acceptance bar for runtime reconfiguration: a schedule with
+        // three link failures/recoveries plus a CBR cross-traffic episode,
+        // driven through the full Runner (TCP dynamics included), produces
+        // bit-identical results on the sequential and threaded backends at
+        // 1, 2 and 4 cores.
+        use mn_util::{ByteSize, DataRate, SimDuration, SimTime};
+        let topo = small_ring();
+        // Identify the ring (router-to-router) duplex pipes from an
+        // identical distillation to the one the experiment will run.
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let ring_pipes: Vec<(mn_distill::PipeId, mn_distill::PipeId)> = d
+            .pipes()
+            .filter(|(_, p)| {
+                !d.vns().contains(&p.src) && !d.vns().contains(&p.dst) && p.src < p.dst
+            })
+            .map(|(id, p)| (id, d.find_pipe(p.dst, p.src).expect("duplex")))
+            .collect();
+        assert!(ring_pipes.len() >= 3, "a 4-router ring has 4 ring links");
+        let t = SimTime::from_millis;
+        let schedule = || {
+            let cbr =
+                mn_pipe::CbrConfig::new(DataRate::from_mbps(1), mn_util::ByteSize::from_bytes(700));
+            mn_dynamics::Schedule::new()
+                .duplex_down(t(500), ring_pipes[0].0, ring_pipes[0].1)
+                .duplex_up(t(1500), ring_pipes[0].0, ring_pipes[0].1)
+                .duplex_down(t(2000), ring_pipes[1].0, ring_pipes[1].1)
+                .duplex_up(t(3000), ring_pipes[1].0, ring_pipes[1].1)
+                .duplex_down(t(3500), ring_pipes[2].0, ring_pipes[2].1)
+                .duplex_up(t(4500), ring_pipes[2].0, ring_pipes[2].1)
+                .cbr_start(t(1000), ring_pipes[3].0, cbr)
+                .cbr_stop(t(4000), ring_pipes[3].0)
+        };
+        let run = |backend: ExecutionBackend, cores: usize| {
+            let mut runner = Experiment::new(small_ring())
+                .distillation(DistillationMode::HopByHop)
+                .cores(cores)
+                .edge_nodes(4)
+                .unconstrained_hardware()
+                .seed(13)
+                .backend(backend)
+                .with_schedule(schedule())
+                .build()
+                .unwrap();
+            let vns = runner.vn_ids();
+            let f1 =
+                runner.add_bulk_flow(vns[0], vns[4], Some(ByteSize::from_kb(128)), SimTime::ZERO);
+            let f2 = runner.add_bulk_flow(vns[2], vns[6], None, SimTime::from_millis(100));
+            let udp = runner.add_udp_flow(
+                vns[1],
+                vns[5],
+                mn_transport::UdpStreamConfig {
+                    payload: 500,
+                    rate: DataRate::from_kbps(400),
+                    max_datagrams: Some(2000),
+                },
+                SimTime::ZERO,
+            );
+            runner.run_for(SimDuration::from_secs(6));
+            let engine = runner.dynamics().expect("schedule installed");
+            assert!(engine.finished(), "all events applied by t=6s");
+            (
+                runner.flow_completed_at(f1),
+                runner.flow_bytes_acked(f1),
+                runner.flow_bytes_acked(f2),
+                runner.flow_retransmissions(f2),
+                runner.udp_flow_received(udp),
+                runner.packets_delivered(),
+                runner.backend().total_stats(),
+            )
+        };
+        for cores in [1usize, 2, 4] {
+            let sequential = run(ExecutionBackend::Sequential, cores);
+            let threaded = run(ExecutionBackend::Threaded, cores);
+            assert_eq!(sequential, threaded, "{cores}-core runs diverge");
+            assert!(sequential.6.cbr_injected > 0, "CBR episode ran");
+            assert!(sequential.1 > 0, "traffic flowed through the dynamics");
+        }
+    }
+
+    #[test]
+    fn schedule_survives_link_loss_and_recovers_throughput() {
+        // Behavioural check on top of bit-identity: a failover schedule on
+        // a dumbbell with two parallel bottlenecks degrades a flow while
+        // its path is down and recovers it afterwards.
+        use mn_util::{DataRate, SimDuration, SimTime};
+        // a - r1 - b  (fast) and a - r2 - b (slow detour).
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let b = topo.add_node(NodeKind::Client);
+        let r1 = topo.add_node(NodeKind::Stub);
+        let r2 = topo.add_node(NodeKind::Stub);
+        let fast =
+            mn_topology::LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+        let slow = mn_topology::LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(4));
+        topo.add_link(a, r1, fast).unwrap();
+        topo.add_link(
+            r1,
+            b,
+            mn_topology::LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(2)),
+        )
+        .unwrap();
+        topo.add_link(a, r2, slow).unwrap();
+        topo.add_link(
+            r2,
+            b,
+            mn_topology::LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(8)),
+        )
+        .unwrap();
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let fwd = d.find_pipe(a, r1).unwrap();
+        let rev = d.find_pipe(r1, a).unwrap();
+        let schedule = mn_dynamics::Schedule::new()
+            .duplex_down(SimTime::from_secs(4), fwd, rev)
+            .duplex_up(SimTime::from_secs(8), fwd, rev);
+        let mut runner = Experiment::new(topo)
+            .distillation(DistillationMode::HopByHop)
+            .cores(1)
+            .edge_nodes(2)
+            .unconstrained_hardware()
+            .seed(3)
+            .with_schedule(schedule)
+            .build()
+            .unwrap();
+        let binding = runner.binding().clone();
+        let src = binding.vn_at(a).unwrap();
+        let dst = binding.vn_at(b).unwrap();
+        let flow = runner.add_bulk_flow(src, dst, None, SimTime::ZERO);
+        let mut acked_at = Vec::new();
+        for step in 1..=12u64 {
+            runner.run_until(SimTime::from_secs(step));
+            acked_at.push(runner.flow_bytes_acked(flow));
+        }
+        let rate = |from: usize, to: usize| {
+            (acked_at[to] - acked_at[from]) as f64 * 8.0 / (to - from) as f64 / 1e6
+        };
+        let before = rate(1, 3); // t=2..4s on the 10 Mb/s path
+        let during = rate(5, 7); // t=6..8s on the 2 Mb/s detour
+        let after = rate(9, 11); // t=10..12s back on the fast path
+        assert!(before > 6.0, "fast path before failure: {before} Mb/s");
+        assert!(
+            during > 0.4 && during < 2.4,
+            "detour throughput while down: {during} Mb/s"
+        );
+        assert!(
+            after > 6.0,
+            "throughput recovers after restore: {after} Mb/s"
+        );
     }
 
     #[test]

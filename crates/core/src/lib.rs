@@ -58,9 +58,11 @@ pub use runner::{EmulatorBackend, ExecutionBackend, FlowId, Runner, UdpFlowId};
 // Re-export the pieces users need to drive the pipeline by hand.
 pub use mn_assign::{Binding, BindingParams, CoreId, PipeOwnershipDirectory};
 pub use mn_distill::{distill, DistillationMode, DistilledTopology};
+pub use mn_dynamics::{DynamicsTarget, Schedule, ScheduleEngine, ScheduleEvent};
 pub use mn_edge::{AppAction, AppCtx, Application, Message};
 pub use mn_emucore::{HardwareProfile, MultiCoreEmulator, ParallelEmulator};
 pub use mn_packet::VnId;
+pub use mn_pipe::CbrConfig;
 pub use mn_routing::RoutingMatrix;
 pub use mn_topology::{LinkAttrs, NodeId, NodeKind, Topology};
 pub use mn_transport::TcpConfig;

@@ -147,6 +147,66 @@ impl EmulatorBackend {
             EmulatorBackend::Threaded(emu) => emu.update_pipe_attrs(pipe, attrs),
         }
     }
+
+    /// Installs, replaces or (with `None`) removes the CBR background
+    /// injector on a pipe, on whichever core owns it.
+    pub fn set_pipe_cbr(
+        &mut self,
+        pipe: mn_distill::PipeId,
+        config: Option<mn_pipe::CbrConfig>,
+        from: SimTime,
+    ) -> bool {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.set_pipe_cbr(pipe, config, from),
+            EmulatorBackend::Threaded(emu) => emu.set_pipe_cbr(pipe, config, from),
+        }
+    }
+
+    /// Applies an incremental routing change after the listed pipes of
+    /// `topo` were mutated in place: only affected shortest-route trees are
+    /// recomputed and only changed pairs re-wired; untouched `RouteId`s
+    /// (and descriptors in flight on them) are preserved.
+    pub fn reroute(
+        &mut self,
+        topo: &mn_distill::DistilledTopology,
+        changed: &[mn_distill::PipeId],
+    ) -> mn_routing::RouteUpdate {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.reroute(topo, changed),
+            EmulatorBackend::Threaded(emu) => emu.reroute(topo, changed),
+        }
+    }
+}
+
+/// The execution backends are what the dynamics engine reconfigures: both
+/// expose in-place pipe mutation, CBR injection and incremental rerouting
+/// through one dispatch point, so a [`mn_dynamics::Schedule`] applies
+/// identically (bit for bit) whichever backend drives the run.
+impl mn_dynamics::DynamicsTarget for EmulatorBackend {
+    fn update_pipe_attrs(
+        &mut self,
+        pipe: mn_distill::PipeId,
+        attrs: mn_distill::PipeAttrs,
+    ) -> bool {
+        EmulatorBackend::update_pipe_attrs(self, pipe, attrs)
+    }
+
+    fn set_pipe_cbr(
+        &mut self,
+        pipe: mn_distill::PipeId,
+        config: Option<mn_pipe::CbrConfig>,
+        from: SimTime,
+    ) -> bool {
+        EmulatorBackend::set_pipe_cbr(self, pipe, config, from)
+    }
+
+    fn reroute(
+        &mut self,
+        topo: &mn_distill::DistilledTopology,
+        changed: &[mn_distill::PipeId],
+    ) -> mn_routing::RouteUpdate {
+        EmulatorBackend::reroute(self, topo, changed)
+    }
 }
 
 /// Identifier of a TCP flow or application channel created on the runner.
@@ -175,6 +235,8 @@ enum Event {
     UdpPoll { flow: usize },
     /// A bulk flow starts transmitting.
     FlowStart { ch: usize },
+    /// A reconfiguration apply point: the dynamics schedule has events due.
+    Reconfig,
 }
 
 /// Per-direction message framing state of an application channel.
@@ -260,6 +322,10 @@ pub struct Runner {
     /// Reusable buffer the emulator drains deliveries into; capacity
     /// persists across wakeups so the steady state allocates nothing.
     delivery_buf: Vec<Delivery>,
+    /// Runtime reconfiguration engine, when the experiment carries a
+    /// dynamics schedule. Taken out of the slot while applying (the engine
+    /// mutates the backend, which also lives on `self`).
+    dynamics: Option<mn_dynamics::ScheduleEngine>,
 }
 
 impl Runner {
@@ -295,7 +361,27 @@ impl Runner {
             emu_wakeup_at: None,
             apps_started: false,
             delivery_buf: Vec::new(),
+            dynamics: None,
         }
+    }
+
+    /// Installs a runtime reconfiguration engine: every scheduled event
+    /// time becomes an apply point in the driver's event queue, where the
+    /// engine mutates pipe parameters in place, installs/removes CBR
+    /// injectors and incrementally reroutes — identically on both
+    /// execution backends. Usually called through
+    /// [`crate::Experiment::with_schedule`].
+    pub fn install_schedule(&mut self, engine: mn_dynamics::ScheduleEngine) {
+        for at in engine.schedule().times() {
+            self.events.push(at.max(self.now), Event::Reconfig);
+        }
+        self.dynamics = Some(engine);
+    }
+
+    /// The reconfiguration engine, if a schedule is installed (its
+    /// topology view reflects every change applied so far).
+    pub fn dynamics(&self) -> Option<&mn_dynamics::ScheduleEngine> {
+        self.dynamics.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -563,6 +649,19 @@ impl Runner {
             Event::FlowStart { ch } => {
                 self.channels[ch].started = true;
                 self.pump_channel(ch);
+            }
+            Event::Reconfig => {
+                // Take the engine out so it can mutate the backend (both
+                // live on `self`); the slot is restored immediately after.
+                if let Some(mut engine) = self.dynamics.take() {
+                    let applied = engine.apply_due(self.now, &mut self.emulator);
+                    self.dynamics = Some(engine);
+                    if !applied.is_empty() {
+                        // A reconfiguration can create emulator work (CBR
+                        // injections) or retire the pending wakeup.
+                        self.schedule_emu_wakeup();
+                    }
+                }
             }
         }
     }

@@ -75,17 +75,18 @@ pub fn frontier_sets(topo: &Topology) -> Vec<Option<usize>> {
 
 /// Collapses the latency-shortest paths from `source` to every other node in
 /// one Dijkstra pass, accumulating bottleneck bandwidth, total latency,
-/// path reliability and bottleneck queue along the way.
+/// path reliability, bottleneck queue and the number of links collapsed
+/// along the way.
 ///
 /// Returns one entry per node: `None` for unreachable nodes and for the
 /// source itself.
-fn collapse_from_source(topo: &Topology, source: NodeId) -> Vec<Option<PipeAttrs>> {
+fn collapse_from_source(topo: &Topology, source: NodeId) -> Vec<Option<(PipeAttrs, usize)>> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
     let n = topo.node_count();
     let mut dist = vec![u64::MAX; n];
-    let mut attrs: Vec<Option<PipeAttrs>> = vec![None; n];
+    let mut attrs: Vec<Option<(PipeAttrs, usize)>> = vec![None; n];
     if source.index() >= n {
         return attrs;
     }
@@ -105,27 +106,63 @@ fn collapse_from_source(topo: &Topology, source: NodeId) -> Vec<Option<PipeAttrs
             let nd = d.saturating_add(cost);
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
-                let (base_bw, base_lat, base_queue) = match &attrs[u.index()] {
-                    Some(a) => (a.bandwidth, a.latency, a.queue_len),
+                let (base_bw, base_lat, base_queue, base_hops) = match &attrs[u.index()] {
+                    Some((a, hops)) => (a.bandwidth, a.latency, a.queue_len, *hops),
                     None => (
                         mn_util::DataRate::from_bps(u64::MAX),
                         mn_util::SimDuration::ZERO,
                         usize::MAX,
+                        0,
                     ),
                 };
                 let rel = reliability[u.index()] * link.attrs.reliability();
                 reliability[v.index()] = rel;
-                attrs[v.index()] = Some(PipeAttrs {
-                    bandwidth: base_bw.min(link.attrs.bandwidth),
-                    latency: base_lat + link.attrs.latency,
-                    loss_rate: 1.0 - rel,
-                    queue_len: base_queue.min(link.attrs.queue_len).max(1),
-                });
+                attrs[v.index()] = Some((
+                    PipeAttrs {
+                        bandwidth: base_bw.min(link.attrs.bandwidth),
+                        latency: base_lat + link.attrs.latency,
+                        loss_rate: 1.0 - rel,
+                        queue_len: base_queue.min(link.attrs.queue_len).max(1),
+                    },
+                    base_hops + 1,
+                ));
                 heap.push(Reverse((nd, v)));
             }
         }
     }
     attrs
+}
+
+/// Derives, for every collapsed pipe, the constant-bit-rate background
+/// cross-traffic that compensates for its distilled-away hops (§4.1 of the
+/// paper: "background CBR cross traffic on distilled pipes").
+///
+/// A pipe standing in for `k` target links carries its flows without the
+/// interior contention the removed `k − 1` links would have imposed. The
+/// compensation model offers the pipe a background load of
+/// `bandwidth × load × (k − 1) / k`: zero for preserved links (`k = 1`),
+/// approaching `bandwidth × load` as the collapsed path grows — i.e. the
+/// assumed interior utilisation `load ∈ [0, 1]`, discounted by the one hop
+/// whose contention the pipe still emulates natively.
+///
+/// Returns one `(pipe, rate)` entry per collapsed pipe with a nonzero
+/// compensation rate, in pipe-id order.
+pub fn compensation_rates(
+    topo: &DistilledTopology,
+    load: f64,
+) -> Vec<(crate::PipeId, mn_util::DataRate)> {
+    let load = load.clamp(0.0, 1.0);
+    topo.pipes()
+        .filter_map(|(id, pipe)| {
+            let hops = topo.collapsed_hops(id);
+            if hops <= 1 {
+                return None;
+            }
+            let fraction = load * (hops as f64 - 1.0) / hops as f64;
+            let rate = pipe.attrs.bandwidth.mul_f64(fraction);
+            (!rate.is_zero()).then_some((id, rate))
+        })
+        .collect()
 }
 
 /// Distils `topo` according to `mode`.
@@ -175,8 +212,8 @@ fn distill_end_to_end(topo: &Topology) -> DistilledTopology {
     for (i, &a) in vns.iter().enumerate() {
         let collapsed = collapse_from_source(topo, a);
         for &b in vns.iter().skip(i + 1) {
-            if let Some(attrs) = collapsed[b.index()] {
-                out.add_duplex(a, b, attrs);
+            if let Some((attrs, hops)) = collapsed[b.index()] {
+                out.add_duplex_collapsed(a, b, attrs, hops);
             }
         }
     }
@@ -252,8 +289,8 @@ fn distill_walk(topo: &Topology, walk_in: usize, walk_out: Option<usize>) -> Dis
             if core.contains(&a) && core.contains(&b) {
                 continue;
             }
-            if let Some(attrs) = collapsed[b.index()] {
-                out.add_duplex(a, b, attrs);
+            if let Some((attrs, hops)) = collapsed[b.index()] {
+                out.add_duplex_collapsed(a, b, attrs, hops);
             }
         }
     }
@@ -487,6 +524,68 @@ mod tests {
             for &vn in &vns {
                 assert!(seen[vn.index()], "{mode:?}: VN {vn} unreachable from {src}");
             }
+        }
+    }
+
+    #[test]
+    fn collapsed_hop_counts_follow_the_distillation_mode() {
+        let topo = small_ring();
+        let hop = distill(&topo, DistillationMode::HopByHop);
+        for id in hop.pipe_ids() {
+            assert_eq!(
+                hop.collapsed_hops(id),
+                1,
+                "preserved links collapse nothing"
+            );
+        }
+        let e2e = distill(&topo, DistillationMode::EndToEnd);
+        for id in e2e.pipe_ids() {
+            // Client - router - ... - router - client: at least 2 access
+            // links plus any ring hops.
+            assert!(
+                e2e.collapsed_hops(id) >= 2,
+                "end-to-end pipes collapse paths"
+            );
+        }
+        let lm = distill(&topo, DistillationMode::LAST_MILE);
+        let (mut preserved, mut collapsed) = (0, 0);
+        for id in lm.pipe_ids() {
+            if lm.collapsed_hops(id) == 1 {
+                preserved += 1;
+            } else {
+                collapsed += 1;
+            }
+        }
+        assert!(preserved > 0 && collapsed > 0, "last-mile mixes both");
+    }
+
+    #[test]
+    fn compensation_rates_cover_exactly_the_collapsed_pipes() {
+        let topo = small_ring();
+        let hop = distill(&topo, DistillationMode::HopByHop);
+        assert!(
+            compensation_rates(&hop, 0.5).is_empty(),
+            "nothing distilled away"
+        );
+        let lm = distill(&topo, DistillationMode::LAST_MILE);
+        let rates = compensation_rates(&lm, 0.5);
+        let collapsed = lm
+            .pipe_ids()
+            .filter(|&id| lm.collapsed_hops(id) > 1)
+            .count();
+        assert_eq!(rates.len(), collapsed);
+        for (pipe, rate) in &rates {
+            let bw = lm.pipe(*pipe).attrs.bandwidth;
+            let hops = lm.collapsed_hops(*pipe) as f64;
+            assert!(*rate < bw, "compensation stays below capacity");
+            let expected = bw.mul_f64(0.5 * (hops - 1.0) / hops);
+            assert_eq!(*rate, expected);
+        }
+        // Zero assumed load: no compensation at all.
+        assert!(compensation_rates(&lm, 0.0).is_empty());
+        // Load is clamped into [0, 1].
+        for (pipe, rate) in compensation_rates(&lm, 7.5) {
+            assert!(rate <= lm.pipe(pipe).attrs.bandwidth);
         }
     }
 

@@ -24,5 +24,5 @@
 pub mod distiller;
 pub mod pipe_graph;
 
-pub use distiller::{distill, frontier_sets, DistillationMode};
+pub use distiller::{compensation_rates, distill, frontier_sets, DistillationMode};
 pub use pipe_graph::{DistilledTopology, Pipe, PipeAttrs, PipeId};

@@ -103,6 +103,10 @@ pub struct DistilledTopology {
     out_pipes: Vec<Vec<PipeId>>,
     vns: Vec<NodeId>,
     max_route_pipes: usize,
+    /// Per-pipe count of target-topology links the pipe stands in for:
+    /// 1 for a preserved link, >1 for a collapsed path. Drives the CBR
+    /// cross-traffic compensation for distilled-away hops.
+    collapsed_hops: Vec<usize>,
 }
 
 impl DistilledTopology {
@@ -115,6 +119,7 @@ impl DistilledTopology {
             out_pipes: vec![Vec::new(); node_count],
             vns,
             max_route_pipes,
+            collapsed_hops: Vec::new(),
         }
     }
 
@@ -125,11 +130,24 @@ impl DistilledTopology {
     /// Panics if either endpoint is out of range; distillation constructs the
     /// graph from a validated topology so this indicates a logic error.
     pub fn add_pipe(&mut self, src: NodeId, dst: NodeId, attrs: PipeAttrs) -> PipeId {
+        self.add_pipe_collapsed(src, dst, attrs, 1)
+    }
+
+    /// Adds a directed pipe that stands in for `hops` links of the target
+    /// topology (a collapsed path); `hops = 1` is a preserved link.
+    pub fn add_pipe_collapsed(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        attrs: PipeAttrs,
+        hops: usize,
+    ) -> PipeId {
         assert!(src.index() < self.node_count, "pipe src out of range");
         assert!(dst.index() < self.node_count, "pipe dst out of range");
         let id = PipeId(self.pipes.len());
         self.pipes.push(Pipe { src, dst, attrs });
         self.out_pipes[src.index()].push(id);
+        self.collapsed_hops.push(hops.max(1));
         id
     }
 
@@ -137,6 +155,27 @@ impl DistilledTopology {
     /// attributes, returning both identifiers.
     pub fn add_duplex(&mut self, a: NodeId, b: NodeId, attrs: PipeAttrs) -> (PipeId, PipeId) {
         (self.add_pipe(a, b, attrs), self.add_pipe(b, a, attrs))
+    }
+
+    /// [`DistilledTopology::add_duplex`] for a collapsed path of `hops`
+    /// target links.
+    pub fn add_duplex_collapsed(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        attrs: PipeAttrs,
+        hops: usize,
+    ) -> (PipeId, PipeId) {
+        (
+            self.add_pipe_collapsed(a, b, attrs, hops),
+            self.add_pipe_collapsed(b, a, attrs, hops),
+        )
+    }
+
+    /// Number of target-topology links the pipe stands in for (1 for a
+    /// preserved link, >1 for a collapsed path; 1 if out of range).
+    pub fn collapsed_hops(&self, id: PipeId) -> usize {
+        self.collapsed_hops.get(id.index()).copied().unwrap_or(1)
     }
 
     /// Number of nodes (same as the source topology).

@@ -1,0 +1,410 @@
+//! The runtime reconfiguration engine.
+//!
+//! [`ScheduleEngine`] owns the authoritative copy of the distilled pipe
+//! graph and walks a [`Schedule`](crate::Schedule) against a running
+//! emulation: pipe parameters are mutated in place on the allocation-free
+//! tick path, CBR injectors are installed/removed as first-class scheduled
+//! sources, and — only when a change can actually affect shortest paths
+//! (latency, or a link failing/recovering) — the affected routes are
+//! recomputed **incrementally** through [`DynamicsTarget::reroute`].
+//! Changes applied at one apply point are batched into a single reroute, so
+//! a node failure taking down a dozen pipes costs one routing update.
+//!
+//! The engine performs no time-keeping of its own: the driver (the Runner,
+//! or a test loop) calls [`ScheduleEngine::apply_due`] at its apply points.
+//! Because every mutation flows through the same target interface in
+//! schedule order, sequential and threaded backends observe identical
+//! command streams and stay bit-identical through every reconfiguration.
+
+use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
+use mn_pipe::CbrConfig;
+use mn_routing::RouteUpdate;
+use mn_util::{DataRate, SimTime};
+
+use crate::schedule::{Schedule, ScheduleEvent};
+
+/// The emulation-side interface the engine reconfigures through. The
+/// façade's execution backends implement it for both the sequential and the
+/// threaded emulator.
+pub trait DynamicsTarget {
+    /// Replaces a pipe's emulation parameters in place. Packets already
+    /// inside the pipe keep their computed deadlines.
+    fn update_pipe_attrs(&mut self, pipe: PipeId, attrs: PipeAttrs) -> bool;
+
+    /// Installs, replaces or (with `None`) removes the CBR background
+    /// injector on a pipe; injection starts at `from`.
+    fn set_pipe_cbr(&mut self, pipe: PipeId, config: Option<CbrConfig>, from: SimTime) -> bool;
+
+    /// Recomputes routing incrementally after the listed pipes of `topo`
+    /// changed. In-flight descriptors keep their (still valid) route ids.
+    fn reroute(&mut self, topo: &DistilledTopology, changed: &[PipeId]) -> RouteUpdate;
+}
+
+/// What one [`ScheduleEngine::apply_due`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppliedChanges {
+    /// Schedule events consumed.
+    pub events: usize,
+    /// Pipes whose parameters were updated in place.
+    pub pipes_updated: usize,
+    /// CBR injectors installed, replaced or removed.
+    pub cbr_changes: usize,
+    /// The routing update, if any applied change required one.
+    pub reroute: Option<RouteUpdate>,
+}
+
+impl AppliedChanges {
+    /// Returns `true` if nothing was applied.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+}
+
+/// Applies a [`Schedule`](crate::Schedule) to a running emulation.
+#[derive(Debug)]
+pub struct ScheduleEngine {
+    /// The authoritative pipe graph, mutated as events apply; routing
+    /// updates are computed against it.
+    topo: DistilledTopology,
+    /// Build-time attributes, for `LinkUp`/`NodeUp` restores.
+    original: Vec<PipeAttrs>,
+    /// Every pipe incident to a node (outgoing and incoming), for node
+    /// churn.
+    incident: Vec<Vec<PipeId>>,
+    schedule: Schedule,
+    /// Index of the first unapplied event.
+    cursor: usize,
+    /// Scratch: pipes whose routing-relevant attributes changed at the
+    /// current apply point (batched into one reroute).
+    changed: Vec<PipeId>,
+}
+
+impl ScheduleEngine {
+    /// Creates an engine over a copy of the distilled topology the
+    /// emulation was built from.
+    pub fn new(topo: DistilledTopology, schedule: Schedule) -> Self {
+        let original: Vec<PipeAttrs> = topo.pipes().map(|(_, p)| p.attrs).collect();
+        let mut incident: Vec<Vec<PipeId>> = vec![Vec::new(); topo.node_count()];
+        for (id, pipe) in topo.pipes() {
+            incident[pipe.src.index()].push(id);
+            incident[pipe.dst.index()].push(id);
+        }
+        ScheduleEngine {
+            topo,
+            original,
+            incident,
+            schedule,
+            cursor: 0,
+            changed: Vec::new(),
+        }
+    }
+
+    /// The virtual time of the next unapplied event, or `None` when the
+    /// schedule is exhausted.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.schedule.events().get(self.cursor).map(|&(t, _)| t)
+    }
+
+    /// Number of unapplied events.
+    pub fn pending(&self) -> usize {
+        self.schedule.len() - self.cursor
+    }
+
+    /// Returns `true` once every event has been applied.
+    pub fn finished(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// The engine's current view of the pipe graph (original attributes
+    /// with every applied change folded in).
+    pub fn topology(&self) -> &DistilledTopology {
+        &self.topo
+    }
+
+    /// The full schedule the engine walks.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Applies every event due at or before `now` to `target`, in schedule
+    /// order, batching all routing-relevant changes into a single
+    /// incremental reroute at the end of the apply point.
+    pub fn apply_due<T: DynamicsTarget>(&mut self, now: SimTime, target: &mut T) -> AppliedChanges {
+        let mut applied = AppliedChanges::default();
+        while let Some(&(at, event)) = self.schedule.events().get(self.cursor) {
+            if at > now {
+                break;
+            }
+            self.cursor += 1;
+            applied.events += 1;
+            match event {
+                ScheduleEvent::SetPipe { pipe, attrs } => {
+                    self.apply_pipe(target, pipe, attrs, &mut applied);
+                }
+                ScheduleEvent::LinkDown { pipe } => {
+                    let Some(current) = self.topo.get_pipe(pipe).map(|p| p.attrs) else {
+                        continue;
+                    };
+                    let failed = PipeAttrs {
+                        bandwidth: DataRate::ZERO,
+                        ..current
+                    };
+                    self.apply_pipe(target, pipe, failed, &mut applied);
+                }
+                ScheduleEvent::LinkUp { pipe } => {
+                    let Some(&original) = self.original.get(pipe.index()) else {
+                        continue;
+                    };
+                    self.apply_pipe(target, pipe, original, &mut applied);
+                }
+                ScheduleEvent::NodeDown { node } => {
+                    let pipes = self
+                        .incident
+                        .get(node.index())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                        .to_vec();
+                    for pipe in pipes {
+                        let current = self.topo.pipe(pipe).attrs;
+                        let failed = PipeAttrs {
+                            bandwidth: DataRate::ZERO,
+                            ..current
+                        };
+                        self.apply_pipe(target, pipe, failed, &mut applied);
+                    }
+                }
+                ScheduleEvent::NodeUp { node } => {
+                    let pipes = self
+                        .incident
+                        .get(node.index())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                        .to_vec();
+                    for pipe in pipes {
+                        let original = self.original[pipe.index()];
+                        self.apply_pipe(target, pipe, original, &mut applied);
+                    }
+                }
+                ScheduleEvent::CbrStart { pipe, config } => {
+                    // Injection starts at the event's scheduled time, not
+                    // the (possibly later) apply time: replays are
+                    // deterministic regardless of driver granularity.
+                    if target.set_pipe_cbr(pipe, Some(config), at) {
+                        applied.cbr_changes += 1;
+                    }
+                }
+                ScheduleEvent::CbrStop { pipe } => {
+                    if target.set_pipe_cbr(pipe, None, at) {
+                        applied.cbr_changes += 1;
+                    }
+                }
+            }
+        }
+        if !self.changed.is_empty() {
+            let update = target.reroute(&self.topo, &self.changed);
+            self.changed.clear();
+            applied.reroute = Some(update);
+        }
+        applied
+    }
+
+    /// Writes one pipe's new attributes into the authoritative graph and
+    /// the target, flagging it for the batched reroute when the change can
+    /// affect shortest paths (latency, or usability flipping).
+    fn apply_pipe<T: DynamicsTarget>(
+        &mut self,
+        target: &mut T,
+        pipe: PipeId,
+        attrs: PipeAttrs,
+        applied: &mut AppliedChanges,
+    ) {
+        let Some(slot) = self.topo.pipe_attrs_mut(pipe) else {
+            return;
+        };
+        let old = *slot;
+        if old == attrs {
+            return;
+        }
+        *slot = attrs;
+        target.update_pipe_attrs(pipe, attrs);
+        applied.pipes_updated += 1;
+        let routing_relevant =
+            old.latency != attrs.latency || old.bandwidth.is_zero() != attrs.bandwidth.is_zero();
+        if routing_relevant && !self.changed.contains(&pipe) {
+            self.changed.push(pipe);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_distill::{distill, DistillationMode};
+    use mn_topology::generators::{ring_topology, RingParams};
+    use mn_util::ByteSize;
+
+    /// Records every call the engine makes.
+    #[derive(Default)]
+    struct MockTarget {
+        updates: Vec<(PipeId, PipeAttrs)>,
+        cbr: Vec<(PipeId, Option<CbrConfig>, SimTime)>,
+        reroutes: Vec<Vec<PipeId>>,
+    }
+
+    impl DynamicsTarget for MockTarget {
+        fn update_pipe_attrs(&mut self, pipe: PipeId, attrs: PipeAttrs) -> bool {
+            self.updates.push((pipe, attrs));
+            true
+        }
+        fn set_pipe_cbr(&mut self, pipe: PipeId, config: Option<CbrConfig>, from: SimTime) -> bool {
+            self.cbr.push((pipe, config, from));
+            true
+        }
+        fn reroute(&mut self, _topo: &DistilledTopology, changed: &[PipeId]) -> RouteUpdate {
+            self.reroutes.push(changed.to_vec());
+            RouteUpdate::default()
+        }
+    }
+
+    fn graph() -> DistilledTopology {
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 1,
+            ..RingParams::default()
+        });
+        distill(&topo, DistillationMode::HopByHop)
+    }
+
+    #[test]
+    fn link_flap_round_trips_and_batches_one_reroute_per_apply_point() {
+        let d = graph();
+        let original = d.pipe(PipeId(0)).attrs;
+        let schedule = Schedule::new()
+            .duplex_down(SimTime::from_secs(1), PipeId(0), PipeId(1))
+            .duplex_up(SimTime::from_secs(2), PipeId(0), PipeId(1));
+        let mut engine = ScheduleEngine::new(d, schedule);
+        let mut target = MockTarget::default();
+        assert_eq!(engine.next_time(), Some(SimTime::from_secs(1)));
+        // Nothing due yet.
+        let early = engine.apply_due(SimTime::from_millis(500), &mut target);
+        assert!(early.is_empty());
+        // The failure: both directions updated, one batched reroute.
+        let down = engine.apply_due(SimTime::from_secs(1), &mut target);
+        assert_eq!(down.events, 2);
+        assert_eq!(down.pipes_updated, 2);
+        assert!(down.reroute.is_some());
+        assert_eq!(target.reroutes, vec![vec![PipeId(0), PipeId(1)]]);
+        assert!(engine.topology().pipe(PipeId(0)).attrs.bandwidth.is_zero());
+        // The recovery restores the originals.
+        let up = engine.apply_due(SimTime::from_secs(2), &mut target);
+        assert_eq!(up.pipes_updated, 2);
+        assert_eq!(engine.topology().pipe(PipeId(0)).attrs, original);
+        assert_eq!(target.reroutes.len(), 2);
+        assert!(engine.finished());
+        assert_eq!(engine.next_time(), None);
+    }
+
+    #[test]
+    fn node_churn_fails_every_incident_pipe() {
+        let d = graph();
+        // Node 0 is a router of the ring: two ring links plus one access
+        // link -> six directed pipes.
+        let node = mn_topology::NodeId(0);
+        let expected: usize = d
+            .pipes()
+            .filter(|(_, p)| p.src == node || p.dst == node)
+            .count();
+        assert!(expected >= 4);
+        let schedule = Schedule::new()
+            .node_down(SimTime::from_secs(1), node)
+            .node_up(SimTime::from_secs(2), node);
+        let mut engine = ScheduleEngine::new(d, schedule);
+        let mut target = MockTarget::default();
+        let down = engine.apply_due(SimTime::from_secs(1), &mut target);
+        assert_eq!(down.pipes_updated, expected);
+        assert_eq!(target.reroutes[0].len(), expected);
+        for (id, pipe) in engine.topology().pipes() {
+            assert_eq!(
+                pipe.attrs.bandwidth.is_zero(),
+                pipe.src == node || pipe.dst == node,
+                "{id}"
+            );
+        }
+        let up = engine.apply_due(SimTime::from_secs(2), &mut target);
+        assert_eq!(up.pipes_updated, expected);
+        assert!(engine
+            .topology()
+            .pipes()
+            .all(|(_, p)| !p.attrs.bandwidth.is_zero()));
+    }
+
+    #[test]
+    fn pure_bandwidth_renegotiation_does_not_reroute() {
+        let d = graph();
+        let base = d.pipe(PipeId(0)).attrs;
+        let renegotiated = PipeAttrs {
+            bandwidth: base.bandwidth.mul_f64(0.25),
+            ..base
+        };
+        let schedule = Schedule::new().set_pipe(SimTime::from_secs(1), PipeId(0), renegotiated);
+        let mut engine = ScheduleEngine::new(d, schedule);
+        let mut target = MockTarget::default();
+        let applied = engine.apply_due(SimTime::from_secs(1), &mut target);
+        assert_eq!(applied.pipes_updated, 1);
+        assert!(applied.reroute.is_none(), "cost metric is latency only");
+        assert!(target.reroutes.is_empty());
+        // A latency change on the other hand must reroute.
+        let d2 = engine.topology().clone();
+        let slower = PipeAttrs {
+            latency: base.latency * 2,
+            ..renegotiated
+        };
+        let mut engine = ScheduleEngine::new(
+            d2,
+            Schedule::new().set_pipe(SimTime::from_secs(1), PipeId(0), slower),
+        );
+        let applied = engine.apply_due(SimTime::from_secs(1), &mut target);
+        assert!(applied.reroute.is_some());
+    }
+
+    #[test]
+    fn cbr_events_carry_their_scheduled_start_time() {
+        let d = graph();
+        let cbr = CbrConfig::new(DataRate::from_mbps(2), ByteSize::from_bytes(800));
+        let schedule = Schedule::new()
+            .cbr_start(SimTime::from_secs(1), PipeId(3), cbr)
+            .cbr_stop(SimTime::from_secs(4), PipeId(3));
+        let mut engine = ScheduleEngine::new(d, schedule);
+        let mut target = MockTarget::default();
+        // Applied late: the injector still starts at its scheduled time.
+        let applied = engine.apply_due(SimTime::from_secs(2), &mut target);
+        assert_eq!(applied.cbr_changes, 1);
+        assert_eq!(
+            target.cbr,
+            vec![(PipeId(3), Some(cbr), SimTime::from_secs(1))]
+        );
+        let applied = engine.apply_due(SimTime::from_secs(10), &mut target);
+        assert_eq!(applied.cbr_changes, 1);
+        assert_eq!(
+            target.cbr.last(),
+            Some(&(PipeId(3), None, SimTime::from_secs(4)))
+        );
+        assert!(applied.reroute.is_none(), "CBR does not change routes");
+    }
+
+    #[test]
+    fn no_op_changes_are_skipped_entirely() {
+        let d = graph();
+        let base = d.pipe(PipeId(0)).attrs;
+        let schedule = Schedule::new()
+            .set_pipe(SimTime::from_secs(1), PipeId(0), base)
+            .link_up(SimTime::from_secs(1), PipeId(0));
+        let mut engine = ScheduleEngine::new(d, schedule);
+        let mut target = MockTarget::default();
+        let applied = engine.apply_due(SimTime::from_secs(1), &mut target);
+        assert_eq!(applied.events, 2);
+        assert_eq!(applied.pipes_updated, 0, "attributes were already current");
+        assert!(target.updates.is_empty());
+        assert!(target.reroutes.is_empty());
+    }
+}

@@ -17,8 +17,20 @@
 //!   protocol" assumption. The ACDC experiment's periodic delay increases are
 //!   expressed this way.
 
+//! * **Runtime reconfiguration**: a deterministic, virtual-time-stamped
+//!   [`Schedule`] of link failures/recoveries, parameter renegotiation,
+//!   node churn and CBR cross-traffic injector changes, applied to a live
+//!   emulation by the [`ScheduleEngine`] — pipe parameters mutate in place,
+//!   injectors ride the allocation-free tick path, and only the routes a
+//!   change can affect are recomputed (incrementally, preserving the route
+//!   ids of descriptors in flight).
+
 pub mod cross_traffic;
+pub mod engine;
 pub mod faults;
+pub mod schedule;
 
 pub use cross_traffic::{CrossTrafficMatrix, PipeLoad, QueueingModel};
+pub use engine::{AppliedChanges, DynamicsTarget, ScheduleEngine};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, LinkPerturbation};
+pub use schedule::{Schedule, ScheduleEvent};

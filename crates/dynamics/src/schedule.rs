@@ -1,0 +1,246 @@
+//! Deterministic, virtual-time-stamped reconfiguration schedules.
+//!
+//! A [`Schedule`] is the declarative half of runtime network dynamics: an
+//! ordered stream of [`ScheduleEvent`]s — link failures and recoveries,
+//! bandwidth/latency/loss renegotiation, node churn, and CBR cross-traffic
+//! injector changes — each pinned to a virtual time. The
+//! [`ScheduleEngine`](crate::ScheduleEngine) applies the stream to a running
+//! emulation; because the stream is a plain sorted list with no hidden
+//! state, the same schedule replayed against the same experiment produces
+//! bit-identical runs on both execution backends.
+
+use serde::{Deserialize, Serialize};
+
+use mn_distill::{PipeAttrs, PipeId};
+use mn_pipe::CbrConfig;
+use mn_topology::NodeId;
+use mn_util::SimTime;
+
+use crate::faults::FaultEvent;
+
+/// One scheduled reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleEvent {
+    /// Replace a pipe's emulation parameters in place (bandwidth/latency/
+    /// loss/queue renegotiation). Routes are recomputed only if the change
+    /// can affect them (latency or usability).
+    SetPipe {
+        /// The pipe to re-parameterise.
+        pipe: PipeId,
+        /// Its new attributes.
+        attrs: PipeAttrs,
+    },
+    /// Fail a pipe outright (zero bandwidth: everything offered to it is
+    /// dropped, and routing steers around it).
+    LinkDown {
+        /// The pipe to fail.
+        pipe: PipeId,
+    },
+    /// Restore a failed or renegotiated pipe to its original attributes.
+    LinkUp {
+        /// The pipe to restore.
+        pipe: PipeId,
+    },
+    /// Fail every pipe incident to a node (node churn: crash / departure).
+    NodeDown {
+        /// The node whose pipes fail.
+        node: NodeId,
+    },
+    /// Restore every pipe incident to a node to its original attributes.
+    NodeUp {
+        /// The node whose pipes recover.
+        node: NodeId,
+    },
+    /// Install (or replace) a CBR cross-traffic injector on a pipe.
+    CbrStart {
+        /// The pipe carrying the background load.
+        pipe: PipeId,
+        /// Injector parameters.
+        config: CbrConfig,
+    },
+    /// Remove the CBR injector from a pipe.
+    CbrStop {
+        /// The pipe to quiesce.
+        pipe: PipeId,
+    },
+}
+
+/// A virtual-time-ordered stream of reconfigurations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `(time, event)` pairs; kept sorted by time, stable for equal times
+    /// (insertion order breaks ties, so a `LinkUp` scheduled after a
+    /// `LinkDown` at the same instant is applied after it).
+    events: Vec<(SimTime, ScheduleEvent)>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Adds an event at `at`, keeping the stream time-ordered (stable for
+    /// equal times).
+    pub fn at(mut self, at: SimTime, event: ScheduleEvent) -> Self {
+        self.push(at, event);
+        self
+    }
+
+    /// In-place [`Schedule::at`].
+    pub fn push(&mut self, at: SimTime, event: ScheduleEvent) {
+        let idx = self.events.partition_point(|&(t, _)| t <= at);
+        self.events.insert(idx, (at, event));
+    }
+
+    /// Schedules a pipe failure.
+    pub fn link_down(self, at: SimTime, pipe: PipeId) -> Self {
+        self.at(at, ScheduleEvent::LinkDown { pipe })
+    }
+
+    /// Schedules a pipe restore.
+    pub fn link_up(self, at: SimTime, pipe: PipeId) -> Self {
+        self.at(at, ScheduleEvent::LinkUp { pipe })
+    }
+
+    /// Schedules a failure of both directions of a duplex link.
+    pub fn duplex_down(self, at: SimTime, forward: PipeId, reverse: PipeId) -> Self {
+        self.link_down(at, forward).link_down(at, reverse)
+    }
+
+    /// Schedules a restore of both directions of a duplex link.
+    pub fn duplex_up(self, at: SimTime, forward: PipeId, reverse: PipeId) -> Self {
+        self.link_up(at, forward).link_up(at, reverse)
+    }
+
+    /// Schedules an in-place re-parameterisation.
+    pub fn set_pipe(self, at: SimTime, pipe: PipeId, attrs: PipeAttrs) -> Self {
+        self.at(at, ScheduleEvent::SetPipe { pipe, attrs })
+    }
+
+    /// Schedules a node failure (all incident pipes fail).
+    pub fn node_down(self, at: SimTime, node: NodeId) -> Self {
+        self.at(at, ScheduleEvent::NodeDown { node })
+    }
+
+    /// Schedules a node recovery.
+    pub fn node_up(self, at: SimTime, node: NodeId) -> Self {
+        self.at(at, ScheduleEvent::NodeUp { node })
+    }
+
+    /// Schedules a CBR injector.
+    pub fn cbr_start(self, at: SimTime, pipe: PipeId, config: CbrConfig) -> Self {
+        self.at(at, ScheduleEvent::CbrStart { pipe, config })
+    }
+
+    /// Schedules a CBR injector removal.
+    pub fn cbr_stop(self, at: SimTime, pipe: PipeId) -> Self {
+        self.at(at, ScheduleEvent::CbrStop { pipe })
+    }
+
+    /// Folds concrete fault-injector output (see
+    /// [`FaultInjector::perturb`](crate::FaultInjector::perturb)) into the
+    /// schedule as in-place re-parameterisations.
+    pub fn with_fault_events(mut self, events: &[FaultEvent]) -> Self {
+        for e in events {
+            self.push(
+                e.at,
+                ScheduleEvent::SetPipe {
+                    pipe: e.pipe,
+                    attrs: e.attrs,
+                },
+            );
+        }
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled `(time, event)` stream, time-ordered.
+    pub fn events(&self) -> &[(SimTime, ScheduleEvent)] {
+        &self.events
+    }
+
+    /// The distinct event times, in order — the apply points a driver must
+    /// visit.
+    pub fn times(&self) -> Vec<SimTime> {
+        let mut times: Vec<SimTime> = self.events.iter().map(|&(t, _)| t).collect();
+        times.dedup();
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_util::{ByteSize, DataRate, SimDuration};
+
+    #[test]
+    fn events_are_kept_time_ordered_and_stable() {
+        let t = |secs| SimTime::from_secs(secs);
+        let schedule = Schedule::new()
+            .link_down(t(5), PipeId(1))
+            .link_up(t(2), PipeId(1))
+            .link_down(t(2), PipeId(3))
+            .cbr_stop(t(5), PipeId(1));
+        let times: Vec<SimTime> = schedule.events().iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![t(2), t(2), t(5), t(5)]);
+        // Stable at equal times: the t=2 LinkUp was inserted first.
+        assert!(matches!(
+            schedule.events()[0].1,
+            ScheduleEvent::LinkUp { pipe: PipeId(1) }
+        ));
+        assert!(matches!(
+            schedule.events()[1].1,
+            ScheduleEvent::LinkDown { pipe: PipeId(3) }
+        ));
+        assert_eq!(schedule.times(), vec![t(2), t(5)]);
+        assert_eq!(schedule.len(), 4);
+    }
+
+    #[test]
+    fn fault_events_fold_into_the_schedule() {
+        let attrs = PipeAttrs::new(DataRate::from_mbps(1), SimDuration::from_millis(1));
+        let faults = vec![crate::FaultEvent {
+            at: SimTime::from_secs(1),
+            pipe: PipeId(7),
+            attrs,
+            reroute: false,
+        }];
+        let schedule = Schedule::new().with_fault_events(&faults);
+        assert_eq!(schedule.len(), 1);
+        assert!(matches!(
+            schedule.events()[0].1,
+            ScheduleEvent::SetPipe {
+                pipe: PipeId(7),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_shorthands_cover_every_event_kind() {
+        let t = SimTime::from_secs(1);
+        let cbr = CbrConfig::new(DataRate::from_mbps(1), ByteSize::from_bytes(500));
+        let attrs = PipeAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(3));
+        let schedule = Schedule::new()
+            .duplex_down(t, PipeId(0), PipeId(1))
+            .duplex_up(t, PipeId(0), PipeId(1))
+            .set_pipe(t, PipeId(2), attrs)
+            .node_down(t, NodeId(4))
+            .node_up(t, NodeId(4))
+            .cbr_start(t, PipeId(2), cbr)
+            .cbr_stop(t, PipeId(2));
+        assert_eq!(schedule.len(), 9);
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.times(), vec![t]);
+    }
+}

@@ -19,7 +19,8 @@ use serde::{Deserialize, Serialize};
 
 use mn_assign::CoreId;
 use mn_distill::{PipeAttrs, PipeId};
-use mn_pipe::{DequeuedPacket, EmuPipe, EnqueueOutcome, PipeStats, QueueDiscipline};
+use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
+use mn_pipe::{CbrConfig, DequeuedPacket, EmuPipe, EnqueueOutcome, PipeStats, QueueDiscipline};
 use mn_routing::RouteTable;
 use mn_util::rngs::derived_rng;
 use mn_util::{ByteSize, SimDuration, SimTime, TimerWheel};
@@ -80,6 +81,8 @@ pub struct CoreStats {
     pub bytes_in: u64,
     /// Bytes transmitted (deliveries plus tunnels out).
     pub bytes_out: u64,
+    /// Background CBR cross-traffic packets injected into local pipes.
+    pub cbr_injected: u64,
 }
 
 impl CoreStats {
@@ -105,6 +108,7 @@ impl CoreStats {
         self.physical_drops_cpu += other.physical_drops_cpu;
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
+        self.cbr_injected += other.cbr_injected;
     }
 
     /// [`CoreStats::merge`] as a by-value fold step.
@@ -140,6 +144,22 @@ impl TickOutput {
     }
 }
 
+/// One scheduled constant-bit-rate background injector on a locally owned
+/// pipe (the paper's hop-by-hop compensation for distilled-away links).
+#[derive(Debug, Clone, Copy)]
+struct CbrSource {
+    /// The pipe the injector feeds.
+    pipe: PipeId,
+    /// Wire size of each injected packet.
+    packet_size: mn_util::ByteSize,
+    /// Inter-packet gap realising the configured rate.
+    interval: SimDuration,
+    /// Virtual time of the next injection.
+    next_at: SimTime,
+    /// Per-source packet counter (ids never surface outside the pipe).
+    seq: u64,
+}
+
 /// One emulation core.
 #[derive(Debug)]
 pub struct EmulatorCore {
@@ -167,6 +187,10 @@ pub struct EmulatorCore {
     /// Reusable buffer `tick` drains due pipes into; capacity persists across
     /// ticks so the steady state allocates nothing.
     ready_scratch: Vec<DequeuedPacket<Descriptor>>,
+    /// Scheduled CBR background injectors on locally owned pipes, in
+    /// installation order (the injection order, identical on both
+    /// execution backends).
+    cbr: Vec<CbrSource>,
     // CPU model.
     cpu_backlog: SimDuration,
     cpu_busy_total: SimDuration,
@@ -201,6 +225,7 @@ impl EmulatorCore {
             pending_remote: Vec::new(),
             pending_scratch: Vec::new(),
             ready_scratch: Vec::new(),
+            cbr: Vec::new(),
             cpu_backlog: SimDuration::ZERO,
             cpu_busy_total: SimDuration::ZERO,
             cpu_last_credit: SimTime::ZERO,
@@ -277,6 +302,86 @@ impl EmulatorCore {
         }
     }
 
+    /// Installs, replaces or (with `None`) removes the CBR background
+    /// injector on a locally owned pipe. Injection starts at `from` and is
+    /// driven by the tick path, so it costs no allocation at steady state.
+    /// Returns `false` if the pipe is not installed here.
+    pub fn set_pipe_cbr(&mut self, pipe: PipeId, config: Option<CbrConfig>, from: SimTime) -> bool {
+        if !self.owns_pipe(pipe) {
+            return false;
+        }
+        self.cbr.retain(|s| s.pipe != pipe);
+        if let Some(config) = config {
+            if let Some(interval) = config.interval() {
+                self.cbr.push(CbrSource {
+                    pipe,
+                    packet_size: config.packet_size,
+                    interval,
+                    next_at: from,
+                    seq: 0,
+                });
+            }
+        }
+        true
+    }
+
+    /// The CBR injectors currently installed on this core, as
+    /// `(pipe, packet size, inter-packet gap)` triples.
+    pub fn cbr_sources(
+        &self,
+    ) -> impl Iterator<Item = (PipeId, mn_util::ByteSize, SimDuration)> + '_ {
+        self.cbr.iter().map(|s| (s.pipe, s.packet_size, s.interval))
+    }
+
+    /// Injects every background packet due at or before `now` into its pipe
+    /// with its ideal timestamp. Runs at the head of each scheduler pass;
+    /// with warmed buffers it allocates nothing.
+    fn inject_cbr(&mut self, now: SimTime) {
+        for i in 0..self.cbr.len() {
+            let mut source = self.cbr[i];
+            while source.next_at <= now {
+                let at = source.next_at;
+                source.next_at = at + source.interval;
+                let packet = Packet::new(
+                    PacketId(source.seq),
+                    FlowKey {
+                        // Background packets belong to no VN pair; the
+                        // sentinel endpoints can never collide with bound
+                        // VNs, and the packet is discarded at its pipe exit.
+                        src: VnId(u32::MAX),
+                        dst: VnId(u32::MAX),
+                        src_port: 0,
+                        dst_port: 0,
+                        protocol: Protocol::Udp,
+                    },
+                    TransportHeader::Udp {
+                        payload_len: source.packet_size.as_bytes() as u32,
+                        seq: source.seq,
+                    },
+                    at,
+                );
+                source.seq += 1;
+                self.stats.cbr_injected += 1;
+                self.cpu_backlog += self.profile.per_packet_cpu;
+                let descriptor = Descriptor::background(packet, at);
+                let pipe = self
+                    .pipes
+                    .get_mut(source.pipe.index())
+                    .and_then(Option::as_mut)
+                    .expect("CBR sources are installed on locally owned pipes");
+                // The configured wire size is authoritative for bandwidth
+                // accounting; loss/RED/overflow apply to background packets
+                // exactly as to foreground ones.
+                if let EnqueueOutcome::Accepted { exit_time } =
+                    pipe.enqueue(at, source.packet_size, descriptor, &mut self.rng)
+                {
+                    self.wheel.push(exit_time, source.pipe);
+                }
+            }
+            self.cbr[i] = source;
+        }
+    }
+
     /// Counters.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
@@ -324,12 +429,14 @@ impl EmulatorCore {
     pub fn next_wakeup(&self) -> Option<SimTime> {
         let heap_next = self.wheel.peek_time();
         let staged_next = self.pending_remote.iter().map(|(_, _, t)| *t).min();
-        match (heap_next, staged_next) {
-            (Some(a), Some(b)) => Some(self.profile.next_tick_at(a.min(b))),
-            (Some(a), None) => Some(self.profile.next_tick_at(a)),
-            (None, Some(b)) => Some(self.profile.next_tick_at(b)),
-            (None, None) => None,
-        }
+        // An installed CBR injector keeps the core perpetually busy: its
+        // next injection is always due work (background load never stops).
+        let cbr_next = self.cbr.iter().map(|s| s.next_at).min();
+        [heap_next, staged_next, cbr_next]
+            .into_iter()
+            .flatten()
+            .min()
+            .map(|t| self.profile.next_tick_at(t))
     }
 
     fn credit_cpu(&mut self, now: SimTime) {
@@ -487,6 +594,11 @@ impl EmulatorCore {
         self.credit_cpu(now);
         out.clear();
 
+        // Background cross traffic first: due injections enter their pipes
+        // with their ideal timestamps, so they contend with (and are ordered
+        // against) the foreground work this pass services.
+        self.inject_cbr(now);
+
         // Descriptors whose next pipe is remote (staged at ingress). Swap the
         // staging buffer with a persistent scratch so its capacity is reused
         // instead of reallocated every tick.
@@ -517,6 +629,12 @@ impl EmulatorCore {
             pipe.dequeue_ready_into(now, &mut ready);
             for dequeued in ready.drain(..) {
                 let mut descriptor = dequeued.item;
+                if descriptor.is_background() {
+                    // Background cross traffic vanishes at its pipe exit: it
+                    // exists to contend for bandwidth and queue slots, not
+                    // to be delivered or tunnelled.
+                    continue;
+                }
                 self.cpu_backlog += self.profile.per_hop_cpu;
                 let lateness = now.duration_since(dequeued.exit_time);
                 if self.profile.packet_debt_correction {
@@ -619,6 +737,7 @@ mod tests {
             physical_drops_cpu: seed * 19 + 7,
             bytes_in: seed * 23 + 8,
             bytes_out: seed * 29 + 9,
+            cbr_injected: seed * 31 + 10,
         }
     }
 

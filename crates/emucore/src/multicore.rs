@@ -14,13 +14,36 @@ use std::sync::Arc;
 use mn_assign::{Binding, CoreId, PipeOwnershipDirectory};
 use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
 use mn_packet::{Packet, VnId};
-use mn_routing::{RouteTable, RoutingMatrix};
+use mn_pipe::CbrConfig;
+use mn_routing::{RouteTable, RouteUpdate, RoutingMatrix};
 use mn_topology::NodeId;
 use mn_util::{SimTime, TimerWheel};
 
 use crate::core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
 use crate::descriptor::{Delivery, Descriptor};
 use crate::hardware::HardwareProfile;
+
+/// The backend-independent half of an incremental routing change: updates
+/// the matrix in place against the mutated `topo`, and — only if any route
+/// actually changed — re-wires a clone of the shared route table and swaps
+/// it into `routes`. Both execution backends call this and then distribute
+/// the new `Arc` their own way, so the sequence (and with it the
+/// bit-identity contract) cannot drift between them.
+pub(crate) fn apply_route_change(
+    matrix: &mut RoutingMatrix,
+    routes: &mut Arc<RouteTable>,
+    locations: &[NodeId],
+    topo: &DistilledTopology,
+    changed: &[PipeId],
+) -> RouteUpdate {
+    let update = matrix.update_pipes(topo, changed);
+    if !update.is_empty() {
+        let mut table = (**routes).clone();
+        table.rewire_in_place(matrix, locations, &update.changed_pairs);
+        *routes = Arc::new(table);
+    }
+    update
+}
 
 /// Result of submitting a packet to the emulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,6 +260,42 @@ impl MultiCoreEmulator {
             return false;
         };
         self.cores[owner.index()].update_pipe_attrs(pipe, attrs)
+    }
+
+    /// Installs, replaces or (with `None`) removes the CBR background
+    /// injector on a pipe, on whichever core owns it. Injection starts at
+    /// `from` (the paper's hop-by-hop compensation for distilled-away
+    /// links, and the cross-traffic half of runtime reconfiguration).
+    pub fn set_pipe_cbr(&mut self, pipe: PipeId, config: Option<CbrConfig>, from: SimTime) -> bool {
+        let Some(owner) = self.pod.get_owner(pipe) else {
+            return false;
+        };
+        self.cores[owner.index()].set_pipe_cbr(pipe, config, from)
+    }
+
+    /// Applies an **incremental** routing change after the listed pipes of
+    /// `topo` were mutated in place (failure, restore, latency
+    /// renegotiation): only the shortest-route trees a change can affect
+    /// are recomputed ([`RoutingMatrix::update_pipes`]), and only the
+    /// endpoint pairs whose route actually changed are re-wired in the
+    /// interned route table ([`RouteTable::rewire_in_place`]). Untouched
+    /// `RouteId`s are preserved, so descriptors in flight keep resolving to
+    /// the routes they started on — like packets already inside the paper's
+    /// cores — while new packets see only the post-change routes.
+    pub fn reroute(&mut self, topo: &DistilledTopology, changed: &[PipeId]) -> RouteUpdate {
+        let update = apply_route_change(
+            &mut self.matrix,
+            &mut self.routes,
+            &self.vn_location,
+            topo,
+            changed,
+        );
+        if !update.is_empty() {
+            for core in &mut self.cores {
+                core.set_route_table(self.routes.clone());
+            }
+        }
+        update
     }
 
     /// The topology location a VN is bound to.
@@ -710,6 +769,203 @@ mod tests {
         assert_eq!(single.tunnels_out, 0);
         assert!(split.tunnels_out > 0, "a 6-hop split path tunnels");
         assert_eq!(split.tunnels_out, split.tunnels_in);
+    }
+
+    /// Three clients over two stub routers with power-of-two link latencies
+    /// (unique shortest paths): `a-r1-b` is the fast a↔b route, `r2` the
+    /// detour that also serves `c`.
+    fn detour_topology() -> (
+        mn_topology::Topology,
+        [NodeId; 3], // a, b, c
+        [NodeId; 2], // r1, r2
+    ) {
+        use mn_topology::{LinkAttrs, NodeKind, Topology};
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let b = topo.add_node(NodeKind::Client);
+        let c = topo.add_node(NodeKind::Client);
+        let r1 = topo.add_node(NodeKind::Stub);
+        let r2 = topo.add_node(NodeKind::Stub);
+        let link = |ms: u64| LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(ms));
+        // Latencies chosen so every shortest path is unique and `c`'s
+        // routes to both `a` and `b` go straight over `r2`, never touching
+        // the `a-r1` link the test fails.
+        topo.add_link(a, r1, link(1)).unwrap();
+        topo.add_link(r1, b, link(2)).unwrap();
+        topo.add_link(a, r2, link(4)).unwrap();
+        topo.add_link(r2, b, link(5)).unwrap();
+        topo.add_link(c, r2, link(16)).unwrap();
+        (topo, [a, b, c], [r1, r2])
+    }
+
+    #[test]
+    fn reroute_preserves_untouched_and_inflight_route_ids() {
+        // The incremental path behind runtime reconfiguration: failing one
+        // link must (1) leave every unaffected pair's RouteId untouched,
+        // (2) let descriptors already in flight finish on their pre-failure
+        // route, and (3) steer packets submitted afterwards around the
+        // failure.
+        let (topo, [a, b, c], [r1, _r2]) = detour_topology();
+        let mut d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(1, 1));
+        let mut emu = MultiCoreEmulator::single_core(
+            &d,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            1,
+        );
+        let vn = |node| binding.vn_at(node).unwrap();
+        let pair_id = |emu: &MultiCoreEmulator, x: VnId, y: VnId| {
+            emu.route_table().route_id(x.index(), y.index()).unwrap()
+        };
+        let ab_before = pair_id(&emu, vn(a), vn(b));
+        let cb_before = pair_id(&emu, vn(c), vn(b));
+        let ca_before = pair_id(&emu, vn(c), vn(a));
+        // One packet in flight on the fast a->b route.
+        let t0 = SimTime::ZERO;
+        assert!(emu
+            .submit(t0, tcp_packet(1, vn(a), vn(b), 1000, t0))
+            .is_accepted());
+        // Fail a-r1 in both directions and reroute incrementally.
+        let down = [d.find_pipe(a, r1).unwrap(), d.find_pipe(r1, a).unwrap()];
+        for p in down {
+            d.pipe_attrs_mut(p).unwrap().bandwidth = DataRate::ZERO;
+        }
+        let update = emu.reroute(&d, &down);
+        assert!(update.recomputed_sources >= 1);
+        // (1) pairs not using the failed link keep their exact RouteId.
+        assert_eq!(pair_id(&emu, vn(c), vn(b)), cb_before);
+        assert_eq!(pair_id(&emu, vn(c), vn(a)), ca_before);
+        // (3) the a->b pair is rewired to the detour.
+        let ab_after = pair_id(&emu, vn(a), vn(b));
+        assert_ne!(ab_after, ab_before);
+        let detour = emu.route_table().pipes(ab_after).to_vec();
+        assert!(!detour.contains(&down[0]) && !detour.contains(&down[1]));
+        // (2) the in-flight packet drains over its pre-failure route: the
+        // retained RouteId still resolves, and the delivery shows the fast
+        // path's 3 ms propagation, not the 12 ms detour.
+        let deliveries = run_until_idle(&mut emu, t0);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].hops, 2);
+        let delay = deliveries[0].core_delay();
+        assert!(
+            delay < SimDuration::from_millis(6),
+            "drained old route: {delay}"
+        );
+        // New traffic takes the detour end to end.
+        let t1 = SimTime::from_millis(50);
+        assert!(emu
+            .submit(t1, tcp_packet(2, vn(a), vn(b), 1000, t1))
+            .is_accepted());
+        let deliveries = run_until_idle(&mut emu, t1);
+        assert_eq!(deliveries.len(), 1);
+        let delay = deliveries[0].core_delay();
+        assert!(
+            delay >= SimDuration::from_millis(9),
+            "detour latency: {delay}"
+        );
+    }
+
+    #[test]
+    fn cbr_cross_traffic_contends_for_bandwidth_and_queue() {
+        // A 10 Mb/s hop carrying an 8 Mb/s foreground stream fits; with a
+        // 5 Mb/s CBR injector on the pipe the aggregate exceeds capacity,
+        // so the foreground stream must lose packets to queue overflow.
+        let run = |cbr: bool| {
+            let (mut emu, src, dst) = single_path(1, 1);
+            if cbr {
+                assert!(emu.set_pipe_cbr(
+                    mn_distill::PipeId(0),
+                    Some(CbrConfig::new(
+                        DataRate::from_mbps(5),
+                        mn_util::ByteSize::from_bytes(1000),
+                    )),
+                    SimTime::ZERO,
+                ));
+            }
+            let mut accepted = 0u64;
+            let horizon = SimTime::from_secs(2);
+            let mut now = SimTime::ZERO;
+            let mut id = 0u64;
+            while now < horizon {
+                // 1000-byte packets every millisecond = 8 Mb/s offered.
+                let pkt = tcp_packet(id, src, dst, 960, now);
+                if emu.submit(now, pkt).is_accepted() {
+                    accepted += 1;
+                }
+                id += 1;
+                now += SimDuration::from_millis(1);
+                let _ = emu.advance(now);
+            }
+            // Drain the queues (bounded: CBR keeps the emulator non-idle).
+            let _ = emu.advance(horizon + SimDuration::from_secs(1));
+            (accepted, id, emu.total_stats())
+        };
+        let (clean_accepted, offered, clean_stats) = run(false);
+        assert_eq!(clean_accepted, offered, "8 Mb/s fits a 10 Mb/s pipe");
+        assert_eq!(clean_stats.cbr_injected, 0);
+        let (loaded_accepted, offered, loaded_stats) = run(true);
+        assert!(
+            loaded_stats.cbr_injected > 500,
+            "CBR ran for 2 s at 625 pkt/s"
+        );
+        assert!(
+            loaded_accepted < offered,
+            "13 Mb/s aggregate must overflow the 10 Mb/s queue"
+        );
+        // Background packets never surface as deliveries.
+        assert_eq!(loaded_stats.packets_delivered, loaded_accepted);
+    }
+
+    #[test]
+    fn cbr_injector_can_be_replaced_and_removed() {
+        let (mut emu, _, _) = single_path(1, 1);
+        let pipe = mn_distill::PipeId(0);
+        let cbr = CbrConfig::new(DataRate::from_mbps(2), mn_util::ByteSize::from_bytes(500));
+        assert!(emu.set_pipe_cbr(pipe, Some(cbr), SimTime::ZERO));
+        assert!(
+            emu.next_wakeup().is_some(),
+            "an injector is always due work"
+        );
+        let sources = |emu: &MultiCoreEmulator| -> Vec<_> {
+            emu.cores().iter().flat_map(|c| c.cbr_sources()).collect()
+        };
+        // 500 B at 2 Mb/s: one injection every 2 ms.
+        assert_eq!(
+            sources(&emu),
+            vec![(
+                pipe,
+                mn_util::ByteSize::from_bytes(500),
+                SimDuration::from_millis(2)
+            )]
+        );
+        let _ = emu.advance(SimTime::from_millis(100));
+        let after_run = emu.total_stats().cbr_injected;
+        assert!(after_run > 0);
+        // Replacing halves the rate (doubles the gap) without stacking a
+        // second source on the pipe.
+        let slower = CbrConfig::new(DataRate::from_mbps(1), mn_util::ByteSize::from_bytes(500));
+        assert!(emu.set_pipe_cbr(pipe, Some(slower), SimTime::from_millis(100)));
+        assert_eq!(
+            sources(&emu),
+            vec![(
+                pipe,
+                mn_util::ByteSize::from_bytes(500),
+                SimDuration::from_millis(4)
+            )]
+        );
+        assert!(emu.set_pipe_cbr(pipe, None, SimTime::from_millis(100)));
+        assert!(sources(&emu).is_empty());
+        let _ = emu.advance(SimTime::from_millis(200));
+        assert_eq!(
+            emu.total_stats().cbr_injected,
+            after_run,
+            "removed: no more injections"
+        );
+        // Unknown pipes are rejected.
+        assert!(!emu.set_pipe_cbr(mn_distill::PipeId(999), Some(cbr), SimTime::ZERO));
     }
 
     #[test]

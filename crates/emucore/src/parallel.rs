@@ -50,7 +50,8 @@ use std::thread::JoinHandle;
 use mn_assign::{Binding, CoreId, PipeOwnershipDirectory};
 use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
 use mn_packet::{Packet, VnId};
-use mn_routing::{RouteTable, RoutingMatrix};
+use mn_pipe::CbrConfig;
+use mn_routing::{RouteTable, RouteUpdate, RoutingMatrix};
 use mn_topology::NodeId;
 use mn_util::spsc::{self, Consumer, Producer};
 use mn_util::{SimTime, SpinBarrier, SpinWait, TimerWheel};
@@ -87,6 +88,12 @@ enum Command {
     SetRoutes(Arc<RouteTable>),
     /// Update one locally installed pipe's parameters.
     UpdatePipe { pipe: PipeId, attrs: PipeAttrs },
+    /// Install/replace/remove the CBR injector on one local pipe.
+    SetCbr {
+        pipe: PipeId,
+        config: Option<CbrConfig>,
+        from: SimTime,
+    },
     /// Report counters and the earliest due work without running anything.
     Query,
     /// Stop: hand the core back and exit the thread.
@@ -201,6 +208,10 @@ impl Worker {
                 Command::SetRoutes(routes) => self.core.set_route_table(routes),
                 Command::UpdatePipe { pipe, attrs } => {
                     let updated = self.core.update_pipe_attrs(pipe, attrs);
+                    self.push_response(Response::PipeUpdated(updated));
+                }
+                Command::SetCbr { pipe, config, from } => {
+                    let updated = self.core.set_pipe_cbr(pipe, config, from);
                     self.push_response(Response::PipeUpdated(updated));
                 }
                 Command::Query => {
@@ -744,6 +755,42 @@ impl ParallelEmulator {
             Response::PipeUpdated(updated) => updated,
             _ => unreachable!("UpdatePipe is answered by PipeUpdated"),
         }
+    }
+
+    /// Installs, replaces or (with `None`) removes the CBR background
+    /// injector on a pipe, on whichever core thread owns it. Same
+    /// semantics as [`MultiCoreEmulator::set_pipe_cbr`].
+    pub fn set_pipe_cbr(&mut self, pipe: PipeId, config: Option<CbrConfig>, from: SimTime) -> bool {
+        let Some(owner) = self.pod.get_owner(pipe) else {
+            return false;
+        };
+        let worker = &mut self.workers[owner.index()];
+        worker.send(Command::SetCbr { pipe, config, from });
+        match worker.wait_response() {
+            Response::PipeUpdated(updated) => updated,
+            _ => unreachable!("SetCbr is answered by PipeUpdated"),
+        }
+    }
+
+    /// Applies an incremental routing change after the listed pipes of
+    /// `topo` were mutated in place, and installs the re-wired route table
+    /// on every core thread. Same semantics as
+    /// [`MultiCoreEmulator::reroute`]: untouched `RouteId`s (and the
+    /// descriptors in flight on them) are preserved.
+    pub fn reroute(&mut self, topo: &DistilledTopology, changed: &[PipeId]) -> RouteUpdate {
+        let update = crate::multicore::apply_route_change(
+            &mut self.matrix,
+            &mut self.routes,
+            &self.vn_location,
+            topo,
+            changed,
+        );
+        if !update.is_empty() {
+            for worker in &mut self.workers {
+                worker.send(Command::SetRoutes(self.routes.clone()));
+            }
+        }
+        update
     }
 
     /// Routes a packet to its entry core (or resolves it locally), without
@@ -1335,6 +1382,171 @@ mod tests {
             let mut seq_outcomes = Vec::new();
             seq.submit_batch(make_batch(&binding), &mut seq_outcomes);
             assert_eq!(seq_outcomes, reference);
+        }
+    }
+
+    #[test]
+    fn mid_run_reconfiguration_is_bit_identical_across_backends() {
+        // The reconfiguration primitives themselves — in-place pipe
+        // renegotiation, CBR injector installation/removal, incremental
+        // reroute after a failure and after the restore — must leave the
+        // threaded backend bit-identical to the sequential one: same
+        // deliveries in the same order at the same times, same counters
+        // (including the CBR injection count).
+        use mn_pipe::CbrConfig;
+        // Test-local dispatch over the two backends (the production enum
+        // lives in the façade crate, which this crate cannot depend on).
+        #[allow(clippy::large_enum_variant)]
+        enum Either {
+            Seq(MultiCoreEmulator),
+            Par(ParallelEmulator),
+        }
+        impl Either {
+            fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
+                match self {
+                    Either::Seq(e) => e.advance(now),
+                    Either::Par(e) => e.advance(now),
+                }
+            }
+            fn submit(&mut self, now: SimTime, p: Packet) -> SubmitOutcome {
+                match self {
+                    Either::Seq(e) => e.submit(now, p),
+                    Either::Par(e) => e.submit(now, p),
+                }
+            }
+            fn next_wakeup(&self) -> Option<SimTime> {
+                match self {
+                    Either::Seq(e) => e.next_wakeup(),
+                    Either::Par(e) => e.next_wakeup(),
+                }
+            }
+            fn update_pipe_attrs(&mut self, pipe: PipeId, attrs: PipeAttrs) -> bool {
+                match self {
+                    Either::Seq(e) => e.update_pipe_attrs(pipe, attrs),
+                    Either::Par(e) => e.update_pipe_attrs(pipe, attrs),
+                }
+            }
+            fn set_pipe_cbr(
+                &mut self,
+                pipe: PipeId,
+                config: Option<CbrConfig>,
+                from: SimTime,
+            ) -> bool {
+                match self {
+                    Either::Seq(e) => e.set_pipe_cbr(pipe, config, from),
+                    Either::Par(e) => e.set_pipe_cbr(pipe, config, from),
+                }
+            }
+            fn reroute(&mut self, topo: &DistilledTopology, changed: &[PipeId]) -> RouteUpdate {
+                match self {
+                    Either::Seq(e) => e.reroute(topo, changed),
+                    Either::Par(e) => e.reroute(topo, changed),
+                }
+            }
+            fn total_stats(&self) -> CoreStats {
+                match self {
+                    Either::Seq(e) => e.total_stats(),
+                    Either::Par(e) => e.total_stats(),
+                }
+            }
+        }
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let make_distilled = || distill(&topo, DistillationMode::HopByHop);
+        for cores in [1usize, 2, 4] {
+            let run = |threaded: bool| {
+                let mut d = make_distilled();
+                let matrix = RoutingMatrix::build(&d);
+                let binding = Binding::bind(d.vns(), &BindingParams::new(2, cores));
+                let pod = greedy_k_clusters(&d, cores, 7);
+                let seq = MultiCoreEmulator::new(
+                    &d,
+                    pod,
+                    matrix,
+                    &binding,
+                    HardwareProfile::unconstrained(),
+                    11,
+                );
+                let mut emu = if threaded {
+                    Either::Par(ParallelEmulator::from_sequential(seq))
+                } else {
+                    Either::Seq(seq)
+                };
+                let vns: Vec<VnId> = binding.vns().collect();
+                let victim = {
+                    let src = binding.location(vns[0]).unwrap();
+                    d.out_pipes(src)[0]
+                };
+                let original = d.pipe(victim).attrs;
+                let mut log = Vec::new();
+                let mut id = 0u64;
+                for round in 0..12u64 {
+                    let now = SimTime::from_millis(round * 2);
+                    for d in emu.advance(now) {
+                        log.push((d.packet.id.0, d.delivered_at, d.hops));
+                    }
+                    match round {
+                        2 => {
+                            // Bandwidth renegotiation in place.
+                            let mut slow = original;
+                            slow.bandwidth = DataRate::from_mbps(2);
+                            assert!(emu.update_pipe_attrs(victim, slow));
+                        }
+                        4 => {
+                            assert!(emu.set_pipe_cbr(
+                                victim,
+                                Some(CbrConfig::new(
+                                    DataRate::from_mbps(1),
+                                    mn_util::ByteSize::from_bytes(500),
+                                )),
+                                now,
+                            ));
+                        }
+                        6 => {
+                            let mut dead = original;
+                            dead.bandwidth = DataRate::ZERO;
+                            *d.pipe_attrs_mut(victim).unwrap() = dead;
+                            let _ = emu.reroute(&d, &[victim]);
+                        }
+                        8 => {
+                            *d.pipe_attrs_mut(victim).unwrap() = original;
+                            let _ = emu.reroute(&d, &[victim]);
+                            assert!(emu.set_pipe_cbr(victim, None, now));
+                        }
+                        _ => {}
+                    }
+                    for (i, &src) in vns.iter().enumerate() {
+                        let dst = vns[(i + 3) % vns.len()];
+                        let _ = emu.submit(now, tcp_packet(id, src, dst, 700, now));
+                        id += 1;
+                    }
+                }
+                let mut now = SimTime::from_millis(24);
+                let horizon = SimTime::from_millis(200);
+                while let Some(t) = emu.next_wakeup() {
+                    // CBR was removed at round 8, so the emulator does go
+                    // idle; the horizon only bounds a regression.
+                    if t > horizon {
+                        break;
+                    }
+                    now = now.max(t);
+                    for d in emu.advance(now) {
+                        log.push((d.packet.id.0, d.delivered_at, d.hops));
+                    }
+                }
+                (log, emu.total_stats())
+            };
+            let sequential = run(false);
+            let threaded = run(true);
+            assert!(!sequential.0.is_empty());
+            assert!(sequential.1.cbr_injected > 0, "CBR ran for 4 rounds");
+            assert_eq!(
+                sequential, threaded,
+                "{cores}-core reconfigured runs diverge"
+            );
         }
     }
 

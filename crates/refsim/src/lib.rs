@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use mn_topology::paths::{shortest_path, PathMetric};
 use mn_topology::{LinkId, NodeId, Topology};
-use mn_util::{DataRate, SimDuration};
+use mn_util::{DataRate, SimDuration, SimTime};
 
 /// One long-lived flow between two nodes of the target topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -157,6 +157,97 @@ pub fn path_latency(topo: &Topology, src: NodeId, dst: NodeId) -> Option<SimDura
     mn_topology::paths::shortest_path_latency(topo, src, dst)
 }
 
+/// A timed change to one link of a dynamic reference scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkChange {
+    /// The link fails (zero bandwidth: no path may use it).
+    Down,
+    /// The link returns to its original attributes.
+    Up,
+    /// The link is re-parameterised (e.g. its capacity reduced by a CBR
+    /// cross-traffic rate).
+    Set(mn_topology::LinkAttrs),
+}
+
+/// The reference simulator's view of a dynamic network: a base topology
+/// plus a virtual-time-ordered stream of link changes — the same failures,
+/// recoveries and renegotiations an emulation-side
+/// `mn_dynamics::Schedule` applies, expressed over target links.
+///
+/// The flow-level model is memoryless, so honoring a schedule means
+/// evaluating each query against the topology *as of* the query time:
+/// [`ScheduledTopology::topology_at`] materialises that snapshot, and the
+/// existing oracles ([`max_min_fair_share`], [`path_latency`]) run over it
+/// unchanged. Failed links are excluded from shortest paths entirely.
+#[derive(Debug, Clone)]
+pub struct ScheduledTopology {
+    base: Topology,
+    /// `(time, link, change)`, kept time-ordered (stable for equal times).
+    changes: Vec<(SimTime, LinkId, LinkChange)>,
+}
+
+impl ScheduledTopology {
+    /// Wraps a base topology with no changes scheduled.
+    pub fn new(base: Topology) -> Self {
+        ScheduledTopology {
+            base,
+            changes: Vec::new(),
+        }
+    }
+
+    /// The unmodified base topology.
+    pub fn base(&self) -> &Topology {
+        &self.base
+    }
+
+    /// Adds a change at `at`, keeping the stream time-ordered (insertion
+    /// order breaks ties, mirroring the emulation-side schedule).
+    pub fn push(&mut self, at: SimTime, link: LinkId, change: LinkChange) {
+        let idx = self.changes.partition_point(|&(t, _, _)| t <= at);
+        self.changes.insert(idx, (at, link, change));
+    }
+
+    /// Schedules a link failure.
+    pub fn link_down(mut self, at: SimTime, link: LinkId) -> Self {
+        self.push(at, link, LinkChange::Down);
+        self
+    }
+
+    /// Schedules a link recovery.
+    pub fn link_up(mut self, at: SimTime, link: LinkId) -> Self {
+        self.push(at, link, LinkChange::Up);
+        self
+    }
+
+    /// Schedules a link re-parameterisation.
+    pub fn set_link(mut self, at: SimTime, link: LinkId, attrs: mn_topology::LinkAttrs) -> Self {
+        self.push(at, link, LinkChange::Set(attrs));
+        self
+    }
+
+    /// The network as of virtual time `t`: the base topology with every
+    /// change at or before `t` folded in, in schedule order.
+    pub fn topology_at(&self, t: SimTime) -> Topology {
+        let mut topo = self.base.clone();
+        for &(at, link, change) in &self.changes {
+            if at > t {
+                break;
+            }
+            let attrs = match change {
+                LinkChange::Down => {
+                    let mut failed = self.base.link(link).expect("scheduled link exists").attrs;
+                    failed.bandwidth = DataRate::ZERO;
+                    failed
+                }
+                LinkChange::Up => self.base.link(link).expect("scheduled link exists").attrs,
+                LinkChange::Set(attrs) => attrs,
+            };
+            *topo.link_attrs_mut(link).expect("scheduled link exists") = attrs;
+        }
+        topo
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +350,93 @@ mod tests {
         let a = topo.add_node(NodeKind::Client);
         let b = topo.add_node(NodeKind::Client);
         let alloc = max_min_fair_share(&topo, &[FlowSpec { src: a, dst: b }]);
+        assert_eq!(alloc[0].rate, DataRate::ZERO);
+        assert_eq!(alloc[0].hops, 0);
+    }
+
+    #[test]
+    fn scheduled_topology_replays_failures_and_recoveries() {
+        // a - r - b (fast) plus a - b direct (slow): failing the a-r link
+        // moves the reference route to the direct link, restoring moves it
+        // back; between the events the snapshots are stable.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let r = topo.add_node(NodeKind::Stub);
+        let b = topo.add_node(NodeKind::Client);
+        let fast = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+        let ar = topo.add_link(a, r, fast).unwrap();
+        topo.add_link(r, b, fast).unwrap();
+        topo.add_link(
+            a,
+            b,
+            LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(20)),
+        )
+        .unwrap();
+        let t = SimTime::from_secs;
+        let scenario = ScheduledTopology::new(topo)
+            .link_down(t(2), ar)
+            .link_up(t(4), ar);
+        let flow = [FlowSpec { src: a, dst: b }];
+        // Before the failure: 2 ms via the router at 10 Mb/s.
+        let before = max_min_fair_share(&scenario.topology_at(t(1)), &flow);
+        assert_eq!(before[0].latency, SimDuration::from_millis(2));
+        assert_eq!(before[0].rate, DataRate::from_mbps(10));
+        assert_eq!(before[0].hops, 2);
+        // While down: the direct 20 ms / 2 Mb/s link, and the failed link
+        // is excluded from shortest paths entirely.
+        let during = max_min_fair_share(&scenario.topology_at(t(3)), &flow);
+        assert_eq!(during[0].latency, SimDuration::from_millis(20));
+        assert_eq!(during[0].rate, DataRate::from_mbps(2));
+        assert_eq!(during[0].hops, 1);
+        // After the recovery: back to the fast path.
+        let after = max_min_fair_share(&scenario.topology_at(t(5)), &flow);
+        assert_eq!(after[0].latency, SimDuration::from_millis(2));
+        // Snapshots at the event instants include the event (<= semantics).
+        assert_eq!(
+            max_min_fair_share(&scenario.topology_at(t(2)), &flow)[0].hops,
+            1
+        );
+        assert_eq!(scenario.base().link(ar).unwrap().attrs, fast);
+    }
+
+    #[test]
+    fn scheduled_topology_set_link_models_cbr_compensation() {
+        // Reducing a link's capacity by a CBR rate is how the reference
+        // honors a cross-traffic episode.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let b = topo.add_node(NodeKind::Client);
+        let base = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(5));
+        let ab = topo.add_link(a, b, base).unwrap();
+        let reduced = LinkAttrs::new(DataRate::from_mbps(6), SimDuration::from_millis(5));
+        let scenario = ScheduledTopology::new(topo)
+            .set_link(SimTime::from_secs(1), ab, reduced)
+            .link_up(SimTime::from_secs(2), ab);
+        let flow = [FlowSpec { src: a, dst: b }];
+        let loaded = max_min_fair_share(&scenario.topology_at(SimTime::from_secs(1)), &flow);
+        assert_eq!(loaded[0].rate, DataRate::from_mbps(6));
+        let clean = max_min_fair_share(&scenario.topology_at(SimTime::from_secs(3)), &flow);
+        assert_eq!(clean[0].rate, DataRate::from_mbps(10));
+    }
+
+    #[test]
+    fn failed_links_are_unusable_in_the_reference_model() {
+        // A topology whose only path fails: the flow becomes unroutable
+        // rather than crossing a zero-capacity link.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let b = topo.add_node(NodeKind::Client);
+        let ab = topo
+            .add_link(
+                a,
+                b,
+                LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1)),
+            )
+            .unwrap();
+        let scenario = ScheduledTopology::new(topo).link_down(SimTime::from_secs(1), ab);
+        let snapshot = scenario.topology_at(SimTime::from_secs(2));
+        assert_eq!(path_latency(&snapshot, a, b), None);
+        let alloc = max_min_fair_share(&snapshot, &[FlowSpec { src: a, dst: b }]);
         assert_eq!(alloc[0].rate, DataRate::ZERO);
         assert_eq!(alloc[0].hops, 0);
     }

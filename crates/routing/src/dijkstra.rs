@@ -55,16 +55,42 @@ impl Route {
     }
 }
 
+/// Routing cost of a pipe in the shortest-path computation: its latency in
+/// nanoseconds plus one (the hop-count tie breaker), or [`UNUSABLE_COST`]
+/// for a failed (zero-bandwidth) pipe, which routing must avoid — the
+/// "perfect routing protocol" reacting to a failure.
+pub fn pipe_cost(attrs: &mn_distill::PipeAttrs) -> u64 {
+    if attrs.bandwidth.is_zero() {
+        UNUSABLE_COST
+    } else {
+        attrs.latency.as_nanos() + 1
+    }
+}
+
+/// The cost assigned to a pipe that cannot carry traffic.
+pub const UNUSABLE_COST: u64 = u64::MAX;
+
 /// Single-source shortest routes over the pipe graph.
 ///
 /// Returns, for every node, the predecessor pipe on a latency-shortest route
 /// from `source` (or `None` if unreachable or the source itself).
 pub fn shortest_route_tree(topo: &DistilledTopology, source: NodeId) -> Vec<Option<PipeId>> {
+    shortest_route_tree_with_dist(topo, source).0
+}
+
+/// Like [`shortest_route_tree`], but also returns the distance label of
+/// every node (`u64::MAX` when unreachable). The incremental routing-matrix
+/// update stores these labels to bound which sources a pipe change can
+/// affect.
+pub fn shortest_route_tree_with_dist(
+    topo: &DistilledTopology,
+    source: NodeId,
+) -> (Vec<Option<PipeId>>, Vec<u64>) {
     let n = topo.node_count();
     let mut dist = vec![u64::MAX; n];
     let mut pred: Vec<Option<PipeId>> = vec![None; n];
     if source.index() >= n {
-        return pred;
+        return (pred, dist);
     }
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0;
@@ -74,17 +100,12 @@ pub fn shortest_route_tree(topo: &DistilledTopology, source: NodeId) -> Vec<Opti
             continue;
         }
         for &pipe_id in topo.out_pipes(u) {
-            let pipe = topo.pipe(pipe_id);
-            // A zero-bandwidth pipe is a failed link: it cannot carry traffic
-            // and routing must avoid it (the "perfect routing protocol"
-            // reacting to a failure).
-            if pipe.attrs.bandwidth.is_zero() {
+            let cost = pipe_cost(&topo.pipe(pipe_id).attrs);
+            if cost == UNUSABLE_COST {
                 continue;
             }
-            // +1 ns acts as the hop-count tie breaker.
-            let cost = pipe.attrs.latency.as_nanos() + 1;
             let nd = d.saturating_add(cost);
-            let v = pipe.dst;
+            let v = topo.pipe(pipe_id).dst;
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
                 pred[v.index()] = Some(pipe_id);
@@ -92,7 +113,7 @@ pub fn shortest_route_tree(topo: &DistilledTopology, source: NodeId) -> Vec<Opti
             }
         }
     }
-    pred
+    (pred, dist)
 }
 
 /// Extracts the route to `dst` from a predecessor tree rooted at `src`.

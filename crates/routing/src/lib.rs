@@ -26,9 +26,12 @@ pub mod matrix;
 pub mod table;
 
 pub use cache::RouteCache;
-pub use dijkstra::{route_between, shortest_route_tree, Route};
+pub use dijkstra::{
+    pipe_cost, route_between, shortest_route_tree, shortest_route_tree_with_dist, Route,
+    UNUSABLE_COST,
+};
 pub use hierarchical::HierarchicalRouter;
-pub use matrix::RoutingMatrix;
+pub use matrix::{RouteUpdate, RoutingMatrix};
 pub use table::{RouteId, RouteTable};
 
 use mn_topology::NodeId;

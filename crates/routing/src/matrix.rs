@@ -13,8 +13,30 @@ use serde::{Deserialize, Serialize};
 use mn_distill::DistilledTopology;
 use mn_topology::NodeId;
 
-use crate::dijkstra::{route_from_tree, shortest_route_tree, Route};
+use crate::dijkstra::{
+    pipe_cost, route_from_tree, shortest_route_tree_with_dist, Route, UNUSABLE_COST,
+};
 use crate::RouteProvider;
+
+use mn_distill::PipeId;
+
+/// What one [`RoutingMatrix::update_pipes`] call changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteUpdate {
+    /// Ordered VN location pairs whose route changed (appeared, disappeared
+    /// or was rewired). Callers re-wire exactly these pairs in their route
+    /// tables.
+    pub changed_pairs: Vec<(NodeId, NodeId)>,
+    /// Number of sources whose shortest-route tree had to be recomputed.
+    pub recomputed_sources: usize,
+}
+
+impl RouteUpdate {
+    /// Returns `true` if no route changed.
+    pub fn is_empty(&self) -> bool {
+        self.changed_pairs.is_empty()
+    }
+}
 
 /// Dense all-pairs route storage over the VN set of a distilled topology.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -25,6 +47,17 @@ pub struct RoutingMatrix {
     index_of: HashMap<NodeId, usize>,
     /// `routes[src_index * n + dst_index]`; `None` when unreachable.
     routes: Vec<Option<Route>>,
+    /// Distance labels of every source's shortest-route tree
+    /// (`dist[src_index * node_count + node]`, `u64::MAX` unreachable),
+    /// kept so [`RoutingMatrix::update_pipes`] can bound which sources a
+    /// pipe change affects without re-running Dijkstra for all of them.
+    dist: Vec<u64>,
+    /// Node count of the pipe graph the matrix was last (re)built against.
+    node_count: usize,
+    /// Per-pipe routing cost snapshot from the last (re)build/update.
+    pipe_cost: Vec<u64>,
+    /// Bumped by every rebuild and every non-empty incremental update.
+    version: u64,
 }
 
 impl RoutingMatrix {
@@ -36,6 +69,10 @@ impl RoutingMatrix {
             index_of: vns.iter().enumerate().map(|(i, &n)| (n, i)).collect(),
             routes: Vec::new(),
             vns,
+            dist: Vec::new(),
+            node_count: 0,
+            pipe_cost: Vec::new(),
+            version: 0,
         };
         matrix.rebuild(topo);
         matrix
@@ -45,14 +82,119 @@ impl RoutingMatrix {
     /// Used after fault injection changes reachability or latencies.
     pub fn rebuild(&mut self, topo: &DistilledTopology) {
         let n = self.vns.len();
+        self.node_count = topo.node_count();
         let mut routes = vec![None; n * n];
+        let mut dist = vec![u64::MAX; n * self.node_count];
         for (si, &src) in self.vns.iter().enumerate() {
-            let pred = shortest_route_tree(topo, src);
+            let (pred, row) = shortest_route_tree_with_dist(topo, src);
+            dist[si * self.node_count..(si + 1) * self.node_count].copy_from_slice(&row);
             for (di, &dst) in self.vns.iter().enumerate() {
                 routes[si * n + di] = route_from_tree(topo, &pred, src, dst);
             }
         }
         self.routes = routes;
+        self.dist = dist;
+        self.pipe_cost = topo.pipes().map(|(_, p)| pipe_cost(&p.attrs)).collect();
+        self.version += 1;
+    }
+
+    /// Incrementally updates the matrix after the listed pipes of `topo`
+    /// were mutated in place (failure, restore, latency/bandwidth
+    /// renegotiation).
+    ///
+    /// Only sources whose shortest-route tree a change can affect are
+    /// recomputed: a pipe that got *worse* matters only to sources whose
+    /// distance labels show it on a shortest path, and a pipe that got
+    /// *better* only to sources it can now undercut (checked against the
+    /// stored labels). The result is exactly what a from-scratch
+    /// [`RoutingMatrix::rebuild`] would produce — pinned by the
+    /// `dynamics_invariants` property suite — at a cost proportional to the
+    /// affected sources rather than the whole VN set.
+    pub fn update_pipes(&mut self, topo: &DistilledTopology, changed: &[PipeId]) -> RouteUpdate {
+        let n = self.vns.len();
+        if self.dist.len() != n * topo.node_count() || self.pipe_cost.len() != topo.pipe_count() {
+            // Shape mismatch (different pipe graph): fall back to a full
+            // rebuild, reporting every rewired pair.
+            let old = std::mem::take(&mut self.routes);
+            self.rebuild(topo);
+            let mut changed_pairs = Vec::new();
+            for (si, &src) in self.vns.iter().enumerate() {
+                for (di, &dst) in self.vns.iter().enumerate() {
+                    if old.get(si * n + di) != Some(&self.routes[si * n + di]) {
+                        changed_pairs.push((src, dst));
+                    }
+                }
+            }
+            return RouteUpdate {
+                changed_pairs,
+                recomputed_sources: n,
+            };
+        }
+        // Classify each genuinely changed pipe by cost direction.
+        let mut worsened: Vec<(PipeId, u64)> = Vec::new(); // with old cost
+        let mut improved: Vec<PipeId> = Vec::new(); // new cost in snapshot
+        for &p in changed {
+            let old = self.pipe_cost[p.index()];
+            let new = pipe_cost(&topo.pipe(p).attrs);
+            if new == old {
+                continue;
+            }
+            if new > old {
+                worsened.push((p, old));
+            } else {
+                improved.push(p);
+            }
+            self.pipe_cost[p.index()] = new;
+        }
+        let mut update = RouteUpdate::default();
+        if worsened.is_empty() && improved.is_empty() {
+            return update;
+        }
+        for si in 0..n {
+            let row = &self.dist[si * self.node_count..(si + 1) * self.node_count];
+            // A worsened pipe affects this source only if the old labels put
+            // it on a shortest path (label equality along the edge); an
+            // improved pipe only if its new cost now ties or undercuts the
+            // stored label of its head (`<=` so tie-breaking matches a
+            // from-scratch recomputation exactly).
+            let affected = worsened.iter().any(|&(p, old_cost)| {
+                let pipe = topo.pipe(p);
+                let du = row[pipe.src.index()];
+                du != UNUSABLE_COST
+                    && old_cost != UNUSABLE_COST
+                    && du.saturating_add(old_cost) == row[pipe.dst.index()]
+            }) || improved.iter().any(|&p| {
+                let pipe = topo.pipe(p);
+                let du = row[pipe.src.index()];
+                let new_cost = self.pipe_cost[p.index()];
+                du != UNUSABLE_COST && du.saturating_add(new_cost) <= row[pipe.dst.index()]
+            });
+            if !affected {
+                continue;
+            }
+            update.recomputed_sources += 1;
+            let src = self.vns[si];
+            let (pred, fresh) = shortest_route_tree_with_dist(topo, src);
+            self.dist[si * self.node_count..(si + 1) * self.node_count].copy_from_slice(&fresh);
+            for (di, &dst) in self.vns.iter().enumerate() {
+                let new_route = route_from_tree(topo, &pred, src, dst);
+                let slot = &mut self.routes[si * n + di];
+                if *slot != new_route {
+                    *slot = new_route;
+                    update.changed_pairs.push((src, dst));
+                }
+            }
+        }
+        if !update.changed_pairs.is_empty() || update.recomputed_sources > 0 {
+            self.version += 1;
+        }
+        update
+    }
+
+    /// Monotonic change counter: bumped by every rebuild and every
+    /// incremental update that touched a source tree.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The VN set the matrix covers.
@@ -209,6 +351,95 @@ mod tests {
             "route should avoid the slowed pipe"
         );
         assert_eq!(after.total_latency(&d), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn incremental_update_matches_scratch_rebuild_across_a_flap() {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let mut d = distill(&topo, DistillationMode::HopByHop);
+        let mut m = RoutingMatrix::build(&d);
+        let v0 = m.version();
+        // Fail one ring pipe (both directions of the link), then restore it;
+        // after each step the incremental update must equal a from-scratch
+        // build pair for pair.
+        let vns = m.vns().to_vec();
+        let victim = m.lookup(vns[0], vns[6]).unwrap().pipes[1];
+        let original = d.pipe(victim).attrs;
+        let check = |m: &RoutingMatrix, d: &DistilledTopology| {
+            let scratch = RoutingMatrix::build(d);
+            for &a in m.vns() {
+                for &b in m.vns() {
+                    assert_eq!(m.lookup(a, b), scratch.lookup(a, b), "{a}->{b}");
+                }
+            }
+        };
+        d.pipe_attrs_mut(victim).unwrap().bandwidth = mn_util::DataRate::ZERO;
+        let down = m.update_pipes(&d, &[victim]);
+        assert!(!down.is_empty(), "failing a used pipe rewires routes");
+        assert!(m.version() > v0);
+        check(&m, &d);
+        *d.pipe_attrs_mut(victim).unwrap() = original;
+        let up = m.update_pipes(&d, &[victim]);
+        assert!(!up.is_empty(), "restoring the pipe rewires routes back");
+        check(&m, &d);
+    }
+
+    #[test]
+    fn update_touching_nothing_reports_empty_and_keeps_version() {
+        let d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let v = m.version();
+        // Same attributes: no cost change, nothing recomputed.
+        let update = m.update_pipes(&d, &[mn_distill::PipeId(0)]);
+        assert!(update.is_empty());
+        assert_eq!(update.recomputed_sources, 0);
+        assert_eq!(m.version(), v);
+    }
+
+    #[test]
+    fn only_affected_sources_are_recomputed() {
+        // Two disjoint duplex paths a1-r1-b1 and a2-r2-b2: failing a1's
+        // access pipe can only affect sources that could route over it.
+        let mut topo = mn_topology::Topology::new();
+        let fast =
+            mn_topology::LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+        let mut pair = || {
+            let a = topo.add_node(mn_topology::NodeKind::Client);
+            let r = topo.add_node(mn_topology::NodeKind::Stub);
+            let b = topo.add_node(mn_topology::NodeKind::Client);
+            topo.add_link(a, r, fast).unwrap();
+            topo.add_link(r, b, fast).unwrap();
+            (a, b)
+        };
+        let (a1, _b1) = pair();
+        let (_a2, _b2) = pair();
+        let mut d = distill(&topo, DistillationMode::HopByHop);
+        let mut m = RoutingMatrix::build(&d);
+        let victim = d.out_pipes(a1)[0];
+        d.pipe_attrs_mut(victim).unwrap().bandwidth = mn_util::DataRate::ZERO;
+        let update = m.update_pipes(&d, &[victim]);
+        // Only a1's own tree used the failed outbound pipe.
+        assert_eq!(update.recomputed_sources, 1);
+        assert!(update.changed_pairs.iter().all(|&(src, _)| src == a1));
+        assert!(m.lookup(a1, _b1).is_none(), "a1 lost its only route out");
+    }
+
+    #[test]
+    fn bandwidth_only_renegotiation_changes_no_routes() {
+        // Routing cost is latency plus usability: halving a pipe's (nonzero)
+        // bandwidth must not recompute or rewire anything.
+        let mut d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let pipe = mn_distill::PipeId(0);
+        let bw = d.pipe(pipe).attrs.bandwidth;
+        d.pipe_attrs_mut(pipe).unwrap().bandwidth = bw.mul_f64(0.5);
+        let update = m.update_pipes(&d, &[pipe]);
+        assert!(update.is_empty());
+        assert_eq!(update.recomputed_sources, 0);
     }
 
     #[test]

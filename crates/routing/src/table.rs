@@ -50,6 +50,14 @@ pub struct RouteTable {
     /// `pair[src * endpoint_count + dst]` is the route's id, or `NO_ROUTE`.
     pair: Vec<u32>,
     endpoint_count: usize,
+    /// Content index over `routes` (pipe sequence → first id with that
+    /// content), maintained by [`RouteTable::intern`] so incremental
+    /// rewires reuse any retained route — a restored link maps back to its
+    /// pre-failure `RouteId` instead of growing the table on every flap.
+    by_content: HashMap<Vec<PipeId>, RouteId>,
+    /// Bumped by every rebuild/rewire, so drivers and tests can observe
+    /// that a routing change took effect.
+    version: u64,
 }
 
 impl RouteTable {
@@ -61,6 +69,8 @@ impl RouteTable {
             routes: Vec::new(),
             pair: vec![NO_ROUTE; endpoint_count * endpoint_count],
             endpoint_count,
+            by_content: HashMap::new(),
+            version: 0,
         }
     }
 
@@ -84,24 +94,19 @@ impl RouteTable {
     /// repeated rebuilds (periodic fault injection) do not grow the table
     /// unless routes keep changing.
     pub fn rebuild(prev: &RouteTable, matrix: &RoutingMatrix, locations: &[NodeId]) -> Self {
-        Self::build_preserving(prev.routes.clone(), matrix, locations)
+        let mut table = Self::build_preserving(prev.routes.clone(), matrix, locations);
+        table.version = prev.version + 1;
+        table
     }
 
     fn build_preserving(routes: Vec<Route>, matrix: &RoutingMatrix, locations: &[NodeId]) -> Self {
-        let mut table = RouteTable {
-            routes,
-            pair: vec![NO_ROUTE; locations.len() * locations.len()],
-            endpoint_count: locations.len(),
-        };
-        // Build-time only: the hot path never touches these maps. Content
-        // dedup lets a rebuild reuse every retained route that did not
-        // change.
-        let mut by_content: HashMap<Vec<PipeId>, RouteId> = table
-            .routes
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.pipes.clone(), RouteId(i as u32)))
-            .collect();
+        let mut table = RouteTable::new(locations.len());
+        // Re-interning rebuilds the content index; dedup lets a rebuild
+        // reuse every retained route that did not change. Build-time only:
+        // the hot path never touches the maps.
+        for route in routes {
+            table.intern(route);
+        }
         let mut by_location_pair: HashMap<(NodeId, NodeId), RouteId> = HashMap::new();
         for (si, &src_loc) in locations.iter().enumerate() {
             for (di, &dst_loc) in locations.iter().enumerate() {
@@ -114,13 +119,9 @@ impl RouteTable {
                         let Some(route) = matrix.lookup(src_loc, dst_loc) else {
                             continue;
                         };
-                        let id = match by_content.get(&route.pipes) {
+                        let id = match table.by_content.get(&route.pipes) {
                             Some(&id) => id,
-                            None => {
-                                let id = table.intern(route.clone());
-                                by_content.insert(route.pipes.clone(), id);
-                                id
-                            }
+                            None => table.intern(route.clone()),
                         };
                         by_location_pair.insert((src_loc, dst_loc), id);
                         id
@@ -132,16 +133,77 @@ impl RouteTable {
         table
     }
 
-    /// Stores a route and returns its handle. The caller is responsible for
-    /// deduplication (see [`RouteTable::build`]).
+    /// Re-wires only the endpoint pairs bound to the given changed location
+    /// pairs against the updated matrix, retaining every existing route id —
+    /// the incremental counterpart of [`RouteTable::rebuild`] driven by
+    /// [`RoutingMatrix::update_pipes`](crate::RoutingMatrix::update_pipes).
+    /// A new route whose pipe sequence already exists (e.g. a restored link
+    /// bringing back the pre-failure path) resolves to its old id, so
+    /// oscillating links do not grow the table. Untouched pairs — and the
+    /// `RouteId`s of descriptors in flight on them — are not visited at all.
+    pub fn rewire_in_place(
+        &mut self,
+        matrix: &RoutingMatrix,
+        locations: &[NodeId],
+        changed: &[(NodeId, NodeId)],
+    ) {
+        assert_eq!(
+            locations.len(),
+            self.endpoint_count,
+            "locations must match the endpoint set the table was built over"
+        );
+        if changed.is_empty() {
+            return;
+        }
+        // Endpoint indices per location (build-time only, O(endpoints)).
+        let mut endpoints_at: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, &loc) in locations.iter().enumerate() {
+            endpoints_at.entry(loc).or_default().push(i);
+        }
+        for &(src_loc, dst_loc) in changed {
+            if src_loc == dst_loc {
+                continue; // same-location pairs stay local, never routed
+            }
+            let (Some(srcs), Some(dsts)) = (endpoints_at.get(&src_loc), endpoints_at.get(&dst_loc))
+            else {
+                continue; // no endpoint bound there: nothing to rewire
+            };
+            // Resolve the pair's new route id once.
+            let id = match matrix.lookup(src_loc, dst_loc) {
+                Some(route) => Some(match self.by_content.get(&route.pipes).copied() {
+                    Some(id) => id,
+                    None => self.intern(route.clone()),
+                }),
+                None => None,
+            };
+            for &si in srcs {
+                for &di in dsts {
+                    let slot = &mut self.pair[si * self.endpoint_count + di];
+                    *slot = id.map_or(NO_ROUTE, |id| id.0);
+                }
+            }
+        }
+        self.version += 1;
+    }
+
+    /// Stores a route and returns its handle; the content index keeps the
+    /// first id interned for any given pipe sequence, so later rewires
+    /// dedup against it. Callers wiring pairs by hand are still responsible
+    /// for reusing ids where they want sharing (see [`RouteTable::build`]).
     pub fn intern(&mut self, route: Route) -> RouteId {
         assert!(
             self.routes.len() < NO_ROUTE as usize,
             "route table overflow"
         );
         let id = RouteId(self.routes.len() as u32);
+        self.by_content.entry(route.pipes.clone()).or_insert(id);
         self.routes.push(route);
         id
+    }
+
+    /// Monotonic change counter, bumped by every rewire.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Wires an ordered endpoint pair to an interned route.
@@ -310,6 +372,92 @@ mod tests {
             table = RouteTable::rebuild(&table, &matrix, &locations);
         }
         assert_eq!(table.route_count(), first.route_count());
+    }
+
+    #[test]
+    fn rewire_preserves_untouched_ids_and_dedups_restored_routes() {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let mut d = distill(&topo, DistillationMode::HopByHop);
+        let mut matrix = RoutingMatrix::build(&d);
+        let locations = d.vns().to_vec();
+        let mut table = RouteTable::build(&matrix, &locations);
+        let baseline: Vec<Option<RouteId>> = (0..locations.len() * locations.len())
+            .map(|i| table.route_id(i / locations.len(), i % locations.len()))
+            .collect();
+        let count_after_build = table.route_count();
+        // Fail one transit pipe both ways, rewire only the changed pairs.
+        let victim = matrix.lookup(locations[0], locations[6]).unwrap().pipes[1];
+        let reverse = {
+            let p = d.pipe(victim);
+            d.find_pipe(p.dst, p.src).expect("duplex link")
+        };
+        let original = d.pipe(victim).attrs;
+        let flap = |d: &mut mn_distill::DistilledTopology,
+                    matrix: &mut RoutingMatrix,
+                    table: &mut RouteTable,
+                    attrs: mn_distill::PipeAttrs| {
+            *d.pipe_attrs_mut(victim).unwrap() = attrs;
+            *d.pipe_attrs_mut(reverse).unwrap() = attrs;
+            let update = matrix.update_pipes(d, &[victim, reverse]);
+            assert!(!update.is_empty());
+            table.rewire_in_place(matrix, &locations, &update.changed_pairs);
+            update
+        };
+        let failed = mn_distill::PipeAttrs {
+            bandwidth: mn_util::DataRate::ZERO,
+            ..original
+        };
+        let down = flap(&mut d, &mut matrix, &mut table, failed);
+        let count_after_down = table.route_count();
+        // Untouched pairs keep their exact RouteId; changed pairs resolve to
+        // routes avoiding the failed pipe.
+        let n = locations.len();
+        let changed: std::collections::HashSet<(usize, usize)> = down
+            .changed_pairs
+            .iter()
+            .map(|&(a, b)| {
+                let si = locations.iter().position(|&l| l == a).unwrap();
+                let di = locations.iter().position(|&l| l == b).unwrap();
+                (si, di)
+            })
+            .collect();
+        for s in 0..n {
+            for t in 0..n {
+                if changed.contains(&(s, t)) {
+                    if let Some(id) = table.route_id(s, t) {
+                        assert!(!table.pipes(id).contains(&victim));
+                        assert!(!table.pipes(id).contains(&reverse));
+                    }
+                } else {
+                    assert_eq!(
+                        table.route_id(s, t),
+                        baseline[s * n + t],
+                        "untouched pair ({s},{t}) must keep its RouteId"
+                    );
+                }
+            }
+        }
+        // Restore: every pair maps back to its original id, and a second
+        // full flap cycle does not grow the table (oscillation-safe dedup).
+        flap(&mut d, &mut matrix, &mut table, original);
+        for s in 0..n {
+            for t in 0..n {
+                assert_eq!(table.route_id(s, t), baseline[s * n + t]);
+            }
+        }
+        assert_eq!(table.route_count(), count_after_down);
+        flap(&mut d, &mut matrix, &mut table, failed);
+        flap(&mut d, &mut matrix, &mut table, original);
+        assert_eq!(table.route_count(), count_after_down);
+        assert!(
+            count_after_down > count_after_build,
+            "detour routes interned"
+        );
+        assert_eq!(table.version(), 4, "one bump per rewire");
     }
 
     #[test]

@@ -117,6 +117,17 @@ pub fn shortest_path_tree(
             continue;
         }
         for (v, link) in topo.neighbors(u) {
+            // A zero-bandwidth link models a failure: it carries no traffic,
+            // so no path may use it (the routing view of fault injection).
+            if topo
+                .link(link)
+                .expect("link exists")
+                .attrs
+                .bandwidth
+                .is_zero()
+            {
+                continue;
+            }
             let nd = d.saturating_add(link_cost(topo, link, metric));
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;

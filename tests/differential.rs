@@ -17,6 +17,13 @@
 //!    run through the threaded `ParallelEmulator`; delivery streams
 //!    (order, ids, times, hops, accumulated error) and per-core counter
 //!    totals must be *exactly* equal to the sequential backend's.
+//! 3. **Dynamics differential.** A failure/recovery schedule (plus a CBR
+//!    cross-traffic episode) runs through both backends at 1, 2 and 4
+//!    cores while the reference simulator replays the *same* schedule over
+//!    the target topology (`mn_refsim::ScheduledTopology`); per-phase
+//!    delivery windows, hop-for-hop route agreement and reachability must
+//!    match the reference, and the two backends must stay bit-identical
+//!    through every reconfiguration.
 
 mod common;
 
@@ -270,6 +277,259 @@ proptest! {
         prop_assert_eq!(seq_log, par_log, "delivery streams diverge");
         prop_assert_eq!(seq_stats, par.total_stats(), "counters diverge");
     }
+}
+
+/// The dynamics differential scenario: clients `a`, `b`, `c` over two stub
+/// routers with distinct link latencies (unique shortest paths). `a-r1-b`
+/// is the fast a↔b route; `r2` carries the detour and serves `c`.
+///
+/// Returns the topology plus the link ids of `a-r1` and `a-r2` (the links
+/// the schedule fails) and the client nodes.
+fn dynamics_scenario() -> (Topology, [mn_topology::LinkId; 2], [NodeId; 3]) {
+    use mn_topology::{LinkAttrs, NodeKind};
+    let mut topo = Topology::new();
+    let a = topo.add_node(NodeKind::Client);
+    let b = topo.add_node(NodeKind::Client);
+    let c = topo.add_node(NodeKind::Client);
+    let r1 = topo.add_node(NodeKind::Stub);
+    let r2 = topo.add_node(NodeKind::Stub);
+    let link = |ms: u64| LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(ms));
+    let ar1 = topo.add_link(a, r1, link(1)).unwrap();
+    topo.add_link(r1, b, link(2)).unwrap();
+    let ar2 = topo.add_link(a, r2, link(4)).unwrap();
+    topo.add_link(r2, b, link(5)).unwrap();
+    topo.add_link(c, r2, link(16)).unwrap();
+    (topo, [ar1, ar2], [a, b, c])
+}
+
+/// Failure/recovery schedule through Sequential, Threaded and refsim at
+/// 1/2/4 cores: per-packet delivery windows and hop-for-hop route
+/// agreement against the reference replaying the same schedule, plus
+/// bit-identity of the probe records across backends.
+#[test]
+fn failure_recovery_schedule_agrees_with_reference_across_backends() {
+    use mn_dynamics::{Schedule, ScheduleEngine};
+    use mn_refsim::ScheduledTopology;
+    use modelnet::EmulatorBackend;
+
+    let (topo, [ar1, ar2], [a, b, c]) = dynamics_scenario();
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let t = SimTime::from_millis;
+    // Pipe/link pairs for the two links the schedule manipulates.
+    let duplex = |link: mn_topology::LinkId| {
+        let l = topo.link(link).unwrap();
+        (
+            d.find_pipe(l.a, l.b).unwrap(),
+            d.find_pipe(l.b, l.a).unwrap(),
+        )
+    };
+    let (p1f, p1r) = duplex(ar1);
+    let (p2f, p2r) = duplex(ar2);
+    // Two failures and two recoveries; between 200 and 300 ms both a↔b
+    // paths are down and the pair is unreachable.
+    let schedule = || {
+        Schedule::new()
+            .duplex_down(t(100), p1f, p1r)
+            .duplex_down(t(200), p2f, p2r)
+            .duplex_up(t(300), p1f, p1r)
+            .duplex_up(t(400), p2f, p2r)
+    };
+    // The reference replays the same schedule over the target links.
+    let reference = ScheduledTopology::new(topo.clone())
+        .link_down(t(100), ar1)
+        .link_down(t(200), ar2)
+        .link_up(t(300), ar1)
+        .link_up(t(400), ar2);
+    // One probe per phase, on the pair the schedule affects and on a
+    // control pair (`c -> b`) no event can touch.
+    let probe_times = [t(50), t(150), t(250), t(350), t(450)];
+    let payload: u32 = 1000;
+    let tick = SimDuration::from_micros(100);
+
+    type ProbeRecord = (SimTime, &'static str, Option<(SimTime, usize)>);
+    let run = |cores: usize, threaded: bool| -> Vec<ProbeRecord> {
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, cores));
+        let pod = greedy_k_clusters(&d, cores, 7);
+        let seq = MultiCoreEmulator::new(
+            &d,
+            pod,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            5,
+        );
+        let mut backend = if threaded {
+            EmulatorBackend::Threaded(ParallelEmulator::from_sequential(seq))
+        } else {
+            EmulatorBackend::Sequential(seq)
+        };
+        let mut engine = ScheduleEngine::new(d.clone(), schedule());
+        let vn = |node| binding.vn_at(node).unwrap();
+        let mut records = Vec::new();
+        let mut id = 0u64;
+        for &probe_at in &probe_times {
+            // Apply every schedule event due before this probe.
+            let _ = engine.apply_due(probe_at, &mut backend);
+            for (label, src, dst) in [("a->b", vn(a), vn(b)), ("c->b", vn(c), vn(b))] {
+                let pkt = udp_packet(id, src, dst, payload, probe_at);
+                id += 1;
+                let outcome = backend.submit(probe_at, pkt);
+                let mut delivered = None;
+                if outcome.is_accepted() {
+                    let mut deliveries = Vec::new();
+                    let mut now = probe_at;
+                    for _ in 0..100_000 {
+                        let Some(next) = backend.next_wakeup() else {
+                            break;
+                        };
+                        now = now.max(next);
+                        backend.advance_into(now, &mut deliveries);
+                        if !deliveries.is_empty() {
+                            break;
+                        }
+                    }
+                    assert_eq!(deliveries.len(), 1, "{label} probe at {probe_at}");
+                    delivered = Some((deliveries[0].delivered_at, deliveries[0].hops));
+                }
+                records.push((probe_at, label, delivered));
+            }
+        }
+        records
+    };
+
+    for cores in [1usize, 2, 4] {
+        let sequential = run(cores, false);
+        let threaded = run(cores, true);
+        assert_eq!(
+            sequential, threaded,
+            "{cores}-core probe records diverge across backends"
+        );
+        // Differential against the reference, phase by phase.
+        for &(probe_at, label, delivered) in &sequential {
+            let snapshot = reference.topology_at(probe_at);
+            let (src, dst) = if label == "a->b" { (a, b) } else { (c, b) };
+            let allocation = max_min_fair_share(&snapshot, &[FlowSpec { src, dst }]);
+            let reference_flow = &allocation[0];
+            match delivered {
+                None => {
+                    assert_eq!(
+                        reference_flow.hops, 0,
+                        "{label}@{probe_at}: emulator refused but reference routes"
+                    );
+                }
+                Some((delivered_at, hops)) => {
+                    assert!(
+                        reference_flow.hops > 0,
+                        "{label}@{probe_at}: emulator delivered but reference is unroutable"
+                    );
+                    assert_eq!(
+                        hops, reference_flow.hops,
+                        "{label}@{probe_at}: hop-for-hop route agreement"
+                    );
+                    // Wire size of the probes (headers included).
+                    let size = udp_packet(0, VnId(0), VnId(1), payload, SimTime::ZERO).size;
+                    let bottleneck_tx = reference_flow.rate.transmission_time(size);
+                    let delay = delivered_at - probe_at;
+                    let lower = reference_flow.latency + bottleneck_tx;
+                    let upper = reference_flow.latency
+                        + bottleneck_tx * hops as u64
+                        + tick * (hops as u64 + 1);
+                    assert!(
+                        delay >= lower && delay <= upper,
+                        "{label}@{probe_at}: delay {delay} outside reference window \
+                         [{lower}, {upper}]"
+                    );
+                }
+            }
+        }
+        // The control pair was never rerouted; the dynamic pair saw the
+        // fast path, the detour, an outage, and the fast path again.
+        let ab_hops: Vec<Option<usize>> = sequential
+            .iter()
+            .filter(|r| r.1 == "a->b")
+            .map(|r| r.2.map(|(_, hops)| hops))
+            .collect();
+        assert_eq!(ab_hops, vec![Some(2), Some(2), None, Some(2), Some(2)]);
+    }
+}
+
+/// CBR cross-traffic differential: a foreground flow sharing its
+/// bottleneck with a scheduled CBR episode must track the reference's
+/// fair share over the *reduced* capacity while the episode lasts.
+#[test]
+fn cbr_episode_tracks_reduced_reference_capacity() {
+    use mn_dynamics::Schedule;
+    use mn_pipe::CbrConfig;
+    use mn_refsim::ScheduledTopology;
+    use mn_topology::{LinkAttrs, NodeKind};
+    use modelnet::EmulatorBackend;
+
+    // One 10 Mb/s bottleneck path a - r - b.
+    let mut topo = Topology::new();
+    let a = topo.add_node(NodeKind::Client);
+    let r = topo.add_node(NodeKind::Stub);
+    let b = topo.add_node(NodeKind::Client);
+    let fast = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+    topo.add_link(a, r, fast).unwrap();
+    let rb = topo.add_link(r, b, fast).unwrap();
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let bottleneck = d.find_pipe(r, b).unwrap();
+    let cbr_rate = DataRate::from_mbps(5);
+    let schedule = Schedule::new().cbr_start(
+        SimTime::ZERO,
+        bottleneck,
+        CbrConfig::new(cbr_rate, mn_util::ByteSize::from_bytes(1000)),
+    );
+    // Reference: the r-b link keeps 5 of its 10 Mb/s.
+    let reduced = LinkAttrs::new(DataRate::from_mbps(5), SimDuration::from_millis(1));
+    let reference = ScheduledTopology::new(topo.clone()).set_link(SimTime::ZERO, rb, reduced);
+    let allocation = max_min_fair_share(
+        &reference.topology_at(SimTime::ZERO),
+        &[FlowSpec { src: a, dst: b }],
+    );
+    let reference_mbps = allocation[0].rate.as_mbps_f64();
+    assert!((reference_mbps - 5.0).abs() < 1e-9);
+
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(2, 1));
+    let seq =
+        MultiCoreEmulator::single_core(&d, matrix, &binding, HardwareProfile::unconstrained(), 3);
+    let mut backend = EmulatorBackend::Sequential(seq);
+    let mut engine = mn_dynamics::ScheduleEngine::new(d.clone(), schedule);
+    let _ = engine.apply_due(SimTime::ZERO, &mut backend);
+    // Offer 8 Mb/s of foreground UDP for 2 s: a 1000-byte datagram every
+    // millisecond.
+    let src = binding.vn_at(a).unwrap();
+    let dst = binding.vn_at(b).unwrap();
+    let horizon = SimTime::from_secs(2);
+    let mut now = SimTime::ZERO;
+    let mut id = 0u64;
+    let mut delivered_payload = 0u64;
+    let mut deliveries = Vec::new();
+    while now < horizon {
+        let _ = backend.submit(now, udp_packet(id, src, dst, 1000, now));
+        id += 1;
+        now += SimDuration::from_millis(1);
+        deliveries.clear();
+        backend.advance_into(now, &mut deliveries);
+        delivered_payload += deliveries
+            .iter()
+            .map(|d| d.packet.header.payload_len() as u64)
+            .sum::<u64>();
+    }
+    let goodput_mbps = delivered_payload as f64 * 8.0 / 2.0 / 1e6;
+    assert!(
+        goodput_mbps >= reference_mbps * 0.75 && goodput_mbps <= reference_mbps * 1.15,
+        "foreground goodput {goodput_mbps:.2} Mb/s should track the reference \
+         fair share {reference_mbps:.2} Mb/s under the CBR episode"
+    );
+    let stats = backend.total_stats();
+    assert!(stats.cbr_injected > 1000, "the episode injected for 2 s");
+    assert!(
+        stats.packets_delivered < id,
+        "13 Mb/s of aggregate load on a 10 Mb/s pipe must drop"
+    );
 }
 
 /// Congested differential: two flows pushed at twice their fair share

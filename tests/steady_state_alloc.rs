@@ -106,6 +106,114 @@ fn drive(
     delivered
 }
 
+/// Like [`drive`], but with a submit cadence of 16.384 µs — an exact
+/// divisor of the timing wheel's 2^17 ns slot width. The exit-time residue
+/// pattern then repeats identically every wheel revolution, so slot
+/// occupancy high-water marks (and hence buffer capacities) saturate during
+/// warm-up instead of drifting for the whole run. An incommensurate cadence
+/// (like the 20 µs of [`drive`]) leaves high-water marks creeping for
+/// thousands of revolutions — warm-up noise that would mask the property
+/// this test pins: the *reconfiguration* adds no allocations of its own.
+fn drive_aligned(
+    emu: &mut MultiCoreEmulator,
+    vns: &[VnId],
+    deliveries: &mut Vec<mn_emucore::Delivery>,
+    start: u64,
+    iters: u64,
+) -> u64 {
+    const CADENCE_NS: u64 = 1 << 14; // 16.384 µs, 8 submissions per slot
+    let mut delivered = 0;
+    for i in start..start + iters {
+        let now = SimTime::from_nanos(i * CADENCE_NS);
+        let src = vns[i as usize % vns.len()];
+        let dst = vns[(i as usize + 7) % vns.len()];
+        let _ = emu.submit(now, tcp_packet(i, src, dst, now));
+        if i % 8 == 0 {
+            deliveries.clear();
+            emu.advance_into(now, deliveries);
+            delivered += deliveries.len() as u64;
+        }
+    }
+    delivered
+}
+
+#[test]
+fn steady_state_survives_a_bandwidth_renegotiation_without_allocating() {
+    // Runtime reconfiguration must not break the zero-alloc guarantee: a
+    // mid-run bandwidth renegotiation (the dynamics engine's in-place
+    // parameter update) and a running CBR background injector both ride
+    // the warmed tick path.
+    let topo = star_topology(&StarParams {
+        clients: 64,
+        ..StarParams::default()
+    });
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(4, 1));
+    let mut emu =
+        MultiCoreEmulator::single_core(&d, matrix, &binding, HardwareProfile::unconstrained(), 7);
+    let vns: Vec<VnId> = binding.vns().collect();
+    let mut deliveries: Vec<mn_emucore::Delivery> = Vec::new();
+
+    // A CBR injector on one spoke pipe runs through warm-up and the whole
+    // measured window. 4096 bits every 2.097152 ms (16 wheel slots) keeps
+    // the injection pattern wheel-periodic too.
+    let cbr_pipe = mn_distill::PipeId(0);
+    assert!(emu.set_pipe_cbr(
+        cbr_pipe,
+        Some(mn_pipe::CbrConfig::new(
+            mn_util::DataRate::from_bps(1_953_125),
+            mn_util::ByteSize::from_bytes(512),
+        )),
+        SimTime::ZERO,
+    ));
+    let warmed = drive_aligned(&mut emu, &vns, &mut deliveries, 0, 30_000);
+    assert!(warmed > 0, "warm-up must deliver packets");
+
+    // Pre-renegotiation steady state: zero allocations.
+    let before = alloc_calls();
+    let delivered = drive_aligned(&mut emu, &vns, &mut deliveries, 30_000, 5_000);
+    let delta = alloc_calls() - before;
+    assert!(delivered > 0, "steady state must deliver packets");
+    assert_eq!(
+        delta, 0,
+        "pre-renegotiation steady state allocated {delta}x"
+    );
+
+    // Renegotiate the pipe's bandwidth in place. The call itself must not
+    // allocate — it is the dynamics engine's per-event hot operation.
+    let renegotiated = {
+        let mut attrs = d.pipe(cbr_pipe).attrs;
+        attrs.bandwidth = attrs.bandwidth.mul_f64(0.5);
+        attrs
+    };
+    let before = alloc_calls();
+    assert!(emu.update_pipe_attrs(cbr_pipe, renegotiated));
+    assert_eq!(alloc_calls() - before, 0, "update_pipe_attrs allocated");
+
+    // A re-warm lets queue depths settle at the new bandwidth (the slower
+    // pipe holds more packets and lands exits in different slots, so
+    // buffers may grow to the new pattern's high-water marks once)…
+    let _ = drive_aligned(&mut emu, &vns, &mut deliveries, 35_000, 20_000);
+    // …after which the renegotiated steady state is allocation-free again.
+    let before = alloc_calls();
+    let delivered = drive_aligned(&mut emu, &vns, &mut deliveries, 55_000, 10_000);
+    let delta = alloc_calls() - before;
+    assert!(
+        delivered > 0,
+        "renegotiated steady state must deliver packets"
+    );
+    assert!(
+        emu.total_stats().cbr_injected > 0,
+        "the background injector ran"
+    );
+    assert_eq!(
+        delta, 0,
+        "post-renegotiation steady state made {delta} heap allocations; \
+         reconfiguration must keep the per-packet path allocation-free"
+    );
+}
+
 #[test]
 fn single_core_steady_state_allocates_nothing() {
     let topo = star_topology(&StarParams {
