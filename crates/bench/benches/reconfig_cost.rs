@@ -1,24 +1,36 @@
 //! Reconfiguration cost: what a 1-link flap costs while the emulation is
-//! loaded (the dynamics tentpole's figure of merit).
+//! loaded (the dynamics tentpole's figure of merit), across endpoint
+//! scales, plus the route-state memory footprint of the sharded
+//! copy-on-write table.
 //!
-//! The workload is 1024 disjoint 2-hop duplex paths — 4096 directed pipes —
-//! warmed so (nearly) every pipe holds an in-flight descriptor. Three
-//! operations are measured against that state:
+//! The workload is N disjoint 2-hop duplex paths — 4N directed pipes —
+//! warmed so (nearly) every pipe holds an in-flight descriptor. Against
+//! that state we measure, at 4096 / 8192 / 16384 pipes:
 //!
-//! * `flap_incremental` — fail one link (both directions) and restore it,
-//!   each step through [`MultiCoreEmulator::reroute`]: only the affected
-//!   source trees are recomputed and only the changed pairs re-wired, with
-//!   every untouched `RouteId` (and in-flight descriptor) preserved.
-//! * `flap_scratch` — the same flap through the pre-dynamics path: a full
-//!   `RoutingMatrix::build` (one Dijkstra per VN) plus
-//!   [`MultiCoreEmulator::set_routing`]'s total route-table rebuild, per
-//!   step. This is what every reconfiguration used to cost.
-//! * `renegotiate_in_place` — a pure bandwidth renegotiation (no routing
-//!   impact): two `update_pipe_attrs` calls, the dynamics engine's hot
-//!   operation.
+//! * `flap_incremental_<pipes>_pipes` — fail one link (both directions) and
+//!   restore it, each step through [`MultiCoreEmulator::reroute`]: only the
+//!   affected source trees are recomputed, only the changed row shards are
+//!   re-published (copy-on-write), and every untouched `RouteId` (and
+//!   in-flight descriptor) is preserved. With the sharded table the cost of
+//!   a fixed-fanout change should grow (well) sub-linearly in endpoints.
+//! * `flap_scratch_4096_pipes` — the same flap through the pre-dynamics
+//!   path: a full `RoutingMatrix::build` (one Dijkstra per VN) plus
+//!   [`MultiCoreEmulator::set_routing`]'s total rebuild, per step.
+//! * `renegotiate_in_place_4096_pipes` — a pure bandwidth renegotiation (no
+//!   routing impact): two `update_pipe_attrs` calls, the dynamics engine's
+//!   hot operation.
 //!
-//! A run writes `BENCH_reconfig.json` via `mn_bench::report`; CI uploads it
-//! with the other bench artifacts.
+//! The bench binary installs `mn_util::alloc::CountingAlloc`, so memory is
+//! measured, not estimated: each scale records the route-state resident
+//! bytes (vs the dense `endpoints² × 4` pair table it replaced) and the
+//! bytes allocated by one warm flap (the "bytes copied per flap" column —
+//! formerly a ~16 MB memcpy at 2048 endpoints). A separate 16384-endpoint
+//! row multiplexes 128 locations to pin the ≥10× memory claim at the
+//! paper's tens-of-thousands-of-VNs scale. A run writes
+//! `BENCH_reconfig.json` via `mn_bench::report`; CI uploads it with the
+//! other bench artifacts.
+
+use std::sync::Mutex;
 
 use criterion::{criterion_group, Criterion};
 
@@ -26,12 +38,25 @@ use mn_assign::{Binding, BindingParams, PipeOwnershipDirectory};
 use mn_distill::{distill, DistillationMode, DistilledTopology, PipeAttrs};
 use mn_emucore::{HardwareProfile, MultiCoreEmulator};
 use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
-use mn_routing::RoutingMatrix;
-use mn_topology::generators::{path_pairs_topology, PathPairsParams};
+use mn_routing::{RouteTable, RoutingMatrix};
+use mn_topology::generators::{path_pairs_topology, ring_topology, PathPairsParams, RingParams};
 use mn_topology::NodeId;
 use mn_util::{DataRate, SimDuration, SimTime};
 
-const PAIRS: usize = 1024; // 2 hops duplex => 4096 directed pipes
+#[global_allocator]
+static ALLOC: mn_util::alloc::CountingAlloc = mn_util::alloc::CountingAlloc;
+
+/// Path-pair scales measured: 1024/2048/4096 pairs = 4096/8192/16384
+/// directed pipes = 2048/4096/8192 endpoints.
+const FLAP_PAIRS: [usize; 3] = [1024, 2048, 4096];
+
+/// Memory rows collected while the benches run, drained by `main` into the
+/// JSON artifact.
+static MEM_ROWS: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+
+fn record_mem(label: impl Into<String>, bytes: u64) {
+    MEM_ROWS.lock().unwrap().push((label.into(), bytes));
+}
 
 fn udp_packet(id: u64, src: VnId, dst: VnId, now: SimTime) -> Packet {
     Packet::new(
@@ -51,16 +76,19 @@ fn udp_packet(id: u64, src: VnId, dst: VnId, now: SimTime) -> Packet {
     )
 }
 
-/// Builds the loaded emulator: 4096 pipes with an in-flight descriptor in
-/// (nearly) every one, plus the mutable pipe graph and the flap victim.
-fn loaded_emulator() -> (
+/// Builds the loaded emulator: `pairs` disjoint 2-hop duplex paths
+/// (4×`pairs` directed pipes) with an in-flight descriptor in (nearly)
+/// every pipe, plus the mutable pipe graph and the flap victim.
+fn loaded_emulator(
+    pairs: usize,
+) -> (
     MultiCoreEmulator,
     DistilledTopology,
     [mn_distill::PipeId; 2],
     usize,
 ) {
-    let (topo, pairs) = path_pairs_topology(&PathPairsParams {
-        pairs: PAIRS,
+    let (topo, endpoints) = path_pairs_topology(&PathPairsParams {
+        pairs,
         hops: 2,
         bandwidth: DataRate::from_mbps(100),
         end_to_end_latency: SimDuration::from_millis(8),
@@ -82,7 +110,7 @@ fn loaded_emulator() -> (
     // then occupies the first hops — every pipe ends up with an in-flight
     // descriptor parked in it.
     let mut id = 0u64;
-    for &(a, b) in &pairs {
+    for &(a, b) in &endpoints {
         for (src, dst) in [(a, b), (b, a)] {
             let _ = emu.submit(
                 SimTime::ZERO,
@@ -93,7 +121,7 @@ fn loaded_emulator() -> (
     }
     let mid = SimTime::from_millis(5); // first hop exits at ~4 ms + tx
     let _ = emu.advance(mid);
-    for &(a, b) in &pairs {
+    for &(a, b) in &endpoints {
         for (src, dst) in [(a, b), (b, a)] {
             let _ = emu.submit(mid, udp_packet(id, endpoint(src), endpoint(dst), mid));
             id += 1;
@@ -103,7 +131,10 @@ fn loaded_emulator() -> (
     // The flap victim: both directions of pair 0's first link.
     let route = emu
         .route_table()
-        .route_id(endpoint(pairs[0].0).index(), endpoint(pairs[0].1).index())
+        .route_id(
+            endpoint(endpoints[0].0).index(),
+            endpoint(endpoints[0].1).index(),
+        )
         .expect("pair 0 routes");
     let first = emu.route_table().pipes(route)[0];
     let reverse = {
@@ -113,28 +144,57 @@ fn loaded_emulator() -> (
     (emu, d, [first, reverse], pending)
 }
 
+/// One full flap: fail both victim directions, reroute, restore, reroute.
+fn flap_once(
+    emu: &mut MultiCoreEmulator,
+    d: &mut DistilledTopology,
+    victims: &[mn_distill::PipeId; 2],
+    original: &[PipeAttrs; 2],
+) {
+    for &p in victims {
+        d.pipe_attrs_mut(p).unwrap().bandwidth = DataRate::ZERO;
+    }
+    let down = emu.reroute(d, victims);
+    for (&p, &attrs) in victims.iter().zip(original) {
+        *d.pipe_attrs_mut(p).unwrap() = attrs;
+    }
+    let up = emu.reroute(d, victims);
+    std::hint::black_box((down, up));
+}
+
 fn bench_reconfig(c: &mut Criterion) {
     let mut group = c.benchmark_group("reconfig_cost");
-    {
-        let (mut emu, mut d, victims, pending) = loaded_emulator();
-        assert!(pending >= PAIRS * 3, "warm state holds {pending} in flight");
+    for pairs in FLAP_PAIRS {
+        let pipes = pairs * 4;
+        let (mut emu, mut d, victims, pending) = loaded_emulator(pairs);
+        assert!(pending >= pairs * 3, "warm state holds {pending} in flight");
         let original = [d.pipe(victims[0]).attrs, d.pipe(victims[1]).attrs];
-        group.bench_function("flap_incremental_4096_pipes", |b| {
-            b.iter(|| {
-                for &p in &victims {
-                    d.pipe_attrs_mut(p).unwrap().bandwidth = DataRate::ZERO;
-                }
-                let down = emu.reroute(&d, &victims);
-                for (&p, &attrs) in victims.iter().zip(&original) {
-                    *d.pipe_attrs_mut(p).unwrap() = attrs;
-                }
-                let up = emu.reroute(&d, &victims);
-                std::hint::black_box((down, up));
-            })
+        group.bench_function(&format!("flap_incremental_{pipes}_pipes"), |b| {
+            b.iter(|| flap_once(&mut emu, &mut d, &victims, &original))
         });
+        // Warm memory columns: resident route state vs the dense pair table
+        // it replaced, and the bytes one flap allocates (the copy-on-write
+        // publish plus the incremental matrix update) — measured by the
+        // counting allocator after the timed loop warmed every buffer.
+        let n = emu.route_table().endpoint_count();
+        let mem = emu.route_table().memory();
+        record_mem(
+            format!("route_state_resident_bytes_{n}_endpoints"),
+            mem.resident_bytes as u64,
+        );
+        record_mem(
+            format!("route_state_dense_bytes_{n}_endpoints"),
+            mem.dense_equivalent_bytes as u64,
+        );
+        let before = mn_util::alloc::total_allocated_bytes();
+        flap_once(&mut emu, &mut d, &victims, &original);
+        record_mem(
+            format!("flap_alloc_bytes_{pipes}_pipes"),
+            mn_util::alloc::total_allocated_bytes() - before,
+        );
     }
     {
-        let (mut emu, mut d, victims, _) = loaded_emulator();
+        let (mut emu, mut d, victims, _) = loaded_emulator(FLAP_PAIRS[0]);
         let original = [d.pipe(victims[0]).attrs, d.pipe(victims[1]).attrs];
         group.bench_function("flap_scratch_4096_pipes", |b| {
             b.iter(|| {
@@ -150,7 +210,7 @@ fn bench_reconfig(c: &mut Criterion) {
         });
     }
     {
-        let (mut emu, d, victims, _) = loaded_emulator();
+        let (mut emu, d, victims, _) = loaded_emulator(FLAP_PAIRS[0]);
         let base = d.pipe(victims[0]).attrs;
         let slow = PipeAttrs {
             bandwidth: base.bandwidth.mul_f64(0.5),
@@ -164,6 +224,37 @@ fn bench_reconfig(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Route-state memory at the paper's scale: 16384 endpoints multiplexed
+    // over 128 ring locations (the tens-of-thousands-of-VNs configuration).
+    // Co-located endpoints share one row shard, so the resident footprint
+    // is O(locations × endpoints) — measured both by the allocator (bytes
+    // the build actually took) and by the table's own accounting — against
+    // the 1 GiB a dense 16384² pair table would spend.
+    let topo = ring_topology(&RingParams {
+        routers: 128,
+        clients_per_router: 1,
+        ..RingParams::default()
+    });
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&d);
+    let base = d.vns().to_vec();
+    let locations: Vec<NodeId> = (0..16384).map(|i| base[i % base.len()]).collect();
+    let before = mn_util::alloc::bytes_in_use();
+    let table = RouteTable::build(&matrix, &locations);
+    let built = mn_util::alloc::bytes_in_use() - before;
+    let mem = table.memory();
+    record_mem("route_state_alloc_bytes_16384_endpoints", built as u64);
+    record_mem(
+        "route_state_resident_bytes_16384_endpoints",
+        mem.resident_bytes as u64,
+    );
+    record_mem(
+        "route_state_dense_bytes_16384_endpoints",
+        mem.dense_equivalent_bytes as u64,
+    );
+    assert_eq!(mem.distinct_row_allocations, 128, "one shard per location");
+    std::hint::black_box(table);
 }
 
 criterion_group!(benches, bench_reconfig);
@@ -180,6 +271,16 @@ fn main() {
         rows.push((r.name.clone(), r.mean_ns, r.iters));
         println!("{:<44} {:>14.0} ns/iter", r.name, r.mean_ns);
     }
+    let mem_rows = std::mem::take(&mut *MEM_ROWS.lock().unwrap());
+    let mem = |label: &str| {
+        mem_rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, bytes)| bytes)
+    };
+    for (label, bytes) in &mem_rows {
+        println!("{label:<44} {bytes:>14} bytes");
+    }
     if let (Some(&incremental), Some(&scratch)) = (
         by_name.get("reconfig_cost/flap_incremental_4096_pipes"),
         by_name.get("reconfig_cost/flap_scratch_4096_pipes"),
@@ -189,7 +290,28 @@ fn main() {
             scratch / incremental
         );
     }
-    match mn_bench::report::write_bench_json("reconfig", &rows) {
+    if let (Some(&small), Some(&large)) = (
+        by_name.get("reconfig_cost/flap_incremental_4096_pipes"),
+        by_name.get("reconfig_cost/flap_incremental_16384_pipes"),
+    ) {
+        println!(
+            "flap cost grows {:.2}x across a 4x endpoint-count increase \
+             (sub-linear wants < 4)",
+            large / small
+        );
+    }
+    if let (Some(resident), Some(dense)) = (
+        mem("route_state_alloc_bytes_16384_endpoints"),
+        mem("route_state_dense_bytes_16384_endpoints"),
+    ) {
+        println!(
+            "route state at 16384 endpoints: {:.1} MiB resident vs {:.1} MiB dense ({:.0}x smaller)",
+            resident as f64 / (1 << 20) as f64,
+            dense as f64 / (1 << 20) as f64,
+            dense as f64 / resident.max(1) as f64
+        );
+    }
+    match mn_bench::report::write_bench_json_with_memory("reconfig", &rows, &mem_rows) {
         Ok(path) => println!("bench report written to {path}"),
         Err(err) => eprintln!("could not write bench report: {err}"),
     }

@@ -97,6 +97,11 @@ impl Report {
 /// `(benchmark id, mean ns/iter, iterations measured)`.
 pub type BenchMeasurement = (String, f64, u64);
 
+/// One memory measurement destined for a `BENCH_<name>.json` artifact:
+/// `(measurement id, bytes)`. Emitted as a `mem/`-prefixed series so
+/// artifact consumers can tell byte columns from ns/iter columns.
+pub type MemoryMeasurement = (String, u64);
+
 /// Serialises a benchmark run as a `BENCH_<name>.json` report next to the
 /// current working directory (one series per benchmark, point =
 /// `(iterations, mean ns/iter)`), returning the path written.
@@ -105,9 +110,26 @@ pub type BenchMeasurement = (String, f64, u64);
 /// every run so PR-over-PR regressions are diffable without re-parsing
 /// human-oriented bench output.
 pub fn write_bench_json(name: &str, results: &[BenchMeasurement]) -> std::io::Result<String> {
+    write_bench_json_with_memory(name, results, &[])
+}
+
+/// Like [`write_bench_json`], additionally recording memory measurements
+/// (peak/resident bytes, bytes copied per operation — anything the bench's
+/// counting allocator or a structure's own accounting observed) as
+/// `mem/<id>` series with a single `(1, bytes)` point. Memory claims ride
+/// the same CI artifact as timing claims, so regressions in either are
+/// diffable PR over PR.
+pub fn write_bench_json_with_memory(
+    name: &str,
+    results: &[BenchMeasurement],
+    memory: &[MemoryMeasurement],
+) -> std::io::Result<String> {
     let mut report = Report::new(name, true);
     for (bench, mean_ns, iters) in results {
         report = report.with_series(bench.clone(), vec![(*iters as f64, *mean_ns)]);
+    }
+    for (label, bytes) in memory {
+        report = report.with_series(format!("mem/{label}"), vec![(1.0, *bytes as f64)]);
     }
     report.write_json(&format!("BENCH_{name}"))
 }
@@ -167,6 +189,22 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(value["series"].as_array().unwrap().len(), 2);
         assert_eq!(value["series"][0]["points"][1][1], 120_000.0);
+    }
+
+    #[test]
+    fn memory_rows_serialise_alongside_bench_rows() {
+        let rows = vec![("flap".to_string(), 123.0, 10)];
+        let mems = vec![("route_state_resident_bytes".to_string(), 4096)];
+        let path = write_bench_json_with_memory("report_memory_test", &rows, &mems).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(value["series"][0]["label"].as_str().unwrap(), "flap");
+        assert_eq!(
+            value["series"][1]["label"].as_str().unwrap(),
+            "mem/route_state_resident_bytes"
+        );
+        assert_eq!(value["series"][1]["points"][0][1], 4096.0);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! (latency, or a link failing/recovering) — the affected routes are
 //! recomputed **incrementally** through [`DynamicsTarget::reroute`].
 //! Changes applied at one apply point are batched into a single reroute, so
-//! a node failure taking down a dozen pipes costs one routing update.
+//! a node failure taking down a dozen pipes costs one routing update — and
+//! each reroute publishes one copy-on-write route-table generation whose
+//! cost is proportional to the rows that changed, not to the VN pair count.
 //!
 //! The engine performs no time-keeping of its own: the driver (the Runner,
 //! or a test loop) calls [`ScheduleEngine::apply_due`] at its apply points.
@@ -77,6 +79,9 @@ pub struct ScheduleEngine {
     /// Scratch: pipes whose routing-relevant attributes changed at the
     /// current apply point (batched into one reroute).
     changed: Vec<PipeId>,
+    /// Scratch: incident-pipe working copy for node churn, reused across
+    /// apply points so repeated churn allocates nothing new.
+    node_scratch: Vec<PipeId>,
 }
 
 impl ScheduleEngine {
@@ -96,6 +101,7 @@ impl ScheduleEngine {
             schedule,
             cursor: 0,
             changed: Vec::new(),
+            node_scratch: Vec::new(),
         }
     }
 
@@ -158,13 +164,15 @@ impl ScheduleEngine {
                     self.apply_pipe(target, pipe, original, &mut applied);
                 }
                 ScheduleEvent::NodeDown { node } => {
-                    let pipes = self
-                        .incident
-                        .get(node.index())
-                        .map(Vec::as_slice)
-                        .unwrap_or(&[])
-                        .to_vec();
-                    for pipe in pipes {
+                    let mut pipes = std::mem::take(&mut self.node_scratch);
+                    pipes.clear();
+                    pipes.extend_from_slice(
+                        self.incident
+                            .get(node.index())
+                            .map(Vec::as_slice)
+                            .unwrap_or(&[]),
+                    );
+                    for &pipe in &pipes {
                         let current = self.topo.pipe(pipe).attrs;
                         let failed = PipeAttrs {
                             bandwidth: DataRate::ZERO,
@@ -172,18 +180,22 @@ impl ScheduleEngine {
                         };
                         self.apply_pipe(target, pipe, failed, &mut applied);
                     }
+                    self.node_scratch = pipes;
                 }
                 ScheduleEvent::NodeUp { node } => {
-                    let pipes = self
-                        .incident
-                        .get(node.index())
-                        .map(Vec::as_slice)
-                        .unwrap_or(&[])
-                        .to_vec();
-                    for pipe in pipes {
+                    let mut pipes = std::mem::take(&mut self.node_scratch);
+                    pipes.clear();
+                    pipes.extend_from_slice(
+                        self.incident
+                            .get(node.index())
+                            .map(Vec::as_slice)
+                            .unwrap_or(&[]),
+                    );
+                    for &pipe in &pipes {
                         let original = self.original[pipe.index()];
                         self.apply_pipe(target, pipe, original, &mut applied);
                     }
+                    self.node_scratch = pipes;
                 }
                 ScheduleEvent::CbrStart { pipe, config } => {
                     // Injection starts at the event's scheduled time, not

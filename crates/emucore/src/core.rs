@@ -167,6 +167,10 @@ pub struct EmulatorCore {
     profile: HardwareProfile,
     /// The interned routes shared by every core of the emulation; descriptors
     /// carry a `RouteId` into this table instead of a route of their own.
+    /// The table is sharded copy-on-write: a reconfiguration publishes a new
+    /// `Arc` whose untouched row blocks are the same allocations this core
+    /// was already reading, so the per-packet lookup stays a fixed chain of
+    /// indexed loads and a swap invalidates nothing that did not change.
     routes: Arc<RouteTable>,
     /// Dense pipe table indexed by `PipeId`: `Some` for the pipes this core
     /// owns, `None` for slots owned by peer cores. Sized once at

@@ -25,10 +25,16 @@ use crate::hardware::HardwareProfile;
 
 /// The backend-independent half of an incremental routing change: updates
 /// the matrix in place against the mutated `topo`, and — only if any route
-/// actually changed — re-wires a clone of the shared route table and swaps
-/// it into `routes`. Both execution backends call this and then distribute
-/// the new `Arc` their own way, so the sequence (and with it the
-/// bit-identity contract) cannot drift between them.
+/// actually changed — builds the next route-table generation and swaps it
+/// into `routes`. This is the copy-on-write publish: the "clone" is
+/// structural (row shards, route chunks and the content index are shared
+/// by reference, so it costs O(endpoints) shard handles, not O(endpoints²)
+/// entries), `rewire_in_place` then replaces only the row shards whose
+/// routes changed, and cores still reading the previous `Arc` keep a
+/// consistent table until they pick up the new one. Both execution
+/// backends call this and then distribute the new `Arc` their own way, so
+/// the sequence (and with it the bit-identity contract) cannot drift
+/// between them.
 pub(crate) fn apply_route_change(
     matrix: &mut RoutingMatrix,
     routes: &mut Arc<RouteTable>,
@@ -85,8 +91,10 @@ pub struct MultiCoreEmulator {
     cores: Vec<EmulatorCore>,
     pod: PipeOwnershipDirectory,
     matrix: RoutingMatrix,
-    /// Interned routes plus the dense VN-pair -> route table, shared with
-    /// every core. Rebuilt explicitly by [`MultiCoreEmulator::set_routing`].
+    /// Interned routes plus the sharded VN-pair -> route row shards, shared
+    /// with every core. Republished copy-on-write by
+    /// [`MultiCoreEmulator::set_routing`] / [`MultiCoreEmulator::reroute`];
+    /// untouched row shards keep the same allocation across generations.
     routes: Arc<RouteTable>,
     /// Topology location of each VN, indexed densely by `VnId`. An id at or
     /// beyond the table is an unknown VN and yields `SubmitOutcome::NoRoute`.
@@ -238,10 +246,12 @@ impl MultiCoreEmulator {
     /// Replaces the routing matrix (after a failure recomputation) and
     /// rebuilds the interned route table on every core. The rebuild is
     /// explicit and total — there is no incremental cache whose stale entries
-    /// could survive a routing change. Route ids handed out before the
-    /// rebuild stay valid (the new table retains the old interned routes), so
-    /// descriptors already in flight finish on their pre-failure routes —
-    /// exactly like packets already inside the paper's cores.
+    /// could survive a routing change — but still structurally shared: the
+    /// retained route chunks and the content-dedup index carry over by
+    /// reference instead of being re-interned. Route ids handed out before
+    /// the rebuild stay valid, so descriptors already in flight finish on
+    /// their pre-failure routes — exactly like packets already inside the
+    /// paper's cores.
     pub fn set_routing(&mut self, matrix: RoutingMatrix) {
         self.matrix = matrix;
         self.routes = Arc::new(RouteTable::rebuild(

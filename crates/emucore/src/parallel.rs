@@ -84,7 +84,10 @@ enum Command {
     },
     /// Run scheduler epochs at `now` until no tunnel remains due.
     Advance { now: SimTime },
-    /// Install a rebuilt route table (explicit routing change).
+    /// Install the next route-table generation (explicit routing change).
+    /// The table is copy-on-write sharded: every worker receives the same
+    /// `Arc`, and row shards a change did not touch are the allocations
+    /// the worker was already reading.
     SetRoutes(Arc<RouteTable>),
     /// Update one locally installed pipe's parameters.
     UpdatePipe { pipe: PipeId, attrs: PipeAttrs },

@@ -32,7 +32,7 @@ pub use dijkstra::{
 };
 pub use hierarchical::HierarchicalRouter;
 pub use matrix::{RouteUpdate, RoutingMatrix};
-pub use table::{RouteId, RouteTable};
+pub use table::{RouteId, RouteStateMemory, RouteTable};
 
 use mn_topology::NodeId;
 

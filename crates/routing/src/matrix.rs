@@ -6,7 +6,8 @@
 //! re-runs the all-pairs computation, which is how the emulation reacts to
 //! link failures under the paper's "perfect routing protocol" assumption.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -56,8 +57,75 @@ pub struct RoutingMatrix {
     node_count: usize,
     /// Per-pipe routing cost snapshot from the last (re)build/update.
     pipe_cost: Vec<u64>,
+    /// Structural (attrs-independent) connected component of every node.
+    /// Pipes never change endpoints at runtime — only attributes — so a
+    /// pipe change can only ever affect sources and destinations inside its
+    /// own structural component; [`RoutingMatrix::update_pipes`] scans those
+    /// candidates instead of the whole VN set.
+    node_component: Vec<u32>,
+    /// VN indices per structural component, ascending.
+    component_vns: Vec<Vec<u32>>,
+    /// Node indices per structural component, ascending (bounds the
+    /// distance-label refresh of a recomputed source).
+    component_nodes: Vec<Vec<u32>>,
+    /// Reusable scratch for the component-scoped Dijkstra of
+    /// [`RoutingMatrix::update_pipes`]: row entries outside a call's
+    /// component are never read or written, so only the component is
+    /// re-initialised per recompute instead of memsetting O(nodes) arrays,
+    /// and the heap's backing vector is recycled across recomputes so the
+    /// incremental path performs no per-source allocation.
+    scratch_dist: Vec<u64>,
+    scratch_pred: Vec<Option<PipeId>>,
+    scratch_heap: Vec<Reverse<(u64, NodeId)>>,
     /// Bumped by every rebuild and every non-empty incremental update.
     version: u64,
+}
+
+/// Component-scoped single-source shortest-route tree into reusable scratch
+/// rows: only `nodes` (the source's structural component) is re-initialised,
+/// and Dijkstra can only ever reach inside it, so the cost is
+/// O(component log component), not O(graph). Tie-breaking is identical to
+/// [`shortest_route_tree_with_dist`] (same heap ordering), which the
+/// incremental-equals-scratch property suites rely on.
+fn scoped_route_tree(
+    topo: &DistilledTopology,
+    source: NodeId,
+    nodes: &[u32],
+    dist: &mut [u64],
+    pred: &mut [Option<PipeId>],
+    heap_scratch: &mut Vec<Reverse<(u64, NodeId)>>,
+) {
+    for &u in nodes {
+        dist[u as usize] = UNUSABLE_COST;
+        pred[u as usize] = None;
+    }
+    if source.index() >= dist.len() {
+        return;
+    }
+    heap_scratch.clear();
+    let mut heap = BinaryHeap::from(std::mem::take(heap_scratch));
+    dist[source.index()] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &pipe_id in topo.out_pipes(u) {
+            let cost = pipe_cost(&topo.pipe(pipe_id).attrs);
+            if cost == UNUSABLE_COST {
+                continue;
+            }
+            let nd = d.saturating_add(cost);
+            let v = topo.pipe(pipe_id).dst;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(pipe_id);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    // Hand the (drained) backing vector back for the next recompute.
+    *heap_scratch = heap.into_vec();
 }
 
 impl RoutingMatrix {
@@ -72,6 +140,12 @@ impl RoutingMatrix {
             dist: Vec::new(),
             node_count: 0,
             pipe_cost: Vec::new(),
+            node_component: Vec::new(),
+            component_vns: Vec::new(),
+            component_nodes: Vec::new(),
+            scratch_dist: Vec::new(),
+            scratch_pred: Vec::new(),
+            scratch_heap: Vec::new(),
             version: 0,
         };
         matrix.rebuild(topo);
@@ -95,7 +169,62 @@ impl RoutingMatrix {
         self.routes = routes;
         self.dist = dist;
         self.pipe_cost = topo.pipes().map(|(_, p)| pipe_cost(&p.attrs)).collect();
+        self.rebuild_components(topo);
         self.version += 1;
+    }
+
+    /// Recomputes the structural component index (union-find over the pipe
+    /// graph's shape, ignoring attributes). Attribute changes can never
+    /// move a node between structural components, so this only runs on
+    /// (re)build.
+    fn rebuild_components(&mut self, topo: &DistilledTopology) {
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut parent: Vec<u32> = (0..self.node_count as u32).collect();
+        for (_, pipe) in topo.pipes() {
+            let a = find(&mut parent, pipe.src.index() as u32);
+            let b = find(&mut parent, pipe.dst.index() as u32);
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+        let mut id_of_root: HashMap<u32, u32> = HashMap::new();
+        let mut node_component = vec![0u32; self.node_count];
+        let mut component_nodes: Vec<Vec<u32>> = Vec::new();
+        for u in 0..self.node_count as u32 {
+            let root = find(&mut parent, u);
+            let id = match id_of_root.get(&root) {
+                Some(&id) => id,
+                None => {
+                    let id = component_nodes.len() as u32;
+                    id_of_root.insert(root, id);
+                    component_nodes.push(Vec::new());
+                    id
+                }
+            };
+            node_component[u as usize] = id;
+            component_nodes[id as usize].push(u);
+        }
+        let mut component_vns: Vec<Vec<u32>> = vec![Vec::new(); component_nodes.len()];
+        for (si, &vn) in self.vns.iter().enumerate() {
+            if vn.index() < self.node_count {
+                component_vns[node_component[vn.index()] as usize].push(si as u32);
+            }
+        }
+        self.node_component = node_component;
+        self.component_vns = component_vns;
+        self.component_nodes = component_nodes;
     }
 
     /// Incrementally updates the matrix after the listed pipes of `topo`
@@ -130,19 +259,26 @@ impl RoutingMatrix {
                 recomputed_sources: n,
             };
         }
-        // Classify each genuinely changed pipe by cost direction.
-        let mut worsened: Vec<(PipeId, u64)> = Vec::new(); // with old cost
-        let mut improved: Vec<PipeId> = Vec::new(); // new cost in snapshot
+        // Classify each genuinely changed pipe by cost direction, resolving
+        // its endpoint node indexes once — the affected-source scan below
+        // runs for every VN and must be pure distance-label indexing.
+        let mut worsened: Vec<(usize, usize, u64)> = Vec::new(); // (src, dst, old cost)
+        let mut improved: Vec<(usize, usize, u64)> = Vec::new(); // (src, dst, new cost)
         for &p in changed {
             let old = self.pipe_cost[p.index()];
             let new = pipe_cost(&topo.pipe(p).attrs);
             if new == old {
                 continue;
             }
+            let pipe = topo.pipe(p);
             if new > old {
-                worsened.push((p, old));
+                // A pipe that was already unusable cannot sit on any stored
+                // shortest path: worsening it further affects no source.
+                if old != UNUSABLE_COST {
+                    worsened.push((pipe.src.index(), pipe.dst.index(), old));
+                }
             } else {
-                improved.push(p);
+                improved.push((pipe.src.index(), pipe.dst.index(), new));
             }
             self.pipe_cost[p.index()] = new;
         }
@@ -150,33 +286,72 @@ impl RoutingMatrix {
         if worsened.is_empty() && improved.is_empty() {
             return update;
         }
-        for si in 0..n {
+        // Candidate sources: a changed pipe can only affect sources in its
+        // own structural component (anything else holds an unusable label
+        // on the pipe's tail forever), so the scan below is proportional to
+        // the components touched, not to the whole VN set. Candidates are
+        // visited in ascending index order — identical to the full scan —
+        // so the reported pair order cannot drift.
+        let mut comps: Vec<u32> = worsened
+            .iter()
+            .chain(improved.iter())
+            .map(|&(u, _, _)| self.node_component[u])
+            .collect();
+        comps.sort_unstable();
+        comps.dedup();
+        let mut candidates: Vec<u32> = comps
+            .iter()
+            .flat_map(|&c| self.component_vns[c as usize].iter().copied())
+            .collect();
+        candidates.sort_unstable();
+        for &si in &candidates {
+            let si = si as usize;
             let row = &self.dist[si * self.node_count..(si + 1) * self.node_count];
             // A worsened pipe affects this source only if the old labels put
             // it on a shortest path (label equality along the edge); an
             // improved pipe only if its new cost now ties or undercuts the
             // stored label of its head (`<=` so tie-breaking matches a
             // from-scratch recomputation exactly).
-            let affected = worsened.iter().any(|&(p, old_cost)| {
-                let pipe = topo.pipe(p);
-                let du = row[pipe.src.index()];
-                du != UNUSABLE_COST
-                    && old_cost != UNUSABLE_COST
-                    && du.saturating_add(old_cost) == row[pipe.dst.index()]
-            }) || improved.iter().any(|&p| {
-                let pipe = topo.pipe(p);
-                let du = row[pipe.src.index()];
-                let new_cost = self.pipe_cost[p.index()];
-                du != UNUSABLE_COST && du.saturating_add(new_cost) <= row[pipe.dst.index()]
+            let affected = worsened.iter().any(|&(u, v, old_cost)| {
+                let du = row[u];
+                du != UNUSABLE_COST && du.saturating_add(old_cost) == row[v]
+            }) || improved.iter().any(|&(u, v, new_cost)| {
+                let du = row[u];
+                du != UNUSABLE_COST && du.saturating_add(new_cost) <= row[v]
             });
             if !affected {
                 continue;
             }
             update.recomputed_sources += 1;
             let src = self.vns[si];
-            let (pred, fresh) = shortest_route_tree_with_dist(topo, src);
-            self.dist[si * self.node_count..(si + 1) * self.node_count].copy_from_slice(&fresh);
-            for (di, &dst) in self.vns.iter().enumerate() {
+            // Recompute, refresh labels and re-derive routes only inside
+            // the source's structural component: everything outside it is
+            // unreachable in both the old and the fresh tree, so neither
+            // labels nor routes can have changed there.
+            let comp = self.node_component[src.index()] as usize;
+            if self.scratch_dist.len() != self.node_count {
+                self.scratch_dist = vec![UNUSABLE_COST; self.node_count];
+                self.scratch_pred = vec![None; self.node_count];
+            }
+            let mut fresh = std::mem::take(&mut self.scratch_dist);
+            let mut pred = std::mem::take(&mut self.scratch_pred);
+            scoped_route_tree(
+                topo,
+                src,
+                &self.component_nodes[comp],
+                &mut fresh,
+                &mut pred,
+                &mut self.scratch_heap,
+            );
+            {
+                let row = &mut self.dist[si * self.node_count..(si + 1) * self.node_count];
+                for &u in &self.component_nodes[comp] {
+                    row[u as usize] = fresh[u as usize];
+                }
+            }
+            for &di in &self.component_vns[comp] {
+                let di = di as usize;
+                let dst = self.vns[di];
                 let new_route = route_from_tree(topo, &pred, src, dst);
                 let slot = &mut self.routes[si * n + di];
                 if *slot != new_route {
@@ -184,6 +359,8 @@ impl RoutingMatrix {
                     update.changed_pairs.push((src, dst));
                 }
             }
+            self.scratch_dist = fresh;
+            self.scratch_pred = pred;
         }
         if !update.changed_pairs.is_empty() || update.recomputed_sources > 0 {
             self.version += 1;
@@ -213,6 +390,25 @@ impl RoutingMatrix {
         let si = *self.index_of.get(&src)?;
         let di = *self.index_of.get(&dst)?;
         self.routes[si * self.vns.len() + di].as_ref()
+    }
+
+    /// The dense index of a VN in this matrix, or `None` for a node that is
+    /// not a VN. Callers that resolve many pairs (the sharded route-table
+    /// build) hash each node once and then use [`RoutingMatrix::route_at`].
+    pub fn vn_index(&self, node: NodeId) -> Option<usize> {
+        self.index_of.get(&node).copied()
+    }
+
+    /// Hash-free route lookup by dense VN indexes (see
+    /// [`RoutingMatrix::vn_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn route_at(&self, src_index: usize, dst_index: usize) -> Option<&Route> {
+        let n = self.vns.len();
+        assert!(src_index < n && dst_index < n, "VN index out of range");
+        self.routes[src_index * n + dst_index].as_ref()
     }
 
     /// Average route length in pipes over all reachable ordered pairs

@@ -1,24 +1,51 @@
-//! Interned route storage with dense endpoint-pair indexing.
+//! Sharded copy-on-write route storage with dense per-source row shards.
 //!
 //! The per-packet path must not hash: the core looks routes up for every
 //! submitted packet, and descriptors reference their route on every hop and
 //! on every inter-core tunnel. [`RouteTable`] therefore flattens the routing
-//! state the Binding phase produces into two ID-indexed arrays:
+//! state the Binding phase produces into ID-indexed structures — but unlike
+//! the original dense `endpoint_count²` pair table, the state is **sharded
+//! per source endpoint** and published copy-on-write:
 //!
-//! * `routes` — each **distinct** route stored exactly once, addressed by
-//!   [`RouteId`] (the handle descriptors carry instead of a cloned route);
-//! * `pair` — a dense `endpoint_count × endpoint_count` table mapping an
-//!   ordered endpoint-index pair to its `RouteId`, one multiply and one array
-//!   read per lookup.
+//! * `store` — each **distinct** route stored exactly once, addressed by
+//!   [`RouteId`] (the handle descriptors carry instead of a cloned route).
+//!   Routes live in sealed `Arc<[Route]>` chunks, so cloning a table for a
+//!   copy-on-write publish bumps one reference count per chunk instead of
+//!   deep-copying every route.
+//! * `rows` — one row shard per source endpoint mapping a destination
+//!   endpoint index to its raw `RouteId`, page-grouped into shared blocks
+//!   of [`BLOCK_ROWS`] rows. A row stores only the window
+//!   `[base, base + width)` that actually holds routable destinations:
+//!   narrow windows (≤ 4 entries) are kept inline in the block with no
+//!   heap allocation at all, wider windows spill to a shared `Arc<[u32]>`.
+//!   Endpoints bound to the same topology location have identical rows and
+//!   share **one** allocation — route-state memory is
+//!   O(locations × endpoints), not O(endpoints²), which is what lets tens
+//!   of thousands of VNs multiplex onto one emulation.
+//!
+//! The per-packet lookup is a fixed chain of indexed loads — block, row
+//! shard, slot (inline rows resolve the slot inside the already-loaded
+//! shard) — with no hashing, no allocation, and no data-dependent depth.
+//!
+//! **Reconfiguration is O(changed).** [`RouteTable::rewire_in_place`]
+//! patches only the row shards whose routes actually changed, and a
+//! copy-on-write publish clones only the blocks holding them: untouched
+//! blocks and untouched spilled rows keep literally the same allocation
+//! across the publish (`Arc` identity is pinned by tests), so a 1-link
+//! flap costs O(affected sources + touched blocks) instead of copying
+//! `endpoint_count²` entries — flat in the endpoint count.
+//! [`RouteTable::rebuild`] likewise carries the route store *and* the
+//! content-dedup index forward structurally — a rebuild that changes
+//! nothing re-interns nothing.
 //!
 //! Endpoint indices are the dense VN indices of the binding (`VnId::index`),
 //! but the table is deliberately typed on `usize` so `mn-routing` stays
-//! independent of `mn-packet`. The table is immutable once built; reacting
-//! to a routing change (link failure, new matrix) is an **explicit rebuild**
-//! via [`RouteTable::build`] — there is no incremental cache to invalidate,
-//! which is what made the old per-pair route cache double-store every route.
+//! independent of `mn-packet`. The published table is immutable from the
+//! cores' point of view: a routing change builds the next generation (cheap,
+//! structurally shared) and swaps the `Arc<RouteTable>`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -39,22 +66,380 @@ impl RouteId {
     }
 }
 
-/// Sentinel for "no route" in the dense pair table.
+/// Sentinel for "no route" in the row shards.
 const NO_ROUTE: u32 = u32::MAX;
 
-/// Dense, immutable route lookup state for one emulation.
+/// Widest row window kept inline in the shard table. Inline rows cost no
+/// heap allocation and no reference-count traffic on a copy-on-write
+/// publish — for row-sparse workloads (disjoint path pairs) the whole pair
+/// mapping is a flat memcpy.
+const INLINE_ROW_CAP: usize = 4;
+
+/// Routes per sealed chunk of the append-only route store.
+const ROUTE_CHUNK: usize = 1024;
+
+/// Source rows per shared row block. A copy-on-write publish clones the
+/// block table (`endpoints / BLOCK_ROWS` reference bumps) plus only the
+/// blocks holding patched rows, so publish cost is O(touched blocks), flat
+/// in the endpoint count for a fixed-fanout change.
+const BLOCK_ROWS: usize = 1024;
+
+/// Content-index overlay depth at which an insert flattens the chain back
+/// into a single map (amortised; overlays only stack when a rewire interns
+/// genuinely new route content).
+const INDEX_FLATTEN_DEPTH: u32 = 16;
+
+/// One source endpoint's row shard: destination endpoint index → raw
+/// `RouteId`, stored as a dense window over the destinations that are
+/// actually routable.
+#[derive(Debug, Clone)]
+enum RowShard {
+    /// Every destination unroutable (also the [`RouteTable::new`] initial
+    /// state).
+    Empty,
+    /// A window of at most [`INLINE_ROW_CAP`] destinations, stored inline.
+    Inline {
+        base: u32,
+        len: u8,
+        slots: [u32; INLINE_ROW_CAP],
+    },
+    /// A wider window, heap-allocated and shared copy-on-write: co-located
+    /// endpoints (identical rows) and successive table generations
+    /// (untouched rows) all point at the same allocation.
+    Spilled { base: u32, slots: Arc<[u32]> },
+}
+
+impl RowShard {
+    /// The raw id for a destination (`NO_ROUTE` outside the window). This
+    /// is half of the per-packet lookup: one window test, one slot read.
+    #[inline]
+    fn raw(&self, dst: usize) -> u32 {
+        match self {
+            RowShard::Empty => NO_ROUTE,
+            RowShard::Inline { base, len, slots } => {
+                let i = dst.wrapping_sub(*base as usize);
+                if i < *len as usize {
+                    slots[i]
+                } else {
+                    NO_ROUTE
+                }
+            }
+            RowShard::Spilled { base, slots } => {
+                let i = dst.wrapping_sub(*base as usize);
+                if i < slots.len() {
+                    slots[i]
+                } else {
+                    NO_ROUTE
+                }
+            }
+        }
+    }
+
+    /// The stored window as `(base, width)`.
+    fn window(&self) -> (usize, usize) {
+        match self {
+            RowShard::Empty => (0, 0),
+            RowShard::Inline { base, len, .. } => (*base as usize, *len as usize),
+            RowShard::Spilled { base, slots } => (*base as usize, slots.len()),
+        }
+    }
+
+    /// Normalises a window of raw ids into shard form: unroutable edges are
+    /// trimmed, all-unroutable collapses to [`RowShard::Empty`], narrow
+    /// windows inline, wide ones spill to a fresh shared allocation.
+    fn from_window(base: usize, values: &[u32]) -> RowShard {
+        let Some(first) = values.iter().position(|&v| v != NO_ROUTE) else {
+            return RowShard::Empty;
+        };
+        let last = values
+            .iter()
+            .rposition(|&v| v != NO_ROUTE)
+            .expect("a first routable entry implies a last");
+        let trimmed = &values[first..=last];
+        let base = (base + first) as u32;
+        if trimmed.len() <= INLINE_ROW_CAP {
+            let mut slots = [NO_ROUTE; INLINE_ROW_CAP];
+            slots[..trimmed.len()].copy_from_slice(trimmed);
+            RowShard::Inline {
+                base,
+                len: trimmed.len() as u8,
+                slots,
+            }
+        } else {
+            RowShard::Spilled {
+                base,
+                slots: trimmed.into(),
+            }
+        }
+    }
+
+    /// `true` when two shards are literally the same storage: a shared slot
+    /// allocation for spilled rows, bit-identical content for the
+    /// allocation-free forms.
+    fn same_storage(&self, other: &RowShard) -> bool {
+        match (self, other) {
+            (RowShard::Empty, RowShard::Empty) => true,
+            (
+                RowShard::Inline { base, len, slots },
+                RowShard::Inline {
+                    base: b,
+                    len: l,
+                    slots: s,
+                },
+            ) => base == b && len == l && slots == s,
+            (RowShard::Spilled { slots: a, .. }, RowShard::Spilled { slots: b, .. }) => {
+                Arc::ptr_eq(a, b)
+            }
+            _ => false,
+        }
+    }
+
+    /// Applies `patches` (destination index, new raw id), returning the
+    /// patched row — or `None` when every patch matches the stored value,
+    /// leaving the shard (and its shared allocation) untouched. Windows
+    /// grow to cover newly routable destinations and are re-trimmed, so an
+    /// oscillating link returns the row to its exact pre-failure form.
+    fn patched(&self, patches: &[(usize, u32)]) -> Option<RowShard> {
+        if patches.iter().all(|&(d, raw)| self.raw(d) == raw) {
+            return None;
+        }
+        let (base, width) = self.window();
+        let (mut lo, mut hi) = if width == 0 {
+            (usize::MAX, 0)
+        } else {
+            (base, base + width)
+        };
+        for &(d, raw) in patches {
+            if raw != NO_ROUTE {
+                lo = lo.min(d);
+                hi = hi.max(d + 1);
+            }
+        }
+        if lo >= hi {
+            // Every remaining patch clears entries of a row that had none:
+            // unreachable because the no-op test above would have caught it,
+            // but collapse defensively rather than panic on an empty window.
+            return Some(RowShard::Empty);
+        }
+        let mut scratch = vec![NO_ROUTE; hi - lo];
+        match self {
+            RowShard::Empty => {}
+            RowShard::Inline { base, len, slots } => {
+                let b = *base as usize - lo;
+                scratch[b..b + *len as usize].copy_from_slice(&slots[..*len as usize]);
+            }
+            RowShard::Spilled { base, slots } => {
+                let b = *base as usize - lo;
+                scratch[b..b + slots.len()].copy_from_slice(slots);
+            }
+        }
+        for &(d, raw) in patches {
+            // A patch outside the computed window is necessarily a clearing
+            // one (routable patches extended the window above): the scratch
+            // there is conceptually NO_ROUTE already, so it is a no-op —
+            // indexing it would walk off the buffer.
+            if (lo..hi).contains(&d) {
+                scratch[d - lo] = raw;
+            }
+        }
+        Some(RowShard::from_window(lo, &scratch))
+    }
+}
+
+/// Append-only interned route storage, structurally shared across table
+/// generations: sealed chunks are `Arc<[Route]>` (a clone is one reference
+/// bump per chunk), and only the open tail chunk is ever deep-copied — at
+/// most `ROUTE_CHUNK - 1` routes, and only when a publish-shared table
+/// interns new content.
+#[derive(Debug, Clone)]
+struct RouteStore {
+    sealed: Vec<Arc<[Route]>>,
+    tail: Arc<Vec<Route>>,
+}
+
+impl Default for RouteStore {
+    fn default() -> Self {
+        RouteStore {
+            sealed: Vec::new(),
+            tail: Arc::new(Vec::new()),
+        }
+    }
+}
+
+impl RouteStore {
+    fn len(&self) -> usize {
+        self.sealed.len() * ROUTE_CHUNK + self.tail.len()
+    }
+
+    /// The interned route at `index`. Two indexed loads (chunk, then slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    fn get(&self, index: usize) -> &Route {
+        let chunk = index / ROUTE_CHUNK;
+        match self.sealed.get(chunk) {
+            Some(c) => &c[index % ROUTE_CHUNK],
+            None => &self.tail[index - self.sealed.len() * ROUTE_CHUNK],
+        }
+    }
+
+    fn push(&mut self, route: Route) {
+        if self.tail.len() == ROUTE_CHUNK {
+            let full = std::mem::take(&mut self.tail);
+            let chunk: Arc<[Route]> = match Arc::try_unwrap(full) {
+                Ok(vec) => vec.into(),
+                Err(shared) => shared.as_slice().into(),
+            };
+            self.sealed.push(chunk);
+        }
+        Arc::make_mut(&mut self.tail).push(route);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.sealed
+            .iter()
+            .flat_map(|c| c.iter())
+            .chain(self.tail.iter())
+    }
+}
+
+/// Persistent content → first-id index over the route store, shared across
+/// table generations. Inserts into a publish-shared index stack a thin
+/// overlay instead of deep-copying the map; overlays only accumulate while
+/// rewires keep interning *new* route content (an oscillating link finds
+/// its pre-failure routes here and adds nothing), and the chain flattens
+/// once it reaches [`INDEX_FLATTEN_DEPTH`].
+#[derive(Debug, Default)]
+struct ContentIndex {
+    entries: HashMap<Vec<PipeId>, RouteId>,
+    parent: Option<Arc<ContentIndex>>,
+    depth: u32,
+}
+
+impl ContentIndex {
+    fn get(&self, pipes: &[PipeId]) -> Option<RouteId> {
+        let mut layer = self;
+        loop {
+            if let Some(&id) = layer.entries.get(pipes) {
+                return Some(id);
+            }
+            match &layer.parent {
+                Some(parent) => layer = parent,
+                None => return None,
+            }
+        }
+    }
+
+    /// Entries across every layer (each content key appears in at most one
+    /// layer — inserts are first-id-wins).
+    fn total_entries(&self) -> usize {
+        let mut layer = self;
+        let mut total = 0;
+        loop {
+            total += layer.entries.len();
+            match &layer.parent {
+                Some(parent) => layer = parent,
+                None => return total,
+            }
+        }
+    }
+}
+
+/// Endpoint ⇄ location geometry of a built table: which endpoints share a
+/// location (and therefore share a row shard), in deterministic
+/// first-appearance order. Shared by every table generation over the same
+/// binding, so rewires pay no per-call grouping rebuild.
+#[derive(Debug, Default)]
+struct LocationIndex {
+    /// Distinct locations in first-appearance order.
+    locations: Vec<NodeId>,
+    slot_of: HashMap<NodeId, u32>,
+    /// Endpoint indices bound to each location slot, ascending.
+    endpoints: Vec<Vec<u32>>,
+    /// Each endpoint's location slot.
+    slot_of_endpoint: Vec<u32>,
+}
+
+impl LocationIndex {
+    fn build(locations: &[NodeId]) -> Self {
+        let mut idx = LocationIndex {
+            slot_of_endpoint: Vec::with_capacity(locations.len()),
+            ..LocationIndex::default()
+        };
+        for (e, &loc) in locations.iter().enumerate() {
+            let slot = match idx.slot_of.get(&loc) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = idx.locations.len() as u32;
+                    idx.slot_of.insert(loc, slot);
+                    idx.locations.push(loc);
+                    idx.endpoints.push(Vec::new());
+                    slot
+                }
+            };
+            idx.endpoints[slot as usize].push(e as u32);
+            idx.slot_of_endpoint.push(slot);
+        }
+        idx
+    }
+
+    fn matches(&self, locations: &[NodeId]) -> bool {
+        self.slot_of_endpoint.len() == locations.len()
+            && locations
+                .iter()
+                .zip(&self.slot_of_endpoint)
+                .all(|(loc, &slot)| self.locations[slot as usize] == *loc)
+    }
+}
+
+/// Memory accounting snapshot for a [`RouteTable`] (see
+/// [`RouteTable::memory`]). `resident_bytes` is a structural estimate —
+/// allocator and hash-map overheads are approximated — meant for
+/// order-of-magnitude comparison against `dense_equivalent_bytes`, the
+/// `endpoint_count² × 4` bytes the pre-shard dense pair table would spend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouteStateMemory {
+    /// Estimated heap bytes held by the table (rows, shared slot
+    /// allocations counted once, route store, content and location
+    /// indexes).
+    pub resident_bytes: usize,
+    /// What a dense `endpoint_count²` pair table would spend on the pair
+    /// mapping alone.
+    pub dense_equivalent_bytes: usize,
+    /// Endpoints covered.
+    pub endpoint_count: usize,
+    /// Distinct spilled row allocations (shared rows counted once).
+    pub distinct_row_allocations: usize,
+    /// Rows stored inline (no heap allocation).
+    pub inline_rows: usize,
+    /// Rows with no routable destination at all.
+    pub empty_rows: usize,
+    /// Distinct interned routes.
+    pub route_count: usize,
+    /// Bytes spent on interned route content.
+    pub route_bytes: usize,
+    /// Bytes spent on the content-dedup index.
+    pub index_bytes: usize,
+}
+
+/// Sharded, copy-on-write route lookup state for one emulation.
 #[derive(Debug, Clone, Default)]
 pub struct RouteTable {
-    /// Each distinct route, stored once.
-    routes: Vec<Route>,
-    /// `pair[src * endpoint_count + dst]` is the route's id, or `NO_ROUTE`.
-    pair: Vec<u32>,
+    /// Each distinct route, stored once, in structurally shared chunks.
+    store: RouteStore,
+    /// One row shard per source endpoint, page-grouped into shared blocks
+    /// of [`BLOCK_ROWS`] rows: `rows[src / BLOCK_ROWS][src % BLOCK_ROWS]`.
+    rows: Vec<Arc<[RowShard]>>,
     endpoint_count: usize,
-    /// Content index over `routes` (pipe sequence → first id with that
-    /// content), maintained by [`RouteTable::intern`] so incremental
-    /// rewires reuse any retained route — a restored link maps back to its
+    /// Content index over the store (pipe sequence → first id with that
+    /// content), carried forward structurally so incremental rewires and
+    /// rebuilds reuse any retained route — a restored link maps back to its
     /// pre-failure `RouteId` instead of growing the table on every flap.
-    by_content: HashMap<Vec<PipeId>, RouteId>,
+    by_content: Arc<ContentIndex>,
+    /// Endpoint/location geometry, shared across generations.
+    locs: Arc<LocationIndex>,
     /// Bumped by every rebuild/rewire, so drivers and tests can observe
     /// that a routing change took effect.
     version: u64,
@@ -66,70 +451,139 @@ impl RouteTable {
     /// pairs with [`RouteTable::set_pair`].
     pub fn new(endpoint_count: usize) -> Self {
         RouteTable {
-            routes: Vec::new(),
-            pair: vec![NO_ROUTE; endpoint_count * endpoint_count],
+            store: RouteStore::default(),
+            rows: Self::blocks_from_flat(vec![RowShard::Empty; endpoint_count]),
             endpoint_count,
-            by_content: HashMap::new(),
+            by_content: Arc::new(ContentIndex::default()),
+            locs: Arc::new(LocationIndex::default()),
             version: 0,
         }
     }
 
+    /// Chunks a flat row vector into shared blocks (the last block may be
+    /// short).
+    fn blocks_from_flat(flat: Vec<RowShard>) -> Vec<Arc<[RowShard]>> {
+        flat.chunks(BLOCK_ROWS)
+            .map(|chunk| Arc::<[RowShard]>::from(chunk.to_vec()))
+            .collect()
+    }
+
+    /// The row shard of a source endpoint (`None` out of range).
+    #[inline]
+    fn row(&self, src: usize) -> Option<&RowShard> {
+        self.rows.get(src / BLOCK_ROWS)?.get(src % BLOCK_ROWS)
+    }
+
+    /// Mutable access to a source's block, copy-on-write: a block shared
+    /// with another table generation is copied once (shard clones — slot
+    /// allocations stay shared), an unshared block is patched in place.
+    fn block_mut(&mut self, block: usize) -> &mut [RowShard] {
+        if Arc::get_mut(&mut self.rows[block]).is_none() {
+            let copy: Vec<RowShard> = self.rows[block].iter().cloned().collect();
+            self.rows[block] = Arc::from(copy);
+        }
+        Arc::get_mut(&mut self.rows[block]).expect("block was just unshared")
+    }
+
     /// Flattens a routing matrix for the given endpoint locations:
     /// `locations[i]` is the topology node endpoint `i` is bound to. Each
-    /// distinct location pair's route is interned once and shared by every
-    /// endpoint pair bound to those locations. Same-location pairs stay
-    /// unroutable — callers deliver those locally without touching a route.
+    /// distinct location pair's route is interned once, and every endpoint
+    /// bound to the same location shares **one** row shard — the pair
+    /// mapping costs O(locations × endpoints), not O(endpoints²).
+    /// Same-location pairs stay unroutable — callers deliver those locally
+    /// without touching a route.
     pub fn build(matrix: &RoutingMatrix, locations: &[NodeId]) -> Self {
-        Self::build_preserving(Vec::new(), matrix, locations)
+        Self::build_preserving(
+            RouteStore::default(),
+            Arc::new(ContentIndex::default()),
+            matrix,
+            locations,
+            0,
+        )
     }
 
     /// Rebuilds the table against a new matrix while keeping every route id
-    /// of `prev` valid: the previous interned routes are retained (ids are
-    /// never reassigned), and the pair table is re-wired, reusing any retained
-    /// route whose pipe sequence is unchanged. Descriptors in flight across a
-    /// routing change therefore keep resolving to the exact route they
-    /// started on — the paper's semantics, where packets already inside a
-    /// core finish on pre-failure routes — while new packets see only the new
-    /// routes. Only routes the change actually rewired are interned anew, so
-    /// repeated rebuilds (periodic fault injection) do not grow the table
-    /// unless routes keep changing.
+    /// of `prev` valid: the previous interned routes are retained
+    /// structurally (ids are never reassigned, chunks are shared rather
+    /// than copied), the content index is carried forward as-is (no
+    /// re-interning of retained routes), and the row shards are re-derived,
+    /// reusing any retained route whose pipe sequence is unchanged.
+    /// Descriptors in flight across a routing change therefore keep
+    /// resolving to the exact route they started on — the paper's
+    /// semantics, where packets already inside a core finish on pre-failure
+    /// routes — while new packets see only the new routes.
     pub fn rebuild(prev: &RouteTable, matrix: &RoutingMatrix, locations: &[NodeId]) -> Self {
-        let mut table = Self::build_preserving(prev.routes.clone(), matrix, locations);
-        table.version = prev.version + 1;
-        table
+        Self::build_preserving(
+            prev.store.clone(),
+            prev.by_content.clone(),
+            matrix,
+            locations,
+            prev.version + 1,
+        )
     }
 
-    fn build_preserving(routes: Vec<Route>, matrix: &RoutingMatrix, locations: &[NodeId]) -> Self {
-        let mut table = RouteTable::new(locations.len());
-        // Re-interning rebuilds the content index; dedup lets a rebuild
-        // reuse every retained route that did not change. Build-time only:
-        // the hot path never touches the maps.
-        for route in routes {
-            table.intern(route);
-        }
-        let mut by_location_pair: HashMap<(NodeId, NodeId), RouteId> = HashMap::new();
-        for (si, &src_loc) in locations.iter().enumerate() {
-            for (di, &dst_loc) in locations.iter().enumerate() {
-                if si == di || src_loc == dst_loc {
-                    continue;
-                }
-                let id = match by_location_pair.get(&(src_loc, dst_loc)) {
-                    Some(&id) => id,
-                    None => {
-                        let Some(route) = matrix.lookup(src_loc, dst_loc) else {
-                            continue;
-                        };
-                        let id = match table.by_content.get(&route.pipes) {
-                            Some(&id) => id,
-                            None => table.intern(route.clone()),
-                        };
-                        by_location_pair.insert((src_loc, dst_loc), id);
-                        id
+    fn build_preserving(
+        store: RouteStore,
+        by_content: Arc<ContentIndex>,
+        matrix: &RoutingMatrix,
+        locations: &[NodeId],
+        version: u64,
+    ) -> Self {
+        let locs = Arc::new(LocationIndex::build(locations));
+        let n = locations.len();
+        let mut rows_flat = vec![RowShard::Empty; n];
+        let mut table = RouteTable {
+            store,
+            rows: Vec::new(),
+            endpoint_count: n,
+            by_content,
+            locs: Arc::clone(&locs),
+            version,
+        };
+        // Resolve each location once against the matrix index so the
+        // per-pair loop below is pure array indexing.
+        let matrix_index: Vec<Option<usize>> = locs
+            .locations
+            .iter()
+            .map(|&loc| matrix.vn_index(loc))
+            .collect();
+        let slots = locs.locations.len();
+        let mut ids_by_slot = vec![NO_ROUTE; slots];
+        let mut scratch = vec![NO_ROUTE; n];
+        for (si, &src_slot) in matrix_index.iter().enumerate() {
+            ids_by_slot.iter_mut().for_each(|v| *v = NO_ROUTE);
+            let mut any = false;
+            if let Some(ms) = src_slot {
+                for (di, &dst_slot) in matrix_index.iter().enumerate() {
+                    if si == di {
+                        continue; // same-location pairs stay local, never routed
                     }
-                };
-                table.set_pair(si, di, id);
+                    let Some(md) = dst_slot else { continue };
+                    let Some(route) = matrix.route_at(ms, md) else {
+                        continue;
+                    };
+                    let id = match table.by_content.get(&route.pipes) {
+                        Some(id) => id,
+                        None => table.intern(route.clone()),
+                    };
+                    ids_by_slot[di] = id.0;
+                    any = true;
+                }
+            }
+            let row = if any {
+                for (e, &slot) in locs.slot_of_endpoint.iter().enumerate() {
+                    scratch[e] = ids_by_slot[slot as usize];
+                }
+                RowShard::from_window(0, &scratch)
+            } else {
+                RowShard::Empty
+            };
+            // Every endpoint at this location shares the one shard.
+            for &e in &locs.endpoints[si] {
+                rows_flat[e as usize] = row.clone();
             }
         }
+        table.rows = Self::blocks_from_flat(rows_flat);
         table
     }
 
@@ -139,8 +593,10 @@ impl RouteTable {
     /// [`RoutingMatrix::update_pipes`](crate::RoutingMatrix::update_pipes).
     /// A new route whose pipe sequence already exists (e.g. a restored link
     /// bringing back the pre-failure path) resolves to its old id, so
-    /// oscillating links do not grow the table. Untouched pairs — and the
-    /// `RouteId`s of descriptors in flight on them — are not visited at all.
+    /// oscillating links do not grow the table. Untouched rows — and the
+    /// `RouteId`s of descriptors in flight on them — are not visited at
+    /// all, and keep literally the same allocation; touched rows are
+    /// patched once per location and shared across co-located sources.
     pub fn rewire_in_place(
         &mut self,
         matrix: &RoutingMatrix,
@@ -155,31 +611,70 @@ impl RouteTable {
         if changed.is_empty() {
             return;
         }
-        // Endpoint indices per location (build-time only, O(endpoints)).
-        let mut endpoints_at: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for (i, &loc) in locations.iter().enumerate() {
-            endpoints_at.entry(loc).or_default().push(i);
+        if !self.locs.matches(locations) {
+            // Manually assembled table (RouteTable::new + set_pair): derive
+            // the geometry on first rewire and keep it for the next ones.
+            self.locs = Arc::new(LocationIndex::build(locations));
         }
+        let locs = Arc::clone(&self.locs);
+        // Group the changed pairs by source location slot, preserving the
+        // deterministic order `RoutingMatrix::update_pipes` reports them in.
+        let mut group_of: HashMap<u32, usize> = HashMap::new();
+        let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
         for &(src_loc, dst_loc) in changed {
             if src_loc == dst_loc {
                 continue; // same-location pairs stay local, never routed
             }
-            let (Some(srcs), Some(dsts)) = (endpoints_at.get(&src_loc), endpoints_at.get(&dst_loc))
+            let (Some(&ss), Some(&ds)) = (locs.slot_of.get(&src_loc), locs.slot_of.get(&dst_loc))
             else {
                 continue; // no endpoint bound there: nothing to rewire
             };
-            // Resolve the pair's new route id once.
-            let id = match matrix.lookup(src_loc, dst_loc) {
-                Some(route) => Some(match self.by_content.get(&route.pipes).copied() {
-                    Some(id) => id,
-                    None => self.intern(route.clone()),
-                }),
-                None => None,
-            };
-            for &si in srcs {
-                for &di in dsts {
-                    let slot = &mut self.pair[si * self.endpoint_count + di];
-                    *slot = id.map_or(NO_ROUTE, |id| id.0);
+            match group_of.get(&ss) {
+                Some(&gi) => groups[gi].1.push(ds),
+                None => {
+                    group_of.insert(ss, groups.len());
+                    groups.push((ss, vec![ds]));
+                }
+            }
+        }
+        let mut patches: Vec<(usize, u32)> = Vec::new();
+        for (ss, dst_slots) in groups {
+            patches.clear();
+            let src_loc = locs.locations[ss as usize];
+            for &ds in &dst_slots {
+                let dst_loc = locs.locations[ds as usize];
+                // Resolve the location pair's new route id once.
+                let raw = match matrix.lookup(src_loc, dst_loc) {
+                    Some(route) => match self.by_content.get(&route.pipes) {
+                        Some(id) => id.0,
+                        None => self.intern(route.clone()).0,
+                    },
+                    None => NO_ROUTE,
+                };
+                for &e in &locs.endpoints[ds as usize] {
+                    patches.push((e as usize, raw));
+                }
+            }
+            // Patch every source row at this location, computing the new
+            // shard once and sharing it across every endpoint whose row
+            // shared storage before (co-located sources stay deduped).
+            // Only blocks that actually hold a patched row are copied.
+            let mut cache: Option<(RowShard, RowShard)> = None;
+            for &se in &locs.endpoints[ss as usize] {
+                let se = se as usize;
+                let row = self.row(se).expect("endpoint in range");
+                let replacement = match &cache {
+                    Some((old, new)) if old.same_storage(row) => Some(new.clone()),
+                    _ => {
+                        let patched = row.patched(&patches);
+                        if let Some(patched) = &patched {
+                            cache = Some((row.clone(), patched.clone()));
+                        }
+                        patched
+                    }
+                };
+                if let Some(replacement) = replacement {
+                    self.block_mut(se / BLOCK_ROWS)[se % BLOCK_ROWS] = replacement;
                 }
             }
         }
@@ -191,14 +686,46 @@ impl RouteTable {
     /// dedup against it. Callers wiring pairs by hand are still responsible
     /// for reusing ids where they want sharing (see [`RouteTable::build`]).
     pub fn intern(&mut self, route: Route) -> RouteId {
-        assert!(
-            self.routes.len() < NO_ROUTE as usize,
-            "route table overflow"
-        );
-        let id = RouteId(self.routes.len() as u32);
-        self.by_content.entry(route.pipes.clone()).or_insert(id);
-        self.routes.push(route);
+        assert!(self.store.len() < NO_ROUTE as usize, "route table overflow");
+        let id = RouteId(self.store.len() as u32);
+        self.index_insert(route.pipes.clone(), id);
+        self.store.push(route);
         id
+    }
+
+    /// First-id-wins insert into the persistent content index: a shared
+    /// index gets a thin overlay (flattened once the chain grows deep), an
+    /// unshared one is updated in place.
+    fn index_insert(&mut self, pipes: Vec<PipeId>, id: RouteId) {
+        if self.by_content.get(&pipes).is_some() {
+            return;
+        }
+        if let Some(top) = Arc::get_mut(&mut self.by_content) {
+            top.entries.insert(pipes, id);
+            return;
+        }
+        if self.by_content.depth >= INDEX_FLATTEN_DEPTH {
+            let mut flat: HashMap<Vec<PipeId>, RouteId> = HashMap::new();
+            let mut layer = Some(Arc::clone(&self.by_content));
+            while let Some(l) = layer {
+                for (k, &v) in &l.entries {
+                    flat.entry(k.clone()).or_insert(v);
+                }
+                layer = l.parent.clone();
+            }
+            flat.insert(pipes, id);
+            self.by_content = Arc::new(ContentIndex {
+                entries: flat,
+                parent: None,
+                depth: 0,
+            });
+        } else {
+            self.by_content = Arc::new(ContentIndex {
+                entries: HashMap::from([(pipes, id)]),
+                parent: Some(Arc::clone(&self.by_content)),
+                depth: self.by_content.depth + 1,
+            });
+        }
     }
 
     /// Monotonic change counter, bumped by every rewire.
@@ -206,7 +733,9 @@ impl RouteTable {
         self.version
     }
 
-    /// Wires an ordered endpoint pair to an interned route.
+    /// Wires an ordered endpoint pair to an interned route, growing the
+    /// source row's window as needed (copy-on-write if its shard is
+    /// shared — other sources sharing the allocation are unaffected).
     ///
     /// # Panics
     ///
@@ -214,19 +743,22 @@ impl RouteTable {
     pub fn set_pair(&mut self, src: usize, dst: usize, id: RouteId) {
         assert!(src < self.endpoint_count, "src endpoint out of range");
         assert!(dst < self.endpoint_count, "dst endpoint out of range");
-        assert!(id.index() < self.routes.len(), "route id out of range");
-        self.pair[src * self.endpoint_count + dst] = id.0;
+        assert!(id.index() < self.store.len(), "route id out of range");
+        let patched = self.row(src).expect("src in range").patched(&[(dst, id.0)]);
+        if let Some(patched) = patched {
+            self.block_mut(src / BLOCK_ROWS)[src % BLOCK_ROWS] = patched;
+        }
     }
 
     /// The route for an ordered endpoint pair, or `None` if the pair is
     /// unroutable or either index is out of range. This is the per-packet
-    /// lookup: bounds checks, one multiply, one array read.
+    /// lookup: a fixed chain of indexed loads — block, row shard, slot
+    /// (inline rows resolve the slot inside the already-loaded shard) —
+    /// with no hashing and no allocation.
     #[inline]
     pub fn route_id(&self, src: usize, dst: usize) -> Option<RouteId> {
-        if src >= self.endpoint_count || dst >= self.endpoint_count {
-            return None;
-        }
-        match self.pair[src * self.endpoint_count + dst] {
+        let row = self.row(src)?;
+        match row.raw(dst) {
             NO_ROUTE => None,
             id => Some(RouteId(id)),
         }
@@ -239,23 +771,119 @@ impl RouteTable {
     /// Panics if the id did not come from this table.
     #[inline]
     pub fn route(&self, id: RouteId) -> &Route {
-        &self.routes[id.index()]
+        self.store.get(id.index())
     }
 
     /// The pipe sequence of an interned route (the per-hop access).
     #[inline]
     pub fn pipes(&self, id: RouteId) -> &[PipeId] {
-        &self.routes[id.index()].pipes
+        &self.store.get(id.index()).pipes
     }
 
     /// Number of distinct routes stored.
     pub fn route_count(&self) -> usize {
-        self.routes.len()
+        self.store.len()
     }
 
-    /// Number of endpoints the pair table covers.
+    /// Number of endpoints the row shards cover.
     pub fn endpoint_count(&self) -> usize {
         self.endpoint_count
+    }
+
+    /// `true` when `src`'s row in `self` and `other` is literally the same
+    /// storage: a shared heap allocation for spilled rows, a bit-identical
+    /// allocation-free form for inline/empty rows. Diagnostic for the
+    /// copy-on-write publish tests.
+    pub fn row_storage_shared(&self, other: &RouteTable, src: usize) -> bool {
+        match (self.row(src), other.row(src)) {
+            (Some(a), Some(b)) => a.same_storage(b),
+            _ => false,
+        }
+    }
+
+    /// The shared slot allocation backing `src`'s row when it spilled to
+    /// the heap (`None` for inline/empty rows). Diagnostic: lets tests pin
+    /// `Arc` identity across rewires and across co-located endpoints.
+    pub fn spilled_row_ptr(&self, src: usize) -> Option<*const u32> {
+        match self.row(src)? {
+            RowShard::Spilled { slots, .. } => Some(slots.as_ptr()),
+            _ => None,
+        }
+    }
+
+    /// Entries in the content-dedup index, across every overlay.
+    #[doc(hidden)]
+    pub fn content_index_entries(&self) -> usize {
+        self.by_content.total_entries()
+    }
+
+    /// Copy-on-write overlays currently stacked on the content index.
+    #[doc(hidden)]
+    pub fn content_index_depth(&self) -> u32 {
+        self.by_content.depth
+    }
+
+    /// Memory accounting for the route state (see [`RouteStateMemory`]).
+    /// Walks the structure, counting shared allocations once; intended for
+    /// benchmarks and reports, not the hot path.
+    pub fn memory(&self) -> RouteStateMemory {
+        let mut mem = RouteStateMemory {
+            endpoint_count: self.endpoint_count,
+            dense_equivalent_bytes: self.endpoint_count * self.endpoint_count * 4,
+            route_count: self.store.len(),
+            ..RouteStateMemory::default()
+        };
+        // Row shards: the block table, the blocks themselves (each counted
+        // once — generations share them, but one table owns each at least
+        // once), and each distinct spilled slot allocation.
+        const ARC_HEADER: usize = 16; // strong + weak counts
+        mem.resident_bytes += self.rows.capacity() * std::mem::size_of::<Arc<[RowShard]>>();
+        let mut seen: HashSet<*const u32> = HashSet::new();
+        for block in &self.rows {
+            mem.resident_bytes += block.len() * std::mem::size_of::<RowShard>() + ARC_HEADER;
+            for row in block.iter() {
+                match row {
+                    RowShard::Empty => mem.empty_rows += 1,
+                    RowShard::Inline { .. } => mem.inline_rows += 1,
+                    RowShard::Spilled { slots, .. } => {
+                        if seen.insert(slots.as_ptr()) {
+                            mem.resident_bytes += slots.len() * 4 + ARC_HEADER;
+                        }
+                    }
+                }
+            }
+        }
+        mem.distinct_row_allocations = seen.len();
+        // Route store: chunk table plus per-route content.
+        mem.route_bytes += self.store.sealed.capacity() * std::mem::size_of::<Arc<[Route]>>();
+        for route in self.store.iter() {
+            mem.route_bytes +=
+                std::mem::size_of::<Route>() + route.pipes.len() * std::mem::size_of::<PipeId>();
+        }
+        // Content index: keys duplicate the pipe sequences, plus per-entry
+        // map overhead (approximate).
+        let mut layer: Option<&ContentIndex> = Some(&self.by_content);
+        while let Some(l) = layer {
+            for k in l.entries.keys() {
+                mem.index_bytes += std::mem::size_of::<Vec<PipeId>>()
+                    + k.len() * std::mem::size_of::<PipeId>()
+                    + std::mem::size_of::<RouteId>()
+                    + 16;
+            }
+            layer = l.parent.as_deref();
+        }
+        // Location geometry.
+        let locs_bytes = self.locs.locations.capacity() * std::mem::size_of::<NodeId>()
+            + self.locs.slot_of_endpoint.capacity() * 4
+            + self
+                .locs
+                .endpoints
+                .iter()
+                .map(|v| v.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+                .sum::<usize>()
+            + self.locs.slot_of.len() * (std::mem::size_of::<NodeId>() + 4 + 16);
+        mem.resident_bytes += mem.route_bytes + mem.index_bytes + locs_bytes;
+        mem
     }
 }
 
@@ -311,7 +939,7 @@ mod tests {
     }
 
     #[test]
-    fn shared_locations_share_one_route() {
+    fn shared_locations_share_one_route_and_one_row() {
         let topo = ring_topology(&RingParams {
             routers: 4,
             clients_per_router: 1,
@@ -333,6 +961,12 @@ mod tests {
                 }
                 assert_eq!(table.route_id(i, j), table.route_id(i + n, j));
             }
+        }
+        // Co-located endpoints share one row shard: same allocation, not a
+        // copy (8 endpoints wide rows -> spilled, so pointers are visible).
+        for i in 0..n {
+            assert!(table.row_storage_shared(&table, i));
+            assert_eq!(table.spilled_row_ptr(i), table.spilled_row_ptr(i + n));
         }
         // Same-location pairs are unroutable (handled as local delivery).
         for i in 0..n {
@@ -366,12 +1000,17 @@ mod tests {
                 }
             }
         }
-        // Ten no-op rebuilds still do not grow it.
+        // Ten no-op rebuilds still do not grow it — and, because the
+        // content index is carried forward structurally, they re-intern
+        // nothing and stack no overlays.
+        let entries = rebuilt.content_index_entries();
         let mut table = rebuilt;
         for _ in 0..10 {
             table = RouteTable::rebuild(&table, &matrix, &locations);
         }
         assert_eq!(table.route_count(), first.route_count());
+        assert_eq!(table.content_index_entries(), entries);
+        assert_eq!(table.content_index_depth(), 0, "no-op rebuilds add layers");
     }
 
     #[test]
@@ -411,6 +1050,7 @@ mod tests {
             bandwidth: mn_util::DataRate::ZERO,
             ..original
         };
+        let before_down = table.clone();
         let down = flap(&mut d, &mut matrix, &mut table, failed);
         let count_after_down = table.route_count();
         // Untouched pairs keep their exact RouteId; changed pairs resolve to
@@ -425,6 +1065,8 @@ mod tests {
                 (si, di)
             })
             .collect();
+        let changed_sources: std::collections::HashSet<usize> =
+            changed.iter().map(|&(s, _)| s).collect();
         for s in 0..n {
             for t in 0..n {
                 if changed.contains(&(s, t)) {
@@ -440,6 +1082,13 @@ mod tests {
                     );
                 }
             }
+            // Copy-on-write publish: untouched sources keep literally the
+            // same row allocation; rewired sources get a fresh one.
+            assert_eq!(
+                table.row_storage_shared(&before_down, s),
+                !changed_sources.contains(&s),
+                "row storage of source {s}"
+            );
         }
         // Restore: every pair maps back to its original id, and a second
         // full flap cycle does not grow the table (oscillation-safe dedup).
@@ -476,5 +1125,136 @@ mod tests {
         assert_eq!(table.route_id(0, 1), Some(id));
         assert_eq!(table.route_id(1, 0), None);
         assert_eq!(table.pipes(id), &[PipeId(3), PipeId(5)]);
+    }
+
+    #[test]
+    fn set_pair_grows_windows_inline_then_spills() {
+        let mut table = RouteTable::new(16);
+        let ids: Vec<RouteId> = (0..8)
+            .map(|i| table.intern(Route::new(vec![PipeId(i)])))
+            .collect();
+        // Scattered writes on one row: window grows, stays inline while
+        // narrow (no allocation to share), spills once it widens.
+        table.set_pair(0, 5, ids[0]);
+        assert!(table.spilled_row_ptr(0).is_none(), "1-wide row is inline");
+        table.set_pair(0, 7, ids[1]);
+        assert!(table.spilled_row_ptr(0).is_none(), "3-wide row is inline");
+        assert_eq!(table.route_id(0, 6), None, "window gap is unroutable");
+        table.set_pair(0, 12, ids[2]);
+        assert!(table.spilled_row_ptr(0).is_some(), "8-wide row spills");
+        assert_eq!(table.route_id(0, 5), Some(ids[0]));
+        assert_eq!(table.route_id(0, 7), Some(ids[1]));
+        assert_eq!(table.route_id(0, 12), Some(ids[2]));
+        assert_eq!(table.route_id(0, 4), None);
+        assert_eq!(table.route_id(0, 13), None);
+        // Overwrites do not move the window; other rows are untouched.
+        table.set_pair(0, 7, ids[3]);
+        assert_eq!(table.route_id(0, 7), Some(ids[3]));
+        for s in 1..16 {
+            for t in 0..16 {
+                assert!(table.route_id(s, t).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn set_pair_on_a_shared_row_copies_on_write() {
+        // Two endpoints per location share one shard; diverging one of them
+        // by hand must not leak into its co-located peer.
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 1,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let mut locations = d.vns().to_vec();
+        locations.extend(d.vns().to_vec());
+        let mut table = RouteTable::build(&matrix, &locations);
+        let n = d.vns().len();
+        let donor = table.route_id(1, 2).unwrap();
+        let before = table.route_id(n, 2);
+        assert_eq!(table.spilled_row_ptr(0), table.spilled_row_ptr(n));
+        table.set_pair(0, 2, donor);
+        assert_eq!(table.route_id(0, 2), Some(donor));
+        assert_eq!(table.route_id(n, 2), before, "peer row must not change");
+        assert_ne!(table.spilled_row_ptr(0), table.spilled_row_ptr(n));
+    }
+
+    #[test]
+    fn memory_is_sub_dense_for_multiplexed_endpoints() {
+        // 512 endpoints over 8 locations: rows dedup to 8 allocations and
+        // the route state stays far below the dense n² pair table.
+        let topo = ring_topology(&RingParams {
+            routers: 8,
+            clients_per_router: 1,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let base = d.vns().to_vec();
+        let locations: Vec<NodeId> = (0..512).map(|i| base[i % base.len()]).collect();
+        let table = RouteTable::build(&matrix, &locations);
+        let mem = table.memory();
+        assert_eq!(mem.endpoint_count, 512);
+        assert_eq!(mem.dense_equivalent_bytes, 512 * 512 * 4);
+        assert_eq!(mem.distinct_row_allocations, 8, "one shard per location");
+        assert!(
+            mem.resident_bytes * 10 < mem.dense_equivalent_bytes,
+            "resident {} vs dense {}",
+            mem.resident_bytes,
+            mem.dense_equivalent_bytes
+        );
+        // And the lookups still resolve: cross-location pairs route,
+        // co-located pairs stay local.
+        assert!(table.route_id(0, 1).is_some());
+        assert!(table.route_id(0, base.len()).is_none());
+    }
+
+    #[test]
+    fn clearing_patch_outside_the_final_window_is_a_noop() {
+        // A patch batch can clear a destination a diverged row never held
+        // while another patch genuinely changes the row: the clearing patch
+        // lands outside the computed window and must be skipped, not
+        // indexed (regression: this used to walk off the scratch buffer).
+        let mut table = RouteTable::new(16);
+        let id = table.intern(Route::new(vec![PipeId(1)]));
+        table.set_pair(0, 3, id);
+        assert_eq!(table.route_id(0, 3), Some(id));
+        // Simulate the mixed batch through the public surface: clear a far
+        // destination (already unroutable on this row) and rewire dst 3.
+        let other = table.intern(Route::new(vec![PipeId(2)]));
+        let empty_row = RowShard::Empty;
+        let patched = empty_row
+            .patched(&[(10, NO_ROUTE), (3, other.0)])
+            .expect("the routable patch changes the row");
+        assert_eq!(patched.raw(3), other.0);
+        assert_eq!(patched.raw(10), NO_ROUTE);
+        let narrow = RowShard::from_window(3, &[id.0]);
+        let patched = narrow
+            .patched(&[(12, NO_ROUTE), (3, other.0)])
+            .expect("the routable patch changes the row");
+        assert_eq!(patched.raw(3), other.0);
+        assert_eq!(patched.raw(12), NO_ROUTE);
+    }
+
+    #[test]
+    fn route_store_chunks_survive_sealing() {
+        let mut table = RouteTable::new(4);
+        let count = ROUTE_CHUNK * 2 + 7;
+        let ids: Vec<RouteId> = (0..count)
+            .map(|i| table.intern(Route::new(vec![PipeId(i), PipeId(i + 1)])))
+            .collect();
+        assert_eq!(table.route_count(), count);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(table.pipes(id), &[PipeId(i), PipeId(i + 1)]);
+        }
+        // Cloning shares the sealed chunks; interning into the clone leaves
+        // the original untouched.
+        let mut clone = table.clone();
+        let extra = clone.intern(Route::new(vec![PipeId(999_999)]));
+        assert_eq!(clone.route_count(), count + 1);
+        assert_eq!(table.route_count(), count);
+        assert_eq!(clone.pipes(extra), &[PipeId(999_999)]);
     }
 }

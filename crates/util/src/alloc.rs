@@ -1,0 +1,95 @@
+//! Counting wrapper around the system allocator.
+//!
+//! Install [`CountingAlloc`] as the `#[global_allocator]` of a test or
+//! bench binary to make heap behaviour observable:
+//!
+//! * [`thread_alloc_calls`] — allocator calls made by the current thread,
+//!   the zero-allocation guard used by the steady-state suites (the
+//!   counter is a `Cell<u64>`, so reading it cannot itself allocate or
+//!   recurse into the allocator);
+//! * [`bytes_in_use`] / [`peak_bytes_in_use`] — process-wide resident
+//!   bytes and their high-water mark, for memory reports;
+//! * [`total_allocated_bytes`] — cumulative bytes ever requested, whose
+//!   deltas measure how much a code path copies (e.g. bytes copied per
+//!   reconfiguration flap).
+//!
+//! The counters are plain relaxed atomics: cross-thread readings are
+//! racy-but-monotonic snapshots, which is all trajectory reporting needs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+thread_local! {
+    static THREAD_ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+static BYTES_IN_USE: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES_IN_USE: AtomicUsize = AtomicUsize::new(0);
+static TOTAL_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Allocator calls (alloc / alloc_zeroed / realloc) made by this thread
+/// since it started. Frees are not counted: the steady-state guards pin
+/// "no new memory requested", and a free cannot request memory.
+pub fn thread_alloc_calls() -> u64 {
+    THREAD_ALLOC_CALLS.with(|c| c.get())
+}
+
+/// Bytes currently allocated process-wide.
+pub fn bytes_in_use() -> usize {
+    BYTES_IN_USE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`bytes_in_use`] since process start (or the last
+/// [`reset_peak`]).
+pub fn peak_bytes_in_use() -> usize {
+    PEAK_BYTES_IN_USE.load(Ordering::Relaxed)
+}
+
+/// Resets the high-water mark to the current usage, so a measurement
+/// window reports its own peak rather than setup's.
+pub fn reset_peak() {
+    PEAK_BYTES_IN_USE.store(bytes_in_use(), Ordering::Relaxed);
+}
+
+/// Cumulative bytes ever requested from the allocator, process-wide.
+pub fn total_allocated_bytes() -> u64 {
+    TOTAL_ALLOCATED.load(Ordering::Relaxed)
+}
+
+fn on_alloc(bytes: usize) {
+    THREAD_ALLOC_CALLS.with(|c| c.set(c.get() + 1));
+    TOTAL_ALLOCATED.fetch_add(bytes as u64, Ordering::Relaxed);
+    let in_use = BYTES_IN_USE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_BYTES_IN_USE.fetch_max(in_use, Ordering::Relaxed);
+}
+
+fn on_free(bytes: usize) {
+    BYTES_IN_USE.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// Byte- and call-counting [`GlobalAlloc`] wrapping [`System`].
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        on_alloc(new_size);
+        on_free(layout.size());
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        on_free(layout.size());
+        System.dealloc(ptr, layout)
+    }
+}

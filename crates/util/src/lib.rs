@@ -22,6 +22,7 @@
 //! * [`rngs`] — seeded RNG construction helpers so every experiment is
 //!   reproducible from a single `u64` seed.
 
+pub mod alloc;
 pub mod event;
 pub mod rate;
 pub mod rngs;

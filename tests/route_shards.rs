@@ -1,0 +1,174 @@
+//! Property suite for the sharded copy-on-write route table.
+//!
+//! Three invariants anchor the shard design:
+//!
+//! 1. **Observational equivalence.** Across random fail/restore/renegotiate
+//!    sequences, the incrementally rewired sharded table must agree with a
+//!    from-scratch dense reference on **every** `(src, dst)` lookup — same
+//!    routability, same pipe sequence — with endpoints multiplexed two per
+//!    location so row dedup is exercised throughout.
+//! 2. **`RouteId` stability.** Pairs a step did not change keep their exact
+//!    `RouteId` (descriptors in flight keep resolving), and every id still
+//!    resolves to the pipe sequence the reference prescribes.
+//! 3. **Copy-on-write identity.** After a rewire, the row shards of
+//!    untouched sources are literally the same storage as before the step
+//!    (`Arc` identity for spilled rows), and co-located endpoints keep
+//!    sharing one shard — the publish cost is O(changed rows), which is the
+//!    tentpole's whole point.
+
+mod common;
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use common::arb_unique_path_topology;
+use mn_distill::{distill, DistillationMode, DistilledTopology, PipeId};
+use mn_routing::{RouteId, RouteTable, RoutingMatrix};
+use mn_topology::NodeId;
+use mn_util::DataRate;
+
+/// One random perturbation of a duplex link.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Fail the link (bandwidth to zero): routes detour or disappear.
+    Down,
+    /// Restore the link's build-time attributes.
+    Restore,
+    /// Double the link's latency: routes may shift without a failure.
+    SlowerLatency,
+    /// Halve the link's (nonzero) bandwidth: no routing impact at all.
+    RenegotiateBandwidth,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Down),
+        Just(Op::Restore),
+        Just(Op::SlowerLatency),
+        Just(Op::RenegotiateBandwidth),
+    ]
+}
+
+/// Applies `op` to both directions of the `link_choice`-th duplex link,
+/// returning the mutated pipes. Hop-by-hop distillation adds duplex pairs
+/// back to back: pipes 2k and 2k+1 are the two directions of link k.
+fn apply_op(
+    d: &mut DistilledTopology,
+    original: &[mn_distill::PipeAttrs],
+    link_choice: usize,
+    op: Op,
+) -> Vec<PipeId> {
+    let links = d.pipe_count() / 2;
+    let k = link_choice % links;
+    let pipes = vec![PipeId(2 * k), PipeId(2 * k + 1)];
+    for &p in &pipes {
+        let attrs = d.pipe_attrs_mut(p).expect("pipe exists");
+        match op {
+            Op::Down => attrs.bandwidth = DataRate::ZERO,
+            Op::Restore => *attrs = original[p.index()],
+            Op::SlowerLatency => attrs.latency = attrs.latency * 2,
+            Op::RenegotiateBandwidth => attrs.bandwidth = attrs.bandwidth.mul_f64(0.5),
+        }
+    }
+    pipes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_table_matches_dense_reference_under_random_dynamics(
+        topo in arb_unique_path_topology(Just(0.0)),
+        ops in prop::collection::vec((any::<usize>(), arb_op()), 1..10),
+    ) {
+        let mut d = distill(&topo, DistillationMode::HopByHop);
+        let original: Vec<_> = d.pipes().map(|(_, p)| p.attrs).collect();
+        let mut matrix = RoutingMatrix::build(&d);
+        // Two endpoints per location: half the endpoint set repeats the VN
+        // list, so every row shard is shared by a co-located pair and
+        // same-location pairs must stay unroutable (local delivery).
+        let mut locations = d.vns().to_vec();
+        locations.extend(d.vns().to_vec());
+        let n = locations.len();
+        let half = n / 2;
+        let mut table = RouteTable::build(&matrix, &locations);
+
+        for (choice, op) in ops {
+            let before = table.clone();
+            let ids_before: Vec<Option<RouteId>> = (0..n * n)
+                .map(|i| table.route_id(i / n, i % n))
+                .collect();
+            let changed_pipes = apply_op(&mut d, &original, choice, op);
+            let update = matrix.update_pipes(&d, &changed_pipes);
+            if !update.is_empty() {
+                table.rewire_in_place(&matrix, &locations, &update.changed_pairs);
+            }
+
+            // 1. Every (src, dst) lookup agrees with a scratch-built dense
+            //    reference of the mutated pipe graph.
+            let scratch = RoutingMatrix::build(&d);
+            for s in 0..n {
+                for t in 0..n {
+                    let expected = if locations[s] == locations[t] {
+                        None
+                    } else {
+                        scratch.lookup(locations[s], locations[t]).and_then(|r| {
+                            if r.is_empty() {
+                                None
+                            } else {
+                                Some(r.pipes.as_slice())
+                            }
+                        })
+                    };
+                    let got = table.route_id(s, t).map(|id| table.pipes(id));
+                    prop_assert_eq!(got, expected, "pair ({}, {}) after {:?}", s, t, op);
+                }
+            }
+
+            // 2. RouteId stability: pairs the update did not list keep
+            //    their exact pre-step id.
+            let changed_set: HashSet<(NodeId, NodeId)> =
+                update.changed_pairs.iter().copied().collect();
+            for s in 0..n {
+                for t in 0..n {
+                    if !changed_set.contains(&(locations[s], locations[t])) {
+                        prop_assert_eq!(
+                            table.route_id(s, t),
+                            ids_before[s * n + t],
+                            "untouched pair ({}, {}) must keep its RouteId after {:?}",
+                            s, t, op
+                        );
+                    }
+                }
+            }
+
+            // 3. Copy-on-write identity: sources with no changed pair keep
+            //    literally the same row storage across the rewire, and
+            //    co-located endpoints still share one shard.
+            let changed_sources: HashSet<NodeId> =
+                changed_set.iter().map(|&(src, _)| src).collect();
+            for (s, loc) in locations.iter().enumerate() {
+                if !changed_sources.contains(loc) {
+                    prop_assert!(
+                        table.row_storage_shared(&before, s),
+                        "untouched source {} lost its shard storage after {:?}",
+                        s, op
+                    );
+                }
+            }
+            for s in 0..half {
+                prop_assert!(
+                    table.row_storage_shared(&table, s),
+                    "shard identity must be reflexive"
+                );
+                prop_assert_eq!(
+                    table.spilled_row_ptr(s),
+                    table.spilled_row_ptr(s + half),
+                    "co-located endpoints {} and {} must share one shard",
+                    s, s + half
+                );
+            }
+        }
+    }
+}

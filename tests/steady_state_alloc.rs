@@ -3,60 +3,26 @@
 //! The paper's core forwards near-gigabit traffic while scheduling tens of
 //! thousands of pipes; that only works if the per-packet path does no
 //! avoidable work. This test pins the reproduction to the same discipline: a
-//! counting global allocator wraps the system allocator, the emulator is
+//! counting global allocator (`mn_util::alloc`, shared with the bench
+//! binaries' memory reporting) wraps the system allocator, the emulator is
 //! warmed until every buffer (timing-wheel slots, pipe queues, tick/delivery
 //! scratch) has reached its steady-state capacity, and a further measured
 //! run of submit + advance must perform **zero** heap allocations on this
-//! thread.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
+//! thread. The sharded route table's lookup path gets its own guard: row
+//! shards and the chunked route store must resolve without touching the
+//! heap, rewired or not.
 
 use mn_assign::{Binding, BindingParams};
 use mn_distill::{distill, DistillationMode};
 use mn_emucore::{HardwareProfile, MultiCoreEmulator};
 use mn_packet::{FlowKey, Packet, PacketId, Protocol, TcpFlags, TransportHeader, VnId};
 use mn_routing::RoutingMatrix;
-use mn_topology::generators::{star_topology, StarParams};
+use mn_topology::generators::{ring_topology, star_topology, RingParams, StarParams};
+use mn_util::alloc::thread_alloc_calls as alloc_calls;
 use mn_util::SimTime;
 
-/// Counts allocator calls made by this thread. `Cell<u64>` has no destructor,
-/// so the thread-local access inside the allocator cannot itself allocate or
-/// recurse.
-struct CountingAlloc;
-
-thread_local! {
-    static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
-}
-
-fn bump() {
-    ALLOC_CALLS.with(|c| c.set(c.get() + 1));
-}
-
-fn alloc_calls() -> u64 {
-    ALLOC_CALLS.with(|c| c.get())
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        bump();
-        System.alloc(layout)
-    }
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        bump();
-        System.alloc_zeroed(layout)
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        bump();
-        System.realloc(ptr, layout, new_size)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-}
-
 #[global_allocator]
-static ALLOCATOR: CountingAlloc = CountingAlloc;
+static ALLOCATOR: mn_util::alloc::CountingAlloc = mn_util::alloc::CountingAlloc;
 
 fn tcp_packet(id: u64, src: VnId, dst: VnId, now: SimTime) -> Packet {
     Packet::new(
@@ -211,6 +177,63 @@ fn steady_state_survives_a_bandwidth_renegotiation_without_allocating() {
         delta, 0,
         "post-renegotiation steady state made {delta} heap allocations; \
          reconfiguration must keep the per-packet path allocation-free"
+    );
+}
+
+/// The steady-state lookup path of the sharded copy-on-write route table —
+/// `route_id` (row shard + slot) and `pipes` (chunked store) — performs no
+/// heap allocation, including on a table generation produced by an
+/// incremental rewire (mixed shared and freshly published row shards).
+#[test]
+fn sharded_route_lookups_allocate_nothing() {
+    let topo = ring_topology(&RingParams {
+        routers: 8,
+        clients_per_router: 2,
+        ..RingParams::default()
+    });
+    let mut d = distill(&topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(4, 1));
+    let mut emu =
+        MultiCoreEmulator::single_core(&d, matrix, &binding, HardwareProfile::unconstrained(), 7);
+    // Fail a transit pipe (both directions) through the incremental path so
+    // the table in force is a rewired copy-on-write generation, not the
+    // pristine build.
+    let far = emu
+        .route_table()
+        .route_id(0, emu.route_table().endpoint_count() / 2)
+        .expect("ring routes all pairs");
+    let victim = emu.route_table().pipes(far)[1];
+    let reverse = {
+        let p = d.pipe(victim);
+        d.find_pipe(p.dst, p.src).expect("duplex link")
+    };
+    for p in [victim, reverse] {
+        d.pipe_attrs_mut(p).unwrap().bandwidth = mn_util::DataRate::ZERO;
+    }
+    let update = emu.reroute(&d, &[victim, reverse]);
+    assert!(!update.is_empty(), "failing a transit link rewires routes");
+    // Every pair lookup plus the per-hop pipe-sequence access, repeatedly:
+    // zero allocator calls.
+    let table = emu.route_table();
+    let n = table.endpoint_count();
+    let before = alloc_calls();
+    let mut hops = 0usize;
+    for _ in 0..100 {
+        for s in 0..n {
+            for t in 0..n {
+                if let Some(id) = table.route_id(s, t) {
+                    hops += std::hint::black_box(table.pipes(id)).len();
+                }
+            }
+        }
+    }
+    let delta = alloc_calls() - before;
+    assert!(hops > 0, "lookups resolved routes");
+    assert_eq!(
+        delta, 0,
+        "steady-state route lookups made {delta} heap allocations; \
+         the sharded table's lookup path must be allocation-free"
     );
 }
 
