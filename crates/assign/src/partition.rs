@@ -321,7 +321,7 @@ mod tests {
                     continue;
                 }
                 let r = matrix.lookup(a, b).unwrap();
-                let c = pod.crossings(r);
+                let c = pod.crossings(&r);
                 assert!(c < r.hop_count().max(1));
                 if c > 0 {
                     any_crossing = true;
@@ -352,7 +352,7 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                assert!(pod.crossings(matrix.lookup(a, b).unwrap()) <= 1);
+                assert!(pod.crossings(&matrix.lookup(a, b).unwrap()) <= 1);
             }
         }
     }

@@ -1,0 +1,231 @@
+//! Large-N route-state residency and flap cost for the tree-only matrix.
+//!
+//! The ROADMAP's acceptance target for the tree-only routing layer: route
+//! state (matrix trees + sharded table) for **100k endpoints over ≤1k
+//! locations resident in under 1 GB**, and a single-link flap whose wall
+//! time is proportional to the affected source trees — flat in total
+//! endpoint count and within 3× of the 15 µs the loaded-emulator flap cost
+//! at 4096 pipes before this change.
+//!
+//! Two measurements, both against the counting global allocator (bytes
+//! measured, not estimated):
+//!
+//! * `residency` — a 512-location ring (64 routers × 8 clients), 100 000
+//!   endpoints multiplexed over it: the allocator delta across
+//!   `RoutingMatrix::build` + `RouteTable::build` is the resident route
+//!   state. The matrix contributes one predecessor + distance row pair per
+//!   location (O(locations × nodes)); the table one deduped row shard per
+//!   location (O(locations × endpoints)); nothing is O(endpoints²).
+//! * `flap_<n>_vns` — the reconfiguration path on disjoint 2-hop duplex
+//!   path pairs at 1024/2048/4096 pairs (4096/8192/16384 pipes, one
+//!   endpoint per VN): one full flap (fail both directions of a used link,
+//!   `update_pipes` + `rewire_in_place`, restore, again). The per-pipe
+//!   reverse index bounds the recompute to the trees that crossed the
+//!   pipe, so the cost must stay flat as the total VN count quadruples.
+//! * `flap_multiplexed_<n>_endpoints` — informational: the same 1024-pair
+//!   flap with 16× endpoints multiplexed onto the 2048 locations. Tree
+//!   recomputation stays constant, but patching a spilled row shard is
+//!   O(row length), so this series grows with the endpoint count — the
+//!   honest cost of the dense-row shard representation, not of the matrix.
+//!
+//! `shape_holds` in `BENCH_matrix.json` asserts: resident bytes under
+//! 1 GiB, the 8192-VN flap within 3× of the 2048-VN flap (flat in VN
+//! count), and the 2048-VN (4096-pipe) flap itself within the 45 µs
+//! (3 × 15 µs) acceptance bound.
+
+use std::time::Instant;
+
+use mn_distill::{distill, DistillationMode, DistilledTopology, PipeId};
+use mn_routing::{RouteTable, RoutingMatrix};
+use mn_topology::generators::{path_pairs_topology, ring_topology, PathPairsParams, RingParams};
+use mn_topology::NodeId;
+use mn_util::{DataRate, SimDuration};
+
+#[global_allocator]
+static ALLOC: mn_util::alloc::CountingAlloc = mn_util::alloc::CountingAlloc;
+
+/// Endpoints resident in the residency measurement.
+const RESIDENCY_ENDPOINTS: usize = 100_000;
+/// The 1 GiB residency acceptance bound.
+const RESIDENCY_BOUND: u64 = 1 << 30;
+/// Acceptance bound on the 4096-pipe flap (3 × the pre-change 15 µs).
+const FLAP_BOUND_NS: f64 = 45_000.0;
+
+/// One full flap of both directions of a link: fail, update + rewire,
+/// restore, update + rewire.
+fn flap_once(
+    matrix: &mut RoutingMatrix,
+    table: &mut RouteTable,
+    d: &mut DistilledTopology,
+    locations: &[NodeId],
+    victims: &[PipeId; 2],
+    original: &[mn_distill::PipeAttrs; 2],
+) -> usize {
+    let mut recomputed = 0;
+    for &p in victims {
+        d.pipe_attrs_mut(p).unwrap().bandwidth = DataRate::ZERO;
+    }
+    let down = matrix.update_pipes(d, victims);
+    recomputed += down.recomputed_sources;
+    if !down.is_empty() {
+        table.rewire_in_place(matrix, locations, &down.changed_pairs);
+    }
+    for (&p, &attrs) in victims.iter().zip(original) {
+        *d.pipe_attrs_mut(p).unwrap() = attrs;
+    }
+    let up = matrix.update_pipes(d, victims);
+    recomputed += up.recomputed_sources;
+    if !up.is_empty() {
+        table.rewire_in_place(matrix, locations, &up.changed_pairs);
+    }
+    recomputed
+}
+
+fn main() {
+    if criterion::invoked_as_test() {
+        return;
+    }
+    let mut rows: Vec<(String, f64, u64)> = Vec::new();
+    let mut mem_rows: Vec<(String, u64)> = Vec::new();
+
+    // ---- Residency: 100k endpoints over 512 ring locations. ----
+    let topo = ring_topology(&RingParams {
+        routers: 64,
+        clients_per_router: 8,
+        ..RingParams::default()
+    });
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let before = mn_util::alloc::bytes_in_use();
+    let matrix = RoutingMatrix::build(&d);
+    let matrix_bytes = mn_util::alloc::bytes_in_use() - before;
+    let base = d.vns().to_vec();
+    let locations: Vec<NodeId> = (0..RESIDENCY_ENDPOINTS)
+        .map(|i| base[i % base.len()])
+        .collect();
+    let table = RouteTable::build(&matrix, &locations);
+    let route_state = mn_util::alloc::bytes_in_use() - before;
+    let accounting = table.memory();
+    mem_rows.push((
+        format!("matrix_tree_bytes_{}_locations", base.len()),
+        matrix_bytes as u64,
+    ));
+    mem_rows.push((
+        format!("route_state_alloc_bytes_{RESIDENCY_ENDPOINTS}_endpoints"),
+        route_state as u64,
+    ));
+    mem_rows.push((
+        format!("table_resident_bytes_{RESIDENCY_ENDPOINTS}_endpoints"),
+        accounting.resident_bytes as u64,
+    ));
+    mem_rows.push((
+        format!("table_dense_bytes_{RESIDENCY_ENDPOINTS}_endpoints"),
+        accounting.dense_equivalent_bytes as u64,
+    ));
+    let residency_ok = (route_state as u64) < RESIDENCY_BOUND;
+    println!(
+        "route state: {} endpoints over {} locations resident in {:.1} MiB \
+         (matrix trees {:.1} MiB, bound {} MiB) — {}",
+        RESIDENCY_ENDPOINTS,
+        base.len(),
+        route_state as f64 / (1 << 20) as f64,
+        matrix_bytes as f64 / (1 << 20) as f64,
+        RESIDENCY_BOUND >> 20,
+        if residency_ok { "ok" } else { "OVER BUDGET" }
+    );
+    drop(table);
+    drop(matrix);
+
+    // ---- Flap cost, flat in total VN count. ----
+    let mut flap_means: Vec<(usize, f64)> = Vec::new();
+    for (pairs, mult, label) in [
+        (1024usize, 1usize, "vns"),
+        (2048, 1, "vns"),
+        (4096, 1, "vns"),
+        (1024, 16, "multiplexed endpoints"),
+    ] {
+        let (topo, endpoints) = path_pairs_topology(&PathPairsParams {
+            pairs,
+            hops: 2,
+            bandwidth: DataRate::from_mbps(100),
+            end_to_end_latency: SimDuration::from_millis(8),
+        });
+        let mut d = distill(&topo, DistillationMode::HopByHop);
+        let mut matrix = RoutingMatrix::build(&d);
+        let base = d.vns().to_vec();
+        let n = base.len() * mult;
+        let locations: Vec<NodeId> = (0..n).map(|i| base[i % base.len()]).collect();
+        let mut table = RouteTable::build(&matrix, &locations);
+        let victims = {
+            let first = matrix
+                .lookup(endpoints[0].0, endpoints[0].1)
+                .expect("pair 0 routes")
+                .pipes[0];
+            let reverse = {
+                let p = d.pipe(first);
+                d.find_pipe(p.dst, p.src).expect("duplex link")
+            };
+            [first, reverse]
+        };
+        let original = [d.pipe(victims[0]).attrs, d.pipe(victims[1]).attrs];
+        let mut recomputed = 0;
+        for _ in 0..16 {
+            recomputed = flap_once(
+                &mut matrix,
+                &mut table,
+                &mut d,
+                &locations,
+                &victims,
+                &original,
+            );
+        }
+        let iters = 512u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(flap_once(
+                &mut matrix,
+                &mut table,
+                &mut d,
+                &locations,
+                &victims,
+                &original,
+            ));
+        }
+        let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        let series = if mult == 1 {
+            format!("flap_{n}_vns")
+        } else {
+            format!("flap_multiplexed_{n}_endpoints")
+        };
+        println!(
+            "{series}: {mean_ns:>10.0} ns/flap at {} pipes \
+             ({recomputed} trees recomputed per flap, {n} {label})",
+            d.pipe_count()
+        );
+        rows.push((series, mean_ns, iters));
+        if mult == 1 {
+            flap_means.push((n, mean_ns));
+        }
+    }
+    let flat_ok = flap_means.last().unwrap().1 <= 3.0 * flap_means[0].1;
+    let bound_ok = flap_means[0].1 <= FLAP_BOUND_NS;
+    println!(
+        "flap cost grows {:.2}x across a 4x VN increase (flat wants <= 3), \
+         4096-pipe flap {:.1} us (bound {:.0} us)",
+        flap_means.last().unwrap().1 / flap_means[0].1,
+        flap_means[0].1 / 1000.0,
+        FLAP_BOUND_NS / 1000.0
+    );
+
+    let shape_holds = residency_ok && flat_ok && bound_ok;
+    let mut report = mn_bench::report::Report::new("matrix", shape_holds);
+    for (bench, mean_ns, iters) in &rows {
+        report = report.with_series(bench.clone(), vec![(*iters as f64, *mean_ns)]);
+    }
+    for (label, bytes) in &mem_rows {
+        report = report.with_series(format!("mem/{label}"), vec![(1.0, *bytes as f64)]);
+    }
+    match report.write_json("BENCH_matrix") {
+        Ok(path) => println!("bench report written to {path} (shape_holds: {shape_holds})"),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
+}

@@ -225,12 +225,16 @@ fn bench_reconfig(c: &mut Criterion) {
     }
     group.finish();
 
-    // Route-state memory at the paper's scale: 16384 endpoints multiplexed
-    // over 128 ring locations (the tens-of-thousands-of-VNs configuration).
-    // Co-located endpoints share one row shard, so the resident footprint
-    // is O(locations × endpoints) — measured both by the allocator (bytes
-    // the build actually took) and by the table's own accounting — against
-    // the 1 GiB a dense 16384² pair table would spend.
+    // Route-state memory trajectory at the paper's scale and beyond:
+    // 16384 / 32768 / 65536 endpoints multiplexed over 128 ring locations
+    // (the tens-of-thousands-of-VNs configuration). Co-located endpoints
+    // share one row shard, so the resident footprint is
+    // O(locations × endpoints) — measured both by the allocator (bytes the
+    // build actually took) and by the table's own accounting — against the
+    // dense endpoint² pair table (1 GiB already at 16384). The tree-only
+    // matrix rides along: one predecessor + distance row pair per location
+    // VN, flat in endpoint count, recorded per scale so the sub-quadratic
+    // claim is a trajectory rather than a one-off number.
     let topo = ring_topology(&RingParams {
         routers: 128,
         clients_per_router: 1,
@@ -239,22 +243,31 @@ fn bench_reconfig(c: &mut Criterion) {
     let d = distill(&topo, DistillationMode::HopByHop);
     let matrix = RoutingMatrix::build(&d);
     let base = d.vns().to_vec();
-    let locations: Vec<NodeId> = (0..16384).map(|i| base[i % base.len()]).collect();
-    let before = mn_util::alloc::bytes_in_use();
-    let table = RouteTable::build(&matrix, &locations);
-    let built = mn_util::alloc::bytes_in_use() - before;
-    let mem = table.memory();
-    record_mem("route_state_alloc_bytes_16384_endpoints", built as u64);
-    record_mem(
-        "route_state_resident_bytes_16384_endpoints",
-        mem.resident_bytes as u64,
-    );
-    record_mem(
-        "route_state_dense_bytes_16384_endpoints",
-        mem.dense_equivalent_bytes as u64,
-    );
-    assert_eq!(mem.distinct_row_allocations, 128, "one shard per location");
-    std::hint::black_box(table);
+    for endpoints in [16384usize, 32768, 65536] {
+        let locations: Vec<NodeId> = (0..endpoints).map(|i| base[i % base.len()]).collect();
+        let before = mn_util::alloc::bytes_in_use();
+        let table = RouteTable::build(&matrix, &locations);
+        let built = mn_util::alloc::bytes_in_use() - before;
+        let mem = table.memory();
+        record_mem(
+            format!("route_state_alloc_bytes_{endpoints}_endpoints"),
+            built as u64,
+        );
+        record_mem(
+            format!("route_state_resident_bytes_{endpoints}_endpoints"),
+            mem.resident_bytes as u64,
+        );
+        record_mem(
+            format!("route_state_dense_bytes_{endpoints}_endpoints"),
+            mem.dense_equivalent_bytes as u64,
+        );
+        record_mem(
+            format!("matrix_tree_bytes_{endpoints}_endpoints"),
+            matrix.memory_bytes() as u64,
+        );
+        assert_eq!(mem.distinct_row_allocations, 128, "one shard per location");
+        std::hint::black_box(table);
+    }
 }
 
 criterion_group!(benches, bench_reconfig);

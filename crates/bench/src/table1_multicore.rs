@@ -70,7 +70,7 @@ fn run_point(vn_count: usize, cross_fraction: f64, measure_secs: u64) -> Multico
                 continue;
             }
             let route = matrix.lookup(s, r).expect("star is connected");
-            let crossings = pod.crossings(route);
+            let crossings = pod.crossings(&route);
             if crossings == 0 && found_same.is_none() {
                 found_same = Some(ri);
             } else if crossings > 0 && found_cross.is_none() {

@@ -285,8 +285,10 @@ impl MultiCoreEmulator {
 
     /// Applies an **incremental** routing change after the listed pipes of
     /// `topo` were mutated in place (failure, restore, latency
-    /// renegotiation): only the shortest-route trees a change can affect
-    /// are recomputed ([`RoutingMatrix::update_pipes`]), and only the
+    /// renegotiation): the matrix's per-pipe reverse index names exactly
+    /// the shortest-route trees a worsened pipe sat on, only those (plus
+    /// the label-bounded candidates of an improvement) are recomputed
+    /// ([`RoutingMatrix::update_pipes`]), and only the
     /// endpoint pairs whose route actually changed are re-wired in the
     /// interned route table ([`RouteTable::rewire_in_place`]). Untouched
     /// `RouteId`s are preserved, so descriptors in flight keep resolving to

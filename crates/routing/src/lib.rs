@@ -3,14 +3,18 @@
 //! During the Binding phase ModelNet pre-computes shortest-path routes among
 //! all pairs of VNs in the distilled topology and installs them in a routing
 //! matrix on each core node. Each route is an ordered list of pipes a packet
-//! traverses from source to destination. The matrix gives O(1) lookup but
-//! consumes O(n²) space; the paper sketches two alternatives for larger
-//! target networks — hierarchical tables that exploit the clustering of VNs
-//! on stub domains, and a hash-based cache of routes for active flows with
-//! on-demand Dijkstra on a miss. All three are implemented here behind the
+//! traverses from source to destination. The paper's dense matrix gives O(1)
+//! lookup but consumes O(n²) space; this reproduction keeps the all-pairs
+//! interface while storing only one shortest-route *tree* per source
+//! (predecessor + distance rows, O(vns × nodes)) and materialising routes on
+//! demand. The paper also sketches two alternatives for larger target
+//! networks — hierarchical tables that exploit the clustering of VNs on stub
+//! domains, and a hash-based cache of routes for active flows with on-demand
+//! Dijkstra on a miss. All three are implemented here behind the
 //! [`RouteProvider`] trait:
 //!
-//! * [`RoutingMatrix`] — dense all-pairs pre-computation (the default).
+//! * [`RoutingMatrix`] — per-source shortest-route trees with a per-pipe
+//!   reverse index for output-sensitive reconfiguration (the default).
 //! * [`RouteCache`] — bounded cache + on-demand shortest-path computation.
 //! * [`HierarchicalRouter`] — two-level tables: per-gateway routes between
 //!   first-hop routers composed with the preserved first/last hops.
@@ -27,8 +31,8 @@ pub mod table;
 
 pub use cache::RouteCache;
 pub use dijkstra::{
-    pipe_cost, route_between, shortest_route_tree, shortest_route_tree_with_dist, Route,
-    UNUSABLE_COST,
+    pipe_cost, route_between, route_from_tree, shortest_route_tree, shortest_route_tree_with_dist,
+    Route, UNUSABLE_COST,
 };
 pub use hierarchical::HierarchicalRouter;
 pub use matrix::{RouteUpdate, RoutingMatrix};

@@ -1,25 +1,33 @@
-//! The dense all-pairs routing matrix (the paper's default design).
+//! Tree-only all-pairs routing state.
 //!
-//! "This straightforward design allows fast indexing and scales to 10,000
-//! VNs, but the routing tables consume O(n²) space." Routes are stored per
-//! ordered VN pair; lookup is two array indexes. [`RoutingMatrix::rebuild`]
-//! re-runs the all-pairs computation, which is how the emulation reacts to
-//! link failures under the paper's "perfect routing protocol" assumption.
+//! The paper's default design stores a dense O(n²) route matrix: "This
+//! straightforward design allows fast indexing and scales to 10,000 VNs,
+//! but the routing tables consume O(n²) space." This reproduction keeps the
+//! paper's *interface* (every ordered VN pair resolves to a shortest route)
+//! while storing only one shortest-route **tree** per source — predecessor
+//! and distance arrays over the pipe graph, O(vns × nodes) — and
+//! materialising a route on demand by walking predecessors from the
+//! destination. A per-pipe **reverse index** (pipe → source trees that cross
+//! it as a tree edge) makes [`RoutingMatrix::update_pipes`] output-sensitive:
+//! worsening a pipe touches exactly the trees that used it, not every VN in
+//! the component.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
 use mn_distill::DistilledTopology;
 use mn_topology::NodeId;
 
-use crate::dijkstra::{
-    pipe_cost, route_from_tree, shortest_route_tree_with_dist, Route, UNUSABLE_COST,
-};
+use crate::dijkstra::{pipe_cost, Route, UNUSABLE_COST};
 use crate::RouteProvider;
 
 use mn_distill::PipeId;
+
+/// Sentinel in predecessor rows (no predecessor: the source itself, or an
+/// unreachable node) and in the dense node→VN table (not a VN).
+const NO_PRED: u32 = u32::MAX;
 
 /// What one [`RoutingMatrix::update_pipes`] call changed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -39,35 +47,52 @@ impl RouteUpdate {
     }
 }
 
-/// Dense all-pairs route storage over the VN set of a distilled topology.
+/// Tree-only route storage over the VN set of a distilled topology.
+///
+/// Per source VN the matrix holds one predecessor row and one distance row
+/// over the pipe graph (the source's shortest-route tree); routes are never
+/// stored, only derived. Lookup walks the destination's predecessor chain —
+/// O(hops), allocation-free via [`RoutingMatrix::materialize_at`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoutingMatrix {
     /// The VN set, in index order.
     vns: Vec<NodeId>,
-    /// Maps a VN's topology node id to its dense index.
-    index_of: HashMap<NodeId, usize>,
-    /// `routes[src_index * n + dst_index]`; `None` when unreachable.
-    routes: Vec<Option<Route>>,
-    /// Distance labels of every source's shortest-route tree
-    /// (`dist[src_index * node_count + node]`, `u64::MAX` unreachable),
-    /// kept so [`RoutingMatrix::update_pipes`] can bound which sources a
-    /// pipe change affects without re-running Dijkstra for all of them.
-    dist: Vec<u64>,
+    /// Dense node-index → VN-index table (`u32::MAX` for non-VN nodes); the
+    /// hash-free replacement for the old `index_of` map on every hot path.
+    vn_of_node: Vec<u32>,
     /// Node count of the pipe graph the matrix was last (re)built against.
     node_count: usize,
+    /// Distance labels of every source's shortest-route tree
+    /// (`dist[src_index * node_count + node]`, `u64::MAX` unreachable).
+    dist: Vec<u64>,
+    /// Predecessor pipe of every node in every source's tree
+    /// (`pred[src_index * node_count + node]`, [`NO_PRED`] for the source
+    /// itself and for unreachable nodes). Together with `pipe_src` this is
+    /// the entire route store: a route is the reversed predecessor chain.
+    pred: Vec<u32>,
     /// Per-pipe routing cost snapshot from the last (re)build/update.
     pipe_cost: Vec<u64>,
+    /// Tail node index of every pipe, so predecessor walks need no access
+    /// to the topology the matrix was built from.
+    pipe_src: Vec<u32>,
     /// Structural (attrs-independent) connected component of every node.
     /// Pipes never change endpoints at runtime — only attributes — so a
     /// pipe change can only ever affect sources and destinations inside its
-    /// own structural component; [`RoutingMatrix::update_pipes`] scans those
-    /// candidates instead of the whole VN set.
+    /// own structural component.
     node_component: Vec<u32>,
     /// VN indices per structural component, ascending.
     component_vns: Vec<Vec<u32>>,
     /// Node indices per structural component, ascending (bounds the
     /// distance-label refresh of a recomputed source).
     component_nodes: Vec<Vec<u32>>,
+    /// Reverse index: for every pipe, the ascending source (VN) indices
+    /// whose current tree crosses it as a **tree edge**
+    /// (`pred[head] == pipe`). Maintained incrementally by diffing
+    /// predecessor rows on every recompute. For a *worsened* pipe this set
+    /// is exactly the trees a from-scratch rebuild would change (see
+    /// [`RoutingMatrix::update_pipes`]), which is what makes reconfiguration
+    /// output-sensitive.
+    pipe_sources: Vec<Vec<u32>>,
     /// Reusable scratch for the component-scoped Dijkstra of
     /// [`RoutingMatrix::update_pipes`]: row entries outside a call's
     /// component are never read or written, so only the component is
@@ -75,7 +100,7 @@ pub struct RoutingMatrix {
     /// and the heap's backing vector is recycled across recomputes so the
     /// incremental path performs no per-source allocation.
     scratch_dist: Vec<u64>,
-    scratch_pred: Vec<Option<PipeId>>,
+    scratch_pred: Vec<u32>,
     scratch_heap: Vec<Reverse<(u64, NodeId)>>,
     /// Bumped by every rebuild and every non-empty incremental update.
     version: u64,
@@ -85,19 +110,19 @@ pub struct RoutingMatrix {
 /// rows: only `nodes` (the source's structural component) is re-initialised,
 /// and Dijkstra can only ever reach inside it, so the cost is
 /// O(component log component), not O(graph). Tie-breaking is identical to
-/// [`shortest_route_tree_with_dist`] (same heap ordering), which the
-/// incremental-equals-scratch property suites rely on.
+/// [`crate::dijkstra::shortest_route_tree_with_dist`] (same heap ordering),
+/// which the incremental-equals-scratch property suites rely on.
 fn scoped_route_tree(
     topo: &DistilledTopology,
     source: NodeId,
     nodes: &[u32],
     dist: &mut [u64],
-    pred: &mut [Option<PipeId>],
+    pred: &mut [u32],
     heap_scratch: &mut Vec<Reverse<(u64, NodeId)>>,
 ) {
     for &u in nodes {
         dist[u as usize] = UNUSABLE_COST;
-        pred[u as usize] = None;
+        pred[u as usize] = NO_PRED;
     }
     if source.index() >= dist.len() {
         return;
@@ -119,7 +144,7 @@ fn scoped_route_tree(
             let v = topo.pipe(pipe_id).dst;
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
-                pred[v.index()] = Some(pipe_id);
+                pred[v.index()] = pipe_id.index() as u32;
                 heap.push(Reverse((nd, v)));
             }
         }
@@ -128,21 +153,85 @@ fn scoped_route_tree(
     *heap_scratch = heap.into_vec();
 }
 
+/// Walks `dst`'s predecessor chain in one stored tree row, writing the
+/// forward pipe sequence into `out`. Returns whether a route exists; the
+/// trivial `src == dst` route always does (empty), matching
+/// [`crate::dijkstra::route_from_tree`].
+fn walk_row(
+    pred_row: &[u32],
+    pipe_src: &[u32],
+    src: NodeId,
+    dst: NodeId,
+    out: &mut Vec<PipeId>,
+) -> bool {
+    out.clear();
+    if src == dst {
+        return true;
+    }
+    if dst.index() >= pred_row.len() || src.index() >= pred_row.len() {
+        return false;
+    }
+    let mut cur = dst.index();
+    while cur != src.index() {
+        let p = pred_row[cur];
+        if p == NO_PRED {
+            out.clear();
+            return false;
+        }
+        out.push(PipeId(p as usize));
+        cur = pipe_src[p as usize] as usize;
+    }
+    out.reverse();
+    true
+}
+
+/// Compares the route to `dst` in two predecessor rows of the same graph
+/// without materialising either: the route *is* the predecessor chain read
+/// backwards, so the routes are equal iff the chains agree pipe for pipe
+/// from `dst` down to the first [`NO_PRED`] (both unreachable) or `src`.
+fn tree_route_unchanged(
+    old_row: &[u32],
+    new_row: &[u32],
+    pipe_src: &[u32],
+    src: NodeId,
+    dst: NodeId,
+) -> bool {
+    if dst.index() >= old_row.len() {
+        return true; // outside the graph in both trees: no route either way
+    }
+    let s = src.index();
+    let mut cur = dst.index();
+    while cur != s {
+        let po = old_row[cur];
+        let pn = new_row[cur];
+        if po != pn {
+            return false;
+        }
+        if po == NO_PRED {
+            return true; // unreachable in both trees from the same node
+        }
+        cur = pipe_src[po as usize] as usize;
+    }
+    true
+}
+
 impl RoutingMatrix {
-    /// Pre-computes shortest-path routes among all pairs of VNs in the
-    /// distilled topology.
+    /// Pre-computes the shortest-route tree of every VN in the distilled
+    /// topology (routes among all pairs are derived from the trees on
+    /// demand).
     pub fn build(topo: &DistilledTopology) -> Self {
-        let vns = topo.vns().to_vec();
         let mut matrix = RoutingMatrix {
-            index_of: vns.iter().enumerate().map(|(i, &n)| (n, i)).collect(),
-            routes: Vec::new(),
-            vns,
-            dist: Vec::new(),
+            vns: topo.vns().to_vec(),
+            vn_of_node: Vec::new(),
             node_count: 0,
+            dist: Vec::new(),
+            pred: Vec::new(),
             pipe_cost: Vec::new(),
+            pipe_src: Vec::new(),
             node_component: Vec::new(),
             component_vns: Vec::new(),
             component_nodes: Vec::new(),
+            pipe_sources: Vec::new(),
             scratch_dist: Vec::new(),
             scratch_pred: Vec::new(),
             scratch_heap: Vec::new(),
@@ -152,24 +241,58 @@ impl RoutingMatrix {
         matrix
     }
 
-    /// Recomputes every route against the (possibly modified) pipe graph.
-    /// Used after fault injection changes reachability or latencies.
+    /// Recomputes every source tree against the (possibly modified) pipe
+    /// graph. Used after fault injection changes reachability or latencies.
     pub fn rebuild(&mut self, topo: &DistilledTopology) {
         let n = self.vns.len();
         self.node_count = topo.node_count();
-        let mut routes = vec![None; n * n];
-        let mut dist = vec![u64::MAX; n * self.node_count];
+        let nc = self.node_count;
+        self.pipe_cost = topo.pipes().map(|(_, p)| pipe_cost(&p.attrs)).collect();
+        self.pipe_src = topo.pipes().map(|(_, p)| p.src.index() as u32).collect();
+        // Dense node→VN table: sized to cover every node and every VN id.
+        let table_len = self
+            .vns
+            .iter()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(nc);
+        self.vn_of_node.clear();
+        self.vn_of_node.resize(table_len, NO_PRED);
+        for (i, &vn) in self.vns.iter().enumerate() {
+            self.vn_of_node[vn.index()] = i as u32;
+        }
+        self.rebuild_components(topo);
+        self.dist.clear();
+        self.dist.resize(n * nc, UNUSABLE_COST);
+        self.pred.clear();
+        self.pred.resize(n * nc, NO_PRED);
+        let mut pipe_sources: Vec<Vec<u32>> = vec![Vec::new(); topo.pipe_count()];
+        let mut heap = std::mem::take(&mut self.scratch_heap);
         for (si, &src) in self.vns.iter().enumerate() {
-            let (pred, row) = shortest_route_tree_with_dist(topo, src);
-            dist[si * self.node_count..(si + 1) * self.node_count].copy_from_slice(&row);
-            for (di, &dst) in self.vns.iter().enumerate() {
-                routes[si * n + di] = route_from_tree(topo, &pred, src, dst);
+            if src.index() >= nc {
+                continue;
+            }
+            let comp = self.node_component[src.index()] as usize;
+            scoped_route_tree(
+                topo,
+                src,
+                &self.component_nodes[comp],
+                &mut self.dist[si * nc..(si + 1) * nc],
+                &mut self.pred[si * nc..(si + 1) * nc],
+                &mut heap,
+            );
+            // Seed the reverse index: ascending source order falls out of
+            // the iteration, so every per-pipe list is born sorted.
+            for &u in &self.component_nodes[comp] {
+                let p = self.pred[si * nc + u as usize];
+                if p != NO_PRED {
+                    pipe_sources[p as usize].push(si as u32);
+                }
             }
         }
-        self.routes = routes;
-        self.dist = dist;
-        self.pipe_cost = topo.pipes().map(|(_, p)| pipe_cost(&p.attrs)).collect();
-        self.rebuild_components(topo);
+        self.pipe_sources = pipe_sources;
+        self.scratch_heap = heap;
         self.version += 1;
     }
 
@@ -199,19 +322,20 @@ impl RoutingMatrix {
                 parent[a as usize] = b;
             }
         }
-        let mut id_of_root: HashMap<u32, u32> = HashMap::new();
+        // Roots are node indices, so a dense table maps root → component id
+        // without hashing (the whole rebuild path is now hash-free).
+        let mut id_of_root = vec![u32::MAX; self.node_count];
         let mut node_component = vec![0u32; self.node_count];
         let mut component_nodes: Vec<Vec<u32>> = Vec::new();
         for u in 0..self.node_count as u32 {
-            let root = find(&mut parent, u);
-            let id = match id_of_root.get(&root) {
-                Some(&id) => id,
-                None => {
-                    let id = component_nodes.len() as u32;
-                    id_of_root.insert(root, id);
-                    component_nodes.push(Vec::new());
-                    id
-                }
+            let root = find(&mut parent, u) as usize;
+            let id = if id_of_root[root] != u32::MAX {
+                id_of_root[root]
+            } else {
+                let id = component_nodes.len() as u32;
+                id_of_root[root] = id;
+                component_nodes.push(Vec::new());
+                id
             };
             node_component[u as usize] = id;
             component_nodes[id as usize].push(u);
@@ -231,25 +355,38 @@ impl RoutingMatrix {
     /// were mutated in place (failure, restore, latency/bandwidth
     /// renegotiation).
     ///
-    /// Only sources whose shortest-route tree a change can affect are
-    /// recomputed: a pipe that got *worse* matters only to sources whose
-    /// distance labels show it on a shortest path, and a pipe that got
-    /// *better* only to sources it can now undercut (checked against the
-    /// stored labels). The result is exactly what a from-scratch
-    /// [`RoutingMatrix::rebuild`] would produce — pinned by the
-    /// `dynamics_invariants` property suite — at a cost proportional to the
-    /// affected sources rather than the whole VN set.
+    /// Output-sensitive in both directions. A pipe that got *worse* can
+    /// only change trees that crossed it as a tree edge — exactly the
+    /// reverse-index entry `pipe_sources[pipe]`. (A source whose labels
+    /// merely held the pipe *tight* without using it is provably
+    /// unaffected: relaxation is strict, so the final predecessor of the
+    /// pipe's head is the first edge in relaxation order to achieve the
+    /// final distance, and an edge that lost that race before cannot win
+    /// it by getting worse — a from-scratch rerun relaxes the same pushes
+    /// in the same order and rebuilds the identical tree.) A pipe that got
+    /// *better* has no cheap exact set, so its component's VN labels are
+    /// scanned for sources it now ties or undercuts (`<=` so tie-breaking
+    /// matches a from-scratch recomputation exactly). The result equals a
+    /// from-scratch [`RoutingMatrix::rebuild`] pair for pair — pinned by
+    /// the `dynamics_invariants` and `matrix_trees` property suites.
     pub fn update_pipes(&mut self, topo: &DistilledTopology, changed: &[PipeId]) -> RouteUpdate {
         let n = self.vns.len();
         if self.dist.len() != n * topo.node_count() || self.pipe_cost.len() != topo.pipe_count() {
             // Shape mismatch (different pipe graph): fall back to a full
-            // rebuild, reporting every rewired pair.
-            let old = std::mem::take(&mut self.routes);
+            // rebuild, reporting every pair whose materialised route
+            // differs between the old trees and the new ones.
+            let old_pred = std::mem::take(&mut self.pred);
+            let old_pipe_src = std::mem::take(&mut self.pipe_src);
+            let old_nc = self.node_count;
             self.rebuild(topo);
             let mut changed_pairs = Vec::new();
+            let (mut old_buf, mut new_buf) = (Vec::new(), Vec::new());
             for (si, &src) in self.vns.iter().enumerate() {
+                let old_row = &old_pred[si * old_nc..(si + 1) * old_nc];
                 for (di, &dst) in self.vns.iter().enumerate() {
-                    if old.get(si * n + di) != Some(&self.routes[si * n + di]) {
+                    let old_ok = walk_row(old_row, &old_pipe_src, src, dst, &mut old_buf);
+                    let new_ok = self.materialize_at(si, di, &mut new_buf);
+                    if old_ok != new_ok || (old_ok && old_buf != new_buf) {
                         changed_pairs.push((src, dst));
                     }
                 }
@@ -259,10 +396,8 @@ impl RoutingMatrix {
                 recomputed_sources: n,
             };
         }
-        // Classify each genuinely changed pipe by cost direction, resolving
-        // its endpoint node indexes once — the affected-source scan below
-        // runs for every VN and must be pure distance-label indexing.
-        let mut worsened: Vec<(usize, usize, u64)> = Vec::new(); // (src, dst, old cost)
+        // Classify each genuinely changed pipe by cost direction.
+        let mut worsened: Vec<PipeId> = Vec::new();
         let mut improved: Vec<(usize, usize, u64)> = Vec::new(); // (src, dst, new cost)
         for &p in changed {
             let old = self.pipe_cost[p.index()];
@@ -270,14 +405,14 @@ impl RoutingMatrix {
             if new == old {
                 continue;
             }
-            let pipe = topo.pipe(p);
             if new > old {
-                // A pipe that was already unusable cannot sit on any stored
-                // shortest path: worsening it further affects no source.
+                // A pipe that was already unusable cannot sit in any tree:
+                // worsening it further affects no source.
                 if old != UNUSABLE_COST {
-                    worsened.push((pipe.src.index(), pipe.dst.index(), old));
+                    worsened.push(p);
                 }
             } else {
+                let pipe = topo.pipe(p);
                 improved.push((pipe.src.index(), pipe.dst.index(), new));
             }
             self.pipe_cost[p.index()] = new;
@@ -286,81 +421,96 @@ impl RoutingMatrix {
         if worsened.is_empty() && improved.is_empty() {
             return update;
         }
-        // Candidate sources: a changed pipe can only affect sources in its
-        // own structural component (anything else holds an unusable label
-        // on the pipe's tail forever), so the scan below is proportional to
-        // the components touched, not to the whole VN set. Candidates are
-        // visited in ascending index order — identical to the full scan —
-        // so the reported pair order cannot drift.
-        let mut comps: Vec<u32> = worsened
-            .iter()
-            .chain(improved.iter())
-            .map(|&(u, _, _)| self.node_component[u])
-            .collect();
-        comps.sort_unstable();
-        comps.dedup();
-        let mut candidates: Vec<u32> = comps
-            .iter()
-            .flat_map(|&c| self.component_vns[c as usize].iter().copied())
-            .collect();
+        let nc = self.node_count;
+        // Candidate sources. Worsened pipes: the reverse index is exact —
+        // no scan at all, cost proportional to the trees actually crossing
+        // the pipe. Improved pipes: scan the pipe's structural component
+        // for sources whose stored labels the new cost ties or undercuts.
+        let mut candidates: Vec<u32> = Vec::new();
+        for &p in &worsened {
+            candidates.extend_from_slice(&self.pipe_sources[p.index()]);
+        }
+        if !improved.is_empty() {
+            let mut comps: Vec<u32> = improved
+                .iter()
+                .map(|&(u, _, _)| self.node_component[u])
+                .collect();
+            comps.sort_unstable();
+            comps.dedup();
+            for &c in &comps {
+                for &si in &self.component_vns[c as usize] {
+                    let row = &self.dist[si as usize * nc..(si as usize + 1) * nc];
+                    let undercut = improved.iter().any(|&(u, v, new_cost)| {
+                        let du = row[u];
+                        du != UNUSABLE_COST && du.saturating_add(new_cost) <= row[v]
+                    });
+                    if undercut {
+                        candidates.push(si);
+                    }
+                }
+            }
+        }
+        // Ascending order keeps the reported pair order identical to a full
+        // ascending scan, so callers' rewire order cannot drift.
         candidates.sort_unstable();
+        candidates.dedup();
         for &si in &candidates {
             let si = si as usize;
-            let row = &self.dist[si * self.node_count..(si + 1) * self.node_count];
-            // A worsened pipe affects this source only if the old labels put
-            // it on a shortest path (label equality along the edge); an
-            // improved pipe only if its new cost now ties or undercuts the
-            // stored label of its head (`<=` so tie-breaking matches a
-            // from-scratch recomputation exactly).
-            let affected = worsened.iter().any(|&(u, v, old_cost)| {
-                let du = row[u];
-                du != UNUSABLE_COST && du.saturating_add(old_cost) == row[v]
-            }) || improved.iter().any(|&(u, v, new_cost)| {
-                let du = row[u];
-                du != UNUSABLE_COST && du.saturating_add(new_cost) <= row[v]
-            });
-            if !affected {
-                continue;
-            }
             update.recomputed_sources += 1;
             let src = self.vns[si];
-            // Recompute, refresh labels and re-derive routes only inside
-            // the source's structural component: everything outside it is
-            // unreachable in both the old and the fresh tree, so neither
-            // labels nor routes can have changed there.
+            // Recompute, refresh labels and diff routes only inside the
+            // source's structural component: everything outside it is
+            // unreachable in both the old and the fresh tree.
             let comp = self.node_component[src.index()] as usize;
-            if self.scratch_dist.len() != self.node_count {
-                self.scratch_dist = vec![UNUSABLE_COST; self.node_count];
-                self.scratch_pred = vec![None; self.node_count];
+            if self.scratch_dist.len() != nc {
+                self.scratch_dist = vec![UNUSABLE_COST; nc];
+                self.scratch_pred = vec![NO_PRED; nc];
             }
-            let mut fresh = std::mem::take(&mut self.scratch_dist);
-            let mut pred = std::mem::take(&mut self.scratch_pred);
+            let mut fresh_dist = std::mem::take(&mut self.scratch_dist);
+            let mut fresh_pred = std::mem::take(&mut self.scratch_pred);
             scoped_route_tree(
                 topo,
                 src,
                 &self.component_nodes[comp],
-                &mut fresh,
-                &mut pred,
+                &mut fresh_dist,
+                &mut fresh_pred,
                 &mut self.scratch_heap,
             );
-            {
-                let row = &mut self.dist[si * self.node_count..(si + 1) * self.node_count];
-                for &u in &self.component_nodes[comp] {
-                    row[u as usize] = fresh[u as usize];
-                }
-            }
+            // Report changed destinations against the still-old row…
+            let old_row = &self.pred[si * nc..(si + 1) * nc];
             for &di in &self.component_vns[comp] {
-                let di = di as usize;
-                let dst = self.vns[di];
-                let new_route = route_from_tree(topo, &pred, src, dst);
-                let slot = &mut self.routes[si * n + di];
-                if *slot != new_route {
-                    *slot = new_route;
+                let dst = self.vns[di as usize];
+                if !tree_route_unchanged(old_row, &fresh_pred, &self.pipe_src, src, dst) {
                     update.changed_pairs.push((src, dst));
                 }
             }
-            self.scratch_dist = fresh;
-            self.scratch_pred = pred;
+            // …then refresh the row, diffing predecessors edge by edge to
+            // keep the per-pipe reverse index exact at O(changed tree
+            // edges) cost.
+            let si_u32 = si as u32;
+            for &u in &self.component_nodes[comp] {
+                let u = u as usize;
+                let old_p = self.pred[si * nc + u];
+                let new_p = fresh_pred[u];
+                if old_p != new_p {
+                    if old_p != NO_PRED {
+                        let sources = &mut self.pipe_sources[old_p as usize];
+                        if let Ok(pos) = sources.binary_search(&si_u32) {
+                            sources.remove(pos);
+                        }
+                    }
+                    if new_p != NO_PRED {
+                        let sources = &mut self.pipe_sources[new_p as usize];
+                        if let Err(pos) = sources.binary_search(&si_u32) {
+                            sources.insert(pos, si_u32);
+                        }
+                    }
+                    self.pred[si * nc + u] = new_p;
+                }
+                self.dist[si * nc + u] = fresh_dist[u];
+            }
+            self.scratch_dist = fresh_dist;
+            self.scratch_pred = fresh_pred;
         }
         if !update.changed_pairs.is_empty() || update.recomputed_sources > 0 {
             self.version += 1;
@@ -384,31 +534,106 @@ impl RoutingMatrix {
         self.vns.len()
     }
 
-    /// Looks up a route without requiring `&mut self` (the matrix never
-    /// computes lazily).
-    pub fn lookup(&self, src: NodeId, dst: NodeId) -> Option<&Route> {
-        let si = *self.index_of.get(&src)?;
-        let di = *self.index_of.get(&dst)?;
-        self.routes[si * self.vns.len() + di].as_ref()
+    /// Materialises the route between two VNs by walking the destination's
+    /// predecessor chain, allocating a fresh `Route`. `None` when either
+    /// node is not a VN or the destination is unreachable. Hot callers
+    /// resolve indexes once ([`RoutingMatrix::vn_index`]) and reuse a
+    /// buffer via [`RoutingMatrix::materialize_at`] instead.
+    pub fn lookup(&self, src: NodeId, dst: NodeId) -> Option<Route> {
+        let si = self.vn_index(src)?;
+        let di = self.vn_index(dst)?;
+        let mut pipes = Vec::new();
+        self.materialize_at(si, di, &mut pipes)
+            .then(|| Route::new(pipes))
     }
 
     /// The dense index of a VN in this matrix, or `None` for a node that is
-    /// not a VN. Callers that resolve many pairs (the sharded route-table
-    /// build) hash each node once and then use [`RoutingMatrix::route_at`].
+    /// not a VN. A single array load — no hashing.
     pub fn vn_index(&self, node: NodeId) -> Option<usize> {
-        self.index_of.get(&node).copied()
+        match self.vn_of_node.get(node.index()) {
+            Some(&i) if i != NO_PRED => Some(i as usize),
+            _ => None,
+        }
     }
 
-    /// Hash-free route lookup by dense VN indexes (see
-    /// [`RoutingMatrix::vn_index`]).
+    /// Route lookup by dense VN indexes (see [`RoutingMatrix::vn_index`]),
+    /// allocating the returned `Route`.
     ///
     /// # Panics
     ///
     /// Panics if either index is out of range.
-    pub fn route_at(&self, src_index: usize, dst_index: usize) -> Option<&Route> {
+    pub fn route_at(&self, src_index: usize, dst_index: usize) -> Option<Route> {
+        let mut pipes = Vec::new();
+        self.materialize_at(src_index, dst_index, &mut pipes)
+            .then(|| Route::new(pipes))
+    }
+
+    /// Walks the route between two VNs (by dense index) into `out` without
+    /// allocating: `out` is cleared and filled with the pipe sequence in
+    /// traversal order. Returns `false` (with `out` empty) when the
+    /// destination is unreachable; the trivial `src == dst` route is an
+    /// empty `true`. This is the zero-copy resolution path the sharded
+    /// route table builds and rewires through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn materialize_at(
+        &self,
+        src_index: usize,
+        dst_index: usize,
+        out: &mut Vec<PipeId>,
+    ) -> bool {
         let n = self.vns.len();
         assert!(src_index < n && dst_index < n, "VN index out of range");
-        self.routes[src_index * n + dst_index].as_ref()
+        let nc = self.node_count;
+        walk_row(
+            &self.pred[src_index * nc..(src_index + 1) * nc],
+            &self.pipe_src,
+            self.vns[src_index],
+            self.vns[dst_index],
+            out,
+        )
+    }
+
+    /// Distance label of `dst` in `src`'s shortest-route tree (total pipe
+    /// cost: latency in nanoseconds plus one per hop), or `None` when
+    /// either node is not a VN or the destination is unreachable.
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        let si = self.vn_index(src)?;
+        if dst.index() >= self.node_count {
+            return None;
+        }
+        let d = self.dist[si * self.node_count + dst.index()];
+        (d != UNUSABLE_COST).then_some(d)
+    }
+
+    /// The sources (ascending dense VN indices) whose current tree crosses
+    /// `pipe` as a tree edge — exactly the trees a worsening of this pipe
+    /// forces [`RoutingMatrix::update_pipes`] to recompute.
+    pub fn pipe_tree_sources(&self, pipe: PipeId) -> &[u32] {
+        self.pipe_sources
+            .get(pipe.index())
+            .map_or(&[][..], |v| v.as_slice())
+    }
+
+    /// Resident heap bytes of the route state (trees, labels, reverse
+    /// index, component maps) — the structures that scale with topology
+    /// size, reported by the memory benches.
+    pub fn memory_bytes(&self) -> usize {
+        fn nested(v: &[Vec<u32>]) -> usize {
+            std::mem::size_of_val(v) + v.iter().map(|e| e.capacity() * 4).sum::<usize>()
+        }
+        self.dist.capacity() * 8
+            + self.pred.capacity() * 4
+            + self.pipe_cost.capacity() * 8
+            + self.pipe_src.capacity() * 4
+            + self.vn_of_node.capacity() * 4
+            + self.node_component.capacity() * 4
+            + self.vns.capacity() * std::mem::size_of::<NodeId>()
+            + nested(&self.component_vns)
+            + nested(&self.component_nodes)
+            + nested(&self.pipe_sources)
     }
 
     /// Average route length in pipes over all reachable ordered pairs
@@ -417,12 +642,12 @@ impl RoutingMatrix {
     pub fn mean_route_length(&self) -> f64 {
         let mut total = 0usize;
         let mut count = 0usize;
-        for r in self.routes.iter().flatten() {
-            if !r.is_empty() {
-                total += r.hop_count();
+        self.for_each_hop_count(|hops| {
+            if hops > 0 {
+                total += hops;
                 count += 1;
             }
-        }
+        });
         if count == 0 {
             0.0
         } else {
@@ -432,22 +657,67 @@ impl RoutingMatrix {
 
     /// Longest route in pipes over all pairs.
     pub fn max_route_length(&self) -> usize {
-        self.routes
-            .iter()
-            .flatten()
-            .map(Route::hop_count)
-            .max()
-            .unwrap_or(0)
+        let mut max = 0usize;
+        self.for_each_hop_count(|hops| max = max.max(hops));
+        max
+    }
+
+    /// Visits the hop count of every reachable ordered pair (diagnostics:
+    /// O(pairs × hops) predecessor walks, no allocation).
+    fn for_each_hop_count(&self, mut f: impl FnMut(usize)) {
+        let nc = self.node_count;
+        for si in 0..self.vns.len() {
+            let src = self.vns[si];
+            if src.index() >= nc {
+                continue;
+            }
+            let row = &self.pred[si * nc..(si + 1) * nc];
+            for &dst in &self.vns {
+                if dst.index() >= nc {
+                    continue;
+                }
+                let mut cur = dst.index();
+                let mut hops = 0usize;
+                let reachable = loop {
+                    if cur == src.index() {
+                        break true;
+                    }
+                    let p = row[cur];
+                    if p == NO_PRED {
+                        break false;
+                    }
+                    hops += 1;
+                    cur = self.pipe_src[p as usize] as usize;
+                };
+                if reachable {
+                    f(hops);
+                }
+            }
+        }
     }
 }
 
 impl RouteProvider for RoutingMatrix {
     fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Route> {
-        self.lookup(src, dst).cloned()
+        self.lookup(src, dst)
     }
 
     fn stored_routes(&self) -> usize {
-        self.routes.iter().filter(|r| r.is_some()).count()
+        // Tree-only storage holds no routes; count the resolvable pairs
+        // the old dense slab would have stored (diagonal included).
+        let nc = self.node_count;
+        let mut count = 0;
+        for si in 0..self.vns.len() {
+            let row = &self.dist[si * nc..(si + 1) * nc];
+            for (di, &dst) in self.vns.iter().enumerate() {
+                if si == di {
+                    count += 1; // trivial route, always materialisable
+                } else if dst.index() < nc && row[dst.index()] != UNUSABLE_COST {
+                    count += 1;
+                }
+            }
+        }
+        count
     }
 }
 
@@ -505,6 +775,8 @@ mod tests {
         // Node 0 is a transit router, not a VN.
         let router = NodeId(0);
         assert!(m.lookup(router, m.vns()[0]).is_none());
+        assert!(m.vn_index(router).is_none());
+        assert!(m.vn_index(NodeId(usize::MAX)).is_none());
     }
 
     #[test]
@@ -536,7 +808,7 @@ mod tests {
         topo.add_link(r2, b, fast).unwrap();
         let mut d = distill(&topo, DistillationMode::HopByHop);
         let mut m = RoutingMatrix::build(&d);
-        let before = m.lookup(a, b).unwrap().clone();
+        let before = m.lookup(a, b).unwrap();
         // Slow down whichever first-hop pipe the current route uses.
         let used_pipe = before.pipes[0];
         d.pipe_attrs_mut(used_pipe).unwrap().latency = SimDuration::from_millis(50);
@@ -646,5 +918,103 @@ mod tests {
         let r = RouteProvider::route(&mut m, vns[0], vns[1]).unwrap();
         assert!(!r.is_empty());
         assert!(RouteProvider::route(&mut m, NodeId(0), vns[1]).is_none());
+    }
+
+    /// The reverse index must hold exactly the tree membership of the
+    /// stored predecessor rows (`pipe_sources[p]` ≡ sources whose row names
+    /// `p` at the pipe's head), and — after incremental maintenance — match
+    /// the index a from-scratch build would seed.
+    fn assert_reverse_index_exact(m: &RoutingMatrix, d: &DistilledTopology) {
+        let nc = m.node_count;
+        for pid in 0..d.pipe_count() {
+            let p = PipeId(pid);
+            let head = d.pipe(p).dst.index();
+            let expected: Vec<u32> = (0..m.vn_count() as u32)
+                .filter(|&si| m.pred[si as usize * nc + head] == pid as u32)
+                .collect();
+            assert_eq!(
+                m.pipe_tree_sources(p),
+                expected.as_slice(),
+                "reverse index diverged from the stored trees for pipe {pid}"
+            );
+        }
+        let fresh = RoutingMatrix::build(d);
+        for pid in 0..d.pipe_count() {
+            assert_eq!(
+                m.pipe_tree_sources(PipeId(pid)),
+                fresh.pipe_tree_sources(PipeId(pid)),
+                "incrementally maintained index diverged from scratch for pipe {pid}"
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_index_matches_tree_membership() {
+        let mut d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        assert_reverse_index_exact(&m, &d);
+        // …and stays exact across a fail/restore flap maintained
+        // incrementally.
+        let victim = m.lookup(m.vns()[0], m.vns()[6]).unwrap().pipes[1];
+        let original = d.pipe(victim).attrs;
+        d.pipe_attrs_mut(victim).unwrap().bandwidth = DataRate::ZERO;
+        m.update_pipes(&d, &[victim]);
+        assert_reverse_index_exact(&m, &d);
+        *d.pipe_attrs_mut(victim).unwrap() = original;
+        m.update_pipes(&d, &[victim]);
+        assert_reverse_index_exact(&m, &d);
+    }
+
+    #[test]
+    fn flap_recomputes_exactly_the_reverse_index_set() {
+        // The acceptance criterion of the tree-only design: a worsened pipe
+        // recomputes precisely the trees in its reverse-index entry, and a
+        // restore returns the index to its pre-failure state.
+        let mut d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let victim = m.lookup(m.vns()[0], m.vns()[6]).unwrap().pipes[1];
+        let before: Vec<u32> = m.pipe_tree_sources(victim).to_vec();
+        assert!(!before.is_empty(), "a transit pipe carries some tree");
+        let original = d.pipe(victim).attrs;
+        d.pipe_attrs_mut(victim).unwrap().bandwidth = DataRate::ZERO;
+        let down = m.update_pipes(&d, &[victim]);
+        assert_eq!(
+            down.recomputed_sources,
+            before.len(),
+            "down-flap recompute set must equal the pipe's reverse index"
+        );
+        assert!(
+            m.pipe_tree_sources(victim).is_empty(),
+            "a failed pipe sits in no tree"
+        );
+        *d.pipe_attrs_mut(victim).unwrap() = original;
+        let up = m.update_pipes(&d, &[victim]);
+        assert!(up.recomputed_sources > 0);
+        assert_eq!(
+            m.pipe_tree_sources(victim),
+            before.as_slice(),
+            "restore returns the reverse index to its pre-failure state"
+        );
+    }
+
+    #[test]
+    fn materialize_at_is_allocation_free_on_a_warmed_buffer() {
+        let d = small_ring();
+        let m = RoutingMatrix::build(&d);
+        let n = m.vn_count();
+        let mut buf = Vec::with_capacity(64);
+        // Warm once, then every further walk reuses the buffer.
+        for s in 0..n {
+            for t in 0..n {
+                let _ = m.materialize_at(s, t, &mut buf);
+            }
+        }
+        let cap = buf.capacity();
+        for s in 0..n {
+            for t in 0..n {
+                let _ = std::hint::black_box(m.materialize_at(s, t, &mut buf));
+            }
+        }
+        assert_eq!(buf.capacity(), cap, "warmed walks must not regrow");
     }
 }

@@ -550,6 +550,10 @@ impl RouteTable {
         let slots = locs.locations.len();
         let mut ids_by_slot = vec![NO_ROUTE; slots];
         let mut scratch = vec![NO_ROUTE; n];
+        // One reusable pipe buffer: the tree-only matrix walks each route
+        // into it on demand, and only a content-index miss copies it out
+        // (into the interned store) — no per-pair `Route` clones.
+        let mut pipes = Vec::new();
         for (si, &src_slot) in matrix_index.iter().enumerate() {
             ids_by_slot.iter_mut().for_each(|v| *v = NO_ROUTE);
             let mut any = false;
@@ -559,12 +563,12 @@ impl RouteTable {
                         continue; // same-location pairs stay local, never routed
                     }
                     let Some(md) = dst_slot else { continue };
-                    let Some(route) = matrix.route_at(ms, md) else {
+                    if !matrix.materialize_at(ms, md, &mut pipes) {
                         continue;
-                    };
-                    let id = match table.by_content.get(&route.pipes) {
+                    }
+                    let id = match table.by_content.get(&pipes) {
                         Some(id) => id,
-                        None => table.intern(route.clone()),
+                        None => table.intern(Route::new(pipes.clone())),
                     };
                     ids_by_slot[di] = id.0;
                     any = true;
@@ -638,18 +642,25 @@ impl RouteTable {
             }
         }
         let mut patches: Vec<(usize, u32)> = Vec::new();
+        // Reusable pipe buffer for the on-demand route walks (see
+        // `build_preserving`): only content-index misses copy it out.
+        let mut pipes = Vec::new();
         for (ss, dst_slots) in groups {
             patches.clear();
             let src_loc = locs.locations[ss as usize];
+            let ms = matrix.vn_index(src_loc);
             for &ds in &dst_slots {
                 let dst_loc = locs.locations[ds as usize];
                 // Resolve the location pair's new route id once.
-                let raw = match matrix.lookup(src_loc, dst_loc) {
-                    Some(route) => match self.by_content.get(&route.pipes) {
-                        Some(id) => id.0,
-                        None => self.intern(route.clone()).0,
-                    },
-                    None => NO_ROUTE,
+                let md = matrix.vn_index(dst_loc);
+                let raw = match (ms, md) {
+                    (Some(ms), Some(md)) if matrix.materialize_at(ms, md, &mut pipes) => {
+                        match self.by_content.get(&pipes) {
+                            Some(id) => id.0,
+                            None => self.intern(Route::new(pipes.clone())).0,
+                        }
+                    }
+                    _ => NO_ROUTE,
                 };
                 for &e in &locs.endpoints[ds as usize] {
                     patches.push((e as usize, raw));

@@ -117,11 +117,11 @@ proptest! {
                             if r.is_empty() {
                                 None
                             } else {
-                                Some(r.pipes.as_slice())
+                                Some(r.pipes)
                             }
                         })
                     };
-                    let got = table.route_id(s, t).map(|id| table.pipes(id));
+                    let got = table.route_id(s, t).map(|id| table.pipes(id).to_vec());
                     prop_assert_eq!(got, expected, "pair ({}, {}) after {:?}", s, t, op);
                 }
             }

@@ -237,6 +237,57 @@ fn sharded_route_lookups_allocate_nothing() {
     );
 }
 
+/// The tree-only matrix's on-demand route resolution — a predecessor walk
+/// into a caller-supplied buffer — performs no heap allocation once the
+/// buffer is warmed, including after an incremental reroute has rewritten
+/// the trees in place. This is the path the sharded table's build and
+/// rewire resolve every route through.
+#[test]
+fn on_demand_route_resolution_allocates_nothing_when_warmed() {
+    let topo = ring_topology(&RingParams {
+        routers: 8,
+        clients_per_router: 2,
+        ..RingParams::default()
+    });
+    let mut d = distill(&topo, DistillationMode::HopByHop);
+    let mut matrix = RoutingMatrix::build(&d);
+    // Rewire through the incremental path so the trees measured below are
+    // update products, not pristine build output.
+    let vns = matrix.vns().to_vec();
+    let victim = matrix.lookup(vns[0], vns[8]).expect("ring routes").pipes[1];
+    let reverse = {
+        let p = d.pipe(victim);
+        d.find_pipe(p.dst, p.src).expect("duplex link")
+    };
+    for p in [victim, reverse] {
+        d.pipe_attrs_mut(p).unwrap().bandwidth = mn_util::DataRate::ZERO;
+    }
+    let update = matrix.update_pipes(&d, &[victim, reverse]);
+    assert!(!update.is_empty(), "failing a transit link rewires routes");
+    // Warm the buffer to the longest route, then resolve every pair
+    // repeatedly: zero allocator calls.
+    let n = matrix.vn_count();
+    let mut buf = Vec::with_capacity(matrix.max_route_length());
+    let before = alloc_calls();
+    let mut hops = 0usize;
+    for _ in 0..100 {
+        for s in 0..n {
+            for t in 0..n {
+                if matrix.materialize_at(s, t, &mut buf) {
+                    hops += std::hint::black_box(&buf).len();
+                }
+            }
+        }
+    }
+    let delta = alloc_calls() - before;
+    assert!(hops > 0, "walks resolved routes");
+    assert_eq!(
+        delta, 0,
+        "warmed on-demand route resolution made {delta} heap allocations; \
+         the predecessor walk must be allocation-free"
+    );
+}
+
 #[test]
 fn single_core_steady_state_allocates_nothing() {
     let topo = star_topology(&StarParams {
