@@ -22,16 +22,21 @@
 //!   `update_pipes` + `rewire_in_place`, restore, again). The per-pipe
 //!   reverse index bounds the recompute to the trees that crossed the
 //!   pipe, so the cost must stay flat as the total VN count quadruples.
-//! * `flap_multiplexed_<n>_endpoints` — informational: the same 1024-pair
-//!   flap with 16× endpoints multiplexed onto the 2048 locations. Tree
-//!   recomputation stays constant, but patching a spilled row shard is
-//!   O(row length), so this series grows with the endpoint count — the
-//!   honest cost of the dense-row shard representation, not of the matrix.
+//! * `flap_multiplexed_<n>_endpoints` — the same 1024-pair flap with 16×
+//!   endpoints multiplexed onto the 2048 locations. Tree recomputation
+//!   stays constant, and because row shards are indexed by destination
+//!   location column (co-located endpoints share a column and a row
+//!   allocation), the patch cost is one column write per changed location
+//!   pair — not O(row length). Asserted, no longer informational: the
+//!   multiplexed flap must stay within the same 45 µs acceptance bound
+//!   as the unmultiplexed flap (it measured ~96 µs before column-indexed
+//!   rows).
 //!
 //! `shape_holds` in `BENCH_matrix.json` asserts: resident bytes under
 //! 1 GiB, the 8192-VN flap within 3× of the 2048-VN flap (flat in VN
-//! count), and the 2048-VN (4096-pipe) flap itself within the 45 µs
-//! (3 × 15 µs) acceptance bound.
+//! count), the 2048-VN (4096-pipe) flap itself within the 45 µs
+//! (3 × 15 µs) acceptance bound, and the 16×-multiplexed flap within
+//! that same absolute bound.
 
 use std::time::Instant;
 
@@ -137,6 +142,7 @@ fn main() {
 
     // ---- Flap cost, flat in total VN count. ----
     let mut flap_means: Vec<(usize, f64)> = Vec::new();
+    let mut mult_mean = f64::INFINITY;
     for (pairs, mult, label) in [
         (1024usize, 1usize, "vns"),
         (2048, 1, "vns"),
@@ -204,19 +210,30 @@ fn main() {
         rows.push((series, mean_ns, iters));
         if mult == 1 {
             flap_means.push((n, mean_ns));
+        } else {
+            mult_mean = mean_ns;
         }
     }
     let flat_ok = flap_means.last().unwrap().1 <= 3.0 * flap_means[0].1;
     let bound_ok = flap_means[0].1 <= FLAP_BOUND_NS;
+    // The multiplexed flap is held to the same absolute acceptance bound
+    // as the unmultiplexed one: with column-indexed rows it costs a few
+    // column writes more (measured 1–3× a ~1.5 µs flap, too noisy a ratio
+    // to gate on), while the O(row length) patching it replaced measured
+    // ~96 µs — far past the bound, so a regression still trips the gate.
+    let mult_ok = mult_mean <= FLAP_BOUND_NS;
     println!(
         "flap cost grows {:.2}x across a 4x VN increase (flat wants <= 3), \
-         4096-pipe flap {:.1} us (bound {:.0} us)",
+         4096-pipe flap {:.1} us (bound {:.0} us), \
+         16x-multiplexed flap {:.1} us (same bound; {:.2}x the unmultiplexed)",
         flap_means.last().unwrap().1 / flap_means[0].1,
         flap_means[0].1 / 1000.0,
-        FLAP_BOUND_NS / 1000.0
+        FLAP_BOUND_NS / 1000.0,
+        mult_mean / 1000.0,
+        mult_mean / flap_means[0].1
     );
 
-    let shape_holds = residency_ok && flat_ok && bound_ok;
+    let shape_holds = residency_ok && flat_ok && bound_ok && mult_ok;
     let mut report = mn_bench::report::Report::new("matrix", shape_holds);
     for (bench, mean_ns, iters) in &rows {
         report = report.with_series(bench.clone(), vec![(*iters as f64, *mean_ns)]);

@@ -56,6 +56,7 @@ pub struct Experiment {
     backend: ExecutionBackend,
     affinity_base: Option<usize>,
     schedule: Option<mn_dynamics::Schedule>,
+    fluid_epoch: Option<mn_util::SimDuration>,
 }
 
 impl Experiment {
@@ -73,7 +74,16 @@ impl Experiment {
             backend: ExecutionBackend::Sequential,
             affinity_base: None,
             schedule: None,
+            fluid_epoch: None,
         }
+    }
+
+    /// Sets the cadence at which fluid (flow-level) fair shares are
+    /// re-solved while bulk flows are live (default: 10 ms). Shorter epochs
+    /// track transients more closely; longer epochs cost less.
+    pub fn fluid_epoch(mut self, epoch: mn_util::SimDuration) -> Self {
+        self.fluid_epoch = Some(epoch);
+        self
     }
 
     /// Installs a runtime reconfiguration schedule: link failures and
@@ -191,7 +201,7 @@ impl Experiment {
         }
         let binding = Binding::bind(distilled.vns(), &params);
         // Run-phase driver on the selected execution backend.
-        let backend = match self.backend {
+        let mut backend = match self.backend {
             ExecutionBackend::Sequential => EmulatorBackend::Sequential(MultiCoreEmulator::new(
                 &distilled,
                 pod,
@@ -209,6 +219,9 @@ impl Experiment {
                 self.seed,
             )),
         };
+        if let Some(epoch) = self.fluid_epoch {
+            backend.set_fluid_epoch(epoch);
+        }
         let mut runner = Runner::with_backend(backend, binding, self.tcp);
         if let Some(schedule) = schedule {
             runner.install_schedule(mn_dynamics::ScheduleEngine::new(

@@ -33,7 +33,7 @@ use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
 use mn_transport::{
     BulkSender, SegmentToSend, TcpConfig, TcpConnection, UdpStream, UdpStreamConfig,
 };
-use mn_util::{ByteSize, Cdf, SimDuration, SimTime, TimerWheel};
+use mn_util::{ByteSize, Cdf, DataRate, SimDuration, SimTime, TimerWheel};
 
 /// Which execution backend drives the emulation core(s).
 ///
@@ -176,6 +176,81 @@ impl EmulatorBackend {
             EmulatorBackend::Threaded(emu) => emu.reroute(topo, changed),
         }
     }
+
+    /// Sets the cadence at which fluid fair shares are re-solved while
+    /// flows are live.
+    pub fn set_fluid_epoch(&mut self, epoch: SimDuration) {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.set_fluid_epoch(epoch),
+            EmulatorBackend::Threaded(emu) => emu.set_fluid_epoch(epoch),
+        }
+    }
+
+    /// Starts a fluid bulk flow between two VNs at time `at`.
+    pub fn add_fluid_flow(
+        &mut self,
+        tag: u64,
+        src: VnId,
+        dst: VnId,
+        demand: DataRate,
+        clients: u32,
+        at: SimTime,
+    ) -> bool {
+        match self {
+            EmulatorBackend::Sequential(emu) => {
+                emu.add_fluid_flow(tag, src, dst, demand, clients, at)
+            }
+            EmulatorBackend::Threaded(emu) => {
+                emu.add_fluid_flow(tag, src, dst, demand, clients, at)
+            }
+        }
+    }
+
+    /// Changes a live fluid flow's offered demand and client count.
+    pub fn resize_fluid_flow(
+        &mut self,
+        tag: u64,
+        demand: DataRate,
+        clients: u32,
+        at: SimTime,
+    ) -> bool {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.resize_fluid_flow(tag, demand, clients, at),
+            EmulatorBackend::Threaded(emu) => emu.resize_fluid_flow(tag, demand, clients, at),
+        }
+    }
+
+    /// Stops a fluid flow, returning its share to the packet path.
+    pub fn remove_fluid_flow(&mut self, tag: u64, at: SimTime) -> bool {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.remove_fluid_flow(tag, at),
+            EmulatorBackend::Threaded(emu) => emu.remove_fluid_flow(tag, at),
+        }
+    }
+
+    /// The rate the last fair-share solve allocated to a fluid flow.
+    pub fn fluid_flow_rate(&self, tag: u64) -> Option<DataRate> {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.fluid_flow_rate(tag),
+            EmulatorBackend::Threaded(emu) => emu.fluid_flow_rate(tag),
+        }
+    }
+
+    /// Bytes of goodput a fluid flow has accumulated so far.
+    pub fn fluid_flow_goodput_bytes(&self, tag: u64) -> Option<u64> {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.fluid_flow_goodput_bytes(tag),
+            EmulatorBackend::Threaded(emu) => emu.fluid_flow_goodput_bytes(tag),
+        }
+    }
+
+    /// Read access to the coordinator-owned fluid flow state.
+    pub fn fluid(&self) -> &mn_emucore::FluidState {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.fluid(),
+            EmulatorBackend::Threaded(emu) => emu.fluid(),
+        }
+    }
 }
 
 /// The execution backends are what the dynamics engine reconfigures: both
@@ -206,6 +281,26 @@ impl mn_dynamics::DynamicsTarget for EmulatorBackend {
         changed: &[mn_distill::PipeId],
     ) -> mn_routing::RouteUpdate {
         EmulatorBackend::reroute(self, topo, changed)
+    }
+
+    fn add_fluid_flow(
+        &mut self,
+        tag: u64,
+        src: VnId,
+        dst: VnId,
+        demand: DataRate,
+        clients: u32,
+        at: SimTime,
+    ) -> bool {
+        EmulatorBackend::add_fluid_flow(self, tag, src, dst, demand, clients, at)
+    }
+
+    fn resize_fluid_flow(&mut self, tag: u64, demand: DataRate, clients: u32, at: SimTime) -> bool {
+        EmulatorBackend::resize_fluid_flow(self, tag, demand, clients, at)
+    }
+
+    fn remove_fluid_flow(&mut self, tag: u64, at: SimTime) -> bool {
+        EmulatorBackend::remove_fluid_flow(self, tag, at)
     }
 }
 
@@ -519,6 +614,62 @@ impl Runner {
         self.udp_flows.push(flow);
         self.events.push(start, Event::UdpPoll { flow: idx });
         UdpFlowId(idx)
+    }
+
+    /// Starts a fluid (flow-level) bulk flow between two VNs at the current
+    /// virtual time: `demand` offered in aggregate for `clients` modelled
+    /// clients. The flow's max-min share of every pipe it crosses shows up
+    /// to the packet path as consumed capacity; `tag` must be unique among
+    /// live fluid flows. Returns `false` on a duplicate tag.
+    pub fn add_fluid_flow(
+        &mut self,
+        tag: u64,
+        src: VnId,
+        dst: VnId,
+        demand: DataRate,
+        clients: u32,
+    ) -> bool {
+        let ok = self
+            .emulator
+            .add_fluid_flow(tag, src, dst, demand, clients, self.now);
+        if ok {
+            // The epoch grid is emulator work: make sure the driver wakes
+            // for the next recompute point.
+            self.schedule_emu_wakeup();
+        }
+        ok
+    }
+
+    /// Changes a live fluid flow's offered demand and client count.
+    pub fn resize_fluid_flow(&mut self, tag: u64, demand: DataRate, clients: u32) -> bool {
+        let ok = self
+            .emulator
+            .resize_fluid_flow(tag, demand, clients, self.now);
+        if ok {
+            self.schedule_emu_wakeup();
+        }
+        ok
+    }
+
+    /// Stops a fluid flow, returning its share to the packet path.
+    pub fn remove_fluid_flow(&mut self, tag: u64) -> bool {
+        self.emulator.remove_fluid_flow(tag, self.now)
+    }
+
+    /// Sets the cadence at which fluid fair shares are re-solved.
+    pub fn set_fluid_epoch(&mut self, epoch: SimDuration) {
+        self.emulator.set_fluid_epoch(epoch);
+        self.schedule_emu_wakeup();
+    }
+
+    /// The rate the last fair-share solve allocated to a fluid flow.
+    pub fn fluid_flow_rate(&self, tag: u64) -> Option<DataRate> {
+        self.emulator.fluid_flow_rate(tag)
+    }
+
+    /// Bytes of goodput a fluid flow has accumulated so far.
+    pub fn fluid_flow_goodput_bytes(&self, tag: u64) -> Option<u64> {
+        self.emulator.fluid_flow_goodput_bytes(tag)
     }
 
     // ------------------------------------------------------------------

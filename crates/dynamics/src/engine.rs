@@ -19,6 +19,7 @@
 //! command streams and stay bit-identical through every reconfiguration.
 
 use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
+use mn_packet::VnId;
 use mn_pipe::CbrConfig;
 use mn_routing::RouteUpdate;
 use mn_util::{DataRate, SimTime};
@@ -40,6 +41,36 @@ pub trait DynamicsTarget {
     /// Recomputes routing incrementally after the listed pipes of `topo`
     /// changed. In-flight descriptors keep their (still valid) route ids.
     fn reroute(&mut self, topo: &DistilledTopology, changed: &[PipeId]) -> RouteUpdate;
+
+    /// Starts a fluid bulk flow effective at `at`. Targets without a fluid
+    /// model reject the event (the default).
+    fn add_fluid_flow(
+        &mut self,
+        _tag: u64,
+        _src: VnId,
+        _dst: VnId,
+        _demand: DataRate,
+        _clients: u32,
+        _at: SimTime,
+    ) -> bool {
+        false
+    }
+
+    /// Changes a fluid flow's offered demand and client count at `at`.
+    fn resize_fluid_flow(
+        &mut self,
+        _tag: u64,
+        _demand: DataRate,
+        _clients: u32,
+        _at: SimTime,
+    ) -> bool {
+        false
+    }
+
+    /// Stops a fluid flow at `at`.
+    fn remove_fluid_flow(&mut self, _tag: u64, _at: SimTime) -> bool {
+        false
+    }
 }
 
 /// What one [`ScheduleEngine::apply_due`] call did.
@@ -51,6 +82,8 @@ pub struct AppliedChanges {
     pub pipes_updated: usize,
     /// CBR injectors installed, replaced or removed.
     pub cbr_changes: usize,
+    /// Fluid flows started, resized or stopped.
+    pub fluid_changes: usize,
     /// The routing update, if any applied change required one.
     pub reroute: Option<RouteUpdate>,
 }
@@ -210,6 +243,33 @@ impl ScheduleEngine {
                         applied.cbr_changes += 1;
                     }
                 }
+                ScheduleEvent::FluidStart {
+                    tag,
+                    src,
+                    dst,
+                    demand,
+                    clients,
+                } => {
+                    // Like CBR events, the flow is effective from its
+                    // scheduled time, not the (possibly later) apply time.
+                    if target.add_fluid_flow(tag, src, dst, demand, clients, at) {
+                        applied.fluid_changes += 1;
+                    }
+                }
+                ScheduleEvent::FluidResize {
+                    tag,
+                    demand,
+                    clients,
+                } => {
+                    if target.resize_fluid_flow(tag, demand, clients, at) {
+                        applied.fluid_changes += 1;
+                    }
+                }
+                ScheduleEvent::FluidStop { tag } => {
+                    if target.remove_fluid_flow(tag, at) {
+                        applied.fluid_changes += 1;
+                    }
+                }
             }
         }
         if !self.changed.is_empty() {
@@ -261,6 +321,7 @@ mod tests {
         updates: Vec<(PipeId, PipeAttrs)>,
         cbr: Vec<(PipeId, Option<CbrConfig>, SimTime)>,
         reroutes: Vec<Vec<PipeId>>,
+        fluid: Vec<(u64, SimTime)>,
     }
 
     impl DynamicsTarget for MockTarget {
@@ -275,6 +336,32 @@ mod tests {
         fn reroute(&mut self, _topo: &DistilledTopology, changed: &[PipeId]) -> RouteUpdate {
             self.reroutes.push(changed.to_vec());
             RouteUpdate::default()
+        }
+        fn add_fluid_flow(
+            &mut self,
+            tag: u64,
+            _src: VnId,
+            _dst: VnId,
+            _demand: DataRate,
+            _clients: u32,
+            at: SimTime,
+        ) -> bool {
+            self.fluid.push((tag, at));
+            true
+        }
+        fn resize_fluid_flow(
+            &mut self,
+            tag: u64,
+            _demand: DataRate,
+            _clients: u32,
+            at: SimTime,
+        ) -> bool {
+            self.fluid.push((tag, at));
+            true
+        }
+        fn remove_fluid_flow(&mut self, tag: u64, at: SimTime) -> bool {
+            self.fluid.push((tag, at));
+            true
         }
     }
 
@@ -402,6 +489,46 @@ mod tests {
             Some(&(PipeId(3), None, SimTime::from_secs(4)))
         );
         assert!(applied.reroute.is_none(), "CBR does not change routes");
+    }
+
+    #[test]
+    fn fluid_events_carry_their_scheduled_times_and_never_reroute() {
+        let d = graph();
+        let t = SimTime::from_secs;
+        let schedule = Schedule::new()
+            .fluid_start(t(1), 9, VnId(0), VnId(1), DataRate::from_mbps(8), 1000)
+            .fluid_resize(t(2), 9, DataRate::from_mbps(4), 500)
+            .fluid_stop(t(3), 9);
+        let mut engine = ScheduleEngine::new(d, schedule);
+        let mut target = MockTarget::default();
+        // Applied late, the events still carry their scheduled times.
+        let applied = engine.apply_due(t(5), &mut target);
+        assert_eq!(applied.fluid_changes, 3);
+        assert_eq!(target.fluid, vec![(9, t(1)), (9, t(2)), (9, t(3))]);
+        assert!(
+            applied.reroute.is_none(),
+            "fluid flows do not change routes"
+        );
+        // A target without a fluid model rejects the events: nothing counted.
+        struct NoFluid;
+        impl DynamicsTarget for NoFluid {
+            fn update_pipe_attrs(&mut self, _: PipeId, _: PipeAttrs) -> bool {
+                true
+            }
+            fn set_pipe_cbr(&mut self, _: PipeId, _: Option<CbrConfig>, _: SimTime) -> bool {
+                true
+            }
+            fn reroute(&mut self, _: &DistilledTopology, _: &[PipeId]) -> RouteUpdate {
+                RouteUpdate::default()
+            }
+        }
+        let mut engine = ScheduleEngine::new(
+            graph(),
+            Schedule::new().fluid_start(t(1), 9, VnId(0), VnId(1), DataRate::from_mbps(8), 10),
+        );
+        let applied = engine.apply_due(t(5), &mut NoFluid);
+        assert_eq!(applied.events, 1);
+        assert_eq!(applied.fluid_changes, 0);
     }
 
     #[test]

@@ -12,9 +12,10 @@
 use serde::{Deserialize, Serialize};
 
 use mn_distill::{PipeAttrs, PipeId};
+use mn_packet::VnId;
 use mn_pipe::CbrConfig;
 use mn_topology::NodeId;
-use mn_util::SimTime;
+use mn_util::{DataRate, SimTime};
 
 use crate::faults::FaultEvent;
 
@@ -62,6 +63,36 @@ pub enum ScheduleEvent {
     CbrStop {
         /// The pipe to quiesce.
         pipe: PipeId,
+    },
+    /// Start a fluid (flow-level) bulk flow between two VNs: `demand`
+    /// offered in aggregate for `clients` modelled clients. The flow's
+    /// max-min share of every pipe it crosses shows up to the packet path
+    /// as consumed capacity.
+    FluidStart {
+        /// Caller-chosen flow tag (unique among live fluid flows).
+        tag: u64,
+        /// Source VN.
+        src: VnId,
+        /// Destination VN.
+        dst: VnId,
+        /// Aggregate offered rate.
+        demand: DataRate,
+        /// Modelled client count (the flow's max-min weight).
+        clients: u32,
+    },
+    /// Change a live fluid flow's offered demand and client count.
+    FluidResize {
+        /// The flow to resize.
+        tag: u64,
+        /// New aggregate offered rate.
+        demand: DataRate,
+        /// New modelled client count.
+        clients: u32,
+    },
+    /// Stop a fluid flow, returning its share to the packet path.
+    FluidStop {
+        /// The flow to stop.
+        tag: u64,
     },
 }
 
@@ -136,6 +167,45 @@ impl Schedule {
     /// Schedules a CBR injector removal.
     pub fn cbr_stop(self, at: SimTime, pipe: PipeId) -> Self {
         self.at(at, ScheduleEvent::CbrStop { pipe })
+    }
+
+    /// Schedules a fluid bulk-flow start.
+    pub fn fluid_start(
+        self,
+        at: SimTime,
+        tag: u64,
+        src: VnId,
+        dst: VnId,
+        demand: DataRate,
+        clients: u32,
+    ) -> Self {
+        self.at(
+            at,
+            ScheduleEvent::FluidStart {
+                tag,
+                src,
+                dst,
+                demand,
+                clients,
+            },
+        )
+    }
+
+    /// Schedules a fluid flow resize.
+    pub fn fluid_resize(self, at: SimTime, tag: u64, demand: DataRate, clients: u32) -> Self {
+        self.at(
+            at,
+            ScheduleEvent::FluidResize {
+                tag,
+                demand,
+                clients,
+            },
+        )
+    }
+
+    /// Schedules a fluid flow stop.
+    pub fn fluid_stop(self, at: SimTime, tag: u64) -> Self {
+        self.at(at, ScheduleEvent::FluidStop { tag })
     }
 
     /// Folds concrete fault-injector output (see
@@ -238,8 +308,11 @@ mod tests {
             .node_down(t, NodeId(4))
             .node_up(t, NodeId(4))
             .cbr_start(t, PipeId(2), cbr)
-            .cbr_stop(t, PipeId(2));
-        assert_eq!(schedule.len(), 9);
+            .cbr_stop(t, PipeId(2))
+            .fluid_start(t, 7, VnId(0), VnId(1), DataRate::from_mbps(4), 100)
+            .fluid_resize(t, 7, DataRate::from_mbps(2), 50)
+            .fluid_stop(t, 7);
+        assert_eq!(schedule.len(), 12);
         assert!(!schedule.is_empty());
         assert_eq!(schedule.times(), vec![t]);
     }

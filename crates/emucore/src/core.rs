@@ -19,11 +19,10 @@ use serde::{Deserialize, Serialize};
 
 use mn_assign::CoreId;
 use mn_distill::{PipeAttrs, PipeId};
-use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
 use mn_pipe::{CbrConfig, DequeuedPacket, EmuPipe, EnqueueOutcome, PipeStats, QueueDiscipline};
 use mn_routing::RouteTable;
 use mn_util::rngs::derived_rng;
-use mn_util::{ByteSize, SimDuration, SimTime, TimerWheel};
+use mn_util::{ByteSize, DataRate, SimDuration, SimTime, TimerWheel};
 
 use crate::accuracy::AccuracyLog;
 use crate::descriptor::{Delivery, Descriptor};
@@ -83,6 +82,9 @@ pub struct CoreStats {
     pub bytes_out: u64,
     /// Background CBR cross-traffic packets injected into local pipes.
     pub cbr_injected: u64,
+    /// Bytes of traffic modelled at flow level (fluid) on this core's
+    /// pipes: the per-pipe fluid demand integrated over virtual time.
+    pub fluid_modelled_bytes: u64,
 }
 
 impl CoreStats {
@@ -109,6 +111,7 @@ impl CoreStats {
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
         self.cbr_injected += other.cbr_injected;
+        self.fluid_modelled_bytes += other.fluid_modelled_bytes;
     }
 
     /// [`CoreStats::merge`] as a by-value fold step.
@@ -146,6 +149,11 @@ impl TickOutput {
 
 /// One scheduled constant-bit-rate background injector on a locally owned
 /// pipe (the paper's hop-by-hop compensation for distilled-away links).
+///
+/// Since the hybrid fluid model took over the bandwidth contention (the
+/// coordinator registers a CBR episode as a fixed-rate fluid demand on the
+/// pipe), the source is a pure meter: it advances `next_at` and counts
+/// injections, but no longer materialises per-packet descriptors.
 #[derive(Debug, Clone, Copy)]
 struct CbrSource {
     /// The pipe the injector feeds.
@@ -156,8 +164,6 @@ struct CbrSource {
     interval: SimDuration,
     /// Virtual time of the next injection.
     next_at: SimTime,
-    /// Per-source packet counter (ids never surface outside the pipe).
-    seq: u64,
 }
 
 /// One emulation core.
@@ -195,6 +201,13 @@ pub struct EmulatorCore {
     /// installation order (the injection order, identical on both
     /// execution backends).
     cbr: Vec<CbrSource>,
+    /// Sum of fluid demand over locally owned pipes, in bits/second.
+    fluid_total_bps: u64,
+    /// Virtual time the fluid byte integral has been advanced to.
+    fluid_last: SimTime,
+    /// Sub-byte remainder of the fluid integral, in bit-nanoseconds
+    /// (always `< 8e9`, so the accounting is exact across epochs).
+    fluid_bits_ns_rem: u64,
     // CPU model.
     cpu_backlog: SimDuration,
     cpu_busy_total: SimDuration,
@@ -230,6 +243,9 @@ impl EmulatorCore {
             pending_scratch: Vec::new(),
             ready_scratch: Vec::new(),
             cbr: Vec::new(),
+            fluid_total_bps: 0,
+            fluid_last: SimTime::ZERO,
+            fluid_bits_ns_rem: 0,
             cpu_backlog: SimDuration::ZERO,
             cpu_busy_total: SimDuration::ZERO,
             cpu_last_credit: SimTime::ZERO,
@@ -322,11 +338,47 @@ impl EmulatorCore {
                     packet_size: config.packet_size,
                     interval,
                     next_at: from,
-                    seq: 0,
                 });
             }
         }
         true
+    }
+
+    /// Sets the fluid (flow-level) bandwidth demand on a locally owned pipe,
+    /// effective from virtual time `at`. The byte integral of the previous
+    /// demand is settled up to `at` first, so piecewise-constant rates
+    /// accumulate exactly. Returns `false` if the pipe is not installed here.
+    pub fn set_pipe_fluid_demand(&mut self, pipe: PipeId, demand: DataRate, at: SimTime) -> bool {
+        if !self.owns_pipe(pipe) {
+            return false;
+        }
+        self.integrate_fluid_to(at);
+        let p = self.pipes[pipe.index()]
+            .as_mut()
+            .expect("ownership checked");
+        let old = p.fluid_demand().as_bps();
+        p.set_fluid_demand(demand);
+        self.fluid_total_bps = self.fluid_total_bps - old + demand.as_bps();
+        true
+    }
+
+    /// Advances the fluid byte integral to `now`: every locally owned
+    /// pipe's fluid demand counts toward [`CoreStats::fluid_modelled_bytes`]
+    /// for the elapsed interval. Exact (a bit-nanosecond remainder is
+    /// carried), monotonic, and allocation-free.
+    pub fn integrate_fluid_to(&mut self, now: SimTime) {
+        if now <= self.fluid_last {
+            return;
+        }
+        let elapsed_ns = (now - self.fluid_last).as_nanos();
+        self.fluid_last = now;
+        if self.fluid_total_bps == 0 {
+            return;
+        }
+        let bits_ns =
+            self.fluid_total_bps as u128 * elapsed_ns as u128 + self.fluid_bits_ns_rem as u128;
+        self.stats.fluid_modelled_bytes += (bits_ns / 8_000_000_000) as u64;
+        self.fluid_bits_ns_rem = (bits_ns % 8_000_000_000) as u64;
     }
 
     /// The CBR injectors currently installed on this core, as
@@ -337,52 +389,17 @@ impl EmulatorCore {
         self.cbr.iter().map(|s| (s.pipe, s.packet_size, s.interval))
     }
 
-    /// Injects every background packet due at or before `now` into its pipe
-    /// with its ideal timestamp. Runs at the head of each scheduler pass;
-    /// with warmed buffers it allocates nothing.
+    /// Advances every CBR meter past `now`, counting the injections that
+    /// would have occurred. The bandwidth the injections consume is carried
+    /// by the pipe's fluid demand (installed by the coordinator alongside
+    /// the meter), so no per-packet descriptor is built and no RNG is
+    /// drawn. Runs at the head of each scheduler pass; allocates nothing.
     fn inject_cbr(&mut self, now: SimTime) {
-        for i in 0..self.cbr.len() {
-            let mut source = self.cbr[i];
+        for source in &mut self.cbr {
             while source.next_at <= now {
-                let at = source.next_at;
-                source.next_at = at + source.interval;
-                let packet = Packet::new(
-                    PacketId(source.seq),
-                    FlowKey {
-                        // Background packets belong to no VN pair; the
-                        // sentinel endpoints can never collide with bound
-                        // VNs, and the packet is discarded at its pipe exit.
-                        src: VnId(u32::MAX),
-                        dst: VnId(u32::MAX),
-                        src_port: 0,
-                        dst_port: 0,
-                        protocol: Protocol::Udp,
-                    },
-                    TransportHeader::Udp {
-                        payload_len: source.packet_size.as_bytes() as u32,
-                        seq: source.seq,
-                    },
-                    at,
-                );
-                source.seq += 1;
+                source.next_at += source.interval;
                 self.stats.cbr_injected += 1;
-                self.cpu_backlog += self.profile.per_packet_cpu;
-                let descriptor = Descriptor::background(packet, at);
-                let pipe = self
-                    .pipes
-                    .get_mut(source.pipe.index())
-                    .and_then(Option::as_mut)
-                    .expect("CBR sources are installed on locally owned pipes");
-                // The configured wire size is authoritative for bandwidth
-                // accounting; loss/RED/overflow apply to background packets
-                // exactly as to foreground ones.
-                if let EnqueueOutcome::Accepted { exit_time } =
-                    pipe.enqueue(at, source.packet_size, descriptor, &mut self.rng)
-                {
-                    self.wheel.push(exit_time, source.pipe);
-                }
             }
-            self.cbr[i] = source;
         }
     }
 
@@ -633,12 +650,6 @@ impl EmulatorCore {
             pipe.dequeue_ready_into(now, &mut ready);
             for dequeued in ready.drain(..) {
                 let mut descriptor = dequeued.item;
-                if descriptor.is_background() {
-                    // Background cross traffic vanishes at its pipe exit: it
-                    // exists to contend for bandwidth and queue slots, not
-                    // to be delivered or tunnelled.
-                    continue;
-                }
                 self.cpu_backlog += self.profile.per_hop_cpu;
                 let lateness = now.duration_since(dequeued.exit_time);
                 if self.profile.packet_debt_correction {
@@ -742,6 +753,7 @@ mod tests {
             bytes_in: seed * 23 + 8,
             bytes_out: seed * 29 + 9,
             cbr_injected: seed * 31 + 10,
+            fluid_modelled_bytes: seed * 37 + 11,
         }
     }
 

@@ -30,12 +30,6 @@ pub struct Descriptor {
     pub accumulated_error: SimDuration,
 }
 
-/// Sentinel route id carried by background (CBR cross-traffic) descriptors.
-/// No interned route can have this id ([`RouteTable::intern`] caps the table
-/// below it), so the scheduler can recognise background packets without any
-/// extra descriptor state.
-const BACKGROUND_ROUTE: RouteId = RouteId(u32::MAX);
-
 impl Descriptor {
     /// Creates a descriptor at the start of its route.
     pub fn new(packet: Packet, route: RouteId, entered_at: SimTime) -> Self {
@@ -46,26 +40,6 @@ impl Descriptor {
             entered_at,
             accumulated_error: SimDuration::ZERO,
         }
-    }
-
-    /// Creates a background cross-traffic descriptor: it enters exactly one
-    /// pipe (chosen by the injector) and is discarded when it exits — never
-    /// delivered, never tunnelled. It exists to contend for the pipe's
-    /// bandwidth and queue slots.
-    pub fn background(packet: Packet, entered_at: SimTime) -> Self {
-        Descriptor {
-            packet,
-            route: BACKGROUND_ROUTE,
-            hop: 0,
-            entered_at,
-            accumulated_error: SimDuration::ZERO,
-        }
-    }
-
-    /// Returns `true` for a background cross-traffic descriptor.
-    #[inline]
-    pub fn is_background(&self) -> bool {
-        self.route == BACKGROUND_ROUTE
     }
 
     /// Total number of pipes on the route.

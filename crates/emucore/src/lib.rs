@@ -28,6 +28,7 @@
 pub mod accuracy;
 pub mod core;
 pub mod descriptor;
+pub mod fluid;
 pub mod hardware;
 pub mod multicore;
 pub mod parallel;
@@ -36,6 +37,7 @@ pub mod wireless;
 pub use accuracy::AccuracyLog;
 pub use core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
 pub use descriptor::{Delivery, Descriptor};
+pub use fluid::FluidState;
 pub use hardware::HardwareProfile;
 pub use multicore::{MultiCoreEmulator, SubmitOutcome};
 pub use parallel::ParallelEmulator;

@@ -17,10 +17,11 @@ use mn_packet::{Packet, VnId};
 use mn_pipe::CbrConfig;
 use mn_routing::{RouteTable, RouteUpdate, RoutingMatrix};
 use mn_topology::NodeId;
-use mn_util::{SimTime, TimerWheel};
+use mn_util::{DataRate, SimDuration, SimTime, TimerWheel};
 
 use crate::core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
 use crate::descriptor::{Delivery, Descriptor};
+use crate::fluid::FluidState;
 use crate::hardware::HardwareProfile;
 
 /// The backend-independent half of an incremental routing change: updates
@@ -83,6 +84,7 @@ pub(crate) struct EmulatorParts {
     pub tunnels_in_flight: TimerWheel<(CoreId, Descriptor)>,
     pub local_deliveries: Vec<Delivery>,
     pub profile: HardwareProfile,
+    pub fluid: FluidState,
 }
 
 /// The set of cooperating core nodes emulating one distilled topology.
@@ -111,6 +113,11 @@ pub struct MultiCoreEmulator {
     /// nothing.
     tick_buf: TickOutput,
     profile: HardwareProfile,
+    /// Coordinator-owned fluid flow state. Rate recomputes happen here (at
+    /// epoch boundaries and on flow/topology mutations) and the changed
+    /// per-pipe demands are pushed to the owning cores, so both execution
+    /// backends observe identical piecewise-constant residuals.
+    fluid: FluidState,
 }
 
 impl MultiCoreEmulator {
@@ -163,9 +170,11 @@ impl MultiCoreEmulator {
                 )
             })
             .collect();
+        let mut capacity_bps = vec![0u64; topo.pipe_count()];
         for (pipe_id, pipe) in topo.pipes() {
             let owner = pod.owner(pipe_id);
             cores[owner.index()].install_pipe(pipe_id, pipe.attrs);
+            capacity_bps[pipe_id.index()] = pipe.attrs.bandwidth.as_bps();
         }
         MultiCoreEmulator {
             cores,
@@ -178,6 +187,7 @@ impl MultiCoreEmulator {
             local_deliveries: Vec::new(),
             tick_buf: TickOutput::default(),
             profile,
+            fluid: FluidState::new(capacity_bps),
         }
     }
 
@@ -211,6 +221,7 @@ impl MultiCoreEmulator {
             tunnels_in_flight: self.tunnels_in_flight,
             local_deliveries: self.local_deliveries,
             profile: self.profile,
+            fluid: self.fluid,
         }
     }
 
@@ -262,14 +273,44 @@ impl MultiCoreEmulator {
         for core in &mut self.cores {
             core.set_route_table(self.routes.clone());
         }
+        self.fluid.mark_routes_dirty();
+        if self.fluid.has_flows() {
+            let at = self.fluid.clock();
+            self.recompute_fluid(at);
+        }
     }
 
-    /// Updates a pipe's emulation parameters on whichever core owns it.
+    /// Re-solves the fluid fair share at `at` and pushes every changed
+    /// per-pipe demand to the owning core. Called on every fluid mutation
+    /// and at each epoch boundary; the cores see only the piecewise-constant
+    /// per-pipe totals.
+    fn recompute_fluid(&mut self, at: SimTime) {
+        let changed = self.fluid.recompute(at, &self.routes);
+        for &(pipe, bps) in changed {
+            let owner = self
+                .pod
+                .get_owner(pipe)
+                .expect("fluid routes reference pipes covered by the POD");
+            let _ =
+                self.cores[owner.index()].set_pipe_fluid_demand(pipe, DataRate::from_bps(bps), at);
+        }
+    }
+
+    /// Updates a pipe's emulation parameters on whichever core owns it. The
+    /// fluid model tracks the new capacity; live flows re-share immediately.
     pub fn update_pipe_attrs(&mut self, pipe: PipeId, attrs: PipeAttrs) -> bool {
         let Some(owner) = self.pod.get_owner(pipe) else {
             return false;
         };
-        self.cores[owner.index()].update_pipe_attrs(pipe, attrs)
+        if !self.cores[owner.index()].update_pipe_attrs(pipe, attrs) {
+            return false;
+        }
+        self.fluid.set_capacity(pipe, attrs.bandwidth);
+        if self.fluid.has_flows() {
+            let at = self.fluid.clock();
+            self.recompute_fluid(at);
+        }
+        true
     }
 
     /// Installs, replaces or (with `None`) removes the CBR background
@@ -280,7 +321,15 @@ impl MultiCoreEmulator {
         let Some(owner) = self.pod.get_owner(pipe) else {
             return false;
         };
-        self.cores[owner.index()].set_pipe_cbr(pipe, config, from)
+        if !self.cores[owner.index()].set_pipe_cbr(pipe, config, from) {
+            return false;
+        }
+        // The bandwidth half of the episode is a fixed-rate fluid demand on
+        // the pipe; degenerate configs (which inject nothing) carry none.
+        let rate = config.and_then(|c| c.interval().map(|_| c.rate));
+        self.fluid.set_cbr(pipe, rate, from);
+        self.recompute_fluid(from);
+        true
     }
 
     /// Applies an **incremental** routing change after the listed pipes of
@@ -306,8 +355,79 @@ impl MultiCoreEmulator {
             for core in &mut self.cores {
                 core.set_route_table(self.routes.clone());
             }
+            self.fluid.mark_routes_dirty();
+            if self.fluid.has_flows() {
+                let at = self.fluid.clock();
+                self.recompute_fluid(at);
+            }
         }
         update
+    }
+
+    /// Sets the cadence at which fluid rates are re-solved while flows are
+    /// live (effective from the next epoch).
+    pub fn set_fluid_epoch(&mut self, epoch: SimDuration) {
+        self.fluid.set_epoch(epoch);
+    }
+
+    /// Starts a fluid bulk flow: `demand` offered from `src` to `dst`,
+    /// standing in for `clients` modelled clients (its max-min weight).
+    /// The flow crosses the same interned route packets between the pair
+    /// would take; its share of every pipe shows up to the packet path as
+    /// consumed capacity. Returns `false` if the tag is already in use.
+    pub fn add_fluid_flow(
+        &mut self,
+        tag: u64,
+        src: VnId,
+        dst: VnId,
+        demand: DataRate,
+        clients: u32,
+        at: SimTime,
+    ) -> bool {
+        if !self.fluid.add_flow(tag, src, dst, demand, clients, at) {
+            return false;
+        }
+        self.recompute_fluid(at);
+        true
+    }
+
+    /// Changes a fluid flow's offered demand and client count mid-run.
+    pub fn resize_fluid_flow(
+        &mut self,
+        tag: u64,
+        demand: DataRate,
+        clients: u32,
+        at: SimTime,
+    ) -> bool {
+        if !self.fluid.resize_flow(tag, demand, clients, at) {
+            return false;
+        }
+        self.recompute_fluid(at);
+        true
+    }
+
+    /// Stops a fluid flow, returning its share to the packet path.
+    pub fn remove_fluid_flow(&mut self, tag: u64, at: SimTime) -> bool {
+        if !self.fluid.remove_flow(tag, at) {
+            return false;
+        }
+        self.recompute_fluid(at);
+        true
+    }
+
+    /// The rate the last fair-share solve allocated to a fluid flow.
+    pub fn fluid_flow_rate(&self, tag: u64) -> Option<DataRate> {
+        self.fluid.flow_rate(tag)
+    }
+
+    /// Bytes of goodput a fluid flow has accumulated so far.
+    pub fn fluid_flow_goodput_bytes(&self, tag: u64) -> Option<u64> {
+        self.fluid.flow_goodput_bytes(tag)
+    }
+
+    /// Read access to the fluid flow state (flow counts, epoch clock).
+    pub fn fluid(&self) -> &FluidState {
+        &self.fluid
     }
 
     /// The topology location a VN is bound to.
@@ -386,7 +506,11 @@ impl MultiCoreEmulator {
         } else {
             Some(SimTime::ZERO)
         };
-        [core_next, tunnel_next, local].into_iter().flatten().min()
+        let fluid_next = self.fluid.next_epoch();
+        [core_next, tunnel_next, local, fluid_next]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Advances the emulation to time `now`, allocating a fresh delivery
@@ -402,7 +526,27 @@ impl MultiCoreEmulator {
     /// core's scheduler, and forwards freshly produced tunnels. Every packet
     /// that exited the emulated network since the previous call is appended
     /// to `deliveries`; with warmed buffers the pass allocates nothing.
+    ///
+    /// While fluid flows are live the advance is chopped at each rate
+    /// epoch: cores run up to the epoch, the fair share is re-solved there,
+    /// and the changed per-pipe demands take effect before emulation
+    /// continues — so packet contention always sees the residual of the
+    /// current piecewise-constant fluid rates, identically on both
+    /// backends.
     pub fn advance_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
+        while let Some(epoch) = self.fluid.next_epoch().filter(|&e| e <= now) {
+            self.advance_cores_into(epoch, deliveries);
+            self.recompute_fluid(epoch);
+        }
+        self.advance_cores_into(now, deliveries);
+        for core in &mut self.cores {
+            core.integrate_fluid_to(now);
+        }
+        self.fluid.integrate_to(now);
+    }
+
+    /// One un-chopped advance of every core (and the tunnel wheel) to `now`.
+    fn advance_cores_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
         deliveries.append(&mut self.local_deliveries);
         let mut tick_buf = std::mem::take(&mut self.tick_buf);
         // Iterate: tunnel arrivals can enqueue work that completes within the

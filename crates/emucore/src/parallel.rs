@@ -54,10 +54,11 @@ use mn_pipe::CbrConfig;
 use mn_routing::{RouteTable, RouteUpdate, RoutingMatrix};
 use mn_topology::NodeId;
 use mn_util::spsc::{self, Consumer, Producer};
-use mn_util::{SimTime, SpinBarrier, SpinWait, TimerWheel};
+use mn_util::{DataRate, SimDuration, SimTime, SpinBarrier, SpinWait, TimerWheel};
 
 use crate::core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
 use crate::descriptor::{Delivery, Descriptor};
+use crate::fluid::FluidState;
 use crate::hardware::HardwareProfile;
 use crate::multicore::{MultiCoreEmulator, SubmitOutcome};
 
@@ -96,6 +97,14 @@ enum Command {
         pipe: PipeId,
         config: Option<CbrConfig>,
         from: SimTime,
+    },
+    /// Apply a new per-pipe fluid demand from the coordinator's fair-share
+    /// solve, effective at `at`. Fire-and-forget, like `SetRoutes`: the
+    /// coordinator solved deterministically, so there is nothing to report.
+    SetFluidDemand {
+        pipe: PipeId,
+        rate: DataRate,
+        at: SimTime,
     },
     /// Report counters and the earliest due work without running anything.
     Query,
@@ -217,6 +226,9 @@ impl Worker {
                     let updated = self.core.set_pipe_cbr(pipe, config, from);
                     self.push_response(Response::PipeUpdated(updated));
                 }
+                Command::SetFluidDemand { pipe, rate, at } => {
+                    let _ = self.core.set_pipe_fluid_demand(pipe, rate, at);
+                }
                 Command::Query => {
                     let response = Response::Queried {
                         stats: *self.core.stats(),
@@ -303,6 +315,10 @@ impl Worker {
                 break;
             }
         }
+        // Settle the fluid byte integral at the advance target, mirroring
+        // the sequential backend's per-core integration (the exact-remainder
+        // arithmetic makes the result independent of the chop points).
+        self.core.integrate_fluid_to(now);
         // Leave no spilled message behind: a peer may still be waiting in
         // its epoch collect for a marker that overflowed our ring (an epoch
         // that tunnelled more than a ring's capacity to one target). While
@@ -541,6 +557,11 @@ pub struct ParallelEmulator {
     vn_location: Vec<NodeId>,
     vn_entry_core: Vec<CoreId>,
     local_deliveries: Vec<Delivery>,
+    /// Coordinator-owned fluid flow state, driven exactly as the sequential
+    /// backend drives its copy: epoch-chopped advances plus mutation-time
+    /// recomputes, with changed per-pipe demands pushed to the owning
+    /// worker's command ring.
+    fluid: FluidState,
 }
 
 impl std::fmt::Debug for ParallelEmulator {
@@ -670,6 +691,7 @@ impl ParallelEmulator {
             vn_location: parts.vn_location,
             vn_entry_core: parts.vn_entry_core,
             local_deliveries: parts.local_deliveries,
+            fluid: parts.fluid,
         };
         // Seed the cached per-worker state. A converted emulator may carry
         // counters and scheduled deadlines from its sequential life.
@@ -745,6 +767,30 @@ impl ParallelEmulator {
         for worker in &mut self.workers {
             worker.send(Command::SetRoutes(self.routes.clone()));
         }
+        self.fluid.mark_routes_dirty();
+        if self.fluid.has_flows() {
+            let at = self.fluid.clock();
+            self.recompute_fluid(at);
+        }
+    }
+
+    /// Re-solves the fluid fair share at `at` and pushes every changed
+    /// per-pipe demand to the owning worker. Command rings are FIFO, so the
+    /// demand lands before any subsequent `Advance` ticks past `at` —
+    /// the same ordering the sequential backend applies in place.
+    fn recompute_fluid(&mut self, at: SimTime) {
+        let changed = self.fluid.recompute(at, &self.routes);
+        for &(pipe, bps) in changed {
+            let owner = self
+                .pod
+                .get_owner(pipe)
+                .expect("fluid routes reference pipes covered by the POD");
+            self.workers[owner.index()].send(Command::SetFluidDemand {
+                pipe,
+                rate: DataRate::from_bps(bps),
+                at,
+            });
+        }
     }
 
     /// Updates a pipe's emulation parameters on whichever core owns it.
@@ -754,10 +800,19 @@ impl ParallelEmulator {
         };
         let worker = &mut self.workers[owner.index()];
         worker.send(Command::UpdatePipe { pipe, attrs });
-        match worker.wait_response() {
+        let updated = match worker.wait_response() {
             Response::PipeUpdated(updated) => updated,
             _ => unreachable!("UpdatePipe is answered by PipeUpdated"),
+        };
+        if !updated {
+            return false;
         }
+        self.fluid.set_capacity(pipe, attrs.bandwidth);
+        if self.fluid.has_flows() {
+            let at = self.fluid.clock();
+            self.recompute_fluid(at);
+        }
+        true
     }
 
     /// Installs, replaces or (with `None`) removes the CBR background
@@ -769,10 +824,19 @@ impl ParallelEmulator {
         };
         let worker = &mut self.workers[owner.index()];
         worker.send(Command::SetCbr { pipe, config, from });
-        match worker.wait_response() {
+        let updated = match worker.wait_response() {
             Response::PipeUpdated(updated) => updated,
             _ => unreachable!("SetCbr is answered by PipeUpdated"),
+        };
+        if !updated {
+            return false;
         }
+        // Mirror the sequential backend: the bandwidth half of the episode
+        // is a fixed-rate fluid demand (degenerate configs carry none).
+        let rate = config.and_then(|c| c.interval().map(|_| c.rate));
+        self.fluid.set_cbr(pipe, rate, from);
+        self.recompute_fluid(from);
+        true
     }
 
     /// Applies an incremental routing change after the listed pipes of
@@ -792,8 +856,76 @@ impl ParallelEmulator {
             for worker in &mut self.workers {
                 worker.send(Command::SetRoutes(self.routes.clone()));
             }
+            self.fluid.mark_routes_dirty();
+            if self.fluid.has_flows() {
+                let at = self.fluid.clock();
+                self.recompute_fluid(at);
+            }
         }
         update
+    }
+
+    /// Sets the cadence at which fluid rates are re-solved while flows are
+    /// live. Same semantics as [`MultiCoreEmulator::set_fluid_epoch`].
+    pub fn set_fluid_epoch(&mut self, epoch: SimDuration) {
+        self.fluid.set_epoch(epoch);
+    }
+
+    /// Starts a fluid bulk flow. Same semantics as
+    /// [`MultiCoreEmulator::add_fluid_flow`].
+    pub fn add_fluid_flow(
+        &mut self,
+        tag: u64,
+        src: VnId,
+        dst: VnId,
+        demand: DataRate,
+        clients: u32,
+        at: SimTime,
+    ) -> bool {
+        if !self.fluid.add_flow(tag, src, dst, demand, clients, at) {
+            return false;
+        }
+        self.recompute_fluid(at);
+        true
+    }
+
+    /// Changes a fluid flow's offered demand and client count mid-run.
+    pub fn resize_fluid_flow(
+        &mut self,
+        tag: u64,
+        demand: DataRate,
+        clients: u32,
+        at: SimTime,
+    ) -> bool {
+        if !self.fluid.resize_flow(tag, demand, clients, at) {
+            return false;
+        }
+        self.recompute_fluid(at);
+        true
+    }
+
+    /// Stops a fluid flow, returning its share to the packet path.
+    pub fn remove_fluid_flow(&mut self, tag: u64, at: SimTime) -> bool {
+        if !self.fluid.remove_flow(tag, at) {
+            return false;
+        }
+        self.recompute_fluid(at);
+        true
+    }
+
+    /// The rate the last fair-share solve allocated to a fluid flow.
+    pub fn fluid_flow_rate(&self, tag: u64) -> Option<DataRate> {
+        self.fluid.flow_rate(tag)
+    }
+
+    /// Bytes of goodput a fluid flow has accumulated so far.
+    pub fn fluid_flow_goodput_bytes(&self, tag: u64) -> Option<u64> {
+        self.fluid.flow_goodput_bytes(tag)
+    }
+
+    /// Read access to the fluid flow state (flow counts, epoch clock).
+    pub fn fluid(&self) -> &FluidState {
+        &self.fluid
     }
 
     /// Routes a packet to its entry core (or resolves it locally), without
@@ -924,6 +1056,7 @@ impl ParallelEmulator {
             .iter()
             .filter_map(|w| w.next_wakeup)
             .chain(local)
+            .chain(self.fluid.next_epoch())
             .min()
     }
 
@@ -937,8 +1070,22 @@ impl ParallelEmulator {
 
     /// Advances every core to time `now` concurrently. Deliveries are
     /// appended in the exact order the sequential backend produces them
-    /// (local deliveries, then epoch-major / core-major).
+    /// (local deliveries, then epoch-major / core-major). While fluid flows
+    /// are live the advance is chopped at each rate epoch, exactly as the
+    /// sequential backend chops: workers run up to the epoch, the fair
+    /// share is re-solved, and the changed demands land on the FIFO command
+    /// rings ahead of the next advance segment.
     pub fn advance_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
+        while let Some(epoch) = self.fluid.next_epoch().filter(|&e| e <= now) {
+            self.advance_workers_into(epoch, deliveries);
+            self.recompute_fluid(epoch);
+        }
+        self.advance_workers_into(now, deliveries);
+        self.fluid.integrate_to(now);
+    }
+
+    /// One un-chopped advance of every worker to `now`.
+    fn advance_workers_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
         deliveries.append(&mut self.local_deliveries);
         for worker in &mut self.workers {
             worker.send(Command::Advance { now });

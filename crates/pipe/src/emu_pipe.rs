@@ -21,7 +21,7 @@ use std::collections::VecDeque;
 use rand::Rng;
 
 use mn_distill::PipeAttrs;
-use mn_util::{ByteSize, SimTime};
+use mn_util::{ByteSize, DataRate, SimTime};
 
 use crate::discipline::{QueueDiscipline, RedState};
 use crate::stats::PipeStats;
@@ -78,6 +78,10 @@ pub struct EmuPipe<T> {
     in_flight: VecDeque<InFlight<T>>,
     drain_busy_until: SimTime,
     stats: PipeStats,
+    /// Bandwidth consumed by flow-level (fluid) traffic modelled on this
+    /// pipe. Packets see only the residual: their transmission time and the
+    /// failed-link check use `bandwidth - fluid_demand`.
+    fluid_demand: DataRate,
 }
 
 impl<T> EmuPipe<T> {
@@ -96,6 +100,7 @@ impl<T> EmuPipe<T> {
             in_flight: VecDeque::new(),
             drain_busy_until: SimTime::ZERO,
             stats: PipeStats::default(),
+            fluid_demand: DataRate::ZERO,
         }
     }
 
@@ -115,6 +120,29 @@ impl<T> EmuPipe<T> {
     /// Replaces the queueing discipline.
     pub fn set_discipline(&mut self, discipline: QueueDiscipline) {
         self.discipline = discipline;
+    }
+
+    /// Sets the bandwidth consumed by fluid flows crossing this pipe.
+    /// Packets already inside keep their deadlines; future arrivals drain
+    /// at the residual rate.
+    pub fn set_fluid_demand(&mut self, demand: DataRate) {
+        self.fluid_demand = demand;
+    }
+
+    /// Bandwidth currently consumed by fluid flows on this pipe.
+    pub fn fluid_demand(&self) -> DataRate {
+        self.fluid_demand
+    }
+
+    /// The bandwidth left for packets after fluid demand is served.
+    #[inline]
+    fn residual_bandwidth(&self) -> DataRate {
+        DataRate::from_bps(
+            self.attrs
+                .bandwidth
+                .as_bps()
+                .saturating_sub(self.fluid_demand.as_bps()),
+        )
     }
 
     /// Counters.
@@ -171,9 +199,10 @@ impl<T> EmuPipe<T> {
         item: T,
         rng: &mut R,
     ) -> EnqueueOutcome {
-        // A zero-bandwidth pipe models a failed link: everything is dropped
-        // as congestion loss.
-        if self.attrs.bandwidth.is_zero() {
+        // A zero-residual pipe models a failed link (or one fully consumed
+        // by fluid demand): everything is dropped as congestion loss.
+        let residual = self.residual_bandwidth();
+        if residual.is_zero() {
             self.stats.dropped_overflow += 1;
             return EnqueueOutcome::DroppedOverflow;
         }
@@ -199,7 +228,7 @@ impl<T> EmuPipe<T> {
         }
 
         let drain_start = now.max(self.drain_busy_until);
-        let drain_finish = drain_start.saturating_add(self.attrs.bandwidth.transmission_time(size));
+        let drain_finish = drain_start.saturating_add(residual.transmission_time(size));
         let exit_time = drain_finish.saturating_add(self.attrs.latency);
         self.drain_busy_until = drain_finish;
         self.in_flight.push_back(InFlight {
@@ -446,6 +475,39 @@ mod tests {
         assert_eq!(
             second,
             SimTime::from_micros(1200 + 12_000) + SimDuration::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn fluid_demand_leaves_packets_the_residual() {
+        // 10 Mb/s pipe with 5 Mb/s of fluid demand: packets drain at the
+        // 5 Mb/s residual, so 1500 B takes 2.4 ms instead of 1.2 ms.
+        let mut pipe: EmuPipe<u32> = EmuPipe::new(attrs(10, 0, 50));
+        pipe.set_fluid_demand(DataRate::from_mbps(5));
+        let mut rng = seeded_rng(1);
+        let EnqueueOutcome::Accepted { exit_time } =
+            pipe.enqueue(SimTime::ZERO, kb(1500), 1, &mut rng)
+        else {
+            panic!("accepted")
+        };
+        assert_eq!(exit_time, SimTime::from_micros(2400));
+        // Demand at (or beyond) line rate leaves no residual: drops.
+        pipe.set_fluid_demand(DataRate::from_mbps(10));
+        assert_eq!(
+            pipe.enqueue(SimTime::from_secs(1), kb(1500), 2, &mut rng),
+            EnqueueOutcome::DroppedOverflow
+        );
+        // Clearing the demand restores full line rate for new arrivals.
+        pipe.set_fluid_demand(DataRate::ZERO);
+        assert_eq!(pipe.fluid_demand(), DataRate::ZERO);
+        let EnqueueOutcome::Accepted { exit_time } =
+            pipe.enqueue(SimTime::from_secs(2), kb(1500), 3, &mut rng)
+        else {
+            panic!("accepted")
+        };
+        assert_eq!(
+            exit_time,
+            SimTime::from_secs(2) + SimDuration::from_micros(1200)
         );
     }
 

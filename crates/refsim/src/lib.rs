@@ -150,6 +150,146 @@ pub fn max_min_fair_share(topo: &Topology, flows: &[FlowSpec]) -> Vec<FlowAlloca
         .collect()
 }
 
+/// One fluid (flow-level) demand between two nodes: an aggregate offered
+/// rate standing in for `weight` modelled clients. The reference oracle for
+/// the emulation's hybrid fluid/packet fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluidSpec {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Aggregate offered rate (the demand bound).
+    pub demand: DataRate,
+    /// Max-min weight: how many clients the aggregate stands in for.
+    pub weight: u32,
+}
+
+/// Computes the **weighted, demand-bounded** max-min fair share for a set of
+/// fluid demands routed along latency-shortest paths, by progressive
+/// filling in floating point — deliberately a different arithmetic (and a
+/// different implementation) from the emulation's integer water-fill, so
+/// agreement between the two carries evidence.
+///
+/// The fill level rises uniformly; each flow's rate grows at `weight ×`
+/// the level until its demand is met or a link it crosses saturates.
+/// Unroutable flows get zero; zero-hop (same-node) flows get their demand.
+pub fn fluid_max_min(topo: &Topology, flows: &[FluidSpec]) -> Vec<FlowAllocation> {
+    let routes: Vec<Option<Vec<LinkId>>> = flows
+        .iter()
+        .map(|f| shortest_path(topo, f.src, f.dst, PathMetric::Latency).map(|p| p.links))
+        .collect();
+
+    let link_count = topo.link_count();
+    let mut remaining: Vec<f64> = (0..link_count)
+        .map(|l| {
+            topo.link(LinkId(l))
+                .expect("link exists")
+                .attrs
+                .bandwidth
+                .as_bps() as f64
+        })
+        .collect();
+
+    let mut rate = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    for (fi, route) in routes.iter().enumerate() {
+        match route {
+            None => frozen[fi] = true,
+            Some(links) if links.is_empty() => {
+                frozen[fi] = true;
+                rate[fi] = flows[fi].demand.as_bps() as f64;
+            }
+            _ => {}
+        }
+    }
+
+    loop {
+        // Per-link weight sums over the unfrozen flows crossing them.
+        let mut wsum = vec![0.0f64; link_count];
+        let mut any = false;
+        for (fi, route) in routes.iter().enumerate() {
+            if frozen[fi] {
+                continue;
+            }
+            any = true;
+            for l in route.as_ref().expect("unfrozen flows are routed") {
+                wsum[l.index()] += flows[fi].weight as f64;
+            }
+        }
+        if !any {
+            break;
+        }
+        // The uniform fill increment: bounded by every crossed link's
+        // residual share and every flow's remaining demand headroom.
+        let mut inc = f64::INFINITY;
+        for (fi, route) in routes.iter().enumerate() {
+            if frozen[fi] {
+                continue;
+            }
+            let w = flows[fi].weight as f64;
+            for l in route.as_ref().expect("unfrozen flows are routed") {
+                inc = inc.min(remaining[l.index()] / wsum[l.index()]);
+            }
+            inc = inc.min((flows[fi].demand.as_bps() as f64 - rate[fi]) / w);
+        }
+        // Grant it, then freeze demand-met flows and flows on saturated
+        // links; every round freezes at least one flow.
+        for (fi, route) in routes.iter().enumerate() {
+            if frozen[fi] {
+                continue;
+            }
+            let w = flows[fi].weight as f64;
+            rate[fi] += inc * w;
+            for l in route.as_ref().expect("unfrozen flows are routed") {
+                remaining[l.index()] = (remaining[l.index()] - inc * w).max(0.0);
+            }
+            if rate[fi] >= flows[fi].demand.as_bps() as f64 - 1e-6 {
+                frozen[fi] = true;
+            }
+        }
+        for (fi, route) in routes.iter().enumerate() {
+            if frozen[fi] {
+                continue;
+            }
+            if route
+                .as_ref()
+                .expect("unfrozen flows are routed")
+                .iter()
+                .any(|l| remaining[l.index()] < 1e-6 * wsum[l.index()].max(1.0))
+            {
+                frozen[fi] = true;
+            }
+        }
+    }
+
+    flows
+        .iter()
+        .enumerate()
+        .map(|(fi, &flow)| {
+            let (latency, hops) = match &routes[fi] {
+                Some(links) => {
+                    let lat: SimDuration = links
+                        .iter()
+                        .map(|&l| topo.link(l).expect("link exists").attrs.latency)
+                        .sum();
+                    (lat, links.len())
+                }
+                None => (SimDuration::ZERO, 0),
+            };
+            FlowAllocation {
+                flow: FlowSpec {
+                    src: flow.src,
+                    dst: flow.dst,
+                },
+                rate: DataRate::from_bps(rate[fi].round() as u64),
+                latency,
+                hops,
+            }
+        })
+        .collect()
+}
+
 /// Convenience: the latency-shortest one-way delay between two nodes, or
 /// `None` if unreachable. The ACDC comparison uses this as its latency
 /// oracle.
@@ -439,6 +579,119 @@ mod tests {
         let alloc = max_min_fair_share(&snapshot, &[FlowSpec { src: a, dst: b }]);
         assert_eq!(alloc[0].rate, DataRate::ZERO);
         assert_eq!(alloc[0].hops, 0);
+    }
+
+    #[test]
+    fn fluid_weighted_shares_split_the_bottleneck_by_weight() {
+        // Two aggregates with weights 1 and 2 share a 9 Mb/s pipe; neither
+        // demand binds, so shares are 3 and 6 Mb/s.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let b = topo.add_node(NodeKind::Client);
+        topo.add_link(
+            a,
+            b,
+            LinkAttrs::new(DataRate::from_mbps(9), SimDuration::from_millis(1)),
+        )
+        .unwrap();
+        let flows = [
+            FluidSpec {
+                src: a,
+                dst: b,
+                demand: DataRate::from_mbps(100),
+                weight: 1,
+            },
+            FluidSpec {
+                src: a,
+                dst: b,
+                demand: DataRate::from_mbps(100),
+                weight: 2,
+            },
+        ];
+        let alloc = fluid_max_min(&topo, &flows);
+        assert_eq!(alloc[0].rate, DataRate::from_mbps(3));
+        assert_eq!(alloc[1].rate, DataRate::from_mbps(6));
+    }
+
+    #[test]
+    fn fluid_demand_bound_frees_capacity_for_the_hungry_flow() {
+        // A 2 Mb/s demand on a 10 Mb/s pipe caps itself; the competing
+        // unbounded flow absorbs the remaining 8 Mb/s even at equal weight.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let b = topo.add_node(NodeKind::Client);
+        topo.add_link(
+            a,
+            b,
+            LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1)),
+        )
+        .unwrap();
+        let flows = [
+            FluidSpec {
+                src: a,
+                dst: b,
+                demand: DataRate::from_mbps(2),
+                weight: 1,
+            },
+            FluidSpec {
+                src: a,
+                dst: b,
+                demand: DataRate::from_mbps(100),
+                weight: 1,
+            },
+        ];
+        let alloc = fluid_max_min(&topo, &flows);
+        assert_eq!(alloc[0].rate, DataRate::from_mbps(2));
+        assert_eq!(alloc[1].rate, DataRate::from_mbps(8));
+    }
+
+    #[test]
+    fn fluid_multi_hop_flows_are_held_by_their_tightest_pipe() {
+        // a → r at 10 Mb/s, r → b at 2 Mb/s: the aggregate is held to
+        // 2 Mb/s regardless of weight; same-node flows pass their demand;
+        // unroutable flows get zero.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let r = topo.add_node(NodeKind::Stub);
+        let b = topo.add_node(NodeKind::Client);
+        let lone = topo.add_node(NodeKind::Client);
+        topo.add_link(
+            a,
+            r,
+            LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1)),
+        )
+        .unwrap();
+        topo.add_link(
+            r,
+            b,
+            LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(1)),
+        )
+        .unwrap();
+        let flows = [
+            FluidSpec {
+                src: a,
+                dst: b,
+                demand: DataRate::from_mbps(50),
+                weight: 1000,
+            },
+            FluidSpec {
+                src: a,
+                dst: a,
+                demand: DataRate::from_mbps(7),
+                weight: 1,
+            },
+            FluidSpec {
+                src: a,
+                dst: lone,
+                demand: DataRate::from_mbps(5),
+                weight: 1,
+            },
+        ];
+        let alloc = fluid_max_min(&topo, &flows);
+        assert_eq!(alloc[0].rate, DataRate::from_mbps(2));
+        assert_eq!(alloc[0].hops, 2);
+        assert_eq!(alloc[1].rate, DataRate::from_mbps(7));
+        assert_eq!(alloc[2].rate, DataRate::ZERO);
     }
 
     #[test]

@@ -13,19 +13,21 @@
 //!   copy-on-write publish bumps one reference count per chunk instead of
 //!   deep-copying every route.
 //! * `rows` — one row shard per source endpoint mapping a destination
-//!   endpoint index to its raw `RouteId`, page-grouped into shared blocks
-//!   of [`BLOCK_ROWS`] rows. A row stores only the window
-//!   `[base, base + width)` that actually holds routable destinations:
-//!   narrow windows (≤ 4 entries) are kept inline in the block with no
-//!   heap allocation at all, wider windows spill to a shared `Arc<[u32]>`.
-//!   Endpoints bound to the same topology location have identical rows and
-//!   share **one** allocation — route-state memory is
-//!   O(locations × endpoints), not O(endpoints²), which is what lets tens
-//!   of thousands of VNs multiplex onto one emulation.
+//!   *column* (the destination's location slot) to its raw `RouteId`,
+//!   page-grouped into shared blocks of [`BLOCK_ROWS`] rows. A row stores
+//!   only the window `[base, base + width)` that actually holds routable
+//!   columns: narrow windows (≤ 4 entries) are kept inline in the block
+//!   with no heap allocation at all, wider windows spill to a shared
+//!   `Arc<[u32]>`. Because co-located endpoints share a **column** as well
+//!   as a row allocation, both axes compress: row width is bounded by the
+//!   location count, and route-state memory is O(locations²) plus one
+//!   dense column map — not O(endpoints²) — which is what lets tens of
+//!   thousands of VNs multiplex onto one emulation.
 //!
-//! The per-packet lookup is a fixed chain of indexed loads — block, row
-//! shard, slot (inline rows resolve the slot inside the already-loaded
-//! shard) — with no hashing, no allocation, and no data-dependent depth.
+//! The per-packet lookup is a fixed chain of indexed loads — destination
+//! column, block, row shard, slot (inline rows resolve the slot inside the
+//! already-loaded shard) — with no hashing, no allocation, and no
+//! data-dependent depth.
 //!
 //! **Reconfiguration is O(changed).** [`RouteTable::rewire_in_place`]
 //! patches only the row shards whose routes actually changed, and a
@@ -89,9 +91,12 @@ const BLOCK_ROWS: usize = 1024;
 /// genuinely new route content).
 const INDEX_FLATTEN_DEPTH: u32 = 16;
 
-/// One source endpoint's row shard: destination endpoint index → raw
-/// `RouteId`, stored as a dense window over the destinations that are
-/// actually routable.
+/// One source endpoint's row shard: destination *column* → raw `RouteId`,
+/// stored as a dense window over the columns that are actually routable.
+/// For built tables a column is a destination location slot — co-located
+/// endpoints share one column, so row width is bounded by the location
+/// count, not the endpoint count; hand-assembled tables use the identity
+/// mapping (column = endpoint index).
 #[derive(Debug, Clone)]
 enum RowShard {
     /// Every destination unroutable (also the [`RouteTable::new`] initial
@@ -199,11 +204,26 @@ impl RowShard {
     /// leaving the shard (and its shared allocation) untouched. Windows
     /// grow to cover newly routable destinations and are re-trimmed, so an
     /// oscillating link returns the row to its exact pre-failure form.
+    ///
+    /// When every routable patch lands inside the stored window, the
+    /// window cannot change and the patch takes an early-out: one slot
+    /// copy, patches written in place, no re-trim. Clearing patches keep
+    /// the stored bounds on this path — re-deriving them is an O(width)
+    /// normalisation that a flapping link would pay twice per flap, and a
+    /// kept window is semantically identical (interior gaps already read
+    /// as unroutable) while never exceeding the row's high-water width.
     fn patched(&self, patches: &[(usize, u32)]) -> Option<RowShard> {
         if patches.iter().all(|&(d, raw)| self.raw(d) == raw) {
             return None;
         }
         let (base, width) = self.window();
+        if width > 0
+            && patches
+                .iter()
+                .all(|&(d, raw)| raw == NO_ROUTE || d.wrapping_sub(base) < width)
+        {
+            return Some(self.patched_in_window(patches));
+        }
         let (mut lo, mut hi) = if width == 0 {
             (usize::MAX, 0)
         } else {
@@ -243,6 +263,46 @@ impl RowShard {
             }
         }
         Some(RowShard::from_window(lo, &scratch))
+    }
+
+    /// The window-unchanged early-out of [`RowShard::patched`]: every
+    /// routable patch is inside the stored window, so the shard keeps its
+    /// base and width — inline rows are patched in a register copy, spilled
+    /// rows in a single freshly allocated slot copy. Patches outside the
+    /// window are necessarily clearing ones and read as unroutable there
+    /// already, so they are skipped.
+    fn patched_in_window(&self, patches: &[(usize, u32)]) -> RowShard {
+        match self {
+            RowShard::Empty => unreachable!("the early-out requires a non-empty window"),
+            RowShard::Inline { base, len, slots } => {
+                let mut slots = *slots;
+                for &(d, raw) in patches {
+                    let i = d.wrapping_sub(*base as usize);
+                    if i < *len as usize {
+                        slots[i] = raw;
+                    }
+                }
+                RowShard::Inline {
+                    base: *base,
+                    len: *len,
+                    slots,
+                }
+            }
+            RowShard::Spilled { base, slots } => {
+                let mut copy: Arc<[u32]> = Arc::from(&slots[..]);
+                let buf = Arc::get_mut(&mut copy).expect("freshly allocated slot copy is unique");
+                for &(d, raw) in patches {
+                    let i = d.wrapping_sub(*base as usize);
+                    if i < buf.len() {
+                        buf[i] = raw;
+                    }
+                }
+                RowShard::Spilled {
+                    base: *base,
+                    slots: copy,
+                }
+            }
+        }
     }
 }
 
@@ -433,6 +493,11 @@ pub struct RouteTable {
     /// of [`BLOCK_ROWS`] rows: `rows[src / BLOCK_ROWS][src % BLOCK_ROWS]`.
     rows: Vec<Arc<[RowShard]>>,
     endpoint_count: usize,
+    /// Destination column of each endpoint: the location slot for built
+    /// tables (co-located endpoints share a column), the identity mapping
+    /// for hand-assembled ones. One dense load on the lookup path; shared
+    /// across generations.
+    cols: Arc<[u32]>,
     /// Content index over the store (pipe sequence → first id with that
     /// content), carried forward structurally so incremental rewires and
     /// rebuilds reuse any retained route — a restored link maps back to its
@@ -454,6 +519,7 @@ impl RouteTable {
             store: RouteStore::default(),
             rows: Self::blocks_from_flat(vec![RowShard::Empty; endpoint_count]),
             endpoint_count,
+            cols: (0..endpoint_count as u32).collect(),
             by_content: Arc::new(ContentIndex::default()),
             locs: Arc::new(LocationIndex::default()),
             version: 0,
@@ -488,8 +554,9 @@ impl RouteTable {
     /// Flattens a routing matrix for the given endpoint locations:
     /// `locations[i]` is the topology node endpoint `i` is bound to. Each
     /// distinct location pair's route is interned once, and every endpoint
-    /// bound to the same location shares **one** row shard — the pair
-    /// mapping costs O(locations × endpoints), not O(endpoints²).
+    /// bound to the same location shares **one** row shard whose columns
+    /// are location slots — the pair mapping costs O(locations²) plus a
+    /// dense per-endpoint column map, not O(endpoints²).
     /// Same-location pairs stay unroutable — callers deliver those locally
     /// without touching a route.
     pub fn build(matrix: &RoutingMatrix, locations: &[NodeId]) -> Self {
@@ -536,6 +603,7 @@ impl RouteTable {
             store,
             rows: Vec::new(),
             endpoint_count: n,
+            cols: locs.slot_of_endpoint.iter().copied().collect(),
             by_content,
             locs: Arc::clone(&locs),
             version,
@@ -549,7 +617,6 @@ impl RouteTable {
             .collect();
         let slots = locs.locations.len();
         let mut ids_by_slot = vec![NO_ROUTE; slots];
-        let mut scratch = vec![NO_ROUTE; n];
         // One reusable pipe buffer: the tree-only matrix walks each route
         // into it on demand, and only a content-index miss copies it out
         // (into the interned store) — no per-pair `Route` clones.
@@ -574,11 +641,11 @@ impl RouteTable {
                     any = true;
                 }
             }
+            // Rows are indexed by destination location slot, so the window
+            // just computed IS the row — no per-endpoint expansion, and row
+            // width is bounded by the location count.
             let row = if any {
-                for (e, &slot) in locs.slot_of_endpoint.iter().enumerate() {
-                    scratch[e] = ids_by_slot[slot as usize];
-                }
-                RowShard::from_window(0, &scratch)
+                RowShard::from_window(0, &ids_by_slot)
             } else {
                 RowShard::Empty
             };
@@ -615,10 +682,20 @@ impl RouteTable {
         if changed.is_empty() {
             return;
         }
-        if !self.locs.matches(locations) {
+        if self.locs.slot_of_endpoint.len() != self.endpoint_count {
             // Manually assembled table (RouteTable::new + set_pair): derive
             // the geometry on first rewire and keep it for the next ones.
             self.locs = Arc::new(LocationIndex::build(locations));
+        } else {
+            // Established geometry (build, or a prior derivation) is
+            // authoritative — callers must pass the same binding every
+            // time. The full element-wise check is O(endpoints), which
+            // would dominate an otherwise O(changed) rewire at high
+            // multiplexing, so it guards debug builds only.
+            debug_assert!(
+                self.locs.matches(locations),
+                "rewire_in_place locations must match the geometry the table was built over"
+            );
         }
         let locs = Arc::clone(&self.locs);
         // Group the changed pairs by source location slot, preserving the
@@ -662,25 +739,38 @@ impl RouteTable {
                     }
                     _ => NO_ROUTE,
                 };
+                // One patch per destination column: on a built table every
+                // endpoint at this location shares one column, so the 16×-
+                // multiplexed case costs the same single patch as the
+                // unmultiplexed one. Hand-assembled tables map columns to
+                // endpoints one-to-one, so the consecutive-dedup degrades
+                // to the per-endpoint patches they need.
+                let mut last_col = None;
                 for &e in &locs.endpoints[ds as usize] {
-                    patches.push((e as usize, raw));
+                    let col = self.cols[e as usize];
+                    if last_col != Some(col) {
+                        patches.push((col as usize, raw));
+                        last_col = Some(col);
+                    }
                 }
             }
             // Patch every source row at this location, computing the new
             // shard once and sharing it across every endpoint whose row
             // shared storage before (co-located sources stay deduped).
-            // Only blocks that actually hold a patched row are copied.
-            let mut cache: Option<(RowShard, RowShard)> = None;
+            // Only blocks that actually hold a patched row are copied. The
+            // cached outcome covers the no-op case too: when the first
+            // multiplexed row's window turns out unchanged, its co-located
+            // siblings skip the patch scan entirely instead of re-proving
+            // the no-op once per endpoint.
+            let mut cache: Option<(RowShard, Option<RowShard>)> = None;
             for &se in &locs.endpoints[ss as usize] {
                 let se = se as usize;
                 let row = self.row(se).expect("endpoint in range");
                 let replacement = match &cache {
-                    Some((old, new)) if old.same_storage(row) => Some(new.clone()),
+                    Some((old, outcome)) if old.same_storage(row) => outcome.clone(),
                     _ => {
                         let patched = row.patched(&patches);
-                        if let Some(patched) = &patched {
-                            cache = Some((row.clone(), patched.clone()));
-                        }
+                        cache = Some((row.clone(), patched.clone()));
                         patched
                     }
                 };
@@ -746,7 +836,9 @@ impl RouteTable {
 
     /// Wires an ordered endpoint pair to an interned route, growing the
     /// source row's window as needed (copy-on-write if its shard is
-    /// shared — other sources sharing the allocation are unaffected).
+    /// shared — other sources sharing the allocation are unaffected). The
+    /// destination resolves to its column, so on a built table the wire
+    /// covers every endpoint co-located with `dst`.
     ///
     /// # Panics
     ///
@@ -755,6 +847,7 @@ impl RouteTable {
         assert!(src < self.endpoint_count, "src endpoint out of range");
         assert!(dst < self.endpoint_count, "dst endpoint out of range");
         assert!(id.index() < self.store.len(), "route id out of range");
+        let dst = self.cols[dst] as usize;
         let patched = self.row(src).expect("src in range").patched(&[(dst, id.0)]);
         if let Some(patched) = patched {
             self.block_mut(src / BLOCK_ROWS)[src % BLOCK_ROWS] = patched;
@@ -763,13 +856,14 @@ impl RouteTable {
 
     /// The route for an ordered endpoint pair, or `None` if the pair is
     /// unroutable or either index is out of range. This is the per-packet
-    /// lookup: a fixed chain of indexed loads — block, row shard, slot
-    /// (inline rows resolve the slot inside the already-loaded shard) —
-    /// with no hashing and no allocation.
+    /// lookup: a fixed chain of indexed loads — destination column, block,
+    /// row shard, slot (inline rows resolve the slot inside the
+    /// already-loaded shard) — with no hashing and no allocation.
     #[inline]
     pub fn route_id(&self, src: usize, dst: usize) -> Option<RouteId> {
+        let col = *self.cols.get(dst)?;
         let row = self.row(src)?;
-        match row.raw(dst) {
+        match row.raw(col as usize) {
             NO_ROUTE => None,
             id => Some(RouteId(id)),
         }
@@ -883,6 +977,8 @@ impl RouteTable {
             }
             layer = l.parent.as_deref();
         }
+        // Destination column map.
+        mem.resident_bytes += self.cols.len() * 4 + ARC_HEADER;
         // Location geometry.
         let locs_bytes = self.locs.locations.capacity() * std::mem::size_of::<NodeId>()
             + self.locs.slot_of_endpoint.capacity() * 4
@@ -952,39 +1048,42 @@ mod tests {
     #[test]
     fn shared_locations_share_one_route_and_one_row() {
         let topo = ring_topology(&RingParams {
-            routers: 4,
+            routers: 6,
             clients_per_router: 1,
             ..RingParams::default()
         });
         let d = distill(&topo, DistillationMode::HopByHop);
         let matrix = RoutingMatrix::build(&d);
-        // Bind two endpoints to every location: 8 endpoints over 4 locations.
+        // Bind two endpoints to every location: 12 endpoints over 6 locations.
         let mut locations = d.vns().to_vec();
         locations.extend(d.vns().to_vec());
         let table = RouteTable::build(&matrix, &locations);
         let n = d.vns().len();
         // Endpoint i and i+n share a location, so (i, j) and (i+n, j) must
-        // resolve to the same interned route.
+        // resolve to the same interned route — and so must (i, j + n),
+        // since co-located destinations share a column.
         for i in 0..n {
             for j in 0..n {
                 if i == j {
                     continue;
                 }
                 assert_eq!(table.route_id(i, j), table.route_id(i + n, j));
+                assert_eq!(table.route_id(i, j), table.route_id(i, j + n));
             }
         }
         // Co-located endpoints share one row shard: same allocation, not a
-        // copy (8 endpoints wide rows -> spilled, so pointers are visible).
+        // copy (6-column rows -> spilled, so pointers are visible).
         for i in 0..n {
             assert!(table.row_storage_shared(&table, i));
             assert_eq!(table.spilled_row_ptr(i), table.spilled_row_ptr(i + n));
+            assert!(table.spilled_row_ptr(i).is_some(), "wide rows spill");
         }
         // Same-location pairs are unroutable (handled as local delivery).
         for i in 0..n {
             assert!(table.route_id(i, i + n).is_none());
         }
-        // 4 locations -> 12 distinct ordered location pairs, stored once each.
-        assert_eq!(table.route_count(), 12);
+        // 6 locations -> 30 distinct ordered location pairs, stored once each.
+        assert_eq!(table.route_count(), 30);
     }
 
     #[test]
@@ -1173,7 +1272,7 @@ mod tests {
         // Two endpoints per location share one shard; diverging one of them
         // by hand must not leak into its co-located peer.
         let topo = ring_topology(&RingParams {
-            routers: 4,
+            routers: 6,
             clients_per_router: 1,
             ..RingParams::default()
         });

@@ -123,7 +123,11 @@ fn steady_state_survives_a_bandwidth_renegotiation_without_allocating() {
 
     // A CBR injector on one spoke pipe runs through warm-up and the whole
     // measured window. 4096 bits every 2.097152 ms (16 wheel slots) keeps
-    // the injection pattern wheel-periodic too.
+    // the injection pattern wheel-periodic too. The episode rides the fluid
+    // machinery, so its recompute epoch is pinned to the same 16-slot
+    // period — the default 10 ms grid is incommensurate with the wheel and
+    // would leave slot high-water marks creeping through the run.
+    emu.set_fluid_epoch(mn_util::SimDuration::from_nanos(1 << 21));
     let cbr_pipe = mn_distill::PipeId(0);
     assert!(emu.set_pipe_cbr(
         cbr_pipe,
@@ -177,6 +181,100 @@ fn steady_state_survives_a_bandwidth_renegotiation_without_allocating() {
         delta, 0,
         "post-renegotiation steady state made {delta} heap allocations; \
          reconfiguration must keep the per-packet path allocation-free"
+    );
+}
+
+#[test]
+fn fluid_epochs_and_mid_run_resize_allocate_nothing() {
+    // The hybrid fast path's steady state: live fluid bulk flows force a
+    // fair-share recompute every epoch (the `advance_into` chop), and each
+    // recompute redistributes per-pipe demands to the cores. All of that —
+    // the water-fill solve, the goodput integrals, the residual updates —
+    // must ride retained scratch. A mid-run demand resize (the flash-crowd
+    // control operation) is held to the same bar: the resize call itself
+    // and the re-shared steady state after it allocate nothing.
+    let topo = star_topology(&StarParams {
+        clients: 64,
+        ..StarParams::default()
+    });
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(4, 1));
+    let mut emu =
+        MultiCoreEmulator::single_core(&d, matrix, &binding, HardwareProfile::unconstrained(), 7);
+    let vns: Vec<VnId> = binding.vns().collect();
+    let mut deliveries: Vec<mn_emucore::Delivery> = Vec::new();
+
+    // A 2.097152 ms epoch (16 wheel slots) keeps the recompute grid
+    // wheel-periodic and guarantees dozens of epochs inside the measured
+    // window, so the window exercises the chop + solve + redistribute path,
+    // not just plain ticking.
+    emu.set_fluid_epoch(mn_util::SimDuration::from_nanos(1 << 21));
+    assert!(emu.add_fluid_flow(
+        1,
+        vns[1],
+        vns[33],
+        mn_util::DataRate::from_mbps(4),
+        500_000,
+        SimTime::ZERO,
+    ));
+    assert!(emu.add_fluid_flow(
+        2,
+        vns[2],
+        vns[34],
+        mn_util::DataRate::from_mbps(2),
+        3,
+        SimTime::ZERO,
+    ));
+
+    let warmed = drive_aligned(&mut emu, &vns, &mut deliveries, 0, 30_000);
+    assert!(warmed > 0, "warm-up must deliver packets");
+
+    // Steady state with live fluid flows: epochs fire, rates re-solve,
+    // residuals update — zero allocations.
+    let before = alloc_calls();
+    let delivered = drive_aligned(&mut emu, &vns, &mut deliveries, 30_000, 5_000);
+    let delta = alloc_calls() - before;
+    assert!(delivered > 0, "steady state must deliver packets");
+    assert_eq!(
+        delta, 0,
+        "steady state with fluid epochs allocated {delta}x; \
+         the recompute path must run on retained scratch"
+    );
+
+    // Mid-run resize: the flash-crowd grows. The call settles integrals,
+    // re-solves the fair share and pushes changed residuals — in place.
+    const CADENCE_NS: u64 = 1 << 14;
+    let before = alloc_calls();
+    assert!(emu.resize_fluid_flow(
+        1,
+        mn_util::DataRate::from_mbps(6),
+        750_000,
+        SimTime::from_nanos(35_000 * CADENCE_NS),
+    ));
+    assert_eq!(alloc_calls() - before, 0, "resize_fluid_flow allocated");
+
+    // A short re-warm lets packet queues settle against the shrunken
+    // residual, after which the resized steady state is allocation-free.
+    let _ = drive_aligned(&mut emu, &vns, &mut deliveries, 35_000, 10_000);
+    let before = alloc_calls();
+    let delivered = drive_aligned(&mut emu, &vns, &mut deliveries, 45_000, 5_000);
+    let delta = alloc_calls() - before;
+    assert!(delivered > 0, "resized steady state must deliver packets");
+    assert_eq!(
+        delta, 0,
+        "post-resize steady state made {delta} heap allocations; \
+         fluid reconfiguration must keep the hybrid path allocation-free"
+    );
+
+    // The fluid machinery really ran: both flows integrated goodput and the
+    // modelled population is the resized one.
+    assert!(emu.fluid_flow_goodput_bytes(1).unwrap() > 0);
+    assert!(emu.fluid_flow_goodput_bytes(2).unwrap() > 0);
+    assert_eq!(emu.fluid().modelled_clients(), 750_003);
+    assert!(
+        emu.total_stats().fluid_modelled_bytes > 0,
+        "cores metered fluid-consumed capacity"
     );
 }
 
