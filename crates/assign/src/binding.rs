@@ -199,6 +199,25 @@ impl Binding {
     }
 }
 
+/// Entry-core choice for a VN joining a running emulation: the least-loaded
+/// core, lowest index breaking ties. Deterministic in the load vector alone,
+/// so both execution backends assign identical entry cores from identical
+/// churn histories.
+///
+/// # Panics
+///
+/// Panics if `loads` is empty.
+pub fn least_loaded(loads: &[u32]) -> usize {
+    assert!(!loads.is_empty(), "need at least one core");
+    let mut best = 0;
+    for (i, &load) in loads.iter().enumerate().skip(1) {
+        if load < loads[best] {
+            best = i;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +294,13 @@ mod tests {
         assert_eq!(b.thread_affinity(CoreId(2)), Some(6));
         // Out-of-range cores have no hint.
         assert_eq!(b.thread_affinity(CoreId(3)), None);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_toward_the_lowest_index() {
+        assert_eq!(least_loaded(&[3, 1, 2, 1]), 1);
+        assert_eq!(least_loaded(&[0, 0, 0]), 0);
+        assert_eq!(least_loaded(&[5]), 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod binding;
 pub mod config;
 pub mod partition;
 
-pub use binding::{Binding, BindingParams, EdgeNodeId};
+pub use binding::{least_loaded, Binding, BindingParams, EdgeNodeId};
 pub use config::{
     core_configs, edge_configs, render_core_config, render_edge_config, CoreConfig, EdgeConfig,
 };

@@ -1,0 +1,195 @@
+//! Live-churn cost: VN join/leave latency and route-state residency.
+//!
+//! PR 8's acceptance target: a join or leave completes **without a full
+//! rebuild** — O(affected rows/trees) work, flat in the total VN count.
+//! Three measurements against overlays of 4096/8192/16384 endpoints
+//! multiplexed over a 512-location ring (64 routers × 8 clients):
+//!
+//! * `churn_cycle_shared_<n>_vns` — one full leave + rejoin cycle of an
+//!   endpoint that shares its location with other endpoints: the departing
+//!   row shard is unbound and rebound in a copy-on-write route-table
+//!   generation, while the location's source tree stays resident. This is
+//!   the common case at high multiplexing and must stay flat as the total
+//!   VN count quadruples.
+//! * `churn_cycle_singleton_<n>_vns` — the same cycle for the only
+//!   endpoint at its location: the leave retires the source tree, the
+//!   rejoin recomputes it (one Dijkstra over the component, O(component
+//!   log component)). Costlier than the shared cycle, but still
+//!   independent of the total VN count.
+//! * `full_rebuild_<n>_vns` — `RoutingMatrix::build` + `RouteTable::build`
+//!   from scratch at the same size: the baseline a naive implementation
+//!   would pay per churn event. The shared cycle must beat it by >= 20x.
+//!
+//! Residency under churn is measured with the counting global allocator
+//! (bytes measured, not estimated): the allocator delta across 256
+//! leave/rejoin cycles, divided out per cycle. Copy-on-write generations
+//! retire as soon as no descriptor pins them, so per-cycle growth must be
+//! bounded by the affected rows — flat in the total VN count — not by the
+//! route state as a whole.
+//!
+//! `shape_holds` in `BENCH_churn.json` asserts: both cycle flavours at
+//! 16384 VNs within 3x of their 4096-VN cost (flat in VN count), the
+//! shared cycle at least 20x cheaper than the full rebuild it replaces,
+//! and per-cycle allocator growth at 16384 VNs within 3x of (or within
+//! 4 KiB of) the 4096-VN growth.
+
+use std::time::Instant;
+
+use mn_assign::{Binding, BindingParams};
+use mn_distill::{distill, DistillationMode};
+use mn_emucore::{HardwareProfile, MultiCoreEmulator};
+use mn_packet::VnId;
+use mn_routing::{RouteTable, RoutingMatrix};
+use mn_topology::generators::{ring_topology, RingParams};
+use mn_topology::NodeId;
+use mn_util::SimTime;
+
+#[global_allocator]
+static ALLOC: mn_util::alloc::CountingAlloc = mn_util::alloc::CountingAlloc;
+
+/// Total-VN sizes the cycle cost is swept over (flat-in-N acceptance).
+const SIZES: [usize; 3] = [4096, 8192, 16384];
+/// Leave/rejoin cycles in the residency measurement.
+const RESIDENCY_CYCLES: u64 = 256;
+/// The shared cycle must be at least this much cheaper than a rebuild.
+const REBUILD_ADVANTAGE: f64 = 20.0;
+
+struct SizeRow {
+    n: usize,
+    shared_ns: f64,
+    singleton_ns: f64,
+    rebuild_ns: f64,
+    growth_per_cycle: f64,
+}
+
+fn measure_size(n: usize) -> SizeRow {
+    let topo = ring_topology(&RingParams {
+        routers: 64,
+        clients_per_router: 8,
+        ..RingParams::default()
+    });
+    let d = distill(&topo, DistillationMode::HopByHop);
+    let base: Vec<NodeId> = d.vns().to_vec();
+    // All but the last endpoint multiplex over 511 locations; the last is
+    // alone at the 512th, so its churn exercises tree retire/recompute.
+    let mut locations: Vec<NodeId> = (0..n - 1).map(|i| base[i % (base.len() - 1)]).collect();
+    locations.push(base[base.len() - 1]);
+    let binding = Binding::bind(&locations, &BindingParams::new(4, 1));
+    let matrix = RoutingMatrix::build(&d);
+    let mut emu =
+        MultiCoreEmulator::single_core(&d, matrix, &binding, HardwareProfile::unconstrained(), 7);
+
+    let shared_vn = VnId(0);
+    let shared_loc = locations[0];
+    let singleton_vn = VnId((n - 1) as u32);
+    let singleton_loc = locations[n - 1];
+    let mut clock = 0u64;
+    let mut cycle = |emu: &mut MultiCoreEmulator, vn: VnId, loc: NodeId| {
+        clock += 2;
+        assert!(emu.vn_leave(vn, SimTime::from_nanos(clock - 1)));
+        assert!(emu.vn_join(&d, vn, loc, SimTime::from_nanos(clock)));
+    };
+
+    let mut time_cycles = |emu: &mut MultiCoreEmulator, vn: VnId, loc: NodeId, iters: u64| -> f64 {
+        for _ in 0..64 {
+            cycle(emu, vn, loc);
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            cycle(emu, vn, loc);
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+    let shared_ns = time_cycles(&mut emu, shared_vn, shared_loc, 2048);
+    let singleton_ns = time_cycles(&mut emu, singleton_vn, singleton_loc, 512);
+
+    // Residency under sustained churn: allocator delta per shared cycle.
+    let before = mn_util::alloc::bytes_in_use();
+    for _ in 0..RESIDENCY_CYCLES {
+        cycle(&mut emu, shared_vn, shared_loc);
+    }
+    let growth = mn_util::alloc::bytes_in_use().saturating_sub(before);
+    let growth_per_cycle = growth as f64 / RESIDENCY_CYCLES as f64;
+
+    // The naive alternative: rebuild the matrix and table from scratch.
+    let rebuild_iters = 8u64;
+    let start = Instant::now();
+    for _ in 0..rebuild_iters {
+        let matrix = RoutingMatrix::build(&d);
+        let table = RouteTable::build(&matrix, &locations);
+        std::hint::black_box((&matrix, &table));
+    }
+    let rebuild_ns = start.elapsed().as_nanos() as f64 / rebuild_iters as f64;
+
+    SizeRow {
+        n,
+        shared_ns,
+        singleton_ns,
+        rebuild_ns,
+        growth_per_cycle,
+    }
+}
+
+fn main() {
+    if criterion::invoked_as_test() {
+        return;
+    }
+    let rows: Vec<SizeRow> = SIZES.iter().map(|&n| measure_size(n)).collect();
+    for row in &rows {
+        println!(
+            "{:>6} vns: shared cycle {:>9.0} ns, singleton cycle {:>9.0} ns, \
+             full rebuild {:>11.0} ns ({:.0}x the shared cycle), \
+             {:>6.0} B/cycle resident growth",
+            row.n,
+            row.shared_ns,
+            row.singleton_ns,
+            row.rebuild_ns,
+            row.rebuild_ns / row.shared_ns,
+            row.growth_per_cycle,
+        );
+    }
+
+    let first = &rows[0];
+    let last = &rows[rows.len() - 1];
+    let shared_flat = last.shared_ns <= 3.0 * first.shared_ns;
+    let singleton_flat = last.singleton_ns <= 3.0 * first.singleton_ns;
+    let beats_rebuild = last.shared_ns * REBUILD_ADVANTAGE <= last.rebuild_ns;
+    let growth_flat = last.growth_per_cycle
+        <= (3.0 * first.growth_per_cycle).max(first.growth_per_cycle + 4096.0);
+    println!(
+        "shared cycle grows {:.2}x and singleton {:.2}x across a 4x VN increase \
+         (flat wants <= 3); shared cycle is {:.0}x cheaper than a rebuild \
+         (wants >= {REBUILD_ADVANTAGE:.0}); per-cycle growth {:.0} -> {:.0} B",
+        last.shared_ns / first.shared_ns,
+        last.singleton_ns / first.singleton_ns,
+        last.rebuild_ns / last.shared_ns,
+        first.growth_per_cycle,
+        last.growth_per_cycle,
+    );
+
+    let shape_holds = shared_flat && singleton_flat && beats_rebuild && growth_flat;
+    let mut report = mn_bench::report::Report::new("churn", shape_holds);
+    for row in &rows {
+        report = report
+            .with_series(
+                format!("churn_cycle_shared_{}_vns", row.n),
+                vec![(2048.0, row.shared_ns)],
+            )
+            .with_series(
+                format!("churn_cycle_singleton_{}_vns", row.n),
+                vec![(512.0, row.singleton_ns)],
+            )
+            .with_series(
+                format!("full_rebuild_{}_vns", row.n),
+                vec![(8.0, row.rebuild_ns)],
+            )
+            .with_series(
+                format!("mem/churn_growth_bytes_per_cycle_{}_vns", row.n),
+                vec![(RESIDENCY_CYCLES as f64, row.growth_per_cycle)],
+            );
+    }
+    match report.write_json("BENCH_churn") {
+        Ok(path) => println!("bench report written to {path} (shape_holds: {shape_holds})"),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
+}

@@ -79,8 +79,11 @@ impl Experiment {
     }
 
     /// Sets the cadence at which fluid (flow-level) fair shares are
-    /// re-solved while bulk flows are live (default: 10 ms). Shorter epochs
-    /// track transients more closely; longer epochs cost less.
+    /// re-solved while bulk flows are live (default: 2^23 ns ≈ 8.4 ms, a
+    /// whole number of timer-wheel slots). The cadence is rounded down to
+    /// wheel-slot granularity so epoch deadlines stay on the slot grid.
+    /// Shorter epochs track transients more closely; longer epochs cost
+    /// less.
     pub fn fluid_epoch(mut self, epoch: mn_util::SimDuration) -> Self {
         self.fluid_epoch = Some(epoch);
         self

@@ -251,6 +251,48 @@ impl EmulatorBackend {
             EmulatorBackend::Threaded(emu) => emu.fluid(),
         }
     }
+
+    /// Joins a VN at a client location of `topo` mid-run: its source tree
+    /// and row shard are added incrementally — no full route rebuild — and
+    /// it enters through the least-loaded core.
+    pub fn vn_join(
+        &mut self,
+        topo: &mn_distill::DistilledTopology,
+        vn: VnId,
+        location: mn_topology::NodeId,
+        at: SimTime,
+    ) -> bool {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.vn_join(topo, vn, location, at),
+            EmulatorBackend::Threaded(emu) => emu.vn_join(topo, vn, location, at),
+        }
+    }
+
+    /// Removes a VN mid-run. New traffic touching it is refused at once;
+    /// in-flight descriptors drain on their pre-departure routes and its
+    /// fluid flows are torn down.
+    pub fn vn_leave(&mut self, vn: VnId, at: SimTime) -> bool {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.vn_leave(vn, at),
+            EmulatorBackend::Threaded(emu) => emu.vn_leave(vn, at),
+        }
+    }
+
+    /// `true` while a VN is an active member of the emulation.
+    pub fn vn_is_active(&self, vn: VnId) -> bool {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.vn_is_active(vn),
+            EmulatorBackend::Threaded(emu) => emu.vn_is_active(vn),
+        }
+    }
+
+    /// Number of currently active VNs.
+    pub fn active_vn_count(&self) -> usize {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.active_vn_count(),
+            EmulatorBackend::Threaded(emu) => emu.active_vn_count(),
+        }
+    }
 }
 
 /// The execution backends are what the dynamics engine reconfigures: both
@@ -301,6 +343,20 @@ impl mn_dynamics::DynamicsTarget for EmulatorBackend {
 
     fn remove_fluid_flow(&mut self, tag: u64, at: SimTime) -> bool {
         EmulatorBackend::remove_fluid_flow(self, tag, at)
+    }
+
+    fn vn_join(
+        &mut self,
+        topo: &mn_distill::DistilledTopology,
+        vn: VnId,
+        location: mn_topology::NodeId,
+        at: SimTime,
+    ) -> bool {
+        EmulatorBackend::vn_join(self, topo, vn, location, at)
+    }
+
+    fn vn_leave(&mut self, vn: VnId, at: SimTime) -> bool {
+        EmulatorBackend::vn_leave(self, vn, at)
     }
 }
 

@@ -22,6 +22,7 @@ use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
 use mn_packet::VnId;
 use mn_pipe::CbrConfig;
 use mn_routing::RouteUpdate;
+use mn_topology::NodeId;
 use mn_util::{DataRate, SimTime};
 
 use crate::schedule::{Schedule, ScheduleEvent};
@@ -71,6 +72,26 @@ pub trait DynamicsTarget {
     fn remove_fluid_flow(&mut self, _tag: u64, _at: SimTime) -> bool {
         false
     }
+
+    /// Binds a VN at a client location of `topo` and starts routing for
+    /// it, incrementally (no full route rebuild). Targets without live
+    /// endpoint churn reject the event (the default).
+    fn vn_join(
+        &mut self,
+        _topo: &DistilledTopology,
+        _vn: VnId,
+        _location: NodeId,
+        _at: SimTime,
+    ) -> bool {
+        false
+    }
+
+    /// Removes a VN at `at`. New traffic to or from it is refused from
+    /// this apply point on; in-flight descriptors drain on their
+    /// pre-departure routes.
+    fn vn_leave(&mut self, _vn: VnId, _at: SimTime) -> bool {
+        false
+    }
 }
 
 /// What one [`ScheduleEngine::apply_due`] call did.
@@ -84,6 +105,8 @@ pub struct AppliedChanges {
     pub cbr_changes: usize,
     /// Fluid flows started, resized or stopped.
     pub fluid_changes: usize,
+    /// VNs joined or departed.
+    pub vn_changes: usize,
     /// The routing update, if any applied change required one.
     pub reroute: Option<RouteUpdate>,
 }
@@ -270,6 +293,19 @@ impl ScheduleEngine {
                         applied.fluid_changes += 1;
                     }
                 }
+                ScheduleEvent::VnJoin { vn, location } => {
+                    // The engine's authoritative graph carries every
+                    // applied pipe change, so the newcomer's source tree
+                    // is computed against current attributes.
+                    if target.vn_join(&self.topo, vn, location, at) {
+                        applied.vn_changes += 1;
+                    }
+                }
+                ScheduleEvent::VnLeave { vn } => {
+                    if target.vn_leave(vn, at) {
+                        applied.vn_changes += 1;
+                    }
+                }
             }
         }
         if !self.changed.is_empty() {
@@ -322,6 +358,7 @@ mod tests {
         cbr: Vec<(PipeId, Option<CbrConfig>, SimTime)>,
         reroutes: Vec<Vec<PipeId>>,
         fluid: Vec<(u64, SimTime)>,
+        churn: Vec<(VnId, Option<NodeId>, SimTime)>,
     }
 
     impl DynamicsTarget for MockTarget {
@@ -361,6 +398,20 @@ mod tests {
         }
         fn remove_fluid_flow(&mut self, tag: u64, at: SimTime) -> bool {
             self.fluid.push((tag, at));
+            true
+        }
+        fn vn_join(
+            &mut self,
+            _topo: &DistilledTopology,
+            vn: VnId,
+            location: NodeId,
+            at: SimTime,
+        ) -> bool {
+            self.churn.push((vn, Some(location), at));
+            true
+        }
+        fn vn_leave(&mut self, vn: VnId, at: SimTime) -> bool {
+            self.churn.push((vn, None, at));
             true
         }
     }
@@ -529,6 +580,51 @@ mod tests {
         let applied = engine.apply_due(t(5), &mut NoFluid);
         assert_eq!(applied.events, 1);
         assert_eq!(applied.fluid_changes, 0);
+    }
+
+    #[test]
+    fn vn_churn_events_reach_the_target_in_schedule_order() {
+        let d = graph();
+        let t = SimTime::from_secs;
+        let loc = *d.vns().first().expect("graph has client nodes");
+        let schedule = Schedule::new()
+            .vn_join(t(1), VnId(40), loc)
+            .vn_leave(t(2), VnId(40))
+            .vn_join(t(2), VnId(41), loc);
+        let mut engine = ScheduleEngine::new(d, schedule);
+        let mut target = MockTarget::default();
+        let applied = engine.apply_due(t(1), &mut target);
+        assert_eq!(applied.vn_changes, 1);
+        // Applied late, the leave and the second join still land in
+        // schedule order with their scheduled times.
+        let applied = engine.apply_due(t(5), &mut target);
+        assert_eq!(applied.vn_changes, 2);
+        assert!(applied.reroute.is_none(), "churn does not batch a reroute");
+        assert_eq!(
+            target.churn,
+            vec![
+                (VnId(40), Some(loc), t(1)),
+                (VnId(40), None, t(2)),
+                (VnId(41), Some(loc), t(2)),
+            ]
+        );
+        // Targets without churn support reject the events: nothing counted.
+        let mut engine = ScheduleEngine::new(graph(), Schedule::new().vn_join(t(1), VnId(7), loc));
+        struct NoChurn;
+        impl DynamicsTarget for NoChurn {
+            fn update_pipe_attrs(&mut self, _: PipeId, _: PipeAttrs) -> bool {
+                true
+            }
+            fn set_pipe_cbr(&mut self, _: PipeId, _: Option<CbrConfig>, _: SimTime) -> bool {
+                true
+            }
+            fn reroute(&mut self, _: &DistilledTopology, _: &[PipeId]) -> RouteUpdate {
+                RouteUpdate::default()
+            }
+        }
+        let applied = engine.apply_due(t(5), &mut NoChurn);
+        assert_eq!(applied.events, 1);
+        assert_eq!(applied.vn_changes, 0);
     }
 
     #[test]

@@ -94,6 +94,25 @@ pub enum ScheduleEvent {
         /// The flow to stop.
         tag: u64,
     },
+    /// Bind a new (or previously departed) VN at a client location and
+    /// start routing for it: the location's source tree is added to the
+    /// routing matrix if absent, the VN's row shard is inserted into the
+    /// route table, and an entry core is assigned — all incrementally,
+    /// without a full rebuild.
+    VnJoin {
+        /// The VN joining the emulation.
+        vn: VnId,
+        /// The topology client node it binds to.
+        location: NodeId,
+    },
+    /// Remove a VN from the emulation. New traffic to or from it is
+    /// refused immediately; descriptors already in flight drain
+    /// deterministically on their pre-departure routes (route ids stay
+    /// valid across the departure).
+    VnLeave {
+        /// The VN departing.
+        vn: VnId,
+    },
 }
 
 /// A virtual-time-ordered stream of reconfigurations.
@@ -208,6 +227,16 @@ impl Schedule {
         self.at(at, ScheduleEvent::FluidStop { tag })
     }
 
+    /// Schedules a VN join at a client location.
+    pub fn vn_join(self, at: SimTime, vn: VnId, location: NodeId) -> Self {
+        self.at(at, ScheduleEvent::VnJoin { vn, location })
+    }
+
+    /// Schedules a VN departure.
+    pub fn vn_leave(self, at: SimTime, vn: VnId) -> Self {
+        self.at(at, ScheduleEvent::VnLeave { vn })
+    }
+
     /// Folds concrete fault-injector output (see
     /// [`FaultInjector::perturb`](crate::FaultInjector::perturb)) into the
     /// schedule as in-place re-parameterisations.
@@ -311,8 +340,10 @@ mod tests {
             .cbr_stop(t, PipeId(2))
             .fluid_start(t, 7, VnId(0), VnId(1), DataRate::from_mbps(4), 100)
             .fluid_resize(t, 7, DataRate::from_mbps(2), 50)
-            .fluid_stop(t, 7);
-        assert_eq!(schedule.len(), 12);
+            .fluid_stop(t, 7)
+            .vn_join(t, VnId(9), NodeId(5))
+            .vn_leave(t, VnId(9));
+        assert_eq!(schedule.len(), 14);
         assert!(!schedule.is_empty());
         assert_eq!(schedule.times(), vec![t]);
     }

@@ -82,6 +82,11 @@ pub struct CoreStats {
     pub bytes_out: u64,
     /// Background CBR cross-traffic packets injected into local pipes.
     pub cbr_injected: u64,
+    /// Descriptors dropped because their next pipe was a failed link
+    /// (configured bandwidth zero, e.g. after a `NodeDown` event). Without
+    /// this counter such packets would vanish from the per-core ledger:
+    /// admitted but never delivered, tunnelled or physically dropped.
+    pub dropped_unreachable: u64,
     /// Bytes of traffic modelled at flow level (fluid) on this core's
     /// pipes: the per-pipe fluid demand integrated over virtual time.
     pub fluid_modelled_bytes: u64,
@@ -111,6 +116,7 @@ impl CoreStats {
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
         self.cbr_injected += other.cbr_injected;
+        self.dropped_unreachable += other.dropped_unreachable;
         self.fluid_modelled_bytes += other.fluid_modelled_bytes;
     }
 
@@ -585,6 +591,15 @@ impl EmulatorCore {
         };
         let size = descriptor.packet.size;
         if let Some(pipe) = self.pipes.get_mut(pipe_id.index()).and_then(Option::as_mut) {
+            // A failed link (bandwidth configured to zero, e.g. the pipe's
+            // far node is down) is unreachability, not congestion: count it
+            // so every admitted packet stays on the ledger. The skipped
+            // enqueue would have dropped before its first RNG draw, so the
+            // deterministic random stream is unchanged.
+            if pipe.attrs().bandwidth.is_zero() {
+                self.stats.dropped_unreachable += 1;
+                return IngressOutcome::VirtualDrop;
+            }
             match pipe.enqueue(at, size, descriptor, &mut self.rng) {
                 EnqueueOutcome::Accepted { exit_time } => {
                     self.wheel.push(exit_time, pipe_id);
@@ -693,6 +708,15 @@ impl EmulatorCore {
                     if let Some(next_pipe) =
                         self.pipes.get_mut(next.index()).and_then(Option::as_mut)
                     {
+                        if next_pipe.attrs().bandwidth.is_zero() {
+                            // The next hop is a failed link: the descriptor
+                            // can never cross it. Account for it instead of
+                            // letting it vanish (the skipped enqueue draws
+                            // no randomness before its own zero-bandwidth
+                            // drop, so determinism is preserved).
+                            self.stats.dropped_unreachable += 1;
+                            continue;
+                        }
                         let size = descriptor.packet.size;
                         if let EnqueueOutcome::Accepted { exit_time } =
                             next_pipe.enqueue(reentry, size, descriptor, &mut self.rng)
@@ -753,6 +777,7 @@ mod tests {
             bytes_in: seed * 23 + 8,
             bytes_out: seed * 29 + 9,
             cbr_injected: seed * 31 + 10,
+            dropped_unreachable: seed * 41 + 12,
             fluid_modelled_bytes: seed * 37 + 11,
         }
     }

@@ -25,10 +25,14 @@ use std::collections::HashMap;
 use mn_distill::PipeId;
 use mn_packet::VnId;
 use mn_routing::RouteTable;
-use mn_util::{DataRate, SimDuration, SimTime};
+use mn_util::{DataRate, SimDuration, SimTime, DEFAULT_WHEEL_QUANTUM};
 
-/// Default cadence at which fluid rates are recomputed while flows are live.
-pub const DEFAULT_FLUID_EPOCH: SimDuration = SimDuration::from_millis(10);
+/// Default cadence at which fluid rates are recomputed while flows are live:
+/// `2^23` ns ≈ 8.39 ms, exactly 64 default timer-wheel slots. A cadence
+/// commensurate with the wheel's slot grid keeps epoch timers landing on
+/// recycled slots; the old 10 ms default drifted across slot boundaries and
+/// made the wheel's high-water mark creep for the whole run.
+pub const DEFAULT_FLUID_EPOCH: SimDuration = SimDuration::from_nanos(1 << 23);
 
 /// Bit-nanoseconds per byte: the divisor turning a `bps × ns` integral into
 /// bytes.
@@ -126,9 +130,16 @@ impl FluidState {
     }
 
     /// Sets the rate-recompute cadence (effective from the next epoch).
+    ///
+    /// The cadence is rounded down to a non-zero multiple of the default
+    /// timer-wheel slot width so the epoch grid stays commensurate with the
+    /// wheel — an unaligned cadence makes every epoch timer land in a fresh
+    /// slot and the wheel's high-water mark creep without bound.
     pub fn set_epoch(&mut self, epoch: SimDuration) {
         if epoch > SimDuration::ZERO {
-            self.epoch = epoch;
+            let quantum = DEFAULT_WHEEL_QUANTUM.as_nanos();
+            let slots = (epoch.as_nanos() / quantum).max(1);
+            self.epoch = SimDuration::from_nanos(slots * quantum);
         }
     }
 
@@ -252,6 +263,23 @@ impl FluidState {
             self.index.insert(moved.key, slot);
         }
         true
+    }
+
+    /// Removes every routed fluid flow that sources from or sinks at `vn`
+    /// (a departed endpoint keeps no demand on the network). Returns the
+    /// number of flows removed; the caller follows up with
+    /// [`FluidState::recompute`] to redistribute the freed share.
+    pub fn remove_vn_flows(&mut self, vn: VnId, at: SimTime) -> usize {
+        let doomed: Vec<FlowKey> = self
+            .flows
+            .iter()
+            .filter(|f| matches!(f.kind, FlowKind::Route { src, dst } if src == vn || dst == vn))
+            .map(|f| f.key)
+            .collect();
+        for key in &doomed {
+            self.remove_key(*key, at);
+        }
+        doomed.len()
     }
 
     /// The rate allocated to a flow by the last solve.
@@ -631,6 +659,48 @@ mod tests {
         fluid.remove_flow(1, SimTime::from_millis(12));
         fluid.recompute(SimTime::from_millis(12), &routes);
         assert_eq!(fluid.next_epoch(), None);
+    }
+
+    #[test]
+    fn epoch_cadence_rounds_to_wheel_slot_granularity() {
+        let quantum = mn_util::DEFAULT_WHEEL_QUANTUM.as_nanos();
+        // The default itself sits on the slot grid.
+        assert_eq!(DEFAULT_FLUID_EPOCH.as_nanos() % quantum, 0);
+        let routes = table(&[(0, 1, vec![PipeId(0)])], 2);
+        let mut fluid = FluidState::new(vec![mbps(10).as_bps()]);
+        // 10 ms is not a multiple of the ~131 µs slot: rounds down to 76.
+        fluid.set_epoch(SimDuration::from_millis(10));
+        fluid.add_flow(1, VnId(0), VnId(1), mbps(1), 1, SimTime::ZERO);
+        fluid.recompute(SimTime::ZERO, &routes);
+        let epoch = fluid.next_epoch().unwrap() - SimTime::ZERO;
+        assert_eq!(epoch.as_nanos() % quantum, 0);
+        assert_eq!(epoch.as_nanos(), (10_000_000 / quantum) * quantum);
+        // Sub-slot cadences clamp up to one slot rather than zero.
+        fluid.set_epoch(SimDuration::from_nanos(1));
+        fluid.recompute(SimTime::from_millis(20), &routes);
+        let epoch = fluid.next_epoch().unwrap() - SimTime::from_millis(20);
+        assert_eq!(epoch.as_nanos(), quantum);
+    }
+
+    #[test]
+    fn departed_vn_flows_are_removed_in_bulk() {
+        let routes = table(&[(0, 1, vec![PipeId(0)]), (2, 3, vec![PipeId(0)])], 4);
+        let mut fluid = FluidState::new(vec![mbps(9).as_bps()]);
+        fluid.add_flow(1, VnId(0), VnId(1), mbps(100), 1, SimTime::ZERO);
+        fluid.add_flow(2, VnId(2), VnId(3), mbps(100), 2, SimTime::ZERO);
+        fluid.add_flow(3, VnId(1), VnId(2), mbps(100), 1, SimTime::ZERO);
+        fluid.set_cbr(PipeId(0), Some(mbps(1)), SimTime::ZERO);
+        fluid.recompute(SimTime::ZERO, &routes);
+        // VN 1 departs: flows 1 (dst) and 3 (src) go; flow 2 and CBR stay.
+        assert_eq!(fluid.remove_vn_flows(VnId(1), SimTime::ZERO), 2);
+        assert_eq!(fluid.flow_count(), 2);
+        assert_eq!(fluid.flow_rate(1), None);
+        assert_eq!(fluid.flow_rate(3), None);
+        fluid.recompute(SimTime::ZERO, &routes);
+        // The survivor takes the whole residual after the CBR episode.
+        assert_eq!(fluid.flow_rate(2), Some(mbps(8)));
+        // Removing for an uninvolved VN is a no-op.
+        assert_eq!(fluid.remove_vn_flows(VnId(0), SimTime::ZERO), 0);
     }
 
     #[test]

@@ -52,6 +52,98 @@ pub(crate) fn apply_route_change(
     update
 }
 
+/// The backend-independent half of a VN join: ensure the location has a
+/// source tree in the matrix (one component-scoped Dijkstra if it does
+/// not), bind the endpoint's row shard into the next route-table
+/// generation copy-on-write, and assign an entry core (least-loaded,
+/// lowest index — a pure function of the load vector, so identical churn
+/// histories yield identical assignments on both backends). Everything is
+/// coordinator-side; workers only ever see the published `Arc`.
+///
+/// Returns `false` (changing nothing) for an id that is already active or
+/// not the next fresh index, or a location outside the topology.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_vn_join(
+    matrix: &mut RoutingMatrix,
+    routes: &mut Arc<RouteTable>,
+    vn_location: &mut Vec<NodeId>,
+    vn_entry_core: &mut Vec<CoreId>,
+    vn_active: &mut Vec<bool>,
+    core_load: &mut [u32],
+    topo: &DistilledTopology,
+    vn: VnId,
+    location: NodeId,
+) -> bool {
+    let idx = vn.index();
+    if idx > vn_location.len() || location.index() >= topo.node_count() {
+        return false;
+    }
+    if idx < vn_location.len() && vn_active[idx] {
+        return false;
+    }
+    let added_tree = if matrix.vn_index(location).is_none() {
+        if !matrix.add_source(topo, location) {
+            return false;
+        }
+        true
+    } else {
+        false
+    };
+    let mut next = (**routes).clone();
+    if !next.bind_endpoint(matrix, idx, location) {
+        if added_tree {
+            matrix.remove_source(location);
+        }
+        return false;
+    }
+    let entry = CoreId(mn_assign::least_loaded(core_load));
+    core_load[entry.index()] += 1;
+    if idx == vn_location.len() {
+        vn_location.push(location);
+        vn_entry_core.push(entry);
+        vn_active.push(true);
+    } else {
+        vn_location[idx] = location;
+        vn_entry_core[idx] = entry;
+        vn_active[idx] = true;
+    }
+    *routes = Arc::new(next);
+    true
+}
+
+/// The backend-independent half of a VN leave: the endpoint's row shard is
+/// cleared in the next route-table generation (new traffic from it fails)
+/// and its entry-core load slot is released; if it was the last endpoint
+/// at its location the matrix source tree is removed too. Routes *toward*
+/// the departed endpoint — and every interned `RouteId` — are retained, so
+/// descriptors already in flight drain deterministically on their
+/// pre-departure routes. Returns `false` for an id that is not active.
+pub(crate) fn apply_vn_leave(
+    matrix: &mut RoutingMatrix,
+    routes: &mut Arc<RouteTable>,
+    vn_location: &[NodeId],
+    vn_entry_core: &[CoreId],
+    vn_active: &mut [bool],
+    core_load: &mut [u32],
+    vn: VnId,
+) -> bool {
+    let idx = vn.index();
+    if idx >= vn_active.len() || !vn_active[idx] {
+        return false;
+    }
+    let mut next = (**routes).clone();
+    if !next.unbind_endpoint(idx) {
+        return false;
+    }
+    vn_active[idx] = false;
+    core_load[vn_entry_core[idx].index()] -= 1;
+    if !next.has_endpoints_at(vn_location[idx]) {
+        matrix.remove_source(vn_location[idx]);
+    }
+    *routes = Arc::new(next);
+    true
+}
+
 /// Result of submitting a packet to the emulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitOutcome {
@@ -81,6 +173,8 @@ pub(crate) struct EmulatorParts {
     pub routes: Arc<RouteTable>,
     pub vn_location: Vec<NodeId>,
     pub vn_entry_core: Vec<CoreId>,
+    pub vn_active: Vec<bool>,
+    pub core_load: Vec<u32>,
     pub tunnels_in_flight: TimerWheel<(CoreId, Descriptor)>,
     pub local_deliveries: Vec<Delivery>,
     pub profile: HardwareProfile,
@@ -103,6 +197,13 @@ pub struct MultiCoreEmulator {
     vn_location: Vec<NodeId>,
     /// Entry core of each VN, indexed densely by `VnId`.
     vn_entry_core: Vec<CoreId>,
+    /// Live-membership flag of each VN, indexed densely by `VnId`. A VN
+    /// that left keeps its (stale) location and entry-core entries for
+    /// geometry consistency; only this flag gates traffic.
+    vn_active: Vec<bool>,
+    /// Number of active VNs entering through each core — the load vector
+    /// the join path's least-loaded entry-core assignment reads.
+    core_load: Vec<u32>,
     /// Tunnel descriptors in flight between cores, keyed by arrival time on
     /// the same O(1) timing wheel the cores schedule pipes on.
     tunnels_in_flight: TimerWheel<(CoreId, Descriptor)>,
@@ -159,6 +260,11 @@ impl MultiCoreEmulator {
             })
             .collect();
         let routes = Arc::new(RouteTable::build(&matrix, &vn_location));
+        let vn_active = vec![true; vn_location.len()];
+        let mut core_load = vec![0u32; pod.core_count()];
+        for core in &vn_entry_core {
+            core_load[core.index()] += 1;
+        }
         let mut cores: Vec<EmulatorCore> = (0..pod.core_count())
             .map(|c| {
                 EmulatorCore::new(
@@ -183,6 +289,8 @@ impl MultiCoreEmulator {
             routes,
             vn_location,
             vn_entry_core,
+            vn_active,
+            core_load,
             tunnels_in_flight: TimerWheel::new(),
             local_deliveries: Vec::new(),
             tick_buf: TickOutput::default(),
@@ -218,6 +326,8 @@ impl MultiCoreEmulator {
             routes: self.routes,
             vn_location: self.vn_location,
             vn_entry_core: self.vn_entry_core,
+            vn_active: self.vn_active,
+            core_load: self.core_load,
             tunnels_in_flight: self.tunnels_in_flight,
             local_deliveries: self.local_deliveries,
             profile: self.profile,
@@ -435,6 +545,88 @@ impl MultiCoreEmulator {
         self.vn_location.get(vn.index()).copied()
     }
 
+    /// `true` while a VN is an active member of the emulation.
+    pub fn vn_is_active(&self, vn: VnId) -> bool {
+        self.vn_active.get(vn.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of currently active VNs.
+    pub fn active_vn_count(&self) -> usize {
+        self.vn_active.iter().filter(|&&a| a).count()
+    }
+
+    /// The core a VN's traffic enters through.
+    pub fn vn_entry_core(&self, vn: VnId) -> Option<CoreId> {
+        self.vn_entry_core.get(vn.index()).copied()
+    }
+
+    /// Joins a VN at a client location of `topo` mid-run — a first-class
+    /// churn event, not a rebuild: the location's source tree is added to
+    /// the matrix if absent (O(component log component)), the endpoint's
+    /// row shard is bound into a copy-on-write route-table generation
+    /// (O(affected rows), flat in the total VN count), and the newcomer
+    /// enters through the least-loaded core. `vn` must be either a fresh
+    /// contiguous id (`VnId(n)` when `n` VNs exist) or a departed id
+    /// rejoining. Returns `false` (changing nothing) otherwise.
+    pub fn vn_join(
+        &mut self,
+        topo: &DistilledTopology,
+        vn: VnId,
+        location: NodeId,
+        at: SimTime,
+    ) -> bool {
+        if !apply_vn_join(
+            &mut self.matrix,
+            &mut self.routes,
+            &mut self.vn_location,
+            &mut self.vn_entry_core,
+            &mut self.vn_active,
+            &mut self.core_load,
+            topo,
+            vn,
+            location,
+        ) {
+            return false;
+        }
+        for core in &mut self.cores {
+            core.set_route_table(self.routes.clone());
+        }
+        self.fluid.mark_routes_dirty();
+        if self.fluid.has_flows() {
+            self.recompute_fluid(at);
+        }
+        true
+    }
+
+    /// Removes a VN from the emulation mid-run. New traffic to or from it
+    /// is refused from this instant; descriptors already in flight drain
+    /// deterministically on their pre-departure routes (every interned
+    /// `RouteId` survives the departure); its fluid flows are torn down
+    /// and their share returned to the network. Returns `false` when the
+    /// VN is not an active member.
+    pub fn vn_leave(&mut self, vn: VnId, at: SimTime) -> bool {
+        if !apply_vn_leave(
+            &mut self.matrix,
+            &mut self.routes,
+            &self.vn_location,
+            &self.vn_entry_core,
+            &mut self.vn_active,
+            &mut self.core_load,
+            vn,
+        ) {
+            return false;
+        }
+        for core in &mut self.cores {
+            core.set_route_table(self.routes.clone());
+        }
+        let removed = self.fluid.remove_vn_flows(vn, at);
+        self.fluid.mark_routes_dirty();
+        if removed > 0 || self.fluid.has_flows() {
+            self.recompute_fluid(at);
+        }
+        true
+    }
+
     /// Submits a packet emitted by its source VN's edge node at time `now`.
     ///
     /// This is the per-packet fast path: every lookup is an indexed array
@@ -449,6 +641,11 @@ impl MultiCoreEmulator {
         let Some(&dst_loc) = self.vn_location.get(dst_idx) else {
             return SubmitOutcome::NoRoute;
         };
+        // Departed endpoints refuse new traffic immediately (descriptors
+        // already inside the network still drain on their retained routes).
+        if !self.vn_active[src_idx] || !self.vn_active[dst_idx] {
+            return SubmitOutcome::NoRoute;
+        }
         if src_loc == dst_loc {
             // Both VNs bound to the same topology location: traffic never
             // crosses the emulated network (local loopback at the edge).
@@ -1155,5 +1352,179 @@ mod tests {
         if without.tunnels_out > 0 {
             assert!(with.bytes_out < without.bytes_out);
         }
+    }
+
+    #[test]
+    fn descriptors_toward_a_downed_node_are_counted_not_stranded() {
+        let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+            pairs: 1,
+            hops: 4,
+            bandwidth: DataRate::from_mbps(10),
+            end_to_end_latency: SimDuration::from_millis(10),
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, 1));
+        let pod = greedy_k_clusters(&d, 1, 7);
+        let third_hop = matrix.lookup(pairs[0].0, pairs[0].1).unwrap().pipes[2];
+        let mut emu = MultiCoreEmulator::new(
+            &d,
+            pod,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            1,
+        );
+        let src = binding.vn_at(pairs[0].0).unwrap();
+        let dst = binding.vn_at(pairs[0].1).unwrap();
+        let now = SimTime::ZERO;
+        for i in 0..5 {
+            assert!(emu
+                .submit(now, tcp_packet(i, src, dst, 1460, now))
+                .is_accepted());
+        }
+        // A node on the route fails while all five descriptors are still on
+        // earlier hops: its incident pipe drops to zero bandwidth, exactly
+        // as the dynamics engine's NodeDown handler configures it.
+        let mut failed = d.pipe(third_hop).attrs;
+        failed.bandwidth = DataRate::ZERO;
+        assert!(emu.update_pipe_attrs(third_hop, failed));
+        let deliveries = run_until_idle(&mut emu, now);
+        // Nothing strands and nothing vanishes: every admitted packet is
+        // accounted as an unreachable drop at the failed hop.
+        assert!(deliveries.is_empty());
+        let stats = emu.total_stats();
+        assert_eq!(stats.packets_admitted, 5);
+        assert_eq!(stats.dropped_unreachable, 5);
+        assert_eq!(
+            stats.packets_admitted,
+            stats.packets_delivered + stats.dropped_unreachable + stats.physical_drops()
+        );
+        assert_eq!(emu.cores()[0].in_flight(), 0, "no descriptor strands");
+    }
+
+    #[test]
+    fn vn_leave_drains_in_flight_and_refuses_new_traffic() {
+        let (mut emu, src, dst) = single_path(8, 2);
+        let now = SimTime::ZERO;
+        for i in 0..10 {
+            assert!(emu
+                .submit(now, tcp_packet(i, src, dst, 1460, now))
+                .is_accepted());
+        }
+        // The receiver departs with ten descriptors still in flight.
+        assert!(emu.vn_leave(dst, now));
+        assert!(!emu.vn_is_active(dst));
+        assert!(emu.vn_is_active(src));
+        assert_eq!(emu.active_vn_count(), 1);
+        // New traffic touching the departed VN is refused pre-NIC...
+        assert_eq!(
+            emu.submit(now, tcp_packet(99, src, dst, 100, now)),
+            SubmitOutcome::NoRoute
+        );
+        assert_eq!(
+            emu.submit(now, tcp_packet(99, dst, src, 100, now)),
+            SubmitOutcome::NoRoute
+        );
+        // ...but the pre-departure descriptors drain to delivery on their
+        // retained route ids, tunnels included.
+        let deliveries = run_until_idle(&mut emu, now);
+        assert_eq!(deliveries.len(), 10);
+        let stats = emu.total_stats();
+        assert_eq!(stats.packets_delivered, 10);
+        assert!(stats.tunnels_out > 0, "8 hops over 2 cores must tunnel");
+        // Leaving twice is refused and changes nothing.
+        assert!(!emu.vn_leave(dst, now));
+    }
+
+    #[test]
+    fn vn_rejoin_restores_connectivity_and_recycles_the_source_tree() {
+        let (topo, pairs) = path_pairs_topology(&PathPairsParams {
+            pairs: 1,
+            hops: 4,
+            bandwidth: DataRate::from_mbps(10),
+            end_to_end_latency: SimDuration::from_millis(10),
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, 1));
+        let pod = greedy_k_clusters(&d, 1, 7);
+        let mut emu = MultiCoreEmulator::new(
+            &d,
+            pod,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            1,
+        );
+        let src = binding.vn_at(pairs[0].0).unwrap();
+        let dst = binding.vn_at(pairs[0].1).unwrap();
+        let now = SimTime::ZERO;
+        let live = emu.routing().live_source_count();
+        assert!(emu.vn_leave(dst, now));
+        // dst was the only endpoint at its location, so its source tree is
+        // retired with it — O(component), no rebuild of anyone else's state.
+        assert_eq!(emu.routing().live_source_count(), live - 1);
+        assert_eq!(
+            emu.submit(now, tcp_packet(1, src, dst, 100, now)),
+            SubmitOutcome::NoRoute
+        );
+        // Rejoining re-grows the tree and rebinds the row shard in place.
+        assert!(emu.vn_join(&d, dst, pairs[0].1, now));
+        assert!(emu.vn_is_active(dst));
+        assert_eq!(emu.routing().live_source_count(), live);
+        assert!(emu
+            .submit(now, tcp_packet(2, src, dst, 1460, now))
+            .is_accepted());
+        let deliveries = run_until_idle(&mut emu, now);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].hops, 4);
+        // Refused churn: already-active id, gap id, unknown location.
+        assert!(!emu.vn_join(&d, dst, pairs[0].1, now));
+        assert!(!emu.vn_join(&d, VnId(999), pairs[0].1, now));
+        assert!(!emu.vn_join(&d, VnId(2), NodeId(usize::MAX), now));
+    }
+
+    #[test]
+    fn fresh_vn_joins_alongside_a_sibling_on_the_least_loaded_core() {
+        let topo = star_topology(&StarParams {
+            clients: 4,
+            spoke_bandwidth: DataRate::from_mbps(10),
+            spoke_latency: SimDuration::from_millis(5),
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, 2));
+        let pod = greedy_k_clusters(&d, 2, 7);
+        let mut emu = MultiCoreEmulator::new(
+            &d,
+            pod,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            3,
+        );
+        let now = SimTime::ZERO;
+        assert_eq!(emu.active_vn_count(), 4);
+        // Seed entry loads are 2/2; a departure tilts them to 2/1.
+        assert!(emu.vn_leave(VnId(3), now));
+        // The newcomer multiplexes onto VN 0's client node (sharing its
+        // row shard) and must enter through the now least-loaded core 1.
+        let newcomer = VnId(4);
+        let sibling_loc = emu.vn_location(VnId(0)).unwrap();
+        assert!(emu.vn_join(&d, newcomer, sibling_loc, now));
+        assert_eq!(emu.vn_entry_core(newcomer), Some(CoreId(1)));
+        assert_eq!(emu.vn_location(newcomer), Some(sibling_loc));
+        assert_eq!(emu.active_vn_count(), 4);
+        // Traffic to and from the newcomer flows like any seed VN's.
+        assert!(emu
+            .submit(now, tcp_packet(1, newcomer, VnId(1), 1000, now))
+            .is_accepted());
+        assert!(emu
+            .submit(now, tcp_packet(2, VnId(2), newcomer, 1000, now))
+            .is_accepted());
+        let deliveries = run_until_idle(&mut emu, now);
+        assert_eq!(deliveries.len(), 2);
+        assert!(deliveries.iter().all(|d| d.hops == 2));
     }
 }

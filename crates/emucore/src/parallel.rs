@@ -556,6 +556,10 @@ pub struct ParallelEmulator {
     routes: Arc<RouteTable>,
     vn_location: Vec<NodeId>,
     vn_entry_core: Vec<CoreId>,
+    /// Live-membership flag per VN (see `MultiCoreEmulator::vn_active`).
+    vn_active: Vec<bool>,
+    /// Active VNs entering through each core, for least-loaded joins.
+    core_load: Vec<u32>,
     local_deliveries: Vec<Delivery>,
     /// Coordinator-owned fluid flow state, driven exactly as the sequential
     /// backend drives its copy: epoch-chopped advances plus mutation-time
@@ -690,6 +694,8 @@ impl ParallelEmulator {
             routes: parts.routes,
             vn_location: parts.vn_location,
             vn_entry_core: parts.vn_entry_core,
+            vn_active: parts.vn_active,
+            core_load: parts.core_load,
             local_deliveries: parts.local_deliveries,
             fluid: parts.fluid,
         };
@@ -865,6 +871,83 @@ impl ParallelEmulator {
         update
     }
 
+    /// `true` while a VN is an active member of the emulation.
+    pub fn vn_is_active(&self, vn: VnId) -> bool {
+        self.vn_active.get(vn.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of currently active VNs.
+    pub fn active_vn_count(&self) -> usize {
+        self.vn_active.iter().filter(|&&a| a).count()
+    }
+
+    /// The core a VN's traffic enters through.
+    pub fn vn_entry_core(&self, vn: VnId) -> Option<CoreId> {
+        self.vn_entry_core.get(vn.index()).copied()
+    }
+
+    /// Joins a VN at a client location of `topo` mid-run and installs the
+    /// grown route-table generation on every core thread. Same semantics
+    /// (and, from identical churn histories, bit-identical state) as
+    /// [`MultiCoreEmulator::vn_join`]: all churn bookkeeping runs on the
+    /// coordinator, workers only ever receive published table generations.
+    pub fn vn_join(
+        &mut self,
+        topo: &DistilledTopology,
+        vn: VnId,
+        location: NodeId,
+        at: SimTime,
+    ) -> bool {
+        if !crate::multicore::apply_vn_join(
+            &mut self.matrix,
+            &mut self.routes,
+            &mut self.vn_location,
+            &mut self.vn_entry_core,
+            &mut self.vn_active,
+            &mut self.core_load,
+            topo,
+            vn,
+            location,
+        ) {
+            return false;
+        }
+        for worker in &mut self.workers {
+            worker.send(Command::SetRoutes(self.routes.clone()));
+        }
+        self.fluid.mark_routes_dirty();
+        if self.fluid.has_flows() {
+            self.recompute_fluid(at);
+        }
+        true
+    }
+
+    /// Removes a VN from the emulation mid-run. Same semantics as
+    /// [`MultiCoreEmulator::vn_leave`]: new traffic is refused from this
+    /// instant, in-flight descriptors drain on their pre-departure routes,
+    /// and the VN's fluid flows are torn down.
+    pub fn vn_leave(&mut self, vn: VnId, at: SimTime) -> bool {
+        if !crate::multicore::apply_vn_leave(
+            &mut self.matrix,
+            &mut self.routes,
+            &self.vn_location,
+            &self.vn_entry_core,
+            &mut self.vn_active,
+            &mut self.core_load,
+            vn,
+        ) {
+            return false;
+        }
+        for worker in &mut self.workers {
+            worker.send(Command::SetRoutes(self.routes.clone()));
+        }
+        let removed = self.fluid.remove_vn_flows(vn, at);
+        self.fluid.mark_routes_dirty();
+        if removed > 0 || self.fluid.has_flows() {
+            self.recompute_fluid(at);
+        }
+        true
+    }
+
     /// Sets the cadence at which fluid rates are re-solved while flows are
     /// live. Same semantics as [`MultiCoreEmulator::set_fluid_epoch`].
     pub fn set_fluid_epoch(&mut self, epoch: SimDuration) {
@@ -939,6 +1022,9 @@ impl ParallelEmulator {
         let Some(&dst_loc) = self.vn_location.get(dst_idx) else {
             return PendingOutcome::Immediate(SubmitOutcome::NoRoute);
         };
+        if !self.vn_active[src_idx] || !self.vn_active[dst_idx] {
+            return PendingOutcome::Immediate(SubmitOutcome::NoRoute);
+        }
         if src_loc == dst_loc {
             self.local_deliveries.push(Delivery {
                 packet,
@@ -1313,14 +1399,22 @@ mod tests {
 
     /// The driver operations shared by the two backends under test.
     trait TestBackend {
-        fn submit(&mut self, now: SimTime, packet: Packet);
+        fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome;
         fn next_wakeup(&self) -> Option<SimTime>;
         fn advance(&mut self, now: SimTime) -> Vec<Delivery>;
+        fn vn_join(
+            &mut self,
+            topo: &DistilledTopology,
+            vn: VnId,
+            location: NodeId,
+            at: SimTime,
+        ) -> bool;
+        fn vn_leave(&mut self, vn: VnId, at: SimTime) -> bool;
     }
 
     impl TestBackend for MultiCoreEmulator {
-        fn submit(&mut self, now: SimTime, packet: Packet) {
-            let _ = MultiCoreEmulator::submit(self, now, packet);
+        fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome {
+            MultiCoreEmulator::submit(self, now, packet)
         }
         fn next_wakeup(&self) -> Option<SimTime> {
             MultiCoreEmulator::next_wakeup(self)
@@ -1328,17 +1422,41 @@ mod tests {
         fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
             MultiCoreEmulator::advance(self, now)
         }
+        fn vn_join(
+            &mut self,
+            topo: &DistilledTopology,
+            vn: VnId,
+            location: NodeId,
+            at: SimTime,
+        ) -> bool {
+            MultiCoreEmulator::vn_join(self, topo, vn, location, at)
+        }
+        fn vn_leave(&mut self, vn: VnId, at: SimTime) -> bool {
+            MultiCoreEmulator::vn_leave(self, vn, at)
+        }
     }
 
     impl TestBackend for ParallelEmulator {
-        fn submit(&mut self, now: SimTime, packet: Packet) {
-            let _ = ParallelEmulator::submit(self, now, packet);
+        fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome {
+            ParallelEmulator::submit(self, now, packet)
         }
         fn next_wakeup(&self) -> Option<SimTime> {
             ParallelEmulator::next_wakeup(self)
         }
         fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
             ParallelEmulator::advance(self, now)
+        }
+        fn vn_join(
+            &mut self,
+            topo: &DistilledTopology,
+            vn: VnId,
+            location: NodeId,
+            at: SimTime,
+        ) -> bool {
+            ParallelEmulator::vn_join(self, topo, vn, location, at)
+        }
+        fn vn_leave(&mut self, vn: VnId, at: SimTime) -> bool {
+            ParallelEmulator::vn_leave(self, vn, at)
         }
     }
 
@@ -1361,6 +1479,103 @@ mod tests {
         let (_, stats, _) = run_both(4);
         assert!(stats.tunnels_out > 0);
         assert_eq!(stats.tunnels_out, stats.tunnels_in);
+    }
+
+    /// Interleaves traffic with leave/rejoin churn: every third VN departs
+    /// mid-round (with its descriptors still in flight) and rejoins one
+    /// round later. Admission outcomes and delivery streams are recorded
+    /// for the bit-identity comparison.
+    fn drive_churn(
+        emu: &mut impl TestBackend,
+        d: &DistilledTopology,
+        binding: &Binding,
+    ) -> (Vec<DeliveryRecord>, Vec<SubmitOutcome>) {
+        let vns: Vec<VnId> = binding.vns().collect();
+        let mut log = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut id = 0u64;
+        for round in 0..6u64 {
+            let now = SimTime::from_micros(round * 900);
+            for delivery in emu.advance(now) {
+                log.push((
+                    delivery.packet.id.0,
+                    delivery.delivered_at,
+                    delivery.entered_at,
+                    delivery.hops,
+                ));
+            }
+            let churner = vns[((round as usize / 2) * 3) % vns.len()];
+            if round % 2 == 0 {
+                assert!(emu.vn_leave(churner, now), "{churner} leaves once");
+            } else {
+                let loc = binding.location(churner).unwrap();
+                assert!(emu.vn_join(d, churner, loc, now), "{churner} rejoins");
+            }
+            for (i, &src) in vns.iter().enumerate() {
+                let dst = vns[(i + 3) % vns.len()];
+                outcomes.push(emu.submit(now, tcp_packet(id, src, dst, 900, now)));
+                id += 1;
+            }
+        }
+        let mut now = SimTime::ZERO;
+        for _ in 0..100_000 {
+            let Some(t) = emu.next_wakeup() else { break };
+            now = now.max(t);
+            for delivery in emu.advance(now) {
+                log.push((
+                    delivery.packet.id.0,
+                    delivery.delivered_at,
+                    delivery.entered_at,
+                    delivery.hops,
+                ));
+            }
+        }
+        (log, outcomes)
+    }
+
+    #[test]
+    fn churn_is_bit_identical_across_backends_and_core_counts() {
+        for cores in [1, 2, 4] {
+            let topo = ring_topology(&RingParams {
+                routers: 4,
+                clients_per_router: 2,
+                ..RingParams::default()
+            });
+            let d = distill(&topo, DistillationMode::HopByHop);
+            let build = || {
+                let matrix = RoutingMatrix::build(&d);
+                let binding = Binding::bind(d.vns(), &BindingParams::new(2, cores));
+                let pod = greedy_k_clusters(&d, cores, 7);
+                (
+                    MultiCoreEmulator::new(
+                        &d,
+                        pod,
+                        matrix,
+                        &binding,
+                        HardwareProfile::unconstrained(),
+                        11,
+                    ),
+                    binding,
+                )
+            };
+            let (mut seq, binding) = build();
+            let seq_run = drive_churn(&mut seq, &d, &binding);
+            let (seq2, binding2) = build();
+            let mut par = ParallelEmulator::from_sequential(seq2);
+            let par_run = drive_churn(&mut par, &d, &binding2);
+            assert_eq!(seq_run, par_run, "{cores}-core churn run diverges");
+            assert_eq!(
+                seq.total_stats(),
+                par.total_stats(),
+                "{cores}-core churn stats diverge"
+            );
+            // The churn was real: some admissions were refused while a VN
+            // was away, yet traffic kept flowing.
+            let (log, outcomes) = seq_run;
+            assert!(outcomes.contains(&SubmitOutcome::NoRoute));
+            assert!(outcomes.iter().filter(|o| o.is_accepted()).count() > log.len() / 2);
+            assert!(!log.is_empty());
+        }
     }
 
     #[test]

@@ -309,21 +309,38 @@ pub enum LinkChange {
     Set(mn_topology::LinkAttrs),
 }
 
+/// A timed endpoint-membership change: the reference-side mirror of the
+/// emulation's first-class VN join/leave churn events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberChange {
+    /// The endpoint departs: flows touching it are refused from this
+    /// instant (they receive zero allocations, exactly as the emulation
+    /// returns `NoRoute` for traffic touching a departed VN).
+    Leave,
+    /// The endpoint (re)joins and is routable again.
+    Join,
+}
+
 /// The reference simulator's view of a dynamic network: a base topology
 /// plus a virtual-time-ordered stream of link changes — the same failures,
 /// recoveries and renegotiations an emulation-side
-/// `mn_dynamics::Schedule` applies, expressed over target links.
+/// `mn_dynamics::Schedule` applies, expressed over target links — and of
+/// endpoint-membership churn.
 ///
 /// The flow-level model is memoryless, so honoring a schedule means
 /// evaluating each query against the topology *as of* the query time:
 /// [`ScheduledTopology::topology_at`] materialises that snapshot, and the
 /// existing oracles ([`max_min_fair_share`], [`path_latency`]) run over it
-/// unchanged. Failed links are excluded from shortest paths entirely.
+/// unchanged. Failed links are excluded from shortest paths entirely;
+/// flows touching a departed endpoint are excluded from contention
+/// entirely (see [`ScheduledTopology::allocations_at`]).
 #[derive(Debug, Clone)]
 pub struct ScheduledTopology {
     base: Topology,
     /// `(time, link, change)`, kept time-ordered (stable for equal times).
     changes: Vec<(SimTime, LinkId, LinkChange)>,
+    /// `(time, node, change)`, kept time-ordered (stable for equal times).
+    members: Vec<(SimTime, NodeId, MemberChange)>,
 }
 
 impl ScheduledTopology {
@@ -332,6 +349,7 @@ impl ScheduledTopology {
         ScheduledTopology {
             base,
             changes: Vec::new(),
+            members: Vec::new(),
         }
     }
 
@@ -363,6 +381,68 @@ impl ScheduledTopology {
     pub fn set_link(mut self, at: SimTime, link: LinkId, attrs: mn_topology::LinkAttrs) -> Self {
         self.push(at, link, LinkChange::Set(attrs));
         self
+    }
+
+    /// Adds a membership change at `at`, keeping the stream time-ordered
+    /// (insertion order breaks ties, mirroring the emulation schedule).
+    pub fn push_member(&mut self, at: SimTime, node: NodeId, change: MemberChange) {
+        let idx = self.members.partition_point(|&(t, _, _)| t <= at);
+        self.members.insert(idx, (at, node, change));
+    }
+
+    /// Schedules an endpoint departure.
+    pub fn node_leave(mut self, at: SimTime, node: NodeId) -> Self {
+        self.push_member(at, node, MemberChange::Leave);
+        self
+    }
+
+    /// Schedules an endpoint (re)join.
+    pub fn node_join(mut self, at: SimTime, node: NodeId) -> Self {
+        self.push_member(at, node, MemberChange::Join);
+        self
+    }
+
+    /// Whether `node` is an active member as of virtual time `t`. Every
+    /// node starts as a member; the last change at or before `t` wins.
+    pub fn is_member_at(&self, t: SimTime, node: NodeId) -> bool {
+        let mut member = true;
+        for &(at, n, change) in &self.members {
+            if at > t {
+                break;
+            }
+            if n == node {
+                member = matches!(change, MemberChange::Join);
+            }
+        }
+        member
+    }
+
+    /// Max-min fair allocations as of virtual time `t`, churn-aware: flows
+    /// touching a departed endpoint receive zero rate, latency and hops
+    /// (the emulation refuses their traffic), and — crucially — consume no
+    /// capacity, so surviving flows absorb the freed share.
+    pub fn allocations_at(&self, t: SimTime, flows: &[FlowSpec]) -> Vec<FlowAllocation> {
+        let topo = self.topology_at(t);
+        let live: Vec<usize> = (0..flows.len())
+            .filter(|&fi| {
+                self.is_member_at(t, flows[fi].src) && self.is_member_at(t, flows[fi].dst)
+            })
+            .collect();
+        let live_flows: Vec<FlowSpec> = live.iter().map(|&fi| flows[fi]).collect();
+        let live_alloc = max_min_fair_share(&topo, &live_flows);
+        let mut out: Vec<FlowAllocation> = flows
+            .iter()
+            .map(|&flow| FlowAllocation {
+                flow,
+                rate: DataRate::ZERO,
+                latency: SimDuration::ZERO,
+                hops: 0,
+            })
+            .collect();
+        for (slot, alloc) in live.into_iter().zip(live_alloc) {
+            out[slot] = alloc;
+        }
+        out
     }
 
     /// The network as of virtual time `t`: the base topology with every
@@ -579,6 +659,75 @@ mod tests {
         let alloc = max_min_fair_share(&snapshot, &[FlowSpec { src: a, dst: b }]);
         assert_eq!(alloc[0].rate, DataRate::ZERO);
         assert_eq!(alloc[0].hops, 0);
+    }
+
+    #[test]
+    fn membership_churn_frees_capacity_and_restores_on_rejoin() {
+        // Two client pairs share a 10 Mb/s bottleneck through a router.
+        // One endpoint departs at t=2 and rejoins at t=4: while away its
+        // flow gets zero and the survivor absorbs the whole bottleneck.
+        let mut topo = Topology::new();
+        let s1 = topo.add_node(NodeKind::Client);
+        let s2 = topo.add_node(NodeKind::Client);
+        let m = topo.add_node(NodeKind::Stub);
+        let d = topo.add_node(NodeKind::Client);
+        let fast = |mbps| LinkAttrs::new(DataRate::from_mbps(mbps), SimDuration::from_millis(1));
+        topo.add_link(s1, m, fast(100)).unwrap();
+        topo.add_link(s2, m, fast(100)).unwrap();
+        topo.add_link(m, d, fast(10)).unwrap();
+        let t = SimTime::from_secs;
+        let scenario = ScheduledTopology::new(topo)
+            .node_leave(t(2), s2)
+            .node_join(t(4), s2);
+        let flows = [FlowSpec { src: s1, dst: d }, FlowSpec { src: s2, dst: d }];
+        // Before: the bottleneck splits evenly.
+        let before = scenario.allocations_at(t(1), &flows);
+        assert_eq!(before[0].rate, DataRate::from_mbps(5));
+        assert_eq!(before[1].rate, DataRate::from_mbps(5));
+        // While away: zero for the departed pair, everything for the rest.
+        assert!(!scenario.is_member_at(t(3), s2));
+        let during = scenario.allocations_at(t(3), &flows);
+        assert_eq!(during[0].rate, DataRate::from_mbps(10));
+        assert_eq!(during[1].rate, DataRate::ZERO);
+        assert_eq!(during[1].hops, 0);
+        // After the rejoin: the even split returns.
+        assert!(scenario.is_member_at(t(5), s2));
+        let after = scenario.allocations_at(t(5), &flows);
+        assert_eq!(after, before);
+        // Membership changes take effect at their instant (<= semantics).
+        assert!(!scenario.is_member_at(t(2), s2));
+    }
+
+    #[test]
+    fn membership_and_link_churn_compose_in_one_scenario() {
+        // The departed endpoint's flow stays zero even while an unrelated
+        // link failure reroutes the survivor.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let r = topo.add_node(NodeKind::Stub);
+        let b = topo.add_node(NodeKind::Client);
+        let c = topo.add_node(NodeKind::Client);
+        let fast = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+        let ar = topo.add_link(a, r, fast).unwrap();
+        topo.add_link(r, b, fast).unwrap();
+        topo.add_link(
+            a,
+            b,
+            LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(20)),
+        )
+        .unwrap();
+        topo.add_link(c, r, fast).unwrap();
+        let t = SimTime::from_secs;
+        let scenario = ScheduledTopology::new(topo)
+            .node_leave(t(1), c)
+            .link_down(t(2), ar);
+        let flows = [FlowSpec { src: a, dst: b }, FlowSpec { src: c, dst: b }];
+        let alloc = scenario.allocations_at(t(3), &flows);
+        // The survivor detours over the slow direct link...
+        assert_eq!(alloc[0].rate, DataRate::from_mbps(2));
+        assert_eq!(alloc[0].hops, 1);
+        // ...and the departed endpoint is still refused.
+        assert_eq!(alloc[1].rate, DataRate::ZERO);
     }
 
     #[test]

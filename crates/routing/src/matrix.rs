@@ -29,6 +29,11 @@ use mn_distill::PipeId;
 /// unreachable node) and in the dense node→VN table (not a VN).
 const NO_PRED: u32 = u32::MAX;
 
+/// Sentinel location of a tombstoned source slot (see
+/// [`RoutingMatrix::remove_source`]): the slot's rows stay allocated for
+/// reuse by the next [`RoutingMatrix::add_source`], but no node maps to it.
+const DEAD_SOURCE: NodeId = NodeId(usize::MAX);
+
 /// What one [`RoutingMatrix::update_pipes`] call changed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RouteUpdate {
@@ -102,6 +107,11 @@ pub struct RoutingMatrix {
     scratch_dist: Vec<u64>,
     scratch_pred: Vec<u32>,
     scratch_heap: Vec<Reverse<(u64, NodeId)>>,
+    /// Tombstoned source slots (ascending), left behind by
+    /// [`RoutingMatrix::remove_source`] and reused by
+    /// [`RoutingMatrix::add_source`] so sustained churn does not grow the
+    /// label arrays without bound.
+    free_slots: Vec<u32>,
     /// Bumped by every rebuild and every non-empty incremental update.
     version: u64,
 }
@@ -235,6 +245,7 @@ impl RoutingMatrix {
             scratch_dist: Vec::new(),
             scratch_pred: Vec::new(),
             scratch_heap: Vec::new(),
+            free_slots: Vec::new(),
             version: 0,
         };
         matrix.rebuild(topo);
@@ -249,10 +260,12 @@ impl RoutingMatrix {
         let nc = self.node_count;
         self.pipe_cost = topo.pipes().map(|(_, p)| pipe_cost(&p.attrs)).collect();
         self.pipe_src = topo.pipes().map(|(_, p)| p.src.index() as u32).collect();
-        // Dense node→VN table: sized to cover every node and every VN id.
+        // Dense node→VN table: sized to cover every node and every VN id
+        // (tombstoned slots map no node).
         let table_len = self
             .vns
             .iter()
+            .filter(|v| **v != DEAD_SOURCE)
             .map(|v| v.index() + 1)
             .max()
             .unwrap_or(0)
@@ -260,7 +273,9 @@ impl RoutingMatrix {
         self.vn_of_node.clear();
         self.vn_of_node.resize(table_len, NO_PRED);
         for (i, &vn) in self.vns.iter().enumerate() {
-            self.vn_of_node[vn.index()] = i as u32;
+            if vn.index() < table_len {
+                self.vn_of_node[vn.index()] = i as u32;
+            }
         }
         self.rebuild_components(topo);
         self.dist.clear();
@@ -518,6 +533,111 @@ impl RoutingMatrix {
         update
     }
 
+    /// Adds a source tree for `node` incrementally: one component-scoped
+    /// Dijkstra plus reverse-index seeding — O(component log component),
+    /// independent of how many sources the matrix already holds. A
+    /// tombstoned slot left by [`RoutingMatrix::remove_source`] is reused
+    /// when available, so sustained join/leave churn keeps the label
+    /// arrays at the high-water source count instead of growing them
+    /// forever. Returns `false` (and changes nothing) when `node` is
+    /// already a live source or is not a node of the graph the matrix was
+    /// built over.
+    pub fn add_source(&mut self, topo: &DistilledTopology, node: NodeId) -> bool {
+        if self.vn_index(node).is_some() || node.index() >= self.node_count {
+            return false;
+        }
+        let nc = self.node_count;
+        let si = if self.free_slots.is_empty() {
+            let si = self.vns.len();
+            self.vns.push(node);
+            self.dist.resize((si + 1) * nc, UNUSABLE_COST);
+            self.pred.resize((si + 1) * nc, NO_PRED);
+            si
+        } else {
+            // Lowest tombstone first: slot assignment is a pure function
+            // of the churn history, so replayed schedules land identical
+            // slot layouts.
+            let si = self.free_slots.remove(0) as usize;
+            self.vns[si] = node;
+            si
+        };
+        if self.vn_of_node.len() <= node.index() {
+            self.vn_of_node.resize(node.index() + 1, NO_PRED);
+        }
+        self.vn_of_node[node.index()] = si as u32;
+        let si_u32 = si as u32;
+        let comp = self.node_component[node.index()] as usize;
+        let vns = &mut self.component_vns[comp];
+        if let Err(pos) = vns.binary_search(&si_u32) {
+            vns.insert(pos, si_u32);
+        }
+        scoped_route_tree(
+            topo,
+            node,
+            &self.component_nodes[comp],
+            &mut self.dist[si * nc..(si + 1) * nc],
+            &mut self.pred[si * nc..(si + 1) * nc],
+            &mut self.scratch_heap,
+        );
+        // Seed the reverse index with the fresh tree's edges.
+        for &u in &self.component_nodes[comp] {
+            let p = self.pred[si * nc + u as usize];
+            if p != NO_PRED {
+                let sources = &mut self.pipe_sources[p as usize];
+                if let Err(pos) = sources.binary_search(&si_u32) {
+                    sources.insert(pos, si_u32);
+                }
+            }
+        }
+        self.version += 1;
+        true
+    }
+
+    /// Removes `node`'s source tree incrementally: the tree's edges are
+    /// unhooked from the reverse index and its label rows cleared —
+    /// O(component), independent of total source count — and the slot is
+    /// tombstoned for reuse. Trees *toward* the node's location (other
+    /// sources' rows) are untouched, which is what lets descriptors
+    /// already in flight toward a departed endpoint drain on their
+    /// pre-departure routes. Returns `false` when `node` is not a live
+    /// source.
+    pub fn remove_source(&mut self, node: NodeId) -> bool {
+        let Some(si) = self.vn_index(node) else {
+            return false;
+        };
+        let nc = self.node_count;
+        let si_u32 = si as u32;
+        self.vn_of_node[node.index()] = NO_PRED;
+        let comp = self.node_component[node.index()] as usize;
+        for &u in &self.component_nodes[comp] {
+            let u = u as usize;
+            let p = self.pred[si * nc + u];
+            if p != NO_PRED {
+                let sources = &mut self.pipe_sources[p as usize];
+                if let Ok(pos) = sources.binary_search(&si_u32) {
+                    sources.remove(pos);
+                }
+                self.pred[si * nc + u] = NO_PRED;
+            }
+            self.dist[si * nc + u] = UNUSABLE_COST;
+        }
+        let vns = &mut self.component_vns[comp];
+        if let Ok(pos) = vns.binary_search(&si_u32) {
+            vns.remove(pos);
+        }
+        self.vns[si] = DEAD_SOURCE;
+        if let Err(pos) = self.free_slots.binary_search(&si_u32) {
+            self.free_slots.insert(pos, si_u32);
+        }
+        self.version += 1;
+        true
+    }
+
+    /// Number of live (non-tombstoned) source trees currently stored.
+    pub fn live_source_count(&self) -> usize {
+        self.vns.len() - self.free_slots.len()
+    }
+
     /// Monotonic change counter: bumped by every rebuild and every
     /// incremental update that touched a source tree.
     pub fn version(&self) -> u64 {
@@ -708,6 +828,9 @@ impl RouteProvider for RoutingMatrix {
         let nc = self.node_count;
         let mut count = 0;
         for si in 0..self.vns.len() {
+            if self.vns[si] == DEAD_SOURCE {
+                continue;
+            }
             let row = &self.dist[si * nc..(si + 1) * nc];
             for (di, &dst) in self.vns.iter().enumerate() {
                 if si == di {
@@ -995,6 +1118,126 @@ mod tests {
             before.as_slice(),
             "restore returns the reverse index to its pre-failure state"
         );
+    }
+
+    #[test]
+    fn remove_then_add_source_round_trips_to_scratch_equality() {
+        let d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let victim = m.vns()[3];
+        let si = m.vn_index(victim).unwrap() as u32;
+        let v = m.version();
+        assert!(m.remove_source(victim));
+        assert!(m.version() > v);
+        assert_eq!(m.live_source_count(), 11);
+        assert_eq!(m.vn_count(), 12, "the slot is tombstoned, not compacted");
+        // The departed source routes nowhere; trees toward it are kept.
+        assert!(m.lookup(victim, m.vns()[0]).is_none());
+        assert!(m.vn_index(victim).is_none());
+        for pid in 0..d.pipe_count() {
+            assert!(
+                !m.pipe_tree_sources(PipeId(pid)).contains(&si),
+                "a removed tree must leave no reverse-index entries"
+            );
+        }
+        // Rejoin reuses the tombstoned slot and restores scratch equality.
+        assert!(m.add_source(&d, victim));
+        assert_eq!(m.vn_index(victim), Some(si as usize));
+        assert_eq!(m.live_source_count(), 12);
+        let scratch = RoutingMatrix::build(&d);
+        for &a in scratch.vns() {
+            for &b in scratch.vns() {
+                assert_eq!(m.lookup(a, b), scratch.lookup(a, b), "{a}->{b}");
+            }
+        }
+        assert_reverse_index_exact(&m, &d);
+    }
+
+    #[test]
+    fn add_source_rejects_live_and_unknown_nodes() {
+        let d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let v = m.version();
+        assert!(!m.add_source(&d, m.vns()[0]), "already a live source");
+        assert!(!m.add_source(&d, NodeId(d.node_count())), "not a node");
+        assert!(!m.remove_source(NodeId(0)), "a transit router is no source");
+        let victim = m.vns()[5];
+        assert!(m.remove_source(victim));
+        assert!(!m.remove_source(victim), "double-leave is refused");
+        assert_eq!(m.version(), v + 1, "refused churn must not bump version");
+    }
+
+    #[test]
+    fn add_source_at_a_fresh_location_matches_direct_dijkstra() {
+        // A node that was never a VN (a transit router) can become a source
+        // — this is the rejoin-at-an-empty-location path.
+        let d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let router = NodeId(0);
+        assert!(m.add_source(&d, router));
+        assert_eq!(m.vn_count(), 13, "no tombstone to reuse: the set grows");
+        for &b in &m.vns().to_vec() {
+            if b == DEAD_SOURCE || b == router {
+                continue;
+            }
+            let expected = crate::route_between(&d, router, b).unwrap();
+            assert_eq!(
+                m.lookup(router, b).unwrap().hop_count(),
+                expected.hop_count()
+            );
+        }
+    }
+
+    #[test]
+    fn churn_storm_keeps_label_arrays_at_high_water() {
+        // Sustained leave/join cycles reuse tombstoned slots: the label
+        // arrays stay at the high-water source count.
+        let d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let baseline = m.vn_count();
+        let nodes = m.vns().to_vec();
+        for round in 0..8 {
+            for &n in nodes.iter().skip(round % 3).step_by(3) {
+                assert!(m.remove_source(n));
+            }
+            for &n in nodes.iter().skip(round % 3).step_by(3) {
+                assert!(m.add_source(&d, n));
+            }
+        }
+        assert_eq!(m.vn_count(), baseline);
+        assert_eq!(m.live_source_count(), baseline);
+        let scratch = RoutingMatrix::build(&d);
+        for &a in &nodes {
+            for &b in &nodes {
+                assert_eq!(m.lookup(a, b), scratch.lookup(a, b), "{a}->{b}");
+            }
+        }
+        assert_reverse_index_exact(&m, &d);
+    }
+
+    #[test]
+    fn update_pipes_skips_departed_sources() {
+        // A pipe flap while a source is tombstoned must neither recompute
+        // the dead tree nor resurrect its reverse-index entries.
+        let mut d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let victim_vn = m.vns()[0];
+        let flapped = m.lookup(victim_vn, m.vns()[6]).unwrap().pipes[1];
+        let original = d.pipe(flapped).attrs;
+        assert!(m.remove_source(victim_vn));
+        d.pipe_attrs_mut(flapped).unwrap().bandwidth = DataRate::ZERO;
+        let down = m.update_pipes(&d, &[flapped]);
+        assert!(down.changed_pairs.iter().all(|&(s, _)| s != victim_vn));
+        *d.pipe_attrs_mut(flapped).unwrap() = original;
+        m.update_pipes(&d, &[flapped]);
+        assert!(m.add_source(&d, victim_vn));
+        let scratch = RoutingMatrix::build(&d);
+        for &a in scratch.vns() {
+            for &b in scratch.vns() {
+                assert_eq!(m.lookup(a, b), scratch.lookup(a, b), "{a}->{b}");
+            }
+        }
+        assert_reverse_index_exact(&m, &d);
     }
 
     #[test]

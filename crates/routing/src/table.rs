@@ -410,24 +410,28 @@ impl ContentIndex {
 /// Endpoint ⇄ location geometry of a built table: which endpoints share a
 /// location (and therefore share a row shard), in deterministic
 /// first-appearance order. Shared by every table generation over the same
-/// binding, so rewires pay no per-call grouping rebuild.
-#[derive(Debug, Default)]
+/// binding, so rewires pay no per-call grouping rebuild. The per-slot
+/// endpoint lists are `Arc`-shared so a churn publish that rebinds one
+/// endpoint clones O(locations) handles plus the one mutated list — not
+/// the whole per-endpoint geometry.
+#[derive(Debug, Default, Clone)]
 struct LocationIndex {
     /// Distinct locations in first-appearance order.
     locations: Vec<NodeId>,
     slot_of: HashMap<NodeId, u32>,
-    /// Endpoint indices bound to each location slot, ascending.
-    endpoints: Vec<Vec<u32>>,
-    /// Each endpoint's location slot.
-    slot_of_endpoint: Vec<u32>,
+    /// Endpoint indices bound to each location slot, ascending. Departed
+    /// endpoints are removed from their list (so rewires never resurrect
+    /// their rows); the slot itself persists once created.
+    endpoints: Vec<Arc<[u32]>>,
 }
 
 impl LocationIndex {
-    fn build(locations: &[NodeId]) -> Self {
-        let mut idx = LocationIndex {
-            slot_of_endpoint: Vec::with_capacity(locations.len()),
-            ..LocationIndex::default()
-        };
+    /// Builds the geometry, also returning each endpoint's location slot
+    /// (the column map of a built table).
+    fn build(locations: &[NodeId]) -> (Self, Vec<u32>) {
+        let mut idx = LocationIndex::default();
+        let mut lists: Vec<Vec<u32>> = Vec::new();
+        let mut slot_of_endpoint = Vec::with_capacity(locations.len());
         for (e, &loc) in locations.iter().enumerate() {
             let slot = match idx.slot_of.get(&loc) {
                 Some(&slot) => slot,
@@ -435,22 +439,15 @@ impl LocationIndex {
                     let slot = idx.locations.len() as u32;
                     idx.slot_of.insert(loc, slot);
                     idx.locations.push(loc);
-                    idx.endpoints.push(Vec::new());
+                    lists.push(Vec::new());
                     slot
                 }
             };
-            idx.endpoints[slot as usize].push(e as u32);
-            idx.slot_of_endpoint.push(slot);
+            lists[slot as usize].push(e as u32);
+            slot_of_endpoint.push(slot);
         }
-        idx
-    }
-
-    fn matches(&self, locations: &[NodeId]) -> bool {
-        self.slot_of_endpoint.len() == locations.len()
-            && locations
-                .iter()
-                .zip(&self.slot_of_endpoint)
-                .all(|(loc, &slot)| self.locations[slot as usize] == *loc)
+        idx.endpoints = lists.into_iter().map(Arc::from).collect();
+        (idx, slot_of_endpoint)
     }
 }
 
@@ -495,9 +492,10 @@ pub struct RouteTable {
     endpoint_count: usize,
     /// Destination column of each endpoint: the location slot for built
     /// tables (co-located endpoints share a column), the identity mapping
-    /// for hand-assembled ones. One dense load on the lookup path; shared
-    /// across generations.
-    cols: Arc<[u32]>,
+    /// for hand-assembled ones. Page-grouped into shared blocks like the
+    /// rows, so a churn publish that adds or rebinds one endpoint copies
+    /// at most one [`BLOCK_ROWS`]-entry block instead of the whole map.
+    cols: Vec<Arc<[u32]>>,
     /// Content index over the store (pipe sequence → first id with that
     /// content), carried forward structurally so incremental rewires and
     /// rebuilds reuse any retained route — a restored link maps back to its
@@ -519,7 +517,7 @@ impl RouteTable {
             store: RouteStore::default(),
             rows: Self::blocks_from_flat(vec![RowShard::Empty; endpoint_count]),
             endpoint_count,
-            cols: (0..endpoint_count as u32).collect(),
+            cols: Self::col_blocks_from_flat((0..endpoint_count as u32).collect()),
             by_content: Arc::new(ContentIndex::default()),
             locs: Arc::new(LocationIndex::default()),
             version: 0,
@@ -534,10 +532,63 @@ impl RouteTable {
             .collect()
     }
 
+    /// Chunks a flat column vector into shared blocks.
+    fn col_blocks_from_flat(flat: Vec<u32>) -> Vec<Arc<[u32]>> {
+        flat.chunks(BLOCK_ROWS)
+            .map(|chunk| Arc::<[u32]>::from(chunk.to_vec()))
+            .collect()
+    }
+
     /// The row shard of a source endpoint (`None` out of range).
     #[inline]
     fn row(&self, src: usize) -> Option<&RowShard> {
         self.rows.get(src / BLOCK_ROWS)?.get(src % BLOCK_ROWS)
+    }
+
+    /// The destination column of an endpoint (`None` out of range).
+    #[inline]
+    fn col(&self, endpoint: usize) -> Option<u32> {
+        self.cols
+            .get(endpoint / BLOCK_ROWS)?
+            .get(endpoint % BLOCK_ROWS)
+            .copied()
+    }
+
+    /// Writes one endpoint's column, copy-on-write on its block.
+    fn set_col(&mut self, endpoint: usize, value: u32) {
+        let b = endpoint / BLOCK_ROWS;
+        if Arc::get_mut(&mut self.cols[b]).is_none() {
+            let copy: Vec<u32> = self.cols[b].to_vec();
+            self.cols[b] = Arc::from(copy);
+        }
+        Arc::get_mut(&mut self.cols[b]).expect("block was just unshared")[endpoint % BLOCK_ROWS] =
+            value;
+    }
+
+    /// Appends one endpoint's column, copying at most the (short) tail
+    /// block.
+    fn push_col(&mut self, value: u32) {
+        match self.cols.last() {
+            Some(last) if last.len() < BLOCK_ROWS => {
+                let mut copy: Vec<u32> = last.to_vec();
+                copy.push(value);
+                *self.cols.last_mut().expect("tail block exists") = Arc::from(copy);
+            }
+            _ => self.cols.push(Arc::from(vec![value])),
+        }
+    }
+
+    /// Appends one endpoint's row shard, copying at most the (short) tail
+    /// block.
+    fn push_row(&mut self, shard: RowShard) {
+        match self.rows.last() {
+            Some(last) if last.len() < BLOCK_ROWS => {
+                let mut copy: Vec<RowShard> = last.iter().cloned().collect();
+                copy.push(shard);
+                *self.rows.last_mut().expect("tail block exists") = Arc::from(copy);
+            }
+            _ => self.rows.push(Arc::from(vec![shard])),
+        }
     }
 
     /// Mutable access to a source's block, copy-on-write: a block shared
@@ -596,14 +647,15 @@ impl RouteTable {
         locations: &[NodeId],
         version: u64,
     ) -> Self {
-        let locs = Arc::new(LocationIndex::build(locations));
+        let (locs, slot_of_endpoint) = LocationIndex::build(locations);
+        let locs = Arc::new(locs);
         let n = locations.len();
         let mut rows_flat = vec![RowShard::Empty; n];
         let mut table = RouteTable {
             store,
             rows: Vec::new(),
             endpoint_count: n,
-            cols: locs.slot_of_endpoint.iter().copied().collect(),
+            cols: Self::col_blocks_from_flat(slot_of_endpoint),
             by_content,
             locs: Arc::clone(&locs),
             version,
@@ -650,7 +702,7 @@ impl RouteTable {
                 RowShard::Empty
             };
             // Every endpoint at this location shares the one shard.
-            for &e in &locs.endpoints[si] {
+            for &e in locs.endpoints[si].iter() {
                 rows_flat[e as usize] = row.clone();
             }
         }
@@ -682,10 +734,12 @@ impl RouteTable {
         if changed.is_empty() {
             return;
         }
-        if self.locs.slot_of_endpoint.len() != self.endpoint_count {
+        if self.locs.locations.is_empty() && self.endpoint_count > 0 {
             // Manually assembled table (RouteTable::new + set_pair): derive
             // the geometry on first rewire and keep it for the next ones.
-            self.locs = Arc::new(LocationIndex::build(locations));
+            // The identity column map is left as-is — hand-wired rows
+            // address destinations by endpoint index.
+            self.locs = Arc::new(LocationIndex::build(locations).0);
         } else {
             // Established geometry (build, or a prior derivation) is
             // authoritative — callers must pass the same binding every
@@ -693,7 +747,7 @@ impl RouteTable {
             // would dominate an otherwise O(changed) rewire at high
             // multiplexing, so it guards debug builds only.
             debug_assert!(
-                self.locs.matches(locations),
+                self.geometry_matches(locations),
                 "rewire_in_place locations must match the geometry the table was built over"
             );
         }
@@ -746,8 +800,8 @@ impl RouteTable {
                 // endpoints one-to-one, so the consecutive-dedup degrades
                 // to the per-endpoint patches they need.
                 let mut last_col = None;
-                for &e in &locs.endpoints[ds as usize] {
-                    let col = self.cols[e as usize];
+                for &e in locs.endpoints[ds as usize].iter() {
+                    let col = self.col(e as usize).expect("endpoint in range");
                     if last_col != Some(col) {
                         patches.push((col as usize, raw));
                         last_col = Some(col);
@@ -763,7 +817,7 @@ impl RouteTable {
             // siblings skip the patch scan entirely instead of re-proving
             // the no-op once per endpoint.
             let mut cache: Option<(RowShard, Option<RowShard>)> = None;
-            for &se in &locs.endpoints[ss as usize] {
+            for &se in locs.endpoints[ss as usize].iter() {
                 let se = se as usize;
                 let row = self.row(se).expect("endpoint in range");
                 let replacement = match &cache {
@@ -780,6 +834,216 @@ impl RouteTable {
             }
         }
         self.version += 1;
+    }
+
+    /// The geometry invariant the rewire path relies on: every endpoint
+    /// listed under a location slot is actually bound there. Departed
+    /// endpoints are in no list, so they are (correctly) exempt.
+    fn geometry_matches(&self, locations: &[NodeId]) -> bool {
+        locations.len() == self.endpoint_count
+            && self.locs.endpoints.iter().enumerate().all(|(s, list)| {
+                list.iter()
+                    .all(|&e| locations.get(e as usize) == Some(&self.locs.locations[s]))
+            })
+    }
+
+    /// Binds `endpoint` at `location` and wires its routes incrementally —
+    /// the join half of live endpoint churn. `endpoint` must be either the
+    /// next fresh index (`endpoint_count`, growing the table by one row)
+    /// or a previously unbound index rejoining.
+    ///
+    /// Cost is O(affected), never O(endpoints²): a join at a location that
+    /// already has a live endpoint **shares its row shard** (one block
+    /// copy); a join at a fresh or fully departed location derives one row
+    /// from the matrix and refreshes the location's destination column in
+    /// the other live locations' rows (O(locations) patches — flat in the
+    /// endpoint count). Route ids are append-only throughout, so
+    /// descriptors in flight keep resolving.
+    ///
+    /// Returns `false` (changing nothing) when the endpoint is already
+    /// bound, the index is non-contiguous, or the table was hand-assembled
+    /// without location geometry.
+    pub fn bind_endpoint(
+        &mut self,
+        matrix: &RoutingMatrix,
+        endpoint: usize,
+        location: NodeId,
+    ) -> bool {
+        if endpoint > self.endpoint_count {
+            return false;
+        }
+        if self.endpoint_count > 0 && self.locs.locations.is_empty() {
+            return false; // hand-assembled table: no geometry to maintain
+        }
+        if self.is_endpoint_bound(endpoint) {
+            return false;
+        }
+        // Resolve (or create) the location slot and insert the endpoint
+        // into its (shared) ascending list.
+        let locs = Arc::make_mut(&mut self.locs);
+        let slot = match locs.slot_of.get(&location) {
+            Some(&s) => s,
+            None => {
+                let s = locs.locations.len() as u32;
+                locs.slot_of.insert(location, s);
+                locs.locations.push(location);
+                locs.endpoints.push(Arc::from(Vec::new()));
+                s
+            }
+        };
+        let list = &locs.endpoints[slot as usize];
+        let sibling = list.first().copied();
+        let pos = match list.binary_search(&(endpoint as u32)) {
+            Ok(_) => return false, // unreachable: is_endpoint_bound was false
+            Err(pos) => pos,
+        };
+        let mut grown = Vec::with_capacity(list.len() + 1);
+        grown.extend_from_slice(&list[..pos]);
+        grown.push(endpoint as u32);
+        grown.extend_from_slice(&list[pos..]);
+        locs.endpoints[slot as usize] = grown.into();
+        // The newcomer's row: share a live sibling's shard outright, or
+        // derive one fresh from the matrix.
+        let locs = Arc::clone(&self.locs);
+        let md = matrix.vn_index(location);
+        let mut pipes = Vec::new();
+        let row = match sibling {
+            Some(sib) => self.row(sib as usize).cloned().unwrap_or(RowShard::Empty),
+            None => {
+                let slots = locs.locations.len();
+                let mut ids_by_slot = vec![NO_ROUTE; slots];
+                let mut any = false;
+                if let Some(ms) = md {
+                    for (di, id_slot) in ids_by_slot.iter_mut().enumerate() {
+                        if di == slot as usize || locs.endpoints[di].is_empty() {
+                            continue;
+                        }
+                        let Some(mdi) = matrix.vn_index(locs.locations[di]) else {
+                            continue;
+                        };
+                        if !matrix.materialize_at(ms, mdi, &mut pipes) {
+                            continue;
+                        }
+                        let id = match self.by_content.get(&pipes) {
+                            Some(id) => id,
+                            None => self.intern(Route::new(pipes.clone())),
+                        };
+                        *id_slot = id.0;
+                        any = true;
+                    }
+                }
+                if any {
+                    RowShard::from_window(0, &ids_by_slot)
+                } else {
+                    RowShard::Empty
+                }
+            }
+        };
+        if sibling.is_none() {
+            // First live endpoint at this location: the other rows'
+            // columns toward it are either absent (new slot) or stale
+            // (routing changed while it was fully departed) — refresh
+            // them from the matrix, one patch per live source location.
+            for si in 0..locs.locations.len() {
+                if si == slot as usize || locs.endpoints[si].is_empty() {
+                    continue;
+                }
+                let raw = match (matrix.vn_index(locs.locations[si]), md) {
+                    (Some(ms), Some(mdi)) if matrix.materialize_at(ms, mdi, &mut pipes) => {
+                        match self.by_content.get(&pipes) {
+                            Some(id) => id.0,
+                            None => self.intern(Route::new(pipes.clone())).0,
+                        }
+                    }
+                    _ => NO_ROUTE,
+                };
+                let patches = [(slot as usize, raw)];
+                let mut cache: Option<(RowShard, Option<RowShard>)> = None;
+                for &se in locs.endpoints[si].iter() {
+                    let se = se as usize;
+                    let src_row = self.row(se).expect("endpoint in range");
+                    let replacement = match &cache {
+                        Some((old, outcome)) if old.same_storage(src_row) => outcome.clone(),
+                        _ => {
+                            let patched = src_row.patched(&patches);
+                            cache = Some((src_row.clone(), patched.clone()));
+                            patched
+                        }
+                    };
+                    if let Some(replacement) = replacement {
+                        self.block_mut(se / BLOCK_ROWS)[se % BLOCK_ROWS] = replacement;
+                    }
+                }
+            }
+        }
+        if endpoint == self.endpoint_count {
+            self.push_row(row);
+            self.push_col(slot);
+            self.endpoint_count += 1;
+        } else {
+            self.block_mut(endpoint / BLOCK_ROWS)[endpoint % BLOCK_ROWS] = row;
+            self.set_col(endpoint, slot);
+        }
+        self.version += 1;
+        true
+    }
+
+    /// Unbinds `endpoint` — the leave half of live endpoint churn. Its row
+    /// shard is cleared (new lookups from it fail) and it leaves its
+    /// location's endpoint list, so later rewires cannot resurrect the
+    /// row; everything else — including every interned route a descriptor
+    /// in flight may still reference — is retained, which is what makes
+    /// the departure drain deterministic. O(1) blocks touched.
+    ///
+    /// Returns `false` when the endpoint is out of range or not bound.
+    pub fn unbind_endpoint(&mut self, endpoint: usize) -> bool {
+        if endpoint >= self.endpoint_count {
+            return false;
+        }
+        let Some(slot) = self.col(endpoint) else {
+            return false;
+        };
+        let slot = slot as usize;
+        let Some(list) = self.locs.endpoints.get(slot) else {
+            return false; // hand-assembled table: no geometry
+        };
+        let Ok(pos) = list.binary_search(&(endpoint as u32)) else {
+            return false; // already departed
+        };
+        let locs = Arc::make_mut(&mut self.locs);
+        let list = &locs.endpoints[slot];
+        let mut shrunk = Vec::with_capacity(list.len() - 1);
+        shrunk.extend_from_slice(&list[..pos]);
+        shrunk.extend_from_slice(&list[pos + 1..]);
+        locs.endpoints[slot] = shrunk.into();
+        self.block_mut(endpoint / BLOCK_ROWS)[endpoint % BLOCK_ROWS] = RowShard::Empty;
+        self.version += 1;
+        true
+    }
+
+    /// `true` when the endpoint is currently bound at some location (it
+    /// appears in its location slot's live list).
+    pub fn is_endpoint_bound(&self, endpoint: usize) -> bool {
+        let Some(slot) = self.col(endpoint) else {
+            return false;
+        };
+        self.locs
+            .endpoints
+            .get(slot as usize)
+            .is_some_and(|list| list.binary_search(&(endpoint as u32)).is_ok())
+    }
+
+    /// `true` when at least one live endpoint is bound at `location`.
+    pub fn has_endpoints_at(&self, location: NodeId) -> bool {
+        self.location_endpoint_count(location) > 0
+    }
+
+    /// Number of live endpoints bound at `location`.
+    pub fn location_endpoint_count(&self, location: NodeId) -> usize {
+        self.locs
+            .slot_of
+            .get(&location)
+            .map_or(0, |&s| self.locs.endpoints[s as usize].len())
     }
 
     /// Stores a route and returns its handle; the content index keeps the
@@ -847,7 +1111,7 @@ impl RouteTable {
         assert!(src < self.endpoint_count, "src endpoint out of range");
         assert!(dst < self.endpoint_count, "dst endpoint out of range");
         assert!(id.index() < self.store.len(), "route id out of range");
-        let dst = self.cols[dst] as usize;
+        let dst = self.col(dst).expect("dst in range") as usize;
         let patched = self.row(src).expect("src in range").patched(&[(dst, id.0)]);
         if let Some(patched) = patched {
             self.block_mut(src / BLOCK_ROWS)[src % BLOCK_ROWS] = patched;
@@ -861,7 +1125,7 @@ impl RouteTable {
     /// already-loaded shard) — with no hashing and no allocation.
     #[inline]
     pub fn route_id(&self, src: usize, dst: usize) -> Option<RouteId> {
-        let col = *self.cols.get(dst)?;
+        let col = self.col(dst)?;
         let row = self.row(src)?;
         match row.raw(col as usize) {
             NO_ROUTE => None,
@@ -977,16 +1241,18 @@ impl RouteTable {
             }
             layer = l.parent.as_deref();
         }
-        // Destination column map.
-        mem.resident_bytes += self.cols.len() * 4 + ARC_HEADER;
+        // Destination column map (blocked and shared like the rows).
+        mem.resident_bytes += self.cols.capacity() * std::mem::size_of::<Arc<[u32]>>();
+        for block in &self.cols {
+            mem.resident_bytes += block.len() * 4 + ARC_HEADER;
+        }
         // Location geometry.
         let locs_bytes = self.locs.locations.capacity() * std::mem::size_of::<NodeId>()
-            + self.locs.slot_of_endpoint.capacity() * 4
             + self
                 .locs
                 .endpoints
                 .iter()
-                .map(|v| v.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+                .map(|v| v.len() * 4 + ARC_HEADER + std::mem::size_of::<Arc<[u32]>>())
                 .sum::<usize>()
             + self.locs.slot_of.len() * (std::mem::size_of::<NodeId>() + 4 + 16);
         mem.resident_bytes += mem.route_bytes + mem.index_bytes + locs_bytes;
@@ -1084,6 +1350,139 @@ mod tests {
         }
         // 6 locations -> 30 distinct ordered location pairs, stored once each.
         assert_eq!(table.route_count(), 30);
+    }
+
+    #[test]
+    fn unbind_then_bind_round_trips_and_keeps_drain_routes() {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let locations = d.vns().to_vec();
+        let mut table = RouteTable::build(&matrix, &locations);
+        let n = locations.len();
+        let fresh = RouteTable::build(&matrix, &locations);
+        let departed = 3;
+        let inbound_before = table.route_id(0, departed).unwrap();
+        assert!(table.is_endpoint_bound(departed));
+        assert!(table.unbind_endpoint(departed));
+        assert!(!table.is_endpoint_bound(departed));
+        assert!(!table.unbind_endpoint(departed), "double-leave refused");
+        // New lookups *from* the departed endpoint fail; routes *toward*
+        // it survive so in-flight descriptors drain on pre-departure ids.
+        for t in 0..n {
+            assert!(table.route_id(departed, t).is_none());
+        }
+        assert_eq!(table.route_id(0, departed), Some(inbound_before));
+        assert_eq!(table.pipes(inbound_before), fresh.pipes(inbound_before));
+        // Rejoin at the same (now empty) location: sibling-less path.
+        assert!(table.bind_endpoint(&matrix, departed, locations[departed]));
+        assert!(!table.bind_endpoint(&matrix, departed, locations[departed]));
+        for s in 0..n {
+            for t in 0..n {
+                let a = table.route_id(s, t).map(|id| table.pipes(id).to_vec());
+                let b = fresh.route_id(s, t).map(|id| fresh.pipes(id).to_vec());
+                assert_eq!(a, b, "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_with_a_live_sibling_shares_its_row_shard() {
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 1,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let mut locations = d.vns().to_vec();
+        locations.extend(d.vns().to_vec());
+        let mut table = RouteTable::build(&matrix, &locations);
+        let n = d.vns().len();
+        assert!(table.unbind_endpoint(0));
+        // Endpoint n stays live at the same location: the rejoin shares
+        // its spilled row allocation instead of deriving a fresh one.
+        assert!(table.bind_endpoint(&matrix, 0, locations[0]));
+        assert_eq!(table.spilled_row_ptr(0), table.spilled_row_ptr(n));
+        assert!(table.spilled_row_ptr(0).is_some());
+        for j in 0..2 * n {
+            assert_eq!(table.route_id(0, j), table.route_id(n, j), "->{j}");
+        }
+    }
+
+    #[test]
+    fn bind_grows_the_table_by_one_fresh_endpoint() {
+        let (mut table, n) = ring_table();
+        let fresh = table.clone();
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let home = d.vns()[0];
+        assert!(
+            !table.bind_endpoint(&matrix, n + 1, home),
+            "non-contiguous fresh index refused"
+        );
+        assert!(table.bind_endpoint(&matrix, n, home));
+        assert_eq!(table.endpoint_count(), n + 1);
+        // The newcomer is co-located with endpoint 0: identical routes,
+        // and nothing about the pre-existing pairs moved.
+        for t in 0..n {
+            assert_eq!(table.route_id(n, t), table.route_id(0, t));
+            assert_eq!(table.route_id(t, n), table.route_id(t, 0));
+            for s in 0..n {
+                assert_eq!(table.route_id(s, t), fresh.route_id(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn rejoin_after_reroute_refreshes_stale_columns() {
+        // The stale-column hazard: while a location is fully departed, the
+        // matrix drops its source tree and reroutes report no pairs toward
+        // it, so other rows' columns toward that slot go stale. A rejoin
+        // must refresh them from the matrix, not trust the old ids.
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let mut d = distill(&topo, DistillationMode::HopByHop);
+        let mut matrix = RoutingMatrix::build(&d);
+        let locations = d.vns().to_vec();
+        let mut table = RouteTable::build(&matrix, &locations);
+        let n = locations.len();
+        let departed = 0;
+        let home = locations[departed];
+        assert!(table.unbind_endpoint(departed));
+        assert!(matrix.remove_source(home));
+        // Fail a pipe the old inbound routes used, reroute the survivors.
+        let victim = d.out_pipes(home)[0];
+        let original = d.pipe(victim).attrs;
+        d.pipe_attrs_mut(victim).unwrap().bandwidth = mn_util::DataRate::ZERO;
+        let update = matrix.update_pipes(&d, &[victim]);
+        table.rewire_in_place(&matrix, &locations, &update.changed_pairs);
+        *d.pipe_attrs_mut(victim).unwrap() = original;
+        let update = matrix.update_pipes(&d, &[victim]);
+        table.rewire_in_place(&matrix, &locations, &update.changed_pairs);
+        // Rejoin: matrix source first, then the table bind.
+        assert!(matrix.add_source(&d, home));
+        assert!(table.bind_endpoint(&matrix, departed, home));
+        let fresh = RouteTable::build(&matrix, &locations);
+        for s in 0..n {
+            for t in 0..n {
+                let a = table.route_id(s, t).map(|id| table.pipes(id).to_vec());
+                let b = fresh.route_id(s, t).map(|id| fresh.pipes(id).to_vec());
+                assert_eq!(a, b, "{s}->{t}");
+            }
+        }
     }
 
     #[test]

@@ -38,4 +38,4 @@ pub use rngs::seeded_rng;
 pub use stats::{Cdf, Histogram, RunningStats, ThroughputMeter};
 pub use sync::{SpinBarrier, SpinWait};
 pub use time::{SimDuration, SimTime};
-pub use wheel::TimerWheel;
+pub use wheel::{TimerWheel, DEFAULT_WHEEL_QUANTUM};

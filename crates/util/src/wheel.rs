@@ -47,6 +47,11 @@ const OCC_WORDS: usize = SLOTS / 64;
 /// emulator's 100 µs scheduler tick.
 const DEFAULT_QUANTUM_SHIFT: u32 = 17;
 
+/// The slot width of a default-quantum wheel. Periodic work that should
+/// land on slot boundaries (e.g. the fluid-epoch grid) rounds its cadence
+/// to a multiple of this, keeping the wheel's high-water mark flat.
+pub const DEFAULT_WHEEL_QUANTUM: SimDuration = SimDuration::from_nanos(1 << DEFAULT_QUANTUM_SHIFT);
+
 /// Maximum number of drained slot buffers kept for reuse.
 const SPARE_POOL: usize = 8;
 

@@ -124,10 +124,8 @@ fn steady_state_survives_a_bandwidth_renegotiation_without_allocating() {
     // A CBR injector on one spoke pipe runs through warm-up and the whole
     // measured window. 4096 bits every 2.097152 ms (16 wheel slots) keeps
     // the injection pattern wheel-periodic too. The episode rides the fluid
-    // machinery, so its recompute epoch is pinned to the same 16-slot
-    // period — the default 10 ms grid is incommensurate with the wheel and
-    // would leave slot high-water marks creeping through the run.
-    emu.set_fluid_epoch(mn_util::SimDuration::from_nanos(1 << 21));
+    // machinery, whose default epoch (2^23 ns = 64 wheel slots) is a whole
+    // multiple of that period, so recompute deadlines stay on the grid.
     let cbr_pipe = mn_distill::PipeId(0);
     assert!(emu.set_pipe_cbr(
         cbr_pipe,
@@ -205,11 +203,9 @@ fn fluid_epochs_and_mid_run_resize_allocate_nothing() {
     let vns: Vec<VnId> = binding.vns().collect();
     let mut deliveries: Vec<mn_emucore::Delivery> = Vec::new();
 
-    // A 2.097152 ms epoch (16 wheel slots) keeps the recompute grid
-    // wheel-periodic and guarantees dozens of epochs inside the measured
-    // window, so the window exercises the chop + solve + redistribute path,
-    // not just plain ticking.
-    emu.set_fluid_epoch(mn_util::SimDuration::from_nanos(1 << 21));
+    // The default epoch (2^23 ns = 64 wheel slots) is wheel-periodic, and
+    // the measured window spans enough of them that it exercises the chop +
+    // solve + redistribute path, not just plain ticking.
     assert!(emu.add_fluid_flow(
         1,
         vns[1],
