@@ -1,0 +1,69 @@
+//! The accuracy–scalability continuum, measured end to end.
+//!
+//! Runs the same foreground workload (bounded TCP transfers between random
+//! VN pairs on the paper's ring) under hop-by-hop emulation — the ground
+//! truth — and under each distilled configuration across compensation
+//! loads, then lets `mn_distill::autodistill` pick the cheapest
+//! configuration fitting a ≤5% per-flow delivery-time error budget.
+//!
+//! `shape_holds` in `BENCH_accuracy.json` gates the acceptance criteria:
+//! the walk-in-2 self-check reproduces the ground truth exactly, the error
+//! table is complete, and the auto-distiller's choice fits the budget with
+//! ≥5× fewer pipes than hop-by-hop (the workload-pruned end-to-end mesh).
+
+use mn_bench::accuracy_sweep::{render, run, shape_holds};
+use mn_bench::Scale;
+
+fn main() {
+    if criterion::invoked_as_test() {
+        return;
+    }
+
+    let scale = Scale::from_args();
+    let sweep = run(scale);
+    print!("{}", render(&sweep));
+
+    let holds = shape_holds(&sweep);
+    let mut report = mn_bench::report::Report::new("accuracy", holds);
+    // One error curve per configuration: x = compensation load, y = mean
+    // per-flow delivery-time error (%).
+    let mut labels: Vec<&str> = sweep.points.iter().map(|p| p.label.as_str()).collect();
+    labels.dedup();
+    for label in labels {
+        let series: Vec<(f64, f64)> = sweep
+            .points
+            .iter()
+            .filter(|p| p.label == label)
+            .map(|p| (p.load, p.mean_error * 100.0))
+            .collect();
+        report = report.with_series(format!("error_pct/{label}"), series);
+        let pipes = sweep
+            .points
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.undirected_pipes as f64)
+            .unwrap_or(0.0);
+        report = report.with_series(format!("pipes/{label}"), vec![(0.0, pipes)]);
+    }
+    let choice = &sweep.choice;
+    report = report
+        .with_series("pipes/hop-by-hop", vec![(0.0, sweep.hop_pipes as f64)])
+        .with_series(
+            "autodistill_pipes_vs_error_pct",
+            vec![(
+                choice.config.undirected_pipes as f64,
+                choice.measured_error * 100.0,
+            )],
+        )
+        .with_series(
+            "autodistill_pipe_reduction_x",
+            vec![(
+                0.0,
+                sweep.hop_pipes as f64 / choice.config.undirected_pipes.max(1) as f64,
+            )],
+        );
+    match report.write_json("BENCH_accuracy") {
+        Ok(path) => println!("bench report written to {path} (shape_holds: {holds})"),
+        Err(err) => eprintln!("could not write bench report: {err}"),
+    }
+}

@@ -44,7 +44,9 @@ fn ring(scale: Scale) -> (RingParams, usize, u64) {
     }
 }
 
-fn random_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+/// Random generator→receiver pairs over the topology's clients (shared with
+/// the accuracy sweep so both harnesses stress the same workload shape).
+pub(crate) fn random_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
     let mut rng = derived_rng(seed, 5);
     let mut clients: Vec<NodeId> = topo.client_nodes().collect();
     clients.shuffle(&mut rng);

@@ -8,6 +8,7 @@
 //! expected shape for each and how the measured output compares.
 
 pub mod accuracy;
+pub mod accuracy_sweep;
 pub mod cfs_experiments;
 pub mod fig11_web;
 pub mod fig12_acdc;

@@ -57,6 +57,8 @@ pub struct Experiment {
     affinity_base: Option<usize>,
     schedule: Option<mn_dynamics::Schedule>,
     fluid_epoch: Option<mn_util::SimDuration>,
+    compensation: Option<f64>,
+    workload_pairs: Option<Vec<(mn_topology::NodeId, mn_topology::NodeId)>>,
 }
 
 impl Experiment {
@@ -75,7 +77,41 @@ impl Experiment {
             affinity_base: None,
             schedule: None,
             fluid_epoch: None,
+            compensation: None,
+            workload_pairs: None,
         }
+    }
+
+    /// Declares the VN pairs the foreground workload will use. Only
+    /// [`DistillationMode::EndToEnd`] consumes this today: the all-pairs
+    /// mesh is pruned to exactly these pairs
+    /// ([`mn_distill::distill_end_to_end_pairs`]), which is what lets
+    /// end-to-end distillation undercut even hop-by-hop's pipe count. Flows
+    /// between undeclared pairs have no route in the pruned graph.
+    pub fn workload_pairs(
+        mut self,
+        pairs: Vec<(mn_topology::NodeId, mn_topology::NodeId)>,
+    ) -> Self {
+        self.workload_pairs = Some(pairs);
+        self
+    }
+
+    /// Installs distillation compensation (§4.1 of the paper: "background
+    /// CBR cross traffic on distilled pipes"): every pipe standing in for
+    /// `k > 1` target links gets a fixed background demand of
+    /// `bandwidth × load × (k − 1) / k`, restoring the interior contention
+    /// the collapsed hops would have imposed at the assumed utilisation
+    /// `load ∈ [0, 1]`.
+    ///
+    /// The rates are derived with [`mn_distill::compensation_rates`] at build
+    /// time and installed in pipe-id order through the fluid (flow-level)
+    /// background-demand slot of each pipe — no packets are synthesised, so
+    /// the compensation path allocates nothing at steady state and both
+    /// execution backends stay bit-identical. A hop-by-hop distillation has
+    /// no collapsed pipes, making this a no-op there.
+    pub fn compensation(mut self, load: f64) -> Self {
+        self.compensation = Some(load);
+        self
     }
 
     /// Sets the cadence at which fluid (flow-level) fair shares are
@@ -193,7 +229,12 @@ impl Experiment {
             return Err(ExperimentError::Disconnected);
         }
         // Distill.
-        let distilled = distill(&self.topology, self.distillation);
+        let distilled = match (&self.workload_pairs, self.distillation) {
+            (Some(pairs), DistillationMode::EndToEnd) => {
+                mn_distill::distill_end_to_end_pairs(&self.topology, pairs)
+            }
+            _ => distill(&self.topology, self.distillation),
+        };
         // Assign.
         let pod = greedy_k_clusters(&distilled, self.cores, self.seed);
         // Bind.
@@ -224,6 +265,14 @@ impl Experiment {
         };
         if let Some(epoch) = self.fluid_epoch {
             backend.set_fluid_epoch(epoch);
+        }
+        if let Some(load) = self.compensation {
+            // Pipe-id order on both backends: the fluid solver allocates
+            // fixed-rate background demands in installation order, so the
+            // order is part of the deterministic contract.
+            for (pipe, rate) in mn_distill::compensation_rates(&distilled, load) {
+                backend.set_pipe_compensation(pipe, Some(rate), mn_util::SimTime::ZERO);
+            }
         }
         let mut runner = Runner::with_backend(backend, binding, self.tcp);
         if let Some(schedule) = schedule {
@@ -271,6 +320,62 @@ mod tests {
             .build_with_distilled()
             .unwrap();
         assert_eq!(distilled.undirected_pipe_count(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn workload_pairs_prune_the_end_to_end_mesh_and_still_run() {
+        use mn_util::{ByteSize, SimDuration, SimTime};
+        let topo = small_ring();
+        let clients: Vec<mn_topology::NodeId> = topo.client_nodes().collect();
+        let pairs = vec![(clients[0], clients[4]), (clients[2], clients[6])];
+        let (mut runner, distilled) = Experiment::new(topo)
+            .distillation(DistillationMode::EndToEnd)
+            .workload_pairs(pairs.clone())
+            .edge_nodes(2)
+            .seed(5)
+            .build_with_distilled()
+            .unwrap();
+        assert_eq!(distilled.undirected_pipe_count(), pairs.len());
+        let src = runner.binding().vn_at(pairs[0].0).unwrap();
+        let dst = runner.binding().vn_at(pairs[0].1).unwrap();
+        let f = runner.add_bulk_flow(src, dst, Some(ByteSize::from_kb(64)), SimTime::ZERO);
+        runner.run_for(SimDuration::from_secs(4));
+        assert!(
+            runner.flow_completed_at(f).is_some(),
+            "a declared pair's flow runs over its pruned pipe"
+        );
+    }
+
+    #[test]
+    fn compensation_load_shapes_goodput_on_collapsed_pipes() {
+        use mn_util::{ByteSize, SimDuration, SimTime};
+        // The same bounded transfer over an end-to-end collapsed pipe takes
+        // strictly longer once compensation claims part of the pipe, and
+        // compensation on a hop-by-hop graph (nothing collapsed) is a no-op.
+        let complete = |mode: DistillationMode, load: Option<f64>| {
+            let mut exp = Experiment::new(small_ring())
+                .distillation(mode)
+                .edge_nodes(2)
+                .unconstrained_hardware()
+                .seed(11);
+            if let Some(load) = load {
+                exp = exp.compensation(load);
+            }
+            let mut runner = exp.build().unwrap();
+            let vns = runner.vn_ids();
+            let f =
+                runner.add_bulk_flow(vns[0], vns[4], Some(ByteSize::from_kb(256)), SimTime::ZERO);
+            runner.run_for(SimDuration::from_secs(30));
+            runner.flow_completed_at(f).expect("transfer completes")
+        };
+        let free = complete(DistillationMode::EndToEnd, None);
+        let zero = complete(DistillationMode::EndToEnd, Some(0.0));
+        let loaded = complete(DistillationMode::EndToEnd, Some(0.6));
+        assert_eq!(free, zero, "zero load installs nothing");
+        assert!(loaded > free, "compensation slows the collapsed pipe");
+        let hop_free = complete(DistillationMode::HopByHop, None);
+        let hop_loaded = complete(DistillationMode::HopByHop, Some(0.6));
+        assert_eq!(hop_free, hop_loaded, "nothing collapsed, nothing to do");
     }
 
     #[test]

@@ -162,6 +162,22 @@ impl EmulatorBackend {
         }
     }
 
+    /// Installs (or clears, with `None`) a distillation-compensation rate on
+    /// a pipe: a fluid-only background demand standing in for the contention
+    /// of the hops the pipe collapsed. Shares the per-pipe background demand
+    /// slot with [`set_pipe_cbr`](Self::set_pipe_cbr) episodes.
+    pub fn set_pipe_compensation(
+        &mut self,
+        pipe: mn_distill::PipeId,
+        rate: Option<DataRate>,
+        from: SimTime,
+    ) -> bool {
+        match self {
+            EmulatorBackend::Sequential(emu) => emu.set_pipe_compensation(pipe, rate, from),
+            EmulatorBackend::Threaded(emu) => emu.set_pipe_compensation(pipe, rate, from),
+        }
+    }
+
     /// Applies an incremental routing change after the listed pipes of
     /// `topo` were mutated in place: only affected shortest-route trees are
     /// recomputed and only changed pairs re-wired; untouched `RouteId`s

@@ -81,6 +81,25 @@ pub fn frontier_sets(topo: &Topology) -> Vec<Option<usize>> {
 /// Returns one entry per node: `None` for unreachable nodes and for the
 /// source itself.
 fn collapse_from_source(topo: &Topology, source: NodeId) -> Vec<Option<(PipeAttrs, usize)>> {
+    collapse_from_source_filtered(topo, source, |_| true)
+}
+
+/// [`collapse_from_source`] restricted to paths whose interior nodes satisfy
+/// `allowed` (the source always is). Used by the walk distillations so mesh
+/// pipes never collapse a detour through the preserved edge region — those
+/// links are emulated natively on the route, and baking their attributes
+/// into a mesh pipe would emulate their contention twice.
+///
+/// Equal-latency ties are pinned to the lowest `(predecessor, link)` pair:
+/// every candidate predecessor of a node is finalised (popped) before the
+/// node itself, so the choice is a pure function of the distance labels and
+/// agrees with [`mn_topology::paths::shortest_path_tree`]'s tie-break
+/// regardless of heap relaxation order.
+fn collapse_from_source_filtered(
+    topo: &Topology,
+    source: NodeId,
+    allowed: impl Fn(NodeId) -> bool,
+) -> Vec<Option<(PipeAttrs, usize)>> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -94,18 +113,26 @@ fn collapse_from_source(topo: &Topology, source: NodeId) -> Vec<Option<(PipeAttr
     dist[source.index()] = 0;
     heap.push(Reverse((0u64, source)));
     // Reliability is tracked separately so it can be multiplied along the
-    // chosen predecessor path.
+    // chosen predecessor path; `pred` pins the tie-break.
     let mut reliability = vec![1.0f64; n];
+    let mut pred: Vec<Option<(NodeId, mn_topology::LinkId)>> = vec![None; n];
     while let Some(Reverse((d, u))) = heap.pop() {
         if d > dist[u.index()] {
             continue;
         }
         for (v, link_id) in topo.neighbors(u) {
+            if !allowed(v) {
+                continue;
+            }
             let link = topo.link(link_id).expect("link exists");
             let cost = link.attrs.latency.as_nanos() + 1;
             let nd = d.saturating_add(cost);
-            if nd < dist[v.index()] {
+            let improved = nd < dist[v.index()];
+            let tie_break = nd == dist[v.index()]
+                && pred[v.index()].is_some_and(|(p, l)| (u, link_id) < (p, l));
+            if improved || tie_break {
                 dist[v.index()] = nd;
+                pred[v.index()] = Some((u, link_id));
                 let (base_bw, base_lat, base_queue, base_hops) = match &attrs[u.index()] {
                     Some((a, hops)) => (a.bandwidth, a.latency, a.queue_len, *hops),
                     None => (
@@ -126,7 +153,9 @@ fn collapse_from_source(topo: &Topology, source: NodeId) -> Vec<Option<(PipeAttr
                     },
                     base_hops + 1,
                 ));
-                heap.push(Reverse((nd, v)));
+                if improved {
+                    heap.push(Reverse((nd, v)));
+                }
             }
         }
     }
@@ -220,6 +249,40 @@ fn distill_end_to_end(topo: &Topology) -> DistilledTopology {
     out
 }
 
+/// End-to-end distillation pruned to a workload: collapses one pipe per
+/// *communicating* VN pair instead of the full `O(n²)` mesh.
+///
+/// This is how end-to-end distillation is deployed in practice — when the
+/// foreground workload is known, pipes for pairs that never exchange traffic
+/// are dead weight, and pruning them is what lets end-to-end distillation
+/// undercut even hop-by-hop's pipe count. Pair order and duplicates are
+/// ignored; pairs whose endpoints are not VNs or are unreachable are skipped.
+pub fn distill_end_to_end_pairs(topo: &Topology, pairs: &[(NodeId, NodeId)]) -> DistilledTopology {
+    let vns = vn_list(topo);
+    let vn_set: BTreeSet<NodeId> = vns.iter().copied().collect();
+    let mut wanted: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    for &(a, b) in pairs {
+        if a != b && vn_set.contains(&a) && vn_set.contains(&b) {
+            wanted.insert((a.min(b), a.max(b)));
+        }
+    }
+    let mut out = DistilledTopology::new(topo.node_count(), vns, 1);
+    let mut sources: Vec<NodeId> = wanted.iter().map(|&(a, _)| a).collect();
+    sources.dedup();
+    for a in sources {
+        let collapsed = collapse_from_source(topo, a);
+        for &(src, b) in wanted.range((a, NodeId(0))..) {
+            if src != a {
+                break;
+            }
+            if let Some((attrs, hops)) = collapsed[b.index()] {
+                out.add_duplex_collapsed(a, b, attrs, hops);
+            }
+        }
+    }
+    out
+}
+
 fn distill_walk(topo: &Topology, walk_in: usize, walk_out: Option<usize>) -> DistilledTopology {
     let walk_in = walk_in.max(1);
     let vns = vn_list(topo);
@@ -253,7 +316,15 @@ fn distill_walk(topo: &Topology, walk_in: usize, walk_out: Option<usize>) -> Dis
         .filter(|&n| levels[n.index()].is_some() && !in_edge_region(n) && !core.contains(&n))
         .collect();
 
-    let route_bound = 2 * walk_in + 1 + if core.is_empty() { 0 } else { core.len() };
+    // Longest distilled route: `walk_in` preserved links on each side, plus
+    // either a single mesh pipe (no preserved core) or — for a route crossing
+    // the preserved core — one mesh pipe *into* the core boundary, up to
+    // `core.len()` core links, and a second mesh pipe back *out* of it.
+    let route_bound = if core.is_empty() {
+        2 * walk_in + 1
+    } else {
+        2 * walk_in + 2 + core.len()
+    };
     let mut out = DistilledTopology::new(topo.node_count(), vns, route_bound);
 
     // Preserve links incident to the edge region and links internal to the
@@ -283,7 +354,11 @@ fn distill_walk(topo: &Topology, walk_in: usize, walk_out: Option<usize>) -> Dis
     mesh_nodes.dedup();
 
     for (i, &a) in mesh_nodes.iter().enumerate() {
-        let collapsed = collapse_from_source(topo, a);
+        // Restrict the collapse to nodes outside the preserved edge region:
+        // a mesh pipe that detoured through a preserved last-mile link would
+        // bake that link's bandwidth into its own attributes while the route
+        // still crosses the link natively, emulating its contention twice.
+        let collapsed = collapse_from_source_filtered(topo, a, |n| !in_edge_region(n));
         for &b in mesh_nodes.iter().skip(i + 1) {
             // Skip pairs already joined by a preserved core link.
             if core.contains(&a) && core.contains(&b) {
@@ -586,6 +661,109 @@ mod tests {
         // Load is clamped into [0, 1].
         for (pipe, rate) in compensation_rates(&lm, 7.5) {
             assert!(rate <= lm.pipe(pipe).attrs.bandwidth);
+        }
+    }
+
+    #[test]
+    fn walk_in_out_route_bound_counts_both_mesh_crossings() {
+        // Chain a - s1..s5 - b with walk_in = walk_out = 1: core {s2,s3,s4},
+        // interior {s1,s5}. A route from a to b takes the preserved access
+        // link, a mesh pipe into the core boundary, preserved core links, a
+        // second mesh pipe back out, and the far access link — the bound must
+        // budget for two mesh pipes, not one.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let stubs: Vec<NodeId> = (0..5).map(|_| topo.add_node(NodeKind::Stub)).collect();
+        let b = topo.add_node(NodeKind::Client);
+        let attrs = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+        topo.add_link(a, stubs[0], attrs).unwrap();
+        for w in stubs.windows(2) {
+            topo.add_link(w[0], w[1], attrs).unwrap();
+        }
+        topo.add_link(stubs[4], b, attrs).unwrap();
+        let d = distill(
+            &topo,
+            DistillationMode::WalkInOut {
+                walk_in: 1,
+                walk_out: 1,
+            },
+        );
+        // 2*walk_in + 2 mesh/frontier pipes + 3 core links.
+        assert_eq!(d.max_route_pipes(), 7);
+    }
+
+    #[test]
+    fn mesh_collapse_never_detours_through_the_edge_region() {
+        // A multihomed client c1 offers a 2-hop, 2 ms shortcut between stubs
+        // s1 and s2; the interior path via s3 takes 20 ms but avoids the
+        // preserved access links. The mesh pipe must collapse the interior
+        // path — collapsing the shortcut would bake the access links'
+        // contention into a pipe the route then crosses natively as well.
+        let mut topo = Topology::new();
+        let c1 = topo.add_node(NodeKind::Client);
+        let c2 = topo.add_node(NodeKind::Client);
+        let s1 = topo.add_node(NodeKind::Stub);
+        let s2 = topo.add_node(NodeKind::Stub);
+        let s3 = topo.add_node(NodeKind::Stub);
+        let access = LinkAttrs::new(DataRate::from_mbps(100), SimDuration::from_millis(1));
+        let interior = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(10));
+        topo.add_link(c1, s1, access).unwrap();
+        topo.add_link(c1, s2, access).unwrap();
+        topo.add_link(c2, s3, access).unwrap();
+        topo.add_link(s1, s3, interior).unwrap();
+        topo.add_link(s3, s2, interior).unwrap();
+        let d = distill(&topo, DistillationMode::LAST_MILE);
+        let pipe = d.find_pipe(s1, s2).expect("interior mesh pipe");
+        assert_eq!(d.pipe(pipe).attrs.bandwidth, DataRate::from_mbps(10));
+        assert_eq!(d.pipe(pipe).attrs.latency, SimDuration::from_millis(20));
+        assert_eq!(d.collapsed_hops(pipe), 2);
+    }
+
+    #[test]
+    fn tied_shortest_paths_collapse_the_lowest_predecessor() {
+        // Two equal-latency paths from a to b: via r1 (added first, lower id)
+        // at 5 Mb/s and via r2 at 50 Mb/s. The tie-break must pin the
+        // lowest-id predecessor chain — r1 — regardless of relaxation order.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let r1 = topo.add_node(NodeKind::Stub);
+        let r2 = topo.add_node(NodeKind::Stub);
+        let b = topo.add_node(NodeKind::Client);
+        let lat = SimDuration::from_millis(2);
+        topo.add_link(a, r1, LinkAttrs::new(DataRate::from_mbps(5), lat))
+            .unwrap();
+        topo.add_link(a, r2, LinkAttrs::new(DataRate::from_mbps(50), lat))
+            .unwrap();
+        topo.add_link(r1, b, LinkAttrs::new(DataRate::from_mbps(5), lat))
+            .unwrap();
+        topo.add_link(r2, b, LinkAttrs::new(DataRate::from_mbps(50), lat))
+            .unwrap();
+        let d = distill(&topo, DistillationMode::EndToEnd);
+        let pipe = d.find_pipe(a, b).expect("collapsed pair");
+        assert_eq!(d.pipe(pipe).attrs.bandwidth, DataRate::from_mbps(5));
+        assert_eq!(d.pipe(pipe).attrs.latency, SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn end_to_end_pairs_prunes_to_the_workload() {
+        let topo = small_ring();
+        let vns: Vec<NodeId> = topo.client_nodes().collect();
+        let pairs = [
+            (vns[0], vns[5]),
+            (vns[5], vns[0]), // duplicate in reverse order
+            (vns[1], vns[7]),
+            (vns[2], vns[2]), // self pair: skipped
+        ];
+        let d = distill_end_to_end_pairs(&topo, &pairs);
+        assert_eq!(d.undirected_pipe_count(), 2);
+        assert_eq!(d.max_route_pipes(), 1);
+        // Attributes match the full end-to-end collapse for the same pair.
+        let full = distill(&topo, DistillationMode::EndToEnd);
+        for (x, y) in [(vns[0], vns[5]), (vns[1], vns[7])] {
+            let p = d.find_pipe(x, y).expect("workload pair collapsed");
+            let q = full.find_pipe(x, y).expect("full mesh pair");
+            assert_eq!(d.pipe(p).attrs, full.pipe(q).attrs);
+            assert_eq!(d.collapsed_hops(p), full.collapsed_hops(q));
         }
     }
 

@@ -21,8 +21,12 @@
 //!   (`walk_out` frontier sets around the topological centre) to model an
 //!   under-provisioned backbone.
 
+pub mod autodistill;
 pub mod distiller;
 pub mod pipe_graph;
 
-pub use distiller::{compensation_rates, distill, frontier_sets, DistillationMode};
+pub use autodistill::{autodistill, CandidateConfig, DistillBudget, DistillChoice, WorkloadSketch};
+pub use distiller::{
+    compensation_rates, distill, distill_end_to_end_pairs, frontier_sets, DistillationMode,
+};
 pub use pipe_graph::{DistilledTopology, Pipe, PipeAttrs, PipeId};

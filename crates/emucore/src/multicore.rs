@@ -442,6 +442,31 @@ impl MultiCoreEmulator {
         true
     }
 
+    /// Installs (or clears, with `None`) a distillation-compensation rate on
+    /// `pipe`: a fixed-rate background demand standing in for the contention
+    /// of the hops the pipe collapsed (§4.1, "background CBR cross traffic").
+    ///
+    /// Unlike [`set_pipe_cbr`](Self::set_pipe_cbr) this is fluid-only — no
+    /// packets are synthesised, foreground traffic just sees the pipe's
+    /// residual capacity — so the steady state allocates nothing and both
+    /// backends stay bit-identical. It shares the per-pipe background demand
+    /// slot with scheduled CBR episodes: installing one replaces the other.
+    ///
+    /// Returns `false` if the pipe is unknown.
+    pub fn set_pipe_compensation(
+        &mut self,
+        pipe: PipeId,
+        rate: Option<DataRate>,
+        from: SimTime,
+    ) -> bool {
+        if self.pod.get_owner(pipe).is_none() {
+            return false;
+        }
+        self.fluid.set_cbr(pipe, rate, from);
+        self.recompute_fluid(from);
+        true
+    }
+
     /// Applies an **incremental** routing change after the listed pipes of
     /// `topo` were mutated in place (failure, restore, latency
     /// renegotiation): the matrix's per-pipe reverse index names exactly

@@ -845,6 +845,25 @@ impl ParallelEmulator {
         true
     }
 
+    /// Installs (or clears) a distillation-compensation rate on `pipe`. Same
+    /// semantics as [`MultiCoreEmulator::set_pipe_compensation`]: fluid-only,
+    /// no packet injection — the coordinator owns the fluid solver and pushes
+    /// residual-capacity changes to the owning worker, exactly as the
+    /// sequential backend pushes them to its cores.
+    pub fn set_pipe_compensation(
+        &mut self,
+        pipe: PipeId,
+        rate: Option<DataRate>,
+        from: SimTime,
+    ) -> bool {
+        if self.pod.get_owner(pipe).is_none() {
+            return false;
+        }
+        self.fluid.set_cbr(pipe, rate, from);
+        self.recompute_fluid(from);
+        true
+    }
+
     /// Applies an incremental routing change after the listed pipes of
     /// `topo` were mutated in place, and installs the re-wired route table
     /// on every core thread. Same semantics as

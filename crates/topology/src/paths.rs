@@ -98,6 +98,12 @@ fn link_cost(topo: &Topology, link: LinkId, metric: PathMetric) -> u64 {
 ///
 /// Returns, for every node, the predecessor `(node, link)` on a shortest path
 /// from `source`, or `None` if unreachable (or for the source itself).
+///
+/// Equal-cost ties are pinned to the lowest `(predecessor, link)` pair. Every
+/// candidate predecessor of a node is finalised (popped) before the node
+/// itself — link costs are at least 1 — so the choice is a pure function of
+/// the distance labels, independent of heap relaxation order, and agrees
+/// with the distiller's path collapse on tied topologies.
 pub fn shortest_path_tree(
     topo: &Topology,
     source: NodeId,
@@ -129,10 +135,15 @@ pub fn shortest_path_tree(
                 continue;
             }
             let nd = d.saturating_add(link_cost(topo, link, metric));
-            if nd < dist[v.index()] {
+            let improved = nd < dist[v.index()];
+            let tie_break =
+                nd == dist[v.index()] && pred[v.index()].is_some_and(|(p, l)| (u, link) < (p, l));
+            if improved || tie_break {
                 dist[v.index()] = nd;
                 pred[v.index()] = Some((u, link));
-                heap.push(Reverse((nd, v)));
+                if improved {
+                    heap.push(Reverse((nd, v)));
+                }
             }
         }
     }

@@ -53,3 +53,44 @@ pub fn arb_unique_path_topology(
         topo
     })
 }
+
+/// The adversarial counterpart of [`arb_unique_path_topology`]: every link
+/// carries the *same* 1 ms latency, so any two equal-hop paths between a
+/// node pair tie exactly, and random chords make such ties plentiful.
+/// Bandwidths stay random — they are the observable that betrays *which*
+/// tied path an algorithm collapsed, without affecting path cost.
+///
+/// Any two independent shortest-path computations (the distiller's collapse,
+/// `shortest_path`, the reference simulator) must agree on these topologies
+/// only if they pin ties the same way.
+#[allow(dead_code)]
+pub fn arb_tied_path_topology() -> impl Strategy<Value = Topology> {
+    (4usize..9, 2usize..7, any::<u64>()).prop_map(|(stubs, clients, seed)| {
+        use rand::Rng;
+        let mut rng = seeded_rng(seed);
+        let latency = SimDuration::from_millis(1);
+        let mut topo = Topology::new();
+        let stub_ids: Vec<_> = (0..stubs).map(|_| topo.add_node(NodeKind::Stub)).collect();
+        for w in stub_ids.windows(2) {
+            let attrs = LinkAttrs::new(DataRate::from_mbps(rng.gen_range(5..100)), latency);
+            topo.add_link(w[0], w[1], attrs).unwrap();
+        }
+        // Chords create the equal-latency alternatives; aim for plenty.
+        for _ in 0..stubs {
+            let a = stub_ids[rng.gen_range(0..stubs)];
+            let b = stub_ids[rng.gen_range(0..stubs)];
+            let joined = a == b || topo.neighbors(a).any(|(v, _)| v == b);
+            if !joined {
+                let attrs = LinkAttrs::new(DataRate::from_mbps(rng.gen_range(5..100)), latency);
+                let _ = topo.add_link(a, b, attrs);
+            }
+        }
+        for _ in 0..clients {
+            let c = topo.add_node(NodeKind::Client);
+            let s = stub_ids[rng.gen_range(0..stubs)];
+            let attrs = LinkAttrs::new(DataRate::from_mbps(rng.gen_range(5..20)), latency);
+            topo.add_link(c, s, attrs).unwrap();
+        }
+        topo
+    })
+}

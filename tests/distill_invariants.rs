@@ -7,7 +7,7 @@ mod common;
 
 use proptest::prelude::*;
 
-use common::arb_unique_path_topology;
+use common::{arb_tied_path_topology, arb_unique_path_topology};
 
 use mn_distill::{distill, frontier_sets, DistillationMode};
 use mn_routing::route_between;
@@ -175,6 +175,34 @@ proptest! {
             }
         }
     }
+
+    /// Equal-latency tie-breaking: on topologies where *every* link has the
+    /// same latency, shortest paths tie constantly, and the distiller's
+    /// collapse must still agree with `shortest_path` — both pin ties to the
+    /// lowest `(predecessor, link)` pair, so the collapsed bandwidth (the
+    /// attribute that differs between tied paths) must match exactly. The
+    /// unique-path generator can never catch a divergence here because its
+    /// power-of-two latencies make every shortest path unique.
+    #[test]
+    fn tied_shortest_paths_collapse_deterministically(topo in arb_tied_path_topology()) {
+        let d = distill(&topo, DistillationMode::EndToEnd);
+        let vns: Vec<NodeId> = topo.client_nodes().collect();
+        for (i, &a) in vns.iter().enumerate() {
+            for &b in vns.iter().skip(i + 1) {
+                let path = shortest_path(&topo, a, b, PathMetric::Latency)
+                    .expect("connected topology");
+                let pipe = d.pipe(d.find_pipe(a, b).expect("mesh pipe exists"));
+                prop_assert_eq!(pipe.attrs.latency, path.total_latency(&topo),
+                    "tied paths must still agree on (latency, hop) cost");
+                prop_assert_eq!(pipe.attrs.bandwidth, path.bottleneck_bandwidth(&topo),
+                    "collapse and shortest_path picked different tied paths \
+                     between {} and {}", a, b);
+                prop_assert!(
+                    (pipe.attrs.reliability() - path.reliability(&topo)).abs() < 1e-9
+                );
+            }
+        }
+    }
 }
 
 /// The last-mile count on the paper's ring family, parametrised:
@@ -235,6 +263,94 @@ fn walk_in_out_preserves_the_core_and_collapses_around_it() {
     // Preserved core links keep their original single-hop attributes.
     let core_link = d.pipe(d.find_pipe(stubs[1], stubs[2]).expect("core link"));
     assert_eq!(core_link.attrs.latency, SimDuration::from_millis(1));
-    // Routes fit the advertised bound (2*walk_in + 1 + |core|).
-    assert_eq!(d.max_route_pipes(), 2 + 1 + 3);
+    // Routes fit the advertised bound: 2*walk_in preserved edge links, one
+    // mesh pipe into the core boundary, up to |core| preserved core links,
+    // and a second mesh pipe back out of the core.
+    assert_eq!(d.max_route_pipes(), 2 + 2 + 3);
+}
+
+/// Regression for the walk-in/out route bound: a route crossing the
+/// preserved core traverses *two* mesh pipes (interior→boundary and
+/// boundary→interior), so the bound must budget `2*walk_in + 2 + |core|` —
+/// the pre-fix `2*walk_in + 1 + |core|` assumed a single mesh crossing.
+/// Every distilled route must fit the advertised bound.
+#[test]
+fn walk_in_out_routes_fit_the_two_mesh_crossing_bound() {
+    // Two clients per end so the edge region is non-trivial, joined by a
+    // seven-stub chain: core {s3,s4,s5}, interior {s1,s2,s6,s7}.
+    let mut topo = Topology::new();
+    let a1 = topo.add_node(NodeKind::Client);
+    let a2 = topo.add_node(NodeKind::Client);
+    let stubs: Vec<NodeId> = (0..7).map(|_| topo.add_node(NodeKind::Stub)).collect();
+    let b1 = topo.add_node(NodeKind::Client);
+    let b2 = topo.add_node(NodeKind::Client);
+    let attrs = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+    topo.add_link(a1, stubs[0], attrs).unwrap();
+    topo.add_link(a2, stubs[0], attrs).unwrap();
+    for w in stubs.windows(2) {
+        topo.add_link(w[0], w[1], attrs).unwrap();
+    }
+    topo.add_link(stubs[6], b1, attrs).unwrap();
+    topo.add_link(stubs[6], b2, attrs).unwrap();
+
+    let d = distill(
+        &topo,
+        DistillationMode::WalkInOut {
+            walk_in: 1,
+            walk_out: 1,
+        },
+    );
+    // Frontiers: clients=1, {s1,s7}=2, {s2,s6}=3, {s3,s5}=4, {s4}=5; with
+    // walk_out=1 the core is frontiers 4..=5 = {s3,s4,s5}: the bound is
+    // 2*walk_in + 2 mesh/frontier pipes + 3 core links.
+    assert_eq!(d.max_route_pipes(), 7);
+    let vns: Vec<NodeId> = topo.client_nodes().collect();
+    for &x in &vns {
+        for &y in &vns {
+            if x == y {
+                continue;
+            }
+            let route = route_between(&d, x, y).expect("route exists");
+            assert!(
+                route.hop_count() <= d.max_route_pipes(),
+                "route {x} -> {y} takes {} pipes, bound {}",
+                route.hop_count(),
+                d.max_route_pipes()
+            );
+        }
+    }
+    // The bound leaves room for a route entering and leaving the core on
+    // separate mesh pipes (access + mesh + s3-s4 + s4-s5 + mesh + access =
+    // six pipes), which the pre-fix bound of 2*walk_in + 1 + |core| = 6
+    // only met with zero slack by double-counting a core link as the
+    // second mesh crossing.
+    let route = route_between(&d, a1, b1).expect("cross-chain route");
+    assert!(route.hop_count() <= d.max_route_pipes());
+}
+
+/// Regression for mesh-collapse double-counting: a mesh pipe whose shortest
+/// path detours through a preserved edge link would bake that link's
+/// contention into its own attributes while routes also cross the link
+/// natively. The collapse is restricted to non-edge-region nodes, so the
+/// multihomed client's 2 ms shortcut must be ignored in favour of the 20 ms
+/// interior path.
+#[test]
+fn mesh_collapse_ignores_preserved_edge_shortcuts() {
+    let mut topo = Topology::new();
+    let c1 = topo.add_node(NodeKind::Client);
+    let c2 = topo.add_node(NodeKind::Client);
+    let s1 = topo.add_node(NodeKind::Stub);
+    let s2 = topo.add_node(NodeKind::Stub);
+    let s3 = topo.add_node(NodeKind::Stub);
+    let access = LinkAttrs::new(DataRate::from_mbps(100), SimDuration::from_millis(1));
+    let interior = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(10));
+    topo.add_link(c1, s1, access).unwrap();
+    topo.add_link(c1, s2, access).unwrap();
+    topo.add_link(c2, s3, access).unwrap();
+    topo.add_link(s1, s3, interior).unwrap();
+    topo.add_link(s3, s2, interior).unwrap();
+    let d = distill(&topo, DistillationMode::LAST_MILE);
+    let pipe = d.pipe(d.find_pipe(s1, s2).expect("interior mesh pipe"));
+    assert_eq!(pipe.attrs.latency, SimDuration::from_millis(20));
+    assert_eq!(pipe.attrs.bandwidth, DataRate::from_mbps(10));
 }

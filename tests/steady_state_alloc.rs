@@ -382,6 +382,111 @@ fn on_demand_route_resolution_allocates_nothing_when_warmed() {
     );
 }
 
+/// Like [`drive_aligned`], but with a 65.536 µs cadence (half a wheel slot,
+/// still wheel-periodic). The last-mile ring below carries 2 Mb/s client
+/// access pipes; the faster cadences would push every source past line rate
+/// and the resulting permanent overload has its own (pre-existing)
+/// allocation noise that would mask what this file's compensation test
+/// pins. At this cadence each VN sources ~1.7 Mb/s — below access line
+/// rate, like every other workload in this file.
+fn drive_slow(
+    emu: &mut MultiCoreEmulator,
+    vns: &[VnId],
+    deliveries: &mut Vec<mn_emucore::Delivery>,
+    start: u64,
+    iters: u64,
+) -> u64 {
+    const CADENCE_NS: u64 = 1 << 16;
+    let mut delivered = 0;
+    for i in start..start + iters {
+        let now = SimTime::from_nanos(i * CADENCE_NS);
+        let src = vns[i as usize % vns.len()];
+        let dst = vns[(i as usize + 7) % vns.len()];
+        let _ = emu.submit(now, tcp_packet(i, src, dst, now));
+        if i % 8 == 0 {
+            deliveries.clear();
+            emu.advance_into(now, deliveries);
+            delivered += deliveries.len() as u64;
+        }
+    }
+    delivered
+}
+
+/// Compensation rides the same zero-alloc discipline: a last-mile
+/// distillation with per-pipe compensation demand installed on every
+/// collapsed mesh pipe must tick, fire fluid epochs and forward
+/// foreground packets without a single allocator call — and a mid-run
+/// compensation retune (the control operation a measured-utilisation
+/// feedback loop would issue) is held to the same bar.
+#[test]
+fn compensated_steady_state_allocates_nothing() {
+    let topo = ring_topology(&RingParams {
+        routers: 8,
+        clients_per_router: 2,
+        ..RingParams::default()
+    });
+    let d = distill(&topo, DistillationMode::LAST_MILE);
+    let matrix = RoutingMatrix::build(&d);
+    let binding = Binding::bind(d.vns(), &BindingParams::new(4, 1));
+    let mut emu =
+        MultiCoreEmulator::single_core(&d, matrix, &binding, HardwareProfile::unconstrained(), 7);
+    // Install the distiller-derived compensation demand on every collapsed
+    // pipe, exactly as `Experiment::compensation` does at build time.
+    let rates = mn_distill::compensation_rates(&d, 0.5);
+    assert!(!rates.is_empty(), "the mesh has collapsed pipes");
+    for &(pipe, rate) in &rates {
+        assert!(emu.set_pipe_compensation(pipe, Some(rate), SimTime::ZERO));
+    }
+    let vns: Vec<VnId> = binding.vns().collect();
+    let mut deliveries: Vec<mn_emucore::Delivery> = Vec::new();
+
+    let warmed = drive_slow(&mut emu, &vns, &mut deliveries, 0, 30_000);
+    assert!(warmed > 0, "warm-up must deliver packets");
+
+    // Steady state with live compensation on every mesh pipe: zero
+    // allocations.
+    let before = alloc_calls();
+    let delivered = drive_slow(&mut emu, &vns, &mut deliveries, 30_000, 5_000);
+    let delta = alloc_calls() - before;
+    assert!(
+        delivered > 0,
+        "compensated steady state must deliver packets"
+    );
+    assert_eq!(
+        delta, 0,
+        "compensated steady state made {delta} heap allocations; \
+         the compensation path must ride the retained fluid scratch"
+    );
+
+    // Retune the compensation load in place (0.5 -> 0.75) on the warmed
+    // emulator: the calls themselves must not allocate…
+    const CADENCE_NS: u64 = 1 << 16;
+    let retuned = mn_distill::compensation_rates(&d, 0.75);
+    let at = SimTime::from_nanos(35_000 * CADENCE_NS);
+    let before = alloc_calls();
+    for &(pipe, rate) in &retuned {
+        assert!(emu.set_pipe_compensation(pipe, Some(rate), at));
+    }
+    assert_eq!(alloc_calls() - before, 0, "set_pipe_compensation allocated");
+
+    // …and after a re-warm against the shrunken residuals, the retuned
+    // steady state is allocation-free again.
+    let _ = drive_slow(&mut emu, &vns, &mut deliveries, 35_000, 10_000);
+    let before = alloc_calls();
+    let delivered = drive_slow(&mut emu, &vns, &mut deliveries, 45_000, 5_000);
+    let delta = alloc_calls() - before;
+    assert!(delivered > 0, "retuned steady state must deliver packets");
+    assert_eq!(
+        delta, 0,
+        "post-retune steady state made {delta} heap allocations; \
+         compensation retuning must keep the per-packet path allocation-free"
+    );
+    assert!(
+        emu.total_stats().fluid_modelled_bytes > 0,
+        "the compensation demand really consumed pipe capacity"
+    );
+}
+
 #[test]
 fn single_core_steady_state_allocates_nothing() {
     let topo = star_topology(&StarParams {
