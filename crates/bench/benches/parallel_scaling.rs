@@ -123,7 +123,7 @@ fn pump(
         now: SimTime,
     ) -> u64 {
         scratch.clear();
-        emu.advance_into(now, scratch);
+        emu.advance_into(now, scratch).unwrap();
         scratch.len() as u64
     }
     let mut delivered = 0u64;
@@ -135,7 +135,8 @@ fn pump(
         batch.push((now, udp_packet(i, src, dst, now)));
         if i % SUBMITS_PER_ADVANCE == SUBMITS_PER_ADVANCE - 1 {
             outcomes.clear();
-            emu.submit_batch(std::mem::take(&mut batch), &mut outcomes);
+            emu.submit_batch(std::mem::take(&mut batch), &mut outcomes)
+                .unwrap();
             batch.reserve(SUBMITS_PER_ADVANCE as usize);
             delivered += drain_step(emu, scratch, now);
         }

@@ -117,7 +117,7 @@ fn delivery_times(
     // Advance in one-second slices and stop as soon as every transfer has
     // completed; the horizon only censors pathological configurations.
     for _ in 0..horizon_secs {
-        runner.run_for(SimDuration::from_secs(1));
+        runner.run_for(SimDuration::from_secs(1)).unwrap();
         if flows.iter().all(|&f| runner.flow_completed_at(f).is_some()) {
             break;
         }

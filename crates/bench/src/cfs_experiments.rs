@@ -64,7 +64,7 @@ fn run_download(window_kb: u64, client_index: usize, seed: u64) -> f64 {
             runner.add_application(vn, Box::new(CfsServer::new(vn, ring.clone())));
         }
     }
-    runner.run_for(SimDuration::from_secs(120));
+    runner.run_for(SimDuration::from_secs(120)).unwrap();
     let client = runner
         .app_as::<CfsClient>(vns[client_index])
         .expect("client app installed");
@@ -123,7 +123,7 @@ pub fn run_fig9(scale: Scale) -> Vec<(u64, Cdf)> {
                 }
                 let flow =
                     runner.add_bulk_flow(src, dst, Some(ByteSize::from_kb(size_kb)), SimTime::ZERO);
-                runner.run_for(SimDuration::from_secs(90));
+                runner.run_for(SimDuration::from_secs(90)).unwrap();
                 if let Some(done) = runner.flow_completed_at(flow) {
                     let secs = done.as_secs_f64();
                     if secs > 0.0 {

@@ -92,7 +92,9 @@ fn run_point(
         runner.add_application(vn, Box::new(WebClient::new(server, parts[i].clone())));
     }
 
-    runner.run_for(SimDuration::from_secs(duration_s + 20));
+    runner
+        .run_for(SimDuration::from_secs(duration_s + 20))
+        .unwrap();
 
     let mut cdf = Cdf::new();
     let mut completed = 0;

@@ -201,7 +201,7 @@ pub fn run(scale: Scale) -> Vec<AcdcSample> {
     let mut t = 0u64;
     while t < d.total_s {
         let next = (t + d.sample_every_s).min(d.total_s);
-        runner.run_until(SimTime::from_secs(next));
+        runner.run_until(SimTime::from_secs(next)).unwrap();
         t = next;
         // Perturb (or restore) the emulated pipes on schedule.
         if t >= d.perturb_start_s && t < d.perturb_end_s {

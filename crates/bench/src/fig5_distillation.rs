@@ -85,7 +85,7 @@ fn run_emulated(
         let dst = binding.vn_at(*r).expect("receiver bound");
         flows.push(runner.add_bulk_flow(src, dst, None, SimTime::ZERO));
     }
-    runner.run_for(SimDuration::from_secs(secs));
+    runner.run_for(SimDuration::from_secs(secs)).unwrap();
     let mut cdf = Cdf::new();
     for f in flows {
         cdf.add(runner.flow_goodput_kbps(f));

@@ -79,7 +79,7 @@ pub fn run(scale: Scale) -> GnutellaSummary {
         );
     }
     let _ = binding;
-    runner.run_for(SimDuration::from_secs(secs));
+    runner.run_for(SimDuration::from_secs(secs)).unwrap();
 
     let mut total_fraction = 0.0;
     let mut min_fraction = 1.0f64;

@@ -136,9 +136,11 @@ fn run_point(vn_count: usize, cross_fraction: f64, measure_secs: u64) -> Multico
         let dst = binding.vn_at(*r).expect("receiver bound");
         runner.add_bulk_flow(src, dst, None, SimTime::ZERO);
     }
-    runner.run_for(SimDuration::from_secs(1));
+    runner.run_for(SimDuration::from_secs(1)).unwrap();
     let before = runner.emulator().total_stats();
-    runner.run_for(SimDuration::from_secs(measure_secs));
+    runner
+        .run_for(SimDuration::from_secs(measure_secs))
+        .unwrap();
     let after = runner.emulator().total_stats();
     MulticoreRow {
         cross_core_fraction: cross_fraction,

@@ -339,7 +339,7 @@ mod tests {
         let src = runner.binding().vn_at(pairs[0].0).unwrap();
         let dst = runner.binding().vn_at(pairs[0].1).unwrap();
         let f = runner.add_bulk_flow(src, dst, Some(ByteSize::from_kb(64)), SimTime::ZERO);
-        runner.run_for(SimDuration::from_secs(4));
+        runner.run_for(SimDuration::from_secs(4)).unwrap();
         assert!(
             runner.flow_completed_at(f).is_some(),
             "a declared pair's flow runs over its pruned pipe"
@@ -365,7 +365,7 @@ mod tests {
             let vns = runner.vn_ids();
             let f =
                 runner.add_bulk_flow(vns[0], vns[4], Some(ByteSize::from_kb(256)), SimTime::ZERO);
-            runner.run_for(SimDuration::from_secs(30));
+            runner.run_for(SimDuration::from_secs(30)).unwrap();
             runner.flow_completed_at(f).expect("transfer completes")
         };
         let free = complete(DistillationMode::EndToEnd, None);
@@ -398,7 +398,7 @@ mod tests {
             let f1 =
                 runner.add_bulk_flow(vns[0], vns[4], Some(ByteSize::from_kb(96)), SimTime::ZERO);
             let f2 = runner.add_bulk_flow(vns[2], vns[6], None, SimTime::from_millis(50));
-            runner.run_for(SimDuration::from_secs(4));
+            runner.run_for(SimDuration::from_secs(4)).unwrap();
             (
                 runner.flow_completed_at(f1),
                 runner.flow_bytes_acked(f1),
@@ -472,7 +472,7 @@ mod tests {
                 },
                 SimTime::ZERO,
             );
-            runner.run_for(SimDuration::from_secs(6));
+            runner.run_for(SimDuration::from_secs(6)).unwrap();
             let engine = runner.dynamics().expect("schedule installed");
             assert!(engine.finished(), "all events applied by t=6s");
             (
@@ -544,7 +544,7 @@ mod tests {
         let flow = runner.add_bulk_flow(src, dst, None, SimTime::ZERO);
         let mut acked_at = Vec::new();
         for step in 1..=12u64 {
-            runner.run_until(SimTime::from_secs(step));
+            runner.run_until(SimTime::from_secs(step)).unwrap();
             acked_at.push(runner.flow_bytes_acked(flow));
         }
         let rate = |from: usize, to: usize| {

@@ -53,14 +53,18 @@ pub mod experiment;
 pub mod runner;
 
 pub use experiment::{Experiment, ExperimentError};
-pub use runner::{EmulatorBackend, ExecutionBackend, FlowId, Runner, UdpFlowId};
+pub use runner::{
+    EmulatorBackend, ExecutionBackend, FlowId, RecoverError, Runner, SnapshotError, UdpFlowId,
+};
 
 // Re-export the pieces users need to drive the pipeline by hand.
 pub use mn_assign::{Binding, BindingParams, CoreId, PipeOwnershipDirectory};
 pub use mn_distill::{distill, DistillationMode, DistilledTopology};
 pub use mn_dynamics::{DynamicsTarget, Schedule, ScheduleEngine, ScheduleEvent};
 pub use mn_edge::{AppAction, AppCtx, Application, Message};
-pub use mn_emucore::{HardwareProfile, MultiCoreEmulator, ParallelEmulator};
+pub use mn_emucore::{
+    ChaosPlan, EmuError, FailureCause, HardwareProfile, MultiCoreEmulator, ParallelEmulator,
+};
 pub use mn_packet::VnId;
 pub use mn_pipe::CbrConfig;
 pub use mn_routing::RoutingMatrix;

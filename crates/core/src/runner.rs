@@ -27,13 +27,19 @@ enum PortBinding {
 }
 
 use mn_assign::Binding;
+use mn_dynamics::ScheduleRestoreError;
 use mn_edge::{AppAction, AppCtx, Application, Message};
-use mn_emucore::{Delivery, MultiCoreEmulator, ParallelEmulator, SubmitOutcome};
+use mn_emucore::{
+    Delivery, EmuError, EmulatorSnapshot, MultiCoreEmulator, ParallelEmulator, SubmitOutcome,
+};
 use mn_packet::{FlowKey, Packet, PacketId, Protocol, TransportHeader, VnId};
 use mn_transport::{
     BulkSender, SegmentToSend, TcpConfig, TcpConnection, UdpStream, UdpStreamConfig,
 };
-use mn_util::{ByteSize, Cdf, DataRate, SimDuration, SimTime, TimerWheel};
+use mn_util::codec::fnv1a64;
+use mn_util::{
+    ByteReader, ByteSize, ByteWriter, Cdf, CodecError, DataRate, SimDuration, SimTime, TimerWheel,
+};
 
 /// Which execution backend drives the emulation core(s).
 ///
@@ -67,18 +73,27 @@ pub enum EmulatorBackend {
 }
 
 impl EmulatorBackend {
-    /// Submits a packet at time `now`.
-    pub fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome {
+    /// Submits a packet at time `now`. On the threaded backend a dead or
+    /// stalled worker surfaces as [`EmuError::WorkerFailure`]; the
+    /// sequential backend cannot fail.
+    pub fn submit(&mut self, now: SimTime, packet: Packet) -> Result<SubmitOutcome, EmuError> {
         match self {
-            EmulatorBackend::Sequential(emu) => emu.submit(now, packet),
+            EmulatorBackend::Sequential(emu) => Ok(emu.submit(now, packet)),
             EmulatorBackend::Threaded(emu) => emu.submit(now, packet),
         }
     }
 
     /// Advances the emulation to `now`, appending deliveries.
-    pub fn advance_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
+    pub fn advance_into(
+        &mut self,
+        now: SimTime,
+        deliveries: &mut Vec<Delivery>,
+    ) -> Result<(), EmuError> {
         match self {
-            EmulatorBackend::Sequential(emu) => emu.advance_into(now, deliveries),
+            EmulatorBackend::Sequential(emu) => {
+                emu.advance_into(now, deliveries);
+                Ok(())
+            }
             EmulatorBackend::Threaded(emu) => emu.advance_into(now, deliveries),
         }
     }
@@ -93,14 +108,32 @@ impl EmulatorBackend {
 
     /// Submits a batch of timestamped packets, appending one outcome per
     /// packet (in input order) to `outcomes` — the bulk-driver fast path
-    /// (the threaded backend pipelines it).
-    pub fn submit_batch<I>(&mut self, batch: I, outcomes: &mut Vec<SubmitOutcome>)
+    /// (the threaded backend pipelines it). On error, `outcomes` is left
+    /// untouched.
+    pub fn submit_batch<I>(
+        &mut self,
+        batch: I,
+        outcomes: &mut Vec<SubmitOutcome>,
+    ) -> Result<(), EmuError>
     where
         I: IntoIterator<Item = (SimTime, Packet)>,
     {
         match self {
-            EmulatorBackend::Sequential(emu) => emu.submit_batch(batch, outcomes),
+            EmulatorBackend::Sequential(emu) => {
+                emu.submit_batch(batch, outcomes);
+                Ok(())
+            }
             EmulatorBackend::Threaded(emu) => emu.submit_batch(batch, outcomes),
+        }
+    }
+
+    /// Serializes the complete emulator state. The snapshot is
+    /// backend-independent: it restores into either backend at any core
+    /// count with bit-identical continuation.
+    pub fn snapshot(&mut self) -> Result<EmulatorSnapshot, EmuError> {
+        match self {
+            EmulatorBackend::Sequential(emu) => Ok(emu.snapshot()),
+            EmulatorBackend::Threaded(emu) => emu.snapshot(),
         }
     }
 
@@ -404,6 +437,141 @@ enum Event {
     FlowStart { ch: usize },
     /// A reconfiguration apply point: the dynamics schedule has events due.
     Reconfig,
+    /// An auto-checkpoint point: serialize the run and arm the next one.
+    Checkpoint,
+}
+
+/// Magic bytes identifying a runner snapshot ("MNRS"). The runner frames its
+/// own payload (which nests the emulator snapshot) so the two formats
+/// version independently.
+const RUNNER_SNAPSHOT_MAGIC: u32 = 0x4D4E_5253;
+
+/// Current runner snapshot format version.
+const RUNNER_SNAPSHOT_VERSION: u32 = 1;
+
+/// Why [`Runner::snapshot`] refused to serialize the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An application instance is installed. Application state is opaque
+    /// (`Box<dyn Application>` plus type-erased in-flight message bodies),
+    /// so checkpointing is only supported for runs driven by raw TCP/UDP
+    /// flows and the dynamics schedule.
+    AppsNotSupported,
+    /// An application channel holds messages written but not yet dispatched
+    /// (unreachable without apps installed; checked defensively).
+    PendingAppMessages,
+    /// The emulator itself failed (a dead or stalled worker on the threaded
+    /// backend).
+    Emulator(EmuError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::AppsNotSupported => {
+                write!(f, "snapshot does not support installed applications")
+            }
+            SnapshotError::PendingAppMessages => {
+                write!(f, "snapshot with undispatched application messages")
+            }
+            SnapshotError::Emulator(e) => write!(f, "emulator snapshot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Why [`Runner::recover_from`] refused to restore a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// An application instance is installed on the recovering runner.
+    AppsNotSupported,
+    /// The snapshot bytes are truncated, corrupted or from an incompatible
+    /// format version.
+    Codec(CodecError),
+    /// The snapshot carries a dynamics-schedule cursor but this runner has
+    /// no schedule installed (or vice versa): the runner was not built from
+    /// the same experiment configuration.
+    ScheduleMismatch,
+    /// The schedule cursor does not reconcile with the restored virtual
+    /// time (see [`ScheduleRestoreError`]).
+    Schedule(ScheduleRestoreError),
+}
+
+impl From<CodecError> for RecoverError {
+    fn from(e: CodecError) -> Self {
+        RecoverError::Codec(e)
+    }
+}
+
+impl From<ScheduleRestoreError> for RecoverError {
+    fn from(e: ScheduleRestoreError) -> Self {
+        RecoverError::Schedule(e)
+    }
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::AppsNotSupported => {
+                write!(f, "recovery does not support installed applications")
+            }
+            RecoverError::Codec(e) => write!(f, "snapshot decode failed: {e:?}"),
+            RecoverError::ScheduleMismatch => write!(
+                f,
+                "snapshot and runner disagree about having a dynamics schedule"
+            ),
+            RecoverError::Schedule(e) => write!(f, "schedule restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Encodes one pending driver event. Application timers are rejected: the
+/// snapshot layer refuses runs with applications installed.
+fn put_event(w: &mut ByteWriter, at: SimTime, event: &Event) -> Result<(), SnapshotError> {
+    w.put_time(at);
+    match event {
+        Event::EmuWakeup => w.put_u8(0),
+        Event::ChannelTimer { ch, side } => {
+            w.put_u8(1);
+            w.put_usize(*ch);
+            w.put_u8(matches!(side, Side::B) as u8);
+        }
+        Event::AppTimer { .. } => return Err(SnapshotError::AppsNotSupported),
+        Event::UdpPoll { flow } => {
+            w.put_u8(3);
+            w.put_usize(*flow);
+        }
+        Event::FlowStart { ch } => {
+            w.put_u8(4);
+            w.put_usize(*ch);
+        }
+        Event::Reconfig => w.put_u8(5),
+        Event::Checkpoint => w.put_u8(6),
+    }
+    Ok(())
+}
+
+/// Decodes one pending driver event written by [`put_event`].
+fn get_event(r: &mut ByteReader<'_>) -> Result<(SimTime, Event), CodecError> {
+    let at = r.get_time()?;
+    let event = match r.get_u8()? {
+        0 => Event::EmuWakeup,
+        1 => Event::ChannelTimer {
+            ch: r.get_usize()?,
+            side: if r.get_u8()? == 0 { Side::A } else { Side::B },
+        },
+        3 => Event::UdpPoll {
+            flow: r.get_usize()?,
+        },
+        4 => Event::FlowStart { ch: r.get_usize()? },
+        5 => Event::Reconfig,
+        6 => Event::Checkpoint,
+        _ => return Err(CodecError::Invalid("runner event tag")),
+    };
+    Ok((at, event))
 }
 
 /// Per-direction message framing state of an application channel.
@@ -493,6 +661,17 @@ pub struct Runner {
     /// dynamics schedule. Taken out of the slot while applying (the engine
     /// mutates the backend, which also lives on `self`).
     dynamics: Option<mn_dynamics::ScheduleEngine>,
+    /// The worker failure that poisoned the run, if any. Once set, every
+    /// `run_until`/`run_for` call returns it until the runner recovers from
+    /// a snapshot.
+    failure: Option<EmuError>,
+    /// Auto-checkpoint cadence, when armed (see
+    /// [`Runner::set_auto_checkpoint`]).
+    auto_checkpoint: Option<SimDuration>,
+    /// The most recent auto-checkpoint: (virtual time, framed snapshot).
+    last_checkpoint: Option<(SimTime, Vec<u8>)>,
+    /// Why auto-checkpointing disarmed itself, if it did.
+    checkpoint_failure: Option<SnapshotError>,
 }
 
 impl Runner {
@@ -529,6 +708,10 @@ impl Runner {
             apps_started: false,
             delivery_buf: Vec::new(),
             dynamics: None,
+            failure: None,
+            auto_checkpoint: None,
+            last_checkpoint: None,
+            checkpoint_failure: None,
         }
     }
 
@@ -824,7 +1007,14 @@ impl Runner {
     // ------------------------------------------------------------------
 
     /// Runs the emulation until virtual time `deadline`.
-    pub fn run_until(&mut self, deadline: SimTime) {
+    ///
+    /// An `Err` means a worker core of the threaded backend died or
+    /// stalled; the run is poisoned (every further call returns the same
+    /// error) until [`Runner::recover_from`] rebuilds it from a checkpoint.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<(), EmuError> {
+        if let Some(error) = &self.failure {
+            return Err(error.clone());
+        }
         if !self.apps_started {
             self.apps_started = true;
             let vns: Vec<VnId> = (0..self.apps.len() as u32)
@@ -840,14 +1030,317 @@ impl Runner {
         while let Some((t, event)) = self.events.pop_due(deadline) {
             self.now = self.now.max(t);
             self.handle_event(event);
+            if let Some(error) = &self.failure {
+                return Err(error.clone());
+            }
         }
         self.now = self.now.max(deadline);
+        Ok(())
     }
 
     /// Runs the emulation for `duration` of additional virtual time.
-    pub fn run_for(&mut self, duration: SimDuration) {
+    pub fn run_for(&mut self, duration: SimDuration) -> Result<(), EmuError> {
         let deadline = self.now + duration;
-        self.run_until(deadline);
+        self.run_until(deadline)
+    }
+
+    /// The worker failure that stopped the run, if any.
+    pub fn failure(&self) -> Option<&EmuError> {
+        self.failure.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete run state — virtual clock, the emulator
+    /// snapshot (pipes, wheels, RNGs, routes, fluid flows), every TCP/UDP
+    /// endpoint, pending driver events, flow counters and the dynamics
+    /// cursor — into a framed, versioned, checksummed byte string.
+    ///
+    /// Restoring via [`Runner::recover_from`] on a freshly built runner
+    /// from the same experiment configuration and running forward is
+    /// bit-identical to never having stopped, on either backend at any
+    /// core count. Runs with applications installed are not supported
+    /// (application state is type-erased).
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        if self.apps.iter().any(|a| a.is_some()) {
+            return Err(SnapshotError::AppsNotSupported);
+        }
+        let emu_snap = self.emulator.snapshot().map_err(SnapshotError::Emulator)?;
+        let emu_bytes = emu_snap.to_bytes();
+        let mut w = ByteWriter::with_capacity(emu_bytes.len() + 4096);
+        w.put_time(self.now);
+        w.put_len(emu_bytes.len());
+        w.put_bytes(&emu_bytes);
+        let entries = self.events.entries_in_order();
+        w.put_len(entries.len());
+        for (at, event) in entries {
+            put_event(&mut w, at, event)?;
+        }
+        w.put_len(self.channels.len());
+        for ch in &self.channels {
+            if !ch.a_to_b.outbox.is_empty() || !ch.b_to_a.outbox.is_empty() {
+                return Err(SnapshotError::PendingAppMessages);
+            }
+            w.put_u32(ch.a.0);
+            w.put_u32(ch.b.0);
+            w.put_u16(ch.port);
+            ch.conn_a.encode_state(&mut w);
+            ch.conn_b.encode_state(&mut w);
+            w.put_u64(ch.a_to_b.written);
+            w.put_u64(ch.a_to_b.dispatched);
+            w.put_u64(ch.b_to_a.written);
+            w.put_u64(ch.b_to_a.dispatched);
+            match &ch.bulk_a {
+                Some(bulk) => {
+                    w.put_bool(true);
+                    bulk.encode_state(&mut w);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_opt_u64(ch.bulk_total);
+            w.put_bool(ch.started);
+            w.put_time(ch.start_at);
+            w.put_opt_time(ch.completed_at);
+            w.put_bool(ch.is_app_channel);
+        }
+        w.put_len(self.port_bindings.len());
+        for binding in &self.port_bindings {
+            match binding {
+                PortBinding::Tcp(idx) => {
+                    w.put_u8(0);
+                    w.put_usize(*idx);
+                }
+                PortBinding::Udp(idx) => {
+                    w.put_u8(1);
+                    w.put_usize(*idx);
+                }
+            }
+        }
+        w.put_len(self.udp_flows.len());
+        for flow in &self.udp_flows {
+            w.put_u32(flow.src.0);
+            w.put_u32(flow.dst.0);
+            w.put_u16(flow.port);
+            flow.stream.encode_state(&mut w);
+            w.put_u32(flow.payload);
+            w.put_u64(flow.received);
+            w.put_u64(flow.bytes_received);
+            w.put_u64(flow.sent);
+        }
+        w.put_u64(self.next_packet_id);
+        w.put_u64(self.packets_submitted);
+        w.put_u64(self.packets_delivered);
+        w.put_opt_time(self.emu_wakeup_at);
+        w.put_bool(self.apps_started);
+        match &self.dynamics {
+            Some(engine) => {
+                w.put_bool(true);
+                w.put_usize(engine.cursor());
+            }
+            None => w.put_bool(false),
+        }
+        match self.auto_checkpoint {
+            Some(every) => {
+                w.put_bool(true);
+                w.put_duration(every);
+            }
+            None => w.put_bool(false),
+        }
+        let payload = w.into_bytes();
+        let mut framed = ByteWriter::with_capacity(payload.len() + 24);
+        framed.put_u32(RUNNER_SNAPSHOT_MAGIC);
+        framed.put_u32(RUNNER_SNAPSHOT_VERSION);
+        framed.put_len(payload.len());
+        framed.put_bytes(&payload);
+        framed.put_u64(fnv1a64(&payload));
+        Ok(framed.into_bytes())
+    }
+
+    /// Restores a [`Runner::snapshot`] into this runner, replacing its
+    /// entire run state.
+    ///
+    /// The runner must have been built from the same experiment
+    /// configuration as the one that took the snapshot (same topology,
+    /// binding, seeds and schedule) and must not have run yet when a
+    /// dynamics schedule is installed (the schedule cursor fast-forward
+    /// requires a fresh engine). The emulator is restored into whichever
+    /// execution backend this runner uses — on the threaded backend that
+    /// rebuilds a fresh worker pool, which is how a run poisoned by a
+    /// worker failure recovers.
+    pub fn recover_from(&mut self, bytes: &[u8]) -> Result<(), RecoverError> {
+        if self.apps.iter().any(|a| a.is_some()) {
+            return Err(RecoverError::AppsNotSupported);
+        }
+        let mut r = ByteReader::new(bytes);
+        if r.get_u32()? != RUNNER_SNAPSHOT_MAGIC {
+            return Err(CodecError::BadMagic.into());
+        }
+        let version = r.get_u32()?;
+        if version != RUNNER_SNAPSHOT_VERSION {
+            return Err(CodecError::BadVersion(version).into());
+        }
+        let payload_len = r.get_len()?;
+        let payload = r.take_bytes(payload_len)?;
+        let checksum = r.get_u64()?;
+        if fnv1a64(payload) != checksum {
+            return Err(CodecError::BadChecksum.into());
+        }
+        // Decode everything into locals first: a decode error part-way
+        // through must leave the runner untouched.
+        let mut r = ByteReader::new(payload);
+        let now = r.get_time()?;
+        let emu_len = r.get_len()?;
+        let emu_bytes = r.take_bytes(emu_len)?;
+        let emu_snap = EmulatorSnapshot::from_bytes(emu_bytes)?;
+        let event_count = r.get_len()?;
+        let mut events = TimerWheel::new();
+        for _ in 0..event_count {
+            let (at, event) = get_event(&mut r)?;
+            events.push(at, event);
+        }
+        let channel_count = r.get_len()?;
+        let mut channels = Vec::with_capacity(channel_count);
+        for _ in 0..channel_count {
+            let a = VnId(r.get_u32()?);
+            let b = VnId(r.get_u32()?);
+            let port = r.get_u16()?;
+            let conn_a = TcpConnection::decode_state(&mut r)?;
+            let conn_b = TcpConnection::decode_state(&mut r)?;
+            let a_to_b = DirState {
+                outbox: VecDeque::new(),
+                written: r.get_u64()?,
+                dispatched: r.get_u64()?,
+            };
+            let b_to_a = DirState {
+                outbox: VecDeque::new(),
+                written: r.get_u64()?,
+                dispatched: r.get_u64()?,
+            };
+            let bulk_a = if r.get_bool()? {
+                Some(BulkSender::decode_state(&mut r)?)
+            } else {
+                None
+            };
+            channels.push(Channel {
+                a,
+                b,
+                port,
+                conn_a,
+                conn_b,
+                a_to_b,
+                b_to_a,
+                bulk_a,
+                bulk_total: r.get_opt_u64()?,
+                started: r.get_bool()?,
+                start_at: r.get_time()?,
+                completed_at: r.get_opt_time()?,
+                is_app_channel: r.get_bool()?,
+            });
+        }
+        let binding_count = r.get_len()?;
+        let mut port_bindings = Vec::with_capacity(binding_count);
+        for _ in 0..binding_count {
+            port_bindings.push(match r.get_u8()? {
+                0 => PortBinding::Tcp(r.get_usize()?),
+                1 => PortBinding::Udp(r.get_usize()?),
+                _ => return Err(CodecError::Invalid("port binding tag").into()),
+            });
+        }
+        let udp_count = r.get_len()?;
+        let mut udp_flows = Vec::with_capacity(udp_count);
+        for _ in 0..udp_count {
+            udp_flows.push(UdpFlow {
+                src: VnId(r.get_u32()?),
+                dst: VnId(r.get_u32()?),
+                port: r.get_u16()?,
+                stream: UdpStream::decode_state(&mut r)?,
+                payload: r.get_u32()?,
+                received: r.get_u64()?,
+                bytes_received: r.get_u64()?,
+                sent: r.get_u64()?,
+            });
+        }
+        let next_packet_id = r.get_u64()?;
+        let packets_submitted = r.get_u64()?;
+        let packets_delivered = r.get_u64()?;
+        let emu_wakeup_at = r.get_opt_time()?;
+        let apps_started = r.get_bool()?;
+        let dynamics_cursor = if r.get_bool()? {
+            Some(r.get_usize()?)
+        } else {
+            None
+        };
+        let auto_checkpoint = if r.get_bool()? {
+            Some(r.get_duration()?)
+        } else {
+            None
+        };
+        // Fast-forward the schedule engine (validates the cursor against
+        // the restored time) before replacing any state.
+        match (dynamics_cursor, self.dynamics.as_mut()) {
+            (Some(cursor), Some(engine)) => engine.restore_cursor(cursor, now)?,
+            (None, None) => {}
+            _ => return Err(RecoverError::ScheduleMismatch),
+        }
+        // Restore the emulator into this runner's backend variant. On the
+        // threaded backend this spawns a fresh worker pool; a previously
+        // poisoned pool is torn down when the old value drops.
+        self.emulator = match &self.emulator {
+            EmulatorBackend::Sequential(_) => {
+                EmulatorBackend::Sequential(MultiCoreEmulator::restore(&emu_snap)?)
+            }
+            EmulatorBackend::Threaded(_) => {
+                EmulatorBackend::Threaded(ParallelEmulator::restore(&emu_snap)?)
+            }
+        };
+        self.now = now;
+        self.events = events;
+        self.channels = channels;
+        self.port_bindings = port_bindings;
+        self.udp_flows = udp_flows;
+        self.app_channel_by_pair.clear();
+        for (idx, ch) in self.channels.iter().enumerate() {
+            if ch.is_app_channel {
+                self.app_channel_by_pair.insert((ch.a, ch.b), idx);
+                self.app_channel_by_pair.insert((ch.b, ch.a), idx);
+            }
+        }
+        self.next_packet_id = next_packet_id;
+        self.packets_submitted = packets_submitted;
+        self.packets_delivered = packets_delivered;
+        self.emu_wakeup_at = emu_wakeup_at;
+        self.apps_started = apps_started;
+        self.auto_checkpoint = auto_checkpoint;
+        self.failure = None;
+        self.checkpoint_failure = None;
+        self.delivery_buf.clear();
+        self.metrics.clear();
+        Ok(())
+    }
+
+    /// Arms periodic auto-checkpointing: every `every` of virtual time the
+    /// runner serializes itself and keeps the most recent snapshot (see
+    /// [`Runner::last_checkpoint`]). If a checkpoint fails — an application
+    /// was installed mid-run, or the emulator died — checkpointing disarms
+    /// and the cause is kept in [`Runner::checkpoint_failure`].
+    pub fn set_auto_checkpoint(&mut self, every: SimDuration) {
+        self.auto_checkpoint = Some(every);
+        self.events.push(self.now + every, Event::Checkpoint);
+    }
+
+    /// The most recent auto-checkpoint: the virtual time it was taken at
+    /// and the framed snapshot bytes.
+    pub fn last_checkpoint(&self) -> Option<(SimTime, &[u8])> {
+        self.last_checkpoint
+            .as_ref()
+            .map(|(at, bytes)| (*at, bytes.as_slice()))
+    }
+
+    /// Why auto-checkpointing disarmed itself, if it did.
+    pub fn checkpoint_failure(&self) -> Option<&SnapshotError> {
+        self.checkpoint_failure.as_ref()
     }
 
     fn handle_event(&mut self, event: Event) {
@@ -883,6 +1376,26 @@ impl Runner {
                         // A reconfiguration can create emulator work (CBR
                         // injections) or retire the pending wakeup.
                         self.schedule_emu_wakeup();
+                    }
+                }
+            }
+            Event::Checkpoint => {
+                if let Some(every) = self.auto_checkpoint {
+                    // Arm the next point *before* serializing so the
+                    // snapshot carries it: a recovered run keeps
+                    // checkpointing on the same virtual-time grid.
+                    self.events.push(self.now + every, Event::Checkpoint);
+                    match self.snapshot() {
+                        Ok(bytes) => self.last_checkpoint = Some((self.now, bytes)),
+                        Err(error) => {
+                            self.auto_checkpoint = None;
+                            if let SnapshotError::Emulator(emu_error) = &error {
+                                if self.failure.is_none() {
+                                    self.failure = Some(emu_error.clone());
+                                }
+                            }
+                            self.checkpoint_failure = Some(error);
+                        }
                     }
                 }
             }
@@ -975,10 +1488,20 @@ impl Runner {
     fn submit_packet(&mut self, packet: Packet) {
         self.packets_submitted += 1;
         match self.emulator.submit(self.now, packet) {
-            SubmitOutcome::Accepted | SubmitOutcome::VirtualDrop | SubmitOutcome::PhysicalDrop => {}
-            SubmitOutcome::NoRoute => {
+            Ok(
+                SubmitOutcome::Accepted | SubmitOutcome::VirtualDrop | SubmitOutcome::PhysicalDrop,
+            ) => {}
+            Ok(SubmitOutcome::NoRoute) => {
                 // Silently dropped: the destination is unreachable (e.g. a
                 // partitioned topology under fault injection).
+            }
+            Err(error) => {
+                // Poison the run; run_until surfaces the error after the
+                // current event finishes.
+                if self.failure.is_none() {
+                    self.failure = Some(error);
+                }
+                return;
             }
         }
         self.schedule_emu_wakeup();
@@ -1123,7 +1646,14 @@ impl Runner {
         // Reuse the delivery buffer across wakeups: take it out of `self` so
         // `handle_delivery` (which needs `&mut self`) can run while we drain.
         let mut deliveries = std::mem::take(&mut self.delivery_buf);
-        self.emulator.advance_into(self.now, &mut deliveries);
+        if let Err(error) = self.emulator.advance_into(self.now, &mut deliveries) {
+            if self.failure.is_none() {
+                self.failure = Some(error);
+            }
+            deliveries.clear();
+            self.delivery_buf = deliveries;
+            return;
+        }
         for delivery in deliveries.drain(..) {
             self.handle_delivery(delivery);
         }
@@ -1287,7 +1817,7 @@ mod tests {
         let vns = runner.vn_ids();
         let flow =
             runner.add_bulk_flow(vns[0], vns[1], Some(ByteSize::from_kb(256)), SimTime::ZERO);
-        runner.run_for(SimDuration::from_secs(10));
+        runner.run_for(SimDuration::from_secs(10)).unwrap();
         let done = runner.flow_completed_at(flow).expect("transfer finishes");
         assert!(done > SimTime::ZERO);
         assert_eq!(runner.flow_bytes_acked(flow), 256 * 1024);
@@ -1305,7 +1835,7 @@ mod tests {
         let mut runner = star_runner(4);
         let vns = runner.vn_ids();
         let flow = runner.add_bulk_flow(vns[0], vns[1], None, SimTime::ZERO);
-        runner.run_for(SimDuration::from_secs(5));
+        runner.run_for(SimDuration::from_secs(5)).unwrap();
         let goodput = runner.flow_goodput_kbps(flow);
         // Two 10 Mb/s spokes in series: steady state close to 10 Mb/s minus
         // header overhead and slow-start warm-up.
@@ -1337,7 +1867,7 @@ mod tests {
             let dst = binding.vn_at(right[i]).unwrap();
             flows.push(runner.add_bulk_flow(src, dst, None, SimTime::ZERO));
         }
-        runner.run_for(SimDuration::from_secs(12));
+        runner.run_for(SimDuration::from_secs(12)).unwrap();
         let rates: Vec<f64> = flows.iter().map(|&f| runner.flow_goodput_kbps(f)).collect();
         let total: f64 = rates.iter().sum();
         // The 10 Mb/s bottleneck is shared: aggregate close to 10 Mb/s…
@@ -1365,7 +1895,7 @@ mod tests {
             },
             SimTime::ZERO,
         );
-        runner.run_for(SimDuration::from_secs(5));
+        runner.run_for(SimDuration::from_secs(5)).unwrap();
         assert_eq!(runner.udp_flow_sent(flow), 200);
         let (received, bytes) = runner.udp_flow_received(flow);
         // 2 Mb/s offered into 10 Mb/s spokes: nothing should be lost.
@@ -1388,7 +1918,7 @@ mod tests {
             },
             SimTime::ZERO,
         );
-        runner.run_for(SimDuration::from_secs(5));
+        runner.run_for(SimDuration::from_secs(5)).unwrap();
         let (received, _) = runner.udp_flow_received(flow);
         assert_eq!(runner.udp_flow_sent(flow), 2000);
         assert!(
@@ -1459,7 +1989,7 @@ mod tests {
                 outstanding_since: None,
             }),
         );
-        runner.run_for(SimDuration::from_secs(10));
+        runner.run_for(SimDuration::from_secs(10)).unwrap();
         let app = runner.app_as::<PingPong>(vns[0]).unwrap();
         assert_eq!(app.completed.len(), 5);
         // Star spokes are 5 ms each: a round trip crosses 4 spokes ≥ 20 ms.
@@ -1473,11 +2003,64 @@ mod tests {
     }
 
     #[test]
+    fn auto_checkpoint_fires_on_the_virtual_time_grid() {
+        let mut runner = star_runner(4);
+        let vns = runner.vn_ids();
+        runner.add_bulk_flow(vns[0], vns[1], None, SimTime::ZERO);
+        runner.set_auto_checkpoint(SimDuration::from_secs(2));
+        assert!(runner.last_checkpoint().is_none());
+        runner.run_for(SimDuration::from_secs(3)).unwrap();
+        let (at, bytes) = runner.last_checkpoint().expect("first checkpoint fired");
+        assert_eq!(at, SimTime::from_secs(2));
+        assert!(!bytes.is_empty());
+        assert!(runner.checkpoint_failure().is_none());
+        runner.run_for(SimDuration::from_secs(2)).unwrap();
+        let (at, _) = runner.last_checkpoint().expect("checkpoint advanced");
+        assert_eq!(at, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn checkpointing_disarms_when_an_application_appears_mid_run() {
+        let mut runner = star_runner(4);
+        let vns = runner.vn_ids();
+        runner.set_auto_checkpoint(SimDuration::from_secs(1));
+        runner.run_for(SimDuration::from_secs(2)).unwrap();
+        assert!(runner.last_checkpoint().is_some());
+        runner.add_application(
+            vns[0],
+            Box::new(PingPong {
+                peer: vns[1],
+                initiator: true,
+                rounds: 1,
+                completed: vec![],
+                outstanding_since: None,
+            }),
+        );
+        assert_eq!(
+            runner.snapshot().unwrap_err(),
+            SnapshotError::AppsNotSupported
+        );
+        assert_eq!(
+            runner.recover_from(&[]).unwrap_err(),
+            RecoverError::AppsNotSupported
+        );
+        // The next grid point hits the same refusal: checkpointing disarms
+        // instead of failing the run, and keeps the cause.
+        runner.run_for(SimDuration::from_secs(2)).unwrap();
+        assert_eq!(
+            runner.checkpoint_failure(),
+            Some(&SnapshotError::AppsNotSupported)
+        );
+        let (at, _) = runner.last_checkpoint().expect("pre-app checkpoint kept");
+        assert!(at <= SimTime::from_secs(2));
+    }
+
+    #[test]
     fn emulator_counters_match_runner_counters() {
         let mut runner = star_runner(4);
         let vns = runner.vn_ids();
         runner.add_bulk_flow(vns[0], vns[1], Some(ByteSize::from_kb(64)), SimTime::ZERO);
-        runner.run_for(SimDuration::from_secs(5));
+        runner.run_for(SimDuration::from_secs(5)).unwrap();
         let stats = runner.emulator().total_stats();
         assert!(stats.packets_delivered > 0);
         assert_eq!(stats.physical_drops(), 0);

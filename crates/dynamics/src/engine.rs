@@ -94,6 +94,113 @@ pub trait DynamicsTarget {
     }
 }
 
+/// Why [`ScheduleEngine::restore_cursor`] refused to fast-forward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleRestoreError {
+    /// The engine has already applied events; restore requires a fresh
+    /// engine built from the same experiment configuration.
+    NotFresh {
+        /// How many events the engine had already applied.
+        applied: usize,
+    },
+    /// The checkpointed cursor points past the end of the schedule — the
+    /// snapshot was taken against a different (longer) schedule.
+    CursorOutOfRange {
+        /// The checkpointed cursor.
+        cursor: usize,
+        /// This schedule's event count.
+        len: usize,
+    },
+    /// A still-pending event is stamped before the restored virtual time:
+    /// it would have to fire in the past, so the cursor and the snapshot
+    /// disagree about how far the run had progressed.
+    EventBeforeRestore {
+        /// Index of the offending event in the schedule.
+        index: usize,
+        /// Its scheduled time.
+        at: SimTime,
+        /// The virtual time the emulation resumes at.
+        resumed_at: SimTime,
+    },
+}
+
+impl std::fmt::Display for ScheduleRestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleRestoreError::NotFresh { applied } => write!(
+                f,
+                "schedule restore requires a fresh engine ({applied} events already applied)"
+            ),
+            ScheduleRestoreError::CursorOutOfRange { cursor, len } => write!(
+                f,
+                "checkpointed schedule cursor {cursor} exceeds schedule length {len}"
+            ),
+            ScheduleRestoreError::EventBeforeRestore {
+                index,
+                at,
+                resumed_at,
+            } => write!(
+                f,
+                "pending schedule event {index} at {at:?} predates restored time {resumed_at:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleRestoreError {}
+
+/// No-op target for [`ScheduleEngine::restore_cursor`] replays: the engine
+/// folds topology mutations into its authoritative graph while the restored
+/// emulator (which already carries the effects) hears nothing.
+struct Quiet;
+
+impl DynamicsTarget for Quiet {
+    fn update_pipe_attrs(&mut self, _pipe: PipeId, _attrs: PipeAttrs) -> bool {
+        true
+    }
+    fn set_pipe_cbr(&mut self, _pipe: PipeId, _config: Option<CbrConfig>, _from: SimTime) -> bool {
+        true
+    }
+    fn reroute(&mut self, _topo: &DistilledTopology, _changed: &[PipeId]) -> RouteUpdate {
+        RouteUpdate::default()
+    }
+    fn add_fluid_flow(
+        &mut self,
+        _tag: u64,
+        _src: VnId,
+        _dst: VnId,
+        _demand: DataRate,
+        _clients: u32,
+        _at: SimTime,
+    ) -> bool {
+        true
+    }
+    fn resize_fluid_flow(
+        &mut self,
+        _tag: u64,
+        _demand: DataRate,
+        _clients: u32,
+        _at: SimTime,
+    ) -> bool {
+        true
+    }
+    fn remove_fluid_flow(&mut self, _tag: u64, _at: SimTime) -> bool {
+        true
+    }
+    fn vn_join(
+        &mut self,
+        _topo: &DistilledTopology,
+        _vn: VnId,
+        _location: NodeId,
+        _at: SimTime,
+    ) -> bool {
+        true
+    }
+    fn vn_leave(&mut self, _vn: VnId, _at: SimTime) -> bool {
+        true
+    }
+}
+
 /// What one [`ScheduleEngine::apply_due`] call did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AppliedChanges {
@@ -188,6 +295,60 @@ impl ScheduleEngine {
         &self.schedule
     }
 
+    /// Index of the first unapplied schedule event. Together with the
+    /// schedule itself (which the snapshot layer does not serialize — it is
+    /// part of the experiment configuration) this is the engine's complete
+    /// restorable state: see [`ScheduleEngine::restore_cursor`].
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Fast-forwards a **fresh** engine to a checkpointed position.
+    ///
+    /// The first `cursor` events are replayed against a silent no-op target
+    /// so the engine's authoritative pipe graph folds in every applied
+    /// change (the emulator side was restored from the snapshot and already
+    /// carries them), then every still-pending event is validated against
+    /// the restored virtual time: an event stamped before `resumed_at`
+    /// would have to fire in the past, which means the cursor and the
+    /// snapshot disagree — a structured error, not a silent skip.
+    pub fn restore_cursor(
+        &mut self,
+        cursor: usize,
+        resumed_at: SimTime,
+    ) -> Result<(), ScheduleRestoreError> {
+        if self.cursor != 0 {
+            return Err(ScheduleRestoreError::NotFresh {
+                applied: self.cursor,
+            });
+        }
+        let len = self.schedule.len();
+        if cursor > len {
+            return Err(ScheduleRestoreError::CursorOutOfRange { cursor, len });
+        }
+        for index in cursor..len {
+            let (at, _) = self.schedule.events()[index];
+            if at < resumed_at {
+                return Err(ScheduleRestoreError::EventBeforeRestore {
+                    index,
+                    at,
+                    resumed_at,
+                });
+            }
+        }
+        let mut quiet = Quiet;
+        let mut discard = AppliedChanges::default();
+        while self.cursor < cursor {
+            let (at, event) = self.schedule.events()[self.cursor];
+            self.cursor += 1;
+            self.apply_one(&mut quiet, at, event, &mut discard);
+        }
+        // The emulator restored its own routing state; the batched-reroute
+        // scratch from the replay must not leak into the next apply point.
+        self.changed.clear();
+        Ok(())
+    }
+
     /// Applies every event due at or before `now` to `target`, in schedule
     /// order, batching all routing-relevant changes into a single
     /// incremental reroute at the end of the apply point.
@@ -199,114 +360,7 @@ impl ScheduleEngine {
             }
             self.cursor += 1;
             applied.events += 1;
-            match event {
-                ScheduleEvent::SetPipe { pipe, attrs } => {
-                    self.apply_pipe(target, pipe, attrs, &mut applied);
-                }
-                ScheduleEvent::LinkDown { pipe } => {
-                    let Some(current) = self.topo.get_pipe(pipe).map(|p| p.attrs) else {
-                        continue;
-                    };
-                    let failed = PipeAttrs {
-                        bandwidth: DataRate::ZERO,
-                        ..current
-                    };
-                    self.apply_pipe(target, pipe, failed, &mut applied);
-                }
-                ScheduleEvent::LinkUp { pipe } => {
-                    let Some(&original) = self.original.get(pipe.index()) else {
-                        continue;
-                    };
-                    self.apply_pipe(target, pipe, original, &mut applied);
-                }
-                ScheduleEvent::NodeDown { node } => {
-                    let mut pipes = std::mem::take(&mut self.node_scratch);
-                    pipes.clear();
-                    pipes.extend_from_slice(
-                        self.incident
-                            .get(node.index())
-                            .map(Vec::as_slice)
-                            .unwrap_or(&[]),
-                    );
-                    for &pipe in &pipes {
-                        let current = self.topo.pipe(pipe).attrs;
-                        let failed = PipeAttrs {
-                            bandwidth: DataRate::ZERO,
-                            ..current
-                        };
-                        self.apply_pipe(target, pipe, failed, &mut applied);
-                    }
-                    self.node_scratch = pipes;
-                }
-                ScheduleEvent::NodeUp { node } => {
-                    let mut pipes = std::mem::take(&mut self.node_scratch);
-                    pipes.clear();
-                    pipes.extend_from_slice(
-                        self.incident
-                            .get(node.index())
-                            .map(Vec::as_slice)
-                            .unwrap_or(&[]),
-                    );
-                    for &pipe in &pipes {
-                        let original = self.original[pipe.index()];
-                        self.apply_pipe(target, pipe, original, &mut applied);
-                    }
-                    self.node_scratch = pipes;
-                }
-                ScheduleEvent::CbrStart { pipe, config } => {
-                    // Injection starts at the event's scheduled time, not
-                    // the (possibly later) apply time: replays are
-                    // deterministic regardless of driver granularity.
-                    if target.set_pipe_cbr(pipe, Some(config), at) {
-                        applied.cbr_changes += 1;
-                    }
-                }
-                ScheduleEvent::CbrStop { pipe } => {
-                    if target.set_pipe_cbr(pipe, None, at) {
-                        applied.cbr_changes += 1;
-                    }
-                }
-                ScheduleEvent::FluidStart {
-                    tag,
-                    src,
-                    dst,
-                    demand,
-                    clients,
-                } => {
-                    // Like CBR events, the flow is effective from its
-                    // scheduled time, not the (possibly later) apply time.
-                    if target.add_fluid_flow(tag, src, dst, demand, clients, at) {
-                        applied.fluid_changes += 1;
-                    }
-                }
-                ScheduleEvent::FluidResize {
-                    tag,
-                    demand,
-                    clients,
-                } => {
-                    if target.resize_fluid_flow(tag, demand, clients, at) {
-                        applied.fluid_changes += 1;
-                    }
-                }
-                ScheduleEvent::FluidStop { tag } => {
-                    if target.remove_fluid_flow(tag, at) {
-                        applied.fluid_changes += 1;
-                    }
-                }
-                ScheduleEvent::VnJoin { vn, location } => {
-                    // The engine's authoritative graph carries every
-                    // applied pipe change, so the newcomer's source tree
-                    // is computed against current attributes.
-                    if target.vn_join(&self.topo, vn, location, at) {
-                        applied.vn_changes += 1;
-                    }
-                }
-                ScheduleEvent::VnLeave { vn } => {
-                    if target.vn_leave(vn, at) {
-                        applied.vn_changes += 1;
-                    }
-                }
-            }
+            self.apply_one(target, at, event, &mut applied);
         }
         if !self.changed.is_empty() {
             let update = target.reroute(&self.topo, &self.changed);
@@ -314,6 +368,125 @@ impl ScheduleEngine {
             applied.reroute = Some(update);
         }
         applied
+    }
+
+    /// Applies a single schedule event to `target`, updating `applied` and
+    /// the batched-reroute scratch.
+    fn apply_one<T: DynamicsTarget>(
+        &mut self,
+        target: &mut T,
+        at: SimTime,
+        event: ScheduleEvent,
+        applied: &mut AppliedChanges,
+    ) {
+        match event {
+            ScheduleEvent::SetPipe { pipe, attrs } => {
+                self.apply_pipe(target, pipe, attrs, applied);
+            }
+            ScheduleEvent::LinkDown { pipe } => {
+                let Some(current) = self.topo.get_pipe(pipe).map(|p| p.attrs) else {
+                    return;
+                };
+                let failed = PipeAttrs {
+                    bandwidth: DataRate::ZERO,
+                    ..current
+                };
+                self.apply_pipe(target, pipe, failed, applied);
+            }
+            ScheduleEvent::LinkUp { pipe } => {
+                let Some(&original) = self.original.get(pipe.index()) else {
+                    return;
+                };
+                self.apply_pipe(target, pipe, original, applied);
+            }
+            ScheduleEvent::NodeDown { node } => {
+                let mut pipes = std::mem::take(&mut self.node_scratch);
+                pipes.clear();
+                pipes.extend_from_slice(
+                    self.incident
+                        .get(node.index())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]),
+                );
+                for &pipe in &pipes {
+                    let current = self.topo.pipe(pipe).attrs;
+                    let failed = PipeAttrs {
+                        bandwidth: DataRate::ZERO,
+                        ..current
+                    };
+                    self.apply_pipe(target, pipe, failed, applied);
+                }
+                self.node_scratch = pipes;
+            }
+            ScheduleEvent::NodeUp { node } => {
+                let mut pipes = std::mem::take(&mut self.node_scratch);
+                pipes.clear();
+                pipes.extend_from_slice(
+                    self.incident
+                        .get(node.index())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]),
+                );
+                for &pipe in &pipes {
+                    let original = self.original[pipe.index()];
+                    self.apply_pipe(target, pipe, original, applied);
+                }
+                self.node_scratch = pipes;
+            }
+            ScheduleEvent::CbrStart { pipe, config } => {
+                // Injection starts at the event's scheduled time, not
+                // the (possibly later) apply time: replays are
+                // deterministic regardless of driver granularity.
+                if target.set_pipe_cbr(pipe, Some(config), at) {
+                    applied.cbr_changes += 1;
+                }
+            }
+            ScheduleEvent::CbrStop { pipe } => {
+                if target.set_pipe_cbr(pipe, None, at) {
+                    applied.cbr_changes += 1;
+                }
+            }
+            ScheduleEvent::FluidStart {
+                tag,
+                src,
+                dst,
+                demand,
+                clients,
+            } => {
+                // Like CBR events, the flow is effective from its
+                // scheduled time, not the (possibly later) apply time.
+                if target.add_fluid_flow(tag, src, dst, demand, clients, at) {
+                    applied.fluid_changes += 1;
+                }
+            }
+            ScheduleEvent::FluidResize {
+                tag,
+                demand,
+                clients,
+            } => {
+                if target.resize_fluid_flow(tag, demand, clients, at) {
+                    applied.fluid_changes += 1;
+                }
+            }
+            ScheduleEvent::FluidStop { tag } => {
+                if target.remove_fluid_flow(tag, at) {
+                    applied.fluid_changes += 1;
+                }
+            }
+            ScheduleEvent::VnJoin { vn, location } => {
+                // The engine's authoritative graph carries every
+                // applied pipe change, so the newcomer's source tree
+                // is computed against current attributes.
+                if target.vn_join(&self.topo, vn, location, at) {
+                    applied.vn_changes += 1;
+                }
+            }
+            ScheduleEvent::VnLeave { vn } => {
+                if target.vn_leave(vn, at) {
+                    applied.vn_changes += 1;
+                }
+            }
+        }
     }
 
     /// Writes one pipe's new attributes into the authoritative graph and
@@ -625,6 +798,77 @@ mod tests {
         let applied = engine.apply_due(t(5), &mut NoChurn);
         assert_eq!(applied.events, 1);
         assert_eq!(applied.vn_changes, 0);
+    }
+
+    #[test]
+    fn restore_cursor_folds_applied_changes_without_touching_the_target() {
+        let d = graph();
+        let t = SimTime::from_secs;
+        let schedule = Schedule::new()
+            .duplex_down(t(1), PipeId(0), PipeId(1))
+            .duplex_up(t(3), PipeId(0), PipeId(1));
+        // A reference engine applies the failure the normal way.
+        let mut reference = ScheduleEngine::new(d.clone(), schedule.clone());
+        let mut target = MockTarget::default();
+        reference.apply_due(t(2), &mut target);
+        assert_eq!(reference.cursor(), 2);
+        // A fresh engine fast-forwarded to the same cursor must agree on
+        // the pipe graph and the pending tail — with zero target calls.
+        let mut restored = ScheduleEngine::new(d, schedule);
+        restored.restore_cursor(2, t(2)).expect("valid cursor");
+        assert_eq!(restored.cursor(), 2);
+        assert_eq!(restored.pending(), reference.pending());
+        assert_eq!(restored.next_time(), Some(t(3)));
+        assert!(restored
+            .topology()
+            .pipe(PipeId(0))
+            .attrs
+            .bandwidth
+            .is_zero());
+        // Resuming walks the remaining schedule exactly like the reference.
+        let mut quiet_after = MockTarget::default();
+        let up = restored.apply_due(t(3), &mut quiet_after);
+        assert_eq!(up.pipes_updated, 2);
+        assert_eq!(
+            quiet_after.reroutes,
+            vec![vec![PipeId(0), PipeId(1)]],
+            "only the post-restore apply point reroutes"
+        );
+        assert!(restored.finished());
+    }
+
+    #[test]
+    fn restore_cursor_rejects_structured_inconsistencies() {
+        let t = SimTime::from_secs;
+        let schedule = Schedule::new()
+            .link_down(t(1), PipeId(0))
+            .link_up(t(2), PipeId(0));
+        // Not fresh: an engine that already applied events refuses.
+        let mut engine = ScheduleEngine::new(graph(), schedule.clone());
+        engine.apply_due(t(1), &mut MockTarget::default());
+        assert_eq!(
+            engine.restore_cursor(1, t(1)),
+            Err(ScheduleRestoreError::NotFresh { applied: 1 })
+        );
+        // Cursor past the end of the schedule.
+        let mut engine = ScheduleEngine::new(graph(), schedule.clone());
+        assert_eq!(
+            engine.restore_cursor(3, t(5)),
+            Err(ScheduleRestoreError::CursorOutOfRange { cursor: 3, len: 2 })
+        );
+        // A pending event stamped before the restored time: the cursor
+        // claims the t(1) failure never applied, yet time is already t(5).
+        let mut engine = ScheduleEngine::new(graph(), schedule);
+        assert_eq!(
+            engine.restore_cursor(0, t(5)),
+            Err(ScheduleRestoreError::EventBeforeRestore {
+                index: 0,
+                at: t(1),
+                resumed_at: t(5),
+            })
+        );
+        // The failed restore mutated nothing: a correct one still works.
+        assert!(engine.restore_cursor(1, t(1)).is_ok());
     }
 
     #[test]

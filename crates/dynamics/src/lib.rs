@@ -31,6 +31,6 @@ pub mod faults;
 pub mod schedule;
 
 pub use cross_traffic::{CrossTrafficMatrix, PipeLoad, QueueingModel};
-pub use engine::{AppliedChanges, DynamicsTarget, ScheduleEngine};
+pub use engine::{AppliedChanges, DynamicsTarget, ScheduleEngine, ScheduleRestoreError};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, LinkPerturbation};
 pub use schedule::{Schedule, ScheduleEvent};

@@ -71,6 +71,33 @@ impl AccuracyLog {
         self.max_hops
     }
 
+    /// The raw accumulators `(error, per_hop_error, delivered, max_hops)`,
+    /// for checkpointing the log mid-run.
+    pub fn snapshot_parts(&self) -> (RunningStats, RunningStats, u64, usize) {
+        (
+            self.error,
+            self.per_hop_error,
+            self.delivered,
+            self.max_hops,
+        )
+    }
+
+    /// Rebuilds a log from accumulators captured by
+    /// [`AccuracyLog::snapshot_parts`].
+    pub fn from_snapshot_parts(
+        error: RunningStats,
+        per_hop_error: RunningStats,
+        delivered: u64,
+        max_hops: usize,
+    ) -> Self {
+        AccuracyLog {
+            error,
+            per_hop_error,
+            delivered,
+            max_hops,
+        }
+    }
+
     /// Checks the paper's accuracy bound: every per-hop error within the
     /// scheduler tick, every end-to-end error within `max_hops * tick`.
     pub fn within_bound(&self, tick: SimDuration) -> bool {

@@ -173,7 +173,7 @@ struct CbrSource {
 }
 
 /// One emulation core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EmulatorCore {
     id: CoreId,
     profile: HardwareProfile,
@@ -756,6 +756,281 @@ impl EmulatorCore {
     /// Packets staged for tunnelling before the next tick.
     pub fn pending_remote_len(&self) -> usize {
         self.pending_remote.len()
+    }
+}
+
+impl EmulatorCore {
+    /// Serializes this core's complete emulation state for a checkpoint:
+    /// every installed pipe (attributes, discipline, RED average, drain
+    /// clock, stats, fluid demand and in-flight packets in queue order), the
+    /// scheduler wheel's pending entries in pop order (stale entries
+    /// included, so the restored wheel services deadlines identically),
+    /// staged tunnel descriptors, CBR meters, the fluid/CPU/NIC accounting,
+    /// counters, the accuracy log and the RNG stream position. The hardware
+    /// profile and route table are shared emulator-level state and are
+    /// written once by the emulator snapshot, not per core.
+    pub fn encode_state(&self, w: &mut mn_util::ByteWriter) {
+        use crate::snapshot::put_descriptor;
+
+        w.put_usize(self.id.index());
+        w.put_len(self.pipes.len());
+        for slot in &self.pipes {
+            let Some(pipe) = slot else {
+                w.put_bool(false);
+                continue;
+            };
+            w.put_bool(true);
+            let attrs = *pipe.attrs();
+            w.put_rate(attrs.bandwidth);
+            w.put_duration(attrs.latency);
+            w.put_f64(attrs.loss_rate);
+            w.put_usize(attrs.queue_len);
+            match pipe.discipline() {
+                QueueDiscipline::DropTail => w.put_u8(0),
+                QueueDiscipline::Red(params) => {
+                    w.put_u8(1);
+                    w.put_f64(params.min_threshold);
+                    w.put_f64(params.max_threshold);
+                    w.put_f64(params.max_drop_probability);
+                    w.put_f64(params.weight);
+                }
+            }
+            w.put_f64(pipe.red_average());
+            w.put_time(pipe.drain_busy_until());
+            let stats = *pipe.stats();
+            w.put_u64(stats.enqueued);
+            w.put_u64(stats.dequeued);
+            w.put_u64(stats.dropped_overflow);
+            w.put_u64(stats.dropped_loss);
+            w.put_u64(stats.dropped_red);
+            w.put_u64(stats.bytes_out);
+            w.put_rate(pipe.fluid_demand());
+            w.put_len(pipe.in_flight_count());
+            for (item, size, drain_finish, exit_time) in pipe.in_flight_entries() {
+                put_descriptor(w, item);
+                w.put_size(size);
+                w.put_time(drain_finish);
+                w.put_time(exit_time);
+            }
+        }
+        let wheel_entries = self.wheel.entries_in_order();
+        w.put_len(wheel_entries.len());
+        for (time, pipe) in wheel_entries {
+            w.put_time(time);
+            w.put_usize(pipe.index());
+        }
+        w.put_len(self.pending_remote.len());
+        for (pipe, descriptor, at) in &self.pending_remote {
+            w.put_usize(pipe.index());
+            put_descriptor(w, descriptor);
+            w.put_time(*at);
+        }
+        w.put_len(self.cbr.len());
+        for source in &self.cbr {
+            w.put_usize(source.pipe.index());
+            w.put_size(source.packet_size);
+            w.put_duration(source.interval);
+            w.put_time(source.next_at);
+        }
+        w.put_u64(self.fluid_total_bps);
+        w.put_time(self.fluid_last);
+        w.put_u64(self.fluid_bits_ns_rem);
+        w.put_duration(self.cpu_backlog);
+        w.put_duration(self.cpu_busy_total);
+        w.put_time(self.cpu_last_credit);
+        w.put_time(self.started_at);
+        w.put_time(self.last_seen);
+        w.put_f64(self.rx_tokens);
+        w.put_time(self.rx_last_refill);
+        let s = &self.stats;
+        for v in [
+            s.packets_offered,
+            s.packets_admitted,
+            s.packets_delivered,
+            s.tunnels_out,
+            s.tunnels_in,
+            s.physical_drops_nic,
+            s.physical_drops_cpu,
+            s.bytes_in,
+            s.bytes_out,
+            s.cbr_injected,
+            s.dropped_unreachable,
+            s.fluid_modelled_bytes,
+        ] {
+            w.put_u64(v);
+        }
+        let (error, per_hop, delivered, max_hops) = self.accuracy.snapshot_parts();
+        for stats in [error, per_hop] {
+            let (count, mean, m2, min, max) = stats.snapshot_parts();
+            w.put_u64(count);
+            w.put_f64(mean);
+            w.put_f64(m2);
+            w.put_f64(min);
+            w.put_f64(max);
+        }
+        w.put_u64(delivered);
+        w.put_usize(max_hops);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+    }
+
+    /// Rebuilds a core from [`EmulatorCore::encode_state`] output. `profile`
+    /// and `routes` are the emulator-level shared state the snapshot carries
+    /// once. The restored core is observationally identical to the one that
+    /// was encoded: same deadlines, same queue contents, same RNG draws.
+    pub fn decode_state(
+        r: &mut mn_util::ByteReader,
+        profile: HardwareProfile,
+        routes: Arc<RouteTable>,
+    ) -> Result<Self, mn_util::CodecError> {
+        use crate::snapshot::get_descriptor;
+        use mn_util::CodecError;
+
+        let id = CoreId(r.get_usize()?);
+        let pipe_slots = r.get_len()?;
+        let mut pipes: Vec<Option<EmuPipe<Descriptor>>> = Vec::with_capacity(pipe_slots);
+        for _ in 0..pipe_slots {
+            if !r.get_bool()? {
+                pipes.push(None);
+                continue;
+            }
+            let attrs = PipeAttrs {
+                bandwidth: r.get_rate()?,
+                latency: r.get_duration()?,
+                loss_rate: r.get_f64()?,
+                queue_len: r.get_usize()?,
+            };
+            let discipline = match r.get_u8()? {
+                0 => QueueDiscipline::DropTail,
+                1 => QueueDiscipline::Red(mn_pipe::RedParams {
+                    min_threshold: r.get_f64()?,
+                    max_threshold: r.get_f64()?,
+                    max_drop_probability: r.get_f64()?,
+                    weight: r.get_f64()?,
+                }),
+                _ => return Err(CodecError::Invalid("unknown queue discipline tag")),
+            };
+            let red_average = r.get_f64()?;
+            let drain_busy_until = r.get_time()?;
+            let stats = PipeStats {
+                enqueued: r.get_u64()?,
+                dequeued: r.get_u64()?,
+                dropped_overflow: r.get_u64()?,
+                dropped_loss: r.get_u64()?,
+                dropped_red: r.get_u64()?,
+                bytes_out: r.get_u64()?,
+            };
+            let fluid_demand = r.get_rate()?;
+            let in_flight_count = r.get_len()?;
+            let mut in_flight = Vec::with_capacity(in_flight_count);
+            for _ in 0..in_flight_count {
+                let item = get_descriptor(r)?;
+                let size = r.get_size()?;
+                let drain_finish = r.get_time()?;
+                let exit_time = r.get_time()?;
+                in_flight.push((item, size, drain_finish, exit_time));
+            }
+            pipes.push(Some(EmuPipe::from_snapshot_parts(
+                attrs,
+                discipline,
+                red_average,
+                drain_busy_until,
+                stats,
+                fluid_demand,
+                in_flight,
+            )));
+        }
+        let wheel_count = r.get_len()?;
+        let mut wheel = TimerWheel::new();
+        for _ in 0..wheel_count {
+            let time = r.get_time()?;
+            let pipe = PipeId(r.get_usize()?);
+            wheel.push(time, pipe);
+        }
+        let pending_count = r.get_len()?;
+        let mut pending_remote = Vec::with_capacity(pending_count);
+        for _ in 0..pending_count {
+            let pipe = PipeId(r.get_usize()?);
+            let descriptor = get_descriptor(r)?;
+            let at = r.get_time()?;
+            pending_remote.push((pipe, descriptor, at));
+        }
+        let cbr_count = r.get_len()?;
+        let mut cbr = Vec::with_capacity(cbr_count);
+        for _ in 0..cbr_count {
+            cbr.push(CbrSource {
+                pipe: PipeId(r.get_usize()?),
+                packet_size: r.get_size()?,
+                interval: r.get_duration()?,
+                next_at: r.get_time()?,
+            });
+        }
+        let fluid_total_bps = r.get_u64()?;
+        let fluid_last = r.get_time()?;
+        let fluid_bits_ns_rem = r.get_u64()?;
+        let cpu_backlog = r.get_duration()?;
+        let cpu_busy_total = r.get_duration()?;
+        let cpu_last_credit = r.get_time()?;
+        let started_at = r.get_time()?;
+        let last_seen = r.get_time()?;
+        let rx_tokens = r.get_f64()?;
+        let rx_last_refill = r.get_time()?;
+        let stats = CoreStats {
+            packets_offered: r.get_u64()?,
+            packets_admitted: r.get_u64()?,
+            packets_delivered: r.get_u64()?,
+            tunnels_out: r.get_u64()?,
+            tunnels_in: r.get_u64()?,
+            physical_drops_nic: r.get_u64()?,
+            physical_drops_cpu: r.get_u64()?,
+            bytes_in: r.get_u64()?,
+            bytes_out: r.get_u64()?,
+            cbr_injected: r.get_u64()?,
+            dropped_unreachable: r.get_u64()?,
+            fluid_modelled_bytes: r.get_u64()?,
+        };
+        let mut running = [mn_util::RunningStats::new(), mn_util::RunningStats::new()];
+        for slot in &mut running {
+            let count = r.get_u64()?;
+            let mean = r.get_f64()?;
+            let m2 = r.get_f64()?;
+            let min = r.get_f64()?;
+            let max = r.get_f64()?;
+            *slot = mn_util::RunningStats::from_snapshot_parts(count, mean, m2, min, max);
+        }
+        let delivered = r.get_u64()?;
+        let max_hops = r.get_usize()?;
+        let accuracy =
+            AccuracyLog::from_snapshot_parts(running[0], running[1], delivered, max_hops);
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64()?;
+        }
+        Ok(EmulatorCore {
+            id,
+            profile,
+            routes,
+            pipes,
+            wheel,
+            pending_remote,
+            pending_scratch: Vec::new(),
+            ready_scratch: Vec::new(),
+            cbr,
+            fluid_total_bps,
+            fluid_last,
+            fluid_bits_ns_rem,
+            cpu_backlog,
+            cpu_busy_total,
+            cpu_last_credit,
+            started_at,
+            last_seen,
+            rx_tokens,
+            rx_last_refill,
+            stats,
+            accuracy,
+            rng: StdRng::from_state(rng_state),
+        })
     }
 }
 

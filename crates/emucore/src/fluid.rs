@@ -366,6 +366,144 @@ impl FluidState {
         &self.changed
     }
 
+    /// Serializes the fluid state for a checkpoint: the settled clock, epoch
+    /// grid, every flow slot in order (so restore reproduces slot indices and
+    /// therefore CBR allocation order exactly), and the per-pipe capacity and
+    /// distributed-demand vectors. Solver scratch is excluded.
+    pub fn encode(&self, w: &mut mn_util::ByteWriter) {
+        w.put_time(self.clock);
+        w.put_duration(self.epoch);
+        match self.next_epoch {
+            None => w.put_bool(false),
+            Some(t) => {
+                w.put_bool(true);
+                w.put_time(t);
+            }
+        }
+        w.put_len(self.flows.len());
+        for flow in &self.flows {
+            match flow.key {
+                FlowKey::User(tag) => {
+                    w.put_u8(0);
+                    w.put_u64(tag);
+                }
+                FlowKey::Cbr(pipe) => {
+                    w.put_u8(1);
+                    w.put_usize(pipe.index());
+                }
+            }
+            match flow.kind {
+                FlowKind::Route { src, dst } => {
+                    w.put_u8(0);
+                    w.put_u32(src.0);
+                    w.put_u32(dst.0);
+                }
+                FlowKind::Pipe { pipe } => {
+                    w.put_u8(1);
+                    w.put_usize(pipe.index());
+                }
+            }
+            w.put_u64(flow.demand_bps);
+            w.put_u64(flow.weight);
+            w.put_u64(flow.rate_bps);
+            w.put_len(flow.pipes.len());
+            for pipe in &flow.pipes {
+                w.put_usize(pipe.index());
+            }
+            w.put_bool(flow.routable);
+            w.put_u128(flow.goodput_bits_ns);
+            w.put_bool(flow.frozen);
+        }
+        w.put_len(self.capacity_bps.len());
+        for &c in &self.capacity_bps {
+            w.put_u64(c);
+        }
+        for &d in &self.demand_bps {
+            w.put_u64(d);
+        }
+        w.put_bool(self.routes_dirty);
+    }
+
+    /// Rebuilds the state from [`FluidState::encode`] output. The flow index
+    /// and solver scratch are reconstructed; a restored state produces the
+    /// same solves, integrals and epoch schedule as the original.
+    pub fn decode(r: &mut mn_util::ByteReader) -> Result<Self, mn_util::CodecError> {
+        let clock = r.get_time()?;
+        let epoch = r.get_duration()?;
+        let next_epoch = if r.get_bool()? {
+            Some(r.get_time()?)
+        } else {
+            None
+        };
+        let flow_count = r.get_len()?;
+        let mut flows = Vec::with_capacity(flow_count);
+        let mut index = HashMap::with_capacity(flow_count);
+        for slot in 0..flow_count {
+            let key = match r.get_u8()? {
+                0 => FlowKey::User(r.get_u64()?),
+                1 => FlowKey::Cbr(PipeId(r.get_usize()?)),
+                _ => return Err(mn_util::CodecError::Invalid("unknown fluid flow key tag")),
+            };
+            let kind = match r.get_u8()? {
+                0 => FlowKind::Route {
+                    src: VnId(r.get_u32()?),
+                    dst: VnId(r.get_u32()?),
+                },
+                1 => FlowKind::Pipe {
+                    pipe: PipeId(r.get_usize()?),
+                },
+                _ => return Err(mn_util::CodecError::Invalid("unknown fluid flow kind tag")),
+            };
+            let demand_bps = r.get_u64()?;
+            let weight = r.get_u64()?;
+            let rate_bps = r.get_u64()?;
+            let pipe_count = r.get_len()?;
+            let mut pipes = Vec::with_capacity(pipe_count);
+            for _ in 0..pipe_count {
+                pipes.push(PipeId(r.get_usize()?));
+            }
+            let routable = r.get_bool()?;
+            let goodput_bits_ns = r.get_u128()?;
+            let frozen = r.get_bool()?;
+            index.insert(key, slot);
+            flows.push(FlowSlot {
+                key,
+                kind,
+                demand_bps,
+                weight,
+                rate_bps,
+                pipes,
+                routable,
+                goodput_bits_ns,
+                frozen,
+            });
+        }
+        let pipe_count = r.get_len()?;
+        let mut capacity_bps = Vec::with_capacity(pipe_count);
+        for _ in 0..pipe_count {
+            capacity_bps.push(r.get_u64()?);
+        }
+        let mut demand_bps = Vec::with_capacity(pipe_count);
+        for _ in 0..pipe_count {
+            demand_bps.push(r.get_u64()?);
+        }
+        let routes_dirty = r.get_bool()?;
+        Ok(FluidState {
+            clock,
+            epoch,
+            next_epoch,
+            flows,
+            index,
+            capacity_bps,
+            demand_bps,
+            new_demand: vec![0; pipe_count],
+            remaining: vec![0; pipe_count],
+            wsum: vec![0; pipe_count],
+            changed: Vec::new(),
+            routes_dirty,
+        })
+    }
+
     /// Re-resolves every routed flow's pipe list from the route table.
     fn resolve_routes(&mut self, routes: &RouteTable) {
         for flow in &mut self.flows {
@@ -701,6 +839,60 @@ mod tests {
         assert_eq!(fluid.flow_rate(2), Some(mbps(8)));
         // Removing for an uninvolved VN is a no-op.
         assert_eq!(fluid.remove_vn_flows(VnId(0), SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn codec_round_trip_is_byte_stable_and_resumes_identically() {
+        let routes = table(
+            &[(0, 1, vec![PipeId(0), PipeId(1)]), (2, 3, vec![PipeId(1)])],
+            4,
+        );
+        let mut fluid = FluidState::new(vec![mbps(4).as_bps(), mbps(10).as_bps()]);
+        fluid.add_flow(1, VnId(0), VnId(1), mbps(100), 3, SimTime::ZERO);
+        fluid.add_flow(2, VnId(2), VnId(3), mbps(100), 1, SimTime::ZERO);
+        fluid.set_cbr(PipeId(1), Some(mbps(2)), SimTime::ZERO);
+        fluid.recompute(SimTime::ZERO, &routes);
+        fluid.integrate_to(SimTime::from_millis(7));
+
+        let mut w = mn_util::ByteWriter::new();
+        fluid.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = FluidState::decode(&mut mn_util::ByteReader::new(&bytes)).unwrap();
+
+        // Snapshot → restore → snapshot is byte-identical.
+        let mut w2 = mn_util::ByteWriter::new();
+        restored.encode(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        // The restored state observes and evolves exactly like the original.
+        assert_eq!(restored.clock(), fluid.clock());
+        assert_eq!(restored.next_epoch(), fluid.next_epoch());
+        assert_eq!(restored.flow_rate(1), fluid.flow_rate(1));
+        assert_eq!(restored.flow_goodput_bytes(2), fluid.flow_goodput_bytes(2));
+        assert_eq!(restored.modelled_clients(), fluid.modelled_clients());
+        for state in [&mut fluid, &mut restored] {
+            state.resize_flow(1, mbps(3), 2, SimTime::from_millis(7));
+            state.recompute(SimTime::from_millis(9), &routes);
+            state.integrate_to(SimTime::from_millis(20));
+        }
+        assert_eq!(restored.flow_rate(1), fluid.flow_rate(1));
+        assert_eq!(restored.flow_rate(2), fluid.flow_rate(2));
+        assert_eq!(restored.flow_goodput_bytes(1), fluid.flow_goodput_bytes(1));
+        assert_eq!(restored.flow_goodput_bytes(2), fluid.flow_goodput_bytes(2));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_flow_tag() {
+        let mut fluid = FluidState::new(vec![mbps(10).as_bps()]);
+        fluid.set_cbr(PipeId(0), Some(mbps(1)), SimTime::ZERO);
+        let mut w = mn_util::ByteWriter::new();
+        fluid.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // The flow-key tag byte follows clock + epoch + Option tag + len.
+        let tag_at = 8 + 8 + 1 + 8;
+        assert_eq!(bytes[tag_at], 1, "layout drifted; fix the offset");
+        bytes[tag_at] = 9;
+        assert!(FluidState::decode(&mut mn_util::ByteReader::new(&bytes)).is_err());
     }
 
     #[test]

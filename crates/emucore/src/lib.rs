@@ -26,18 +26,24 @@
 //!   medium, node mobility).
 
 pub mod accuracy;
+pub mod chaos;
 pub mod core;
 pub mod descriptor;
+pub mod error;
 pub mod fluid;
 pub mod hardware;
 pub mod multicore;
 pub mod parallel;
+pub mod snapshot;
 pub mod wireless;
 
 pub use accuracy::AccuracyLog;
+pub use chaos::ChaosPlan;
 pub use core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
 pub use descriptor::{Delivery, Descriptor};
+pub use error::{EmuError, FailureCause};
 pub use fluid::FluidState;
 pub use hardware::HardwareProfile;
 pub use multicore::{MultiCoreEmulator, SubmitOutcome};
 pub use parallel::ParallelEmulator;
+pub use snapshot::{EmulatorSnapshot, SNAPSHOT_VERSION};

@@ -767,6 +767,137 @@ impl MultiCoreEmulator {
         self.fluid.integrate_to(now);
     }
 
+    /// Serializes the complete emulator state into a checkpoint restorable
+    /// by [`MultiCoreEmulator::restore`] (or into the threaded backend via
+    /// [`crate::ParallelEmulator::restore`]). Resuming from the snapshot is
+    /// bit-identical to never having stopped. Scratch buffers (tick pass,
+    /// solver scratch) hold no state and are not captured.
+    pub fn snapshot(&self) -> crate::snapshot::EmulatorSnapshot {
+        let mut w = mn_util::ByteWriter::with_capacity(64 * 1024);
+        self.encode_state(&mut w);
+        crate::snapshot::EmulatorSnapshot::from_payload(w.into_bytes())
+    }
+
+    /// Rebuilds an emulator from a checkpoint taken by
+    /// [`MultiCoreEmulator::snapshot`] on either backend.
+    pub fn restore(
+        snapshot: &crate::snapshot::EmulatorSnapshot,
+    ) -> Result<Self, mn_util::CodecError> {
+        Self::decode_state(&mut snapshot.reader())
+    }
+
+    /// Writes the backend-independent emulator payload. Kept separate from
+    /// [`MultiCoreEmulator::snapshot`] so the parallel backend can emit the
+    /// identical layout from its collected worker cores.
+    pub(crate) fn encode_state(&self, w: &mut mn_util::ByteWriter) {
+        encode_emulator_state(
+            w,
+            &self.profile,
+            &self.routes,
+            &self.matrix,
+            &self.pod,
+            &self.vn_location,
+            &self.vn_entry_core,
+            &self.vn_active,
+            &self.core_load,
+            &self.tunnels_in_flight,
+            &self.local_deliveries,
+            &self.fluid,
+            self.cores.iter(),
+        );
+    }
+
+    /// Reads the payload written by [`MultiCoreEmulator::encode_state`].
+    pub(crate) fn decode_state(r: &mut mn_util::ByteReader) -> Result<Self, mn_util::CodecError> {
+        use crate::snapshot::{get_delivery, get_descriptor};
+        use mn_util::CodecError;
+
+        let profile = HardwareProfile {
+            nic_rate: r.get_rate()?,
+            nic_buffer: mn_util::ByteSize::from_bytes(r.get_u64()?),
+            per_packet_cpu: r.get_duration()?,
+            per_hop_cpu: r.get_duration()?,
+            tunnel_cpu: r.get_duration()?,
+            tunnel_latency: r.get_duration()?,
+            tick: r.get_duration()?,
+            saturation_backlog: r.get_duration()?,
+            packet_debt_correction: r.get_bool()?,
+            payload_caching: r.get_bool()?,
+        };
+        let routes = Arc::new(RouteTable::decode(r)?);
+        let matrix = RoutingMatrix::decode(r)?;
+        let core_count = r.get_usize()?;
+        let pipe_count = r.get_len()?;
+        let mut owners = Vec::with_capacity(pipe_count);
+        for _ in 0..pipe_count {
+            let owner = r.get_usize()?;
+            if owner >= core_count {
+                return Err(CodecError::Invalid("pipe owner out of range"));
+            }
+            owners.push(CoreId(owner));
+        }
+        let pod = PipeOwnershipDirectory::from_owners(owners, core_count.max(1));
+        let vn_count = r.get_len()?;
+        let mut vn_location = Vec::with_capacity(vn_count);
+        for _ in 0..vn_count {
+            vn_location.push(NodeId(r.get_usize()?));
+        }
+        let mut vn_entry_core = Vec::with_capacity(vn_count);
+        for _ in 0..vn_count {
+            vn_entry_core.push(CoreId(r.get_usize()?));
+        }
+        let mut vn_active = Vec::with_capacity(vn_count);
+        for _ in 0..vn_count {
+            vn_active.push(r.get_bool()?);
+        }
+        let load_count = r.get_len()?;
+        let mut core_load = Vec::with_capacity(load_count);
+        for _ in 0..load_count {
+            core_load.push(r.get_u32()?);
+        }
+        let tunnel_count = r.get_len()?;
+        let mut tunnels_in_flight = TimerWheel::new();
+        for _ in 0..tunnel_count {
+            let time = r.get_time()?;
+            let target = CoreId(r.get_usize()?);
+            let descriptor = get_descriptor(r)?;
+            tunnels_in_flight.push(time, (target, descriptor));
+        }
+        let local_count = r.get_len()?;
+        let mut local_deliveries = Vec::with_capacity(local_count);
+        for _ in 0..local_count {
+            local_deliveries.push(get_delivery(r)?);
+        }
+        let fluid = FluidState::decode(r)?;
+        let encoded_cores = r.get_len()?;
+        if encoded_cores != core_count {
+            return Err(CodecError::Invalid("core count mismatch"));
+        }
+        let mut cores = Vec::with_capacity(core_count);
+        for idx in 0..core_count {
+            let core = EmulatorCore::decode_state(r, profile, routes.clone())?;
+            if core.id().index() != idx {
+                return Err(CodecError::Invalid("core ids out of order"));
+            }
+            cores.push(core);
+        }
+        Ok(MultiCoreEmulator {
+            cores,
+            pod,
+            matrix,
+            routes,
+            vn_location,
+            vn_entry_core,
+            vn_active,
+            core_load,
+            tunnels_in_flight,
+            local_deliveries,
+            tick_buf: TickOutput::default(),
+            profile,
+            fluid,
+        })
+    }
+
     /// One un-chopped advance of every core (and the tunnel wheel) to `now`.
     fn advance_cores_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
         deliveries.append(&mut self.local_deliveries);
@@ -800,6 +931,85 @@ impl MultiCoreEmulator {
             }
         }
         self.tick_buf = tick_buf;
+    }
+}
+
+/// Writes the backend-independent emulator payload from its constituent
+/// pieces. Both backends call this — the sequential emulator with its own
+/// fields, the parallel coordinator with the cores collected from its
+/// workers — so the two can never drift into incompatible layouts.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_emulator_state<'a>(
+    w: &mut mn_util::ByteWriter,
+    profile: &HardwareProfile,
+    routes: &RouteTable,
+    matrix: &RoutingMatrix,
+    pod: &PipeOwnershipDirectory,
+    vn_location: &[NodeId],
+    vn_entry_core: &[CoreId],
+    vn_active: &[bool],
+    core_load: &[u32],
+    tunnels_in_flight: &TimerWheel<(CoreId, Descriptor)>,
+    local_deliveries: &[Delivery],
+    fluid: &FluidState,
+    cores: impl ExactSizeIterator<Item = &'a EmulatorCore>,
+) {
+    use crate::snapshot::{put_delivery, put_descriptor};
+
+    w.put_rate(profile.nic_rate);
+    w.put_u64(profile.nic_buffer.as_bytes());
+    w.put_duration(profile.per_packet_cpu);
+    w.put_duration(profile.per_hop_cpu);
+    w.put_duration(profile.tunnel_cpu);
+    w.put_duration(profile.tunnel_latency);
+    w.put_duration(profile.tick);
+    w.put_duration(profile.saturation_backlog);
+    w.put_bool(profile.packet_debt_correction);
+    w.put_bool(profile.payload_caching);
+    routes.encode(w);
+    matrix.encode(w);
+    w.put_usize(pod.core_count());
+    w.put_len(pod.pipe_count());
+    for pipe in 0..pod.pipe_count() {
+        w.put_usize(pod.owner(PipeId(pipe)).index());
+    }
+    w.put_len(vn_location.len());
+    for loc in vn_location {
+        w.put_usize(loc.index());
+    }
+    for core in vn_entry_core {
+        w.put_usize(core.index());
+    }
+    for &active in vn_active {
+        w.put_bool(active);
+    }
+    w.put_len(core_load.len());
+    for &load in core_load {
+        w.put_u32(load);
+    }
+    // Canonical tunnel order: (arrival time, target core), with per-target
+    // FIFO preserved by the stable sort. Same-time tunnels to *different*
+    // targets commute (each `accept_tunnel` touches only its own core), so
+    // sorting does not change the restored run — it makes the encoding
+    // independent of which backend produced the wheel, so a sequential and a
+    // threaded snapshot of the same emulation point are byte-identical and
+    // snapshot → restore → snapshot is byte-stable on both backends.
+    let mut tunnels = tunnels_in_flight.entries_in_order();
+    tunnels.sort_by_key(|&(time, &(target, _))| (time, target.index()));
+    w.put_len(tunnels.len());
+    for (time, (target, descriptor)) in tunnels {
+        w.put_time(time);
+        w.put_usize(target.index());
+        put_descriptor(w, descriptor);
+    }
+    w.put_len(local_deliveries.len());
+    for delivery in local_deliveries {
+        put_delivery(w, delivery);
+    }
+    fluid.encode(w);
+    w.put_len(cores.len());
+    for core in cores {
+        core.encode_state(w);
     }
 }
 
@@ -873,6 +1083,112 @@ mod tests {
             }
         }
         all
+    }
+
+    #[test]
+    fn snapshot_mid_run_resumes_bit_identically() {
+        // Run A straight through; run B snapshots mid-flight (tunnels in the
+        // air, packets queued in pipes, RNG streams advanced), restores, and
+        // continues. Both must produce identical deliveries and stats — and
+        // snapshot → restore → snapshot must be byte-stable.
+        let drive = |emu: &mut MultiCoreEmulator,
+                     src: VnId,
+                     dst: VnId,
+                     from: u64,
+                     to: u64,
+                     out: &mut Vec<Delivery>| {
+            for i in from..to {
+                let t = SimTime::from_micros(i * 700);
+                emu.submit(t, tcp_packet(i, src, dst, 1460, t));
+                out.extend(emu.advance(t));
+            }
+        };
+        let record = |d: &Delivery| (d.packet.id.0, d.delivered_at, d.entered_at, d.hops);
+
+        let (mut uninterrupted, src, dst) = single_path(6, 2);
+        let mut a = Vec::new();
+        drive(&mut uninterrupted, src, dst, 0, 40, &mut a);
+        a.extend(run_until_idle(&mut uninterrupted, SimTime::ZERO));
+
+        let (mut first_half, src, dst) = single_path(6, 2);
+        let mut b = Vec::new();
+        drive(&mut first_half, src, dst, 0, 20, &mut b);
+        let snap = first_half.snapshot();
+        assert!(first_half.total_stats().packets_admitted > 0);
+        drop(first_half);
+
+        let mut resumed = MultiCoreEmulator::restore(&snap).unwrap();
+        let resnap = resumed.snapshot();
+        assert_eq!(
+            snap.to_bytes(),
+            resnap.to_bytes(),
+            "snapshot → restore → snapshot must be byte-stable"
+        );
+        drive(&mut resumed, src, dst, 20, 40, &mut b);
+        b.extend(run_until_idle(&mut resumed, SimTime::ZERO));
+
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.iter().map(record).collect::<Vec<_>>(),
+            b.iter().map(record).collect::<Vec<_>>()
+        );
+        assert_eq!(uninterrupted.total_stats(), resumed.total_stats());
+        assert_eq!(
+            uninterrupted.cores()[0].accuracy().mean_error_us(),
+            resumed.cores()[0].accuracy().mean_error_us()
+        );
+    }
+
+    #[test]
+    fn snapshot_preserves_fluid_cbr_and_churn_state() {
+        // Exercise the non-packet state: CBR episodes, fluid flows, a VN
+        // leave, and a reroute all precede the snapshot; afterwards both
+        // copies must evolve identically (epoch boundaries included).
+        let (topo, [a, b, c], [_r1, _r2]) = detour_topology();
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(1, 1));
+        let mut emu = MultiCoreEmulator::single_core(
+            &d,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            11,
+        );
+        let vn = |node| binding.vn_at(node).unwrap();
+        let t0 = SimTime::ZERO;
+        assert!(emu.set_pipe_cbr(
+            mn_distill::PipeId(0),
+            Some(CbrConfig::new(
+                DataRate::from_mbps(2),
+                mn_util::ByteSize::from_bytes(500),
+            )),
+            t0,
+        ));
+        assert!(emu.add_fluid_flow(7, vn(a), vn(b), DataRate::from_mbps(4), 3, t0));
+        assert!(emu.vn_leave(vn(c), t0));
+        let _ = emu.advance(SimTime::from_millis(30));
+
+        let snap = emu.snapshot();
+        let mut restored = MultiCoreEmulator::restore(&snap).unwrap();
+        assert_eq!(snap.to_bytes(), restored.snapshot().to_bytes());
+        assert_eq!(restored.active_vn_count(), emu.active_vn_count());
+        assert!(!restored.vn_is_active(vn(c)));
+        assert_eq!(restored.fluid_flow_rate(7), emu.fluid_flow_rate(7));
+
+        // Both copies cross several fluid epochs and keep agreeing.
+        for step in 1..=5u64 {
+            let t = SimTime::from_millis(30 + step * 20);
+            let da = emu.advance(t);
+            let db = restored.advance(t);
+            assert_eq!(da.len(), db.len());
+        }
+        assert_eq!(emu.total_stats(), restored.total_stats());
+        assert_eq!(
+            emu.fluid_flow_goodput_bytes(7),
+            restored.fluid_flow_goodput_bytes(7)
+        );
+        assert_eq!(emu.next_wakeup(), restored.next_wakeup());
     }
 
     #[test]

@@ -44,8 +44,10 @@
 //! profilers the intended layout.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use mn_assign::{Binding, CoreId, PipeOwnershipDirectory};
 use mn_distill::{DistilledTopology, PipeAttrs, PipeId};
@@ -54,13 +56,16 @@ use mn_pipe::CbrConfig;
 use mn_routing::{RouteTable, RouteUpdate, RoutingMatrix};
 use mn_topology::NodeId;
 use mn_util::spsc::{self, Consumer, Producer};
-use mn_util::{DataRate, SimDuration, SimTime, SpinBarrier, SpinWait, TimerWheel};
+use mn_util::{CodecError, DataRate, SimDuration, SimTime, SpinBarrier, SpinWait, TimerWheel};
 
+use crate::chaos::ChaosPlan;
 use crate::core::{CoreStats, EmulatorCore, IngressOutcome, TickOutput};
 use crate::descriptor::{Delivery, Descriptor};
+use crate::error::{EmuError, FailureCause};
 use crate::fluid::FluidState;
 use crate::hardware::HardwareProfile;
 use crate::multicore::{MultiCoreEmulator, SubmitOutcome};
+use crate::snapshot::EmulatorSnapshot;
 
 /// Tunnel descriptors buffered per core pair before the producer spills.
 const TUNNEL_RING_CAPACITY: usize = 1024;
@@ -108,6 +113,12 @@ enum Command {
     },
     /// Report counters and the earliest due work without running anything.
     Query,
+    /// Hand back a copy of the core plus the worker-local arrival backlog,
+    /// for a coordinator-assembled checkpoint. Read-only: nothing ticks.
+    Snapshot,
+    /// Install a chaos fault plan (test-only fault injection; see
+    /// [`crate::chaos`]).
+    SetChaos(ChaosPlan),
     /// Stop: hand the core back and exit the thread.
     Finish,
 }
@@ -136,6 +147,12 @@ enum Response {
     Queried {
         stats: CoreStats,
         next_wakeup: Option<SimTime>,
+    },
+    /// Reply to [`Command::Snapshot`]: a clone of the core and the
+    /// worker-local tunnel arrival backlog in `(time, seq)` wheel order.
+    Snapshot {
+        core: Box<EmulatorCore>,
+        arrivals: Vec<(SimTime, Descriptor)>,
     },
     /// Reply to [`Command::Finish`].
     Core(Box<EmulatorCore>),
@@ -185,6 +202,16 @@ struct Worker {
     /// point of the protocol.
     epoch: u64,
     tick_buf: TickOutput,
+    /// Coordinator-raised kill switch. Once set (a peer died or stalled),
+    /// every blocking wait in this worker gives up instead of spinning on a
+    /// peer that will never answer, and the worker returns to its command
+    /// loop so shutdown still completes.
+    abort: Arc<AtomicBool>,
+    /// Liveness counter the coordinator's stall watchdog reads: bumped on
+    /// every command popped and every epoch entered.
+    heartbeat: Arc<AtomicU64>,
+    /// Armed fault points (inert by default; see [`crate::chaos`]).
+    chaos: ChaosPlan,
 }
 
 impl Worker {
@@ -206,6 +233,10 @@ impl Worker {
                 continue;
             };
             idle_spins = 0;
+            self.heartbeat.fetch_add(1, Ordering::Relaxed);
+            if !matches!(command, Command::SetChaos(_)) {
+                self.chaos.check_command();
+            }
             match command {
                 Command::Ingress { now, descriptor } => {
                     let outcome = self.core.ingress(now, descriptor);
@@ -236,6 +267,20 @@ impl Worker {
                     };
                     self.push_response(response);
                 }
+                Command::Snapshot => {
+                    let arrivals = self
+                        .arrivals
+                        .entries_in_order()
+                        .into_iter()
+                        .map(|(time, descriptor)| (time, descriptor.clone()))
+                        .collect();
+                    let response = Response::Snapshot {
+                        core: Box::new(self.core.clone()),
+                        arrivals,
+                    };
+                    self.push_response(response);
+                }
+                Command::SetChaos(plan) => self.chaos = plan,
                 Command::Finish => break,
             }
         }
@@ -260,6 +305,8 @@ impl Worker {
     fn advance(&mut self, now: SimTime) {
         loop {
             self.epoch += 1;
+            self.heartbeat.fetch_add(1, Ordering::Relaxed);
+            self.chaos.check_epoch(self.epoch);
             // Deliver tunnel descriptors that have arrived.
             while let Some((_, descriptor)) = self.arrivals.pop_due(now) {
                 let _ = self.core.accept_tunnel(now, descriptor);
@@ -307,7 +354,14 @@ impl Worker {
             let mut any_due = produced_due;
             for source in 0..self.core_count {
                 if source != self.me {
-                    any_due |= self.collect_marker(source, epoch);
+                    match self.collect_marker(source, epoch) {
+                        Some(due) => any_due |= due,
+                        // A peer died or stalled and the coordinator
+                        // aborted this advance: bail out (no AdvanceDone —
+                        // nobody is listening) and return to the command
+                        // loop so Finish still reaches us.
+                        None => return,
+                    }
                 }
             }
             self.push_response(Response::EpochEnd { more: any_due });
@@ -339,6 +393,9 @@ impl Worker {
     fn flush_all_spill_blocking(&mut self) {
         let mut wait = SpinWait::new();
         while !self.spill.iter().all(VecDeque::is_empty) {
+            if self.abort.load(Ordering::Acquire) {
+                return;
+            }
             self.make_progress();
             wait.spin();
         }
@@ -391,8 +448,10 @@ impl Worker {
     /// Waits for `source`'s marker for `epoch`, filing every tunnelled
     /// descriptor that precedes it. While waiting, keeps the whole mesh
     /// live: flushes spill and drains other incoming rings into staging so
-    /// no producer can stay blocked on a full ring.
-    fn collect_marker(&mut self, source: usize, epoch: u64) -> bool {
+    /// no producer can stay blocked on a full ring. Returns `None` when the
+    /// coordinator raised the abort flag (the marker will never come — a
+    /// peer died); the caller must bail out of the advance.
+    fn collect_marker(&mut self, source: usize, epoch: u64) -> Option<bool> {
         let mut wait = SpinWait::new();
         loop {
             let message = self.staged[source].pop_front().or_else(|| {
@@ -414,9 +473,12 @@ impl Worker {
                     produced_due,
                 }) => {
                     debug_assert_eq!(e, epoch, "epoch markers arrive in lockstep");
-                    return produced_due;
+                    return Some(produced_due);
                 }
                 None => {
+                    if self.abort.load(Ordering::Acquire) {
+                        return None;
+                    }
                     self.make_progress();
                     wait.spin();
                 }
@@ -446,7 +508,9 @@ impl Worker {
     }
 
     /// Blocking response push; the coordinator always drains the ring of
-    /// the worker it is waiting on, so this cannot deadlock.
+    /// the worker it is waiting on, so this cannot deadlock. After an
+    /// abort the coordinator stops draining entirely — the message is
+    /// dropped instead (the run's results are void once a worker died).
     fn push_response(&mut self, message: Response) {
         let mut message = message;
         let mut wait = SpinWait::new();
@@ -454,6 +518,9 @@ impl Worker {
             match self.responses.try_push(message) {
                 Ok(()) => return,
                 Err(back) => {
+                    if self.abort.load(Ordering::Acquire) {
+                        return;
+                    }
                     message = back;
                     self.make_progress();
                     wait.spin();
@@ -472,9 +539,13 @@ enum PendingOutcome {
 
 /// Coordinator-side endpoint of one worker.
 struct WorkerHandle {
+    /// The core this worker runs, for failure attribution.
+    core: CoreId,
     thread: Option<JoinHandle<()>>,
     commands: Producer<Command>,
     responses: Consumer<Response>,
+    /// The worker's liveness counter, read by the stall watchdog.
+    heartbeat: Arc<AtomicU64>,
     /// Latest counters reported by the worker (refreshed on every ingress
     /// and advance, the only operations that change them).
     stats: CoreStats,
@@ -484,14 +555,42 @@ struct WorkerHandle {
     affinity_hint: Option<usize>,
 }
 
+/// Best-effort extraction of a panic payload message (the common
+/// `panic!("...")` cases carry a `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl WorkerHandle {
+    /// Joins a dead worker thread and converts its fate into a typed
+    /// [`EmuError::WorkerFailure`] carrying the panic message.
+    fn reap(&mut self) -> EmuError {
+        let cause = match self.thread.take() {
+            Some(thread) => match thread.join() {
+                Err(payload) => FailureCause::Panicked(panic_message(payload.as_ref())),
+                // A worker never exits cleanly except through Finish, which
+                // replies first — treat a silent exit as a panic too.
+                Ok(()) => FailureCause::Panicked("worker exited without replying".to_string()),
+            },
+            None => FailureCause::Panicked("worker already reaped".to_string()),
+        };
+        EmuError::WorkerFailure {
+            core: self.core,
+            cause,
+        }
+    }
+
     /// Sends a command (FIFO per worker) and wakes the thread if parked.
     ///
-    /// # Panics
-    ///
-    /// Panics if the command ring is full and the worker thread died (a
-    /// live worker always drains its ring).
-    fn send(&mut self, command: Command) {
+    /// A live worker always drains its ring, so a full ring plus a dead
+    /// thread means the worker failed: the error carries the panic payload.
+    fn send(&mut self, command: Command) -> Result<(), EmuError> {
         let mut command = command;
         let mut wait = SpinWait::new();
         loop {
@@ -499,12 +598,19 @@ impl WorkerHandle {
                 Ok(()) => break,
                 Err(back) => {
                     command = back;
-                    if let Some(thread) = &self.thread {
-                        thread.thread().unpark();
-                        assert!(
-                            !thread.is_finished(),
-                            "emulator core thread exited with commands pending (worker panic?)"
-                        );
+                    match &self.thread {
+                        Some(thread) => {
+                            thread.thread().unpark();
+                            if thread.is_finished() {
+                                return Err(self.reap());
+                            }
+                        }
+                        None => {
+                            return Err(EmuError::WorkerFailure {
+                                core: self.core,
+                                cause: FailureCause::Panicked("worker already reaped".to_string()),
+                            })
+                        }
                     }
                     wait.spin();
                 }
@@ -513,28 +619,57 @@ impl WorkerHandle {
         if let Some(thread) = &self.thread {
             thread.thread().unpark();
         }
+        Ok(())
     }
 
     /// Blocks until the worker's next response.
     ///
-    /// # Panics
-    ///
-    /// Panics (instead of hanging forever) if the worker thread died — a
-    /// panicked core would otherwise stall the coordinator silently.
-    fn wait_response(&mut self) -> Response {
+    /// Instead of hanging forever on a dead or wedged worker, fails
+    /// structurally: a finished thread is reaped into a
+    /// [`FailureCause::Panicked`]; with a stall timeout configured, a live
+    /// thread whose heartbeat stops moving for that long (wall clock) is
+    /// reported as [`FailureCause::Stalled`]. Note the stalled core may be
+    /// an innocent victim — the epoch barrier couples all workers, so a
+    /// peer's stall freezes this worker's heartbeat too; the error names
+    /// the worker the coordinator was waiting on.
+    fn wait_response(&mut self, stall_timeout: Option<Duration>) -> Result<Response, EmuError> {
         let mut wait = SpinWait::new();
+        // Lazily initialised: the Instant read costs nothing unless a
+        // timeout is configured and the first poll missed.
+        let mut watchdog: Option<(u64, Instant)> = None;
+        let mut polls: u32 = 0;
         loop {
             if let Some(response) = self.responses.try_pop() {
-                return response;
+                return Ok(response);
             }
             if self.thread.as_ref().is_some_and(|t| t.is_finished()) {
                 // The thread may have pushed its final response right
                 // before exiting (the Finish path); re-check once after
                 // observing the exit before declaring it dead.
                 if let Some(response) = self.responses.try_pop() {
-                    return response;
+                    return Ok(response);
                 }
-                panic!("emulator core thread exited without responding (worker panic?)");
+                return Err(self.reap());
+            }
+            if let Some(timeout) = stall_timeout {
+                polls = polls.wrapping_add(1);
+                if polls.is_multiple_of(64) {
+                    let beat = self.heartbeat.load(Ordering::Relaxed);
+                    match &mut watchdog {
+                        Some((last_beat, last_progress)) => {
+                            if beat != *last_beat {
+                                *last_beat = beat;
+                                *last_progress = Instant::now();
+                            } else if last_progress.elapsed() >= timeout {
+                                return Err(EmuError::WorkerFailure {
+                                    core: self.core,
+                                    cause: FailureCause::Stalled { waited: timeout },
+                                });
+                            }
+                        }
+                        None => watchdog = Some((beat, Instant::now())),
+                    }
+                }
             }
             wait.spin();
         }
@@ -566,6 +701,19 @@ pub struct ParallelEmulator {
     /// recomputes, with changed per-pipe demands pushed to the owning
     /// worker's command ring.
     fluid: FluidState,
+    /// The hardware model, kept coordinator-side for checkpoint assembly.
+    profile: HardwareProfile,
+    /// Shared kill switch raised on the first worker failure so surviving
+    /// workers escape their epoch waits instead of spinning forever.
+    abort: Arc<AtomicBool>,
+    /// First failure observed; poisons the emulator — every subsequent
+    /// submit/advance/snapshot returns this same error until the pool is
+    /// rebuilt (e.g. from a checkpoint).
+    failure: Option<EmuError>,
+    /// Wall-clock budget the stall watchdog allows a worker's heartbeat to
+    /// stand still while the coordinator waits on it. `None` (the default)
+    /// disables the watchdog.
+    stall_timeout: Option<Duration>,
 }
 
 impl std::fmt::Debug for ParallelEmulator {
@@ -643,11 +791,13 @@ impl ParallelEmulator {
         }
 
         let start = Arc::new(SpinBarrier::new(n));
+        let abort = Arc::new(AtomicBool::new(false));
         let mut workers = Vec::with_capacity(n);
         for (me, (core, backlog)) in parts.cores.into_iter().zip(backlogs).enumerate() {
             let (command_tx, command_rx) = spsc::channel(COMMAND_RING_CAPACITY);
             let (response_tx, response_rx) = spsc::channel(RESPONSE_RING_CAPACITY);
             let affinity_hint = hints.get(me).copied().flatten();
+            let heartbeat = Arc::new(AtomicU64::new(0));
             let mut arrivals = TimerWheel::new();
             for (arrival, descriptor) in backlog {
                 arrivals.push(arrival, descriptor);
@@ -667,6 +817,9 @@ impl ParallelEmulator {
                 arrivals,
                 epoch: 0,
                 tick_buf: TickOutput::default(),
+                abort: abort.clone(),
+                heartbeat: heartbeat.clone(),
+                chaos: ChaosPlan::default(),
             };
             let name = match affinity_hint {
                 Some(cpu) => format!("mn-core-{me}@cpu{cpu}"),
@@ -678,9 +831,11 @@ impl ParallelEmulator {
                 .spawn(move || worker.run(barrier))
                 .expect("spawn emulator core thread");
             workers.push(WorkerHandle {
+                core: CoreId(me),
                 thread: Some(thread),
                 commands: command_tx,
                 responses: response_rx,
+                heartbeat,
                 stats: CoreStats::default(),
                 next_wakeup: None,
                 affinity_hint,
@@ -698,21 +853,79 @@ impl ParallelEmulator {
             core_load: parts.core_load,
             local_deliveries: parts.local_deliveries,
             fluid: parts.fluid,
+            profile,
+            abort,
+            failure: None,
+            stall_timeout: None,
         };
         // Seed the cached per-worker state. A converted emulator may carry
         // counters and scheduled deadlines from its sequential life.
-        emulator.refresh_caches();
         emulator
+            .refresh_caches()
+            .expect("freshly spawned worker pool is live");
+        emulator
+    }
+
+    /// Records the first worker failure: raises the shared abort flag (so
+    /// surviving workers escape their epoch waits) and poisons the
+    /// emulator. Returns the error for propagation.
+    fn fail(&mut self, error: EmuError) -> EmuError {
+        self.abort.store(true, Ordering::Release);
+        if self.failure.is_none() {
+            self.failure = Some(error.clone());
+        }
+        error
+    }
+
+    /// Short-circuits every operation after a worker failure with the
+    /// original error.
+    fn check_failed(&self) -> Result<(), EmuError> {
+        match &self.failure {
+            Some(error) => Err(error.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// The first worker failure observed, if the emulator is poisoned.
+    pub fn last_failure(&self) -> Option<&EmuError> {
+        self.failure.as_ref()
+    }
+
+    /// Arms the stall watchdog: while the coordinator waits on a worker
+    /// whose thread is alive but whose heartbeat makes no progress for
+    /// `timeout` of wall-clock time, the wait fails with
+    /// [`FailureCause::Stalled`] instead of hanging forever. `None`
+    /// disables the watchdog (the default — virtual time runs arbitrarily
+    /// faster or slower than wall clock, so only a supervisor that knows
+    /// the deployment should set this).
+    pub fn set_stall_timeout(&mut self, timeout: Option<Duration>) {
+        self.stall_timeout = timeout;
+    }
+
+    /// Installs a chaos fault plan on one worker core (test-only fault
+    /// injection; see [`crate::chaos`]). Fire-and-forget; returns `false`
+    /// if the core does not exist or the emulator already failed.
+    pub fn set_chaos(&mut self, core: CoreId, plan: ChaosPlan) -> bool {
+        if self.failure.is_some() || core.index() >= self.workers.len() {
+            return false;
+        }
+        match self.workers[core.index()].send(Command::SetChaos(plan)) {
+            Ok(()) => true,
+            Err(error) => {
+                self.fail(error);
+                false
+            }
+        }
     }
 
     /// Refreshes the cached per-worker stats and wakeups with a read-only
     /// round trip (no ticks, no state change on any core).
-    fn refresh_caches(&mut self) {
+    fn refresh_caches(&mut self) -> Result<(), EmuError> {
         for worker in &mut self.workers {
-            worker.send(Command::Query);
+            worker.send(Command::Query)?;
         }
         for worker in &mut self.workers {
-            match worker.wait_response() {
+            match worker.wait_response(self.stall_timeout)? {
                 Response::Queried { stats, next_wakeup } => {
                     worker.stats = stats;
                     worker.next_wakeup = next_wakeup;
@@ -720,6 +933,7 @@ impl ParallelEmulator {
                 _ => unreachable!("Query is answered by Queried"),
             }
         }
+        Ok(())
     }
 
     /// Number of cooperating cores (and worker threads).
@@ -764,14 +978,17 @@ impl ParallelEmulator {
     /// every core thread. Route ids already in flight stay valid, exactly
     /// as in [`MultiCoreEmulator::set_routing`].
     pub fn set_routing(&mut self, matrix: RoutingMatrix) {
+        if self.failure.is_some() {
+            return;
+        }
         self.matrix = matrix;
         self.routes = Arc::new(RouteTable::rebuild(
             &self.routes,
             &self.matrix,
             &self.vn_location,
         ));
-        for worker in &mut self.workers {
-            worker.send(Command::SetRoutes(self.routes.clone()));
+        if !self.broadcast_routes() {
+            return;
         }
         self.fluid.mark_routes_dirty();
         if self.fluid.has_flows() {
@@ -780,35 +997,65 @@ impl ParallelEmulator {
         }
     }
 
+    /// Pushes the current route-table generation to every worker. On a
+    /// dead worker the emulator is poisoned and `false` returned.
+    fn broadcast_routes(&mut self) -> bool {
+        for index in 0..self.workers.len() {
+            let routes = self.routes.clone();
+            if let Err(error) = self.workers[index].send(Command::SetRoutes(routes)) {
+                self.fail(error);
+                return false;
+            }
+        }
+        true
+    }
+
     /// Re-solves the fluid fair share at `at` and pushes every changed
     /// per-pipe demand to the owning worker. Command rings are FIFO, so the
     /// demand lands before any subsequent `Advance` ticks past `at` —
     /// the same ordering the sequential backend applies in place.
     fn recompute_fluid(&mut self, at: SimTime) {
         let changed = self.fluid.recompute(at, &self.routes);
+        let mut failed = None;
         for &(pipe, bps) in changed {
             let owner = self
                 .pod
                 .get_owner(pipe)
                 .expect("fluid routes reference pipes covered by the POD");
-            self.workers[owner.index()].send(Command::SetFluidDemand {
+            if let Err(error) = self.workers[owner.index()].send(Command::SetFluidDemand {
                 pipe,
                 rate: DataRate::from_bps(bps),
                 at,
-            });
+            }) {
+                failed = Some(error);
+                break;
+            }
+        }
+        if let Some(error) = failed {
+            self.fail(error);
         }
     }
 
     /// Updates a pipe's emulation parameters on whichever core owns it.
     pub fn update_pipe_attrs(&mut self, pipe: PipeId, attrs: PipeAttrs) -> bool {
+        if self.failure.is_some() {
+            return false;
+        }
         let Some(owner) = self.pod.get_owner(pipe) else {
             return false;
         };
+        let stall = self.stall_timeout;
         let worker = &mut self.workers[owner.index()];
-        worker.send(Command::UpdatePipe { pipe, attrs });
-        let updated = match worker.wait_response() {
-            Response::PipeUpdated(updated) => updated,
-            _ => unreachable!("UpdatePipe is answered by PipeUpdated"),
+        let updated = match worker
+            .send(Command::UpdatePipe { pipe, attrs })
+            .and_then(|()| worker.wait_response(stall))
+        {
+            Ok(Response::PipeUpdated(updated)) => updated,
+            Ok(_) => unreachable!("UpdatePipe is answered by PipeUpdated"),
+            Err(error) => {
+                self.fail(error);
+                return false;
+            }
         };
         if !updated {
             return false;
@@ -825,14 +1072,24 @@ impl ParallelEmulator {
     /// injector on a pipe, on whichever core thread owns it. Same
     /// semantics as [`MultiCoreEmulator::set_pipe_cbr`].
     pub fn set_pipe_cbr(&mut self, pipe: PipeId, config: Option<CbrConfig>, from: SimTime) -> bool {
+        if self.failure.is_some() {
+            return false;
+        }
         let Some(owner) = self.pod.get_owner(pipe) else {
             return false;
         };
+        let stall = self.stall_timeout;
         let worker = &mut self.workers[owner.index()];
-        worker.send(Command::SetCbr { pipe, config, from });
-        let updated = match worker.wait_response() {
-            Response::PipeUpdated(updated) => updated,
-            _ => unreachable!("SetCbr is answered by PipeUpdated"),
+        let updated = match worker
+            .send(Command::SetCbr { pipe, config, from })
+            .and_then(|()| worker.wait_response(stall))
+        {
+            Ok(Response::PipeUpdated(updated)) => updated,
+            Ok(_) => unreachable!("SetCbr is answered by PipeUpdated"),
+            Err(error) => {
+                self.fail(error);
+                return false;
+            }
         };
         if !updated {
             return false;
@@ -878,8 +1135,8 @@ impl ParallelEmulator {
             changed,
         );
         if !update.is_empty() {
-            for worker in &mut self.workers {
-                worker.send(Command::SetRoutes(self.routes.clone()));
+            if !self.broadcast_routes() {
+                return update;
             }
             self.fluid.mark_routes_dirty();
             if self.fluid.has_flows() {
@@ -930,8 +1187,8 @@ impl ParallelEmulator {
         ) {
             return false;
         }
-        for worker in &mut self.workers {
-            worker.send(Command::SetRoutes(self.routes.clone()));
+        if !self.broadcast_routes() {
+            return false;
         }
         self.fluid.mark_routes_dirty();
         if self.fluid.has_flows() {
@@ -956,8 +1213,8 @@ impl ParallelEmulator {
         ) {
             return false;
         }
-        for worker in &mut self.workers {
-            worker.send(Command::SetRoutes(self.routes.clone()));
+        if !self.broadcast_routes() {
+            return false;
         }
         let removed = self.fluid.remove_vn_flows(vn, at);
         self.fluid.mark_routes_dirty();
@@ -1032,17 +1289,17 @@ impl ParallelEmulator {
 
     /// Routes a packet to its entry core (or resolves it locally), without
     /// waiting for the core's admission decision.
-    fn dispatch(&mut self, now: SimTime, packet: Packet) -> PendingOutcome {
+    fn dispatch(&mut self, now: SimTime, packet: Packet) -> Result<PendingOutcome, EmuError> {
         let src_idx = packet.flow.src.index();
         let dst_idx = packet.flow.dst.index();
         let Some(&src_loc) = self.vn_location.get(src_idx) else {
-            return PendingOutcome::Immediate(SubmitOutcome::NoRoute);
+            return Ok(PendingOutcome::Immediate(SubmitOutcome::NoRoute));
         };
         let Some(&dst_loc) = self.vn_location.get(dst_idx) else {
-            return PendingOutcome::Immediate(SubmitOutcome::NoRoute);
+            return Ok(PendingOutcome::Immediate(SubmitOutcome::NoRoute));
         };
         if !self.vn_active[src_idx] || !self.vn_active[dst_idx] {
-            return PendingOutcome::Immediate(SubmitOutcome::NoRoute);
+            return Ok(PendingOutcome::Immediate(SubmitOutcome::NoRoute));
         }
         if src_loc == dst_loc {
             self.local_deliveries.push(Delivery {
@@ -1052,10 +1309,10 @@ impl ParallelEmulator {
                 hops: 0,
                 emulation_error: mn_util::SimDuration::ZERO,
             });
-            return PendingOutcome::Immediate(SubmitOutcome::Accepted);
+            return Ok(PendingOutcome::Immediate(SubmitOutcome::Accepted));
         }
         let Some(route) = self.routes.route_id(src_idx, dst_idx) else {
-            return PendingOutcome::Immediate(SubmitOutcome::NoRoute);
+            return Ok(PendingOutcome::Immediate(SubmitOutcome::NoRoute));
         };
         let entry = self
             .vn_entry_core
@@ -1063,13 +1320,16 @@ impl ParallelEmulator {
             .copied()
             .unwrap_or(CoreId(0));
         let descriptor = Descriptor::new(packet, route, now);
-        self.workers[entry.index()].send(Command::Ingress { now, descriptor });
-        PendingOutcome::FromCore(entry.index())
+        self.workers[entry.index()].send(Command::Ingress { now, descriptor })?;
+        Ok(PendingOutcome::FromCore(entry.index()))
     }
 
     /// Waits for one ingress reply from `worker`, refreshing its caches.
-    fn collect_ingress(worker: &mut WorkerHandle) -> SubmitOutcome {
-        match worker.wait_response() {
+    fn collect_ingress(
+        worker: &mut WorkerHandle,
+        stall_timeout: Option<Duration>,
+    ) -> Result<SubmitOutcome, EmuError> {
+        match worker.wait_response(stall_timeout)? {
             Response::Ingress {
                 outcome,
                 stats,
@@ -1077,13 +1337,13 @@ impl ParallelEmulator {
             } => {
                 worker.stats = stats;
                 worker.next_wakeup = next_wakeup;
-                match outcome {
+                Ok(match outcome {
                     IngressOutcome::Accepted => SubmitOutcome::Accepted,
                     IngressOutcome::VirtualDrop => SubmitOutcome::VirtualDrop,
                     IngressOutcome::PhysicalDropNic | IngressOutcome::PhysicalDropCpu => {
                         SubmitOutcome::PhysicalDrop
                     }
-                }
+                })
             }
             _ => unreachable!("Ingress is answered by Ingress"),
         }
@@ -1092,10 +1352,27 @@ impl ParallelEmulator {
     /// Submits a packet emitted by its source VN's edge node at time `now`.
     /// Identical admission semantics to [`MultiCoreEmulator::submit`]; the
     /// NIC/CPU/first-pipe decision runs on the entry core's thread.
-    pub fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome {
-        match self.dispatch(now, packet) {
-            PendingOutcome::Immediate(outcome) => outcome,
-            PendingOutcome::FromCore(index) => Self::collect_ingress(&mut self.workers[index]),
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::WorkerFailure`] if the entry core's thread died or
+    /// stalled — and, once failed, on every subsequent call (the emulator
+    /// is poisoned; rebuild it, e.g. from a checkpoint).
+    pub fn submit(&mut self, now: SimTime, packet: Packet) -> Result<SubmitOutcome, EmuError> {
+        self.check_failed()?;
+        let stall = self.stall_timeout;
+        let pending = match self.dispatch(now, packet) {
+            Ok(pending) => pending,
+            Err(error) => return Err(self.fail(error)),
+        };
+        match pending {
+            PendingOutcome::Immediate(outcome) => Ok(outcome),
+            PendingOutcome::FromCore(index) => {
+                match Self::collect_ingress(&mut self.workers[index], stall) {
+                    Ok(outcome) => Ok(outcome),
+                    Err(error) => Err(self.fail(error)),
+                }
+            }
         }
     }
 
@@ -1107,36 +1384,52 @@ impl ParallelEmulator {
     /// bit-identical — but the coordinator pipelines the ring round trips
     /// instead of blocking on each packet, which is the fast path for bulk
     /// traffic drivers.
-    pub fn submit_batch<I>(&mut self, batch: I, outcomes: &mut Vec<SubmitOutcome>)
+    /// # Errors
+    ///
+    /// [`EmuError::WorkerFailure`] if a core thread died or stalled
+    /// mid-batch; `outcomes` is left untouched in that case (the emulator
+    /// is poisoned, so partial results would never be consistent anyway).
+    pub fn submit_batch<I>(
+        &mut self,
+        batch: I,
+        outcomes: &mut Vec<SubmitOutcome>,
+    ) -> Result<(), EmuError>
     where
         I: IntoIterator<Item = (SimTime, Packet)>,
     {
+        self.check_failed()?;
+        let stall = self.stall_timeout;
         let n = self.workers.len();
         let mut pending: Vec<PendingOutcome> = Vec::new();
         let mut outstanding = vec![0usize; n];
         let mut collected: Vec<VecDeque<SubmitOutcome>> = vec![VecDeque::new(); n];
         for (now, packet) in batch {
             match self.dispatch(now, packet) {
-                PendingOutcome::FromCore(index) => {
+                Ok(PendingOutcome::FromCore(index)) => {
                     pending.push(PendingOutcome::FromCore(index));
                     outstanding[index] += 1;
                     // Keep the rings bounded: drain a core's replies before
                     // its command/response rings can fill.
                     if outstanding[index] >= MAX_OUTSTANDING_INGRESS {
                         for _ in 0..outstanding[index] {
-                            let outcome = Self::collect_ingress(&mut self.workers[index]);
-                            collected[index].push_back(outcome);
+                            match Self::collect_ingress(&mut self.workers[index], stall) {
+                                Ok(outcome) => collected[index].push_back(outcome),
+                                Err(error) => return Err(self.fail(error)),
+                            }
                         }
                         outstanding[index] = 0;
                     }
                 }
-                immediate => pending.push(immediate),
+                Ok(immediate) => pending.push(immediate),
+                Err(error) => return Err(self.fail(error)),
             }
         }
         for (index, count) in outstanding.into_iter().enumerate() {
             for _ in 0..count {
-                let outcome = Self::collect_ingress(&mut self.workers[index]);
-                collected[index].push_back(outcome);
+                match Self::collect_ingress(&mut self.workers[index], stall) {
+                    Ok(outcome) => collected[index].push_back(outcome),
+                    Err(error) => return Err(self.fail(error)),
+                }
             }
         }
         for entry in pending {
@@ -1147,6 +1440,7 @@ impl ParallelEmulator {
                     .expect("every dispatched ingress was collected"),
             });
         }
+        Ok(())
     }
 
     /// The earliest time at which any core (or any in-flight tunnel) has
@@ -1167,10 +1461,10 @@ impl ParallelEmulator {
 
     /// Advances the emulation to time `now`, allocating a fresh delivery
     /// buffer; see [`ParallelEmulator::advance_into`].
-    pub fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
+    pub fn advance(&mut self, now: SimTime) -> Result<Vec<Delivery>, EmuError> {
         let mut deliveries = Vec::new();
-        self.advance_into(now, &mut deliveries);
-        deliveries
+        self.advance_into(now, &mut deliveries)?;
+        Ok(deliveries)
     }
 
     /// Advances every core to time `now` concurrently. Deliveries are
@@ -1180,28 +1474,101 @@ impl ParallelEmulator {
     /// sequential backend chops: workers run up to the epoch, the fair
     /// share is re-solved, and the changed demands land on the FIFO command
     /// rings ahead of the next advance segment.
-    pub fn advance_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
+    /// # Errors
+    ///
+    /// [`EmuError::WorkerFailure`] if any core thread died or stalled
+    /// during the advance — and, once failed, on every subsequent call (the
+    /// emulator is poisoned; rebuild it, e.g. from a checkpoint).
+    pub fn advance_into(
+        &mut self,
+        now: SimTime,
+        deliveries: &mut Vec<Delivery>,
+    ) -> Result<(), EmuError> {
+        self.check_failed()?;
         while let Some(epoch) = self.fluid.next_epoch().filter(|&e| e <= now) {
-            self.advance_workers_into(epoch, deliveries);
+            self.advance_workers_into(epoch, deliveries)?;
             self.recompute_fluid(epoch);
+            self.check_failed()?;
         }
-        self.advance_workers_into(now, deliveries);
+        self.advance_workers_into(now, deliveries)?;
         self.fluid.integrate_to(now);
+        Ok(())
+    }
+
+    /// Waits for worker `index`'s next response while watching the whole
+    /// pool: during an advance the epoch barrier couples every worker, so
+    /// the worker being waited on may be innocently wedged behind a dead
+    /// peer — the *peer's* death must surface, not hang the coordinator.
+    fn wait_advance_response(&mut self, index: usize) -> Result<Response, EmuError> {
+        let stall_timeout = self.stall_timeout;
+        let mut wait = SpinWait::new();
+        let mut watchdog: Option<(u64, Instant)> = None;
+        let mut polls: u32 = 0;
+        loop {
+            if let Some(response) = self.workers[index].responses.try_pop() {
+                return Ok(response);
+            }
+            for i in 0..self.workers.len() {
+                if self.workers[i]
+                    .thread
+                    .as_ref()
+                    .is_some_and(|t| t.is_finished())
+                {
+                    // Workers never exit mid-advance except by panicking,
+                    // so a finished thread here is always a failure. The
+                    // waited-on worker gets one response re-check to close
+                    // the push-then-exit race.
+                    if i == index {
+                        if let Some(response) = self.workers[index].responses.try_pop() {
+                            return Ok(response);
+                        }
+                    }
+                    return Err(self.workers[i].reap());
+                }
+            }
+            if let Some(timeout) = stall_timeout {
+                polls = polls.wrapping_add(1);
+                if polls.is_multiple_of(64) {
+                    let beat = self.workers[index].heartbeat.load(Ordering::Relaxed);
+                    match &mut watchdog {
+                        Some((last_beat, last_progress)) => {
+                            if beat != *last_beat {
+                                *last_beat = beat;
+                                *last_progress = Instant::now();
+                            } else if last_progress.elapsed() >= timeout {
+                                return Err(EmuError::WorkerFailure {
+                                    core: self.workers[index].core,
+                                    cause: FailureCause::Stalled { waited: timeout },
+                                });
+                            }
+                        }
+                        None => watchdog = Some((beat, Instant::now())),
+                    }
+                }
+            }
+            wait.spin();
+        }
     }
 
     /// One un-chopped advance of every worker to `now`.
-    fn advance_workers_into(&mut self, now: SimTime, deliveries: &mut Vec<Delivery>) {
+    fn advance_workers_into(
+        &mut self,
+        now: SimTime,
+        deliveries: &mut Vec<Delivery>,
+    ) -> Result<(), EmuError> {
         deliveries.append(&mut self.local_deliveries);
-        for worker in &mut self.workers {
-            worker.send(Command::Advance { now });
+        for index in 0..self.workers.len() {
+            if let Err(error) = self.workers[index].send(Command::Advance { now }) {
+                return Err(self.fail(error));
+            }
         }
         loop {
             let mut more = false;
-            for (index, worker) in self.workers.iter_mut().enumerate() {
+            for index in 0..self.workers.len() {
                 loop {
-                    match worker.wait_response() {
-                        Response::Delivery(delivery) => deliveries.push(delivery),
-                        Response::EpochEnd { more: worker_more } => {
+                    match self.wait_advance_response(index) {
+                        Ok(Response::Delivery(delivery)) => deliveries.push(delivery),
+                        Ok(Response::EpochEnd { more: worker_more }) => {
                             if index == 0 {
                                 more = worker_more;
                             } else {
@@ -1212,7 +1579,8 @@ impl ParallelEmulator {
                             }
                             break;
                         }
-                        _ => unreachable!("advance streams deliveries then EpochEnd"),
+                        Ok(_) => unreachable!("advance streams deliveries then EpochEnd"),
+                        Err(error) => return Err(self.fail(error)),
                     }
                 }
             }
@@ -1220,15 +1588,85 @@ impl ParallelEmulator {
                 break;
             }
         }
-        for worker in &mut self.workers {
-            match worker.wait_response() {
-                Response::AdvanceDone { stats, next_wakeup } => {
+        for index in 0..self.workers.len() {
+            match self.wait_advance_response(index) {
+                Ok(Response::AdvanceDone { stats, next_wakeup }) => {
+                    let worker = &mut self.workers[index];
                     worker.stats = stats;
                     worker.next_wakeup = next_wakeup;
                 }
-                _ => unreachable!("advance ends with AdvanceDone"),
+                Ok(_) => unreachable!("advance ends with AdvanceDone"),
+                Err(error) => return Err(self.fail(error)),
             }
         }
+        Ok(())
+    }
+
+    /// Serializes the complete emulator state into a checkpoint restorable
+    /// into either backend (see [`crate::snapshot`]). Read-only: workers
+    /// clone their cores and report their arrival backlogs; nothing ticks,
+    /// so taking a checkpoint does not perturb the run.
+    ///
+    /// The encoding is canonical — a snapshot taken here is byte-identical
+    /// to one taken by [`MultiCoreEmulator::snapshot`] at the same point of
+    /// the same emulation.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::WorkerFailure`] if a core thread died or stalled.
+    pub fn snapshot(&mut self) -> Result<EmulatorSnapshot, EmuError> {
+        self.check_failed()?;
+        let stall = self.stall_timeout;
+        for index in 0..self.workers.len() {
+            if let Err(error) = self.workers[index].send(Command::Snapshot) {
+                return Err(self.fail(error));
+            }
+        }
+        let mut tunnels: TimerWheel<(CoreId, Descriptor)> = TimerWheel::new();
+        let mut cores: Vec<EmulatorCore> = Vec::with_capacity(self.workers.len());
+        for index in 0..self.workers.len() {
+            match self.workers[index].wait_response(stall) {
+                Ok(Response::Snapshot { core, arrivals }) => {
+                    // Target-major merge; the canonical (time, target)
+                    // encode order is re-established by the encoder.
+                    for (arrival, descriptor) in arrivals {
+                        tunnels.push(arrival, (CoreId(index), descriptor));
+                    }
+                    cores.push(*core);
+                }
+                Ok(_) => unreachable!("Snapshot is answered by Snapshot"),
+                Err(error) => return Err(self.fail(error)),
+            }
+        }
+        let mut w = mn_util::ByteWriter::with_capacity(64 * 1024);
+        crate::multicore::encode_emulator_state(
+            &mut w,
+            &self.profile,
+            &self.routes,
+            &self.matrix,
+            &self.pod,
+            &self.vn_location,
+            &self.vn_entry_core,
+            &self.vn_active,
+            &self.core_load,
+            &tunnels,
+            &self.local_deliveries,
+            &self.fluid,
+            cores.iter(),
+        );
+        Ok(EmulatorSnapshot::from_payload(w.into_bytes()))
+    }
+
+    /// Rebuilds a threaded emulator (fresh worker pool, fresh rings) from a
+    /// checkpoint taken on either backend. Resuming is bit-identical to
+    /// never having stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the snapshot is truncated, corrupted, or from an
+    /// incompatible format version.
+    pub fn restore(snapshot: &EmulatorSnapshot) -> Result<Self, CodecError> {
+        Ok(Self::from_sequential(MultiCoreEmulator::restore(snapshot)?))
     }
 
     /// Stops every worker thread and returns the cores (accuracy logs,
@@ -1457,13 +1895,13 @@ mod tests {
 
     impl TestBackend for ParallelEmulator {
         fn submit(&mut self, now: SimTime, packet: Packet) -> SubmitOutcome {
-            ParallelEmulator::submit(self, now, packet)
+            ParallelEmulator::submit(self, now, packet).expect("workers are healthy")
         }
         fn next_wakeup(&self) -> Option<SimTime> {
             ParallelEmulator::next_wakeup(self)
         }
         fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
-            ParallelEmulator::advance(self, now)
+            ParallelEmulator::advance(self, now).expect("workers are healthy")
         }
         fn vn_join(
             &mut self,
@@ -1624,15 +2062,15 @@ mod tests {
         let dst = binding.vn_at(pairs[0].1).unwrap();
         for i in 0..10 {
             let t = SimTime::from_micros(i * 500);
-            emu.advance(t);
-            emu.submit(t, tcp_packet(i, src, dst, 1460, t));
+            emu.advance(t).unwrap();
+            emu.submit(t, tcp_packet(i, src, dst, 1460, t)).unwrap();
         }
         let mut delivered = 0;
         let mut now = SimTime::ZERO;
         for _ in 0..100_000 {
             let Some(t) = emu.next_wakeup() else { break };
             now = now.max(t);
-            delivered += emu.advance(now).len();
+            delivered += emu.advance(now).unwrap().len();
         }
         assert_eq!(delivered, 10);
         let stats = emu.total_stats();
@@ -1675,10 +2113,12 @@ mod tests {
         for (i, &(a, b)) in pairs.iter().enumerate() {
             let src = binding.vn_at(a).unwrap();
             let dst = binding.vn_at(b).unwrap();
-            let outcome = emu.submit(
-                SimTime::ZERO,
-                tcp_packet(i as u64, src, dst, 1000, SimTime::ZERO),
-            );
+            let outcome = emu
+                .submit(
+                    SimTime::ZERO,
+                    tcp_packet(i as u64, src, dst, 1000, SimTime::ZERO),
+                )
+                .unwrap();
             assert!(outcome.is_accepted());
         }
         let mut delivered = 0u64;
@@ -1686,7 +2126,7 @@ mod tests {
         for _ in 0..100_000 {
             let Some(t) = emu.next_wakeup() else { break };
             now = now.max(t);
-            delivered += emu.advance(now).len() as u64;
+            delivered += emu.advance(now).unwrap().len() as u64;
         }
         assert_eq!(delivered, PATHS);
         let stats = emu.total_stats();
@@ -1738,7 +2178,7 @@ mod tests {
             let mut one_by_one = ParallelEmulator::from_sequential(seq);
             let reference: Vec<SubmitOutcome> = make_batch(&binding)
                 .into_iter()
-                .map(|(now, p)| one_by_one.submit(now, p))
+                .map(|(now, p)| one_by_one.submit(now, p).unwrap())
                 .collect();
             let drain = |emu: &mut ParallelEmulator| {
                 let mut log = Vec::new();
@@ -1746,7 +2186,7 @@ mod tests {
                 for _ in 0..100_000 {
                     let Some(t) = emu.next_wakeup() else { break };
                     now = now.max(t);
-                    for d in emu.advance(now) {
+                    for d in emu.advance(now).unwrap() {
                         log.push((d.packet.id.0, d.delivered_at, d.hops));
                     }
                 }
@@ -1757,7 +2197,9 @@ mod tests {
             let (seq, binding) = build(cores);
             let mut batched = ParallelEmulator::from_sequential(seq);
             let mut outcomes = Vec::new();
-            batched.submit_batch(make_batch(&binding), &mut outcomes);
+            batched
+                .submit_batch(make_batch(&binding), &mut outcomes)
+                .unwrap();
             assert_eq!(outcomes, reference, "{cores}-core outcomes diverge");
             assert_eq!(drain(&mut batched), reference_log);
             assert_eq!(batched.total_stats(), one_by_one.total_stats());
@@ -1789,13 +2231,13 @@ mod tests {
             fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
                 match self {
                     Either::Seq(e) => e.advance(now),
-                    Either::Par(e) => e.advance(now),
+                    Either::Par(e) => e.advance(now).expect("workers are healthy"),
                 }
             }
             fn submit(&mut self, now: SimTime, p: Packet) -> SubmitOutcome {
                 match self {
                     Either::Seq(e) => e.submit(now, p),
-                    Either::Par(e) => e.submit(now, p),
+                    Either::Par(e) => e.submit(now, p).expect("workers are healthy"),
                 }
             }
             fn next_wakeup(&self) -> Option<SimTime> {
@@ -1957,13 +2399,14 @@ mod tests {
         emu.submit(
             SimTime::ZERO,
             tcp_packet(0, vns[0], vns[2], 500, SimTime::ZERO),
-        );
+        )
+        .unwrap();
         let mut now = SimTime::ZERO;
         let mut delivered = 0;
         for _ in 0..10_000 {
             let Some(t) = emu.next_wakeup() else { break };
             now = now.max(t);
-            delivered += emu.advance(now).len();
+            delivered += emu.advance(now).unwrap().len();
         }
         assert_eq!(delivered, 1);
         let cores = emu.finish();
@@ -1994,5 +2437,199 @@ mod tests {
         assert_eq!(emu.affinity_hint(CoreId(0)), Some(8));
         assert_eq!(emu.affinity_hint(CoreId(1)), Some(9));
         assert_eq!(emu.affinity_hint(CoreId(7)), None);
+    }
+
+    /// A 2-core emulator over the standard ring fixture, for the failure
+    /// and chaos tests.
+    fn two_core_emulator() -> (ParallelEmulator, Binding) {
+        let topo = ring_topology(&RingParams {
+            routers: 4,
+            clients_per_router: 2,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let matrix = RoutingMatrix::build(&d);
+        let binding = Binding::bind(d.vns(), &BindingParams::new(2, 2));
+        let pod = greedy_k_clusters(&d, 2, 7);
+        let emu = ParallelEmulator::new(
+            &d,
+            pod,
+            matrix,
+            &binding,
+            HardwareProfile::unconstrained(),
+            11,
+        );
+        (emu, binding)
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error_on_the_wait_path() {
+        let (mut emu, binding) = two_core_emulator();
+        assert!(emu.set_chaos(CoreId(1), ChaosPlan::new().panic_at_epoch(1)));
+        // The advance drives every worker into its epoch loop; worker 1's
+        // injected panic must surface as a structured error — not a hang
+        // (the old behavior when a peer held the barrier) and not a
+        // coordinator panic.
+        let err = emu.advance(SimTime::from_millis(1)).unwrap_err();
+        match &err {
+            EmuError::WorkerFailure {
+                core,
+                cause: FailureCause::Panicked(msg),
+            } => {
+                assert_eq!(core.index(), 1, "the failing core is attributed");
+                assert!(msg.contains("chaos"), "panic payload preserved: {msg}");
+            }
+            other => panic!("expected a panicked worker failure, got {other:?}"),
+        }
+        // The emulator is poisoned: every path reports the same failure.
+        assert_eq!(emu.last_failure(), Some(&err));
+        assert_eq!(emu.advance(SimTime::from_millis(2)).unwrap_err(), err);
+        let vns: Vec<VnId> = binding.vns().collect();
+        let now = SimTime::from_millis(2);
+        let packet = tcp_packet(9, vns[0], vns[3], 500, now);
+        assert_eq!(emu.submit(now, packet).unwrap_err(), err);
+        let mut outcomes = Vec::new();
+        assert!(emu.submit_batch(Vec::new(), &mut outcomes).is_err());
+        assert!(emu.snapshot().is_err());
+        // Dropping `emu` here must not hang: the abort flag released the
+        // surviving worker from its epoch wait.
+    }
+
+    #[test]
+    fn dead_worker_surfaces_as_typed_error_on_the_send_path() {
+        let (mut emu, _binding) = two_core_emulator();
+        assert!(emu.set_chaos(CoreId(1), ChaosPlan::new().panic_on_next_command()));
+        // Flood fire-and-forget commands: the first SetRoutes kills worker
+        // 1, the rest pile into its command ring until it fills — the point
+        // where the old code asserted (aborting the process) and the new
+        // code must record a typed failure instead.
+        for _ in 0..600 {
+            let matrix = emu.routing().clone();
+            emu.set_routing(matrix);
+            if emu.last_failure().is_some() {
+                break;
+            }
+        }
+        match emu.last_failure() {
+            Some(EmuError::WorkerFailure {
+                core,
+                cause: FailureCause::Panicked(msg),
+            }) => {
+                assert_eq!(core.index(), 1);
+                assert!(msg.contains("chaos"), "panic payload preserved: {msg}");
+            }
+            other => panic!("expected a panicked worker failure, got {other:?}"),
+        }
+        // The wait path reports the same poisoned state.
+        assert!(emu.advance(SimTime::from_millis(1)).is_err());
+    }
+
+    #[test]
+    fn stall_watchdog_converts_a_wedged_worker_into_an_error() {
+        let (mut emu, _binding) = two_core_emulator();
+        emu.set_stall_timeout(Some(Duration::from_millis(40)));
+        assert!(emu.set_chaos(
+            CoreId(1),
+            ChaosPlan::new().stall_at_epoch(1, Duration::from_millis(400)),
+        ));
+        // Worker 1 sleeps through the epoch barrier; without the watchdog
+        // the coordinator would spin forever on a thread that is alive but
+        // making no progress. The error may name either core — the barrier
+        // couples them, so the waited-on worker freezes too.
+        let err = emu.advance(SimTime::from_millis(1)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EmuError::WorkerFailure {
+                    cause: FailureCause::Stalled { .. },
+                    ..
+                }
+            ),
+            "expected a stall, got {err:?}"
+        );
+        assert!(emu.last_failure().is_some());
+        // Drop completes once the sleeper wakes and drains its Finish.
+    }
+
+    /// Drives a deterministic partial workload, leaving descriptors (and,
+    /// on multi-core splits, tunnels) in flight.
+    fn drive_partial(emu: &mut impl TestBackend, binding: &Binding) {
+        let vns: Vec<VnId> = binding.vns().collect();
+        let mut id = 0u64;
+        for round in 0..3u64 {
+            let now = SimTime::from_micros(round * 700);
+            emu.advance(now);
+            for (i, &src) in vns.iter().enumerate() {
+                let dst = vns[(i + 3) % vns.len()];
+                emu.submit(now, tcp_packet(id, src, dst, 900, now));
+                id += 1;
+            }
+        }
+        emu.advance(SimTime::from_micros(2100));
+    }
+
+    /// Drains an emulation to idle, returning the delivery record stream.
+    fn finish_run(emu: &mut impl TestBackend) -> Vec<DeliveryRecord> {
+        let mut log = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..100_000 {
+            let Some(t) = emu.next_wakeup() else { break };
+            now = now.max(t);
+            for d in emu.advance(now) {
+                log.push((d.packet.id.0, d.delivered_at, d.entered_at, d.hops));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn parallel_snapshot_is_byte_identical_to_sequential_and_resumes_exactly() {
+        for cores in [1usize, 2, 4] {
+            let topo = ring_topology(&RingParams {
+                routers: 4,
+                clients_per_router: 2,
+                ..RingParams::default()
+            });
+            let d = distill(&topo, DistillationMode::HopByHop);
+            let build = || {
+                let matrix = RoutingMatrix::build(&d);
+                let binding = Binding::bind(d.vns(), &BindingParams::new(2, cores));
+                let pod = greedy_k_clusters(&d, cores, 7);
+                (
+                    MultiCoreEmulator::new(
+                        &d,
+                        pod,
+                        matrix,
+                        &binding,
+                        HardwareProfile::unconstrained(),
+                        11,
+                    ),
+                    binding,
+                )
+            };
+            // Identical partial runs on both backends.
+            let (mut seq, binding) = build();
+            drive_partial(&mut seq, &binding);
+            let seq_snap = seq.snapshot();
+            let (seq2, binding2) = build();
+            let mut par = ParallelEmulator::from_sequential(seq2);
+            drive_partial(&mut par, &binding2);
+            let par_snap = par.snapshot().unwrap();
+            // The canonical encoding makes the two checkpoints equal down
+            // to the byte, so either can restore into either backend.
+            assert_eq!(
+                seq_snap.to_bytes(),
+                par_snap.to_bytes(),
+                "{cores}-core snapshots diverge across backends"
+            );
+            // Resuming the threaded restore finishes bit-identically to the
+            // uninterrupted sequential run.
+            let mut restored = ParallelEmulator::restore(&par_snap).unwrap();
+            let expected = finish_run(&mut seq);
+            let resumed = finish_run(&mut restored);
+            assert!(!expected.is_empty(), "the tail of the run delivers");
+            assert_eq!(expected, resumed, "{cores}-core resumed tail diverges");
+            assert_eq!(seq.total_stats(), restored.total_stats());
+        }
     }
 }

@@ -77,6 +77,12 @@ impl RedState {
     pub fn average(&self) -> f64 {
         self.avg_queue
     }
+
+    /// Rebuilds the estimator from an average captured by
+    /// [`RedState::average`], for checkpoint/restore of a pipe mid-run.
+    pub fn from_average(avg_queue: f64) -> Self {
+        RedState { avg_queue }
+    }
 }
 
 #[cfg(test)]

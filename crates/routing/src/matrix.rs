@@ -817,6 +817,92 @@ impl RoutingMatrix {
     }
 }
 
+impl RoutingMatrix {
+    /// Serialises the complete persistent route state — trees, labels,
+    /// reverse index, component maps, tombstones and version — for a
+    /// checkpoint. Scratch buffers are not captured (they hold no state
+    /// between calls); [`RoutingMatrix::decode`] restores them empty.
+    pub fn encode(&self, w: &mut mn_util::ByteWriter) {
+        fn put_u32s(w: &mut mn_util::ByteWriter, v: &[u32]) {
+            w.put_len(v.len());
+            for &x in v {
+                w.put_u32(x);
+            }
+        }
+        fn put_u64s(w: &mut mn_util::ByteWriter, v: &[u64]) {
+            w.put_len(v.len());
+            for &x in v {
+                w.put_u64(x);
+            }
+        }
+        fn put_nested(w: &mut mn_util::ByteWriter, v: &[Vec<u32>]) {
+            w.put_len(v.len());
+            for list in v {
+                put_u32s(w, list);
+            }
+        }
+        w.put_len(self.vns.len());
+        for &vn in &self.vns {
+            // DEAD_SOURCE is usize::MAX, which round-trips through u64.
+            w.put_u64(vn.index() as u64);
+        }
+        put_u32s(w, &self.vn_of_node);
+        w.put_usize(self.node_count);
+        put_u64s(w, &self.dist);
+        put_u32s(w, &self.pred);
+        put_u64s(w, &self.pipe_cost);
+        put_u32s(w, &self.pipe_src);
+        put_u32s(w, &self.node_component);
+        put_nested(w, &self.component_vns);
+        put_nested(w, &self.component_nodes);
+        put_nested(w, &self.pipe_sources);
+        put_u32s(w, &self.free_slots);
+        w.put_u64(self.version);
+    }
+
+    /// Rebuilds a matrix from bytes produced by [`RoutingMatrix::encode`].
+    /// The restored matrix answers every lookup — and reacts to every
+    /// future [`RoutingMatrix::update_pipes`] — identically to the one
+    /// captured.
+    pub fn decode(r: &mut mn_util::ByteReader) -> Result<Self, mn_util::CodecError> {
+        fn get_u32s(r: &mut mn_util::ByteReader) -> Result<Vec<u32>, mn_util::CodecError> {
+            let n = r.get_len()?;
+            (0..n).map(|_| r.get_u32()).collect()
+        }
+        fn get_u64s(r: &mut mn_util::ByteReader) -> Result<Vec<u64>, mn_util::CodecError> {
+            let n = r.get_len()?;
+            (0..n).map(|_| r.get_u64()).collect()
+        }
+        fn get_nested(r: &mut mn_util::ByteReader) -> Result<Vec<Vec<u32>>, mn_util::CodecError> {
+            let n = r.get_len()?;
+            (0..n).map(|_| get_u32s(r)).collect()
+        }
+        let n = r.get_len()?;
+        let mut vns = Vec::with_capacity(n);
+        for _ in 0..n {
+            vns.push(NodeId(r.get_u64()? as usize));
+        }
+        Ok(RoutingMatrix {
+            vns,
+            vn_of_node: get_u32s(r)?,
+            node_count: r.get_usize()?,
+            dist: get_u64s(r)?,
+            pred: get_u32s(r)?,
+            pipe_cost: get_u64s(r)?,
+            pipe_src: get_u32s(r)?,
+            node_component: get_u32s(r)?,
+            component_vns: get_nested(r)?,
+            component_nodes: get_nested(r)?,
+            pipe_sources: get_nested(r)?,
+            scratch_dist: Vec::new(),
+            scratch_pred: Vec::new(),
+            scratch_heap: Vec::new(),
+            free_slots: get_u32s(r)?,
+            version: r.get_u64()?,
+        })
+    }
+}
+
 impl RouteProvider for RoutingMatrix {
     fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Route> {
         self.lookup(src, dst)
@@ -1238,6 +1324,63 @@ mod tests {
             }
         }
         assert_reverse_index_exact(&m, &d);
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_state_and_future_updates() {
+        // Capture a matrix mid-history (a flap plus a tombstoned source), so
+        // the codec has to carry reverse-index diffs, free slots and the
+        // version — not just a freshly built state.
+        let mut d = small_ring();
+        let mut m = RoutingMatrix::build(&d);
+        let victim = m.lookup(m.vns()[0], m.vns()[6]).unwrap().pipes[1];
+        let original = d.pipe(victim).attrs;
+        d.pipe_attrs_mut(victim).unwrap().bandwidth = DataRate::ZERO;
+        m.update_pipes(&d, &[victim]);
+        let departed = m.vns()[4];
+        assert!(m.remove_source(departed));
+
+        let mut w = mn_util::ByteWriter::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored =
+            RoutingMatrix::decode(&mut mn_util::ByteReader::new(&bytes)).expect("decodes");
+
+        // Byte-stable: re-encoding the restored matrix reproduces the bytes.
+        let mut w2 = mn_util::ByteWriter::new();
+        restored.encode(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+
+        assert_eq!(restored.version(), m.version());
+        assert_eq!(restored.live_source_count(), m.live_source_count());
+        for &a in m.vns() {
+            for &b in m.vns() {
+                if a == DEAD_SOURCE || b == DEAD_SOURCE {
+                    continue;
+                }
+                assert_eq!(m.lookup(a, b), restored.lookup(a, b), "{a}->{b}");
+            }
+        }
+        // The restored matrix reacts to future changes identically.
+        *d.pipe_attrs_mut(victim).unwrap() = original;
+        let up_orig = m.update_pipes(&d, &[victim]);
+        let up_restored = restored.update_pipes(&d, &[victim]);
+        assert_eq!(up_orig, up_restored);
+        assert!(restored.add_source(&d, departed));
+        assert!(m.add_source(&d, departed));
+        assert_eq!(m.vn_index(departed), restored.vn_index(departed));
+        assert_reverse_index_exact(&restored, &d);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        let d = small_ring();
+        let m = RoutingMatrix::build(&d);
+        let mut w = mn_util::ByteWriter::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        let truncated = &bytes[..bytes.len() / 2];
+        assert!(RoutingMatrix::decode(&mut mn_util::ByteReader::new(truncated)).is_err());
     }
 
     #[test]

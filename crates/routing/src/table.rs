@@ -1192,6 +1192,141 @@ impl RouteTable {
         self.by_content.depth
     }
 
+    /// Serialises the table for a checkpoint: the interned route store in
+    /// id order, every row shard verbatim (window geometry included, so a
+    /// restored row patches exactly like the captured one), the column map,
+    /// the location geometry and the version. The content-dedup index is
+    /// not written — it is a pure function of the store and is rebuilt
+    /// first-id-wins on decode.
+    pub fn encode(&self, w: &mut mn_util::ByteWriter) {
+        w.put_usize(self.endpoint_count);
+        w.put_u64(self.version);
+        w.put_len(self.store.len());
+        for route in self.store.iter() {
+            w.put_len(route.pipes.len());
+            for &p in &route.pipes {
+                w.put_usize(p.index());
+            }
+        }
+        for src in 0..self.endpoint_count {
+            match self.row(src).expect("endpoint in range") {
+                RowShard::Empty => w.put_u8(0),
+                RowShard::Inline { base, len, slots } => {
+                    w.put_u8(1);
+                    w.put_u32(*base);
+                    w.put_u8(*len);
+                    for &s in &slots[..*len as usize] {
+                        w.put_u32(s);
+                    }
+                }
+                RowShard::Spilled { base, slots } => {
+                    w.put_u8(2);
+                    w.put_u32(*base);
+                    w.put_len(slots.len());
+                    for &s in slots.iter() {
+                        w.put_u32(s);
+                    }
+                }
+            }
+        }
+        for e in 0..self.endpoint_count {
+            w.put_u32(self.col(e).expect("endpoint in range"));
+        }
+        w.put_len(self.locs.locations.len());
+        for &loc in &self.locs.locations {
+            w.put_usize(loc.index());
+        }
+        for list in &self.locs.endpoints {
+            w.put_len(list.len());
+            for &e in list.iter() {
+                w.put_u32(e);
+            }
+        }
+    }
+
+    /// Rebuilds a table from bytes produced by [`RouteTable::encode`].
+    /// Route ids are reassigned in the original interning order, so every
+    /// stored id — including the ones descriptors in flight carry — keeps
+    /// resolving to the same route, and re-encoding the result reproduces
+    /// the input byte for byte.
+    pub fn decode(r: &mut mn_util::ByteReader) -> Result<Self, mn_util::CodecError> {
+        let endpoint_count = r.get_usize()?;
+        let version = r.get_u64()?;
+        let mut table = RouteTable::new(0);
+        let route_count = r.get_len()?;
+        for _ in 0..route_count {
+            let hops = r.get_len()?;
+            let mut pipes = Vec::with_capacity(hops);
+            for _ in 0..hops {
+                pipes.push(PipeId(r.get_usize()?));
+            }
+            table.intern(Route::new(pipes));
+        }
+        let mut rows_flat = Vec::with_capacity(endpoint_count);
+        // Co-located endpoints shared one spilled allocation before the
+        // checkpoint; share rows with identical content again on restore.
+        let mut spill_cache: HashMap<Vec<u32>, Arc<[u32]>> = HashMap::new();
+        for _ in 0..endpoint_count {
+            rows_flat.push(match r.get_u8()? {
+                0 => RowShard::Empty,
+                1 => {
+                    let base = r.get_u32()?;
+                    let len = r.get_u8()?;
+                    if len as usize > INLINE_ROW_CAP {
+                        return Err(mn_util::CodecError::Invalid("inline row too wide"));
+                    }
+                    let mut slots = [NO_ROUTE; INLINE_ROW_CAP];
+                    for s in slots.iter_mut().take(len as usize) {
+                        *s = r.get_u32()?;
+                    }
+                    RowShard::Inline { base, len, slots }
+                }
+                2 => {
+                    let base = r.get_u32()?;
+                    let width = r.get_len()?;
+                    let mut slots = Vec::with_capacity(width);
+                    for _ in 0..width {
+                        slots.push(r.get_u32()?);
+                    }
+                    let shared = spill_cache
+                        .entry(slots.clone())
+                        .or_insert_with(|| Arc::from(slots))
+                        .clone();
+                    RowShard::Spilled {
+                        base,
+                        slots: shared,
+                    }
+                }
+                _ => return Err(mn_util::CodecError::Invalid("unknown row shard tag")),
+            });
+        }
+        table.rows = Self::blocks_from_flat(rows_flat);
+        let mut cols_flat = Vec::with_capacity(endpoint_count);
+        for _ in 0..endpoint_count {
+            cols_flat.push(r.get_u32()?);
+        }
+        table.cols = Self::col_blocks_from_flat(cols_flat);
+        let slots = r.get_len()?;
+        let mut locs = LocationIndex::default();
+        for _ in 0..slots {
+            let loc = NodeId(r.get_usize()?);
+            locs.slot_of.insert(loc, locs.locations.len() as u32);
+            locs.locations.push(loc);
+        }
+        for _ in 0..slots {
+            let n = r.get_len()?;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                list.push(r.get_u32()?);
+            }
+            locs.endpoints.push(Arc::from(list));
+        }
+        table.locs = Arc::new(locs);
+        table.endpoint_count = endpoint_count;
+        table.version = version;
+        Ok(table)
+    }
+
     /// Memory accounting for the route state (see [`RouteStateMemory`]).
     /// Walks the structure, counting shared allocations once; intended for
     /// benchmarks and reports, not the hot path.
@@ -1277,6 +1412,63 @@ mod tests {
         let locations = d.vns().to_vec();
         let n = locations.len();
         (RouteTable::build(&matrix, &locations), n)
+    }
+
+    #[test]
+    fn codec_round_trip_is_byte_stable_and_preserves_lookups() {
+        // A multiplexed table (two endpoints per location) exercises shared
+        // rows, the column map and the location geometry; a rewire before
+        // the checkpoint exercises patched windows and a bumped version.
+        let topo = ring_topology(&RingParams {
+            routers: 6,
+            clients_per_router: 1,
+            ..RingParams::default()
+        });
+        let d = distill(&topo, DistillationMode::HopByHop);
+        let mut matrix = RoutingMatrix::build(&d);
+        let mut locations = d.vns().to_vec();
+        locations.extend(d.vns().to_vec());
+        let mut table = RouteTable::build(&matrix, &locations);
+        let mut d2 = d.clone();
+        let victim = table.pipes(table.route_id(0, 1).unwrap())[0];
+        d2.pipe_attrs_mut(victim).unwrap().bandwidth = mn_util::DataRate::ZERO;
+        let update = matrix.update_pipes(&d2, &[victim]);
+        table.rewire_in_place(&matrix, &locations, &update.changed_pairs);
+
+        let mut w = mn_util::ByteWriter::new();
+        table.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored =
+            RouteTable::decode(&mut mn_util::ByteReader::new(&bytes)).expect("decodes");
+
+        let mut w2 = mn_util::ByteWriter::new();
+        restored.encode(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "snapshot → restore → snapshot");
+
+        assert_eq!(restored.endpoint_count(), table.endpoint_count());
+        assert_eq!(restored.route_count(), table.route_count());
+        assert_eq!(restored.version(), table.version());
+        let n = table.endpoint_count();
+        for s in 0..n {
+            for t in 0..n {
+                assert_eq!(restored.route_id(s, t), table.route_id(s, t), "{s}->{t}");
+                if let Some(id) = table.route_id(s, t) {
+                    assert_eq!(restored.pipes(id), table.pipes(id));
+                }
+            }
+        }
+        // The restored table rewires identically: restore the failed link
+        // and apply the update to both tables.
+        let update = matrix.update_pipes(&d, &[victim]);
+        table.rewire_in_place(&matrix, &locations, &update.changed_pairs);
+        restored.rewire_in_place(&matrix, &locations, &update.changed_pairs);
+        assert_eq!(restored.version(), table.version());
+        assert_eq!(restored.route_count(), table.route_count());
+        for s in 0..n {
+            for t in 0..n {
+                assert_eq!(restored.route_id(s, t), table.route_id(s, t), "{s}->{t}");
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mn_util::{ByteSize, SimTime};
+use mn_util::{ByteReader, ByteSize, ByteWriter, CodecError, SimTime};
 
 use crate::tcp::TcpConnection;
 
@@ -92,6 +92,24 @@ impl BulkSender {
             self.written += write;
         }
         write
+    }
+
+    /// Serializes the sender's progress for the runner's snapshot.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_opt_u64(self.total);
+        w.put_u64(self.written);
+        w.put_u64(self.chunk);
+        w.put_opt_time(self.started_at);
+    }
+
+    /// Rebuilds a sender from [`BulkSender::encode_state`] bytes.
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(BulkSender {
+            total: r.get_opt_u64()?,
+            written: r.get_u64()?,
+            chunk: r.get_u64()?,
+            started_at: r.get_opt_time()?,
+        })
     }
 
     /// Measured goodput of the transfer so far, in kilobytes/second

@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use mn_packet::{TcpFlags, MSS_BYTES};
-use mn_util::{SimDuration, SimTime};
+use mn_util::{ByteReader, ByteWriter, CodecError, SimDuration, SimTime};
 
 /// Configuration of one TCP endpoint.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -599,6 +599,149 @@ impl TcpConnection {
         self.segments_sent += out.len() as u64;
         out
     }
+
+    /// Serializes the complete endpoint state (configuration, handshake
+    /// state, both window machineries, timers and counters) for the runner's
+    /// snapshot. The fields are private, so the codec lives in-crate.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        let c = &self.config;
+        w.put_u32(c.mss);
+        w.put_u32(c.initial_cwnd_segments);
+        w.put_u64(c.initial_ssthresh);
+        w.put_u64(c.receive_window);
+        w.put_duration(c.min_rto);
+        w.put_duration(c.max_rto);
+        w.put_duration(c.initial_rto);
+        w.put_duration(c.delayed_ack);
+        w.put_u8(match self.state {
+            TcpState::Listen => 0,
+            TcpState::SynSent => 1,
+            TcpState::SynReceived => 2,
+            TcpState::Established => 3,
+        });
+        w.put_u64(self.snd_una);
+        w.put_u64(self.snd_nxt);
+        w.put_u64(self.app_limit);
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put_u64(self.peer_window);
+        w.put_u32(self.dup_acks);
+        w.put_bool(self.in_fast_recovery);
+        w.put_u64(self.recovery_point);
+        w.put_opt_u64(self.pending_retransmit);
+        match self.rtt_probe {
+            Some((seq, at)) => {
+                w.put_bool(true);
+                w.put_u64(seq);
+                w.put_time(at);
+            }
+            None => w.put_bool(false),
+        }
+        match self.srtt {
+            Some(d) => {
+                w.put_bool(true);
+                w.put_duration(d);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_duration(self.rttvar);
+        w.put_duration(self.rto);
+        w.put_opt_time(self.rto_deadline);
+        w.put_bool(self.syn_pending);
+        w.put_u64(self.rcv_nxt);
+        w.put_len(self.ooo.len());
+        for &(start, end) in &self.ooo {
+            w.put_u64(start);
+            w.put_u64(end);
+        }
+        w.put_u32(self.pending_acks);
+        w.put_u32(self.unacked_segments);
+        w.put_opt_time(self.delayed_ack_deadline);
+        w.put_u64(self.retransmissions);
+        w.put_u64(self.timeouts);
+        w.put_u64(self.segments_sent);
+        w.put_u64(self.segments_received);
+    }
+
+    /// Rebuilds an endpoint from [`TcpConnection::encode_state`] bytes.
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let config = TcpConfig {
+            mss: r.get_u32()?,
+            initial_cwnd_segments: r.get_u32()?,
+            initial_ssthresh: r.get_u64()?,
+            receive_window: r.get_u64()?,
+            min_rto: r.get_duration()?,
+            max_rto: r.get_duration()?,
+            initial_rto: r.get_duration()?,
+            delayed_ack: r.get_duration()?,
+        };
+        let state = match r.get_u8()? {
+            0 => TcpState::Listen,
+            1 => TcpState::SynSent,
+            2 => TcpState::SynReceived,
+            3 => TcpState::Established,
+            _ => return Err(CodecError::Invalid("TCP state tag")),
+        };
+        let snd_una = r.get_u64()?;
+        let snd_nxt = r.get_u64()?;
+        let app_limit = r.get_u64()?;
+        let cwnd = r.get_f64()?;
+        let ssthresh = r.get_f64()?;
+        let peer_window = r.get_u64()?;
+        let dup_acks = r.get_u32()?;
+        let in_fast_recovery = r.get_bool()?;
+        let recovery_point = r.get_u64()?;
+        let pending_retransmit = r.get_opt_u64()?;
+        let rtt_probe = if r.get_bool()? {
+            Some((r.get_u64()?, r.get_time()?))
+        } else {
+            None
+        };
+        let srtt = if r.get_bool()? {
+            Some(r.get_duration()?)
+        } else {
+            None
+        };
+        let rttvar = r.get_duration()?;
+        let rto = r.get_duration()?;
+        let rto_deadline = r.get_opt_time()?;
+        let syn_pending = r.get_bool()?;
+        let rcv_nxt = r.get_u64()?;
+        let ooo_len = r.get_len()?;
+        let mut ooo = Vec::with_capacity(ooo_len);
+        for _ in 0..ooo_len {
+            ooo.push((r.get_u64()?, r.get_u64()?));
+        }
+        Ok(TcpConnection {
+            config,
+            state,
+            snd_una,
+            snd_nxt,
+            app_limit,
+            cwnd,
+            ssthresh,
+            peer_window,
+            dup_acks,
+            in_fast_recovery,
+            recovery_point,
+            pending_retransmit,
+            rtt_probe,
+            srtt,
+            rttvar,
+            rto,
+            rto_deadline,
+            syn_pending,
+            rcv_nxt,
+            ooo,
+            pending_acks: r.get_u32()?,
+            unacked_segments: r.get_u32()?,
+            delayed_ack_deadline: r.get_opt_time()?,
+            retransmissions: r.get_u64()?,
+            timeouts: r.get_u64()?,
+            segments_sent: r.get_u64()?,
+            segments_received: r.get_u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -878,6 +1021,49 @@ mod tests {
             outstanding <= 4096,
             "flight {outstanding} exceeds the peer window"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_stable_mid_flight() {
+        let mut client = TcpConnection::client(cfg());
+        let mut server = TcpConnection::server(cfg());
+        converse(
+            &mut client,
+            &mut server,
+            SimTime::ZERO,
+            SimDuration::from_millis(5),
+            6,
+        );
+        client.write(100_000);
+        let now = SimTime::from_millis(50);
+        let segs = client.poll_send(now);
+        // Drop the first segment so the server holds out-of-order state and
+        // owes duplicate ACKs — the messiest snapshot point available.
+        let t = now + SimDuration::from_millis(5);
+        for s in &segs[1..] {
+            server.on_segment(t, s.seq, s.payload_len, s.ack, s.flags, s.window);
+        }
+        for conn in [&client, &server] {
+            let mut w = ByteWriter::new();
+            conn.encode_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let restored = TcpConnection::decode_state(&mut r).expect("decodes");
+            assert_eq!(r.remaining(), 0, "every byte consumed");
+            let mut again = ByteWriter::new();
+            restored.encode_state(&mut again);
+            assert_eq!(bytes, again.into_bytes());
+        }
+        // The restored sender continues exactly like the original.
+        let mut restored = {
+            let mut w = ByteWriter::new();
+            client.encode_state(&mut w);
+            let bytes = w.into_bytes();
+            TcpConnection::decode_state(&mut ByteReader::new(&bytes)).expect("decodes")
+        };
+        let next = SimTime::from_millis(80);
+        assert_eq!(client.next_timer(), restored.next_timer());
+        assert_eq!(client.poll_send(next), restored.poll_send(next));
     }
 
     #[test]

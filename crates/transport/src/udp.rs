@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mn_util::{ByteSize, DataRate, SimDuration, SimTime};
+use mn_util::{ByteReader, ByteSize, ByteWriter, CodecError, DataRate, SimDuration, SimTime};
 
 /// Configuration of a UDP sending stream.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -101,6 +101,31 @@ impl UdpStream {
             self.next_send += self.interval;
         }
         out
+    }
+
+    /// Serializes the stream (configuration and pacing position) for the
+    /// runner's snapshot.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.config.payload);
+        w.put_rate(self.config.rate);
+        w.put_opt_u64(self.config.max_datagrams);
+        w.put_u64(self.next_seq);
+        w.put_time(self.next_send);
+        w.put_duration(self.interval);
+    }
+
+    /// Rebuilds a stream from [`UdpStream::encode_state`] bytes.
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(UdpStream {
+            config: UdpStreamConfig {
+                payload: r.get_u32()?,
+                rate: r.get_rate()?,
+                max_datagrams: r.get_opt_u64()?,
+            },
+            next_seq: r.get_u64()?,
+            next_send: r.get_time()?,
+            interval: r.get_duration()?,
+        })
     }
 }
 
@@ -228,6 +253,24 @@ mod tests {
         assert_eq!(r.lost(), 4);
         r.on_datagram(9, 1000);
         assert_eq!(r.duplicates(), 1);
+    }
+
+    #[test]
+    fn stream_snapshot_round_trip_resumes_pacing_exactly() {
+        let mut s = UdpStream::new(UdpStreamConfig::default(), SimTime::ZERO);
+        s.poll(SimTime::from_millis(500));
+        let mut w = ByteWriter::new();
+        s.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut restored = UdpStream::decode_state(&mut r).expect("decodes");
+        assert_eq!(r.remaining(), 0, "every byte consumed");
+        assert_eq!(restored.next_seq(), s.next_seq());
+        assert_eq!(restored.next_send_time(), s.next_send_time());
+        assert_eq!(
+            restored.poll(SimTime::from_secs(1)),
+            s.poll(SimTime::from_secs(1))
+        );
     }
 
     #[test]

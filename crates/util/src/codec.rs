@@ -1,0 +1,402 @@
+//! A minimal binary codec for the snapshot subsystem.
+//!
+//! The emulator's checkpoint format (see `mn_emucore::snapshot`) needs a
+//! deterministic, versioned, checksummed byte encoding that works offline —
+//! the vendored `serde` stand-in is marker-only, so encoding is hand-rolled
+//! here. Everything is little-endian and fixed-width; sequences are
+//! length-prefixed with a `u64` count. Floats are encoded as their IEEE-754
+//! bit patterns, so encode → decode → encode is byte-stable even for NaN
+//! payloads.
+
+use std::fmt;
+
+use crate::rate::{ByteSize, DataRate};
+use crate::time::{SimDuration, SimTime};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was complete.
+    Eof,
+    /// The header magic did not match.
+    BadMagic,
+    /// The format version is not one this build can read.
+    BadVersion(u32),
+    /// The payload checksum did not match the header.
+    BadChecksum,
+    /// A decoded value was structurally invalid (enum tag, count, range).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Eof => write!(f, "unexpected end of input"),
+            CodecError::BadMagic => write!(f, "bad snapshot magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported snapshot format version {v}"),
+            CodecError::BadChecksum => write!(f, "snapshot checksum mismatch (corrupt input)"),
+            CodecError::Invalid(what) => write!(f, "invalid snapshot field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a 64-bit hash, used as the snapshot payload checksum. Not
+/// cryptographic — it guards against truncation and bit rot, not tampering.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Creates a writer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Borrow of the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128`, little-endian.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a sequence length prefix.
+    pub fn put_len(&mut self, len: usize) {
+        self.put_u64(len as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a virtual-time instant.
+    pub fn put_time(&mut self, t: SimTime) {
+        self.put_u64(t.as_nanos());
+    }
+
+    /// Appends a virtual-time duration.
+    pub fn put_duration(&mut self, d: SimDuration) {
+        self.put_u64(d.as_nanos());
+    }
+
+    /// Appends a data rate.
+    pub fn put_rate(&mut self, r: DataRate) {
+        self.put_u64(r.as_bps());
+    }
+
+    /// Appends a byte size.
+    pub fn put_size(&mut self, s: ByteSize) {
+        self.put_u64(s.as_bytes());
+    }
+
+    /// Appends an `Option<u64>`-shaped value via a presence byte.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.put_bool(true);
+                self.put_u64(x);
+            }
+            None => self.put_bool(false),
+        }
+    }
+
+    /// Appends an optional instant via a presence byte.
+    pub fn put_opt_time(&mut self, t: Option<SimTime>) {
+        self.put_opt_u64(t.map(SimTime::as_nanos));
+    }
+}
+
+/// A cursor over encoded bytes, mirroring [`ByteWriter`].
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` if every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Eof);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take_bytes(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take_bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take_bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn get_u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(
+            self.take_bytes(16)?.try_into().unwrap(),
+        ))
+    }
+
+    /// Reads a `usize` encoded as a `u64`, rejecting values that do not fit.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.get_u64()?).map_err(|_| CodecError::Invalid("usize overflow"))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `bool`, rejecting bytes other than 0 and 1.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool")),
+        }
+    }
+
+    /// Reads a sequence length prefix, bounded by the bytes remaining so a
+    /// corrupt count cannot trigger a huge allocation.
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let len = self.get_usize()?;
+        if len > self.remaining() {
+            return Err(CodecError::Invalid("length prefix exceeds input"));
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, CodecError> {
+        let len = self.get_len()?;
+        let bytes = self.take_bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid("utf-8"))
+    }
+
+    /// Reads a virtual-time instant.
+    pub fn get_time(&mut self) -> Result<SimTime, CodecError> {
+        Ok(SimTime::from_nanos(self.get_u64()?))
+    }
+
+    /// Reads a virtual-time duration.
+    pub fn get_duration(&mut self) -> Result<SimDuration, CodecError> {
+        Ok(SimDuration::from_nanos(self.get_u64()?))
+    }
+
+    /// Reads a data rate.
+    pub fn get_rate(&mut self) -> Result<DataRate, CodecError> {
+        Ok(DataRate::from_bps(self.get_u64()?))
+    }
+
+    /// Reads a byte size.
+    pub fn get_size(&mut self) -> Result<ByteSize, CodecError> {
+        Ok(ByteSize::from_bytes(self.get_u64()?))
+    }
+
+    /// Reads an `Option<u64>` written by [`ByteWriter::put_opt_u64`].
+    pub fn get_opt_u64(&mut self) -> Result<Option<u64>, CodecError> {
+        if self.get_bool()? {
+            Ok(Some(self.get_u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads an optional instant written by [`ByteWriter::put_opt_time`].
+    pub fn get_opt_time(&mut self) -> Result<Option<SimTime>, CodecError> {
+        Ok(self.get_opt_u64()?.map(SimTime::from_nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 1);
+        w.put_u128(u128::MAX / 3);
+        w.put_usize(12_345);
+        w.put_f64(-0.125);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_str("snapshot");
+        w.put_time(SimTime::from_micros(42));
+        w.put_duration(SimDuration::from_millis(9));
+        w.put_rate(DataRate::from_mbps(10));
+        w.put_size(ByteSize::from_kb(4));
+        w.put_opt_time(Some(SimTime::from_secs(1)));
+        w.put_opt_time(None);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.get_usize().unwrap(), 12_345);
+        assert_eq!(r.get_f64().unwrap(), -0.125);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_string().unwrap(), "snapshot");
+        assert_eq!(r.get_time().unwrap(), SimTime::from_micros(42));
+        assert_eq!(r.get_duration().unwrap(), SimDuration::from_millis(9));
+        assert_eq!(r.get_rate().unwrap(), DataRate::from_mbps(10));
+        assert_eq!(r.get_size().unwrap(), ByteSize::from_kb(4));
+        assert_eq!(r.get_opt_time().unwrap(), Some(SimTime::from_secs(1)));
+        assert_eq!(r.get_opt_time().unwrap(), None);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn nan_bit_pattern_is_stable() {
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut w = ByteWriter::new();
+        w.put_f64(nan);
+        let bytes = w.into_bytes();
+        let back = ByteReader::new(&bytes).get_f64().unwrap();
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn eof_and_invalid_are_reported() {
+        let mut r = ByteReader::new(&[1]);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u64(), Err(CodecError::Eof));
+
+        let mut r = ByteReader::new(&[9]);
+        assert_eq!(r.get_bool(), Err(CodecError::Invalid("bool")));
+
+        // A corrupt length prefix larger than the input is rejected before
+        // any allocation.
+        let mut w = ByteWriter::new();
+        w.put_u64(1 << 40);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            r.get_len(),
+            Err(CodecError::Invalid("length prefix exceeds input"))
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+}

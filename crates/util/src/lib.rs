@@ -23,6 +23,7 @@
 //!   reproducible from a single `u64` seed.
 
 pub mod alloc;
+pub mod codec;
 pub mod event;
 pub mod rate;
 pub mod rngs;
@@ -32,6 +33,7 @@ pub mod sync;
 pub mod time;
 pub mod wheel;
 
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use event::{EventHeap, EventKey};
 pub use rate::{ByteSize, DataRate};
 pub use rngs::seeded_rng;

@@ -314,6 +314,25 @@ impl RunningStats {
             Some(self.max)
         }
     }
+
+    /// The raw accumulator fields `(count, mean, m2, min, max)`, for
+    /// checkpointing the estimator mid-stream.
+    pub fn snapshot_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from fields captured by
+    /// [`RunningStats::snapshot_parts`]; the restored estimator continues the
+    /// stream bit-identically.
+    pub fn from_snapshot_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        RunningStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 /// Measures aggregate throughput over a window of virtual time.

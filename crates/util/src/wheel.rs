@@ -55,7 +55,7 @@ pub const DEFAULT_WHEEL_QUANTUM: SimDuration = SimDuration::from_nanos(1 << DEFA
 /// Maximum number of drained slot buffers kept for reuse.
 const SPARE_POOL: usize = 8;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OverflowEntry<T> {
     key: EventKey,
     value: T,
@@ -114,7 +114,7 @@ fn first_set(occ: &[u64; OCC_WORDS], from: usize) -> Option<usize> {
 /// assert_eq!(wheel.pop().unwrap().1, "later");
 /// assert!(wheel.is_empty());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TimerWheel<T> {
     /// log2 of the quantum in nanoseconds.
     shift: u32,
@@ -375,6 +375,23 @@ impl<T> TimerWheel<T> {
         }
     }
 
+    /// Returns every pending entry in pop order — earliest deadline first,
+    /// FIFO among equal deadlines — without disturbing the wheel.
+    ///
+    /// This is the snapshot path: re-pushing the returned `(time, value)`
+    /// pairs in order into a fresh wheel reproduces the exact pop sequence
+    /// (fresh sequence numbers are assigned in push order, so relative
+    /// FIFO order among equal deadlines is preserved).
+    pub fn entries_in_order(&self) -> Vec<(SimTime, &T)> {
+        let mut entries: Vec<(EventKey, &T)> = Vec::with_capacity(self.len);
+        for slot in self.l0.iter().chain(self.l1.iter()) {
+            entries.extend(slot.iter().map(|(k, v)| (*k, v)));
+        }
+        entries.extend(self.overflow.iter().map(|Reverse(e)| (e.key, &e.value)));
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries.into_iter().map(|(k, v)| (k.time, v)).collect()
+    }
+
     /// Returns the deadline of the earliest event without removing it.
     ///
     /// Non-mutating, so it scans rather than cascades: cost is the size of
@@ -473,6 +490,36 @@ mod tests {
         w.push(SimTime::from_millis(1), "late arrival");
         assert_eq!(w.pop().unwrap().1, "late arrival");
         assert_eq!(w.pop().unwrap().1, "far");
+    }
+
+    #[test]
+    fn entries_in_order_match_pop_order() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_secs(3600), 0); // overflow
+        w.push(SimTime::from_micros(5), 1);
+        w.push(SimTime::from_micros(5), 2); // FIFO tie with 1
+        w.push(SimTime::from_millis(40), 3); // level 1
+        w.push(SimTime::from_micros(1), 4);
+        let snapshot: Vec<(SimTime, i32)> = w
+            .entries_in_order()
+            .into_iter()
+            .map(|(t, &v)| (t, v))
+            .collect();
+        // Re-pushing the snapshot into a fresh wheel reproduces pop order.
+        let mut restored = TimerWheel::new();
+        for &(t, v) in &snapshot {
+            restored.push(t, v);
+        }
+        let mut original: Vec<(SimTime, i32)> = Vec::new();
+        while let Some(e) = w.pop() {
+            original.push(e);
+        }
+        let mut replayed: Vec<(SimTime, i32)> = Vec::new();
+        while let Some(e) = restored.pop() {
+            replayed.push(e);
+        }
+        assert_eq!(original, replayed);
+        assert_eq!(snapshot, original);
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn main() {
     let mut injector = FaultInjector::new(&distilled, 29);
     for step in 1..=8 {
         let t = step * 30;
-        runner.run_until(SimTime::from_secs(t));
+        runner.run_until(SimTime::from_secs(t)).unwrap();
         if step == 4 {
             println!("-- injecting +0..25% delay on 25% of links --");
             for ev in injector.perturb(

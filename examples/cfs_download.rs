@@ -46,7 +46,7 @@ fn main() {
         }
     }
 
-    runner.run_for(SimDuration::from_secs(120));
+    runner.run_for(SimDuration::from_secs(120)).unwrap();
     let client = runner
         .app_as::<CfsClient>(vns[0])
         .expect("client installed");

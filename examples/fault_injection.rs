@@ -29,7 +29,7 @@ fn main() {
     let mut last_acked = 0;
     for step in 1..=12u64 {
         let t = step * 2;
-        runner.run_until(SimTime::from_secs(t));
+        runner.run_until(SimTime::from_secs(t)).unwrap();
         if t == 8 {
             println!("-- degrading the bottleneck to 1 Mb/s --");
             runner.emulator_mut().update_pipe_attrs(

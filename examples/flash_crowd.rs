@@ -48,7 +48,7 @@ fn main() {
 
     let mut acked_at_phase_start = 0u64;
     let mut phase = |runner: &mut modelnet::Runner, label: &str| {
-        runner.run_for(SimDuration::from_secs(PHASE_SECS));
+        runner.run_for(SimDuration::from_secs(PHASE_SECS)).unwrap();
         let acked = runner.flow_bytes_acked(flow);
         let fg_mbps = (acked - acked_at_phase_start) as f64 * 8.0 / (PHASE_SECS as f64 * 1e6);
         acked_at_phase_start = acked;

@@ -77,7 +77,7 @@ fn main() {
     println!("t[s]  goodput[Mb/s]  regime");
     let mut last_acked = 0u64;
     for step in 1..=16u64 {
-        runner.run_until(SimTime::from_secs(step));
+        runner.run_until(SimTime::from_secs(step)).unwrap();
         let acked = runner.flow_bytes_acked(flow);
         let mbps = (acked - last_acked) as f64 * 8.0 / 1e6;
         last_acked = acked;

@@ -39,7 +39,7 @@ fn main() {
 
     // Run: one 256 KB transfer.
     let flow = runner.add_bulk_flow(vns[0], vns[1], Some(ByteSize::from_kb(256)), SimTime::ZERO);
-    runner.run_for(SimDuration::from_secs(10));
+    runner.run_for(SimDuration::from_secs(10)).unwrap();
 
     match runner.flow_completed_at(flow) {
         Some(done) => println!(

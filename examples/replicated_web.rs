@@ -51,7 +51,7 @@ fn run_with_replicas(replicas: usize) {
         runner.add_application(vn, Box::new(WebClient::new(server, parts[i].clone())));
     }
 
-    runner.run_for(SimDuration::from_secs(45));
+    runner.run_for(SimDuration::from_secs(45)).unwrap();
 
     let mut latencies: Vec<f64> = clients
         .iter()

@@ -93,7 +93,7 @@ fn completions(
         })
         .collect();
     for _ in 0..HORIZON_SECS {
-        runner.run_for(SimDuration::from_secs(1));
+        runner.run_for(SimDuration::from_secs(1)).unwrap();
         if flows.iter().all(|&f| runner.flow_completed_at(f).is_some()) {
             break;
         }

@@ -131,7 +131,7 @@ proptest! {
                     let dst = binding.vn_at(clients[(fi + 1) % n]).unwrap();
                     let pkt = udp_packet(id, src, dst, payload, probe_at);
                     id += 1;
-                    let outcome = backend.submit(probe_at, pkt);
+                    let outcome = backend.submit(probe_at, pkt).unwrap();
                     let mut delivered = None;
                     if outcome.is_accepted() {
                         let mut deliveries = Vec::new();
@@ -139,7 +139,7 @@ proptest! {
                         for _ in 0..100_000 {
                             let Some(next) = backend.next_wakeup() else { break };
                             now = now.max(next);
-                            backend.advance_into(now, &mut deliveries);
+                            backend.advance_into(now, &mut deliveries).unwrap();
                             if !deliveries.is_empty() {
                                 break;
                             }
@@ -252,7 +252,9 @@ fn sustained_ten_percent_churn_per_virtual_minute() {
                 let at = now + SimDuration::from_millis(fi as u64);
                 let src = binding.vn_at(clients[fi]).unwrap();
                 let dst = binding.vn_at(clients[(fi + 7) % n]).unwrap();
-                let outcome = backend.submit(at, udp_packet(id, src, dst, 600, at));
+                let outcome = backend
+                    .submit(at, udp_packet(id, src, dst, 600, at))
+                    .unwrap();
                 id += 1;
                 offered += 1;
                 if outcome.is_accepted() {
@@ -267,7 +269,7 @@ fn sustained_ten_percent_churn_per_virtual_minute() {
                     break;
                 };
                 t = t.max(next);
-                backend.advance_into(t, &mut drained);
+                backend.advance_into(t, &mut drained).unwrap();
             }
             for delivery in &drained {
                 deliveries_log.push((delivery.packet.id.0, delivery.delivered_at, delivery.hops));

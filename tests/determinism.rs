@@ -137,7 +137,7 @@ fn drive_strict(binding: &Binding, emu: &mut EmulatorBackend) -> Vec<StrictRecor
         let Some(t) = emu.next_wakeup() else { break };
         now = now.max(t);
         deliveries.clear();
-        emu.advance_into(now, &mut deliveries);
+        emu.advance_into(now, &mut deliveries).unwrap();
         log.extend(deliveries.iter().map(|d| {
             (
                 d.packet.id.0,

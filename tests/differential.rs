@@ -260,10 +260,10 @@ proptest! {
         for step in &schedule {
             match step {
                 Step::Advance(now) => {
-                    par_log.extend(par.advance(*now).iter().map(&record));
+                    par_log.extend(par.advance(*now).unwrap().iter().map(&record));
                 }
                 Step::Submit(now, pkt) => {
-                    par_outcomes.push(par.submit(*now, *pkt));
+                    par_outcomes.push(par.submit(*now, *pkt).unwrap());
                 }
             }
         }
@@ -271,7 +271,7 @@ proptest! {
         for _ in 0..200_000 {
             let Some(t) = par.next_wakeup() else { break };
             now = now.max(t);
-            par_log.extend(par.advance(now).iter().map(&record));
+            par_log.extend(par.advance(now).unwrap().iter().map(&record));
         }
         prop_assert_eq!(seq_outcomes, par_outcomes, "submit outcomes diverge");
         prop_assert_eq!(seq_log, par_log, "delivery streams diverge");
@@ -374,7 +374,7 @@ fn failure_recovery_schedule_agrees_with_reference_across_backends() {
             for (label, src, dst) in [("a->b", vn(a), vn(b)), ("c->b", vn(c), vn(b))] {
                 let pkt = udp_packet(id, src, dst, payload, probe_at);
                 id += 1;
-                let outcome = backend.submit(probe_at, pkt);
+                let outcome = backend.submit(probe_at, pkt).unwrap();
                 let mut delivered = None;
                 if outcome.is_accepted() {
                     let mut deliveries = Vec::new();
@@ -384,7 +384,7 @@ fn failure_recovery_schedule_agrees_with_reference_across_backends() {
                             break;
                         };
                         now = now.max(next);
-                        backend.advance_into(now, &mut deliveries);
+                        backend.advance_into(now, &mut deliveries).unwrap();
                         if !deliveries.is_empty() {
                             break;
                         }
@@ -512,7 +512,7 @@ fn cbr_episode_tracks_reduced_reference_capacity() {
         id += 1;
         now += SimDuration::from_millis(1);
         deliveries.clear();
-        backend.advance_into(now, &mut deliveries);
+        backend.advance_into(now, &mut deliveries).unwrap();
         delivered_payload += deliveries
             .iter()
             .map(|d| d.packet.header.payload_len() as u64)
@@ -622,7 +622,7 @@ fn hybrid_fluid_and_packet_traffic_agree_with_reference_across_backends() {
             // Phase boundaries land between probes: resize into saturation
             // at t=1s, remove both aggregates at t=2s.
             if probe_at == t(1100) {
-                backend.advance_into(t(1000), &mut deliveries);
+                backend.advance_into(t(1000), &mut deliveries).unwrap();
                 phase_a_goodput = [
                     backend.fluid_flow_goodput_bytes(1).unwrap(),
                     backend.fluid_flow_goodput_bytes(2).unwrap(),
@@ -630,7 +630,7 @@ fn hybrid_fluid_and_packet_traffic_agree_with_reference_across_backends() {
                 assert!(backend.resize_fluid_flow(2, DataRate::from_mbps(100), 3, t(1000)));
             }
             if probe_at == t(2100) {
-                backend.advance_into(t(2000), &mut deliveries);
+                backend.advance_into(t(2000), &mut deliveries).unwrap();
                 assert!(backend.remove_fluid_flow(1, t(2000)));
                 assert!(backend.remove_fluid_flow(2, t(2000)));
             }
@@ -647,7 +647,7 @@ fn hybrid_fluid_and_packet_traffic_agree_with_reference_across_backends() {
                 // A probe entering a pipe the fluid saturates is dropped at
                 // submission (first-hop enqueue sees zero residual); one
                 // entering downstream of it is accepted, then swallowed.
-                let outcome = backend.submit(probe_at, pkt);
+                let outcome = backend.submit(probe_at, pkt).unwrap();
                 deliveries.clear();
                 let mut delivered = None;
                 if outcome.is_accepted() {
@@ -660,7 +660,7 @@ fn hybrid_fluid_and_packet_traffic_agree_with_reference_across_backends() {
                     let mut now = probe_at;
                     while let Some(next) = backend.next_wakeup().filter(|&next| next <= horizon) {
                         now = now.max(next);
-                        backend.advance_into(now, &mut deliveries);
+                        backend.advance_into(now, &mut deliveries).unwrap();
                         if !deliveries.is_empty() {
                             break;
                         }
@@ -798,13 +798,17 @@ fn fluid_resize_goodput_matches_reference_water_fill() {
         assert!(backend.add_fluid_flow(1, vn(a), vn(b), DataRate::from_mbps(2), 1, SimTime::ZERO));
         assert!(backend.add_fluid_flow(2, vn(a), vn(b), DataRate::from_mbps(4), 3, SimTime::ZERO));
         let mut sink = Vec::new();
-        backend.advance_into(SimTime::from_secs(1), &mut sink);
+        backend
+            .advance_into(SimTime::from_secs(1), &mut sink)
+            .unwrap();
         let at_1s = [
             backend.fluid_flow_goodput_bytes(1).unwrap(),
             backend.fluid_flow_goodput_bytes(2).unwrap(),
         ];
         assert!(backend.resize_fluid_flow(2, DataRate::from_mbps(100), 3, SimTime::from_secs(1)));
-        backend.advance_into(SimTime::from_secs(2), &mut sink);
+        backend
+            .advance_into(SimTime::from_secs(2), &mut sink)
+            .unwrap();
         let at_2s = [
             backend.fluid_flow_goodput_bytes(1).unwrap(),
             backend.fluid_flow_goodput_bytes(2).unwrap(),

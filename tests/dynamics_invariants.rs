@@ -201,7 +201,7 @@ proptest! {
                 let _ = backend.submit(at, udp_packet(*id, src, dst, at));
                 *id += 1;
                 deliveries.clear();
-                backend.advance_into(at, &mut deliveries);
+                backend.advance_into(at, &mut deliveries).unwrap();
             }
         };
         drive(&mut backend, (0, 40), &mut id);
@@ -232,7 +232,7 @@ proptest! {
             let Some(t) = backend.next_wakeup() else { break };
             now = now.max(t);
             deliveries.clear();
-            backend.advance_into(now, &mut deliveries);
+            backend.advance_into(now, &mut deliveries).unwrap();
         }
         prop_assert_eq!(backend.next_wakeup(), None);
     }

@@ -202,7 +202,7 @@ fn emulation_is_deterministic_for_a_seed() {
         let vns = runner.vn_ids();
         let f1 = runner.add_bulk_flow(vns[0], vns[5], Some(B::from_kb(200)), T::ZERO);
         let f2 = runner.add_bulk_flow(vns[2], vns[7], None, T::ZERO);
-        runner.run_for(D::from_secs(6));
+        runner.run_for(D::from_secs(6)).unwrap();
         (
             runner.flow_completed_at(f1),
             runner.flow_bytes_acked(f2),

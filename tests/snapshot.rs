@@ -1,0 +1,303 @@
+//! Checkpoint/restore acceptance tests.
+//!
+//! The contract under test (ISSUE 10): a run snapshotted at virtual time `T`
+//! and restored into a freshly built runner resumes **bit-identically** — the
+//! final serialized state equals that of a run that was never interrupted —
+//! on either execution backend at 1, 2 and 4 cores, in both restore
+//! directions (a sequential snapshot into a threaded runner and vice versa).
+//! On top of that, a worker killed mid-run by chaos injection surfaces as a
+//! structured error, and recovery from the last auto-checkpoint lands on the
+//! exact output of the uninterrupted run.
+
+use proptest::prelude::*;
+
+use mn_topology::generators::{ring_topology, RingParams};
+use mn_transport::UdpStreamConfig;
+use mn_util::CodecError;
+use modelnet::{
+    ByteSize, ChaosPlan, CoreId, DataRate, DistillationMode, EmuError, EmulatorBackend,
+    ExecutionBackend, Experiment, FailureCause, LinkAttrs, NodeKind, RecoverError, Runner,
+    Schedule, SimDuration, SimTime, Topology,
+};
+
+/// A ring workload with two TCP flows and a paced UDP flow: enough state
+/// (congestion windows, RTO timers, pacing positions, wheel entries, RNGs)
+/// that any drift after restore shows up in the serialized bytes.
+fn build_seeded(cores: usize, backend: ExecutionBackend, seed: u64) -> Runner {
+    let topo = ring_topology(&RingParams {
+        routers: 4,
+        clients_per_router: 2,
+        ..RingParams::default()
+    });
+    let mut runner = Experiment::new(topo)
+        .distillation(DistillationMode::HopByHop)
+        .cores(cores)
+        .edge_nodes(4)
+        .backend(backend)
+        .unconstrained_hardware()
+        .seed(seed)
+        .build()
+        .expect("experiment builds");
+    let vns = runner.vn_ids();
+    runner.add_bulk_flow(vns[0], vns[5], Some(ByteSize::from_kb(512)), SimTime::ZERO);
+    runner.add_bulk_flow(vns[2], vns[7], None, SimTime::from_millis(250));
+    runner.add_udp_flow(
+        vns[1],
+        vns[6],
+        UdpStreamConfig::default(),
+        SimTime::from_millis(100),
+    );
+    runner
+}
+
+fn build(cores: usize, backend: ExecutionBackend) -> Runner {
+    build_seeded(cores, backend, 11)
+}
+
+#[test]
+fn restore_resumes_bit_identically_on_both_backends() {
+    for backend in [ExecutionBackend::Sequential, ExecutionBackend::Threaded] {
+        for cores in [1usize, 2, 4] {
+            // The uninterrupted run: straight to the end.
+            let mut reference = build(cores, backend);
+            reference.run_until(SimTime::from_secs(6)).unwrap();
+            let want = reference.snapshot().unwrap();
+
+            // The interrupted run: snapshot at t=3s, throw the runner away,
+            // restore into a freshly built one and continue.
+            let mut first = build(cores, backend);
+            first.run_until(SimTime::from_secs(3)).unwrap();
+            let checkpoint = first.snapshot().unwrap();
+            drop(first);
+
+            let mut resumed = build(cores, backend);
+            resumed.recover_from(&checkpoint).unwrap();
+            assert_eq!(resumed.now(), SimTime::from_secs(3));
+            resumed.run_until(SimTime::from_secs(6)).unwrap();
+            let got = resumed.snapshot().unwrap();
+            assert!(
+                got == want,
+                "resume diverged from the uninterrupted run ({backend:?}, {cores} cores)"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshots_restore_across_backends() {
+    for cores in [1usize, 2, 4] {
+        // Both backends produce byte-identical snapshots of the same run...
+        let mut sequential = build(cores, ExecutionBackend::Sequential);
+        sequential.run_until(SimTime::from_secs(3)).unwrap();
+        let at_mid = sequential.snapshot().unwrap();
+        let mut threaded = build(cores, ExecutionBackend::Threaded);
+        threaded.run_until(SimTime::from_secs(3)).unwrap();
+        assert!(
+            threaded.snapshot().unwrap() == at_mid,
+            "sequential and threaded snapshots differ at {cores} cores"
+        );
+
+        sequential.run_until(SimTime::from_secs(6)).unwrap();
+        let want = sequential.snapshot().unwrap();
+
+        // ...and a mid-run snapshot restores into either backend, landing
+        // both on the uninterrupted run's exact final state.
+        for backend in [ExecutionBackend::Sequential, ExecutionBackend::Threaded] {
+            let mut resumed = build(cores, backend);
+            resumed.recover_from(&at_mid).unwrap();
+            resumed.run_until(SimTime::from_secs(6)).unwrap();
+            assert!(
+                resumed.snapshot().unwrap() == want,
+                "cross-backend resume into {backend:?} diverged at {cores} cores"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_panic_recovery_matches_the_uninterrupted_run() {
+    let cores = 2;
+    // The uninterrupted reference, auto-checkpointing on the same grid so
+    // its serialized state (armed checkpoint events) matches the victim's.
+    let mut reference = build(cores, ExecutionBackend::Threaded);
+    reference.set_auto_checkpoint(SimDuration::from_secs(1));
+    reference.run_until(SimTime::from_secs(8)).unwrap();
+    let want = reference.snapshot().unwrap();
+
+    // The victim: checkpoints until t=4s, then a chaos plan kills one of
+    // its workers.
+    let mut victim = build(cores, ExecutionBackend::Threaded);
+    victim.set_auto_checkpoint(SimDuration::from_secs(1));
+    victim.run_until(SimTime::from_secs(4)).unwrap();
+    let (checkpoint_at, _) = victim.last_checkpoint().expect("auto-checkpoint fired");
+    assert!(checkpoint_at >= SimTime::from_secs(1));
+    let EmulatorBackend::Threaded(par) = victim.backend_mut() else {
+        unreachable!("victim was built threaded");
+    };
+    assert!(par.set_chaos(CoreId(1), ChaosPlan::new().panic_on_next_command()));
+
+    // The death is a structured error, not a panic or a hang — and it
+    // poisons the runner so later calls keep failing fast.
+    let err = victim.run_until(SimTime::from_secs(8)).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            EmuError::WorkerFailure {
+                cause: FailureCause::Panicked(_),
+                ..
+            }
+        ),
+        "unexpected failure shape: {err:?}"
+    );
+    assert_eq!(victim.failure(), Some(&err));
+    assert!(victim.run_until(SimTime::from_secs(9)).is_err());
+
+    // Recovery: a fresh runner (fresh worker pool) from the last surviving
+    // checkpoint, run to the same deadline, lands on the exact final state.
+    let (resume_at, bytes) = victim
+        .last_checkpoint()
+        .expect("checkpoint survives the crash");
+    let bytes = bytes.to_vec();
+    let mut recovered = build(cores, ExecutionBackend::Threaded);
+    recovered.recover_from(&bytes).unwrap();
+    assert_eq!(recovered.now(), resume_at);
+    assert!(recovered.failure().is_none());
+    recovered.run_until(SimTime::from_secs(8)).unwrap();
+    assert!(
+        recovered.snapshot().unwrap() == want,
+        "recovery from the last checkpoint diverged from the uninterrupted run"
+    );
+}
+
+/// Restore with a dynamics schedule installed: the cursor fast-forwards over
+/// the already-applied prefix and the remaining events fire on time.
+#[test]
+fn restore_replays_the_dynamics_cursor() {
+    let build = || {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Client);
+        let b = topo.add_node(NodeKind::Client);
+        let r1 = topo.add_node(NodeKind::Stub);
+        let r2 = topo.add_node(NodeKind::Stub);
+        let fast = LinkAttrs::new(DataRate::from_mbps(10), SimDuration::from_millis(1));
+        let slow = LinkAttrs::new(DataRate::from_mbps(2), SimDuration::from_millis(6));
+        topo.add_link(a, r1, fast).unwrap();
+        topo.add_link(r1, b, fast).unwrap();
+        topo.add_link(a, r2, slow).unwrap();
+        topo.add_link(r2, b, slow).unwrap();
+        let d = modelnet::distill(&topo, DistillationMode::HopByHop);
+        let (ar1, r1a) = (d.find_pipe(a, r1).unwrap(), d.find_pipe(r1, a).unwrap());
+        let schedule = Schedule::new()
+            .duplex_down(SimTime::from_secs(2), ar1, r1a)
+            .duplex_up(SimTime::from_secs(5), ar1, r1a);
+        let mut runner = Experiment::new(topo)
+            .distillation(DistillationMode::HopByHop)
+            .cores(1)
+            .edge_nodes(2)
+            .unconstrained_hardware()
+            .seed(7)
+            .with_schedule(schedule)
+            .build()
+            .expect("experiment builds");
+        let binding = runner.binding().clone();
+        let src = binding.vn_at(a).unwrap();
+        let dst = binding.vn_at(b).unwrap();
+        runner.add_bulk_flow(src, dst, None, SimTime::ZERO);
+        runner
+    };
+
+    let mut reference = build();
+    reference.run_until(SimTime::from_secs(8)).unwrap();
+    let want = reference.snapshot().unwrap();
+
+    // Snapshot between the two schedule events: the restore must replay the
+    // link-down into the engine's cursor without re-touching the emulator,
+    // then apply the link-up live at t=5s.
+    let mut first = build();
+    first.run_until(SimTime::from_secs(3)).unwrap();
+    assert_eq!(first.dynamics().unwrap().cursor(), 2);
+    let checkpoint = first.snapshot().unwrap();
+
+    let mut resumed = build();
+    resumed.recover_from(&checkpoint).unwrap();
+    assert_eq!(resumed.dynamics().unwrap().cursor(), 2);
+    resumed.run_until(SimTime::from_secs(8)).unwrap();
+    assert!(
+        resumed.snapshot().unwrap() == want,
+        "resume across a dynamics schedule diverged"
+    );
+}
+
+#[test]
+fn recover_rejects_corruption_and_mismatched_configs() {
+    let mut runner = build(1, ExecutionBackend::Sequential);
+    runner.run_until(SimTime::from_secs(2)).unwrap();
+    let bytes = runner.snapshot().unwrap();
+
+    let mut fresh = build(1, ExecutionBackend::Sequential);
+    // Truncation and bit-flips are structured codec errors, and a failed
+    // restore leaves the runner untouched (it still accepts a good one).
+    assert!(matches!(
+        fresh.recover_from(&bytes[..bytes.len() - 1]),
+        Err(RecoverError::Codec(_))
+    ));
+    let mut corrupt = bytes.clone();
+    let last_payload_byte = corrupt.len() - 9; // final 8 bytes are the checksum
+    corrupt[last_payload_byte] ^= 0xff;
+    assert!(matches!(
+        fresh.recover_from(&corrupt),
+        Err(RecoverError::Codec(CodecError::BadChecksum))
+    ));
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] ^= 0xff;
+    assert!(matches!(
+        fresh.recover_from(&wrong_magic),
+        Err(RecoverError::Codec(CodecError::BadMagic))
+    ));
+
+    // A snapshot from a schedule-free run cannot restore into a runner that
+    // has a dynamics schedule installed (and vice versa by symmetry).
+    let topo = ring_topology(&RingParams {
+        routers: 4,
+        clients_per_router: 2,
+        ..RingParams::default()
+    });
+    let d = modelnet::distill(&topo, DistillationMode::HopByHop);
+    let some_pipe = d.pipes().next().map(|(id, _)| id).expect("ring has pipes");
+    let mut with_schedule = Experiment::new(topo)
+        .distillation(DistillationMode::HopByHop)
+        .unconstrained_hardware()
+        .seed(11)
+        .with_schedule(Schedule::new().link_down(SimTime::from_secs(30), some_pipe))
+        .build()
+        .unwrap();
+    assert!(matches!(
+        with_schedule.recover_from(&bytes),
+        Err(RecoverError::ScheduleMismatch)
+    ));
+
+    assert!(fresh.recover_from(&bytes).is_ok());
+    assert_eq!(fresh.now(), SimTime::from_secs(2));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Serialization is a fixed point: restoring a snapshot into a fresh
+    /// runner and re-serializing reproduces the exact bytes, for arbitrary
+    /// seeds, interruption points and core counts.
+    #[test]
+    fn snapshot_round_trip_is_byte_stable(
+        seed in 0u64..6,
+        mid_ms in 500u64..4000,
+        cores in (0usize..3).prop_map(|i| [1usize, 2, 4][i]),
+    ) {
+        let mut runner = build_seeded(cores, ExecutionBackend::Sequential, seed);
+        runner.run_until(SimTime::from_millis(mid_ms)).unwrap();
+        let first = runner.snapshot().unwrap();
+        let mut restored = build_seeded(cores, ExecutionBackend::Sequential, seed);
+        restored.recover_from(&first).unwrap();
+        let second = restored.snapshot().unwrap();
+        prop_assert!(first == second, "round trip not byte-stable");
+    }
+}

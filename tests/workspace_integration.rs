@@ -17,7 +17,7 @@ use modelnet::{
 };
 
 fn finish_bulk(runner: &mut Runner, flow: modelnet::FlowId, secs: u64) -> Option<SimTime> {
-    runner.run_for(SimDuration::from_secs(secs));
+    runner.run_for(SimDuration::from_secs(secs)).unwrap();
     runner.flow_completed_at(flow)
 }
 
@@ -63,7 +63,7 @@ fn single_and_multi_core_emulations_agree_when_unconstrained() {
         for i in 0..6 {
             flows.push(runner.add_bulk_flow(vns[i], vns[i + 6], None, SimTime::ZERO));
         }
-        runner.run_for(SimDuration::from_secs(8));
+        runner.run_for(SimDuration::from_secs(8)).unwrap();
         flows
             .iter()
             .map(|&f| runner.flow_goodput_kbps(f))
@@ -106,7 +106,7 @@ fn distillation_modes_preserve_uncontended_path_quality() {
             .unwrap();
         let vns = runner.vn_ids();
         let flow = runner.add_bulk_flow(vns[0], vns[7], None, SimTime::ZERO);
-        runner.run_for(SimDuration::from_secs(10));
+        runner.run_for(SimDuration::from_secs(10)).unwrap();
         results.push(runner.flow_goodput_kbps(flow));
     }
     let min = results.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -138,7 +138,7 @@ fn link_failure_reroutes_after_matrix_rebuild() {
         .expect("builds");
     let vns = runner.vn_ids();
     let flow = runner.add_bulk_flow(vns[0], vns[3], None, SimTime::ZERO);
-    runner.run_for(SimDuration::from_secs(3));
+    runner.run_for(SimDuration::from_secs(3)).unwrap();
     let before = runner.flow_bytes_acked(flow);
     assert!(before > 0);
 
@@ -172,7 +172,7 @@ fn link_failure_reroutes_after_matrix_rebuild() {
     let new_matrix = mn_routing::RoutingMatrix::build(&distilled);
     runner.emulator_mut().set_routing(new_matrix);
 
-    runner.run_for(SimDuration::from_secs(6));
+    runner.run_for(SimDuration::from_secs(6)).unwrap();
     let after = runner.flow_bytes_acked(flow);
     assert!(
         after > before + 200_000,
@@ -198,7 +198,7 @@ fn emulation_error_stays_within_per_hop_tick_bound() {
     for i in 0..4 {
         runner.add_bulk_flow(vns[i], vns[i + 8], None, SimTime::ZERO);
     }
-    runner.run_for(SimDuration::from_secs(5));
+    runner.run_for(SimDuration::from_secs(5)).unwrap();
     let core = &runner.emulator().cores()[0];
     assert!(core.accuracy().delivered() > 1_000);
     assert!(
@@ -239,7 +239,7 @@ fn packet_debt_correction_reduces_end_to_end_error() {
                 SimTime::ZERO,
             );
         }
-        runner.run_for(SimDuration::from_secs(3));
+        runner.run_for(SimDuration::from_secs(3)).unwrap();
         runner.emulator().cores()[0].accuracy().mean_error_us()
     };
     let without = run(false);
@@ -273,7 +273,7 @@ fn cfs_download_completes_over_the_ron_mesh() {
             runner.add_application(vn, Box::new(CfsServer::new(vn, ring.clone())));
         }
     }
-    runner.run_for(SimDuration::from_secs(120));
+    runner.run_for(SimDuration::from_secs(120)).unwrap();
     let client = runner.app_as::<CfsClient>(vns[0]).unwrap();
     assert!(
         client.is_complete(),

@@ -36,6 +36,18 @@ pub mod rngs {
             StdRng { s }
         }
 
+        /// The raw xoshiro256++ state, for checkpoint/restore of a stream
+        /// mid-run. Restoring via [`StdRng::from_state`] continues the
+        /// stream exactly where [`StdRng::state`] observed it.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         pub(crate) fn next(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])
